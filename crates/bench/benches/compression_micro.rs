@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the compression kernels: encode
+//! and decode throughput of every algorithm (optimized, OSS, and
+//! CompLL-generated) across gradient sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hipress::compll::algorithms;
+use hipress::compress::{Algorithm, Compressor};
+use hipress::tensor::synth::{generate, GradientShape};
+
+fn algorithms_under_test() -> Vec<(String, Box<dyn Compressor>)> {
+    let mut v: Vec<(String, Box<dyn Compressor>)> = Vec::new();
+    for alg in [
+        Algorithm::OneBit,
+        Algorithm::Tbq { tau: 0.001 },
+        Algorithm::TernGrad { bitwidth: 2 },
+        Algorithm::Dgc { rate: 0.001 },
+        Algorithm::GradDrop { rate: 0.01 },
+    ] {
+        let c = alg.build().expect("builds");
+        v.push((format!("opt/{}", c.name()), c));
+        if let Some(oss) = alg.build_oss() {
+            v.push((format!("oss/{}", oss.name()), oss));
+        }
+    }
+    // The DSL-compiled algorithms run through the CompLL interpreter;
+    // include one as the integration sanity point.
+    v.push((
+        "compll/onebit".into(),
+        Box::new(algorithms::onebit().expect("compiles")),
+    ));
+    v
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(10);
+    for elems in [1usize << 14, 1 << 18] {
+        let grad = generate(elems, GradientShape::default_dnn(), 3);
+        for (name, alg) in algorithms_under_test() {
+            group.throughput(Throughput::Bytes(grad.byte_size()));
+            group.bench_with_input(
+                BenchmarkId::new(name, elems * 4),
+                grad.as_slice(),
+                |b, data| {
+                    b.iter(|| alg.encode(std::hint::black_box(data), 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    let elems = 1usize << 18;
+    let grad = generate(elems, GradientShape::default_dnn(), 3);
+    for (name, alg) in algorithms_under_test() {
+        let stream = alg.encode(grad.as_slice(), 1);
+        group.throughput(Throughput::Bytes(grad.byte_size()));
+        group.bench_with_input(BenchmarkId::new(name, elems * 4), &stream, |b, data| {
+            b.iter(|| alg.decode(std::hint::black_box(data)).expect("decodes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 10: training speedups in the 16-node local cluster
+//! (2 × GTX 1080 Ti per node, 56 Gbps RDMA), normalized to BytePS,
+//! for Bert-base and VGG19 with the onebit algorithm.
+//!
+//! The paper's surprise: BytePS(OSS-onebit) can run *slower* than the
+//! uncompressed Ring baseline here, while HiPress beats everything by
+//! up to 133.1% / 53.3%.
+
+use hipress::prelude::*;
+use hipress_bench::{banner, pct};
+
+fn main() {
+    banner(
+        "Figure 10",
+        "local-cluster speedups normalized to BytePS (16 nodes x 2 GTX 1080 Ti, 56 Gbps)",
+    );
+    let cluster = ClusterConfig::local(16);
+    for model in [DnnModel::BertBase, DnnModel::Vgg19] {
+        let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
+        let byteps = run(TrainingJob::baseline(model, cluster, Strategy::BytePs));
+        let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
+        let byteps_onebit = run(
+            TrainingJob::baseline(model, cluster, Strategy::BytePs)
+                .with_algorithm(Algorithm::OneBit),
+        );
+        let hip_ps = run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs));
+        let hip_ring = run(TrainingJob::hipress(model, cluster, Strategy::CaSyncRing));
+        println!("\n--- {} (normalized to BytePS = 1.0) ---", model.name());
+        for (label, v) in [
+            ("BytePS", byteps),
+            ("Ring", ring),
+            ("BytePS(OSS-onebit)", byteps_onebit),
+            ("HiPress-CaSync-PS(CompLL-onebit)", hip_ps),
+            ("HiPress-CaSync-Ring(CompLL-onebit)", hip_ring),
+        ] {
+            println!("{label:<36} {:.2}x", v / byteps);
+        }
+        let hip = hip_ps.max(hip_ring);
+        println!(
+            "HiPress over non-compression baselines: +{:.1}% (paper: up to +133.1%)",
+            pct(hip, byteps.max(ring))
+        );
+        println!(
+            "HiPress over BytePS(OSS-onebit): +{:.1}% (paper: up to +53.3%)",
+            pct(hip, byteps_onebit)
+        );
+        assert!(hip > byteps.max(ring), "HiPress must win on {model:?}");
+        assert!(hip >= byteps_onebit, "HiPress must beat the OSS baseline");
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 11: the optimization ablation — stacking CompLL's on-GPU
+//! code generation, CaSync pipelining, compression-aware bulk
+//! synchronization, and selective compression & partitioning, one at
+//! a time, on the 16-node local cluster.
+//!
+//! VGG19 synchronizes via (CaSync-)PS and Bert-base via
+//! (CaSync-)Ring, as in the paper.
+
+use hipress::casync::ExecConfig;
+use hipress::prelude::*;
+use hipress_bench::{banner, pct};
+
+struct Rung {
+    label: &'static str,
+    job: TrainingJob,
+}
+
+fn ladder(model: DnnModel, casync: Strategy, baseline: Strategy) -> Vec<Rung> {
+    let cluster = ClusterConfig::local(16);
+    let alg = Algorithm::OneBit;
+    let mut rungs = Vec::new();
+    // Default: the best no-compression baseline runtime.
+    rungs.push(Rung {
+        label: "Default (no compression)",
+        job: TrainingJob::baseline(model, cluster, baseline),
+    });
+    // on-CPU: the open-source on-CPU onebit bolted onto the baseline.
+    rungs.push(Rung {
+        label: "+ on-CPU OSS onebit",
+        job: {
+            let mut j = TrainingJob::baseline(model, cluster, baseline).with_algorithm(alg);
+            j.exec = j.exec.with_cpu_codec();
+            j
+        },
+    });
+    // on-GPU: CompLL's generated kernels, but no CaSync pipeline yet
+    // (coarse-grained serial execution).
+    rungs.push(Rung {
+        label: "+ on-GPU CompLL onebit",
+        job: {
+            let mut j = TrainingJob::hipress(model, cluster, casync).with_algorithm(alg);
+            j.selective = false;
+            j.exec = ExecConfig::baseline().without_pipelining();
+            j
+        },
+    });
+    // + pipelining.
+    rungs.push(Rung {
+        label: "+ pipelining",
+        job: {
+            let mut j = TrainingJob::hipress(model, cluster, casync).with_algorithm(alg);
+            j.selective = false;
+            j.exec = ExecConfig::baseline();
+            j
+        },
+    });
+    // + bulk synchronization (coordinator batching + batched kernels).
+    rungs.push(Rung {
+        label: "+ bulk synchronization",
+        job: {
+            let mut j = TrainingJob::hipress(model, cluster, casync).with_algorithm(alg);
+            j.selective = false;
+            j
+        },
+    });
+    // + SeCoPa: the full HiPress.
+    rungs.push(Rung {
+        label: "+ selective compression & partitioning",
+        job: TrainingJob::hipress(model, cluster, casync).with_algorithm(alg),
+    });
+    rungs
+}
+
+fn run_ladder(model: DnnModel, casync: Strategy, baseline: Strategy) {
+    println!("\n--- {} via {} ---", model.name(), casync.label());
+    println!(
+        "{:<42} {:>12} {:>12} {:>10}",
+        "configuration", "compute ms", "sync ms", "scaling"
+    );
+    let mut prev_sync: Option<f64> = None;
+    let mut stack = Vec::new();
+    for rung in ladder(model, casync, baseline) {
+        let r = simulate(&rung.job).expect("simulation runs");
+        // The isolated synchronization cost (all gradients ready at
+        // t=0), like the paper's latency breakdown bars.
+        let sync_ms = hipress::train::sync_only_ns(&rung.job).expect("simulation runs") as f64 / 1e6;
+        let delta = prev_sync
+            .map(|p| format!(" ({:+.1}%)", pct(sync_ms, p)))
+            .unwrap_or_default();
+        println!(
+            "{:<42} {:>12.1} {:>9.1}{:<6} {:>7.2}",
+            rung.label,
+            r.compute_ns as f64 / 1e6,
+            sync_ms,
+            delta,
+            r.scaling_efficiency
+        );
+        prev_sync = Some(sync_ms);
+        stack.push((rung.label, r));
+    }
+    // Shape checks from §6.3: the full stack beats Default, and the
+    // on-CPU rung is the worst compression configuration.
+    let default_iter = stack[0].1.iteration_ns;
+    let cpu_iter = stack[1].1.iteration_ns;
+    let full_iter = stack.last().unwrap().1.iteration_ns;
+    assert!(
+        full_iter < default_iter,
+        "full HiPress must beat the default baseline"
+    );
+    assert!(
+        stack[2].1.iteration_ns < cpu_iter,
+        "on-GPU must beat on-CPU compression"
+    );
+    println!(
+        "full stack vs Default: {:+.1}% throughput (paper: VGG19 +133.1%, Bert-base +28.6%)",
+        pct(default_iter as f64, full_iter as f64)
+    );
+}
+
+fn main() {
+    banner(
+        "Figure 11",
+        "optimization ablation on the local cluster (each rung stacks one optimization)",
+    );
+    run_ladder(DnnModel::Vgg19, Strategy::CaSyncPs, Strategy::BytePs);
+    run_ladder(DnnModel::BertBase, Strategy::CaSyncRing, Strategy::HorovodRing);
+}

@@ -1,0 +1,170 @@
+//! Figure 13: convergence validation — real data-parallel training
+//! to a target metric, with the wall-clock axis derived from the
+//! throughput simulator, comparing no-compression against
+//! CompLL-style DGC and TernGrad.
+//!
+//! Left panel analogue: an LSTM language model racing to a target
+//! perplexity. Right panel analogue: a classifier racing to a target
+//! accuracy. The paper's claim: compression converges to the same
+//! quality in up to 28.6% less time.
+
+use hipress::compress::Algorithm;
+use hipress::prelude::*;
+use hipress::train::convergence::{run_data_parallel, ConvergenceConfig};
+use hipress::train::nn::data::{Classification, MarkovText};
+use hipress::train::nn::{LstmLm, Mlp};
+use hipress_bench::banner;
+
+/// Per-iteration wall-clock cost of the synchronization pattern this
+/// algorithm would produce on the local cluster, from the simulator.
+fn iter_ms(alg: Algorithm) -> f64 {
+    let cluster = ClusterConfig::local(16);
+    // LSTM is the paper's left panel; its per-iteration time is what
+    // the time axis uses.
+    let job = TrainingJob::hipress(DnnModel::Lstm, cluster, Strategy::CaSyncRing)
+        .with_algorithm(alg);
+    simulate(&job).expect("simulation runs").iteration_ns as f64 / 1e6
+}
+
+fn lstm_panel() {
+    println!("\n--- LSTM language model: time to target perplexity ---");
+    let workers = 4;
+    let text = MarkovText::generate(40_000, 16, 8.0, 31);
+    // Shard the token stream (contiguous slices).
+    let shard_len = text.tokens.len() / workers;
+    let target = 9.0;
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>14}",
+        "algorithm", "final ppl", "iters@tgt", "ms/iter", "time-to-tgt"
+    );
+    let mut times = Vec::new();
+    for alg in [
+        Algorithm::None,
+        Algorithm::Dgc { rate: 0.05 },
+        Algorithm::TernGrad { bitwidth: 2 },
+    ] {
+        let mut replicas: Vec<LstmLm> = (0..workers)
+            .map(|w| {
+                let shard = MarkovText {
+                    vocab: text.vocab,
+                    tokens: text.tokens[w * shard_len..(w + 1) * shard_len].to_vec(),
+                };
+                LstmLm::new(8, 24, 10, shard, 7)
+            })
+            .collect();
+        let cfg = ConvergenceConfig {
+            workers,
+            batch_per_worker: 6,
+            lr: 0.5,
+            momentum: 0.5,
+            algorithm: alg,
+            iterations: 220,
+            eval_every: 10,
+            seed: 13,
+        };
+        let r = run_data_parallel(
+            &cfg,
+            &mut replicas,
+            |m| m.data().len() - m.seq_len - 1,
+            |m| m.perplexity(12),
+        )
+        .expect("training runs");
+        let ms = iter_ms(alg);
+        let tti = r
+            .iterations_to_target(target, false)
+            .map(|i| i as f64 * ms);
+        println!(
+            "{:<22} {:>12.2} {:>12} {:>10.1} {:>14}",
+            alg.label(),
+            r.final_metric,
+            r.iterations_to_target(target, false)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".into()),
+            ms,
+            tti.map(|t| format!("{t:.0} ms")).unwrap_or_else(|| "-".into()),
+        );
+        times.push((alg.label(), r.final_metric, tti));
+    }
+    let baseline_ppl = times[0].1;
+    for (label, ppl, _) in &times[1..] {
+        assert!(
+            *ppl < baseline_ppl * 1.15,
+            "{label} must converge near the baseline perplexity ({ppl} vs {baseline_ppl})"
+        );
+    }
+}
+
+fn classifier_panel() {
+    println!("\n--- classifier: time to target accuracy ---");
+    let workers = 4;
+    let full = Classification::gaussian_mixture(600 * workers + 800, 16, 10, 2.2, 77);
+    let mut shards = full.split(workers + 1);
+    let eval = shards.pop().unwrap();
+    let target = 0.80;
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>14}",
+        "algorithm", "final acc", "iters@tgt", "ms/iter", "time-to-tgt"
+    );
+    let mut rows = Vec::new();
+    for alg in [
+        Algorithm::None,
+        Algorithm::Dgc { rate: 0.01 },
+        Algorithm::TernGrad { bitwidth: 2 },
+    ] {
+        let mut replicas: Vec<Mlp> = shards
+            .iter()
+            .map(|s| Mlp::new(&[16, 48, 10], s.clone(), 5))
+            .collect();
+        let cfg = ConvergenceConfig {
+            workers,
+            batch_per_worker: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            algorithm: alg,
+            iterations: 200,
+            eval_every: 5,
+            seed: 3,
+        };
+        let r = run_data_parallel(&cfg, &mut replicas, |m| m.data().len(), |m| {
+            m.accuracy(&eval)
+        })
+        .expect("training runs");
+        // Time axis: ResNet50-analogue iteration times.
+        let cluster = ClusterConfig::local(16);
+        let ms = simulate(
+            &TrainingJob::hipress(DnnModel::ResNet50, cluster, Strategy::CaSyncPs)
+                .with_algorithm(alg),
+        )
+        .expect("simulation runs")
+        .iteration_ns as f64
+            / 1e6;
+        let tti = r.iterations_to_target(target, true).map(|i| i as f64 * ms);
+        println!(
+            "{:<22} {:>11.1}% {:>12} {:>10.1} {:>14}",
+            alg.label(),
+            r.final_metric * 100.0,
+            r.iterations_to_target(target, true)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".into()),
+            ms,
+            tti.map(|t| format!("{t:.0} ms")).unwrap_or_else(|| "-".into()),
+        );
+        rows.push((alg.label(), r.final_metric));
+    }
+    let baseline_acc = rows[0].1;
+    for (label, acc) in &rows[1..] {
+        assert!(
+            *acc > baseline_acc - 0.06,
+            "{label} must reach comparable accuracy ({acc} vs {baseline_acc})"
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 13",
+        "convergence validation: same quality, less time (paper: up to 28.6% less)",
+    );
+    lstm_panel();
+    classifier_panel();
+}

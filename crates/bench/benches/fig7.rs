@@ -1,0 +1,63 @@
+//! Figure 7: training throughput of the computer vision models
+//! (VGG19 with onebit, ResNet50 with DGC, UGATIT with TernGrad) as
+//! the EC2 cluster scales from 8 to 128 GPUs.
+
+use hipress::prelude::*;
+use hipress_bench::{banner, pct};
+
+fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
+    println!("\n--- {} ({}) ---", model.name(), alg.label());
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>14} {:>14}",
+        "GPUs", "BytePS", "Ring", "OSS-coupled", "HiPress-PS", "HiPress-Ring"
+    );
+    let mut last: Option<(f64, f64)> = None;
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let cluster = ClusterConfig::ec2(nodes);
+        let gpus = cluster.total_gpus();
+        if nodes == 1 {
+            let t = model.spec().compute(GpuClass::V100).single_gpu_throughput() * gpus as f64;
+            println!("{gpus:>5} {t:>12.0} {t:>12.0} {t:>14.0} {t:>14.0} {t:>14.0}");
+            continue;
+        }
+        let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
+        let byteps = run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs));
+        let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
+        // The compression-enabled baseline: BytePS(OSS-onebit) for
+        // MXNet models, Ring(OSS-DGC) for TensorFlow models (§6.2).
+        let oss = if ring_for_oss {
+            run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing).with_algorithm(alg))
+        } else {
+            run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
+                .with_algorithm(alg))
+        };
+        let hip_ps =
+            run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs).with_algorithm(alg));
+        let hip_ring =
+            run(TrainingJob::hipress(model, cluster, Strategy::CaSyncRing).with_algorithm(alg));
+        println!(
+            "{gpus:>5} {byteps:>12.0} {ring:>12.0} {oss:>14.0} {hip_ps:>14.0} {hip_ring:>14.0}"
+        );
+        if nodes == 16 {
+            last = Some((hip_ps.max(hip_ring), byteps.min(ring)));
+            let best_base = byteps.max(ring).max(oss);
+            println!(
+                "      HiPress at 128 GPUs: +{:.1}% over the best baseline, +{:.1}% over the worst",
+                pct(hip_ps.max(hip_ring), best_base),
+                pct(hip_ps.max(hip_ring), byteps.min(ring))
+            );
+        }
+    }
+    let (hip, worst) = last.expect("16-node row ran");
+    assert!(hip > worst, "HiPress must beat the baselines at 128 GPUs");
+}
+
+fn main() {
+    banner(
+        "Figure 7",
+        "computer vision model throughput vs GPU count (paper: HiPress wins by 17.3%-110.5%)",
+    );
+    sweep(DnnModel::Vgg19, Algorithm::OneBit, false); // Fig 7a (MXNet).
+    sweep(DnnModel::ResNet50, Algorithm::Dgc { rate: 0.001 }, true); // Fig 7b (TF).
+    sweep(DnnModel::Ugatit, Algorithm::TernGrad { bitwidth: 2 }, false); // Fig 7c (PyTorch).
+}

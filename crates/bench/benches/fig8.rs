@@ -1,0 +1,55 @@
+//! Figure 8: training throughput of the NLP models (Bert-large with
+//! onebit, Transformer with DGC, LSTM with TernGrad) as the EC2
+//! cluster scales from 8 to 128 GPUs.
+
+use hipress::prelude::*;
+use hipress_bench::{banner, pct};
+
+fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
+    println!("\n--- {} ({}) ---", model.name(), alg.label());
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>14} {:>14}",
+        "GPUs", "BytePS", "Ring", "OSS-coupled", "HiPress-PS", "HiPress-Ring"
+    );
+    for nodes in [2usize, 4, 8, 16] {
+        let cluster = ClusterConfig::ec2(nodes);
+        let gpus = cluster.total_gpus();
+        let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
+        let byteps = run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs));
+        let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
+        let oss = if ring_for_oss {
+            run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing).with_algorithm(alg))
+        } else {
+            run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
+                .with_algorithm(alg))
+        };
+        let hip_ps =
+            run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs).with_algorithm(alg));
+        let hip_ring =
+            run(TrainingJob::hipress(model, cluster, Strategy::CaSyncRing).with_algorithm(alg));
+        println!(
+            "{gpus:>5} {byteps:>12.0} {ring:>12.0} {oss:>14.0} {hip_ps:>14.0} {hip_ring:>14.0}"
+        );
+        if nodes == 16 {
+            let hip = hip_ps.max(hip_ring);
+            println!(
+                "      HiPress at 128 GPUs: +{:.1}% over the no-compression baselines",
+                pct(hip, byteps.max(ring))
+            );
+            assert!(
+                hip >= byteps.max(ring).max(oss) * 0.99,
+                "HiPress must match or beat every baseline"
+            );
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 8",
+        "NLP model throughput vs GPU count (paper: HiPress over baselines, growing with scale)",
+    );
+    sweep(DnnModel::BertLarge, Algorithm::OneBit, false); // Fig 8a (MXNet).
+    sweep(DnnModel::Transformer, Algorithm::Dgc { rate: 0.001 }, true); // Fig 8b (TF).
+    sweep(DnnModel::Lstm, Algorithm::TernGrad { bitwidth: 2 }, false); // Fig 8c (PyTorch).
+}

@@ -1,0 +1,73 @@
+//! Table 1: scaling efficiency and communication ratio of the
+//! baseline systems (Bert-large on BytePS±onebit, Transformer on
+//! Ring±DGC) at 16 nodes × 8 V100, 100 Gbps.
+
+use hipress::prelude::*;
+use hipress_bench::{banner, row};
+
+fn main() {
+    banner(
+        "Table 1",
+        "scaling efficiency & communication ratio, 16 nodes x 8 V100, 100 Gbps",
+    );
+    let ec2 = ClusterConfig::ec2(16);
+    // (label, job, paper scaling efficiency, paper comm ratio)
+    let rows: Vec<(&str, TrainingJob, f64, f64)> = vec![
+        (
+            "Ring-allreduce w/o compression (Transformer)",
+            TrainingJob::baseline(DnnModel::Transformer, ec2, Strategy::HorovodRing),
+            0.47,
+            0.768,
+        ),
+        (
+            "Ring-allreduce w/ DGC (Transformer)",
+            TrainingJob::baseline(DnnModel::Transformer, ec2, Strategy::HorovodRing)
+                .with_algorithm(Algorithm::Dgc { rate: 0.001 }),
+            0.61,
+            0.703,
+        ),
+        (
+            "BytePS w/o compression (Bert-large)",
+            TrainingJob::baseline(DnnModel::BertLarge, ec2.with_tcp(), Strategy::BytePs),
+            0.71,
+            0.636,
+        ),
+        (
+            "BytePS w/ onebit (Bert-large)",
+            TrainingJob::baseline(DnnModel::BertLarge, ec2.with_tcp(), Strategy::BytePs)
+                .with_algorithm(Algorithm::OneBit),
+            0.76,
+            0.609,
+        ),
+    ];
+    println!(
+        "{:<46} {:>22} {:>24}",
+        "system configuration", "scaling eff (paper)", "comm ratio (paper)"
+    );
+    let mut shapes_ok = true;
+    let mut measured = Vec::new();
+    for (label, job, p_eff, p_comm) in rows {
+        let r = simulate(&job).expect("simulation runs");
+        measured.push((r.scaling_efficiency, r.comm_ratio));
+        row(
+            &[
+                format!("{label:<46}"),
+                format!("{:.2} ({:.2})", r.scaling_efficiency, p_eff),
+                format!("{:.0}% ({:.0}%)", r.comm_ratio * 100.0, p_comm * 100.0),
+            ],
+            &[46, 22, 24],
+        );
+    }
+    // Shape checks the paper's Table 1 makes:
+    // compression improves scaling efficiency for both systems...
+    shapes_ok &= measured[1].0 >= measured[0].0;
+    shapes_ok &= measured[3].0 >= measured[2].0;
+    // ...and lowers (or keeps) the communication ratio.
+    shapes_ok &= measured[1].1 <= measured[0].1 + 0.02;
+    shapes_ok &= measured[3].1 <= measured[2].1 + 0.02;
+    println!(
+        "\nshape check (compression raises efficiency, lowers comm ratio): {}",
+        if shapes_ok { "PASS" } else { "FAIL" }
+    );
+    assert!(shapes_ok, "Table 1 shape must hold");
+}

@@ -1,0 +1,71 @@
+//! Table 7: the selective compression and partitioning plans
+//! `<compress?, K>` produced for CompLL-onebit at three gradient
+//! sizes, two strategies, and two cluster scales.
+
+use hipress::prelude::*;
+use hipress_bench::banner;
+
+fn plan_str(p: GradPlan) -> String {
+    format!(
+        "<{}, {}>",
+        if p.compress { "yes" } else { "no" },
+        p.partitions
+    )
+}
+
+fn main() {
+    banner("Table 7", "compression and partitioning plans (CompLL-onebit)");
+    // Paper tuples: (size, PS@4, PS@16, Ring@4, Ring@16).
+    let paper: [(&str, u64, &str, &str, &str, &str); 3] = [
+        ("4MB", 4 << 20, "<yes,2>", "<yes,1>", "<yes,1>", "<no,16>"),
+        ("16MB", 16 << 20, "<yes,4>", "<yes,6>", "<yes,4>", "<yes,5>"),
+        ("392MB", 392 << 20, "<yes,12>", "<yes,16>", "<yes,4>", "<yes,16>"),
+    ];
+    let mut planners = Vec::new();
+    for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+        for nodes in [4usize, 16] {
+            planners.push((
+                strategy,
+                nodes,
+                Planner::profile(&ClusterConfig::ec2(nodes), strategy, Algorithm::OneBit)
+                    .expect("profiling succeeds"),
+            ));
+        }
+    }
+    println!(
+        "{:<8} {:>18} {:>18} {:>18} {:>18}",
+        "size", "PS 4n (paper)", "PS 16n (paper)", "Ring 4n (paper)", "Ring 16n (paper)"
+    );
+    for (label, bytes, p_ps4, p_ps16, p_r4, p_r16) in paper {
+        let cells: Vec<String> = planners
+            .iter()
+            .map(|(_, _, pl)| plan_str(pl.plan_gradient(bytes)))
+            .collect();
+        println!(
+            "{:<8} {:>9} {:>8} {:>9} {:>8} {:>9} {:>8} {:>9} {:>8}",
+            label, cells[0], p_ps4, cells[1], p_ps16, cells[2], p_r4, cells[3], p_r16
+        );
+    }
+    // Shape checks: large gradients always compressed and partitioned;
+    // partition counts grow with gradient size.
+    for (strategy, nodes, pl) in &planners {
+        let p392 = pl.plan_gradient(392 << 20);
+        assert!(p392.compress, "{strategy:?}@{nodes}");
+        assert!(p392.partitions >= 4, "{strategy:?}@{nodes}");
+        let p16 = pl.plan_gradient(16 << 20);
+        assert!(p16.compress, "{strategy:?}@{nodes}");
+        assert!(
+            p392.partitions >= p16.partitions,
+            "{strategy:?}@{nodes}: K must grow with size"
+        );
+    }
+    println!("\nshape check (compress large gradients, K grows with size): PASS");
+    println!(
+        "selective threshold at 16 nodes (paper: compress gradients larger than 4MB): {}",
+        hipress::util::units::fmt_bytes(
+            Planner::profile(&ClusterConfig::ec2(16), Strategy::CaSyncPs, Algorithm::OneBit)
+                .unwrap()
+                .compression_threshold()
+        )
+    );
+}

@@ -1,0 +1,48 @@
+//! Shared helpers for the table/figure reproduction benches.
+//!
+//! Every bench target regenerates one artifact of the paper's
+//! evaluation and prints measured values next to the paper's, so a
+//! reader can check the *shape* (who wins, by what factor, where the
+//! crossovers fall) at a glance. Absolute values are not expected to
+//! match: the substrate here is a calibrated simulator, not the
+//! authors' EC2 testbed (see EXPERIMENTS.md).
+
+/// Prints a bench banner.
+pub fn banner(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===");
+}
+
+/// Formats a measured-vs-paper pair.
+pub fn vs(measured: f64, paper: f64, unit: &str) -> String {
+    format!("{measured:.2}{unit} (paper: {paper:.2}{unit})")
+}
+
+/// Relative change in percent.
+pub fn pct(new: f64, old: f64) -> f64 {
+    (new / old - 1.0) * 100.0
+}
+
+/// A tiny fixed-width row printer.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_math() {
+        assert!((pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert!((pct(50.0, 100.0) + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vs_formats() {
+        assert_eq!(vs(0.5, 0.47, ""), "0.50 (paper: 0.47)");
+    }
+}

@@ -1,0 +1,213 @@
+//! Abstract syntax tree for the CompLL DSL.
+
+/// DSL types (§4.3: "uint1, uint2, uint4, uint8, int32, float, and
+/// array").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Unsigned integer of 1, 2, 4, or 8 bits (packed in arrays).
+    UInt(u8),
+    /// 32-bit signed integer.
+    Int32,
+    /// 32-bit float.
+    Float,
+    /// Array of (packed) elements; appears as `T*` in signatures.
+    Arr(ScalarTy),
+    /// Opaque byte stream (`uint8*` in the encode/decode signatures).
+    Bytes,
+    /// An algorithm parameter struct (`EncodeParams params`).
+    ParamStruct,
+    /// No value (function without return).
+    Void,
+}
+
+/// Scalar element types usable inside arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    /// Packed unsigned with the given bit width.
+    UInt(u8),
+    /// 32-bit signed integer.
+    Int32,
+    /// 32-bit float.
+    Float,
+}
+
+impl ScalarTy {
+    /// Bits per element when packed.
+    pub fn bits(&self) -> u32 {
+        match self {
+            ScalarTy::UInt(b) => *b as u32,
+            ScalarTy::Int32 => 32,
+            ScalarTy::Float => 32,
+        }
+    }
+}
+
+impl Ty {
+    /// Parses a type name (`uint2`, `int32`, `float`, `void`).
+    pub fn from_name(name: &str) -> Option<Ty> {
+        match name {
+            "uint1" => Some(Ty::UInt(1)),
+            "uint2" => Some(Ty::UInt(2)),
+            "uint4" => Some(Ty::UInt(4)),
+            "uint8" => Some(Ty::UInt(8)),
+            "int32" => Some(Ty::Int32),
+            "float" => Some(Ty::Float),
+            "void" => Some(Ty::Void),
+            _ => None,
+        }
+    }
+
+    /// The array type with this scalar as element.
+    pub fn as_array(&self) -> Option<Ty> {
+        match self {
+            Ty::UInt(8) => Some(Ty::Bytes), // `uint8*` is the stream type.
+            Ty::UInt(b) => Some(Ty::Arr(ScalarTy::UInt(*b))),
+            Ty::Int32 => Some(Ty::Arr(ScalarTy::Int32)),
+            Ty::Float => Some(Ty::Arr(ScalarTy::Float)),
+            _ => None,
+        }
+    }
+
+    /// Whether the type is numeric (usable in arithmetic).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::UInt(_) | Ty::Int32 | Ty::Float)
+    }
+}
+
+/// A `param` block: named algorithm parameters (Figure 5 line 1-3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBlock {
+    /// Struct-like name (`EncodeParams`).
+    pub name: String,
+    /// Field declarations.
+    pub fields: Vec<(String, Ty)>,
+}
+
+/// A function definition (user-defined function or encode/decode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters: name, type.
+    pub params: Vec<(String, Ty)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `ty name = expr;` or `ty name;`
+    Decl(String, Ty, Option<Expr>),
+    /// `lvalue = expr;` (lvalue is an identifier).
+    Assign(String, Expr),
+    /// `return expr;` / `return;`
+    Return(Option<Expr>),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Bare expression statement (a call for effects).
+    Expr(Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Member access (`params.bitwidth`, `gradient.size`).
+    Member(Box<Expr>, String),
+    /// Indexing (`sorted[k - 1]`).
+    Index(Box<Expr>, Box<Expr>),
+    /// Function or operator call; `random<float>(a,b)` carries the
+    /// type argument.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Optional `<type>` argument (only `random` uses it).
+        ty_arg: Option<Ty>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Unary negation / logical not.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+}
+
+/// A whole DSL program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// `param` blocks.
+    pub params: Vec<ParamBlock>,
+    /// File-scope variable declarations (shared between udfs and the
+    /// entry points, like Figure 5's `float min, max, gap;`).
+    pub globals: Vec<(String, Ty)>,
+    /// All functions, including `encode` / `decode`.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The user-defined functions (everything except encode/decode).
+    pub fn udfs(&self) -> impl Iterator<Item = &Function> {
+        self.functions
+            .iter()
+            .filter(|f| f.name != "encode" && f.name != "decode")
+    }
+}

@@ -1,0 +1,287 @@
+//! The integration layer: a compiled DSL program as a drop-in
+//! [`Compressor`].
+//!
+//! This is CompLL's "automated integration into DNN systems" (§4.3):
+//! anything written in the DSL becomes a [`CompiledAlgorithm`], which
+//! implements the same [`Compressor`] trait the handwritten library
+//! does — so CaSync, the planner, and the training framework accept
+//! it without a single line of manual glue (the "integration = 0"
+//! column of Table 5).
+
+use crate::ast::Program;
+use crate::interp::{run_decode, run_encode, ParamValues};
+use crate::loc::{count, LocReport};
+use crate::ops::{operator_passes, Value};
+use hipress_compress::{AlgorithmKind, Compressor, KernelCostProfile};
+use hipress_util::rng::{Rng64, Xoshiro256};
+use hipress_util::{Error, Result};
+
+/// Framing magic for CompLL-generated streams.
+const MAGIC: [u8; 2] = [0xC1, 0x17];
+
+/// A DSL program compiled into a usable compression algorithm.
+pub struct CompiledAlgorithm {
+    // (Not `derive(Debug)`: the AST dump would be enormous.)
+    name: &'static str,
+    source: String,
+    prog: Program,
+    params: ParamValues,
+    /// Affine compressed-size model fitted by probing.
+    size_intercept: f64,
+    size_slope: f64,
+    cost: KernelCostProfile,
+    kind: AlgorithmKind,
+}
+
+impl CompiledAlgorithm {
+    /// Compiles `source` and prepares it for use under `name` with
+    /// the given parameter values.
+    ///
+    /// # Errors
+    ///
+    /// Returns DSL errors from compilation, or if the program lacks
+    /// `encode`/`decode`, or if a probe run fails.
+    pub fn new(name: &str, source: &str, params: ParamValues) -> Result<Self> {
+        let prog = crate::compile(source)?;
+        if prog.function("encode").is_none() || prog.function("decode").is_none() {
+            return Err(Error::dsl(format!(
+                "algorithm '{name}' must define both encode and decode"
+            )));
+        }
+        // Automatic cost model: sum the passes of the operators each
+        // entry point invokes.
+        let report = count(source, &prog);
+        let encode_passes: f64 = entry_passes(&prog, "encode");
+        let decode_passes: f64 = entry_passes(&prog, "decode");
+        let kind = if report.operators.contains("filter_idx")
+            || report.operators.contains("scatter")
+        {
+            AlgorithmKind::Sparsification
+        } else {
+            AlgorithmKind::Quantization
+        };
+        let mut this = Self {
+            name: Box::leak(name.to_string().into_boxed_str()),
+            source: source.to_string(),
+            prog,
+            params,
+            size_intercept: 0.0,
+            size_slope: 4.0,
+            cost: KernelCostProfile {
+                encode_passes: encode_passes.max(1.0),
+                decode_passes: decode_passes.max(0.5),
+            },
+            kind,
+        };
+        this.fit_size_model()?;
+        Ok(this)
+    }
+
+    /// Probes the encoder at two sizes with synthetic data and fits
+    /// the affine compressed-size model.
+    fn fit_size_model(&mut self) -> Result<()> {
+        let mut rng = Xoshiro256::new(0xC0117);
+        let probe = |this: &Self, n: usize, rng: &mut Xoshiro256| -> Result<f64> {
+            let grad: Vec<f32> = (0..n).map(|_| rng.next_gaussian() as f32).collect();
+            Ok(this.encode(&grad, 7).len() as f64)
+        };
+        let (n1, n2) = (2048usize, 8192usize);
+        let s1 = probe(self, n1, &mut rng)?;
+        let s2 = probe(self, n2, &mut rng)?;
+        self.size_slope = (s2 - s1) / (n2 - n1) as f64;
+        self.size_intercept = s1 - self.size_slope * n1 as f64;
+        Ok(())
+    }
+
+    /// The DSL source.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The Table 5 accounting for this algorithm.
+    pub fn loc_report(&self) -> LocReport {
+        count(&self.source, &self.prog)
+    }
+
+    /// The generated CUDA translation unit.
+    pub fn cuda_source(&self) -> String {
+        crate::cuda::emit(&self.prog, self.name)
+    }
+}
+
+/// Total operator passes reachable from an entry point (one level of
+/// udf calls is enough: udfs are element-wise and cannot call
+/// operators on whole arrays meaningfully, but we walk them anyway).
+fn entry_passes(prog: &Program, entry: &str) -> f64 {
+    use crate::ast::{Expr, Stmt};
+    fn walk_expr(e: &Expr, acc: &mut f64) {
+        match e {
+            Expr::Call { name, args, .. } => {
+                *acc += operator_passes(name);
+                for a in args {
+                    walk_expr(a, acc);
+                }
+            }
+            Expr::Member(b, _) => walk_expr(b, acc),
+            Expr::Index(b, i) => {
+                walk_expr(b, acc);
+                walk_expr(i, acc);
+            }
+            Expr::Unary(_, i) => walk_expr(i, acc),
+            Expr::Bin(_, l, r) => {
+                walk_expr(l, acc);
+                walk_expr(r, acc);
+            }
+            _ => {}
+        }
+    }
+    fn walk(stmts: &[Stmt], acc: &mut f64) {
+        for s in stmts {
+            match s {
+                Stmt::Decl(_, _, Some(e)) | Stmt::Assign(_, e) | Stmt::Expr(e) => {
+                    walk_expr(e, acc)
+                }
+                Stmt::Return(Some(e)) => walk_expr(e, acc),
+                Stmt::If(c, t, e) => {
+                    walk_expr(c, acc);
+                    walk(t, acc);
+                    walk(e, acc);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut acc = 0.0;
+    if let Some(f) = prog.function(entry) {
+        walk(&f.body, &mut acc);
+    }
+    acc
+}
+
+impl Compressor for CompiledAlgorithm {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        self.kind
+    }
+
+    fn encode(&self, grad: &[f32], seed: u64) -> Vec<u8> {
+        let payload = run_encode(&self.prog, &self.params, grad, seed)
+            .expect("checked program must execute; probe runs validated it");
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&[0, 0]); // Reserved.
+        out.extend_from_slice(&(grad.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn decode(&self, data: &[u8]) -> Result<Vec<f32>> {
+        if data.len() < 8 || data[0..2] != MAGIC {
+            return Err(Error::codec("not a CompLL stream"));
+        }
+        let n = u32::from_le_bytes([data[4], data[5], data[6], data[7]]) as usize;
+        run_decode(&self.prog, &self.params, &data[8..], n, 0)
+    }
+
+    fn compressed_size(&self, elems: usize) -> u64 {
+        (8.0 + self.size_intercept + self.size_slope * elems as f64).max(8.0) as u64
+    }
+
+    fn cost_profile(&self) -> KernelCostProfile {
+        self.cost
+    }
+}
+
+/// Builds a parameter map from (name, value) pairs.
+pub fn param_values(kv: &[(&str, Value)]) -> ParamValues {
+    kv.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIGN_DSL: &str = r#"
+        float neg; float pos;
+        uint1 signOf(float elem) {
+            if (elem > 0) { return 1; }
+            return 0;
+        }
+        float toVal(uint1 q) {
+            if (q == 1) { return pos; }
+            return neg;
+        }
+        uint1 isPos(float x) { if (x > 0) { return 1; } return 0; }
+        uint1 isNeg(float x) { if (x > 0) { return 0; } return 1; }
+        void encode(float* gradient, uint8* compressed) {
+            float* p = filter(gradient, isPos);
+            float* n = filter(gradient, isNeg);
+            pos = 0.0; neg = 0.0;
+            if (p.size > 0) { pos = reduce(p, sum) / p.size; }
+            if (n.size > 0) { neg = reduce(n, sum) / n.size; }
+            uint1* Q = map(gradient, signOf);
+            compressed = concat(neg, pos, Q);
+        }
+        void decode(uint8* compressed, float* gradient) {
+            neg = extract(compressed);
+            pos = extract(compressed);
+            uint1* Q = extract(compressed, gradient.size);
+            gradient = map(Q, toVal);
+        }
+    "#;
+
+    #[test]
+    fn compiled_algorithm_is_a_compressor() {
+        let alg = CompiledAlgorithm::new("sign", SIGN_DSL, ParamValues::new()).unwrap();
+        let grad = vec![2.0f32, 4.0, -1.0, -3.0];
+        let enc = alg.encode(&grad, 0);
+        let dec = alg.decode(&enc).unwrap();
+        assert_eq!(dec, vec![3.0, 3.0, -2.0, -2.0]);
+        assert_eq!(alg.name(), "sign");
+        assert_eq!(alg.kind(), AlgorithmKind::Quantization);
+    }
+
+    #[test]
+    fn size_model_predicts_probes() {
+        let alg = CompiledAlgorithm::new("sign", SIGN_DSL, ParamValues::new()).unwrap();
+        for n in [100usize, 5000, 100_000] {
+            let grad = vec![1.0f32; n];
+            let actual = alg.encode(&grad, 0).len() as u64;
+            let predicted = alg.compressed_size(n);
+            let err = (actual as i64 - predicted as i64).abs();
+            assert!(err <= 8, "n={n}: predicted {predicted}, actual {actual}");
+        }
+    }
+
+    #[test]
+    fn cost_profile_reflects_operator_usage() {
+        let alg = CompiledAlgorithm::new("sign", SIGN_DSL, ParamValues::new()).unwrap();
+        let p = alg.cost_profile();
+        // encode: 2 filters + 2 reduces + 1 map + 1 concat = 6 passes.
+        assert!(p.encode_passes >= 5.0 && p.encode_passes <= 7.0, "{p:?}");
+        assert!(p.decode_passes >= 1.0, "{p:?}");
+    }
+
+    #[test]
+    fn decode_rejects_foreign_streams() {
+        let alg = CompiledAlgorithm::new("sign", SIGN_DSL, ParamValues::new()).unwrap();
+        assert!(alg.decode(&[1, 2, 3]).is_err());
+        assert!(alg.decode(&[0xFF; 20]).is_err());
+    }
+
+    #[test]
+    fn missing_decode_rejected() {
+        let err = match CompiledAlgorithm::new(
+            "bad",
+            "void encode(float* gradient, uint8* compressed) { compressed = concat(0); }",
+            ParamValues::new(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("should not compile"),
+        };
+        assert!(err.to_string().contains("both encode and decode"));
+    }
+}

@@ -1,0 +1,842 @@
+//! Evaluator: executes a checked CompLL program on real gradients.
+//!
+//! This is what makes a DSL-defined algorithm a *working* compressor:
+//! `run_encode` runs the program's `encode` entry point over an
+//! actual `f32` gradient and returns the bytes it `concat`ed into the
+//! `compressed` stream; `run_decode` reverses it. The semantics match
+//! what the generated GPU code would compute (bit-packed sub-byte
+//! arrays, C-style numeric conversion, stochastic `random<float>`).
+
+use crate::ast::*;
+use crate::ops::{concat_append, ExtractCursor, PackedArr, Value};
+use hipress_util::rng::{Rng64, Xoshiro256};
+use hipress_util::{Error, Result};
+use std::collections::HashMap;
+
+/// Scalar parameter values supplied by the integration layer (the
+/// fields of the `param` block).
+pub type ParamValues = HashMap<String, Value>;
+
+/// Executes the program's `encode` over `gradient`, returning the
+/// compressed stream.
+///
+/// # Errors
+///
+/// Returns a DSL error for any runtime fault (missing entry point,
+/// type confusion the checker could not see, stream exhaustion).
+pub fn run_encode(
+    prog: &Program,
+    params: &ParamValues,
+    gradient: &[f32],
+    seed: u64,
+) -> Result<Vec<u8>> {
+    let f = prog
+        .function("encode")
+        .ok_or_else(|| Error::dsl("program has no encode function"))?;
+    let mut interp = Interp::new(prog, params, seed);
+    let mut scope = HashMap::new();
+    scope.insert(f.params[0].0.clone(), Value::FArr(gradient.to_vec()));
+    scope.insert(f.params[1].0.clone(), Value::Bytes(Vec::new()));
+    if let Some((pname, _)) = f.params.get(2) {
+        scope.insert(pname.clone(), Value::Params);
+    }
+    let out_name = f.params[1].0.clone();
+    interp.exec_block(&f.body, &mut scope)?;
+    match scope.remove(&out_name) {
+        Some(Value::Bytes(b)) => Ok(b),
+        other => Err(Error::dsl(format!(
+            "encode did not produce a compressed stream (found {other:?})"
+        ))),
+    }
+}
+
+/// Executes the program's `decode` over `stream`, producing a dense
+/// gradient of `n` elements.
+///
+/// # Errors
+///
+/// Returns a DSL error for runtime faults, including a decoded
+/// gradient of the wrong length.
+pub fn run_decode(
+    prog: &Program,
+    params: &ParamValues,
+    stream: &[u8],
+    n: usize,
+    seed: u64,
+) -> Result<Vec<f32>> {
+    let f = prog
+        .function("decode")
+        .ok_or_else(|| Error::dsl("program has no decode function"))?;
+    let mut interp = Interp::new(prog, params, seed);
+    interp.cursor = Some(ExtractCursor::new(stream));
+    let mut scope = HashMap::new();
+    scope.insert(f.params[0].0.clone(), Value::Bytes(stream.to_vec()));
+    scope.insert(f.params[1].0.clone(), Value::FArr(vec![0.0; n]));
+    if let Some((pname, _)) = f.params.get(2) {
+        scope.insert(pname.clone(), Value::Params);
+    }
+    let out_name = f.params[1].0.clone();
+    interp.exec_block(&f.body, &mut scope)?;
+    match scope.remove(&out_name) {
+        Some(Value::FArr(v)) if v.len() == n => Ok(v),
+        Some(Value::FArr(v)) => Err(Error::dsl(format!(
+            "decode produced {} elements, expected {n}",
+            v.len()
+        ))),
+        other => Err(Error::dsl(format!(
+            "decode did not produce a gradient (found {other:?})"
+        ))),
+    }
+}
+
+/// Control flow outcome of a statement.
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+struct Interp<'p> {
+    prog: &'p Program,
+    params: &'p ParamValues,
+    globals: HashMap<String, Value>,
+    rng: Xoshiro256,
+    cursor: Option<ExtractCursor<'p>>,
+    steps: u64,
+}
+
+/// Hard cap on evaluation steps (runaway-program backstop).
+const MAX_STEPS: u64 = 500_000_000;
+
+impl<'p> Interp<'p> {
+    fn new(prog: &'p Program, params: &'p ParamValues, seed: u64) -> Self {
+        let mut globals = HashMap::new();
+        for (name, ty) in &prog.globals {
+            globals.insert(name.clone(), default_value(*ty));
+        }
+        Self {
+            prog,
+            params,
+            globals,
+            rng: Xoshiro256::new(seed),
+            cursor: None,
+            steps: 0,
+        }
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.steps += 1;
+        if self.steps > MAX_STEPS {
+            return Err(Error::dsl("DSL program exceeded its step budget"));
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], scope: &mut HashMap<String, Value>) -> Result<Flow> {
+        for stmt in stmts {
+            self.tick()?;
+            match stmt {
+                Stmt::Decl(name, ty, init) => {
+                    let v = match init {
+                        Some(e) => {
+                            let raw = self.eval_rhs(e, *ty, scope)?;
+                            coerce(raw, *ty)?
+                        }
+                        None => default_value(*ty),
+                    };
+                    scope.insert(name.clone(), v);
+                }
+                Stmt::Assign(name, e) => {
+                    let target_ty = self.var_ty_hint(name, scope);
+                    let raw = match target_ty {
+                        Some(ty) => {
+                            let v = self.eval_rhs(e, ty, scope)?;
+                            coerce(v, ty)?
+                        }
+                        None => self.eval(e, scope)?,
+                    };
+                    if let Some(slot) = scope.get_mut(name) {
+                        *slot = raw;
+                    } else if let Some(slot) = self.globals.get_mut(name) {
+                        *slot = raw;
+                    } else {
+                        return Err(Error::dsl(format!("assignment to unknown '{name}'")));
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = match e {
+                        Some(e) => self.eval(e, scope)?,
+                        None => Value::Unit,
+                    };
+                    return Ok(Flow::Return(v));
+                }
+                Stmt::If(cond, then, els) => {
+                    let c = self.eval(cond, scope)?.truthy()?;
+                    let flow = if c {
+                        self.exec_block(then, scope)?
+                    } else {
+                        self.exec_block(els, scope)?
+                    };
+                    if let Flow::Return(v) = flow {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.eval(e, scope)?;
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// The declared type of a variable, if known (for coercing
+    /// assignments to globals and locals declared with a type).
+    fn var_ty_hint(&self, name: &str, _scope: &HashMap<String, Value>) -> Option<Ty> {
+        self.prog
+            .globals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// Evaluates a right-hand side, handling context-typed `extract`.
+    fn eval_rhs(
+        &mut self,
+        e: &Expr,
+        target: Ty,
+        scope: &mut HashMap<String, Value>,
+    ) -> Result<Value> {
+        if let Expr::Call { name, args, .. } = e {
+            if name == "extract" {
+                let count = match args.get(1) {
+                    Some(c) => Some(self.eval(c, scope)?.as_i64()?.max(0) as usize),
+                    None => None,
+                };
+                let cursor = self
+                    .cursor
+                    .as_mut()
+                    .ok_or_else(|| Error::dsl("extract outside decode"))?;
+                return match (target, count) {
+                    (Ty::Float, None) => Ok(Value::F(cursor.float()?)),
+                    (Ty::Int32, None) => Ok(Value::I(cursor.int32()?)),
+                    (Ty::UInt(b), None) => Ok(Value::U(cursor.uint(b)?, b)),
+                    (Ty::Arr(ScalarTy::Float), Some(n)) => Ok(Value::FArr(cursor.farr(n)?)),
+                    (Ty::Arr(ScalarTy::Int32), Some(n)) => Ok(Value::IArr(cursor.iarr(n)?)),
+                    (Ty::Arr(ScalarTy::UInt(b)), Some(n)) => {
+                        Ok(Value::UArr(cursor.uarr(b, n)?))
+                    }
+                    (Ty::Bytes, Some(n)) => Ok(Value::UArr(cursor.uarr(8, n)?)),
+                    (t, c) => Err(Error::dsl(format!(
+                        "extract into {t:?} with count {c:?} is not supported"
+                    ))),
+                };
+            }
+        }
+        self.eval(e, scope)
+    }
+
+    fn lookup(&self, name: &str, scope: &HashMap<String, Value>) -> Option<Value> {
+        scope
+            .get(name)
+            .cloned()
+            .or_else(|| self.globals.get(name).cloned())
+    }
+
+    fn eval(&mut self, e: &Expr, scope: &mut HashMap<String, Value>) -> Result<Value> {
+        self.tick()?;
+        match e {
+            Expr::Int(v) => Ok(Value::I(*v)),
+            Expr::Float(v) => Ok(Value::F(*v)),
+            Expr::Var(name) => self
+                .lookup(name, scope)
+                .ok_or_else(|| Error::dsl(format!("unknown variable '{name}'"))),
+            Expr::Member(base, field) => {
+                let b = self.eval(base, scope)?;
+                match (&b, field.as_str()) {
+                    (Value::Params, field) => self
+                        .params
+                        .get(field)
+                        .cloned()
+                        .ok_or_else(|| Error::dsl(format!("parameter '{field}' not supplied"))),
+                    (_, "size") => Ok(Value::I(b.size()? as i64)),
+                    (other, f) => Err(Error::dsl(format!("no member '{f}' on {other:?}"))),
+                }
+            }
+            Expr::Index(base, idx) => {
+                let b = self.eval(base, scope)?;
+                let i = self.eval(idx, scope)?.as_i64()?;
+                if i < 0 {
+                    return Err(Error::dsl(format!("negative index {i}")));
+                }
+                let i = i as usize;
+                match b {
+                    Value::FArr(v) => v
+                        .get(i)
+                        .map(|&x| Value::F(x as f64))
+                        .ok_or_else(|| Error::dsl(format!("index {i} out of bounds"))),
+                    Value::IArr(v) => v
+                        .get(i)
+                        .map(|&x| Value::I(x as i64))
+                        .ok_or_else(|| Error::dsl(format!("index {i} out of bounds"))),
+                    Value::UArr(p) => {
+                        if i < p.len {
+                            Ok(Value::U(p.get(i), p.bits))
+                        } else {
+                            Err(Error::dsl(format!("index {i} out of bounds")))
+                        }
+                    }
+                    Value::Bytes(b) => b
+                        .get(i)
+                        .map(|&x| Value::U(x as u64, 8))
+                        .ok_or_else(|| Error::dsl(format!("index {i} out of bounds"))),
+                    other => Err(Error::dsl(format!("cannot index {other:?}"))),
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner, scope)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::F(x) => Ok(Value::F(-x)),
+                        Value::I(x) => Ok(Value::I(-x)),
+                        Value::U(x, _) => Ok(Value::I(-(x as i64))),
+                        other => Err(Error::dsl(format!("negation of {other:?}"))),
+                    },
+                    UnOp::Not => Ok(Value::I(i64::from(!v.truthy()?))),
+                }
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let l = self.eval(lhs, scope)?;
+                // Short-circuit logical operators.
+                if *op == BinOp::And {
+                    if !l.truthy()? {
+                        return Ok(Value::I(0));
+                    }
+                    let r = self.eval(rhs, scope)?;
+                    return Ok(Value::I(i64::from(r.truthy()?)));
+                }
+                if *op == BinOp::Or {
+                    if l.truthy()? {
+                        return Ok(Value::I(1));
+                    }
+                    let r = self.eval(rhs, scope)?;
+                    return Ok(Value::I(i64::from(r.truthy()?)));
+                }
+                let r = self.eval(rhs, scope)?;
+                eval_binop(*op, &l, &r)
+            }
+            Expr::Call { name, args, .. } => self.call(name, args, scope),
+        }
+    }
+
+    /// Resolves an operator's udf argument to a function name.
+    fn udf_name(arg: &Expr) -> Result<&str> {
+        match arg {
+            Expr::Var(name) => Ok(name),
+            other => Err(Error::dsl(format!(
+                "expected a function name, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Calls a user-defined function with evaluated arguments.
+    fn call_udf(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        // Builtin binary reducers.
+        match name {
+            "smaller" => {
+                return Ok(Value::F(args[0].as_f64()?.min(args[1].as_f64()?)));
+            }
+            "greater" => {
+                return Ok(Value::F(args[0].as_f64()?.max(args[1].as_f64()?)));
+            }
+            "sum" => {
+                return Ok(Value::F(args[0].as_f64()? + args[1].as_f64()?));
+            }
+            _ => {}
+        }
+        let f = self
+            .prog
+            .function(name)
+            .ok_or_else(|| Error::dsl(format!("unknown function '{name}'")))?;
+        if f.params.len() != args.len() {
+            return Err(Error::dsl(format!(
+                "{name} takes {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut scope: HashMap<String, Value> = HashMap::new();
+        for ((pname, pty), arg) in f.params.iter().zip(args.iter().cloned()) {
+            scope.insert(pname.clone(), coerce(arg, *pty)?);
+        }
+        match self.exec_block(&f.body, &mut scope)? {
+            Flow::Return(v) => coerce(v, f.ret),
+            Flow::Normal if f.ret == Ty::Void => Ok(Value::Unit),
+            Flow::Normal => Err(Error::dsl(format!("{name} fell off the end without return"))),
+        }
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        scope: &mut HashMap<String, Value>,
+    ) -> Result<Value> {
+        match name {
+            "floor" | "ceil" | "abs" | "sqrt" => {
+                let x = self.eval(&args[0], scope)?.as_f64()?;
+                let v = match name {
+                    "floor" => x.floor(),
+                    "ceil" => x.ceil(),
+                    "abs" => x.abs(),
+                    _ => x.sqrt(),
+                };
+                Ok(Value::F(v))
+            }
+            "min" | "max" => {
+                let a = self.eval(&args[0], scope)?.as_f64()?;
+                let b = self.eval(&args[1], scope)?.as_f64()?;
+                Ok(Value::F(if name == "min" { a.min(b) } else { a.max(b) }))
+            }
+            "random" => {
+                let a = self.eval(&args[0], scope)?.as_f64()?;
+                let b = self.eval(&args[1], scope)?.as_f64()?;
+                Ok(Value::F(self.rng.range_f64(a, b)))
+            }
+            "reduce" => {
+                let arr = self.eval(&args[0], scope)?;
+                let udf = Self::udf_name(&args[1])?.to_string();
+                let Value::FArr(v) = arr else {
+                    return Err(Error::dsl("reduce needs a float array"));
+                };
+                if v.is_empty() {
+                    return Ok(Value::F(0.0));
+                }
+                let mut acc = Value::F(v[0] as f64);
+                for &x in &v[1..] {
+                    self.tick()?;
+                    acc = self.call_udf(&udf, &[acc, Value::F(x as f64)])?;
+                }
+                Ok(acc)
+            }
+            "map" => {
+                let arr = self.eval(&args[0], scope)?;
+                let udf = Self::udf_name(&args[1])?.to_string();
+                let ret = self
+                    .prog
+                    .function(&udf)
+                    .map(|f| f.ret)
+                    .unwrap_or(Ty::Float);
+                let inputs: Vec<Value> = match arr {
+                    Value::FArr(v) => v.into_iter().map(|x| Value::F(x as f64)).collect(),
+                    Value::IArr(v) => v.into_iter().map(|x| Value::I(x as i64)).collect(),
+                    Value::UArr(p) => p.iter().map(|x| Value::U(x, p.bits)).collect(),
+                    Value::Bytes(b) => b.into_iter().map(|x| Value::U(x as u64, 8)).collect(),
+                    other => return Err(Error::dsl(format!("map over {other:?}"))),
+                };
+                match ret {
+                    Ty::Float => {
+                        let mut out = Vec::with_capacity(inputs.len());
+                        for x in inputs {
+                            self.tick()?;
+                            out.push(self.call_udf(&udf, &[x])?.as_f64()? as f32);
+                        }
+                        Ok(Value::FArr(out))
+                    }
+                    Ty::Int32 => {
+                        let mut out = Vec::with_capacity(inputs.len());
+                        for x in inputs {
+                            self.tick()?;
+                            out.push(self.call_udf(&udf, &[x])?.as_i64()? as i32);
+                        }
+                        Ok(Value::IArr(out))
+                    }
+                    Ty::UInt(b) => {
+                        let mut vals = Vec::with_capacity(inputs.len());
+                        for x in inputs {
+                            self.tick()?;
+                            vals.push(self.call_udf(&udf, &[x])?.as_i64()?.max(0) as u64);
+                        }
+                        Ok(Value::UArr(PackedArr::from_values(b, vals)))
+                    }
+                    other => Err(Error::dsl(format!("map udf returns {other:?}"))),
+                }
+            }
+            "filter" | "filter_idx" => {
+                let arr = self.eval(&args[0], scope)?;
+                let udf = Self::udf_name(&args[1])?.to_string();
+                let Value::FArr(v) = arr else {
+                    return Err(Error::dsl(format!("{name} needs a float array")));
+                };
+                let mut vals = Vec::new();
+                let mut idxs = Vec::new();
+                for (i, &x) in v.iter().enumerate() {
+                    self.tick()?;
+                    if self.call_udf(&udf, &[Value::F(x as f64)])?.truthy()? {
+                        vals.push(x);
+                        idxs.push(i as i32);
+                    }
+                }
+                if name == "filter" {
+                    Ok(Value::FArr(vals))
+                } else {
+                    Ok(Value::IArr(idxs))
+                }
+            }
+            "gather" => {
+                let Value::FArr(v) = self.eval(&args[0], scope)? else {
+                    return Err(Error::dsl("gather needs a float array"));
+                };
+                let Value::IArr(idx) = self.eval(&args[1], scope)? else {
+                    return Err(Error::dsl("gather needs int32 indices"));
+                };
+                let mut out = Vec::with_capacity(idx.len());
+                for i in idx {
+                    let x = v.get(i as usize).ok_or_else(|| {
+                        Error::dsl(format!("gather index {i} out of bounds"))
+                    })?;
+                    out.push(*x);
+                }
+                Ok(Value::FArr(out))
+            }
+            "scatter" => {
+                let Value::IArr(idx) = self.eval(&args[0], scope)? else {
+                    return Err(Error::dsl("scatter needs int32 indices"));
+                };
+                let Value::FArr(vals) = self.eval(&args[1], scope)? else {
+                    return Err(Error::dsl("scatter needs float values"));
+                };
+                let n = self.eval(&args[2], scope)?.as_i64()?.max(0) as usize;
+                if idx.len() != vals.len() {
+                    return Err(Error::dsl("scatter index/value length mismatch"));
+                }
+                let mut out = vec![0.0f32; n];
+                for (i, v) in idx.into_iter().zip(vals) {
+                    let slot = out.get_mut(i as usize).ok_or_else(|| {
+                        Error::dsl(format!("scatter index {i} out of bounds for {n}"))
+                    })?;
+                    *slot = v;
+                }
+                Ok(Value::FArr(out))
+            }
+            "sort" => {
+                let Value::FArr(mut v) = self.eval(&args[0], scope)? else {
+                    return Err(Error::dsl("sort needs a float array"));
+                };
+                let udf = Self::udf_name(&args[1])?.to_string();
+                match udf.as_str() {
+                    "greater" => v.sort_by(|a, b| b.total_cmp(a)),
+                    "smaller" => v.sort_by(f32::total_cmp),
+                    _ => {
+                        // User comparator: udf(a, b) truthy ⇒ a first.
+                        // Evaluate pairwise on a simple merge-insertion
+                        // to keep udf calls bounded: use sort_by with
+                        // cached keys is impossible for arbitrary udfs,
+                        // so fall back to an O(n log n) comparison sort
+                        // that may call the udf ~n log n times.
+                        let mut err = None;
+                        let mut this = std::mem::replace(self, Interp::new(self.prog, self.params, 0));
+                        v.sort_by(|a, b| {
+                            if err.is_some() {
+                                return std::cmp::Ordering::Equal;
+                            }
+                            match this.call_udf(&udf, &[Value::F(*a as f64), Value::F(*b as f64)])
+                            {
+                                Ok(r) => match r.truthy() {
+                                    Ok(true) => std::cmp::Ordering::Less,
+                                    Ok(false) => std::cmp::Ordering::Greater,
+                                    Err(e) => {
+                                        err = Some(e);
+                                        std::cmp::Ordering::Equal
+                                    }
+                                },
+                                Err(e) => {
+                                    err = Some(e);
+                                    std::cmp::Ordering::Equal
+                                }
+                            }
+                        });
+                        *self = this;
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok(Value::FArr(v))
+            }
+            "sample" => {
+                let Value::FArr(v) = self.eval(&args[0], scope)? else {
+                    return Err(Error::dsl("sample needs a float array"));
+                };
+                let n = self.eval(&args[1], scope)?.as_i64()?.max(0) as usize;
+                if v.is_empty() {
+                    return Ok(Value::FArr(Vec::new()));
+                }
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(v[self.rng.index(v.len())]);
+                }
+                Ok(Value::FArr(out))
+            }
+            "concat" => {
+                let mut out = Vec::new();
+                for a in args {
+                    let v = self.eval(a, scope)?;
+                    concat_append(&mut out, &v)?;
+                }
+                Ok(Value::Bytes(out))
+            }
+            "extract" => Err(Error::dsl(
+                "extract may only appear as the whole right-hand side of an assignment",
+            )),
+            _ => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, scope)?);
+                }
+                self.call_udf(name, &vals)
+            }
+        }
+    }
+}
+
+/// The zero value of a type.
+fn default_value(ty: Ty) -> Value {
+    match ty {
+        Ty::Float => Value::F(0.0),
+        Ty::Int32 => Value::I(0),
+        Ty::UInt(b) => Value::U(0, b),
+        Ty::Arr(ScalarTy::Float) => Value::FArr(Vec::new()),
+        Ty::Arr(ScalarTy::Int32) => Value::IArr(Vec::new()),
+        Ty::Arr(ScalarTy::UInt(b)) => Value::UArr(PackedArr {
+            bits: b,
+            len: 0,
+            data: Vec::new(),
+        }),
+        Ty::Bytes => Value::Bytes(Vec::new()),
+        Ty::ParamStruct => Value::Params,
+        Ty::Void => Value::Unit,
+    }
+}
+
+/// C-style conversion of a value to a declared type.
+fn coerce(v: Value, ty: Ty) -> Result<Value> {
+    Ok(match (ty, v) {
+        (Ty::Float, v @ Value::F(_)) => v,
+        (Ty::Float, v) => Value::F(v.as_f64()?),
+        (Ty::Int32, v @ Value::I(_)) => v,
+        (Ty::Int32, v) => Value::I(v.as_i64()?),
+        (Ty::UInt(b), v) => {
+            let raw = v.as_i64()?.max(0) as u64;
+            let mask = if b >= 8 { 0xFF } else { (1u64 << b) - 1 };
+            Value::U(raw & mask, b)
+        }
+        (Ty::Void, _) => Value::Unit,
+        // `uint8*` duality: packed 8-bit arrays and byte streams share
+        // a layout.
+        (Ty::Bytes, Value::UArr(p)) if p.bits == 8 => Value::Bytes(p.data),
+        (Ty::Arr(ScalarTy::UInt(8)), Value::Bytes(b)) => {
+            let len = b.len();
+            Value::UArr(PackedArr {
+                bits: 8,
+                len,
+                data: b,
+            })
+        }
+        (_, v) => v, // Arrays/streams pass through; checker verified.
+    })
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    let both_int = !matches!(l, Value::F(_)) && !matches!(r, Value::F(_));
+    match op {
+        Shl | Shr | Rem => {
+            let a = l.as_i64()?;
+            let b = r.as_i64()?;
+            let v = match op {
+                Shl => a.checked_shl(b.clamp(0, 63) as u32).unwrap_or(0),
+                Shr => a.checked_shr(b.clamp(0, 63) as u32).unwrap_or(0),
+                _ => {
+                    if b == 0 {
+                        return Err(Error::dsl("remainder by zero"));
+                    }
+                    a % b
+                }
+            };
+            Ok(Value::I(v))
+        }
+        Eq | Ne | Lt | Gt | Le | Ge => {
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            let t = match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Gt => a > b,
+                Le => a <= b,
+                _ => a >= b,
+            };
+            Ok(Value::I(i64::from(t)))
+        }
+        Add | Sub | Mul | Div => {
+            if both_int {
+                let a = l.as_i64()?;
+                let b = r.as_i64()?;
+                let v = match op {
+                    Add => a.wrapping_add(b),
+                    Sub => a.wrapping_sub(b),
+                    Mul => a.wrapping_mul(b),
+                    _ => {
+                        if b == 0 {
+                            return Err(Error::dsl("division by zero"));
+                        }
+                        a / b
+                    }
+                };
+                Ok(Value::I(v))
+            } else {
+                let a = l.as_f64()?;
+                let b = r.as_f64()?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    _ => a / b,
+                };
+                Ok(Value::F(v))
+            }
+        }
+        And | Or => unreachable!("short-circuited in eval"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn params(kv: &[(&str, Value)]) -> ParamValues {
+        kv.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn figure5_terngrad_runs() {
+        let src = r#"
+            param EncodeParams { uint8 bitwidth; }
+            float min, max, gap;
+            uint2 floatToUint(float elem) {
+                float r = (elem - min) / gap;
+                return floor(r + random<float>(0, 1));
+            }
+            void encode(float* gradient, uint8* compressed, EncodeParams params) {
+                min = reduce(gradient, smaller);
+                max = reduce(gradient, greater);
+                gap = (max - min) / ((1 << params.bitwidth) - 1);
+                uint2* Q = map(gradient, floatToUint);
+                compressed = concat(params.bitwidth, min, max, Q);
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let p = params(&[("bitwidth", Value::U(2, 8))]);
+        let grad = vec![0.0f32, 1.0, 2.0, 3.0, 1.5];
+        let out = run_encode(&prog, &p, &grad, 42).unwrap();
+        // 1 byte bitwidth + 4 min + 4 max + ceil(5*2/8)=2 bytes.
+        assert_eq!(out.len(), 1 + 4 + 4 + 2);
+        assert_eq!(out[0], 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_sign_algorithm() {
+        let src = r#"
+            float neg; float pos;
+            uint1 signOf(float elem) {
+                if (elem > 0) { return 1; }
+                return 0;
+            }
+            float toVal(uint1 q) {
+                if (q == 1) { return pos; }
+                return neg;
+            }
+            uint1 isPos(float x) { if (x > 0) { return 1; } return 0; }
+            uint1 isNeg(float x) { if (x > 0) { return 0; } return 1; }
+            void encode(float* gradient, uint8* compressed) {
+                float* p = filter(gradient, isPos);
+                float* n = filter(gradient, isNeg);
+                pos = 0.0; neg = 0.0;
+                if (p.size > 0) { pos = reduce(p, sum) / p.size; }
+                if (n.size > 0) { neg = reduce(n, sum) / n.size; }
+                uint1* Q = map(gradient, signOf);
+                compressed = concat(neg, pos, Q);
+            }
+            void decode(uint8* compressed, float* gradient) {
+                neg = extract(compressed);
+                pos = extract(compressed);
+                uint1* Q = extract(compressed, gradient.size);
+                gradient = map(Q, toVal);
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let p = params(&[]);
+        let grad = vec![2.0f32, 4.0, -1.0, -3.0];
+        let enc = run_encode(&prog, &p, &grad, 0).unwrap();
+        let dec = run_decode(&prog, &p, &enc, grad.len(), 0).unwrap();
+        assert_eq!(dec, vec![3.0, 3.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn sparse_scatter_roundtrip() {
+        let src = r#"
+            float threshold;
+            uint1 keep(float x) { if (abs(x) >= threshold) { return 1; } return 0; }
+            float absf(float x) { return abs(x); }
+            void encode(float* gradient, uint8* compressed) {
+                float* mags = map(gradient, absf);
+                float* sorted = sort(mags, greater);
+                threshold = sorted[1];
+                int32* I = filter_idx(gradient, keep);
+                float* V = gather(gradient, I);
+                compressed = concat(I.size, I, V);
+            }
+            void decode(uint8* compressed, float* gradient) {
+                int32 count = extract(compressed);
+                int32* I = extract(compressed, count);
+                float* V = extract(compressed, count);
+                gradient = scatter(I, V, gradient.size);
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let p = params(&[]);
+        let grad = vec![0.1f32, -5.0, 0.2, 4.0, 0.0];
+        let enc = run_encode(&prog, &p, &grad, 0).unwrap();
+        let dec = run_decode(&prog, &p, &enc, grad.len(), 0).unwrap();
+        assert_eq!(dec, vec![0.0, -5.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn runtime_errors_are_reported() {
+        let prog = compile(
+            "void encode(float* gradient, uint8* compressed) { float x = gradient[999999]; compressed = concat(x); }",
+        )
+        .unwrap();
+        let err = run_encode(&prog, &params(&[]), &[1.0], 0).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let prog = compile(
+            "param P { float rate; } void encode(float* gradient, uint8* compressed, P params) { float r = params.rate; compressed = concat(r); }",
+        )
+        .unwrap();
+        let err = run_encode(&prog, &params(&[]), &[1.0], 0).unwrap_err();
+        assert!(err.to_string().contains("not supplied"), "{err}");
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let prog = compile(
+            "void encode(float* gradient, uint8* compressed) { int32 x = 1 / 0; compressed = concat(x); }",
+        )
+        .unwrap();
+        assert!(run_encode(&prog, &params(&[]), &[1.0], 0).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Tokenizer for the CompLL DSL.
+//!
+//! The surface syntax is the C subset of Figure 5: declarations,
+//! assignments, `if`/`else`, `return`, function calls, arithmetic and
+//! shifts, `//` comments, and line-continuation backslashes.
+
+use hipress_util::{Error, Result};
+
+/// One lexical token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a DSL error naming the offending character and line.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            // Line continuation (Figure 5 uses trailing backslashes).
+            '\\' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(Error::dsl(format!("unterminated comment at line {line}")));
+                }
+                i += 2;
+            }
+            '(' => push1(&mut out, Tok::LParen, line, &mut i),
+            ')' => push1(&mut out, Tok::RParen, line, &mut i),
+            '{' => push1(&mut out, Tok::LBrace, line, &mut i),
+            '}' => push1(&mut out, Tok::RBrace, line, &mut i),
+            '[' => push1(&mut out, Tok::LBracket, line, &mut i),
+            ']' => push1(&mut out, Tok::RBracket, line, &mut i),
+            ',' => push1(&mut out, Tok::Comma, line, &mut i),
+            ';' => push1(&mut out, Tok::Semi, line, &mut i),
+            '.' => push1(&mut out, Tok::Dot, line, &mut i),
+            '*' => push1(&mut out, Tok::Star, line, &mut i),
+            '/' => push1(&mut out, Tok::Slash, line, &mut i),
+            '%' => push1(&mut out, Tok::Percent, line, &mut i),
+            '+' => push1(&mut out, Tok::Plus, line, &mut i),
+            '-' => push1(&mut out, Tok::Minus, line, &mut i),
+            '!' if peek(&bytes, i + 1) == Some('=') => push2(&mut out, Tok::Ne, line, &mut i),
+            '!' => push1(&mut out, Tok::Bang, line, &mut i),
+            '=' if peek(&bytes, i + 1) == Some('=') => push2(&mut out, Tok::Eq, line, &mut i),
+            '=' => push1(&mut out, Tok::Assign, line, &mut i),
+            '<' if peek(&bytes, i + 1) == Some('<') => push2(&mut out, Tok::Shl, line, &mut i),
+            '<' if peek(&bytes, i + 1) == Some('=') => push2(&mut out, Tok::Le, line, &mut i),
+            '<' => push1(&mut out, Tok::Lt, line, &mut i),
+            '>' if peek(&bytes, i + 1) == Some('>') => push2(&mut out, Tok::Shr, line, &mut i),
+            '>' if peek(&bytes, i + 1) == Some('=') => push2(&mut out, Tok::Ge, line, &mut i),
+            '>' => push1(&mut out, Tok::Gt, line, &mut i),
+            '&' if peek(&bytes, i + 1) == Some('&') => push2(&mut out, Tok::AndAnd, line, &mut i),
+            '|' if peek(&bytes, i + 1) == Some('|') => push2(&mut out, Tok::OrOr, line, &mut i),
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                // Don't swallow a trailing member access like `3.size`.
+                let text: String = bytes[start..i].iter().collect();
+                if text.ends_with('.') {
+                    i -= 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| Error::dsl(format!("bad float literal '{text}' line {line}")))?;
+                    out.push(Token {
+                        kind: Tok::Float(v),
+                        line,
+                    });
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| Error::dsl(format!("bad int literal '{text}' line {line}")))?;
+                    out.push(Token {
+                        kind: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            other => {
+                return Err(Error::dsl(format!(
+                    "unexpected character '{other}' at line {line}"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn peek(bytes: &[char], i: usize) -> Option<char> {
+    bytes.get(i).copied()
+}
+
+fn push1(out: &mut Vec<Token>, kind: Tok, line: u32, i: &mut usize) {
+    out.push(Token { kind, line });
+    *i += 1;
+}
+
+fn push2(out: &mut Vec<Token>, kind: Tok, line: u32, i: &mut usize) {
+    out.push(Token { kind, line });
+    *i += 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("a = b + 1;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("== != <= >= << >> && ||"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds("3 3.5 0.25"),
+            vec![Tok::Int(3), Tok::Float(3.5), Tok::Float(0.25)]
+        );
+    }
+
+    #[test]
+    fn member_access_after_ident_not_float() {
+        assert_eq!(
+            kinds("gradient.size"),
+            vec![
+                Tok::Ident("gradient".into()),
+                Tok::Dot,
+                Tok::Ident("size".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_continuations_skipped() {
+        let src = "a = 1; // comment\nb = \\\n2; /* multi\nline */ c = 3;";
+        let k = kinds(src);
+        assert_eq!(k.len(), 12);
+        assert_eq!(k[4], Tok::Ident("b".into()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

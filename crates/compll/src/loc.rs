@@ -1,0 +1,188 @@
+//! Lines-of-code accounting for Table 5.
+//!
+//! Table 5 splits an algorithm's implementation cost into "logic"
+//! (the encode/decode bodies plus parameter and global declarations),
+//! "udf" (user-defined helper functions), the number of distinct
+//! common operators used, and the integration cost (always 0 with
+//! CompLL: the generated code plugs into CaSync automatically).
+
+use crate::ast::Program;
+use crate::ops::OPERATORS;
+use std::collections::BTreeSet;
+
+/// The Table 5 row for one algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocReport {
+    /// Non-empty, non-comment source lines of algorithm logic
+    /// (encode/decode, param blocks, globals).
+    pub logic: usize,
+    /// Non-empty, non-comment source lines of user-defined functions.
+    pub udf: usize,
+    /// Distinct common operators invoked.
+    pub operators: BTreeSet<String>,
+    /// Manual integration lines (always 0: CompLL integrates
+    /// automatically).
+    pub integration: usize,
+}
+
+impl LocReport {
+    /// Total DSL lines (logic + udf).
+    pub fn total(&self) -> usize {
+        self.logic + self.udf
+    }
+}
+
+/// Computes the Table 5 accounting for a DSL source and its parsed
+/// program.
+///
+/// Lines are classified by tracking which top-level item they belong
+/// to: `param` blocks and globals count as logic, `encode`/`decode`
+/// count as logic, everything else counts as udf.
+pub fn count(source: &str, prog: &Program) -> LocReport {
+    let mut logic = 0usize;
+    let mut udf = 0usize;
+
+    // Build the set of line ranges belonging to udf functions by
+    // scanning for their definitions and matching braces.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Zone {
+        Logic,
+        Udf,
+    }
+    let lines: Vec<&str> = source.lines().collect();
+    let mut zone_of_line = vec![Zone::Logic; lines.len()];
+    // Identify udf body line spans from the parsed function start
+    // lines (1-based) + brace matching.
+    for f in prog.udfs() {
+        let start = (f.line as usize).saturating_sub(1);
+        let mut depth = 0i32;
+        let mut seen_open = false;
+        for (i, line) in lines.iter().enumerate().skip(start) {
+            for c in line.chars() {
+                if c == '{' {
+                    depth += 1;
+                    seen_open = true;
+                } else if c == '}' {
+                    depth -= 1;
+                }
+            }
+            zone_of_line[i] = Zone::Udf;
+            if seen_open && depth <= 0 {
+                break;
+            }
+        }
+    }
+
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        match zone_of_line[i] {
+            Zone::Logic => logic += 1,
+            Zone::Udf => udf += 1,
+        }
+    }
+
+    let mut operators = BTreeSet::new();
+    for f in &prog.functions {
+        collect_ops(&f.body, &mut operators);
+    }
+
+    LocReport {
+        logic,
+        udf,
+        operators,
+        integration: 0,
+    }
+}
+
+fn collect_ops(stmts: &[crate::ast::Stmt], out: &mut BTreeSet<String>) {
+    use crate::ast::{Expr, Stmt};
+    fn walk_expr(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::Call { name, args, .. } => {
+                if OPERATORS.contains(&name.as_str()) {
+                    out.insert(name.clone());
+                }
+                for a in args {
+                    walk_expr(a, out);
+                }
+            }
+            Expr::Member(b, _) => walk_expr(b, out),
+            Expr::Index(b, i) => {
+                walk_expr(b, out);
+                walk_expr(i, out);
+            }
+            Expr::Unary(_, i) => walk_expr(i, out),
+            Expr::Bin(_, l, r) => {
+                walk_expr(l, out);
+                walk_expr(r, out);
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Decl(_, _, Some(e)) | Stmt::Assign(_, e) | Stmt::Expr(e) => walk_expr(e, out),
+            Stmt::Return(Some(e)) => walk_expr(e, out),
+            Stmt::If(c, t, e) => {
+                walk_expr(c, out);
+                collect_ops(t, out);
+                collect_ops(e, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn classifies_logic_vs_udf() {
+        let src = "\
+param P { float rate; }
+float t;
+uint1 keep(float x) {
+    if (abs(x) >= t) { return 1; }
+    return 0;
+}
+void encode(float* gradient, uint8* compressed, P params) {
+    t = params.rate;
+    int32* I = filter_idx(gradient, keep);
+    float* V = gather(gradient, I);
+    compressed = concat(I.size, I, V);
+}
+";
+        let prog = compile(src).unwrap();
+        let report = count(src, &prog);
+        // udf = the 4 lines of `keep`.
+        assert_eq!(report.udf, 4, "{report:?}");
+        // logic = param block + global + the 6 encode lines.
+        assert_eq!(report.logic, 8, "{report:?}");
+        assert_eq!(report.integration, 0);
+        let ops: Vec<&str> = report.operators.iter().map(String::as_str).collect();
+        assert_eq!(ops, vec!["concat", "filter_idx", "gather"]);
+        assert_eq!(report.total(), 12);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "\
+// A comment.
+float t;
+
+void encode(float* gradient, uint8* compressed) {
+    // inner comment
+    compressed = concat(t);
+}
+";
+        let prog = compile(src).unwrap();
+        let report = count(src, &prog);
+        assert_eq!(report.logic, 4);
+        assert_eq!(report.udf, 0);
+    }
+}

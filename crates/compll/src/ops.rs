@@ -1,0 +1,318 @@
+//! Runtime values and the common operator library (Table 4).
+//!
+//! Everything an executing DSL program touches is a [`Value`];
+//! sub-byte integer arrays are bit-packed [`PackedArr`]s exactly as
+//! the generated GPU code would store them ("CompLL uses consecutive
+//! bits of one or more bytes to represent this array compactly",
+//! §4.3).
+//!
+//! The operator library contains the seven Table 4 operators plus
+//! four registered extensions (`filter_idx`, `gather`, `scatter`,
+//! `sample`) used by the sparsification algorithms — the paper's
+//! library is explicitly open to registration (§4.4).
+
+use hipress_util::bits::{packed_len, BitReader, BitWriter};
+use hipress_util::{Error, Result};
+
+/// A bit-packed array of `bits`-wide unsigned integers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedArr {
+    /// Element width in bits (1..=8).
+    pub bits: u8,
+    /// Number of elements.
+    pub len: usize,
+    /// LSB-first packed data, zero padded to a byte.
+    pub data: Vec<u8>,
+}
+
+impl PackedArr {
+    /// Creates an array from element values (masked to width).
+    pub fn from_values(bits: u8, values: impl IntoIterator<Item = u64>) -> Self {
+        let mut w = BitWriter::new();
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut len = 0;
+        for v in values {
+            w.write(v & mask, bits as u32);
+            len += 1;
+        }
+        Self {
+            bits,
+            len,
+            data: w.finish(),
+        }
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "packed index {i} out of bounds ({})", self.len);
+        let mut r = BitReader::new(&self.data);
+        r.skip(i * self.bits as usize).expect("bounds checked");
+        r.read(self.bits as u32).expect("bounds checked")
+    }
+
+    /// Iterates over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut r = BitReader::new(&self.data);
+        (0..self.len).map(move |_| r.read(self.bits as u32).expect("within len"))
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Float scalar (f64 internally, f32 on the wire).
+    F(f64),
+    /// 32-bit signed integer scalar.
+    I(i64),
+    /// Unsigned scalar of the given bit width.
+    U(u64, u8),
+    /// Dense float array.
+    FArr(Vec<f32>),
+    /// Dense int32 array.
+    IArr(Vec<i32>),
+    /// Packed unsigned array.
+    UArr(PackedArr),
+    /// Byte stream (`uint8*`).
+    Bytes(Vec<u8>),
+    /// The opaque algorithm-parameter struct (member access reads the
+    /// configured parameter values).
+    Params,
+    /// No value.
+    Unit,
+}
+
+impl Value {
+    /// Numeric view as f64 (scalars only).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::F(v) => Ok(*v),
+            Value::I(v) => Ok(*v as f64),
+            Value::U(v, _) => Ok(*v as f64),
+            other => Err(Error::dsl(format!("expected a scalar, found {other:?}"))),
+        }
+    }
+
+    /// Numeric view as i64 (scalars only; floats truncate like C).
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::F(v) => Ok(*v as i64),
+            Value::I(v) => Ok(*v),
+            Value::U(v, _) => Ok(*v as i64),
+            other => Err(Error::dsl(format!("expected a scalar, found {other:?}"))),
+        }
+    }
+
+    /// Truthiness (C semantics: non-zero).
+    pub fn truthy(&self) -> Result<bool> {
+        Ok(self.as_f64()? != 0.0)
+    }
+
+    /// The `.size` member: element count of an array value.
+    pub fn size(&self) -> Result<usize> {
+        match self {
+            Value::FArr(v) => Ok(v.len()),
+            Value::IArr(v) => Ok(v.len()),
+            Value::UArr(p) => Ok(p.len),
+            Value::Bytes(b) => Ok(b.len()),
+            other => Err(Error::dsl(format!(".size on non-array {other:?}"))),
+        }
+    }
+}
+
+/// Appends `v` to a byte stream the way `concat` lays values out:
+/// scalars by their width (uintN → one byte, int32/float → 4 bytes
+/// LE), arrays byte-aligned with packed payloads.
+pub fn concat_append(out: &mut Vec<u8>, v: &Value) -> Result<()> {
+    match v {
+        Value::F(x) => out.extend_from_slice(&(*x as f32).to_le_bytes()),
+        Value::I(x) => out.extend_from_slice(&(*x as i32).to_le_bytes()),
+        Value::U(x, _bits) => out.push(*x as u8),
+        Value::FArr(a) => {
+            for x in a {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Value::IArr(a) => {
+            for x in a {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Value::UArr(p) => out.extend_from_slice(&p.data),
+        Value::Bytes(b) => out.extend_from_slice(b),
+        Value::Params | Value::Unit => {
+            return Err(Error::dsl("cannot concat a non-data value"));
+        }
+    }
+    Ok(())
+}
+
+/// A cursor over a received stream for `extract` (§ Table 4:
+/// "extract metadata from the compressed G'").
+#[derive(Debug, Clone)]
+pub struct ExtractCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ExtractCursor<'a> {
+    /// Creates a cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::codec(format!(
+                "extract past end of stream (need {n}, have {})",
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Extracts a float scalar.
+    pub fn float(&mut self) -> Result<f64> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64)
+    }
+
+    /// Extracts an int32 scalar.
+    pub fn int32(&mut self) -> Result<i64> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64)
+    }
+
+    /// Extracts a uintN scalar (stored as one byte).
+    pub fn uint(&mut self, bits: u8) -> Result<u64> {
+        let b = self.take(1)?;
+        let mask = if bits >= 8 { 0xFF } else { (1u16 << bits) as u64 - 1 };
+        Ok((b[0] as u64) & mask)
+    }
+
+    /// Extracts `count` packed uintN elements (byte aligned).
+    pub fn uarr(&mut self, bits: u8, count: usize) -> Result<PackedArr> {
+        let bytes = packed_len(count, bits as u32);
+        let data = self.take(bytes)?.to_vec();
+        Ok(PackedArr {
+            bits,
+            len: count,
+            data,
+        })
+    }
+
+    /// Extracts `count` int32 elements.
+    pub fn iarr(&mut self, count: usize) -> Result<Vec<i32>> {
+        let b = self.take(count * 4)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Extracts `count` float elements.
+    pub fn farr(&mut self, count: usize) -> Result<Vec<f32>> {
+        let b = self.take(count * 4)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+/// Names of the common operators (for the type checker and the cost
+/// estimator).
+pub const OPERATORS: &[&str] = &[
+    "sort", "filter", "map", "reduce", "random", "concat", "extract", // Table 4
+    "filter_idx", "gather", "scatter", "sample", // Registered extensions.
+];
+
+/// Estimated full memory passes per operator invocation, used to
+/// derive the generated kernel's cost profile automatically.
+pub fn operator_passes(name: &str) -> f64 {
+    match name {
+        "map" | "filter" | "filter_idx" | "gather" | "concat" => 1.0,
+        "reduce" => 1.0,
+        "scatter" => 1.5,
+        "sort" => 4.0, // Bitonic/radix multi-pass on GPU.
+        "sample" => 0.05,
+        "extract" => 0.5,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_roundtrip() {
+        for bits in [1u8, 2, 4, 8] {
+            let vals: Vec<u64> = (0..100).map(|i| i % (1 << bits)).collect();
+            let p = PackedArr::from_values(bits, vals.iter().copied());
+            assert_eq!(p.len, 100);
+            assert_eq!(p.data.len(), packed_len(100, bits as u32));
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(p.get(i), v, "bits={bits} i={i}");
+            }
+            let collected: Vec<u64> = p.iter().collect();
+            assert_eq!(collected, vals);
+        }
+    }
+
+    #[test]
+    fn packed_masks_overflow() {
+        let p = PackedArr::from_values(2, [5u64]); // 5 & 0b11 = 1
+        assert_eq!(p.get(0), 1);
+    }
+
+    #[test]
+    fn concat_and_extract_roundtrip() {
+        let mut out = Vec::new();
+        concat_append(&mut out, &Value::U(2, 8)).unwrap();
+        concat_append(&mut out, &Value::F(1.5)).unwrap();
+        concat_append(&mut out, &Value::I(-7)).unwrap();
+        let p = PackedArr::from_values(2, [0u64, 1, 2, 3, 1]);
+        concat_append(&mut out, &Value::UArr(p.clone())).unwrap();
+        concat_append(&mut out, &Value::FArr(vec![2.0, -3.0])).unwrap();
+        concat_append(&mut out, &Value::IArr(vec![9, 10])).unwrap();
+
+        let mut c = ExtractCursor::new(&out);
+        assert_eq!(c.uint(8).unwrap(), 2);
+        assert_eq!(c.float().unwrap(), 1.5);
+        assert_eq!(c.int32().unwrap(), -7);
+        let q = c.uarr(2, 5).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(c.farr(2).unwrap(), vec![2.0, -3.0]);
+        assert_eq!(c.iarr(2).unwrap(), vec![9, 10]);
+        assert_eq!(c.remaining(), 0);
+        assert!(c.float().is_err());
+    }
+
+    #[test]
+    fn value_scalars() {
+        assert_eq!(Value::F(2.9).as_i64().unwrap(), 2);
+        assert_eq!(Value::I(-3).as_f64().unwrap(), -3.0);
+        assert!(Value::U(1, 1).truthy().unwrap());
+        assert!(!Value::I(0).truthy().unwrap());
+        assert!(Value::FArr(vec![]).as_f64().is_err());
+        assert_eq!(Value::FArr(vec![1.0; 7]).size().unwrap(), 7);
+        assert!(Value::F(1.0).size().is_err());
+    }
+
+    #[test]
+    fn operator_registry() {
+        assert!(OPERATORS.contains(&"map"));
+        assert!(OPERATORS.contains(&"scatter"));
+        assert!(operator_passes("sort") > operator_passes("map"));
+        assert_eq!(operator_passes("unknown"), 0.0);
+    }
+}

@@ -1,0 +1,495 @@
+//! Recursive-descent parser for the CompLL DSL.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use hipress_util::{Error, Result};
+
+/// Parses a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        param_names: Vec::new(),
+    };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    param_names: Vec<String>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        let line = self.line();
+        match self.bump() {
+            Some(ref got) if got == want => Ok(()),
+            got => Err(Error::dsl(format!(
+                "line {line}: expected {want:?}, found {got:?}"
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(Error::dsl(format!(
+                "line {line}: expected identifier, found {got:?}"
+            ))),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut prog = Program::default();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(kw) if kw == "param" => {
+                    self.bump();
+                    let block = self.param_block()?;
+                    self.param_names.push(block.name.clone());
+                    prog.params.push(block);
+                }
+                Tok::Ident(_) => {
+                    // A type name starts either a global declaration
+                    // or a function definition; disambiguate by
+                    // looking past `ty [*] name`.
+                    self.item(&mut prog)?;
+                }
+                other => {
+                    return Err(Error::dsl(format!(
+                        "line {}: unexpected token {other:?} at top level",
+                        self.line()
+                    )));
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn param_block(&mut self) -> Result<ParamBlock> {
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let ty = self.ty()?;
+            let fname = self.expect_ident()?;
+            self.expect(&Tok::Semi)?;
+            fields.push((fname, ty));
+        }
+        Ok(ParamBlock { name, fields })
+    }
+
+    /// Parses a type, with optional `*` making it an array/stream.
+    fn ty(&mut self) -> Result<Ty> {
+        let line = self.line();
+        let name = self.expect_ident()?;
+        let base = match Ty::from_name(&name) {
+            Some(t) => t,
+            None if self.param_names.contains(&name) => Ty::ParamStruct,
+            None => return Err(Error::dsl(format!("line {line}: unknown type '{name}'"))),
+        };
+        if self.eat(&Tok::Star) {
+            base.as_array()
+                .ok_or_else(|| Error::dsl(format!("line {line}: '{name}*' is not a valid array")))
+        } else {
+            Ok(base)
+        }
+    }
+
+    /// A global declaration list (`float min, max, gap;`) or a
+    /// function definition.
+    fn item(&mut self, prog: &mut Program) -> Result<()> {
+        let line = self.line();
+        let ty = self.ty()?;
+        let name = self.expect_ident()?;
+        if self.peek() == Some(&Tok::LParen) {
+            // Function definition.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    let pty = self.ty()?;
+                    let pname = self.expect_ident()?;
+                    params.push((pname, pty));
+                    if self.eat(&Tok::RParen) {
+                        break;
+                    }
+                    self.expect(&Tok::Comma)?;
+                }
+            }
+            // Parameter-struct types appear as bare identifiers
+            // (`EncodeParams params`): handled in `ty()`? No — they
+            // fail `Ty::from_name`. Re-parse: we only reach here when
+            // all parameter types were valid primitive types, so
+            // param-struct parameters are handled by the caller via a
+            // dedicated path below.
+            let body = self.block()?;
+            prog.functions.push(Function {
+                name,
+                ret: ty,
+                params,
+                body,
+                line,
+            });
+            Ok(())
+        } else {
+            // Global declaration(s).
+            prog.globals.push((name, ty));
+            while self.eat(&Tok::Comma) {
+                let next = self.expect_ident()?;
+                prog.globals.push((next, ty));
+            }
+            self.expect(&Tok::Semi)?;
+            Ok(())
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Ident(kw)) if kw == "return" => {
+                self.bump();
+                if self.eat(&Tok::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Some(Tok::Ident(kw)) if kw == "if" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = self.block()?;
+                let els = if matches!(self.peek(), Some(Tok::Ident(k)) if k == "else") {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Tok::Ident(name)) if Ty::from_name(name).is_some() => {
+                // Declaration.
+                let ty = self.ty()?;
+                let vname = self.expect_ident()?;
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Decl(vname, ty, init))
+            }
+            Some(Tok::Ident(_)) => {
+                // Assignment or expression statement.
+                let checkpoint = self.pos;
+                let name = self.expect_ident()?;
+                if self.eat(&Tok::Assign) {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Assign(name, e))
+                } else {
+                    self.pos = checkpoint;
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            other => Err(Error::dsl(format!(
+                "line {line}: unexpected statement start {other:?}"
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.shift_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.shift_expr()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Shl) => BinOp::Shl,
+                Some(Tok::Shr) => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat(&Tok::Bang) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(&Tok::Dot) {
+                let field = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), field);
+            } else if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Float(v)) => Ok(Expr::Float(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                // `random<float>(a, b)` — the one generic call form.
+                let ty_arg = if name == "random" && self.peek() == Some(&Tok::Lt) {
+                    self.bump();
+                    let ty = self.ty()?;
+                    self.expect(&Tok::Gt)?;
+                    Some(ty)
+                } else {
+                    None
+                };
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, ty_arg, args })
+                } else if ty_arg.is_some() {
+                    Err(Error::dsl(format!(
+                        "line {line}: generic call without arguments"
+                    )))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            got => Err(Error::dsl(format!(
+                "line {line}: unexpected token {got:?} in expression"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_figure5_shape() {
+        let src = r#"
+            param EncodeParams {
+                uint8 bitwidth;
+            }
+            float min, max, gap;
+            uint2 floatToUint(float elem) {
+                float r = (elem - min) / gap;
+                return floor(r + random<float>(0, 1));
+            }
+            void encode(float* gradient, uint8* compressed, \
+                        EncodeParams params) {
+                min = reduce(gradient, smaller);
+                max = reduce(gradient, greater);
+                gap = (max - min) / ((1 << params.bitwidth) - 1);
+                uint2* Q = map(gradient, floatToUint);
+                compressed = concat(params.bitwidth, min, max, Q);
+            }
+        "#;
+        let prog = parse_src(src).unwrap();
+        assert_eq!(prog.params.len(), 1);
+        assert_eq!(prog.params[0].fields, vec![("bitwidth".into(), Ty::UInt(8))]);
+        assert_eq!(prog.globals.len(), 3);
+        assert!(prog.function("encode").is_some());
+        assert!(prog.function("floatToUint").is_some());
+        let f = prog.function("floatToUint").unwrap();
+        assert_eq!(f.ret, Ty::UInt(2));
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = parse_src("void f() { int32 x = 1 + 2 * 3 << 1; }").unwrap();
+        let Stmt::Decl(_, _, Some(e)) = &prog.functions[0].body[0] else {
+            panic!("expected decl");
+        };
+        // ((1 + (2*3)) << 1)
+        match e {
+            Expr::Bin(BinOp::Shl, lhs, _) => match lhs.as_ref() {
+                Expr::Bin(BinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.as_ref(), Expr::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("wrong lhs {other:?}"),
+            },
+            other => panic!("wrong root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_and_return() {
+        let prog = parse_src(
+            "uint1 sign(float x) { if (x > 0) { return 1; } else { return 0; } }",
+        )
+        .unwrap();
+        assert!(matches!(prog.functions[0].body[0], Stmt::If(_, _, _)));
+    }
+
+    #[test]
+    fn member_and_index() {
+        let prog =
+            parse_src("void f(float* g) { float t = g[3].size; }");
+        // `.size` on an indexed element is nonsense but parses; the
+        // type checker rejects it.
+        assert!(prog.is_ok());
+    }
+
+    #[test]
+    fn unary_minus() {
+        let prog = parse_src("void f() { float x = -1.5; float y = -x; }").unwrap();
+        assert_eq!(prog.functions[0].body.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_src("void f( {").is_err());
+        assert!(parse_src("banana x;").is_err());
+        assert!(parse_src("void f() { return 1 }").is_err());
+    }
+}

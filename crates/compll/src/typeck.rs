@@ -1,0 +1,616 @@
+//! Static checker for CompLL programs.
+//!
+//! Verifies scoping, operator and function signatures, the
+//! encode/decode entry-point shapes (Figure 4), and C-style numeric
+//! typing (implicit promotion among `uintN`/`int32`/`float`,
+//! integer-only shifts). `extract` is context-typed: it may only
+//! appear as the whole right-hand side of a declaration or
+//! assignment, taking that target's type.
+
+use crate::ast::*;
+use hipress_util::{Error, Result};
+use std::collections::HashMap;
+
+/// Internal checker type: a value type or a function reference (udfs
+/// are passed to operators by name).
+#[derive(Debug, Clone, PartialEq)]
+enum T {
+    Val(Ty),
+    Fn(String),
+}
+
+struct Checker<'a> {
+    prog: &'a Program,
+    globals: HashMap<&'a str, Ty>,
+    param_fields: HashMap<&'a str, Ty>,
+    fns: HashMap<&'a str, (&'a [(String, Ty)], Ty)>,
+}
+
+/// Checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first type error found.
+pub fn check(prog: &Program) -> Result<()> {
+    let mut globals = HashMap::new();
+    for (name, ty) in &prog.globals {
+        if globals.insert(name.as_str(), *ty).is_some() {
+            return Err(Error::dsl(format!("duplicate global '{name}'")));
+        }
+    }
+    let mut param_fields = HashMap::new();
+    for block in &prog.params {
+        for (f, ty) in &block.fields {
+            param_fields.insert(f.as_str(), *ty);
+        }
+    }
+    let mut fns = HashMap::new();
+    for f in &prog.functions {
+        if fns
+            .insert(f.name.as_str(), (f.params.as_slice(), f.ret))
+            .is_some()
+        {
+            return Err(Error::dsl(format!("duplicate function '{}'", f.name)));
+        }
+    }
+    let checker = Checker {
+        prog,
+        globals,
+        param_fields,
+        fns,
+    };
+    checker.check_entry_points()?;
+    for f in &prog.functions {
+        checker.check_function(f)?;
+    }
+    Ok(())
+}
+
+impl Checker<'_> {
+    fn check_entry_points(&self) -> Result<()> {
+        if let Some(enc) = self.prog.function("encode") {
+            let ok = enc.ret == Ty::Void
+                && enc.params.len() >= 2
+                && enc.params[0].1 == Ty::Arr(ScalarTy::Float)
+                && enc.params[1].1 == Ty::Bytes
+                && enc.params.get(2).map(|p| p.1 == Ty::ParamStruct).unwrap_or(true);
+            if !ok {
+                return Err(Error::dsl(
+                    "encode must be void encode(float* gradient, uint8* compressed[, Params p])",
+                ));
+            }
+        }
+        if let Some(dec) = self.prog.function("decode") {
+            let ok = dec.ret == Ty::Void
+                && dec.params.len() >= 2
+                && dec.params[0].1 == Ty::Bytes
+                && dec.params[1].1 == Ty::Arr(ScalarTy::Float)
+                && dec.params.get(2).map(|p| p.1 == Ty::ParamStruct).unwrap_or(true);
+            if !ok {
+                return Err(Error::dsl(
+                    "decode must be void decode(uint8* compressed, float* gradient[, Params p])",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_function(&self, f: &Function) -> Result<()> {
+        let mut scope: HashMap<String, Ty> = HashMap::new();
+        for (name, ty) in &f.params {
+            scope.insert(name.clone(), *ty);
+        }
+        self.check_block(&f.body, &mut scope, f)?;
+        Ok(())
+    }
+
+    fn check_block(
+        &self,
+        stmts: &[Stmt],
+        scope: &mut HashMap<String, Ty>,
+        f: &Function,
+    ) -> Result<()> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Decl(name, ty, init) => {
+                    if let Some(e) = init {
+                        let got = self.type_of_rhs(e, *ty, scope, f)?;
+                        self.check_assignable(*ty, got, name, f)?;
+                    }
+                    scope.insert(name.clone(), *ty);
+                }
+                Stmt::Assign(name, e) => {
+                    let target = self.lookup(name, scope).ok_or_else(|| {
+                        Error::dsl(format!("{}: assignment to undeclared '{name}'", f.name))
+                    })?;
+                    let got = self.type_of_rhs(e, target, scope, f)?;
+                    self.check_assignable(target, got, name, f)?;
+                }
+                Stmt::Return(e) => match (e, f.ret) {
+                    (None, Ty::Void) => {}
+                    (Some(e), ret) if ret != Ty::Void => {
+                        let got = self.type_of(e, scope, f)?;
+                        self.check_assignable(ret, got, "return value", f)?;
+                    }
+                    _ => {
+                        return Err(Error::dsl(format!(
+                            "{}: return does not match declared type {:?}",
+                            f.name, f.ret
+                        )));
+                    }
+                },
+                Stmt::If(cond, then, els) => {
+                    let ct = self.type_of(cond, scope, f)?;
+                    if !matches!(ct, T::Val(t) if t.is_numeric()) {
+                        return Err(Error::dsl(format!(
+                            "{}: if-condition must be numeric",
+                            f.name
+                        )));
+                    }
+                    let mut s1 = scope.clone();
+                    self.check_block(then, &mut s1, f)?;
+                    let mut s2 = scope.clone();
+                    self.check_block(els, &mut s2, f)?;
+                }
+                Stmt::Expr(e) => {
+                    self.type_of(e, scope, f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Types a right-hand side, allowing context-typed `extract`.
+    fn type_of_rhs(
+        &self,
+        e: &Expr,
+        target: Ty,
+        scope: &HashMap<String, Ty>,
+        f: &Function,
+    ) -> Result<T> {
+        if let Expr::Call { name, args, .. } = e {
+            if name == "extract" {
+                if args.is_empty() || args.len() > 2 {
+                    return Err(Error::dsl(format!(
+                        "{}: extract takes (stream) or (stream, count)",
+                        f.name
+                    )));
+                }
+                let st = self.type_of(&args[0], scope, f)?;
+                if st != T::Val(Ty::Bytes) {
+                    return Err(Error::dsl(format!(
+                        "{}: extract's first argument must be a uint8* stream",
+                        f.name
+                    )));
+                }
+                if let Some(count) = args.get(1) {
+                    let ct = self.type_of(count, scope, f)?;
+                    if !matches!(ct, T::Val(t) if t.is_numeric()) {
+                        return Err(Error::dsl(format!(
+                            "{}: extract count must be numeric",
+                            f.name
+                        )));
+                    }
+                }
+                // extract is typed by its destination.
+                return Ok(T::Val(target));
+            }
+        }
+        self.type_of(e, scope, f)
+    }
+
+    fn check_assignable(&self, target: Ty, got: T, what: &str, f: &Function) -> Result<()> {
+        let got = match got {
+            T::Val(t) => t,
+            T::Fn(name) => {
+                return Err(Error::dsl(format!(
+                    "{}: cannot assign function '{name}' to {what}",
+                    f.name
+                )));
+            }
+        };
+        let ok = match (target, got) {
+            (a, b) if a == b => true,
+            // C-style implicit numeric conversion.
+            (a, b) if a.is_numeric() && b.is_numeric() => true,
+            // `uint8*` is both the packed-byte array and the stream
+            // type; the layouts are identical.
+            (Ty::Bytes, Ty::Arr(ScalarTy::UInt(8))) => true,
+            (Ty::Arr(ScalarTy::UInt(8)), Ty::Bytes) => true,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::dsl(format!(
+                "{}: cannot assign {got:?} to {what} of type {target:?}",
+                f.name
+            )))
+        }
+    }
+
+    fn lookup(&self, name: &str, scope: &HashMap<String, Ty>) -> Option<Ty> {
+        scope
+            .get(name)
+            .copied()
+            .or_else(|| self.globals.get(name).copied())
+    }
+
+    fn type_of(&self, e: &Expr, scope: &HashMap<String, Ty>, f: &Function) -> Result<T> {
+        match e {
+            Expr::Int(_) => Ok(T::Val(Ty::Int32)),
+            Expr::Float(_) => Ok(T::Val(Ty::Float)),
+            Expr::Var(name) => {
+                if let Some(t) = self.lookup(name, scope) {
+                    Ok(T::Val(t))
+                } else if self.fns.contains_key(name.as_str())
+                    || matches!(name.as_str(), "smaller" | "greater" | "sum")
+                {
+                    Ok(T::Fn(name.clone()))
+                } else {
+                    Err(Error::dsl(format!("{}: unknown variable '{name}'", f.name)))
+                }
+            }
+            Expr::Member(base, field) => {
+                let bt = self.type_of(base, scope, f)?;
+                match (bt, field.as_str()) {
+                    (T::Val(Ty::ParamStruct), field) => self
+                        .param_fields
+                        .get(field)
+                        .map(|t| T::Val(*t))
+                        .ok_or_else(|| {
+                            Error::dsl(format!("{}: unknown parameter field '{field}'", f.name))
+                        }),
+                    (T::Val(Ty::Arr(_) | Ty::Bytes), "size") => Ok(T::Val(Ty::Int32)),
+                    (bt, field) => Err(Error::dsl(format!(
+                        "{}: no member '{field}' on {bt:?}",
+                        f.name
+                    ))),
+                }
+            }
+            Expr::Index(base, idx) => {
+                let bt = self.type_of(base, scope, f)?;
+                let it = self.type_of(idx, scope, f)?;
+                if !matches!(it, T::Val(t) if t.is_numeric()) {
+                    return Err(Error::dsl(format!("{}: index must be numeric", f.name)));
+                }
+                match bt {
+                    T::Val(Ty::Arr(ScalarTy::Float)) => Ok(T::Val(Ty::Float)),
+                    T::Val(Ty::Arr(ScalarTy::Int32)) => Ok(T::Val(Ty::Int32)),
+                    T::Val(Ty::Arr(ScalarTy::UInt(b))) => Ok(T::Val(Ty::UInt(b))),
+                    T::Val(Ty::Bytes) => Ok(T::Val(Ty::UInt(8))),
+                    other => Err(Error::dsl(format!("{}: cannot index {other:?}", f.name))),
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let t = self.type_of(inner, scope, f)?;
+                match (op, &t) {
+                    (UnOp::Neg, T::Val(ty)) if ty.is_numeric() => Ok(t),
+                    (UnOp::Not, T::Val(ty)) if ty.is_numeric() => Ok(T::Val(Ty::Int32)),
+                    _ => Err(Error::dsl(format!(
+                        "{}: unary {op:?} on non-numeric {t:?}",
+                        f.name
+                    ))),
+                }
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let lt = self.type_of(lhs, scope, f)?;
+                let rt = self.type_of(rhs, scope, f)?;
+                let (T::Val(l), T::Val(r)) = (&lt, &rt) else {
+                    return Err(Error::dsl(format!(
+                        "{}: operator {op:?} on function reference",
+                        f.name
+                    )));
+                };
+                if !l.is_numeric() || !r.is_numeric() {
+                    return Err(Error::dsl(format!(
+                        "{}: operator {op:?} needs numeric operands, got {l:?} and {r:?}",
+                        f.name
+                    )));
+                }
+                match op {
+                    BinOp::Shl | BinOp::Shr | BinOp::Rem => {
+                        if *l == Ty::Float || *r == Ty::Float {
+                            return Err(Error::dsl(format!(
+                                "{}: {op:?} needs integer operands",
+                                f.name
+                            )));
+                        }
+                        Ok(T::Val(Ty::Int32))
+                    }
+                    BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Gt
+                    | BinOp::Le
+                    | BinOp::Ge
+                    | BinOp::And
+                    | BinOp::Or => Ok(T::Val(Ty::Int32)),
+                    _ => {
+                        if *l == Ty::Float || *r == Ty::Float {
+                            Ok(T::Val(Ty::Float))
+                        } else {
+                            Ok(T::Val(Ty::Int32))
+                        }
+                    }
+                }
+            }
+            Expr::Call { name, args, .. } => self.type_of_call(name, args, scope, f),
+        }
+    }
+
+    fn udf_ret(&self, fname: &str, f: &Function) -> Result<Ty> {
+        match fname {
+            "smaller" | "greater" | "sum" => Ok(Ty::Float),
+            _ => self
+                .fns
+                .get(fname)
+                .map(|(_, ret)| *ret)
+                .ok_or_else(|| Error::dsl(format!("{}: unknown function '{fname}'", f.name))),
+        }
+    }
+
+    fn expect_fn_arg(&self, e: &Expr, f: &Function) -> Result<String> {
+        match self.type_of(e, &HashMap::new(), f) {
+            Ok(T::Fn(name)) => Ok(name),
+            _ => match e {
+                Expr::Var(name) => Ok(name.clone()),
+                _ => Err(Error::dsl(format!(
+                    "{}: expected a function name argument",
+                    f.name
+                ))),
+            },
+        }
+    }
+
+    fn type_of_call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        scope: &HashMap<String, Ty>,
+        f: &Function,
+    ) -> Result<T> {
+        let arg_t = |i: usize| -> Result<T> { self.type_of(&args[i], scope, f) };
+        let need = |n: usize| -> Result<()> {
+            if args.len() != n {
+                Err(Error::dsl(format!(
+                    "{}: {name} takes {n} arguments, got {}",
+                    f.name,
+                    args.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            // Math builtins.
+            "floor" | "ceil" | "abs" | "sqrt" => {
+                need(1)?;
+                match arg_t(0)? {
+                    T::Val(t) if t.is_numeric() => Ok(T::Val(Ty::Float)),
+                    other => Err(Error::dsl(format!("{}: {name} on {other:?}", f.name))),
+                }
+            }
+            "min" | "max" => {
+                need(2)?;
+                for i in 0..2 {
+                    if !matches!(arg_t(i)?, T::Val(t) if t.is_numeric()) {
+                        return Err(Error::dsl(format!("{}: {name} needs numbers", f.name)));
+                    }
+                }
+                Ok(T::Val(Ty::Float))
+            }
+            "random" => {
+                need(2)?;
+                Ok(T::Val(Ty::Float))
+            }
+            "reduce" => {
+                need(2)?;
+                if arg_t(0)? != T::Val(Ty::Arr(ScalarTy::Float)) {
+                    return Err(Error::dsl(format!("{}: reduce needs a float array", f.name)));
+                }
+                let udf = self.expect_fn_arg(&args[1], f)?;
+                self.udf_ret(&udf, f)?;
+                Ok(T::Val(Ty::Float))
+            }
+            "map" => {
+                need(2)?;
+                let arr = arg_t(0)?;
+                let udf = self.expect_fn_arg(&args[1], f)?;
+                let ret = self.udf_ret(&udf, f)?;
+                let elem = match ret {
+                    Ty::UInt(b) => ScalarTy::UInt(b),
+                    Ty::Int32 => ScalarTy::Int32,
+                    Ty::Float => ScalarTy::Float,
+                    other => {
+                        return Err(Error::dsl(format!(
+                            "{}: map udf must return a scalar, returns {other:?}",
+                            f.name
+                        )));
+                    }
+                };
+                match arr {
+                    T::Val(Ty::Arr(_) | Ty::Bytes) => Ok(T::Val(Ty::Arr(elem))),
+                    other => Err(Error::dsl(format!("{}: map over {other:?}", f.name))),
+                }
+            }
+            "filter" | "sort" | "sample" => {
+                need(2)?;
+                if arg_t(0)? != T::Val(Ty::Arr(ScalarTy::Float)) {
+                    return Err(Error::dsl(format!(
+                        "{}: {name} needs a float array",
+                        f.name
+                    )));
+                }
+                if name == "sample" {
+                    if !matches!(arg_t(1)?, T::Val(t) if t.is_numeric()) {
+                        return Err(Error::dsl(format!(
+                            "{}: sample count must be numeric",
+                            f.name
+                        )));
+                    }
+                } else {
+                    let udf = self.expect_fn_arg(&args[1], f)?;
+                    self.udf_ret(&udf, f)?;
+                }
+                Ok(T::Val(Ty::Arr(ScalarTy::Float)))
+            }
+            "filter_idx" => {
+                need(2)?;
+                if arg_t(0)? != T::Val(Ty::Arr(ScalarTy::Float)) {
+                    return Err(Error::dsl(format!(
+                        "{}: filter_idx needs a float array",
+                        f.name
+                    )));
+                }
+                let udf = self.expect_fn_arg(&args[1], f)?;
+                self.udf_ret(&udf, f)?;
+                Ok(T::Val(Ty::Arr(ScalarTy::Int32)))
+            }
+            "gather" => {
+                need(2)?;
+                if arg_t(0)? != T::Val(Ty::Arr(ScalarTy::Float))
+                    || arg_t(1)? != T::Val(Ty::Arr(ScalarTy::Int32))
+                {
+                    return Err(Error::dsl(format!(
+                        "{}: gather needs (float*, int32*)",
+                        f.name
+                    )));
+                }
+                Ok(T::Val(Ty::Arr(ScalarTy::Float)))
+            }
+            "scatter" => {
+                need(3)?;
+                if arg_t(0)? != T::Val(Ty::Arr(ScalarTy::Int32))
+                    || arg_t(1)? != T::Val(Ty::Arr(ScalarTy::Float))
+                {
+                    return Err(Error::dsl(format!(
+                        "{}: scatter needs (int32*, float*, count)",
+                        f.name
+                    )));
+                }
+                if !matches!(arg_t(2)?, T::Val(t) if t.is_numeric()) {
+                    return Err(Error::dsl(format!(
+                        "{}: scatter count must be numeric",
+                        f.name
+                    )));
+                }
+                Ok(T::Val(Ty::Arr(ScalarTy::Float)))
+            }
+            "concat" => {
+                if args.is_empty() {
+                    return Err(Error::dsl(format!("{}: concat needs arguments", f.name)));
+                }
+                for (i, _) in args.iter().enumerate() {
+                    arg_t(i)?; // Any value type concats.
+                }
+                Ok(T::Val(Ty::Bytes))
+            }
+            "extract" => Err(Error::dsl(format!(
+                "{}: extract may only appear as the whole right-hand side of an assignment",
+                f.name
+            ))),
+            // User-defined function call.
+            _ => {
+                let (params, ret) = self
+                    .fns
+                    .get(name)
+                    .ok_or_else(|| Error::dsl(format!("{}: unknown function '{name}'", f.name)))?;
+                need(params.len())?;
+                for (i, (pname, pty)) in params.iter().enumerate() {
+                    let at = arg_t(i)?;
+                    self.check_assignable(*pty, at, pname, f)?;
+                }
+                Ok(T::Val(*ret))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn figure5_program_checks() {
+        let src = r#"
+            param EncodeParams { uint8 bitwidth; }
+            float min, max, gap;
+            uint2 floatToUint(float elem) {
+                float r = (elem - min) / gap;
+                return floor(r + random<float>(0, 1));
+            }
+            void encode(float* gradient, uint8* compressed, EncodeParams params) {
+                min = reduce(gradient, smaller);
+                max = reduce(gradient, greater);
+                gap = (max - min) / ((1 << params.bitwidth) - 1);
+                uint2* Q = map(gradient, floatToUint);
+                compressed = concat(params.bitwidth, min, max, Q);
+            }
+        "#;
+        compile(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = compile("void encode(float* gradient, uint8* compressed) { compressed = concat(mystery); }")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_entry_signature() {
+        let err = compile("int32 encode(float* gradient, uint8* compressed) { return 1; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("encode must be"), "{err}");
+    }
+
+    #[test]
+    fn rejects_float_shift() {
+        let err =
+            compile("void f() { float x = 1.5; int32 y = x << 2; }").unwrap_err();
+        assert!(err.to_string().contains("integer operands"), "{err}");
+    }
+
+    #[test]
+    fn rejects_array_scalar_confusion() {
+        let err = compile("void encode(float* gradient, uint8* compressed) { float x = gradient; compressed = concat(x); }")
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot assign"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = compile(
+            "float half(float x) { return x / 2; } void encode(float* gradient, uint8* compressed) { float y = half(1, 2); compressed = concat(y); }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("takes 1 arguments"), "{err}");
+    }
+
+    #[test]
+    fn rejects_extract_in_expression() {
+        let err = compile(
+            "void decode(uint8* compressed, float* gradient) { float x = 1 + extract(compressed); }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("extract"), "{err}");
+    }
+
+    #[test]
+    fn member_size_is_int() {
+        compile(
+            "void encode(float* gradient, uint8* compressed) { int32 n = gradient.size; compressed = concat(n); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn param_fields_resolve() {
+        let err = compile(
+            "param P { float rate; } void encode(float* gradient, uint8* compressed, P params) { float r = params.missing; compressed = concat(r); }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown parameter field"), "{err}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-validation: the CompLL (DSL-generated) algorithms must be
+//! semantically equivalent to the handwritten `hipress-compress`
+//! implementations — the correctness half of §4.4's comparison.
+
+use hipress_compll::algorithms;
+use hipress_compress::{Algorithm, Compressor};
+use hipress_tensor::synth::{generate, GradientShape};
+
+fn test_grad(n: usize, seed: u64) -> Vec<f32> {
+    generate(n, GradientShape::default_dnn(), seed).into_vec()
+}
+
+/// onebit is deterministic: CompLL and handwritten decodes must agree
+/// element-for-element.
+#[test]
+fn onebit_matches_handwritten_exactly() {
+    let hand = Algorithm::OneBit.build().unwrap();
+    let dsl = algorithms::onebit().unwrap();
+    for seed in 0..3u64 {
+        let grad = test_grad(3000, seed);
+        let a = hand.decode(&hand.encode(&grad, 0)).unwrap();
+        let b = dsl.decode(&dsl.encode(&grad, 0)).unwrap();
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                (x - y).abs() <= f32::EPSILON * x.abs().max(1.0) * 4.0,
+                "element {i}: handwritten {x} vs DSL {y}"
+            );
+        }
+    }
+}
+
+/// TBQ is deterministic: identical three-level output.
+#[test]
+fn tbq_matches_handwritten_exactly() {
+    let tau = 0.002f32;
+    let hand = Algorithm::Tbq { tau }.build().unwrap();
+    let dsl = algorithms::tbq(tau).unwrap();
+    let grad = test_grad(5000, 9);
+    let a = hand.decode(&hand.encode(&grad, 0)).unwrap();
+    let b = dsl.decode(&dsl.encode(&grad, 0)).unwrap();
+    assert_eq!(a, b);
+}
+
+/// TernGrad is stochastic; both implementations must satisfy the same
+/// contract: values on quantization levels, error bounded by one gap,
+/// unbiased in expectation.
+#[test]
+fn terngrad_satisfies_shared_contract() {
+    for bitwidth in [2u8, 4, 8] {
+        let dsl = algorithms::terngrad(bitwidth).unwrap();
+        let grad = test_grad(2000, 5);
+        let (lo, hi) = grad
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &x| {
+                (a.min(x), b.max(x))
+            });
+        let gap = (hi - lo) / ((1u32 << bitwidth) - 1) as f32;
+        let dec = dsl.decode(&dsl.encode(&grad, 11)).unwrap();
+        for (o, d) in grad.iter().zip(&dec) {
+            assert!(
+                (o - d).abs() <= gap * (1.0 + 1e-4) + 1e-6,
+                "bitwidth {bitwidth}: error {} exceeds gap {gap}",
+                (o - d).abs()
+            );
+        }
+    }
+}
+
+/// TernGrad bias check at one interior value.
+#[test]
+fn terngrad_dsl_is_unbiased() {
+    let dsl = algorithms::terngrad(2).unwrap();
+    let grad = vec![0.0f32, 3.0, 1.3];
+    let mut sum = 0.0f64;
+    let trials = 3000u64;
+    for seed in 0..trials {
+        let dec = dsl.decode(&dsl.encode(&grad, seed)).unwrap();
+        sum += dec[2] as f64;
+    }
+    let mean = sum / trials as f64;
+    assert!((mean - 1.3).abs() < 0.06, "biased mean {mean}");
+}
+
+/// DGC: same survivor count and the same dominance property; kept
+/// values exact.
+#[test]
+fn dgc_matches_handwritten_semantics() {
+    let rate = 0.02;
+    let hand = Algorithm::Dgc { rate }.build().unwrap();
+    let dsl = algorithms::dgc(rate).unwrap();
+    let grad = test_grad(4000, 21);
+    let a = hand.decode(&hand.encode(&grad, 0)).unwrap();
+    let b = dsl.decode(&dsl.encode(&grad, 0)).unwrap();
+    let nz_a = a.iter().filter(|&&x| x != 0.0).count();
+    let nz_b = b.iter().filter(|&&x| x != 0.0).count();
+    // The DSL version keeps >= k (ties at the threshold); handwritten
+    // keeps exactly k.
+    assert!(nz_b >= nz_a && nz_b <= nz_a + 8, "{nz_a} vs {nz_b}");
+    for (o, d) in grad.iter().zip(&b) {
+        assert!(*d == 0.0 || d == o, "kept values must be exact");
+    }
+}
+
+/// GradDrop: survivor fraction near the configured rate.
+#[test]
+fn graddrop_rate_honored() {
+    let rate = 0.05;
+    let dsl = algorithms::graddrop(rate).unwrap();
+    let grad = generate(30_000, GradientShape::Gaussian { std_dev: 1.0 }, 3).into_vec();
+    let dec = dsl.decode(&dsl.encode(&grad, 13)).unwrap();
+    let nz = dec.iter().filter(|&&x| x != 0.0).count();
+    let expected = grad.len() as f64 * rate;
+    assert!(
+        (nz as f64 - expected).abs() / expected < 0.4,
+        "{nz} survivors, expected ~{expected}"
+    );
+}
+
+/// Compressed sizes: the DSL versions' wire overhead is within a few
+/// bytes of the handwritten ones (same information content).
+#[test]
+fn compressed_sizes_comparable() {
+    let n = 100_000usize;
+    let grad = test_grad(n, 2);
+    let pairs: Vec<(Box<dyn Compressor>, Box<dyn Compressor>)> = vec![
+        (
+            Algorithm::OneBit.build().unwrap(),
+            Box::new(algorithms::onebit().unwrap()),
+        ),
+        (
+            Algorithm::Tbq { tau: 0.01 }.build().unwrap(),
+            Box::new(algorithms::tbq(0.01).unwrap()),
+        ),
+        (
+            Algorithm::TernGrad { bitwidth: 2 }.build().unwrap(),
+            Box::new(algorithms::terngrad(2).unwrap()),
+        ),
+    ];
+    for (hand, dsl) in pairs {
+        let sh = hand.encode(&grad, 0).len() as f64;
+        let sd = dsl.encode(&grad, 0).len() as f64;
+        assert!(
+            (sh - sd).abs() / sh < 0.02,
+            "{}: handwritten {sh} vs DSL {sd}",
+            hand.name()
+        );
+    }
+}
+
+/// The size model advertised to the synchronization layer matches
+/// reality for the DSL algorithms.
+#[test]
+fn size_model_accuracy() {
+    for alg in algorithms::paper_suite().unwrap() {
+        if alg.name().contains("dgc") || alg.name().contains("graddrop") {
+            continue; // Data-dependent sizes: model is expected value.
+        }
+        let n = 50_000;
+        let grad = test_grad(n, 7);
+        let actual = alg.encode(&grad, 0).len() as i64;
+        let predicted = alg.compressed_size(n) as i64;
+        assert!(
+            (actual - predicted).abs() <= 16,
+            "{}: predicted {predicted}, actual {actual}",
+            alg.name()
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Error feedback (residual accumulation) for lossy gradient
+//! compression.
+//!
+//! Every algorithm the paper evaluates relies on the sender keeping
+//! the part of the gradient the compressor discarded and adding it
+//! back before compressing the next iteration's gradient. This is what
+//! preserves convergence ("adopting them does not affect model
+//! convergence", §2.4): the compression error telescopes instead of
+//! accumulating.
+//!
+//! The wrapper is keyed by gradient name, so one instance serves a
+//! whole model's worth of per-layer residual state on a worker.
+
+use crate::Compressor;
+use std::collections::HashMap;
+
+/// Per-worker residual state wrapping compression with error feedback.
+#[derive(Default)]
+pub struct ErrorFeedback {
+    residuals: HashMap<String, Vec<f32>>,
+}
+
+impl ErrorFeedback {
+    /// Creates an empty residual store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses `grad` for the gradient named `key`, applying and
+    /// updating the stored residual.
+    ///
+    /// The returned stream encodes `grad + residual`; the new residual
+    /// becomes `(grad + residual) - decode(stream)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient's length changes between iterations for
+    /// the same key (model shapes are fixed during training).
+    pub fn encode(
+        &mut self,
+        key: &str,
+        grad: &[f32],
+        compressor: &dyn Compressor,
+        seed: u64,
+    ) -> Vec<u8> {
+        let residual = self
+            .residuals
+            .entry(key.to_string())
+            .or_insert_with(|| vec![0.0; grad.len()]);
+        assert_eq!(
+            residual.len(),
+            grad.len(),
+            "gradient '{key}' changed length between iterations"
+        );
+        // Corrected gradient: this iteration's gradient plus what
+        // previous compressions dropped.
+        let corrected: Vec<f32> = grad
+            .iter()
+            .zip(residual.iter())
+            .map(|(&g, &r)| g + r)
+            .collect();
+        let stream = compressor.encode(&corrected, seed);
+        let reconstructed = compressor
+            .decode(&stream)
+            .expect("compressor must decode its own output");
+        for ((r, &c), &d) in residual
+            .iter_mut()
+            .zip(corrected.iter())
+            .zip(reconstructed.iter())
+        {
+            *r = c - d;
+        }
+        stream
+    }
+
+    /// The stored residual for `key`, if any.
+    pub fn residual(&self, key: &str) -> Option<&[f32]> {
+        self.residuals.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of gradients with residual state.
+    pub fn len(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Whether no residual state exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+
+    /// Drops all residual state (e.g., between training runs).
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use hipress_tensor::synth::{generate, GradientShape};
+
+    /// The telescoping property: after T iterations, the sum of all
+    /// decoded gradients equals the sum of all true gradients minus
+    /// the final residual. Nothing is ever lost permanently.
+    #[test]
+    fn telescoping_sum() {
+        for alg in [
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.05 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.05 },
+            Algorithm::GradDrop { rate: 0.05 },
+        ] {
+            let c = alg.build().unwrap();
+            let mut fb = ErrorFeedback::new();
+            let n = 2000;
+            let mut true_sum = vec![0.0f64; n];
+            let mut decoded_sum = vec![0.0f64; n];
+            for iter in 0..10u64 {
+                let grad = generate(
+                    n,
+                    GradientShape::Gaussian { std_dev: 0.01 },
+                    100 + iter,
+                );
+                for (s, &g) in true_sum.iter_mut().zip(grad.as_slice()) {
+                    *s += g as f64;
+                }
+                let stream = fb.encode("layer0", grad.as_slice(), c.as_ref(), iter);
+                let dec = c.decode(&stream).unwrap();
+                for (s, &d) in decoded_sum.iter_mut().zip(dec.iter()) {
+                    *s += d as f64;
+                }
+            }
+            let residual = fb.residual("layer0").unwrap();
+            for i in 0..n {
+                let lhs = decoded_sum[i] + residual[i] as f64;
+                // f32 accumulation tolerance.
+                assert!(
+                    (lhs - true_sum[i]).abs() < 1e-3,
+                    "{}: telescoping violated at {i}: {lhs} vs {}",
+                    c.name(),
+                    true_sum[i]
+                );
+            }
+        }
+    }
+
+    /// With TBQ, a gradient smaller than the threshold is entirely
+    /// suppressed, but error feedback accumulates it until it crosses
+    /// the threshold and gets transmitted.
+    #[test]
+    fn small_gradients_eventually_transmitted() {
+        let alg = Algorithm::Tbq { tau: 0.5 };
+        let c = alg.build().unwrap();
+        let mut fb = ErrorFeedback::new();
+        let grad = vec![0.2f32; 10];
+        let mut transmitted_any = false;
+        for iter in 0..5 {
+            let stream = fb.encode("g", &grad, c.as_ref(), iter);
+            let dec = c.decode(&stream).unwrap();
+            if dec.iter().any(|&x| x != 0.0) {
+                transmitted_any = true;
+                break;
+            }
+        }
+        assert!(
+            transmitted_any,
+            "error feedback must eventually push small gradients over the threshold"
+        );
+    }
+
+    #[test]
+    fn residual_state_is_per_key() {
+        let c = Algorithm::Dgc { rate: 0.5 }.build().unwrap();
+        let mut fb = ErrorFeedback::new();
+        fb.encode("a", &[1.0, 0.1], c.as_ref(), 0);
+        fb.encode("b", &[2.0, 0.2, 0.02], c.as_ref(), 0);
+        assert_eq!(fb.len(), 2);
+        assert_eq!(fb.residual("a").unwrap().len(), 2);
+        assert_eq!(fb.residual("b").unwrap().len(), 3);
+        assert!(fb.residual("c").is_none());
+        fb.reset();
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "changed length")]
+    fn length_change_panics() {
+        let c = Algorithm::OneBit.build().unwrap();
+        let mut fb = ErrorFeedback::new();
+        fb.encode("a", &[1.0, 2.0], c.as_ref(), 0);
+        fb.encode("a", &[1.0], c.as_ref(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Naive open-source baseline implementations (§4.4, Table 5).
+//!
+//! The paper compares CompLL-generated kernels against the open-source
+//! implementations of each algorithm and reports large speedups
+//! (CompLL-TBQ over 12× faster than OSS-TBQ, CompLL-DGC up to 5.1×
+//! faster than OSS-DGC, CompLL-onebit up to 35.6× faster than the
+//! CPU-only OSS-onebit). We reproduce those baselines as deliberately
+//! unoptimized Rust: full sorts instead of partial selection, multiple
+//! separate passes instead of fused ones, per-element buffer growth
+//! and intermediate copies instead of preallocated packing.
+//!
+//! The OSS encoders emit streams decodable by the optimized decoders
+//! (same wire format) so they are drop-in interchangeable in the
+//! synchronization layer — just slower, both in wall-clock time
+//! (measured by the criterion micro-benchmarks) and in their simulated
+//! [`KernelCostProfile`]s (pass counts scaled by the paper's reported
+//! factors).
+
+use crate::header::{AlgoId, Header};
+use crate::{dgc, AlgorithmKind, Compressor, KernelCostProfile};
+use hipress_util::bits::BitWriter;
+use hipress_util::rng::{Rng64, Xoshiro256};
+use hipress_util::Result;
+
+/// CPU-only OSS onebit (the BytePS implementation, reference \[11\] in
+/// the paper, "implemented only on CPU").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OssOneBit;
+
+impl OssOneBit {
+    /// Creates the baseline compressor.
+    pub fn new() -> Self {
+        OssOneBit
+    }
+}
+
+impl Compressor for OssOneBit {
+    fn name(&self) -> &'static str {
+        "oss-onebit"
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Quantization
+    }
+
+    fn encode(&self, grad: &[f32], _seed: u64) -> Vec<u8> {
+        // Naive: separate full passes for the positive mean, the
+        // negative mean, and the signs, plus an intermediate copy.
+        let copy: Vec<f32> = grad.to_vec();
+        let positives: Vec<f32> = copy.iter().copied().filter(|&x| x > 0.0).collect();
+        let negatives: Vec<f32> = copy.iter().copied().filter(|&x| x <= 0.0).collect();
+        let pos_mean = if positives.is_empty() {
+            0.0
+        } else {
+            (positives.iter().map(|&x| x as f64).sum::<f64>() / positives.len() as f64) as f32
+        };
+        let neg_mean = if negatives.is_empty() {
+            0.0
+        } else {
+            (negatives.iter().map(|&x| x as f64).sum::<f64>() / negatives.len() as f64) as f32
+        };
+        // Another pass to collect signs into an intermediate bool
+        // vector before packing.
+        let signs: Vec<bool> = copy.iter().map(|&x| x > 0.0).collect();
+        let mut out = Vec::new();
+        Header {
+            algo: AlgoId::OneBit,
+            elems: grad.len() as u32,
+        }
+        .write(&mut out);
+        out.extend_from_slice(&neg_mean.to_le_bytes());
+        out.extend_from_slice(&pos_mean.to_le_bytes());
+        let mut bits = BitWriter::new();
+        for b in signs {
+            bits.write_bit(b);
+        }
+        out.extend_from_slice(&bits.finish());
+        out
+    }
+
+    fn decode(&self, data: &[u8]) -> Result<Vec<f32>> {
+        // Extra copy on the way out, as the OSS code performs a
+        // host-side staging copy.
+        let dense = crate::onebit::OneBit::new().decode(data)?;
+        Ok(dense.to_vec())
+    }
+
+    fn compressed_size(&self, elems: usize) -> u64 {
+        crate::onebit::OneBit::new().compressed_size(elems)
+    }
+
+    fn cost_profile(&self) -> KernelCostProfile {
+        // Four separate scans plus staging copies. (The additional
+        // 35.6x CPU penalty is applied by the execution placement —
+        // this profile describes the kernel as if it ran on GPU.)
+        KernelCostProfile {
+            encode_passes: 4.0,
+            decode_passes: 2.0,
+        }
+    }
+}
+
+/// OSS TBQ: unfused threshold pass producing one byte per code before
+/// repacking — the >12× encode gap of §4.4.
+#[derive(Debug, Clone, Copy)]
+pub struct OssTbq {
+    tau: f32,
+}
+
+impl OssTbq {
+    /// Creates the baseline with threshold `tau`.
+    pub fn new(tau: f32) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "TBQ threshold must be positive");
+        Self { tau }
+    }
+}
+
+impl Compressor for OssTbq {
+    fn name(&self) -> &'static str {
+        "oss-tbq"
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Quantization
+    }
+
+    fn encode(&self, grad: &[f32], _seed: u64) -> Vec<u8> {
+        // Stage 1: classify into a byte-per-element buffer.
+        let mut codes: Vec<u8> = Vec::new();
+        for &x in grad {
+            let code = if x >= self.tau {
+                0b01
+            } else if x <= -self.tau {
+                0b10
+            } else {
+                0b00
+            };
+            codes.push(code); // Unreserved growth, reallocating often.
+        }
+        // Stage 2: repack byte codes into 2-bit codes.
+        let mut out = Vec::new();
+        Header {
+            algo: AlgoId::Tbq,
+            elems: grad.len() as u32,
+        }
+        .write(&mut out);
+        out.extend_from_slice(&self.tau.to_le_bytes());
+        let mut bits = BitWriter::new();
+        for c in codes {
+            bits.write(c as u64, 2);
+        }
+        out.extend_from_slice(&bits.finish());
+        out
+    }
+
+    fn decode(&self, data: &[u8]) -> Result<Vec<f32>> {
+        crate::tbq::Tbq::new(self.tau).decode(data)
+    }
+
+    fn compressed_size(&self, elems: usize) -> u64 {
+        crate::tbq::Tbq::new(self.tau).compressed_size(elems)
+    }
+
+    fn cost_profile(&self) -> KernelCostProfile {
+        // The paper reports OSS-TBQ encode >12x slower than CompLL-TBQ
+        // (which is single-pass).
+        KernelCostProfile {
+            encode_passes: 12.0,
+            decode_passes: 3.0,
+        }
+    }
+}
+
+/// OSS TernGrad: separate min and max reduction passes, f64 interior
+/// math, and per-element bit writes without preallocation.
+#[derive(Debug, Clone, Copy)]
+pub struct OssTernGrad {
+    bitwidth: u8,
+}
+
+impl OssTernGrad {
+    /// Creates the baseline with the given bits-per-element.
+    pub fn new(bitwidth: u8) -> Self {
+        assert!((1..=8).contains(&bitwidth), "bitwidth must be in 1..=8");
+        Self { bitwidth }
+    }
+}
+
+impl Compressor for OssTernGrad {
+    fn name(&self) -> &'static str {
+        "oss-terngrad"
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Quantization
+    }
+
+    fn encode(&self, grad: &[f32], seed: u64) -> Vec<u8> {
+        let mut rng = Xoshiro256::new(seed);
+        // Two separate reduction passes.
+        let min = grad.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let (min, max) = if grad.is_empty() { (0.0, 0.0) } else { (min, max) };
+        let levels = (1u32 << self.bitwidth) - 1;
+        let gap = if max > min { (max - min) / levels as f32 } else { 0.0 };
+        let mut out = Vec::new();
+        Header {
+            algo: AlgoId::TernGrad,
+            elems: grad.len() as u32,
+        }
+        .write(&mut out);
+        out.push(self.bitwidth);
+        out.extend_from_slice(&min.to_le_bytes());
+        out.extend_from_slice(&max.to_le_bytes());
+        // Stage quantized levels into a full u32 buffer before
+        // packing (the unfused OSS structure), then pack in a second
+        // pass.
+        let mut staged: Vec<u32> = Vec::new();
+        for &x in grad {
+            let q = if gap > 0.0 {
+                let r = ((x - min) as f64) / (gap as f64);
+                ((r + rng.next_f32() as f64).floor() as u32).min(levels)
+            } else {
+                0
+            };
+            staged.push(q); // Unreserved growth.
+        }
+        let staged2 = staged.clone(); // Host staging copy.
+        let mut bits = BitWriter::new();
+        for q in staged2 {
+            bits.write(q as u64, self.bitwidth as u32);
+        }
+        out.extend_from_slice(&bits.finish());
+        out
+    }
+
+    fn decode(&self, data: &[u8]) -> Result<Vec<f32>> {
+        crate::terngrad::TernGrad::new(self.bitwidth).decode(data)
+    }
+
+    fn compressed_size(&self, elems: usize) -> u64 {
+        crate::terngrad::TernGrad::new(self.bitwidth).compressed_size(elems)
+    }
+
+    fn cost_profile(&self) -> KernelCostProfile {
+        KernelCostProfile {
+            encode_passes: 6.0,
+            decode_passes: 2.0,
+        }
+    }
+}
+
+/// OSS DGC: finds the top-k by fully sorting the gradient — the
+/// O(n log n) strategy behind the up-to-5.1× encode gap of §4.4.
+#[derive(Debug, Clone, Copy)]
+pub struct OssDgc {
+    rate: f64,
+}
+
+impl OssDgc {
+    /// Creates the baseline keeping `rate` of the elements.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        Self { rate }
+    }
+}
+
+impl Compressor for OssDgc {
+    fn name(&self) -> &'static str {
+        "oss-dgc"
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Sparsification
+    }
+
+    fn encode(&self, grad: &[f32], _seed: u64) -> Vec<u8> {
+        let k = crate::dgc::Dgc::new(self.rate).k_for(grad.len());
+        // Full sort of (magnitude, index) pairs.
+        let mut pairs: Vec<(f32, u32)> = grad
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x.abs(), i as u32))
+            .collect();
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut indices: Vec<u32> = pairs[..k].iter().map(|&(_, i)| i).collect();
+        indices.sort_unstable();
+        let mut out = Vec::new();
+        Header {
+            algo: AlgoId::Dgc,
+            elems: grad.len() as u32,
+        }
+        .write(&mut out);
+        dgc::write_sparse(&mut out, grad, &indices);
+        out
+    }
+
+    fn decode(&self, data: &[u8]) -> Result<Vec<f32>> {
+        crate::dgc::Dgc::new(self.rate).decode(data)
+    }
+
+    fn compressed_size(&self, elems: usize) -> u64 {
+        crate::dgc::Dgc::new(self.rate).compressed_size(elems)
+    }
+
+    fn cost_profile(&self) -> KernelCostProfile {
+        // Paper: CompLL-DGC encode up to 5.1x faster than the manually
+        // optimized OSS-DGC GPU kernel. CompLL-DGC is ~3 passes.
+        KernelCostProfile {
+            encode_passes: 15.3,
+            decode_passes: 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use hipress_tensor::synth::{generate, GradientShape};
+
+    /// OSS and optimized implementations must agree semantically.
+    #[test]
+    fn oss_matches_optimized_output() {
+        let grad = generate(4096, GradientShape::default_dnn(), 11);
+        let cases = [
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.001 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.01 },
+        ];
+        for alg in cases {
+            let opt = alg.build().unwrap();
+            let oss = alg.build_oss().unwrap();
+            let a = opt.decode(&opt.encode(grad.as_slice(), 5)).unwrap();
+            let b = oss.decode(&oss.encode(grad.as_slice(), 5)).unwrap();
+            assert_eq!(a.len(), b.len(), "{}", oss.name());
+            // onebit/tbq/terngrad streams are byte-identical given the
+            // same seed; DGC may differ on magnitude ties, so compare
+            // reconstruction error instead.
+            match alg {
+                Algorithm::Dgc { .. } => {
+                    let nz_a = a.iter().filter(|&&x| x != 0.0).count();
+                    let nz_b = b.iter().filter(|&&x| x != 0.0).count();
+                    assert_eq!(nz_a, nz_b, "same survivor count");
+                }
+                _ => assert_eq!(a, b, "{} output differs", oss.name()),
+            }
+        }
+    }
+
+    /// The OSS cost profiles must be strictly worse than the optimized
+    /// ones (these gaps drive the SS4.4 speedup reproduction).
+    #[test]
+    fn oss_cost_profiles_are_worse() {
+        let cases = [
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.01 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.001 },
+        ];
+        for alg in cases {
+            let opt = alg.build().unwrap().cost_profile();
+            let oss = alg.build_oss().unwrap().cost_profile();
+            assert!(
+                oss.encode_passes > opt.encode_passes,
+                "{:?}: OSS encode must cost more",
+                alg
+            );
+            assert!(oss.decode_passes > opt.decode_passes, "{:?}", alg);
+        }
+    }
+
+    #[test]
+    fn oss_sizes_match_optimized() {
+        for n in [0usize, 1, 1000] {
+            assert_eq!(
+                OssOneBit::new().compressed_size(n),
+                crate::onebit::OneBit::new().compressed_size(n)
+            );
+            assert_eq!(
+                OssDgc::new(0.01).compressed_size(n),
+                crate::dgc::Dgc::new(0.01).compressed_size(n)
+            );
+        }
+    }
+}

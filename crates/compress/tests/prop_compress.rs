@@ -1,0 +1,117 @@
+//! Property-based invariants for every compression algorithm.
+
+use hipress_compress::Algorithm;
+use proptest::prelude::*;
+
+/// Arbitrary finite gradients of modest size.
+fn gradient() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3f32..1e3, 0..600)
+}
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::OneBit,
+        Algorithm::Tbq { tau: 0.5 },
+        Algorithm::TernGrad { bitwidth: 2 },
+        Algorithm::TernGrad { bitwidth: 8 },
+        Algorithm::Dgc { rate: 0.1 },
+        Algorithm::GradDrop { rate: 0.1 },
+    ]
+}
+
+proptest! {
+    /// decode(encode(g)) has the original length, finite values, and a
+    /// stream exactly as large as advertised (for size-deterministic
+    /// algorithms).
+    #[test]
+    fn roundtrip_shape(grad in gradient(), seed in any::<u64>()) {
+        for alg in all_algorithms() {
+            let c = alg.build().unwrap();
+            let enc = c.encode(&grad, seed);
+            let dec = c.decode(&enc).unwrap();
+            prop_assert_eq!(dec.len(), grad.len(), "{}", c.name());
+            prop_assert!(dec.iter().all(|x| x.is_finite()), "{}", c.name());
+            match alg {
+                // GradDrop's size is data-dependent.
+                Algorithm::GradDrop { .. } => {}
+                _ => prop_assert_eq!(
+                    enc.len() as u64,
+                    c.compressed_size(grad.len()),
+                    "{} size mismatch", c.name()
+                ),
+            }
+        }
+    }
+
+    /// Quantizers never increase the dynamic range: every decoded value
+    /// lies within [min, max] of the original gradient.
+    #[test]
+    fn quantizers_stay_in_range(grad in prop::collection::vec(-100f32..100.0, 1..400), seed in any::<u64>()) {
+        let lo = grad.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for alg in [Algorithm::OneBit, Algorithm::TernGrad { bitwidth: 2 }, Algorithm::TernGrad { bitwidth: 4 }] {
+            let c = alg.build().unwrap();
+            let dec = c.decode(&c.encode(&grad, seed)).unwrap();
+            for &d in &dec {
+                prop_assert!(d >= lo - 1e-4 && d <= hi + 1e-4,
+                    "{}: {d} outside [{lo}, {hi}]", c.name());
+            }
+        }
+    }
+
+    /// TernGrad's element-wise error is bounded by one quantization gap.
+    #[test]
+    fn terngrad_error_bound(grad in prop::collection::vec(-10f32..10.0, 1..400), seed in any::<u64>(), bitwidth in 1u8..=8) {
+        let c = Algorithm::TernGrad { bitwidth }.build().unwrap();
+        let dec = c.decode(&c.encode(&grad, seed)).unwrap();
+        let lo = grad.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let gap = (hi - lo) / ((1u32 << bitwidth) - 1).max(1) as f32;
+        for (o, d) in grad.iter().zip(&dec) {
+            prop_assert!((o - d).abs() <= gap + (hi - lo).abs() * 1e-5 + 1e-6);
+        }
+    }
+
+    /// Sparsifiers keep values exactly and zero the rest.
+    #[test]
+    fn sparsifier_values_exact(grad in prop::collection::vec(-50f32..50.0, 1..400), seed in any::<u64>()) {
+        for alg in [Algorithm::Dgc { rate: 0.2 }, Algorithm::GradDrop { rate: 0.2 }] {
+            let c = alg.build().unwrap();
+            let dec = c.decode(&c.encode(&grad, seed)).unwrap();
+            for (o, d) in grad.iter().zip(&dec) {
+                prop_assert!(*d == 0.0 || d == o, "{}: {d} not in {{0, {o}}}", c.name());
+            }
+        }
+    }
+
+    /// DGC keeps exactly k elements and they dominate the dropped ones.
+    #[test]
+    fn dgc_topk_dominance(grad in prop::collection::vec(-50f32..50.0, 1..300)) {
+        let alg = Algorithm::Dgc { rate: 0.15 };
+        let c = alg.build().unwrap();
+        let dec = c.decode(&c.encode(&grad, 0)).unwrap();
+        let kept: Vec<f32> = grad.iter().zip(&dec).filter(|(_, &d)| d != 0.0).map(|(&o, _)| o.abs()).collect();
+        let dropped_max = grad
+            .iter()
+            .zip(&dec)
+            .filter(|(_, &d)| d == 0.0)
+            .map(|(&o, _)| o.abs())
+            .fold(0.0f32, f32::max);
+        let kept_min = kept.iter().copied().fold(f32::INFINITY, f32::min);
+        prop_assert!(kept_min >= dropped_max || kept.is_empty() || (kept_min - dropped_max).abs() < 1e-6);
+    }
+
+    /// Corrupting any single byte of the header never panics: decode
+    /// returns an error or a (possibly wrong) value, but must not crash.
+    #[test]
+    fn corrupted_streams_do_not_panic(grad in prop::collection::vec(-5f32..5.0, 1..100), pos in 0usize..32, val in any::<u8>()) {
+        for alg in all_algorithms() {
+            let c = alg.build().unwrap();
+            let mut enc = c.encode(&grad, 1);
+            if pos < enc.len() {
+                enc[pos] = val;
+                let _ = c.decode(&enc); // Must not panic.
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Cluster configuration shared by strategies, the planner, and the
+//! executor.
+
+use hipress_simgpu::DeviceSpec;
+use hipress_simnet::LinkSpec;
+use hipress_util::{Error, Result};
+
+/// A homogeneous training cluster (the paper assumes homogeneity,
+/// §3.3).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of nodes (each is both a worker and, for PS, a
+    /// co-located aggregator, as in §6.1).
+    pub nodes: usize,
+    /// GPUs per node (8 on EC2, 2 locally).
+    pub gpus_per_node: usize,
+    /// Inter-node link spec.
+    pub link: LinkSpec,
+    /// GPU device model.
+    pub gpu: DeviceSpec,
+    /// Effective fraction of nominal link bandwidth the transport
+    /// achieves at application level (RDMA+NCCL ≈ 0.7; the TCP
+    /// fallback BytePS uses on EC2, where it lacks EFA support,
+    /// ≈ 0.45 — §6.1).
+    pub transport_efficiency: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's EC2 cluster: 16 nodes × 8 V100, 100 Gbps.
+    pub fn ec2(nodes: usize) -> Self {
+        Self {
+            nodes,
+            gpus_per_node: 8,
+            link: LinkSpec::gbps100(),
+            gpu: DeviceSpec::v100(),
+            transport_efficiency: 0.7,
+        }
+    }
+
+    /// The paper's local cluster: 16 nodes × 2 GTX 1080 Ti, 56 Gbps.
+    pub fn local(nodes: usize) -> Self {
+        Self {
+            nodes,
+            gpus_per_node: 2,
+            link: LinkSpec::gbps56(),
+            gpu: DeviceSpec::gtx1080ti(),
+            transport_efficiency: 0.7,
+        }
+    }
+
+    /// Switches to TCP transport (BytePS on EC2; §6.1 notes BytePS
+    /// cannot use EFA).
+    pub fn with_tcp(mut self) -> Self {
+        self.transport_efficiency = 0.45;
+        self
+    }
+
+    /// Overrides the link spec (Figure 12a bandwidth sweeps).
+    pub fn with_link(mut self, link: LinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// The link spec adjusted for transport efficiency — what the
+    /// executor actually builds the fabric from.
+    pub fn effective_link(&self) -> LinkSpec {
+        LinkSpec::new(
+            hipress_util::units::Bandwidth::bytes_per_sec(
+                self.link.bandwidth.as_bytes_per_sec() * self.transport_efficiency,
+            ),
+            self.link.latency_ns,
+        )
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(Error::config("cluster needs at least one node"));
+        }
+        if self.gpus_per_node == 0 {
+            return Err(Error::config("nodes need at least one GPU"));
+        }
+        if !(0.0..=1.0).contains(&self.transport_efficiency) || self.transport_efficiency == 0.0 {
+            return Err(Error::config("transport efficiency must be in (0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let ec2 = ClusterConfig::ec2(16);
+        assert_eq!(ec2.total_gpus(), 128);
+        assert_eq!(ec2.gpu.name, "V100");
+        let local = ClusterConfig::local(16);
+        assert_eq!(local.total_gpus(), 32);
+        assert_eq!(local.gpu.name, "1080Ti");
+        assert!(ec2.validate().is_ok());
+    }
+
+    #[test]
+    fn tcp_derates_bandwidth() {
+        let rdma = ClusterConfig::ec2(4);
+        let tcp = ClusterConfig::ec2(4).with_tcp();
+        assert!(
+            tcp.effective_link().bandwidth.as_gbps() < rdma.effective_link().bandwidth.as_gbps()
+        );
+        // Nominal spec unchanged.
+        assert_eq!(tcp.link.bandwidth, rdma.link.bandwidth);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = ClusterConfig::ec2(0);
+        assert!(c.validate().is_err());
+        c.nodes = 2;
+        c.gpus_per_node = 0;
+        assert!(c.validate().is_err());
+        c.gpus_per_node = 1;
+        c.transport_efficiency = 0.0;
+        assert!(c.validate().is_err());
+        c.transport_efficiency = 0.5;
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-iteration synchronization specifications and per-gradient
+//! plans.
+
+use hipress_compress::Compressor;
+
+/// How a compression algorithm looks to the synchronization layer:
+/// its size transformation and its kernel cost shape. Extracted from a
+/// [`Compressor`] so the timing simulation does not need tensor data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionSpec {
+    /// Compressed size as a fraction of the original (metadata
+    /// amortized; exact sizes are computed per chunk).
+    pub ratio: f64,
+    /// Fixed metadata bytes per compressed chunk.
+    pub metadata_bytes: u64,
+    /// Memory sweeps per encode.
+    pub encode_passes: f64,
+    /// Memory sweeps (over the compressed input, plus one dense
+    /// write) per decode.
+    pub decode_passes: f64,
+}
+
+impl CompressionSpec {
+    /// Derives the spec from a compressor implementation by probing
+    /// its size function at a large element count.
+    pub fn of(compressor: &dyn Compressor) -> Self {
+        let probe = 1 << 22; // 4M elements.
+        let zero = compressor.compressed_size(0);
+        let full = compressor.compressed_size(probe);
+        let ratio = (full - zero) as f64 / (probe as f64 * 4.0);
+        let profile = compressor.cost_profile();
+        Self {
+            ratio,
+            metadata_bytes: zero,
+            encode_passes: profile.encode_passes,
+            decode_passes: profile.decode_passes,
+        }
+    }
+
+    /// Compressed size of a `bytes`-byte chunk.
+    pub fn compressed_bytes(&self, bytes: u64) -> u64 {
+        self.metadata_bytes + (bytes as f64 * self.ratio).ceil() as u64
+    }
+}
+
+/// The selective compression and partitioning decision for one
+/// gradient (§3.3): the `<compress?, K>` tuples of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradPlan {
+    /// Whether to compress this gradient at all.
+    pub compress: bool,
+    /// Number of partitions to split the gradient into before
+    /// compression.
+    pub partitions: usize,
+}
+
+impl GradPlan {
+    /// Compress without partitioning.
+    pub fn compress_whole() -> Self {
+        Self {
+            compress: true,
+            partitions: 1,
+        }
+    }
+
+    /// Send raw, unpartitioned.
+    pub fn raw() -> Self {
+        Self {
+            compress: false,
+            partitions: 1,
+        }
+    }
+}
+
+/// One gradient to synchronize in an iteration.
+#[derive(Debug, Clone)]
+pub struct SyncGradient {
+    /// Gradient name (stable across iterations).
+    pub name: String,
+    /// Size in bytes (fp32).
+    pub bytes: u64,
+    /// When the gradient becomes ready on every worker, as an offset
+    /// from the start of the iteration's backward pass (reverse layer
+    /// order; from `ModelSpec::backward_ready_offsets`).
+    pub ready_offset_ns: u64,
+    /// The selective compression and partitioning decision.
+    pub plan: GradPlan,
+}
+
+/// Everything the strategy needs to lay out one iteration's
+/// synchronization.
+#[derive(Debug, Clone)]
+pub struct IterationSpec {
+    /// Gradients in forward-layer order.
+    pub gradients: Vec<SyncGradient>,
+    /// The compression algorithm in effect (None = no compression
+    /// anywhere, regardless of per-gradient plans).
+    pub compression: Option<CompressionSpec>,
+}
+
+impl IterationSpec {
+    /// Total raw bytes across gradients.
+    pub fn total_bytes(&self) -> u64 {
+        self.gradients.iter().map(|g| g.bytes).sum()
+    }
+
+    /// Whether gradient `g` is compressed under this spec.
+    pub fn is_compressed(&self, g: usize) -> bool {
+        self.compression.is_some() && self.gradients[g].plan.compress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipress_compress::Algorithm;
+
+    #[test]
+    fn spec_of_onebit() {
+        let c = Algorithm::OneBit.build().unwrap();
+        let spec = CompressionSpec::of(c.as_ref());
+        // 1 bit per 32-bit element.
+        assert!((spec.ratio - 1.0 / 32.0).abs() < 1e-4, "ratio {}", spec.ratio);
+        assert_eq!(spec.metadata_bytes, 16); // header + two means
+        assert_eq!(spec.encode_passes, 2.0);
+        // Compressed size of a 4MiB chunk ~ 128KiB + metadata.
+        let m = 4 * 1024 * 1024;
+        let c = spec.compressed_bytes(m);
+        assert!((c as i64 - (m / 32 + 16) as i64).abs() < 8);
+    }
+
+    #[test]
+    fn spec_of_dgc() {
+        let c = Algorithm::Dgc { rate: 0.001 }.build().unwrap();
+        let spec = CompressionSpec::of(c.as_ref());
+        // 0.1% kept at 8B per survivor = ratio 0.002 of fp32 bytes.
+        assert!((spec.ratio - 0.002).abs() < 1e-4, "ratio {}", spec.ratio);
+    }
+
+    #[test]
+    fn plans() {
+        assert!(GradPlan::compress_whole().compress);
+        assert!(!GradPlan::raw().compress);
+        assert_eq!(GradPlan::raw().partitions, 1);
+    }
+
+    #[test]
+    fn iteration_spec_queries() {
+        let spec = IterationSpec {
+            gradients: vec![
+                SyncGradient {
+                    name: "a".into(),
+                    bytes: 100,
+                    ready_offset_ns: 0,
+                    plan: GradPlan::compress_whole(),
+                },
+                SyncGradient {
+                    name: "b".into(),
+                    bytes: 50,
+                    ready_offset_ns: 10,
+                    plan: GradPlan::raw(),
+                },
+            ],
+            compression: Some(CompressionSpec {
+                ratio: 0.1,
+                metadata_bytes: 8,
+                encode_passes: 2.0,
+                decode_passes: 1.0,
+            }),
+        };
+        assert_eq!(spec.total_bytes(), 150);
+        assert!(spec.is_compressed(0));
+        assert!(!spec.is_compressed(1));
+        let none = IterationSpec {
+            compression: None,
+            ..spec
+        };
+        assert!(!none.is_compressed(0));
+    }
+}

@@ -1,0 +1,226 @@
+//! The BytePS-style baseline Parameter Server.
+//!
+//! Without compression this is BytePS's strength: every tensor is
+//! partitioned into 4 MiB chunks spread round-robin over co-located
+//! aggregators, giving fine-grained pipelining and load balance
+//! (§2.2, §2.5 "fine-grained approach").
+//!
+//! With compression it reproduces the BytePS-onebit co-design the
+//! paper measures (§2.5, Table 1): compression is bolted on at
+//! *whole-gradient* granularity — the gradient is encoded once on the
+//! worker and the compressed blob, which cannot be partitioned for
+//! aggregation, is shipped to a single server. Large gradients
+//! therefore lose partition parallelism, and every hop pays extra
+//! staging copies (modelled as one extra memory pass on each codec
+//! kernel via `EXTRA_COPY_PASSES`).
+
+use crate::graph::{Primitive, SendSrc, TaskGraph, TaskId};
+use crate::plan::{CompressionSpec, IterationSpec};
+use crate::strategy::util::{chunk_sizes, Emit};
+
+/// BytePS's partition size for uncompressed tensors.
+const PARTITION_BYTES: u64 = 4 * 1024 * 1024;
+
+
+/// Builds the BytePS task graph for one iteration on `n` nodes.
+pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
+    let mut graph = TaskGraph::new();
+    let mut e = Emit {
+        graph: &mut graph,
+        iter,
+    };
+    for (g, grad) in iter.gradients.iter().enumerate() {
+        match iter.compression {
+            Some(spec) => build_compressed_gradient(&mut e, n, g, grad.bytes, spec),
+            None => build_raw_gradient(&mut e, n, g, grad.bytes),
+        }
+    }
+    graph
+}
+
+/// Uncompressed path: 4 MiB partitions round-robin over servers.
+fn build_raw_gradient(e: &mut Emit<'_>, n: usize, g: usize, bytes: u64) {
+    let k = (bytes.div_ceil(PARTITION_BYTES) as usize).max(1);
+    let chunks = chunk_sizes(bytes, k);
+    for (c, &chunk_bytes) in chunks.iter().enumerate() {
+        if chunk_bytes == 0 {
+            continue;
+        }
+        let agg = (c + g) % n;
+        let sources: Vec<TaskId> = (0..n).map(|w| e.source(w, g, c, chunk_bytes)).collect();
+        let mut merge_tail = sources[agg];
+        for w in 0..n {
+            if w == agg {
+                continue;
+            }
+            let (_, recv) = e.send_recv(
+                w,
+                agg,
+                g,
+                c,
+                chunk_bytes,
+                chunk_bytes,
+                SendSrc::Raw,
+                vec![sources[w]],
+            );
+            merge_tail = e.compute_at(
+                Primitive::Merge,
+                agg,
+                g,
+                c,
+                chunk_bytes,
+                chunk_bytes,
+                vec![recv, merge_tail],
+                true,
+            );
+        }
+        e.compute(
+            Primitive::Update,
+            agg,
+            g,
+            c,
+            chunk_bytes,
+            chunk_bytes,
+            vec![merge_tail],
+        );
+        for w in 0..n {
+            if w == agg {
+                continue;
+            }
+            let (_, recv) = e.send_recv(
+                agg,
+                w,
+                g,
+                c,
+                chunk_bytes,
+                chunk_bytes,
+                SendSrc::Raw,
+                vec![merge_tail],
+            );
+            e.compute(
+                Primitive::Update,
+                w,
+                g,
+                c,
+                chunk_bytes,
+                chunk_bytes,
+                vec![recv],
+            );
+        }
+    }
+}
+
+/// Compressed path: whole-gradient encode, single server, no
+/// partitioning.
+fn build_compressed_gradient(
+    e: &mut Emit<'_>,
+    n: usize,
+    g: usize,
+    bytes: u64,
+    spec: CompressionSpec,
+) {
+    let c = 0usize;
+    let agg = g % n;
+    let wire = spec.compressed_bytes(bytes);
+    let sources: Vec<TaskId> = (0..n).map(|w| e.source(w, g, c, bytes)).collect();
+    let mut merge_tail = sources[agg];
+    for w in 0..n {
+        if w == agg {
+            continue;
+        }
+        let enc = e.compute(Primitive::Encode, w, g, c, bytes, wire, vec![sources[w]]);
+        let (_, recv) = e.send_recv(w, agg, g, c, bytes, wire, SendSrc::Encoded, vec![enc]);
+        // The paper integrated an on-GPU onebit into BytePS for a
+        // fair comparison (SS2.5 footnote), so server-side codec work
+        // runs on the GPU; the architecture still pays staging copies
+        // (codec_extra_passes) and loses partition parallelism.
+        let dec = e.compute(Primitive::Decode, agg, g, c, bytes, wire, vec![recv]);
+        merge_tail = e.compute(
+            Primitive::Merge,
+            agg,
+            g,
+            c,
+            bytes,
+            wire,
+            vec![dec, merge_tail],
+        );
+    }
+    let enc_back = e.compute(Primitive::Encode, agg, g, c, bytes, wire, vec![merge_tail]);
+    // The server installs the reconstruction of what it broadcasts so
+    // all replicas agree.
+    e.compute(Primitive::Update, agg, g, c, bytes, wire, vec![enc_back]);
+    for w in 0..n {
+        if w == agg {
+            continue;
+        }
+        let (_, recv) = e.send_recv(agg, w, g, c, bytes, wire, SendSrc::Encoded, vec![enc_back]);
+        let dec = e.compute(Primitive::Decode, w, g, c, bytes, wire, vec![recv]);
+        e.compute(Primitive::Update, w, g, c, bytes, wire, vec![dec]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{GradPlan, SyncGradient};
+    use hipress_compress::Algorithm;
+
+    fn spec(bytes: u64, compress: bool) -> IterationSpec {
+        IterationSpec {
+            gradients: vec![SyncGradient {
+                name: "g".into(),
+                bytes,
+                ready_offset_ns: 0,
+                // BytePS ignores CaSync plans; give a conspicuous one.
+                plan: GradPlan {
+                    compress: false,
+                    partitions: 13,
+                },
+            }],
+            compression: compress.then(|| {
+                CompressionSpec::of(Algorithm::OneBit.build().unwrap().as_ref())
+            }),
+        }
+    }
+
+    #[test]
+    fn raw_tensors_partitioned_at_4mib() {
+        let n = 4;
+        let bytes = 10 * 1024 * 1024;
+        let g = build(n, &spec(bytes, false));
+        // ceil(10MiB / 4MiB) = 3 chunks, each updated on n nodes.
+        assert_eq!(g.count(Primitive::Update), 3 * n);
+        assert_eq!(g.count(Primitive::Encode), 0);
+        g.validate(n).unwrap();
+    }
+
+    #[test]
+    fn compressed_tensors_are_not_partitioned() {
+        let n = 4;
+        let bytes = 10 * 1024 * 1024;
+        let g = build(n, &spec(bytes, true));
+        // Whole-gradient: exactly one chunk regardless of size.
+        let parts: std::collections::HashSet<u32> =
+            g.tasks().iter().map(|t| t.chunk.part).collect();
+        assert_eq!(parts.len(), 1);
+        // N-1 worker encodes + 1 server encode.
+        assert_eq!(g.count(Primitive::Encode), n);
+        g.validate(n).unwrap();
+    }
+
+    #[test]
+    fn small_gradient_single_chunk() {
+        let g = build(3, &spec(4096, false));
+        assert_eq!(g.count(Primitive::Update), 3);
+    }
+
+    #[test]
+    fn compressed_wire_sizes_shrink() {
+        let g = build(3, &spec(1 << 22, true));
+        for t in g.tasks() {
+            if t.prim == Primitive::Send {
+                assert!(t.bytes_wire < t.bytes_raw / 16);
+            }
+        }
+    }
+}

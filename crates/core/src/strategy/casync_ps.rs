@@ -1,0 +1,231 @@
+//! CaSync-PS: the Parameter Server strategy expressed as a CaSync
+//! task DAG.
+//!
+//! Aggregators are co-located with workers (§6.1): every node is both.
+//! Each gradient is split into `K` partitions (from its selective
+//! compression plan); partition `c` is served by aggregator
+//! `c mod N`, spreading load across all nodes like BytePS's
+//! partitioned PS — but with compression-aware pipelining:
+//!
+//! ```text
+//! worker w, chunk c (aggregator a):
+//!   Source(w) → Encode(w) → Send(w→a) → Recv(a) → Decode(a) ─┐
+//!                                         (×N−1 workers)      ├→ Merge(a)…
+//!   Source(a) ────────────────────────────────────────────────┘
+//!   Merge(a, all) → Encode(a) → Send(a→w) → Recv(w) → Decode(w) → Update(w)
+//!                 └→ Update(a)
+//! ```
+//!
+//! Without compression the encode/decode stages vanish and sends move
+//! raw chunks — the same DAG CaSync uses for uncompressed gradients
+//! under selective compression.
+
+use crate::graph::{Primitive, SendSrc, TaskGraph, TaskId};
+use crate::plan::IterationSpec;
+use crate::strategy::util::{chunk_sizes, wire_bytes, Emit};
+use crate::topology::Topology;
+
+/// Builds the CaSync-PS task graph for one iteration on `n` nodes.
+pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
+    let topo = Topology::colocated_ps(n).expect("strategy entry validated n >= 2");
+    let mut graph = TaskGraph::new();
+    let mut e = Emit {
+        graph: &mut graph,
+        iter,
+    };
+    for (g, grad) in iter.gradients.iter().enumerate() {
+        let compressed = iter.is_compressed(g);
+        let chunks = chunk_sizes(grad.bytes, grad.plan.partitions);
+        for (c, &chunk_bytes) in chunks.iter().enumerate() {
+            if chunk_bytes == 0 {
+                continue;
+            }
+            let agg = topo.aggregator_of(g, c); // Load-spread assignment.
+            let wire = wire_bytes(iter, g, chunk_bytes);
+
+            // Every node holds its local chunk.
+            let sources: Vec<TaskId> = (0..n).map(|w| e.source(w, g, c, chunk_bytes)).collect();
+
+            // Push phase: remote workers ship their chunk to the
+            // aggregator; contributions are merged serially (the
+            // accumulator is a hazard).
+            let mut merge_tail = sources[agg];
+            for w in 0..n {
+                if w == agg {
+                    continue;
+                }
+                let ready = if compressed {
+                    e.compute(
+                        Primitive::Encode,
+                        w,
+                        g,
+                        c,
+                        chunk_bytes,
+                        wire,
+                        vec![sources[w]],
+                    )
+                } else {
+                    sources[w]
+                };
+                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
+                let (_, recv) = e.send_recv(w, agg, g, c, chunk_bytes, wire, src, vec![ready]);
+                let contribution = if compressed {
+                    e.compute(Primitive::Decode, agg, g, c, chunk_bytes, wire, vec![recv])
+                } else {
+                    recv
+                };
+                merge_tail = e.compute(
+                    Primitive::Merge,
+                    agg,
+                    g,
+                    c,
+                    chunk_bytes,
+                    wire,
+                    vec![contribution, merge_tail],
+                );
+            }
+
+            // Pull phase: the aggregator returns the result to every
+            // remote worker. When compression is on, the aggregator
+            // itself installs the *reconstruction* of what it sent
+            // (decode∘encode of the aggregate, fused into the encode
+            // kernel) — otherwise its replica would diverge from the
+            // workers'.
+            let result_ready = if compressed {
+                e.compute(
+                    Primitive::Encode,
+                    agg,
+                    g,
+                    c,
+                    chunk_bytes,
+                    wire,
+                    vec![merge_tail],
+                )
+            } else {
+                merge_tail
+            };
+            e.compute(
+                Primitive::Update,
+                agg,
+                g,
+                c,
+                chunk_bytes,
+                wire,
+                vec![result_ready],
+            );
+            for w in 0..n {
+                if w == agg {
+                    continue;
+                }
+                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
+                let (_, recv) =
+                    e.send_recv(agg, w, g, c, chunk_bytes, wire, src, vec![result_ready]);
+                let installed = if compressed {
+                    e.compute(Primitive::Decode, w, g, c, chunk_bytes, wire, vec![recv])
+                } else {
+                    recv
+                };
+                e.compute(
+                    Primitive::Update,
+                    w,
+                    g,
+                    c,
+                    chunk_bytes,
+                    wire,
+                    vec![installed],
+                );
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CompressionSpec, GradPlan, SyncGradient};
+    use hipress_compress::Algorithm;
+
+    fn one_grad_spec(bytes: u64, k: usize, compress: bool) -> IterationSpec {
+        IterationSpec {
+            gradients: vec![SyncGradient {
+                name: "g".into(),
+                bytes,
+                ready_offset_ns: 0,
+                plan: GradPlan {
+                    compress: true,
+                    partitions: k,
+                },
+            }],
+            compression: compress.then(|| {
+                CompressionSpec::of(Algorithm::OneBit.build().unwrap().as_ref())
+            }),
+        }
+    }
+
+    #[test]
+    fn operator_counts_match_cost_model() {
+        // SS2.5: up to 3N-2 compression operators per gradient. For PS
+        // with K=1: N-1 worker encodes + N-1 aggregator decodes +
+        // 1 aggregator encode + N-1 worker decodes = 3N-2 total.
+        let n = 5;
+        let g = build(n, &one_grad_spec(4096, 1, true));
+        let enc = g.count(Primitive::Encode);
+        let dec = g.count(Primitive::Decode);
+        assert_eq!(enc + dec, 3 * n - 2);
+        assert_eq!(enc, n); // N-1 workers + 1 aggregator.
+        assert_eq!(dec, 2 * (n - 1));
+    }
+
+    #[test]
+    fn uncompressed_graph_has_no_codec_tasks() {
+        let g = build(4, &one_grad_spec(4096, 2, false));
+        assert_eq!(g.count(Primitive::Encode), 0);
+        assert_eq!(g.count(Primitive::Decode), 0);
+        // Raw wire size equals chunk size.
+        assert!(g.tasks().iter().all(|t| t.bytes_wire == t.bytes_raw));
+    }
+
+    #[test]
+    fn every_node_gets_an_update_per_chunk() {
+        let n = 4;
+        let k = 3;
+        let g = build(n, &one_grad_spec(4096 * 3, k, true));
+        assert_eq!(g.count(Primitive::Update), n * k);
+    }
+
+    #[test]
+    fn partitions_spread_across_aggregators() {
+        let n = 4;
+        let g = build(n, &one_grad_spec(1 << 20, 4, true));
+        // Each chunk has exactly one aggregator-side final encode; the
+        // four chunks use four distinct nodes.
+        let agg_nodes: std::collections::HashSet<usize> = g
+            .tasks()
+            .iter()
+            .filter(|t| t.prim == Primitive::Merge)
+            .map(|t| t.node)
+            .collect();
+        assert_eq!(agg_nodes.len(), 4);
+    }
+
+    #[test]
+    fn compressed_wire_smaller_than_raw() {
+        let g = build(4, &one_grad_spec(1 << 20, 1, true));
+        for t in g.tasks() {
+            if t.prim == Primitive::Send {
+                assert!(t.bytes_wire < t.bytes_raw / 16, "onebit must shrink sends");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_valid() {
+        for k in [1usize, 2, 7] {
+            for comp in [false, true] {
+                let g = build(3, &one_grad_spec(4096, k, comp));
+                g.validate(3).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! CaSync-Ring: Ring-allreduce expressed as a CaSync task DAG.
+//!
+//! Each gradient is split into `K` partitions; partition `c` has an
+//! owner node and travels the ring twice (§2.2, Figure 1b):
+//!
+//! * **aggregation** (N−1 hops): each hop decodes the incoming
+//!   partial aggregate, merges it with the local chunk, re-encodes,
+//!   and forwards — the hop-serial dependency chain of §3.3's β/γ
+//!   analysis;
+//! * **dissemination** (N−1 hops): the owner encodes the final
+//!   aggregate once; every other node *forwards the received bytes
+//!   verbatim* and decodes off the critical path, which is why all
+//!   but the last decode overlap with transmission (§3.3).
+//!
+//! Unlike the conventional collective, nothing here is bulk
+//! synchronous: chunks of all gradients flow through the ring
+//! independently, which is what lets the executor pipeline
+//! compression against communication.
+
+use crate::graph::{Primitive, SendSrc, TaskGraph};
+use crate::plan::IterationSpec;
+use crate::strategy::util::{chunk_sizes, wire_bytes, Emit};
+use crate::topology::Topology;
+
+/// Builds the CaSync-Ring task graph for one iteration on `n` nodes.
+pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
+    let topo = Topology::ring(n).expect("strategy entry validated n >= 2");
+    let mut graph = TaskGraph::new();
+    let mut e = Emit {
+        graph: &mut graph,
+        iter,
+    };
+    for (g, grad) in iter.gradients.iter().enumerate() {
+        let compressed = iter.is_compressed(g);
+        let chunks = chunk_sizes(grad.bytes, grad.plan.partitions);
+        for (c, &chunk_bytes) in chunks.iter().enumerate() {
+            if chunk_bytes == 0 {
+                continue;
+            }
+            let wire = wire_bytes(iter, g, chunk_bytes);
+            let owner = topo.owner_of(g, c);
+
+            let sources: Vec<_> = (0..n).map(|w| e.source(w, g, c, chunk_bytes)).collect();
+
+            // Aggregation: the partial aggregate starts at the node
+            // after the owner and walks the ring back to the owner.
+            let mut carry = sources[topo.successor(owner)];
+            let mut holder = topo.successor(owner);
+            for _hop in 0..n - 1 {
+                let next = topo.successor(holder);
+                let ready = if compressed {
+                    e.compute(
+                        Primitive::Encode,
+                        holder,
+                        g,
+                        c,
+                        chunk_bytes,
+                        wire,
+                        vec![carry],
+                    )
+                } else {
+                    carry
+                };
+                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
+                let (_, recv) =
+                    e.send_recv(holder, next, g, c, chunk_bytes, wire, src, vec![ready]);
+                let contribution = if compressed {
+                    e.compute(Primitive::Decode, next, g, c, chunk_bytes, wire, vec![recv])
+                } else {
+                    recv
+                };
+                carry = e.compute(
+                    Primitive::Merge,
+                    next,
+                    g,
+                    c,
+                    chunk_bytes,
+                    wire,
+                    vec![contribution, sources[next]],
+                );
+                holder = next;
+            }
+            debug_assert_eq!(holder, owner, "aggregation must end at the owner");
+
+            // The owner encodes the aggregate once for dissemination
+            // and installs the reconstruction of exactly those bytes
+            // (not the raw sum), keeping its replica consistent with
+            // every other node's decode.
+            let mut outgoing = if compressed {
+                e.compute(
+                    Primitive::Encode,
+                    owner,
+                    g,
+                    c,
+                    chunk_bytes,
+                    wire,
+                    vec![carry],
+                )
+            } else {
+                carry
+            };
+            e.compute(
+                Primitive::Update,
+                owner,
+                g,
+                c,
+                chunk_bytes,
+                wire,
+                vec![outgoing],
+            );
+            // Dissemination: forward verbatim around the ring.
+            let mut from = owner;
+            for hop in 0..n - 1 {
+                let to = topo.successor(from);
+                let src = match (compressed, hop) {
+                    (false, _) => SendSrc::Raw,
+                    (true, 0) => SendSrc::Encoded,
+                    (true, _) => SendSrc::Forward,
+                };
+                let (_, recv) =
+                    e.send_recv(from, to, g, c, chunk_bytes, wire, src, vec![outgoing]);
+                let installed = if compressed {
+                    e.compute(Primitive::Decode, to, g, c, chunk_bytes, wire, vec![recv])
+                } else {
+                    recv
+                };
+                e.compute(
+                    Primitive::Update,
+                    to,
+                    g,
+                    c,
+                    chunk_bytes,
+                    wire,
+                    vec![installed],
+                );
+                // The next hop forwards what `to` received — it only
+                // needs the recv, not the decode (overlap!).
+                outgoing = recv;
+                from = to;
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CompressionSpec, GradPlan, SyncGradient};
+    use hipress_compress::Algorithm;
+
+    fn one_grad_spec(bytes: u64, k: usize, compress: bool) -> IterationSpec {
+        IterationSpec {
+            gradients: vec![SyncGradient {
+                name: "g".into(),
+                bytes,
+                ready_offset_ns: 0,
+                plan: GradPlan {
+                    compress: true,
+                    partitions: k,
+                },
+            }],
+            compression: compress.then(|| {
+                CompressionSpec::of(Algorithm::Tbq { tau: 0.1 }.build().unwrap().as_ref())
+            }),
+        }
+    }
+
+    #[test]
+    fn codec_counts_match_table3() {
+        // Table 3 for CaSync-Ring, K=1: encode ops = (N-1) + 1 = N,
+        // decode ops = (N-1) + (N-1) = 2(N-1) total (of which only the
+        // last dissemination decode is on the send path).
+        let n = 6;
+        let g = build(n, &one_grad_spec(4096, 1, true));
+        assert_eq!(g.count(Primitive::Encode), n);
+        assert_eq!(g.count(Primitive::Decode), 2 * (n - 1));
+        assert_eq!(g.count(Primitive::Merge), n - 1);
+        // 2(N-1) communication steps (alpha).
+        assert_eq!(g.count(Primitive::Send), 2 * (n - 1));
+    }
+
+    #[test]
+    fn every_node_updates_every_chunk() {
+        let n = 4;
+        let k = 3;
+        let g = build(n, &one_grad_spec(1 << 16, k, true));
+        assert_eq!(g.count(Primitive::Update), n * k);
+    }
+
+    #[test]
+    fn dissemination_forwards_verbatim() {
+        let n = 5;
+        let g = build(n, &one_grad_spec(4096, 1, true));
+        let forwards = g
+            .tasks()
+            .iter()
+            .filter(|t| t.send_src == crate::graph::SendSrc::Forward)
+            .count();
+        // N-1 dissemination sends, the first is Encoded, the rest
+        // forward: N-2 forwards.
+        assert_eq!(forwards, n - 2);
+    }
+
+    #[test]
+    fn raw_ring_has_no_codecs() {
+        let g = build(4, &one_grad_spec(1 << 16, 2, false));
+        assert_eq!(g.count(Primitive::Encode), 0);
+        assert_eq!(g.count(Primitive::Decode), 0);
+        assert_eq!(g.count(Primitive::Send), 2 * 2 * 3); // K * 2(N-1)
+    }
+
+    #[test]
+    fn owners_rotate_across_chunks() {
+        let n = 4;
+        let g = build(n, &one_grad_spec(1 << 16, 4, false));
+        // The final aggregation merge of each chunk lands on a
+        // distinct owner.
+        let mut owners: Vec<usize> = Vec::new();
+        for c in 0..4u32 {
+            let merges: Vec<_> = g
+                .tasks()
+                .iter()
+                .filter(|t| t.prim == Primitive::Merge && t.chunk.part == c)
+                .collect();
+            owners.push(merges.last().unwrap().node);
+        }
+        owners.sort_unstable();
+        assert_eq!(owners, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn graphs_validate() {
+        for n in [2usize, 3, 8] {
+            for k in [1usize, 2, 5] {
+                for comp in [false, true] {
+                    build(n, &one_grad_spec(1 << 14, k, comp))
+                        .validate(n)
+                        .unwrap();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared helpers for the strategy builders.
+
+use crate::graph::{ChunkId, Primitive, SendSrc, TaskGraph, TaskId, TaskNode};
+use crate::plan::IterationSpec;
+
+/// Splits `bytes` (a multiple of 4) into `k` chunk sizes balanced to
+/// the element, each a multiple of 4. Chunks may be zero-sized when a
+/// tiny gradient is split more ways than it has elements; builders
+/// skip those.
+pub fn chunk_sizes(bytes: u64, k: usize) -> Vec<u64> {
+    let elems = bytes / 4;
+    let base = elems / k as u64;
+    let extra = elems % k as u64;
+    (0..k as u64)
+        .map(|i| (base + u64::from(i < extra)) * 4)
+        .collect()
+}
+
+/// The on-the-wire size of a chunk under the iteration's compression
+/// setting for gradient `grad`.
+pub fn wire_bytes(iter: &IterationSpec, grad: usize, chunk_bytes: u64) -> u64 {
+    if iter.is_compressed(grad) {
+        iter.compression
+            .expect("is_compressed implies a compression spec")
+            .compressed_bytes(chunk_bytes)
+    } else {
+        chunk_bytes
+    }
+}
+
+/// A small builder wrapper that keeps the common task fields tidy.
+pub struct Emit<'a> {
+    /// The graph under construction.
+    pub graph: &'a mut TaskGraph,
+    /// The iteration being compiled.
+    pub iter: &'a IterationSpec,
+}
+
+impl Emit<'_> {
+    /// Adds a `Source` task for gradient `grad` chunk `part` on
+    /// `node`, ready at the gradient's backward offset.
+    pub fn source(&mut self, node: usize, grad: usize, part: usize, bytes: u64) -> TaskId {
+        let g = &self.iter.gradients[grad];
+        self.graph.add(TaskNode {
+            id: TaskId(u32::MAX),
+            node,
+            prim: Primitive::Source,
+            chunk: ChunkId {
+                grad: grad as u32,
+                part: part as u32,
+            },
+            bytes_raw: bytes,
+            bytes_wire: bytes,
+            peer: None,
+            send_src: SendSrc::Raw,
+            deps: Vec::new(),
+            earliest_ns: g.ready_offset_ns,
+            at_aggregator: false,
+        })
+    }
+
+    /// Adds a compute task (`Encode`/`Decode`/`Merge`/`Update`).
+    pub fn compute(
+        &mut self,
+        prim: Primitive,
+        node: usize,
+        grad: usize,
+        part: usize,
+        bytes_raw: u64,
+        bytes_wire: u64,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        self.compute_at(prim, node, grad, part, bytes_raw, bytes_wire, deps, false)
+    }
+
+    /// Adds a compute task, optionally marked as aggregator-side
+    /// (BytePS-style CPU servers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_at(
+        &mut self,
+        prim: Primitive,
+        node: usize,
+        grad: usize,
+        part: usize,
+        bytes_raw: u64,
+        bytes_wire: u64,
+        deps: Vec<TaskId>,
+        at_aggregator: bool,
+    ) -> TaskId {
+        debug_assert!(prim.is_compute());
+        self.graph.add(TaskNode {
+            id: TaskId(u32::MAX),
+            node,
+            prim,
+            chunk: ChunkId {
+                grad: grad as u32,
+                part: part as u32,
+            },
+            bytes_raw,
+            bytes_wire,
+            peer: None,
+            send_src: SendSrc::Raw,
+            deps,
+            earliest_ns: 0,
+            at_aggregator,
+        })
+    }
+
+    /// Adds a matched `Send`/`Recv` pair moving `bytes_wire` from
+    /// `from` to `to`; returns `(send, recv)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_recv(
+        &mut self,
+        from: usize,
+        to: usize,
+        grad: usize,
+        part: usize,
+        bytes_raw: u64,
+        bytes_wire: u64,
+        src: SendSrc,
+        deps: Vec<TaskId>,
+    ) -> (TaskId, TaskId) {
+        let chunk = ChunkId {
+            grad: grad as u32,
+            part: part as u32,
+        };
+        let send = self.graph.add(TaskNode {
+            id: TaskId(u32::MAX),
+            node: from,
+            prim: Primitive::Send,
+            chunk,
+            bytes_raw,
+            bytes_wire,
+            peer: Some(to),
+            send_src: src,
+            deps,
+            earliest_ns: 0,
+            at_aggregator: false,
+        });
+        let recv = self.graph.add(TaskNode {
+            id: TaskId(u32::MAX),
+            node: to,
+            prim: Primitive::Recv,
+            chunk,
+            bytes_raw,
+            bytes_wire,
+            peer: Some(from),
+            send_src: SendSrc::Raw,
+            deps: vec![send],
+            earliest_ns: 0,
+            at_aggregator: false,
+        });
+        (send, recv)
+    }
+
+    /// Adds a zero-cost barrier on `node` depending on `deps`.
+    pub fn barrier(&mut self, node: usize, grad: usize, deps: Vec<TaskId>) -> TaskId {
+        self.graph.add(TaskNode {
+            id: TaskId(u32::MAX),
+            node,
+            prim: Primitive::Barrier,
+            chunk: ChunkId {
+                grad: grad as u32,
+                part: 0,
+            },
+            bytes_raw: 0,
+            bytes_wire: 0,
+            peer: None,
+            send_src: SendSrc::Raw,
+            deps,
+            earliest_ns: 0,
+            at_aggregator: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_sizes_balanced_and_exact() {
+        for (bytes, k) in [(400u64, 3usize), (4096, 16), (8, 4), (4, 3)] {
+            let chunks = chunk_sizes(bytes, k);
+            assert_eq!(chunks.len(), k);
+            assert_eq!(chunks.iter().sum::<u64>(), bytes);
+            assert!(chunks.iter().all(|c| c % 4 == 0));
+            let max = chunks.iter().max().unwrap();
+            let min = chunks.iter().min().unwrap();
+            assert!(max - min <= 4, "{bytes} into {k}: {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_gradient_produces_empty_chunks() {
+        let chunks = chunk_sizes(8, 4);
+        assert_eq!(chunks, vec![4, 4, 0, 0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Communication topology, decoupled from synchronization strategies.
+//!
+//! §3.1: "We first decouple the communication topology from gradient
+//! synchronization strategies. We represent the topology as a directed
+//! graph, where the vertex set contains training nodes and the edge
+//! set specifies the connections between these nodes." Nodes carry one
+//! of two fundamental roles — worker and aggregator — and a node may
+//! hold both (the co-located deployments of §6.1).
+
+use hipress_util::{Error, Result};
+
+/// A node's role in gradient synchronization (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Roles {
+    /// Produces gradients and initiates synchronization.
+    pub worker: bool,
+    /// Aggregates gradients and relays results.
+    pub aggregator: bool,
+}
+
+/// A directed communication topology over cluster nodes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    roles: Vec<Roles>,
+    edges: Vec<(usize, usize)>,
+    kind: TopologyKind,
+}
+
+/// The structural family of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Clockwise ring: every node is both worker and aggregator.
+    Ring,
+    /// Bipartite worker↔aggregator connections with co-located roles
+    /// (every node is both; traffic to the local aggregator is free).
+    ColocatedPs,
+}
+
+impl Topology {
+    /// A clockwise ring over `n` nodes (Figure 1b).
+    ///
+    /// # Errors
+    ///
+    /// Rings need at least two nodes.
+    pub fn ring(n: usize) -> Result<Topology> {
+        if n < 2 {
+            return Err(Error::config("a ring needs at least two nodes"));
+        }
+        Ok(Topology {
+            roles: vec![
+                Roles {
+                    worker: true,
+                    aggregator: true,
+                };
+                n
+            ],
+            edges: (0..n).map(|i| (i, (i + 1) % n)).collect(),
+            kind: TopologyKind::Ring,
+        })
+    }
+
+    /// A co-located PS bipartite graph over `n` nodes (Figure 1a with
+    /// the §6.1 co-location): every ordered pair is connected.
+    ///
+    /// # Errors
+    ///
+    /// Needs at least two nodes.
+    pub fn colocated_ps(n: usize) -> Result<Topology> {
+        if n < 2 {
+            return Err(Error::config("PS needs at least two nodes"));
+        }
+        let mut edges = Vec::with_capacity(n * (n - 1));
+        for w in 0..n {
+            for a in 0..n {
+                if w != a {
+                    edges.push((w, a));
+                }
+            }
+        }
+        Ok(Topology {
+            roles: vec![
+                Roles {
+                    worker: true,
+                    aggregator: true,
+                };
+                n
+            ],
+            edges,
+            kind: TopologyKind::ColocatedPs,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Whether the topology has no nodes (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// The structural family.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// The node's roles.
+    pub fn roles(&self, node: usize) -> Roles {
+        self.roles[node]
+    }
+
+    /// Directed edges (src, dst).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Whether `src → dst` is a topology edge.
+    pub fn connected(&self, src: usize, dst: usize) -> bool {
+        self.edges.contains(&(src, dst))
+    }
+
+    /// The ring successor of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-ring topologies.
+    pub fn successor(&self, node: usize) -> usize {
+        assert_eq!(self.kind, TopologyKind::Ring, "successor is a ring notion");
+        (node + 1) % self.len()
+    }
+
+    /// The aggregator serving chunk `c` of gradient `g` under the
+    /// load-spreading assignment the CaSync-PS strategy uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-PS topologies.
+    pub fn aggregator_of(&self, grad: usize, chunk: usize) -> usize {
+        assert_eq!(
+            self.kind,
+            TopologyKind::ColocatedPs,
+            "aggregator assignment is a PS notion"
+        );
+        (grad + chunk) % self.len()
+    }
+
+    /// The ring owner of chunk `c` of gradient `g` (the node at which
+    /// aggregation completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-ring topologies.
+    pub fn owner_of(&self, grad: usize, chunk: usize) -> usize {
+        assert_eq!(self.kind, TopologyKind::Ring, "ownership is a ring notion");
+        (grad + chunk) % self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(4).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.kind(), TopologyKind::Ring);
+        assert_eq!(t.edges().len(), 4);
+        assert!(t.connected(0, 1));
+        assert!(t.connected(3, 0));
+        assert!(!t.connected(0, 2));
+        assert_eq!(t.successor(3), 0);
+        // Every node holds both roles.
+        for i in 0..4 {
+            assert!(t.roles(i).worker && t.roles(i).aggregator);
+        }
+    }
+
+    #[test]
+    fn ps_structure() {
+        let t = Topology::colocated_ps(3).unwrap();
+        assert_eq!(t.kind(), TopologyKind::ColocatedPs);
+        assert_eq!(t.edges().len(), 6); // Full bipartite minus self.
+        for w in 0..3 {
+            for a in 0..3 {
+                assert_eq!(t.connected(w, a), w != a);
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_spread_load() {
+        let t = Topology::colocated_ps(4).unwrap();
+        let aggs: std::collections::HashSet<usize> =
+            (0..4).map(|c| t.aggregator_of(0, c)).collect();
+        assert_eq!(aggs.len(), 4, "chunks must spread across aggregators");
+        let r = Topology::ring(4).unwrap();
+        let owners: std::collections::HashSet<usize> =
+            (0..4).map(|c| r.owner_of(1, c)).collect();
+        assert_eq!(owners.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        assert!(Topology::ring(1).is_err());
+        assert!(Topology::colocated_ps(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring notion")]
+    fn successor_on_ps_panics() {
+        Topology::colocated_ps(3).unwrap().successor(0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Behavioural tests for the timing executor: the qualitative
+//! properties the paper's design arguments rest on must hold in the
+//! simulation.
+
+use hipress_compress::Algorithm;
+use hipress_core::{
+    ClusterConfig, CompressionSpec, ExecConfig, Executor, GradPlan, IterationSpec, Strategy,
+    SyncGradient,
+};
+
+fn iter_spec(sizes: &[u64], alg: Option<Algorithm>, partitions: usize) -> IterationSpec {
+    IterationSpec {
+        gradients: sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| SyncGradient {
+                name: format!("g{i}"),
+                bytes,
+                ready_offset_ns: 0,
+                plan: GradPlan {
+                    compress: true,
+                    partitions,
+                },
+            })
+            .collect(),
+        compression: alg.map(|a| CompressionSpec::of(a.build().unwrap().as_ref())),
+    }
+}
+
+fn run(
+    strat: Strategy,
+    cluster: &ClusterConfig,
+    cfg: ExecConfig,
+    iter: &IterationSpec,
+) -> hipress_core::ExecStats {
+    let graph = strat.build(cluster, iter).unwrap();
+    Executor::new(*cluster, cfg).run(&graph, iter).unwrap()
+}
+
+#[test]
+fn all_strategies_complete_and_report() {
+    let cluster = ClusterConfig::ec2(4);
+    for strat in Strategy::all() {
+        for alg in [None, Some(Algorithm::OneBit)] {
+            let iter = iter_spec(&[1 << 22, 1 << 14], alg, 2);
+            let cfg = if strat.is_casync() {
+                ExecConfig::hipress()
+            } else {
+                ExecConfig::baseline()
+            };
+            let stats = run(strat, &cluster, cfg, &iter);
+            assert!(stats.makespan_ns > 0, "{strat:?}");
+            assert_eq!(stats.grad_finish_ns.len(), 2);
+            assert!(stats.grad_finish_ns.iter().all(|&f| f > 0), "{strat:?}");
+            assert!(
+                stats.grad_finish_ns.iter().max().unwrap() <= &stats.makespan_ns,
+                "{strat:?}"
+            );
+            let comm = stats.comm_ratio();
+            assert!((0.0..=1.0).contains(&comm), "{strat:?} ratio {comm}");
+        }
+    }
+}
+
+/// Compression must shrink synchronization time for a large gradient
+/// on a bandwidth-bound network — the whole premise of the paper.
+#[test]
+fn compression_speeds_up_large_gradient_sync() {
+    let cluster = ClusterConfig::ec2(8);
+    for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+        let raw = run(
+            strat,
+            &cluster,
+            ExecConfig::hipress(),
+            &iter_spec(&[256 << 20], None, 8),
+        );
+        let compressed = run(
+            strat,
+            &cluster,
+            ExecConfig::hipress(),
+            &iter_spec(&[256 << 20], Some(Algorithm::OneBit), 8),
+        );
+        assert!(
+            compressed.makespan_ns < raw.makespan_ns / 2,
+            "{strat:?}: {} vs {}",
+            compressed.makespan_ns,
+            raw.makespan_ns
+        );
+    }
+}
+
+/// CaSync with compression must beat the coupled baseline of the same
+/// topology on the workload shapes the paper motivates: a huge
+/// partitionable gradient for PS (BytePS cannot partition compressed
+/// tensors), and a stream of gradients arriving over the backward
+/// pass for Ring (the coupled collective is bulk-synchronous and
+/// serialized).
+#[test]
+fn casync_beats_coupled_baselines() {
+    let cluster = ClusterConfig::ec2(8);
+    let alg = Some(Algorithm::OneBit);
+
+    // Ring: 24 × 16 MiB gradients staggered across a backward pass.
+    let mut ring_iter = iter_spec(&(0..24).map(|_| 16 << 20).collect::<Vec<_>>(), alg, 8);
+    for (i, g) in ring_iter.gradients.iter_mut().enumerate() {
+        g.ready_offset_ns = (24 - i) as u64 * 2_000_000;
+    }
+    let casync_ring = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &ring_iter);
+    let mut ring_coupled_iter = ring_iter.clone();
+    for g in ring_coupled_iter.gradients.iter_mut() {
+        g.plan.partitions = 1;
+    }
+    let ring_coupled = run(
+        Strategy::HorovodRing,
+        &cluster,
+        ExecConfig::baseline(),
+        &ring_coupled_iter,
+    );
+    assert!(
+        casync_ring.makespan_ns < ring_coupled.makespan_ns,
+        "CaSync-Ring {} vs Ring-coupled {}",
+        casync_ring.makespan_ns,
+        ring_coupled.makespan_ns
+    );
+
+    // PS: one 392 MiB gradient (VGG19's fc6).
+    let casync_ps = run(
+        Strategy::CaSyncPs,
+        &cluster,
+        ExecConfig::hipress(),
+        &iter_spec(&[392 << 20], alg, 8),
+    );
+    let byteps_coupled = run(
+        Strategy::BytePs,
+        &cluster,
+        ExecConfig::baseline(),
+        &iter_spec(&[392 << 20], alg, 1),
+    );
+    assert!(
+        casync_ps.makespan_ns < byteps_coupled.makespan_ns,
+        "CaSync-PS {} vs BytePS-coupled {}",
+        casync_ps.makespan_ns,
+        byteps_coupled.makespan_ns
+    );
+}
+
+/// Pipelining must help when multiple gradients are in flight.
+#[test]
+fn pipelining_reduces_makespan() {
+    let cluster = ClusterConfig::ec2(4);
+    let sizes: Vec<u64> = (0..16).map(|_| 8 << 20).collect();
+    let iter = iter_spec(&sizes, Some(Algorithm::TernGrad { bitwidth: 2 }), 4);
+    let with = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &iter);
+    let without = run(
+        Strategy::CaSyncRing,
+        &cluster,
+        ExecConfig::hipress().without_pipelining(),
+        &iter,
+    );
+    assert!(
+        with.makespan_ns < without.makespan_ns,
+        "pipelined {} vs serial {}",
+        with.makespan_ns,
+        without.makespan_ns
+    );
+}
+
+/// Bulk synchronization must help a workload of many tiny gradients
+/// (latency-bound) — the §3.2 motivation.
+#[test]
+fn bulk_batching_helps_small_gradients() {
+    let cluster = ClusterConfig::ec2(4);
+    let sizes: Vec<u64> = (0..300).map(|_| 8 * 1024).collect();
+    let iter = iter_spec(&sizes, Some(Algorithm::OneBit), 1);
+    let bulk = run(Strategy::CaSyncPs, &cluster, ExecConfig::hipress(), &iter);
+    let no_bulk = run(
+        Strategy::CaSyncPs,
+        &cluster,
+        ExecConfig {
+            bulk_network: false,
+            batch_compression: false,
+            ..ExecConfig::hipress()
+        },
+        &iter,
+    );
+    assert!(bulk.link_flushes > 0, "coordinator must have batched");
+    assert!(
+        bulk.makespan_ns < no_bulk.makespan_ns,
+        "bulk {} vs per-message {}",
+        bulk.makespan_ns,
+        no_bulk.makespan_ns
+    );
+}
+
+/// On-CPU compression must be substantially slower than on-GPU for a
+/// large gradient (the §2.5 on-CPU penalty).
+#[test]
+fn cpu_codec_is_much_slower() {
+    let cluster = ClusterConfig::ec2(4);
+    let iter = iter_spec(&[128 << 20], Some(Algorithm::OneBit), 1);
+    let gpu = run(Strategy::CaSyncPs, &cluster, ExecConfig::hipress(), &iter);
+    let cpu = run(
+        Strategy::CaSyncPs,
+        &cluster,
+        ExecConfig::hipress().with_cpu_codec(),
+        &iter,
+    );
+    assert!(
+        cpu.makespan_ns > gpu.makespan_ns * 2,
+        "cpu {} vs gpu {}",
+        cpu.makespan_ns,
+        gpu.makespan_ns
+    );
+}
+
+/// More partitions pipeline better for one huge gradient (the §3.3
+/// partitioning rationale).
+#[test]
+fn partitioning_helps_huge_gradients() {
+    let cluster = ClusterConfig::ec2(8);
+    let k1 = run(
+        Strategy::CaSyncPs,
+        &cluster,
+        ExecConfig::hipress(),
+        &iter_spec(&[392 << 20], Some(Algorithm::OneBit), 1),
+    );
+    let k8 = run(
+        Strategy::CaSyncPs,
+        &cluster,
+        ExecConfig::hipress(),
+        &iter_spec(&[392 << 20], Some(Algorithm::OneBit), 8),
+    );
+    assert!(
+        k8.makespan_ns < k1.makespan_ns,
+        "k8 {} vs k1 {}",
+        k8.makespan_ns,
+        k1.makespan_ns
+    );
+}
+
+/// A slower network raises the communication ratio.
+#[test]
+fn bandwidth_shapes_comm_ratio() {
+    let iter = iter_spec(&[64 << 20; 4], None, 4);
+    let fast = run(
+        Strategy::CaSyncRing,
+        &ClusterConfig::ec2(4),
+        ExecConfig::hipress(),
+        &iter,
+    );
+    let slow = run(
+        Strategy::CaSyncRing,
+        &ClusterConfig::ec2(4).with_link(hipress_simnet::LinkSpec::gbps10()),
+        ExecConfig::hipress(),
+        &iter,
+    );
+    assert!(slow.makespan_ns > fast.makespan_ns * 3);
+}
+
+/// Determinism: identical runs give identical statistics.
+#[test]
+fn executor_is_deterministic() {
+    let cluster = ClusterConfig::ec2(4);
+    let iter = iter_spec(&[1 << 22, 1 << 16, 1 << 10], Some(Algorithm::Dgc { rate: 0.01 }), 3);
+    let a = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &iter);
+    let b = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &iter);
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+    assert_eq!(a.grad_finish_ns, b.grad_finish_ns);
+    assert_eq!(a.events, b.events);
+}
+
+/// Gradient readiness offsets delay synchronization accordingly.
+#[test]
+fn ready_offsets_respected() {
+    let cluster = ClusterConfig::ec2(4);
+    let mut iter = iter_spec(&[1 << 20], None, 1);
+    let base = run(Strategy::CaSyncPs, &cluster, ExecConfig::hipress(), &iter);
+    iter.gradients[0].ready_offset_ns = 50_000_000;
+    let delayed = run(Strategy::CaSyncPs, &cluster, ExecConfig::hipress(), &iter);
+    assert!(delayed.makespan_ns >= base.makespan_ns + 50_000_000);
+}

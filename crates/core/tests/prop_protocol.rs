@@ -1,0 +1,176 @@
+//! Property-based tests of the synchronization protocols: for
+//! arbitrary gradient mixes, partition counts, and cluster sizes,
+//! every strategy must build a valid graph whose semantics are exact
+//! (no compression) or replica-consistent (with compression).
+
+use hipress_compress::Algorithm;
+use hipress_core::interp::{fused_flows, gradient_flows, interpret, reference_sum};
+use hipress_core::strategy::horovod_fusion_groups;
+use hipress_core::Strategy as SyncStrategy;
+use hipress_core::{
+    ClusterConfig, CompressionSpec, ExecConfig, Executor, GradPlan, IterationSpec, SyncGradient,
+};
+use hipress_tensor::synth::{generate, GradientShape};
+use hipress_tensor::Tensor;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// An arbitrary iteration: 1..5 gradients of 1..300 elements, each
+/// with its own partition count and compression choice.
+fn arb_iteration() -> impl Strategy<Value = (Vec<(usize, usize, bool)>, u64)> {
+    (
+        prop::collection::vec((1usize..300, 1usize..6, any::<bool>()), 1..5),
+        any::<u64>(),
+    )
+}
+
+fn build_spec(
+    grads: &[(usize, usize, bool)],
+    compression: Option<CompressionSpec>,
+) -> IterationSpec {
+    IterationSpec {
+        gradients: grads
+            .iter()
+            .enumerate()
+            .map(|(i, &(elems, parts, compress))| SyncGradient {
+                name: format!("g{i}"),
+                bytes: (elems * 4) as u64,
+                ready_offset_ns: (i as u64) * 10_000,
+                plan: GradPlan {
+                    compress,
+                    partitions: parts,
+                },
+            })
+            .collect(),
+        compression,
+    }
+}
+
+fn worker_grads(nodes: usize, grads: &[(usize, usize, bool)], seed: u64) -> Vec<Vec<Tensor>> {
+    (0..nodes)
+        .map(|w| {
+            grads
+                .iter()
+                .enumerate()
+                .map(|(g, &(elems, _, _))| {
+                    generate(
+                        elems,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        seed ^ ((w * 131 + g) as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn flows_for(
+    strat: SyncStrategy,
+    iter: &IterationSpec,
+    grads: &[Vec<Tensor>],
+) -> HashMap<u32, Vec<Tensor>> {
+    match strat {
+        SyncStrategy::HorovodRing => fused_flows(grads, &horovod_fusion_groups(iter)),
+        _ => gradient_flows(grads),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uncompressed: every strategy computes the exact sum everywhere,
+    /// for arbitrary gradient mixes and cluster sizes.
+    #[test]
+    fn uncompressed_sum_exact((grads, seed) in arb_iteration(), nodes in 2usize..6) {
+        let iter = build_spec(&grads, None);
+        let cluster = ClusterConfig::ec2(nodes);
+        let data = worker_grads(nodes, &grads, seed);
+        for strat in SyncStrategy::all() {
+            let graph = strat.build(&cluster, &iter).unwrap();
+            graph.validate(nodes).unwrap();
+            let flows = flows_for(strat, &iter, &data);
+            let out = interpret(&graph, nodes, &flows, None, seed).unwrap();
+            for o in &out {
+                prop_assert!(o.replicas_consistent(), "{strat:?}");
+                let reference = reference_sum(&flows[&o.flow]);
+                prop_assert!(
+                    o.max_abs_error(&reference) < 1e-3,
+                    "{strat:?} flow {}: wrong sum", o.flow
+                );
+            }
+        }
+    }
+
+    /// Compressed: replicas stay bit-identical under every strategy.
+    #[test]
+    fn compressed_replicas_identical((grads, seed) in arb_iteration(), nodes in 2usize..5) {
+        let alg = Algorithm::OneBit;
+        let c = alg.build().unwrap();
+        let iter = build_spec(&grads, Some(CompressionSpec::of(c.as_ref())));
+        let cluster = ClusterConfig::ec2(nodes);
+        let data = worker_grads(nodes, &grads, seed);
+        for strat in SyncStrategy::all() {
+            let graph = strat.build(&cluster, &iter).unwrap();
+            let flows = flows_for(strat, &iter, &data);
+            let out = interpret(&graph, nodes, &flows, Some(c.as_ref()), seed).unwrap();
+            for o in &out {
+                prop_assert!(o.replicas_consistent(), "{strat:?} flow {}", o.flow);
+            }
+        }
+    }
+
+    /// The executor terminates with a finite makespan on arbitrary
+    /// graphs, and every gradient finishes no later than the makespan.
+    #[test]
+    fn executor_always_terminates((grads, _seed) in arb_iteration(), nodes in 2usize..5, compressed in any::<bool>()) {
+        let compression = if compressed {
+            Some(CompressionSpec::of(
+                Algorithm::Dgc { rate: 0.1 }.build().unwrap().as_ref(),
+            ))
+        } else {
+            None
+        };
+        let iter = build_spec(&grads, compression);
+        let cluster = ClusterConfig::ec2(nodes);
+        for strat in SyncStrategy::all() {
+            let graph = strat.build(&cluster, &iter).unwrap();
+            for cfg in [ExecConfig::hipress(), ExecConfig::baseline(), ExecConfig::byteps()] {
+                let stats = Executor::new(cluster, cfg).run(&graph, &iter).unwrap();
+                prop_assert!(stats.makespan_ns > 0);
+                for (g, &f) in stats.grad_finish_ns.iter().enumerate() {
+                    prop_assert!(f > 0, "{strat:?}: gradient {g} never finished");
+                    prop_assert!(f <= stats.makespan_ns);
+                }
+            }
+        }
+    }
+
+    /// Compressing never moves more bytes: the total wire volume under
+    /// compression is at most the raw volume (per strategy, when all
+    /// gradients opt in and are reasonably large).
+    #[test]
+    fn compression_reduces_wire_volume(elems in 2048usize..40_000, nodes in 2usize..6, parts in 1usize..5) {
+        let grads = vec![(elems, parts, true)];
+        let alg = Algorithm::OneBit;
+        let c = alg.build().unwrap();
+        let raw = build_spec(&grads, None);
+        let cmp = build_spec(&grads, Some(CompressionSpec::of(c.as_ref())));
+        let cluster = ClusterConfig::ec2(nodes);
+        for strat in SyncStrategy::all() {
+            let wire = |iter: &IterationSpec| -> u64 {
+                strat
+                    .build(&cluster, iter)
+                    .unwrap()
+                    .tasks()
+                    .iter()
+                    .filter(|t| t.prim == hipress_core::Primitive::Send)
+                    .map(|t| t.bytes_wire)
+                    .sum()
+            };
+            prop_assert!(
+                wire(&cmp) < wire(&raw),
+                "{strat:?}: compressed wire volume must shrink"
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-(model, GPU) compute-time profiles.
+//!
+//! The training simulator needs each model's single-GPU forward and
+//! backward time at the paper's batch sizes (§6.1 keeps per-GPU batch
+//! size constant — weak scaling). The constants here are calibrated
+//! to public fp32 throughput figures for the two GPU classes the
+//! paper uses; absolute values matter less than their ratios to the
+//! communication times (what determines scaling efficiency).
+
+/// The GPU classes of the paper's two clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuClass {
+    /// NVIDIA Tesla V100 (AWS EC2 p3dn.24xlarge).
+    V100,
+    /// NVIDIA GTX 1080 Ti (local cluster).
+    Gtx1080Ti,
+}
+
+impl GpuClass {
+    /// Single-GPU compute slowdown relative to a V100 for fp32
+    /// training workloads.
+    pub fn slowdown(&self) -> f64 {
+        match self {
+            GpuClass::V100 => 1.0,
+            GpuClass::Gtx1080Ti => 2.2,
+        }
+    }
+}
+
+/// Single-GPU per-iteration compute profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeProfile {
+    /// Samples (images / sequences / tokens, per Table captions)
+    /// processed per GPU per iteration.
+    pub batch_size: u64,
+    /// Forward pass time in nanoseconds.
+    pub forward_ns: u64,
+    /// Backward pass time in nanoseconds (gradients stream out during
+    /// this window, reverse layer order).
+    pub backward_ns: u64,
+}
+
+impl ComputeProfile {
+    /// Creates a profile from millisecond timings.
+    pub fn from_ms(batch_size: u64, forward_ms: f64, backward_ms: f64) -> Self {
+        Self {
+            batch_size,
+            forward_ns: (forward_ms * 1e6) as u64,
+            backward_ns: (backward_ms * 1e6) as u64,
+        }
+    }
+
+    /// Pure compute time of one iteration.
+    pub fn iteration_ns(&self) -> u64 {
+        self.forward_ns + self.backward_ns
+    }
+
+    /// Single-GPU throughput in samples per second (the denominator
+    /// of the paper's scaling efficiency).
+    pub fn single_gpu_throughput(&self) -> f64 {
+        self.batch_size as f64 / (self.iteration_ns() as f64 / 1e9)
+    }
+
+    /// Derives the profile for another GPU class by scaling times.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            batch_size: self.batch_size,
+            forward_ns: (self.forward_ns as f64 * factor) as u64,
+            backward_ns: (self.backward_ns as f64 * factor) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_and_throughput() {
+        let p = ComputeProfile::from_ms(32, 30.0, 60.0);
+        assert_eq!(p.iteration_ns(), 90_000_000);
+        assert!((p.single_gpu_throughput() - 355.55).abs() < 0.1);
+    }
+
+    #[test]
+    fn scaling_slows_down() {
+        let p = ComputeProfile::from_ms(32, 30.0, 60.0);
+        let s = p.scaled(GpuClass::Gtx1080Ti.slowdown());
+        assert_eq!(s.batch_size, 32);
+        assert!(s.iteration_ns() > 2 * p.iteration_ns());
+        assert!(s.single_gpu_throughput() < p.single_gpu_throughput() / 2.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Structural recipe for reconstructing a model's gradient size list
+//! from its Table 6 statistics.
+
+use hipress_util::rng::{Rng64, SplitMix64};
+
+/// Parameters of the reconstruction: the Table 6 statistics plus two
+//  structural knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Recipe {
+    /// Number of gradients (Table 6).
+    pub count: usize,
+    /// Total gradient volume in bytes (Table 6).
+    pub total_bytes: u64,
+    /// Largest single gradient in bytes (Table 6).
+    pub max_bytes: u64,
+    /// Fraction of gradients that are small bias/layernorm tensors.
+    pub small_frac: f64,
+    /// Byte-size range for the small tensors (log-spaced cycle).
+    pub small_range: (u64, u64),
+    /// Shuffle seed for the layer ordering.
+    pub seed: u64,
+}
+
+/// Power-law exponent for the body (non-bias) gradient sizes.
+const BODY_ALPHA: f64 = 1.1;
+
+/// Builds the per-layer gradient sizes (in forward-layer order).
+///
+/// Invariants guaranteed:
+/// * exactly `count` entries,
+/// * every entry is a positive multiple of 4 (whole `f32`s),
+/// * the maximum equals `max_bytes` exactly,
+/// * the sum equals `total_bytes` exactly.
+///
+/// # Panics
+///
+/// Panics if the statistics are inconsistent (e.g., `max_bytes >
+/// total_bytes`, or too little volume to give every layer one
+/// element).
+pub fn build_sizes(recipe: &Recipe) -> Vec<u64> {
+    let Recipe {
+        count,
+        total_bytes,
+        max_bytes,
+        small_frac,
+        small_range,
+        seed,
+    } = *recipe;
+    assert!(count >= 1, "a model needs at least one gradient");
+    assert!(max_bytes % 4 == 0 && total_bytes % 4 == 0, "sizes are f32 multiples");
+    assert!(max_bytes <= total_bytes, "max gradient exceeds total");
+    assert!(
+        total_bytes >= 4 * count as u64,
+        "not enough volume for {count} non-empty gradients"
+    );
+
+    // 1. Small bias/layernorm tensors: a log-spaced cycle.
+    let n_small = ((count as f64 * small_frac).round() as usize).min(count - 1);
+    let (lo, hi) = small_range;
+    let mut sizes: Vec<u64> = Vec::with_capacity(count);
+    for i in 0..n_small {
+        let t = if n_small > 1 {
+            i as f64 / (n_small - 1) as f64
+        } else {
+            0.0
+        };
+        let s = (lo as f64 * (hi as f64 / lo as f64).powf(t)).round() as u64;
+        sizes.push((s / 4).max(1) * 4);
+    }
+    let small_sum: u64 = sizes.iter().sum();
+
+    // 2. The documented largest gradient.
+    sizes.push(max_bytes);
+
+    // 3. Power-law body, scaled to make the total exact.
+    let n_body = count - n_small - 1;
+    let body_budget = total_bytes
+        .checked_sub(max_bytes + small_sum)
+        .expect("small tensors plus max exceed total: lower small_frac or small sizes");
+    assert!(
+        body_budget >= 4 * n_body as u64,
+        "body budget too small for {n_body} gradients"
+    );
+    if n_body > 0 {
+        let weights: Vec<f64> = (0..n_body).map(|i| ((i + 2) as f64).powf(-BODY_ALPHA)).collect();
+        let wsum: f64 = weights.iter().sum();
+        // Body layers may grow up to (but not beyond) the documented
+        // maximum, so `max_bytes` stays the unique table statistic
+        // whenever the budget allows; ties are tolerated if the cap
+        // must bind.
+        let cap = max_bytes / 4 * 4;
+        let mut body: Vec<u64> = weights
+            .iter()
+            .map(|w| {
+                let raw = (body_budget as f64 * w / wsum) as u64;
+                ((raw / 4).max(1) * 4).min(cap)
+            })
+            .collect();
+        // Distribute the rounding/clamping residue: add to (or take
+        // from) layers with headroom (or slack), front-to-back. Each
+        // full pass makes progress unless the constraints are
+        // infeasible, which the budget assertion above excludes.
+        let mut diff = body_budget as i64 - body.iter().sum::<u64>() as i64;
+        while diff != 0 {
+            let before = diff;
+            for b in &mut body {
+                if diff == 0 {
+                    break;
+                }
+                if diff > 0 {
+                    let step = diff.min(cap.saturating_sub(*b) as i64) / 4 * 4;
+                    *b += step as u64;
+                    diff -= step;
+                } else {
+                    let step = (-diff).min(*b as i64 - 4) / 4 * 4;
+                    *b -= step as u64;
+                    diff += step;
+                }
+            }
+            assert!(
+                diff != before || diff == 0,
+                "cannot distribute body volume: {diff} bytes of residue \
+                 with count={count}, total={total_bytes}, max={max_bytes}"
+            );
+        }
+        sizes.extend(body);
+    }
+
+    // 4. Deterministic interleave so small and large layers mix as in
+    // a real network, then pin the largest gradient at ~80% depth
+    // (classifier-side, like VGG's fc6).
+    let mut rng = SplitMix64::new(seed);
+    rng.shuffle(&mut sizes);
+    let max_pos = sizes
+        .iter()
+        .position(|&s| s == max_bytes)
+        .expect("max is present");
+    let target = (count as f64 * 0.8) as usize;
+    let target = target.min(count - 1);
+    sizes.swap(max_pos, target);
+
+    debug_assert_eq!(sizes.len(), count);
+    debug_assert_eq!(sizes.iter().sum::<u64>(), total_bytes);
+    debug_assert_eq!(sizes.iter().copied().max(), Some(max_bytes));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MIB;
+
+    fn bert_base_recipe() -> Recipe {
+        Recipe {
+            count: 207,
+            total_bytes: (420.02 * MIB as f64) as u64 / 4 * 4,
+            max_bytes: (89.42 * MIB as f64) as u64 / 4 * 4,
+            small_frac: 0.627,
+            small_range: (2 * 1024, 12 * 1024),
+            seed: 0xBE27,
+        }
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let r = bert_base_recipe();
+        let sizes = build_sizes(&r);
+        assert_eq!(sizes.len(), r.count);
+        assert_eq!(sizes.iter().sum::<u64>(), r.total_bytes);
+        assert_eq!(sizes.iter().copied().max(), Some(r.max_bytes));
+        assert!(sizes.iter().all(|&s| s > 0 && s % 4 == 0));
+    }
+
+    #[test]
+    fn bert_small_gradient_fraction_matches_paper() {
+        // SS6.3: "62.7% of its gradients are below 16KB".
+        let sizes = build_sizes(&bert_base_recipe());
+        let below = sizes.iter().filter(|&&s| s < 16 * 1024).count();
+        let frac = below as f64 / sizes.len() as f64;
+        assert!(
+            (frac - 0.627).abs() < 0.02,
+            "fraction below 16KiB is {frac}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = bert_base_recipe();
+        assert_eq!(build_sizes(&r), build_sizes(&r));
+    }
+
+    #[test]
+    fn max_sits_late_in_the_network() {
+        let r = bert_base_recipe();
+        let sizes = build_sizes(&r);
+        let pos = sizes.iter().position(|&s| s == r.max_bytes).unwrap();
+        assert!(pos as f64 / sizes.len() as f64 > 0.7);
+    }
+
+    #[test]
+    fn tiny_model_works() {
+        let r = Recipe {
+            count: 3,
+            total_bytes: 1000 * 4,
+            max_bytes: 500 * 4,
+            small_frac: 0.3,
+            small_range: (4, 16),
+            seed: 1,
+        };
+        let sizes = build_sizes(&r);
+        assert_eq!(sizes.len(), 3);
+        assert_eq!(sizes.iter().sum::<u64>(), 4000);
+        assert_eq!(sizes.iter().copied().max(), Some(2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "max gradient exceeds total")]
+    fn inconsistent_stats_panic() {
+        build_sizes(&Recipe {
+            count: 2,
+            total_bytes: 100 * 4,
+            max_bytes: 200 * 4,
+            small_frac: 0.0,
+            small_range: (4, 8),
+            seed: 0,
+        });
+    }
+}

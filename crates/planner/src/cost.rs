@@ -1,0 +1,222 @@
+//! The profiled cost model implementing Equations (1) and (2).
+
+use crate::params::SyncParams;
+use hipress_compress::Algorithm;
+use hipress_core::{ClusterConfig, GradPlan, Strategy};
+use hipress_simgpu::profile::{default_sizes, CompressionProfile};
+use hipress_simnet::{Fabric, NodeId};
+use hipress_util::fit::AffineFit;
+use hipress_util::{Error, Result};
+
+/// The outcome of planning one gradient: the chosen plan plus the
+/// predicted costs backing it (useful for Table 7 style reporting).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanChoice {
+    /// The decision.
+    pub plan: GradPlan,
+    /// Predicted synchronization time without compression at the best
+    /// uncompressed K, in ns.
+    pub t_orig_ns: f64,
+    /// Predicted synchronization time with compression at the best
+    /// compressed K, in ns.
+    pub t_cpr_ns: f64,
+}
+
+/// The profiled §3.3 cost model for one (cluster, strategy,
+/// algorithm) configuration.
+pub struct CostModel {
+    strategy: Strategy,
+    /// Compression cost curves and ratio.
+    profile: CompressionProfile,
+    /// `T_send(m)` affine fit, ns over bytes.
+    send: AffineFit,
+    /// Maximum partition count considered (the "beyond N partitions"
+    /// relaxation caps at a small multiple of N).
+    k_max: usize,
+}
+
+impl CostModel {
+    /// Profiles the three cost curves for the configuration.
+    pub fn profile(
+        cluster: &ClusterConfig,
+        strategy: Strategy,
+        algorithm: Algorithm,
+    ) -> Result<CostModel> {
+        cluster.validate()?;
+        let compressor = algorithm
+            .build()
+            .ok_or_else(|| Error::plan("cannot plan for Algorithm::None"))?;
+        let costs = compressor.cost_profile();
+        let ratio = {
+            // Marginal ratio at a large probe, matching the
+            // synchronization layer's CompressionSpec.
+            let probe = 1u64 << 24;
+            let zero = compressor.compressed_size(0);
+            (compressor.compressed_size(probe as usize / 4) - zero) as f64 / probe as f64
+        };
+        let profile = CompressionProfile::measure(
+            &cluster.gpu,
+            costs.encode_passes,
+            costs.decode_passes,
+            ratio,
+        );
+        // Profile the network exactly as the paper does: timed
+        // point-to-point transfers at a ladder of sizes.
+        let fabric = Fabric::homogeneous(cluster.nodes.max(2), cluster.effective_link())?;
+        let samples: Vec<(f64, f64)> = default_sizes()
+            .into_iter()
+            .map(|m| {
+                (
+                    m as f64,
+                    fabric.isolated_transfer_ns(NodeId(0), NodeId(1), m) as f64,
+                )
+            })
+            .collect();
+        let send = AffineFit::fit(&samples)
+            .ok_or_else(|| Error::plan("network profiling produced a degenerate curve"))?;
+        Ok(CostModel {
+            strategy,
+            profile,
+            send,
+            k_max: (cluster.nodes * 4).clamp(4, 64),
+        })
+    }
+
+    /// `T_send(m)` in ns.
+    pub fn t_send_ns(&self, bytes: f64) -> f64 {
+        self.send.eval(bytes).max(0.0)
+    }
+
+    /// `T_enc(m)` in ns.
+    pub fn t_enc_ns(&self, bytes: f64) -> f64 {
+        self.profile.encode.eval(bytes).max(0.0)
+    }
+
+    /// `T_dec` for the compressed form of an m-byte chunk, in ns.
+    pub fn t_dec_ns(&self, bytes: f64) -> f64 {
+        self.profile.decode.eval(bytes).max(0.0)
+    }
+
+    /// The compression ratio `r`.
+    pub fn ratio(&self) -> f64 {
+        self.profile.ratio
+    }
+
+    /// Equation (1): synchronization cost without compression.
+    pub fn t_sync_orig(&self, m: u64, k: usize, n: usize) -> f64 {
+        let p = SyncParams::deployed(self.strategy, n, k);
+        let chunk = m as f64 / k as f64;
+        // All K partitions flow in parallel; batches beyond N
+        // pipeline, adding one bottleneck stage each.
+        let batches = k.div_ceil(n).max(1) as f64;
+        let per_batch = p.alpha * self.t_send_ns(chunk);
+        per_batch + (batches - 1.0) * self.t_send_ns(chunk) * p.alpha / batches.max(1.0)
+    }
+
+    /// Equation (2): synchronization cost with compression.
+    pub fn t_sync_cpr(&self, m: u64, k: usize, n: usize) -> f64 {
+        let p = SyncParams::deployed(self.strategy, n, k);
+        let chunk = m as f64 / k as f64;
+        let send = p.alpha * self.t_send_ns(self.profile.ratio * chunk);
+        let enc = p.beta * self.t_enc_ns(chunk);
+        let dec = p.gamma * self.t_dec_ns(chunk);
+        let per_batch = send + enc + dec;
+        // K > N: group partitions into ceil(K/N) pipelined batches;
+        // each extra batch adds roughly its bottleneck stage.
+        let batches = k.div_ceil(n).max(1) as f64;
+        let bottleneck = send.max(enc).max(dec) / batches;
+        per_batch + (batches - 1.0) * bottleneck
+    }
+
+    /// Searches K for both alternatives and picks the cheaper one.
+    pub fn best_plan(&self, m: u64, n: usize) -> PlanChoice {
+        let mut best_orig = (f64::INFINITY, 1usize);
+        let mut best_cpr = (f64::INFINITY, 1usize);
+        let max_k = self.k_max.min(((m / 4).max(1)) as usize);
+        for k in 1..=max_k {
+            let o = self.t_sync_orig(m, k, n);
+            if o < best_orig.0 {
+                best_orig = (o, k);
+            }
+            let c = self.t_sync_cpr(m, k, n);
+            if c < best_cpr.0 {
+                best_cpr = (c, k);
+            }
+        }
+        let compress = best_cpr.0 < best_orig.0;
+        PlanChoice {
+            plan: GradPlan {
+                compress,
+                partitions: if compress { best_cpr.1 } else { best_orig.1 },
+            },
+            t_orig_ns: best_orig.0,
+            t_cpr_ns: best_cpr.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(strategy: Strategy) -> CostModel {
+        CostModel::profile(&ClusterConfig::ec2(16), strategy, Algorithm::OneBit).unwrap()
+    }
+
+    #[test]
+    fn send_curve_matches_fabric() {
+        let m = model(Strategy::CaSyncPs);
+        let cluster = ClusterConfig::ec2(16);
+        let fabric = Fabric::homogeneous(2, cluster.effective_link()).unwrap();
+        for bytes in [1u64 << 16, 1 << 22, 1 << 26] {
+            let measured = fabric.isolated_transfer_ns(NodeId(0), NodeId(1), bytes) as f64;
+            let predicted = m.t_send_ns(bytes as f64);
+            assert!(
+                (measured - predicted).abs() / measured < 0.01,
+                "bytes {bytes}: {predicted} vs {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_wins_for_large_m_on_both_equations() {
+        for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let m = model(strategy);
+            let big = 128 << 20;
+            let orig = m.t_sync_orig(big, 16, 16);
+            let cpr = m.t_sync_cpr(big, 16, 16);
+            assert!(cpr < orig, "{strategy:?}: {cpr} !< {orig}");
+        }
+    }
+
+    #[test]
+    fn compression_loses_for_tiny_m() {
+        let m = model(Strategy::CaSyncPs);
+        let tiny = 1024;
+        assert!(m.t_sync_cpr(tiny, 1, 16) > m.t_sync_orig(tiny, 1, 16));
+    }
+
+    #[test]
+    fn cost_decreases_then_increases_in_k() {
+        // Eq. 2 is convex-ish in K: launch overheads eventually
+        // dominate the parallelism gains.
+        let m = model(Strategy::CaSyncPs);
+        let big = 392u64 << 20;
+        let costs: Vec<f64> = (1..=32).map(|k| m.t_sync_cpr(big, k, 16)).collect();
+        let best = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(best > 0, "partitioning must help a 392 MiB gradient");
+        // K=1 is strictly worse than the optimum.
+        assert!(costs[0] > costs[best] * 1.2, "{} vs {}", costs[0], costs[best]);
+    }
+
+    #[test]
+    fn ratio_matches_algorithm() {
+        let m = model(Strategy::CaSyncRing);
+        assert!((m.ratio() - 1.0 / 32.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Selective compression and partitioning (§3.3 of the paper).
+//!
+//! Compressing a gradient is not free: the encode/decode kernels cost
+//! GPU time that communication savings must pay back. For each
+//! gradient the planner compares
+//!
+//! ```text
+//! T_sync^orig(m, K) = α · T_send(m / K)                       (Eq. 1)
+//! T_sync^cpr (m, K) = α · T_send(r·m/K) + β · T_enc(m/K)
+//!                                       + γ · T_dec(r·m/K)    (Eq. 2)
+//! ```
+//!
+//! over the partition count `K`, where α is the number of serial
+//! communication steps and β/γ count the encode/decode operators that
+//! cannot overlap transmission (Table 3). The winning `<compress?, K>`
+//! tuple per gradient is Table 7's content.
+//!
+//! The cost curves `T_enc`, `T_dec`, `T_send` are *profiled*, not
+//! assumed: the planner launches simulated kernels and point-to-point
+//! transfers at a ladder of sizes and fits affine curves — mirroring
+//! "we launch the GPU kernels and peer-to-peer communication tasks
+//! with respect to different gradient sizes to fit the compression
+//! and network cost curves" (§3.3).
+
+mod cost;
+mod params;
+
+pub use cost::{CostModel, PlanChoice};
+pub use params::SyncParams;
+
+use hipress_compress::Algorithm;
+use hipress_core::{ClusterConfig, GradPlan, Strategy};
+use hipress_util::Result;
+
+/// The selective compression and partitioning planner.
+///
+/// Build one per (cluster, strategy, algorithm) configuration; it
+/// profiles the cost curves once and then plans arbitrarily many
+/// gradients.
+pub struct Planner {
+    model: CostModel,
+    nodes: usize,
+}
+
+impl Planner {
+    /// Profiles the cost curves for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid cluster configs or
+    /// [`Algorithm::None`] (nothing to plan).
+    pub fn profile(
+        cluster: &ClusterConfig,
+        strategy: Strategy,
+        algorithm: Algorithm,
+    ) -> Result<Planner> {
+        let model = CostModel::profile(cluster, strategy, algorithm)?;
+        Ok(Planner {
+            model,
+            nodes: cluster.nodes,
+        })
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Plans one gradient of `bytes` bytes: whether to compress and
+    /// into how many partitions to split.
+    pub fn plan_gradient(&self, bytes: u64) -> GradPlan {
+        self.model.best_plan(bytes, self.nodes).plan
+    }
+
+    /// Plans every gradient of a model (sizes in bytes).
+    pub fn plan_model(&self, layer_bytes: &[u64]) -> Vec<GradPlan> {
+        layer_bytes.iter().map(|&b| self.plan_gradient(b)).collect()
+    }
+
+    /// The smallest gradient size (bytes) for which compression wins,
+    /// determined by bisection over the planner's decisions — the
+    /// "compress gradients larger than X" threshold of §6.1.
+    pub fn compression_threshold(&self) -> u64 {
+        let (mut lo, mut hi) = (4u64, 1 << 30);
+        // The decision is monotone in practice: compression wins for
+        // large gradients. Bisect on the boundary.
+        while hi - lo > 4 {
+            let mid = ((lo + hi) / 2) / 4 * 4;
+            if self.plan_gradient(mid).compress {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipress_simnet::LinkSpec;
+
+    fn planner(nodes: usize, strategy: Strategy) -> Planner {
+        Planner::profile(&ClusterConfig::ec2(nodes), strategy, Algorithm::OneBit).unwrap()
+    }
+
+    #[test]
+    fn large_gradients_are_compressed_and_partitioned() {
+        for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let p = planner(16, strategy);
+            let plan = p.plan_gradient(392 << 20); // VGG19 fc6.
+            assert!(plan.compress, "{strategy:?}");
+            assert!(plan.partitions > 1, "{strategy:?}: K={}", plan.partitions);
+        }
+    }
+
+    #[test]
+    fn tiny_gradients_are_not_compressed() {
+        // SS3.2: small gradients' compression overhead cannot be
+        // repaid; 4 KiB biases stay raw.
+        for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let p = planner(16, strategy);
+            let plan = p.plan_gradient(4 * 1024);
+            assert!(!plan.compress, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_is_monotone_boundary() {
+        let p = planner(16, Strategy::CaSyncPs);
+        let thr = p.compression_threshold();
+        assert!(thr > 4 * 1024, "threshold {thr} too small");
+        assert!(thr < 64 << 20, "threshold {thr} too large");
+        assert!(!p.plan_gradient(thr / 2).compress);
+        assert!(p.plan_gradient(thr * 2).compress);
+    }
+
+    #[test]
+    fn slower_network_favors_compression() {
+        let fast = planner(16, Strategy::CaSyncPs);
+        let slow = Planner::profile(
+            &ClusterConfig::ec2(16).with_link(LinkSpec::gbps10()),
+            Strategy::CaSyncPs,
+            Algorithm::OneBit,
+        )
+        .unwrap();
+        assert!(
+            slow.compression_threshold() <= fast.compression_threshold(),
+            "slow {} vs fast {}",
+            slow.compression_threshold(),
+            fast.compression_threshold()
+        );
+    }
+
+    #[test]
+    fn plan_model_covers_all_layers() {
+        let p = planner(4, Strategy::CaSyncRing);
+        let plans = p.plan_model(&[4096, 1 << 20, 392 << 20]);
+        assert_eq!(plans.len(), 3);
+        assert!(plans.iter().all(|pl| pl.partitions >= 1));
+    }
+
+    #[test]
+    fn none_algorithm_rejected() {
+        assert!(
+            Planner::profile(&ClusterConfig::ec2(4), Strategy::CaSyncPs, Algorithm::None)
+                .is_err()
+        );
+    }
+}

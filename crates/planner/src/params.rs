@@ -1,0 +1,98 @@
+//! The α/β/γ synchronization parameters (Table 3 and the §6.1
+//! deployed variants).
+
+use hipress_core::Strategy;
+
+/// The cost-model coefficients for one strategy instance:
+///
+/// * `alpha` — serial communication steps per gradient,
+/// * `beta` — encode operators that do not overlap transmission,
+/// * `gamma` — decode operators that do not overlap transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncParams {
+    /// Serial communication steps.
+    pub alpha: f64,
+    /// Non-overlapped encodes.
+    pub beta: f64,
+    /// Non-overlapped decodes.
+    pub gamma: f64,
+}
+
+impl SyncParams {
+    /// Table 3 as printed: the theoretical values with dedicated
+    /// aggregators.
+    ///
+    /// | strategy    | α       | β     | γ     |
+    /// |-------------|---------|-------|-------|
+    /// | CaSync-Ring | 2(N−1)  | N     | N     |
+    /// | CaSync-PS   | 2N      | K+1   | N+1   |
+    pub fn table3(strategy: Strategy, n: usize, k: usize) -> SyncParams {
+        let nf = n as f64;
+        match strategy {
+            Strategy::CaSyncRing | Strategy::HorovodRing => SyncParams {
+                alpha: 2.0 * (nf - 1.0),
+                beta: nf,
+                gamma: nf,
+            },
+            Strategy::CaSyncPs | Strategy::BytePs => SyncParams {
+                alpha: 2.0 * nf,
+                beta: k as f64 + 1.0,
+                gamma: nf + 1.0,
+            },
+        }
+    }
+
+    /// The §6.1 deployed values: CaSync-PS co-locates aggregators and
+    /// workers, so local traffic skips the network — α = 2(N−1),
+    /// β = K, γ = N. Ring is unchanged.
+    pub fn deployed(strategy: Strategy, n: usize, k: usize) -> SyncParams {
+        let nf = n as f64;
+        match strategy {
+            Strategy::CaSyncRing | Strategy::HorovodRing => Self::table3(strategy, n, k),
+            Strategy::CaSyncPs | Strategy::BytePs => SyncParams {
+                alpha: 2.0 * (nf - 1.0),
+                beta: k as f64,
+                gamma: nf,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_ring_values() {
+        let p = SyncParams::table3(Strategy::CaSyncRing, 16, 4);
+        assert_eq!(p.alpha, 30.0);
+        assert_eq!(p.beta, 16.0);
+        assert_eq!(p.gamma, 16.0);
+    }
+
+    #[test]
+    fn table3_ps_values() {
+        let p = SyncParams::table3(Strategy::CaSyncPs, 16, 4);
+        assert_eq!(p.alpha, 32.0);
+        assert_eq!(p.beta, 5.0);
+        assert_eq!(p.gamma, 17.0);
+    }
+
+    #[test]
+    fn deployed_ps_drops_local_traffic() {
+        let t3 = SyncParams::table3(Strategy::CaSyncPs, 16, 4);
+        let dep = SyncParams::deployed(Strategy::CaSyncPs, 16, 4);
+        assert!(dep.alpha < t3.alpha);
+        assert_eq!(dep.alpha, 30.0);
+        assert_eq!(dep.beta, 4.0);
+        assert_eq!(dep.gamma, 16.0);
+    }
+
+    #[test]
+    fn deployed_ring_unchanged() {
+        assert_eq!(
+            SyncParams::deployed(Strategy::CaSyncRing, 8, 2),
+            SyncParams::table3(Strategy::CaSyncRing, 8, 2)
+        );
+    }
+}

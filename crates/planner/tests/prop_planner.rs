@@ -1,0 +1,70 @@
+//! Property-based tests of the selective compression planner.
+
+use hipress_compress::Algorithm;
+use hipress_core::{ClusterConfig, Strategy};
+use hipress_planner::Planner;
+use proptest::prelude::*;
+
+fn planner(nodes: usize, strategy: Strategy, alg: Algorithm) -> Planner {
+    Planner::profile(&ClusterConfig::ec2(nodes), strategy, alg).expect("profiling succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Plans are always structurally valid: K >= 1 and bounded.
+    #[test]
+    fn plans_are_valid(bytes in 4u64..(1u64 << 30), nodes in 2usize..20) {
+        let bytes = bytes / 4 * 4;
+        for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let p = planner(nodes, strategy, Algorithm::OneBit);
+            let plan = p.plan_gradient(bytes.max(4));
+            prop_assert!(plan.partitions >= 1);
+            prop_assert!(plan.partitions <= (nodes * 4).clamp(4, 64));
+        }
+    }
+
+    /// The compression decision is monotone in gradient size: if a
+    /// gradient is compressed, every larger gradient is too.
+    #[test]
+    fn decision_monotone_in_size(small in 1024u64..(1 << 22), factor in 2u64..64, nodes in 2usize..17) {
+        let small = small / 4 * 4;
+        let large = small * factor;
+        let p = planner(nodes, Strategy::CaSyncPs, Algorithm::OneBit);
+        if p.plan_gradient(small).compress {
+            prop_assert!(
+                p.plan_gradient(large).compress,
+                "compressed at {small} but not at {large}"
+            );
+        }
+    }
+
+    /// The predicted compressed-path cost never exceeds raw cost for
+    /// very large gradients (compression must win in the limit).
+    #[test]
+    fn compression_wins_in_the_limit(nodes in 2usize..17) {
+        for alg in [Algorithm::OneBit, Algorithm::Dgc { rate: 0.001 }] {
+            let p = planner(nodes, Strategy::CaSyncRing, alg);
+            let plan = p.plan_gradient(512 << 20);
+            prop_assert!(plan.compress, "{alg:?} at {nodes} nodes");
+        }
+    }
+
+    /// Eq. 1/2 algebra: predicted costs are positive and increase with
+    /// gradient size at fixed K.
+    #[test]
+    fn costs_increase_with_size(k in 1usize..16, nodes in 2usize..17) {
+        let p = planner(nodes, Strategy::CaSyncPs, Algorithm::OneBit);
+        let m = p.cost_model();
+        let mut prev_orig = 0.0;
+        let mut prev_cpr = 0.0;
+        for bytes in [1u64 << 16, 1 << 20, 1 << 24, 1 << 28] {
+            let o = m.t_sync_orig(bytes, k, nodes);
+            let c = m.t_sync_cpr(bytes, k, nodes);
+            prop_assert!(o > prev_orig, "orig cost must grow");
+            prop_assert!(c > prev_cpr, "cpr cost must grow");
+            prev_orig = o;
+            prev_cpr = c;
+        }
+    }
+}

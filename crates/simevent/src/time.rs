@@ -1,0 +1,140 @@
+//! Simulation time: integer nanoseconds since the start of the run.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds.
+///
+/// Integer nanoseconds keep the simulation exactly reproducible (no
+/// floating-point drift) while being fine-grained enough for both
+/// microsecond-scale kernel launches and multi-second training epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from (possibly fractional) seconds, rounding to
+    /// the nearest nanosecond.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "time must be non-negative");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_ns(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self - earlier` in nanoseconds.
+    pub fn since(&self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The later of the two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ns: u64) {
+        self.0 += ns;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    /// Difference in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", hipress_util::units::fmt_ns(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(3), SimTime::from_ns(3_000));
+        assert_eq!(SimTime::from_ms(2), SimTime::from_ns(2_000_000));
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_ns(1_500_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100);
+        assert_eq!(t + 50, SimTime::from_ns(150));
+        assert_eq!(SimTime::from_ns(150) - t, 50);
+        assert_eq!(t.since(SimTime::from_ns(200)), 0); // Saturates.
+        assert_eq!(SimTime::from_ns(200).since(t), 100);
+        let mut u = t;
+        u += 10;
+        assert_eq!(u.as_ns(), 110);
+    }
+
+    #[test]
+    fn conversions() {
+        let t = SimTime::from_ms(1500);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_uses_adaptive_units() {
+        assert_eq!(SimTime::from_ns(500).to_string(), "500 ns");
+        assert_eq!(SimTime::from_ms(3).to_string(), "3.000 ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_panic() {
+        SimTime::from_secs_f64(-1.0);
+    }
+}

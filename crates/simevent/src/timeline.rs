@@ -1,0 +1,217 @@
+//! Busy-interval tracing for utilization analysis.
+//!
+//! Figure 9 of the paper compares GPU utilization timelines between
+//! Ring-allreduce and HiPress. Simulated components record their busy
+//! intervals on named tracks here; the analysis side computes
+//! utilization and renders textual timelines.
+
+use crate::SimTime;
+
+/// Identifies a registered track (one per traced component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(usize);
+
+/// A recorded busy interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+}
+
+/// A named collection of busy intervals per component.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    names: Vec<String>,
+    intervals: Vec<Vec<Interval>>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) a track by name.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return TrackId(i);
+        }
+        self.names.push(name.to_string());
+        self.intervals.push(Vec::new());
+        TrackId(self.names.len() - 1)
+    }
+
+    /// Looks up an existing track by name.
+    pub fn find_track(&self, name: &str) -> Option<TrackId> {
+        self.names.iter().position(|n| n == name).map(TrackId)
+    }
+
+    /// Records a busy interval on `track`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record(&mut self, track: TrackId, start: SimTime, end: SimTime) {
+        assert!(end >= start, "interval must not be reversed");
+        if end > start {
+            self.intervals[track.0].push(Interval { start, end });
+        }
+    }
+
+    /// All intervals recorded on `track`, in recording order.
+    pub fn intervals(&self, track: TrackId) -> &[Interval] {
+        &self.intervals[track.0]
+    }
+
+    /// Track names in registration order.
+    pub fn tracks(&self) -> impl Iterator<Item = (TrackId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TrackId(i), n.as_str()))
+    }
+
+    /// Total busy nanoseconds on `track`, merging overlapping
+    /// intervals so concurrent kernels are not double counted.
+    pub fn busy_ns(&self, track: TrackId) -> u64 {
+        let mut iv: Vec<Interval> = self.intervals[track.0].clone();
+        iv.sort_by_key(|i| i.start);
+        let mut total = 0u64;
+        let mut cur: Option<Interval> = None;
+        for i in iv {
+            match &mut cur {
+                None => cur = Some(i),
+                Some(c) => {
+                    if i.start <= c.end {
+                        c.end = c.end.max(i.end);
+                    } else {
+                        total += c.end - c.start;
+                        cur = Some(i);
+                    }
+                }
+            }
+        }
+        if let Some(c) = cur {
+            total += c.end - c.start;
+        }
+        total
+    }
+
+    /// Utilization of `track` over `[0, horizon)`.
+    pub fn utilization(&self, track: TrackId, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_ns(track) as f64 / horizon.as_ns() as f64
+    }
+
+    /// Samples the busy fraction of `track` in `buckets` equal slices
+    /// of `[0, horizon)` — the data behind a utilization-over-time
+    /// plot like Figure 9.
+    pub fn utilization_curve(&self, track: TrackId, horizon: SimTime, buckets: usize) -> Vec<f64> {
+        assert!(buckets > 0, "need at least one bucket");
+        let width = (horizon.as_ns() as f64 / buckets as f64).max(1.0);
+        let mut busy = vec![0.0f64; buckets];
+        for iv in &self.intervals[track.0] {
+            let (s, e) = (iv.start.as_ns() as f64, iv.end.as_ns() as f64);
+            let first = ((s / width).floor() as usize).min(buckets - 1);
+            let last = ((e / width).ceil() as usize).min(buckets);
+            for (b, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+                let blo = b as f64 * width;
+                let bhi = blo + width;
+                let overlap = (e.min(bhi) - s.max(blo)).max(0.0);
+                *slot += overlap;
+            }
+        }
+        busy.into_iter().map(|b| (b / width).min(1.0)).collect()
+    }
+
+    /// Renders `track` as an ASCII strip (`#` busy, `.` idle), one
+    /// character per bucket — a quick-look Figure 9.
+    pub fn ascii_strip(&self, track: TrackId, horizon: SimTime, buckets: usize) -> String {
+        self.utilization_curve(track, horizon, buckets)
+            .into_iter()
+            .map(|u| {
+                if u > 0.66 {
+                    '#'
+                } else if u > 0.33 {
+                    '+'
+                } else if u > 0.01 {
+                    '-'
+                } else {
+                    '.'
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_registration_is_idempotent() {
+        let mut t = Timeline::new();
+        let a = t.track("gpu0");
+        let b = t.track("gpu0");
+        assert_eq!(a, b);
+        assert_eq!(t.find_track("gpu0"), Some(a));
+        assert_eq!(t.find_track("gpu1"), None);
+    }
+
+    #[test]
+    fn busy_merges_overlaps() {
+        let mut t = Timeline::new();
+        let g = t.track("g");
+        t.record(g, SimTime::from_ns(0), SimTime::from_ns(100));
+        t.record(g, SimTime::from_ns(50), SimTime::from_ns(150));
+        t.record(g, SimTime::from_ns(300), SimTime::from_ns(400));
+        assert_eq!(t.busy_ns(g), 150 + 100);
+        assert!((t.utilization(g, SimTime::from_ns(500)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_intervals_ignored() {
+        let mut t = Timeline::new();
+        let g = t.track("g");
+        t.record(g, SimTime::from_ns(10), SimTime::from_ns(10));
+        assert_eq!(t.intervals(g).len(), 0);
+        assert_eq!(t.busy_ns(g), 0);
+    }
+
+    #[test]
+    fn utilization_curve_localizes_busy_time() {
+        let mut t = Timeline::new();
+        let g = t.track("g");
+        // Busy during the first half only.
+        t.record(g, SimTime::ZERO, SimTime::from_ns(500));
+        let curve = t.utilization_curve(g, SimTime::from_ns(1000), 10);
+        assert_eq!(curve.len(), 10);
+        for &u in &curve[..5] {
+            assert!((u - 1.0).abs() < 1e-9);
+        }
+        for &u in &curve[5..] {
+            assert!(u.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ascii_strip_shape() {
+        let mut t = Timeline::new();
+        let g = t.track("g");
+        t.record(g, SimTime::ZERO, SimTime::from_ns(250));
+        let strip = t.ascii_strip(g, SimTime::from_ns(1000), 4);
+        assert_eq!(strip, "#...");
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_interval_panics() {
+        let mut t = Timeline::new();
+        let g = t.track("g");
+        t.record(g, SimTime::from_ns(10), SimTime::from_ns(5));
+    }
+}

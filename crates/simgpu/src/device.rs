@@ -1,0 +1,307 @@
+//! Device specifications and the execution-time model.
+
+use hipress_simevent::{FifoResource, SimTime};
+use hipress_util::units::Bandwidth;
+
+/// Identifies a kernel stream of a [`GpuDevice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+/// Which interconnect a device-to-device or device-to-host copy uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyPath {
+    /// Host ↔ device over PCIe.
+    Pcie,
+    /// Peer GPU over NVLink (if the device has it; falls back to PCIe
+    /// otherwise).
+    Peer,
+}
+
+/// Execution-time parameters of a compute device.
+///
+/// `effective_bandwidth` is deliberately below the headline memory
+/// bandwidth: streaming kernels reach 70–80% of peak. The presets bake
+/// that in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Effective streaming memory bandwidth for kernels.
+    pub effective_bandwidth: Bandwidth,
+    /// Fixed cost of launching one kernel (plus completion callback).
+    pub kernel_launch_ns: u64,
+    /// Host ↔ device copy bandwidth (PCIe).
+    pub pcie_bandwidth: Bandwidth,
+    /// Peer-to-peer bandwidth between GPUs in the same node, if a
+    /// fast interconnect exists (NVLink on the V100 nodes).
+    pub peer_bandwidth: Option<Bandwidth>,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla V100 (32 GB, NVLink) — the paper's EC2
+    /// p3dn.24xlarge GPUs. 900 GB/s HBM2 peak, ~700 GB/s effective.
+    pub fn v100() -> Self {
+        Self {
+            name: "V100",
+            effective_bandwidth: Bandwidth::gbytes_per_sec(700.0),
+            kernel_launch_ns: 10_000,
+            pcie_bandwidth: Bandwidth::gbytes_per_sec(12.0),
+            peer_bandwidth: Some(Bandwidth::gbytes_per_sec(150.0)),
+        }
+    }
+
+    /// NVIDIA GTX 1080 Ti — the paper's local-cluster GPUs. 484 GB/s
+    /// peak, ~380 GB/s effective, PCIe only.
+    pub fn gtx1080ti() -> Self {
+        Self {
+            name: "1080Ti",
+            effective_bandwidth: Bandwidth::gbytes_per_sec(380.0),
+            kernel_launch_ns: 10_000,
+            pcie_bandwidth: Bandwidth::gbytes_per_sec(12.0),
+            peer_bandwidth: None,
+        }
+    }
+
+    /// A CPU executor for on-CPU compression baselines. Effective
+    /// scan bandwidth ~20 GB/s, which reproduces the paper's
+    /// measurement that on-CPU onebit runs ~35.6× slower than on-GPU
+    /// (§2.5).
+    pub fn cpu() -> Self {
+        Self {
+            name: "CPU",
+            effective_bandwidth: Bandwidth::gbytes_per_sec(20.0),
+            kernel_launch_ns: 1_000,
+            pcie_bandwidth: Bandwidth::gbytes_per_sec(12.0),
+            peer_bandwidth: None,
+        }
+    }
+
+    /// Roofline kernel time: launch overhead plus `passes` full
+    /// memory sweeps over `bytes`.
+    pub fn kernel_ns(&self, passes: f64, bytes: u64) -> u64 {
+        let sweep = (bytes as f64 * passes / self.effective_bandwidth.as_bytes_per_sec()
+            * 1e9)
+            .ceil() as u64;
+        self.kernel_launch_ns + sweep
+    }
+
+    /// Time to merge (element-wise add) two `bytes`-sized gradients:
+    /// two reads and one write, i.e. three memory sweeps.
+    pub fn merge_ns(&self, bytes: u64) -> u64 {
+        self.kernel_ns(3.0, bytes)
+    }
+
+    /// Copy time for `bytes` over the chosen path.
+    pub fn copy_ns(&self, path: CopyPath, bytes: u64) -> u64 {
+        let bw = match path {
+            CopyPath::Pcie => self.pcie_bandwidth,
+            CopyPath::Peer => self.peer_bandwidth.unwrap_or(self.pcie_bandwidth),
+        };
+        bw.transfer_ns(bytes)
+    }
+}
+
+/// Time for a ring allreduce of `bytes` across `gpus` co-located GPUs
+/// over the intra-node interconnect — the **local aggregation** step
+/// HiPress performs before inter-node synchronization (§5).
+///
+/// Bandwidth-optimal ring: `2 (g-1)/g × bytes` crossing each link.
+pub fn intra_node_allreduce_ns(spec: &DeviceSpec, gpus: usize, bytes: u64) -> u64 {
+    assert!(gpus > 0, "need at least one GPU");
+    if gpus == 1 {
+        return 0;
+    }
+    let bw = spec.peer_bandwidth.unwrap_or(spec.pcie_bandwidth);
+    let volume = 2.0 * (gpus as f64 - 1.0) / gpus as f64 * bytes as f64;
+    let move_ns = (volume / bw.as_bytes_per_sec() * 1e9).ceil() as u64;
+    // Each of the 2(g-1) steps has a (small) launch/sync overhead.
+    move_ns + 2 * (gpus as u64 - 1) * (spec.kernel_launch_ns / 2)
+}
+
+/// A simulated GPU: one or more kernel streams plus a copy engine,
+/// each FIFO.
+///
+/// CaSync schedules encode/decode/merge kernels onto streams; the
+/// FIFO semantics reproduce the serialization of compression work
+/// with (and against) DNN computation on the same device.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    spec: DeviceSpec,
+    streams: Vec<FifoResource>,
+    copy_engine: FifoResource,
+}
+
+impl GpuDevice {
+    /// Creates a device with `streams` kernel streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`.
+    pub fn new(spec: DeviceSpec, streams: usize) -> Self {
+        assert!(streams > 0, "a device needs at least one stream");
+        Self {
+            spec,
+            streams: vec![FifoResource::new(); streams],
+            copy_engine: FifoResource::new(),
+        }
+    }
+
+    /// The device's spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Number of kernel streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Enqueues a kernel of `passes` sweeps over `bytes` on `stream`
+    /// at or after `now`; returns its `(start, end)` window.
+    pub fn launch(
+        &mut self,
+        now: SimTime,
+        stream: StreamId,
+        passes: f64,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
+        let dur = self.spec.kernel_ns(passes, bytes);
+        self.streams[stream.0].acquire(now, dur)
+    }
+
+    /// Enqueues a pre-costed task (e.g., a batched compression launch
+    /// whose duration was computed for the whole batch) on `stream`.
+    pub fn launch_costed(
+        &mut self,
+        now: SimTime,
+        stream: StreamId,
+        duration_ns: u64,
+    ) -> (SimTime, SimTime) {
+        self.streams[stream.0].acquire(now, duration_ns)
+    }
+
+    /// Enqueues a copy on the copy engine.
+    pub fn copy(&mut self, now: SimTime, path: CopyPath, bytes: u64) -> (SimTime, SimTime) {
+        let dur = self.spec.copy_ns(path, bytes);
+        self.copy_engine.acquire(now, dur)
+    }
+
+    /// When `stream` would start a new kernel issued at `now`.
+    pub fn stream_free_at(&self, stream: StreamId, now: SimTime) -> SimTime {
+        self.streams[stream.0].next_free(now)
+    }
+
+    /// The stream that would start a new kernel earliest at `now`.
+    pub fn least_busy_stream(&self, now: SimTime) -> StreamId {
+        let mut best = StreamId(0);
+        let mut best_t = self.streams[0].next_free(now);
+        for (i, s) in self.streams.iter().enumerate().skip(1) {
+            let t = s.next_free(now);
+            if t < best_t {
+                best_t = t;
+                best = StreamId(i);
+            }
+        }
+        best
+    }
+
+    /// Total busy nanoseconds across all kernel streams.
+    pub fn kernel_busy_ns(&self) -> u64 {
+        self.streams.iter().map(FifoResource::busy_ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_time_is_affine_in_bytes() {
+        let spec = DeviceSpec::v100();
+        let t1 = spec.kernel_ns(2.0, 1_000_000);
+        let t2 = spec.kernel_ns(2.0, 2_000_000);
+        let t3 = spec.kernel_ns(2.0, 3_000_000);
+        // Equal increments in bytes give equal increments in time.
+        assert!(((t2 - t1) as i64 - (t3 - t2) as i64).abs() <= 1);
+        // Launch overhead shows at zero bytes.
+        assert_eq!(spec.kernel_ns(2.0, 0), spec.kernel_launch_ns);
+    }
+
+    #[test]
+    fn cpu_is_about_35x_slower_than_v100() {
+        // The SS2.5 claim: on-CPU onebit runs ~35.6x slower than the
+        // on-GPU implementation. With identical pass counts the ratio
+        // reduces to the bandwidth ratio.
+        let gpu = DeviceSpec::v100();
+        let cpu = DeviceSpec::cpu();
+        let bytes = 256 * 1024 * 1024;
+        let ratio = cpu.kernel_ns(2.0, bytes) as f64 / gpu.kernel_ns(2.0, bytes) as f64;
+        assert!((30.0..40.0).contains(&ratio), "CPU/GPU ratio {ratio}");
+    }
+
+    #[test]
+    fn merge_is_three_sweeps() {
+        let spec = DeviceSpec::v100();
+        assert_eq!(spec.merge_ns(1 << 20), spec.kernel_ns(3.0, 1 << 20));
+    }
+
+    #[test]
+    fn copy_paths() {
+        let v100 = DeviceSpec::v100();
+        // NVLink is faster than PCIe.
+        assert!(v100.copy_ns(CopyPath::Peer, 1 << 26) < v100.copy_ns(CopyPath::Pcie, 1 << 26));
+        // Without NVLink, peer copies fall back to PCIe.
+        let ti = DeviceSpec::gtx1080ti();
+        assert_eq!(
+            ti.copy_ns(CopyPath::Peer, 1 << 26),
+            ti.copy_ns(CopyPath::Pcie, 1 << 26)
+        );
+    }
+
+    #[test]
+    fn local_aggregation_scales_with_gpus() {
+        let spec = DeviceSpec::v100();
+        let m = 100 * 1024 * 1024;
+        assert_eq!(intra_node_allreduce_ns(&spec, 1, m), 0);
+        let t2 = intra_node_allreduce_ns(&spec, 2, m);
+        let t8 = intra_node_allreduce_ns(&spec, 8, m);
+        assert!(t2 > 0);
+        // Ring volume grows as 2(g-1)/g -> saturates below 2x.
+        assert!(t8 < 2 * t2);
+        assert!(t8 > t2);
+    }
+
+    #[test]
+    fn streams_serialize_independently() {
+        let mut gpu = GpuDevice::new(DeviceSpec::v100(), 2);
+        let (s0a, e0a) = gpu.launch(SimTime::ZERO, StreamId(0), 2.0, 1 << 26);
+        let (s1a, _) = gpu.launch(SimTime::ZERO, StreamId(1), 2.0, 1 << 26);
+        // Different streams start together.
+        assert_eq!(s0a, s1a);
+        // Same stream queues.
+        let (s0b, _) = gpu.launch(SimTime::ZERO, StreamId(0), 2.0, 1 << 26);
+        assert_eq!(s0b, e0a);
+    }
+
+    #[test]
+    fn least_busy_stream_balances() {
+        let mut gpu = GpuDevice::new(DeviceSpec::v100(), 2);
+        assert_eq!(gpu.least_busy_stream(SimTime::ZERO), StreamId(0));
+        gpu.launch(SimTime::ZERO, StreamId(0), 2.0, 1 << 26);
+        assert_eq!(gpu.least_busy_stream(SimTime::ZERO), StreamId(1));
+    }
+
+    #[test]
+    fn busy_accounting_sums_streams() {
+        let mut gpu = GpuDevice::new(DeviceSpec::v100(), 2);
+        gpu.launch(SimTime::ZERO, StreamId(0), 1.0, 0);
+        gpu.launch(SimTime::ZERO, StreamId(1), 1.0, 0);
+        assert_eq!(gpu.kernel_busy_ns(), 2 * DeviceSpec::v100().kernel_launch_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        intra_node_allreduce_ns(&DeviceSpec::v100(), 0, 1);
+    }
+}

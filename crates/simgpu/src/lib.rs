@@ -1,0 +1,22 @@
+//! Simulated GPU/CPU compute for gradient compression.
+//!
+//! Gradient compression kernels are memory-bound scans (§2.5 of the
+//! paper: "extremely memory-intensive and require massive
+//! parallelism"). Their execution time is therefore well modelled by a
+//! roofline: a fixed launch overhead plus `passes × bytes` moved at
+//! the device's effective memory bandwidth. This crate provides:
+//!
+//! * [`DeviceSpec`] — effective-bandwidth presets for the paper's
+//!   hardware (V100, GTX 1080 Ti) and a CPU executor that reproduces
+//!   the ~35× on-CPU slowdown (§2.5),
+//! * [`GpuDevice`] — per-device kernel streams (FIFO) so compression
+//!   kernels from concurrent gradients serialize realistically, plus a
+//!   copy engine for PCIe/NVLink transfers,
+//! * [`profile`] — the measurement harness the selective compression
+//!   planner uses to fit `T_enc(m) = a + b·m` cost curves, mirroring
+//!   the paper's profiling of compression algorithms (§3.3).
+
+mod device;
+pub mod profile;
+
+pub use device::{intra_node_allreduce_ns, CopyPath, DeviceSpec, GpuDevice, StreamId};

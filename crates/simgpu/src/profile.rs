@@ -1,0 +1,124 @@
+//! Cost-curve profiling for the selective compression planner.
+//!
+//! The paper's planner "launches the GPU kernels and peer-to-peer
+//! communication tasks with respect to different gradient sizes to
+//! fit the compression and network cost curves" (§3.3). This module
+//! is that harness: it measures kernel times at a ladder of sizes on
+//! a device model and fits an affine curve `T(m) = a + b·m`.
+
+use crate::DeviceSpec;
+use hipress_util::fit::AffineFit;
+
+/// The default measurement ladder (bytes): 64 KiB … 64 MiB.
+pub fn default_sizes() -> Vec<u64> {
+    (0..=10).map(|i| (64 * 1024) << i).collect()
+}
+
+/// Measures `passes`-sweep kernels at each size on `spec` and fits an
+/// affine cost curve in nanoseconds over bytes.
+///
+/// # Panics
+///
+/// Panics if fewer than two sizes are given.
+pub fn profile_kernel(spec: &DeviceSpec, passes: f64, sizes: &[u64]) -> AffineFit {
+    let samples: Vec<(f64, f64)> = sizes
+        .iter()
+        .map(|&m| (m as f64, spec.kernel_ns(passes, m) as f64))
+        .collect();
+    AffineFit::fit(&samples).expect("need at least two distinct sizes to fit a cost curve")
+}
+
+/// A profiled compression algorithm: its encode and decode cost
+/// curves (over *input* bytes for encode and *original* bytes for
+/// decode) plus its compression ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionProfile {
+    /// `T_enc(m)` in ns for an m-byte gradient.
+    pub encode: AffineFit,
+    /// `T_dec(m)` in ns for the compressed form of an m-byte gradient.
+    pub decode: AffineFit,
+    /// Compression rate `r` (compressed bytes / original bytes).
+    pub ratio: f64,
+}
+
+impl CompressionProfile {
+    /// Builds a profile from a device spec, the algorithm's pass
+    /// counts, and its compression ratio.
+    ///
+    /// Decode sweeps the *compressed* buffer plus writes the dense
+    /// output, so its per-original-byte cost uses
+    /// `decode_passes × ratio + 1` sweeps (one full write pass of the
+    /// dense output).
+    pub fn measure(
+        spec: &DeviceSpec,
+        encode_passes: f64,
+        decode_passes: f64,
+        ratio: f64,
+    ) -> Self {
+        let sizes = default_sizes();
+        let encode = profile_kernel(spec, encode_passes, &sizes);
+        let decode = profile_kernel(spec, decode_passes * ratio + 1.0, &sizes);
+        Self {
+            encode,
+            decode,
+            ratio,
+        }
+    }
+
+    /// `T_enc(m)` in nanoseconds.
+    pub fn encode_ns(&self, bytes: u64) -> u64 {
+        self.encode.eval(bytes as f64).max(0.0) as u64
+    }
+
+    /// `T_dec` for the compressed form of an `bytes`-byte original.
+    pub fn decode_ns(&self, bytes: u64) -> u64 {
+        self.decode.eval(bytes as f64).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_roofline_exactly() {
+        let spec = DeviceSpec::v100();
+        let fit = profile_kernel(&spec, 2.0, &default_sizes());
+        // The model is affine, so the fit must be essentially exact.
+        for &m in &[123_456u64, 7_777_777, 400_000_000] {
+            let predicted = fit.eval(m as f64);
+            let actual = spec.kernel_ns(2.0, m) as f64;
+            assert!(
+                (predicted - actual).abs() / actual < 1e-3,
+                "size {m}: {predicted} vs {actual}"
+            );
+        }
+        assert!((fit.intercept - spec.kernel_launch_ns as f64).abs() < 10.0);
+    }
+
+    #[test]
+    fn profile_encode_decode_asymmetry() {
+        // onebit: 2 encode passes, 1 decode pass over 1/32-sized input.
+        let p = CompressionProfile::measure(&DeviceSpec::v100(), 2.0, 1.0, 1.0 / 32.0);
+        let m = 64 * 1024 * 1024;
+        // Decode (1 sweep of compressed + 1 dense write) is cheaper
+        // than encode (2 dense sweeps).
+        assert!(p.decode_ns(m) < p.encode_ns(m));
+        assert!(p.encode_ns(m) > 0);
+    }
+
+    #[test]
+    fn larger_gradients_cost_more() {
+        let p = CompressionProfile::measure(&DeviceSpec::gtx1080ti(), 3.0, 1.5, 0.002);
+        assert!(p.encode_ns(1 << 28) > p.encode_ns(1 << 20));
+        assert!(p.decode_ns(1 << 28) > p.decode_ns(1 << 20));
+    }
+
+    #[test]
+    fn default_sizes_span_three_decades() {
+        let sizes = default_sizes();
+        assert!(sizes.len() >= 5);
+        assert_eq!(sizes[0], 64 * 1024);
+        assert_eq!(*sizes.last().unwrap(), 64 * 1024 * 1024);
+    }
+}

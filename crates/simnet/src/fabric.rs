@@ -1,0 +1,259 @@
+//! The cluster fabric: per-node NICs and the transfer scheduler.
+
+use crate::LinkSpec;
+use hipress_simevent::{FifoResource, SimTime};
+use hipress_util::{Error, Result};
+
+/// Identifies a node attached to a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One node's network attachment: independent uplink and downlink
+/// FIFO resources (full duplex).
+#[derive(Debug, Clone)]
+struct Nic {
+    spec: LinkSpec,
+    uplink: FifoResource,
+    downlink: FifoResource,
+}
+
+/// The outcome of scheduling a transfer: when the payload leaves the
+/// sender's memory and when it is fully received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// When serialization begins on the sender's uplink.
+    pub depart: SimTime,
+    /// When the last byte lands at the receiver (schedule the `recv`
+    /// completion event here).
+    pub arrive: SimTime,
+}
+
+impl TransferPlan {
+    /// End-to-end duration from request to arrival, given the request
+    /// time.
+    pub fn elapsed_from(&self, request: SimTime) -> u64 {
+        self.arrive.since(request)
+    }
+}
+
+/// The cluster network: a set of NICs plus the transfer scheduling
+/// logic.
+///
+/// Transfers are scheduled in call order (which, under the
+/// discrete-event engine, is simulation-time order), so FIFO queueing
+/// at each NIC direction emerges naturally.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    nics: Vec<Nic>,
+}
+
+impl Fabric {
+    /// Creates a fabric of `nodes` identical NICs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when `nodes == 0`.
+    pub fn homogeneous(nodes: usize, spec: LinkSpec) -> Result<Self> {
+        if nodes == 0 {
+            return Err(Error::config("a fabric needs at least one node"));
+        }
+        Ok(Self {
+            nics: vec![
+                Nic {
+                    spec,
+                    uplink: FifoResource::new(),
+                    downlink: FifoResource::new(),
+                };
+                nodes
+            ],
+        })
+    }
+
+    /// Number of attached nodes.
+    pub fn len(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Whether the fabric has no nodes (never true for a constructed
+    /// fabric).
+    pub fn is_empty(&self) -> bool {
+        self.nics.is_empty()
+    }
+
+    /// The link spec of `node`.
+    pub fn spec(&self, node: NodeId) -> LinkSpec {
+        self.nics[node.0].spec
+    }
+
+    /// Schedules moving `bytes` from `src` to `dst` starting no
+    /// earlier than `now`.
+    ///
+    /// The transfer serializes at the slower of the two directions'
+    /// rates; the sender's uplink is busy for the serialization
+    /// window, the receiver's downlink for the same window shifted by
+    /// one wire latency. Arrival is `start + latency + serialization`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — local data never crosses the fabric
+    /// (local aggregation handles intra-node traffic).
+    pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> TransferPlan {
+        assert_ne!(src, dst, "intra-node traffic must not use the fabric");
+        let latency = self.nics[src.0].spec.latency_ns.max(self.nics[dst.0].spec.latency_ns);
+        let up_bw = self.nics[src.0].spec.bandwidth;
+        let down_bw = self.nics[dst.0].spec.bandwidth;
+        let rate = if up_bw.as_bytes_per_sec() <= down_bw.as_bytes_per_sec() {
+            up_bw
+        } else {
+            down_bw
+        };
+        let dur = rate.transfer_ns(bytes);
+        // Buffered cut-through: the sender serializes as soon as its
+        // uplink frees (the fabric buffers in flight), and the
+        // receiver drains the payload once its downlink frees. An
+        // isolated transfer costs `latency + dur`; a backlogged
+        // receiver delays only its own arrivals, never the sender's
+        // uplink (no head-of-line coupling across the fabric).
+        let (up_start, up_end) = self.nics[src.0].uplink.acquire(now, dur);
+        let wire_arrival = up_start + latency;
+        let down_free = self.nics[dst.0].downlink.next_free(wire_arrival);
+        let (_, arrive) = self.nics[dst.0].downlink.reserve(down_free, dur);
+        let _ = up_end;
+        TransferPlan {
+            depart: up_start,
+            arrive,
+        }
+    }
+
+    /// Whether both the uplink of `src` and the downlink of `dst`
+    /// would be immediately free for a transfer issued at `now` — the
+    /// "non-conflicting link" test the CaSync coordinator uses.
+    pub fn link_idle(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        self.nics[src.0].uplink.is_idle_at(now) && self.nics[dst.0].downlink.is_idle_at(now)
+    }
+
+    /// Total busy time of `node`'s uplink.
+    pub fn uplink_busy_ns(&self, node: NodeId) -> u64 {
+        self.nics[node.0].uplink.busy_ns()
+    }
+
+    /// Total busy time of `node`'s downlink.
+    pub fn downlink_busy_ns(&self, node: NodeId) -> u64 {
+        self.nics[node.0].downlink.busy_ns()
+    }
+
+    /// Pure cost query: the end-to-end time an isolated (uncontended)
+    /// transfer of `bytes` between two nodes would take. This is the
+    /// `T_send(m)` of the paper's cost model (Table 2).
+    pub fn isolated_transfer_ns(&self, src: NodeId, dst: NodeId, bytes: u64) -> u64 {
+        let latency = self.nics[src.0].spec.latency_ns.max(self.nics[dst.0].spec.latency_ns);
+        let up = self.nics[src.0].spec.bandwidth;
+        let down = self.nics[dst.0].spec.bandwidth;
+        let rate = if up.as_bytes_per_sec() <= down.as_bytes_per_sec() {
+            up
+        } else {
+            down
+        };
+        latency + rate.transfer_ns(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::homogeneous(n, LinkSpec::gbps100()).unwrap()
+    }
+
+    #[test]
+    fn isolated_transfer_time() {
+        let mut f = fabric(2);
+        // 12.5 MB at 12.5 GB/s = 1 ms, plus 2.5 us latency.
+        let plan = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
+        assert_eq!(plan.depart, SimTime::ZERO);
+        assert_eq!(plan.arrive.as_ns(), 1_000_000 + 2_500);
+        assert_eq!(
+            f.isolated_transfer_ns(NodeId(0), NodeId(1), 12_500_000),
+            1_002_500
+        );
+    }
+
+    #[test]
+    fn uplink_contention_serializes() {
+        let mut f = fabric(3);
+        let a = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
+        // Same sender, different receiver: must wait for the uplink.
+        let b = f.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 12_500_000);
+        assert_eq!(b.depart, SimTime::from_ns(1_000_000));
+        assert!(b.arrive > a.arrive);
+    }
+
+    #[test]
+    fn downlink_contention_serializes() {
+        let mut f = fabric(3);
+        let a = f.transfer(SimTime::ZERO, NodeId(1), NodeId(0), 12_500_000);
+        let b = f.transfer(SimTime::ZERO, NodeId(2), NodeId(0), 12_500_000);
+        // The second transfer's serialization window at the receiver
+        // starts after the first finishes.
+        assert_eq!(b.arrive.as_ns(), a.arrive.as_ns() + 1_000_000);
+    }
+
+    #[test]
+    fn full_duplex_no_cross_contention() {
+        let mut f = fabric(2);
+        let a = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
+        // Opposite direction uses the other pair of resources.
+        let b = f.transfer(SimTime::ZERO, NodeId(1), NodeId(0), 12_500_000);
+        assert_eq!(a.depart, SimTime::ZERO);
+        assert_eq!(b.depart, SimTime::ZERO);
+        assert_eq!(a.arrive, b.arrive);
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        let mut f = fabric(4);
+        let a = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
+        let b = f.transfer(SimTime::ZERO, NodeId(2), NodeId(3), 12_500_000);
+        assert_eq!(a.arrive, b.arrive);
+    }
+
+    #[test]
+    fn link_idle_reflects_reservations() {
+        let mut f = fabric(3);
+        assert!(f.link_idle(SimTime::ZERO, NodeId(0), NodeId(1)));
+        f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
+        assert!(!f.link_idle(SimTime::from_ns(10), NodeId(0), NodeId(2)), "uplink busy");
+        assert!(!f.link_idle(SimTime::from_ns(10), NodeId(2), NodeId(1)), "downlink busy");
+        assert!(f.link_idle(SimTime::from_ns(10), NodeId(2), NodeId(0)), "reverse path free");
+        assert!(f.link_idle(SimTime::from_ms(2), NodeId(0), NodeId(2)), "free after drain");
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut f = fabric(2);
+        f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
+        assert_eq!(f.uplink_busy_ns(NodeId(0)), 1_000_000);
+        assert_eq!(f.downlink_busy_ns(NodeId(1)), 1_000_000);
+        assert_eq!(f.uplink_busy_ns(NodeId(1)), 0);
+        assert_eq!(f.downlink_busy_ns(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency_only() {
+        let mut f = fabric(2);
+        let plan = f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 0);
+        assert_eq!(plan.arrive.as_ns(), 2_500);
+    }
+
+    #[test]
+    fn empty_fabric_rejected() {
+        assert!(Fabric::homogeneous(0, LinkSpec::gbps100()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node")]
+    fn self_transfer_panics() {
+        fabric(2).transfer(SimTime::ZERO, NodeId(0), NodeId(0), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulated cluster network.
+//!
+//! The paper's clusters connect nodes with homogeneous full-duplex
+//! links (100 Gbps on EC2, 56 Gbps Infiniband locally; §6.1). CaSync's
+//! bulk-communication coordinator reasons explicitly about *link
+//! occupancy* — which uplinks and downlinks are free in a time slot —
+//! so the model here centres on per-NIC serialization:
+//!
+//! * every node owns a NIC with independent uplink and downlink
+//!   FIFO resources (full duplex),
+//! * a transfer serializes at the slower of the sender's uplink rate
+//!   and the receiver's downlink rate, occupies both directions for
+//!   the serialization window, and arrives one wire latency later,
+//! * concurrent transfers sharing a NIC direction queue FIFO — the
+//!   contention CaSync's coordinator avoids by selecting
+//!   non-conflicting links (§3.2).
+//!
+//! The model is deliberately store-and-forward at message granularity:
+//! gradient synchronization moves megabyte-scale messages whose
+//! serialization time dwarfs packetization effects.
+
+mod fabric;
+mod spec;
+
+pub use fabric::{Fabric, NodeId, TransferPlan};
+pub use spec::LinkSpec;

@@ -1,0 +1,79 @@
+//! Link specifications and the paper's network presets.
+
+use hipress_util::units::Bandwidth;
+
+/// Capacity of one node's network attachment (symmetric full duplex).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Per-direction bandwidth.
+    pub bandwidth: Bandwidth,
+    /// One-way wire latency in nanoseconds, including the per-message
+    /// transport overhead (RDMA verbs post/poll or TCP stack cost).
+    pub latency_ns: u64,
+}
+
+impl LinkSpec {
+    /// Creates a spec from raw parts.
+    pub fn new(bandwidth: Bandwidth, latency_ns: u64) -> Self {
+        Self {
+            bandwidth,
+            latency_ns,
+        }
+    }
+
+    /// 100 Gbps RDMA (EC2 p3dn.24xlarge, the paper's high-end
+    /// cluster). ~2.5 µs one-way including verbs overhead.
+    pub fn gbps100() -> Self {
+        Self::new(Bandwidth::gbps(100.0), 2_500)
+    }
+
+    /// 56 Gbps Infiniband with RDMA (the paper's local cluster).
+    pub fn gbps56() -> Self {
+        Self::new(Bandwidth::gbps(56.0), 2_000)
+    }
+
+    /// 25 Gbps (the paper's low-bandwidth EC2 configuration,
+    /// Figure 12a).
+    pub fn gbps25() -> Self {
+        Self::new(Bandwidth::gbps(25.0), 5_000)
+    }
+
+    /// 10 Gbps (the paper's low-bandwidth local configuration,
+    /// Figure 12a).
+    pub fn gbps10() -> Self {
+        Self::new(Bandwidth::gbps(10.0), 10_000)
+    }
+
+    /// Serialization time for `bytes` at this link's rate.
+    pub fn serialize_ns(&self, bytes: u64) -> u64 {
+        self.bandwidth.transfer_ns(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let specs = [
+            LinkSpec::gbps10(),
+            LinkSpec::gbps25(),
+            LinkSpec::gbps56(),
+            LinkSpec::gbps100(),
+        ];
+        for pair in specs.windows(2) {
+            assert!(
+                pair[0].bandwidth.as_gbps() < pair[1].bandwidth.as_gbps(),
+                "presets must be strictly increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_time_100gbps() {
+        // 100 Gbps = 12.5 GB/s: 125 MB takes 10 ms.
+        let spec = LinkSpec::gbps100();
+        assert_eq!(spec.serialize_ns(125_000_000), 10_000_000);
+    }
+}

@@ -1,0 +1,19 @@
+//! Gradient tensor representation for HiPress.
+//!
+//! Gradients in data parallel DNN training are flat `f32` buffers, one
+//! per DNN layer (Table 6 of the paper). This crate provides:
+//!
+//! * [`Tensor`] — a named, flat `f32` gradient buffer with arithmetic
+//!   helpers (the unit the compressors and synchronization operate on),
+//! * [`partition`] — balanced gradient partitioning, the "K partitions"
+//!   of the selective compression and partitioning mechanism (§3.3),
+//! * [`synth`] — deterministic synthetic gradient generators with the
+//!   statistical shapes (Gaussian, sparse, heavy-tailed) that real DNN
+//!   gradients exhibit, used by tests and benchmarks.
+
+pub mod partition;
+pub mod synth;
+mod tensor;
+
+pub use partition::{partition_ranges, Partition};
+pub use tensor::Tensor;

@@ -1,0 +1,153 @@
+//! Balanced gradient partitioning.
+//!
+//! The selective compression and partitioning mechanism (§3.3) splits
+//! an `m`-byte gradient into `K` partitions before compression to
+//! leverage parallelism and load balancing. Partitions must be as equal
+//! as possible (the cost model assumes each has `m/K` bytes) and must
+//! reassemble to the original gradient exactly.
+
+use crate::Tensor;
+use std::ops::Range;
+
+/// One partition of a gradient: its index and element range within the
+/// parent tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Position of this partition among its siblings (0-based).
+    pub index: usize,
+    /// Element range within the parent tensor.
+    pub range: Range<usize>,
+}
+
+impl Partition {
+    /// Number of elements in the partition.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the partition is empty (only possible when a tensor has
+    /// fewer elements than partitions).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Byte size of the partition at fp32.
+    pub fn byte_size(&self) -> u64 {
+        (self.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Extracts the partition's data from the parent tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the parent's length.
+    pub fn slice<'a>(&self, parent: &'a Tensor) -> &'a [f32] {
+        &parent.as_slice()[self.range.clone()]
+    }
+}
+
+/// Splits `len` elements into `k` maximally balanced contiguous ranges.
+///
+/// The first `len % k` partitions get one extra element, so sizes
+/// differ by at most one. Returns ranges covering `0..len` exactly, in
+/// order.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn partition_ranges(len: usize, k: usize) -> Vec<Partition> {
+    assert!(k > 0, "cannot partition into zero parts");
+    let base = len / k;
+    let extra = len % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for index in 0..k {
+        let size = base + usize::from(index < extra);
+        out.push(Partition {
+            index,
+            range: start..start + size,
+        });
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Reassembles partition payloads into a single tensor.
+///
+/// `parts` must be given in partition order; this is the inverse of
+/// slicing a tensor by [`partition_ranges`].
+pub fn reassemble(parts: &[Tensor]) -> Tensor {
+    Tensor::concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let parts = partition_ranges(12, 4);
+        assert_eq!(parts.len(), 4);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.len(), 3);
+        }
+        assert_eq!(parts[0].range, 0..3);
+        assert_eq!(parts[3].range, 9..12);
+    }
+
+    #[test]
+    fn uneven_split_differs_by_at_most_one() {
+        let parts = partition_ranges(10, 3);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn more_parts_than_elements() {
+        let parts = partition_ranges(2, 5);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0, 0]);
+        assert!(parts[4].is_empty());
+    }
+
+    #[test]
+    fn ranges_tile_exactly() {
+        for len in [0usize, 1, 7, 100, 1023] {
+            for k in 1..=16 {
+                let parts = partition_ranges(len, k);
+                let mut cursor = 0;
+                for p in &parts {
+                    assert_eq!(p.range.start, cursor);
+                    cursor = p.range.end;
+                }
+                assert_eq!(cursor, len);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_and_reassemble_roundtrip() {
+        let t = Tensor::from_fn(103, |i| i as f32);
+        let parts = partition_ranges(t.len(), 7);
+        let pieces: Vec<Tensor> = parts
+            .iter()
+            .map(|p| Tensor::from_vec(p.slice(&t).to_vec()))
+            .collect();
+        assert_eq!(reassemble(&pieces), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        partition_ranges(10, 0);
+    }
+
+    #[test]
+    fn byte_size_is_four_per_element() {
+        let parts = partition_ranges(10, 3);
+        assert_eq!(parts[0].byte_size(), 16);
+        assert_eq!(parts[1].byte_size(), 12);
+    }
+}

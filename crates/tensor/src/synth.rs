@@ -1,0 +1,168 @@
+//! Deterministic synthetic gradient generators.
+//!
+//! Real DNN gradients are approximately zero-mean with heavy tails and
+//! high sparsity of *significant* values — the properties the paper's
+//! sparsification (DGC, GradDrop) and quantization (onebit, TBQ,
+//! TernGrad) algorithms exploit. These generators produce buffers with
+//! those shapes deterministically from a seed so experiments are
+//! reproducible.
+
+use crate::Tensor;
+use hipress_util::rng::{Rng64, Xoshiro256};
+
+/// Statistical shape of a synthetic gradient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GradientShape {
+    /// i.i.d. Gaussian with the given standard deviation — the default
+    /// model for dense layer gradients.
+    Gaussian {
+        /// Standard deviation of every element.
+        std_dev: f32,
+    },
+    /// Mostly-zero gradient: each element is non-zero with probability
+    /// `density`, in which case it is Gaussian. Models embedding-layer
+    /// gradients (the sparse gradients Parallax targets).
+    Sparse {
+        /// Probability that an element is non-zero.
+        density: f64,
+        /// Standard deviation of the non-zero elements.
+        std_dev: f32,
+    },
+    /// Heavy-tailed gradient: Gaussian body plus a small fraction of
+    /// large-magnitude outliers. Models the skew that makes top-k
+    /// sparsification (DGC) effective.
+    HeavyTailed {
+        /// Standard deviation of the Gaussian body.
+        std_dev: f32,
+        /// Fraction of elements drawn from the outlier distribution.
+        outlier_frac: f64,
+        /// Scale multiplier for outliers.
+        outlier_scale: f32,
+    },
+}
+
+impl GradientShape {
+    /// A reasonable default for DNN-layer-like gradients.
+    pub fn default_dnn() -> Self {
+        GradientShape::HeavyTailed {
+            std_dev: 1e-3,
+            outlier_frac: 0.01,
+            outlier_scale: 20.0,
+        }
+    }
+}
+
+/// Generates a gradient of `len` elements with the given shape,
+/// deterministically from `seed`.
+pub fn generate(len: usize, shape: GradientShape, seed: u64) -> Tensor {
+    let mut rng = Xoshiro256::new(seed);
+    match shape {
+        GradientShape::Gaussian { std_dev } => {
+            Tensor::from_fn(len, |_| (rng.next_gaussian() as f32) * std_dev)
+        }
+        GradientShape::Sparse { density, std_dev } => Tensor::from_fn(len, |_| {
+            if rng.bernoulli(density) {
+                (rng.next_gaussian() as f32) * std_dev
+            } else {
+                0.0
+            }
+        }),
+        GradientShape::HeavyTailed {
+            std_dev,
+            outlier_frac,
+            outlier_scale,
+        } => Tensor::from_fn(len, |_| {
+            let base = (rng.next_gaussian() as f32) * std_dev;
+            if rng.bernoulli(outlier_frac) {
+                base * outlier_scale
+            } else {
+                base
+            }
+        }),
+    }
+}
+
+/// Generates one gradient per entry of `layer_elems` with per-layer
+/// derived seeds, modelling one backward pass of a whole model.
+pub fn generate_model_gradients(
+    layer_elems: &[usize],
+    shape: GradientShape,
+    seed: u64,
+) -> Vec<Tensor> {
+    layer_elems
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| generate(n, shape, seed ^ ((i as u64 + 1) * 0x9E37_79B9)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(1000, GradientShape::default_dnn(), 7);
+        let b = generate(1000, GradientShape::default_dnn(), 7);
+        let c = generate(1000, GradientShape::default_dnn(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let t = generate(200_000, GradientShape::Gaussian { std_dev: 0.5 }, 1);
+        let mean: f64 = t.as_slice().iter().map(|&x| x as f64).sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 0.01);
+        let var: f64 =
+            t.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / t.len() as f64;
+        assert!((var - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn sparse_density() {
+        let t = generate(
+            100_000,
+            GradientShape::Sparse {
+                density: 0.05,
+                std_dev: 1.0,
+            },
+            2,
+        );
+        let nonzero = 1.0 - t.sparsity();
+        assert!((nonzero - 0.05).abs() < 0.01, "density {nonzero}");
+    }
+
+    #[test]
+    fn heavy_tail_has_outliers() {
+        let t = generate(
+            100_000,
+            GradientShape::HeavyTailed {
+                std_dev: 1.0,
+                outlier_frac: 0.01,
+                outlier_scale: 50.0,
+            },
+            3,
+        );
+        // The max should be dominated by outliers: far beyond what a
+        // plain Gaussian of std 1 would produce.
+        assert!(t.max_abs() > 20.0);
+        // But the body remains near std 1: the median magnitude is small.
+        let mut mags: Vec<f32> = t.as_slice().iter().map(|x| x.abs()).collect();
+        mags.sort_by(f32::total_cmp);
+        let median = mags[mags.len() / 2];
+        assert!(median < 1.5);
+    }
+
+    #[test]
+    fn model_gradients_match_layer_sizes() {
+        let sizes = [10usize, 0, 250, 3];
+        let grads = generate_model_gradients(&sizes, GradientShape::default_dnn(), 9);
+        assert_eq!(grads.len(), 4);
+        for (g, &n) in grads.iter().zip(&sizes) {
+            assert_eq!(g.len(), n);
+        }
+        // Distinct layers get distinct data.
+        assert_ne!(grads[0].as_slice()[0], grads[2].as_slice()[0]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Data parallel DNN training: the end-to-end layer of HiPress.
+//!
+//! Two halves:
+//!
+//! * [`sim`] — the cluster **throughput simulator**: combines the
+//!   model zoo (per-layer gradients and compute times), CaSync (task
+//!   graphs and the discrete-event executor), the planner, and local
+//!   aggregation into per-iteration times, training throughput,
+//!   scaling efficiency, and communication ratios — everything the
+//!   paper's Figures 7–12 and Table 1 measure.
+//! * [`nn`] + [`convergence`] — the **real training** substrate: a
+//!   from-scratch MLP classifier and LSTM language model trained with
+//!   actual data-parallel SGD, where gradients really are compressed
+//!   with error feedback and aggregated — the Figure 13 convergence
+//!   validation.
+
+pub mod convergence;
+pub mod nn;
+pub mod sim;
+
+pub use convergence::{ConvergenceConfig, ConvergenceResult};
+pub use sim::{simulate, sync_only_ns, SimResult, TrainingJob};

@@ -1,0 +1,242 @@
+//! Synthetic datasets for the convergence experiments.
+//!
+//! The paper's convergence claims (Figure 13) are about the
+//! interaction of lossy gradient compression with SGD, not about any
+//! particular dataset, so we use deterministic synthetic data:
+//!
+//! * a Gaussian-mixture classification problem (separable but noisy),
+//!   the stand-in for the image classification task;
+//! * a first-order Markov "language" over a small alphabet whose
+//!   transition structure a language model can learn, the stand-in
+//!   for wikitext.
+
+use hipress_util::rng::{Rng64, Xoshiro256};
+
+/// A labelled classification dataset.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Input dimensionality.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Flattened features, `len * dim`.
+    pub features: Vec<f32>,
+    /// Labels in `0..classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Classification {
+    /// Generates `n` examples of a `classes`-way Gaussian mixture in
+    /// `dim` dimensions. Cluster centres are random unit-ish vectors
+    /// scaled by `separation`; features add unit Gaussian noise.
+    pub fn gaussian_mixture(
+        n: usize,
+        dim: usize,
+        classes: usize,
+        separation: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Xoshiro256::new(seed);
+        let centers: Vec<f32> = (0..classes * dim)
+            .map(|_| (rng.next_gaussian() as f32) * separation)
+            .collect();
+        let mut features = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = rng.index(classes);
+            labels.push(c);
+            for d in 0..dim {
+                features.push(centers[c * dim + d] + rng.next_gaussian() as f32);
+            }
+        }
+        Self {
+            dim,
+            classes,
+            features,
+            labels,
+        }
+    }
+
+    /// Splits the dataset into `parts` disjoint shards (for data
+    /// parallel workers) by round-robin assignment, preserving the
+    /// class distribution.
+    pub fn split(&self, parts: usize) -> Vec<Classification> {
+        assert!(parts > 0, "need at least one shard");
+        let mut shards: Vec<Classification> = (0..parts)
+            .map(|_| Classification {
+                dim: self.dim,
+                classes: self.classes,
+                features: Vec::new(),
+                labels: Vec::new(),
+            })
+            .collect();
+        for i in 0..self.len() {
+            let s = &mut shards[i % parts];
+            s.features.extend_from_slice(self.example(i));
+            s.labels.push(self.labels[i]);
+        }
+        shards
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature vector of example `i`.
+    pub fn example(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// A token sequence with Markov structure.
+#[derive(Debug, Clone)]
+pub struct MarkovText {
+    /// Alphabet size.
+    pub vocab: usize,
+    /// The token stream.
+    pub tokens: Vec<usize>,
+}
+
+impl MarkovText {
+    /// Generates `n` tokens from a random but fixed first-order
+    /// Markov chain over `vocab` symbols with `concentration`
+    /// controlling how predictable transitions are (higher = more
+    /// predictable = lower achievable perplexity).
+    pub fn generate(n: usize, vocab: usize, concentration: f64, seed: u64) -> Self {
+        let mut rng = Xoshiro256::new(seed);
+        // Each row: a transition distribution that strongly prefers a
+        // few successors.
+        let mut table: Vec<Vec<f64>> = Vec::with_capacity(vocab);
+        for _ in 0..vocab {
+            let mut row: Vec<f64> = (0..vocab).map(|_| rng.next_f64().powf(concentration)).collect();
+            let z: f64 = row.iter().sum();
+            for p in &mut row {
+                *p /= z;
+            }
+            table.push(row);
+        }
+        let mut tokens = Vec::with_capacity(n);
+        let mut cur = rng.index(vocab);
+        for _ in 0..n {
+            tokens.push(cur);
+            let r = rng.next_f64();
+            let mut acc = 0.0;
+            let mut next = vocab - 1;
+            for (j, &p) in table[cur].iter().enumerate() {
+                acc += p;
+                if r < acc {
+                    next = j;
+                    break;
+                }
+            }
+            cur = next;
+        }
+        Self { vocab, tokens }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_shapes_and_determinism() {
+        let a = Classification::gaussian_mixture(500, 16, 10, 3.0, 7);
+        let b = Classification::gaussian_mixture(500, 16, 10, 3.0, 7);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.features.len(), 500 * 16);
+        assert_eq!(a.features, b.features);
+        assert!(a.labels.iter().all(|&l| l < 10));
+        assert_eq!(a.example(3).len(), 16);
+    }
+
+    #[test]
+    fn mixture_is_separable_by_nearest_center() {
+        // With large separation, examples sit near their class centre:
+        // a trivial nearest-centroid rule (fit on the data itself)
+        // should beat chance by a lot. We verify via class-mean
+        // distances.
+        let data = Classification::gaussian_mixture(2000, 8, 4, 6.0, 9);
+        // Compute class means.
+        let mut means = vec![vec![0.0f64; 8]; 4];
+        let mut counts = vec![0usize; 4];
+        for i in 0..data.len() {
+            let c = data.labels[i];
+            counts[c] += 1;
+            for (m, &x) in means[c].iter_mut().zip(data.example(i)) {
+                *m += x as f64;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..data.len() {
+            let x = data.example(i);
+            let best = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f64 = means[a]
+                        .iter()
+                        .zip(x)
+                        .map(|(m, &v)| (m - v as f64).powi(2))
+                        .sum();
+                    let db: f64 = means[b]
+                        .iter()
+                        .zip(x)
+                        .map(|(m, &v)| (m - v as f64).powi(2))
+                        .sum();
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            if best == data.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.9, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn markov_text_is_predictable() {
+        let t = MarkovText::generate(20_000, 32, 8.0, 3);
+        assert_eq!(t.len(), 20_000);
+        assert!(t.tokens.iter().all(|&x| x < 32));
+        // Empirical bigram entropy must be well below uniform
+        // (log2(32) = 5 bits): the structure is learnable.
+        let mut counts = vec![vec![0u32; 32]; 32];
+        for w in t.tokens.windows(2) {
+            counts[w[0]][w[1]] += 1;
+        }
+        let mut h = 0.0f64;
+        let total = (t.len() - 1) as f64;
+        for row in &counts {
+            let row_total: u32 = row.iter().sum();
+            for &c in row {
+                if c > 0 {
+                    let p = c as f64 / total;
+                    let p_cond = c as f64 / row_total as f64;
+                    h -= p * p_cond.log2();
+                }
+            }
+        }
+        assert!(h < 4.0, "conditional entropy {h} bits");
+    }
+}

@@ -1,0 +1,331 @@
+//! A multi-layer perceptron classifier with exact backpropagation.
+
+use super::data::Classification;
+use super::Trainable;
+use hipress_util::rng::{Rng64, Xoshiro256};
+
+/// Fully-connected ReLU network with a softmax cross-entropy head.
+///
+/// Each worker in a data parallel run owns one `Mlp` replica plus its
+/// data shard; gradients are averaged across workers exactly like the
+/// simulated DNN training.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Layer widths, input first, classes last.
+    dims: Vec<usize>,
+    /// Per layer: row-major `out × in` weights.
+    weights: Vec<Vec<f32>>,
+    /// Per layer: `out` biases.
+    biases: Vec<Vec<f32>>,
+    /// This replica's data shard.
+    data: Classification,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-ish initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or the dataset's
+    /// dimensions do not match.
+    pub fn new(dims: &[usize], data: Classification, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output layers");
+        assert_eq!(dims[0], data.dim, "input width must match data");
+        assert_eq!(
+            *dims.last().unwrap(),
+            data.classes,
+            "output width must match classes"
+        );
+        let mut rng = Xoshiro256::new(seed);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in dims.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let scale = (2.0 / fan_in as f64).sqrt() as f32;
+            weights.push(
+                (0..fan_in * fan_out)
+                    .map(|_| (rng.next_gaussian() as f32) * scale)
+                    .collect(),
+            );
+            biases.push(vec![0.0; fan_out]);
+        }
+        Self {
+            dims: dims.to_vec(),
+            weights,
+            biases,
+            data,
+        }
+    }
+
+    /// The number of layers (weight matrices).
+    pub fn layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The replica's data shard.
+    pub fn data(&self) -> &Classification {
+        &self.data
+    }
+
+    /// Classifies one example, returning the argmax class.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let logits = self.forward_logits(x);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Accuracy over a dataset.
+    pub fn accuracy(&self, data: &Classification) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.example(i)) == data.labels[i])
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    fn forward_logits(&self, x: &[f32]) -> Vec<f32> {
+        let mut act = x.to_vec();
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let mut next = vec![0.0f32; fan_out];
+            for (o, n) in next.iter_mut().enumerate() {
+                let row = &w[o * fan_in..(o + 1) * fan_in];
+                let mut acc = b[o];
+                for (wi, ai) in row.iter().zip(&act) {
+                    acc += wi * ai;
+                }
+                *n = acc;
+            }
+            if l + 1 < self.weights.len() {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU on hidden layers.
+                }
+            }
+            act = next;
+        }
+        act
+    }
+}
+
+/// Numerically stable softmax cross-entropy: returns (loss, dlogits).
+fn softmax_ce(logits: &[f32], label: usize) -> (f64, Vec<f32>) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| ((l - max) as f64).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    let loss = -(exps[label] / z).ln();
+    let dlogits: Vec<f32> = exps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| ((e / z) - f64::from(i == label)) as f32)
+        .collect();
+    (loss, dlogits)
+}
+
+impl Trainable for Mlp {
+    fn params(&self) -> Vec<f32> {
+        let mut flat = Vec::new();
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            flat.extend_from_slice(w);
+            flat.extend_from_slice(b);
+        }
+        flat
+    }
+
+    fn set_params(&mut self, flat: &[f32]) {
+        let mut cursor = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            let wl = w.len();
+            w.copy_from_slice(&flat[cursor..cursor + wl]);
+            cursor += wl;
+            let bl = b.len();
+            b.copy_from_slice(&flat[cursor..cursor + bl]);
+            cursor += bl;
+        }
+        assert_eq!(cursor, flat.len(), "parameter length mismatch");
+    }
+
+    fn loss_and_grad(&self, batch: &[usize]) -> (f64, Vec<f32>) {
+        let n_layers = self.weights.len();
+        let mut gw: Vec<Vec<f32>> = self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut gb: Vec<Vec<f32>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+        let mut total_loss = 0.0f64;
+        for &idx in batch {
+            let x = self.data.example(idx);
+            let label = self.data.labels[idx];
+            // Forward, keeping activations.
+            let mut acts: Vec<Vec<f32>> = vec![x.to_vec()];
+            for l in 0..n_layers {
+                let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+                let w = &self.weights[l];
+                let b = &self.biases[l];
+                let prev = &acts[l];
+                let mut next = vec![0.0f32; fan_out];
+                for (o, n) in next.iter_mut().enumerate() {
+                    let row = &w[o * fan_in..(o + 1) * fan_in];
+                    let mut acc = b[o];
+                    for (wi, ai) in row.iter().zip(prev) {
+                        acc += wi * ai;
+                    }
+                    *n = acc;
+                }
+                if l + 1 < n_layers {
+                    for v in &mut next {
+                        *v = v.max(0.0);
+                    }
+                }
+                acts.push(next);
+            }
+            let (loss, mut delta) = softmax_ce(acts.last().unwrap(), label);
+            total_loss += loss;
+            // Backward.
+            for l in (0..n_layers).rev() {
+                let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+                let prev = &acts[l];
+                for o in 0..fan_out {
+                    gb[l][o] += delta[o];
+                    let grow = &mut gw[l][o * fan_in..(o + 1) * fan_in];
+                    for (g, ai) in grow.iter_mut().zip(prev) {
+                        *g += delta[o] * ai;
+                    }
+                }
+                if l > 0 {
+                    let w = &self.weights[l];
+                    let mut prev_delta = vec![0.0f32; fan_in];
+                    for o in 0..fan_out {
+                        let row = &w[o * fan_in..(o + 1) * fan_in];
+                        for (pd, wi) in prev_delta.iter_mut().zip(row) {
+                            *pd += delta[o] * wi;
+                        }
+                    }
+                    // ReLU mask of the hidden activation.
+                    for (pd, &a) in prev_delta.iter_mut().zip(&acts[l]) {
+                        if a <= 0.0 {
+                            *pd = 0.0;
+                        }
+                    }
+                    delta = prev_delta;
+                }
+            }
+        }
+        // Average over the batch.
+        let scale = 1.0 / batch.len().max(1) as f32;
+        let mut flat = Vec::new();
+        for (w, b) in gw.iter().zip(&gb) {
+            flat.extend(w.iter().map(|&g| g * scale));
+            flat.extend(b.iter().map(|&g| g * scale));
+        }
+        (total_loss / batch.len().max(1) as f64, flat)
+    }
+
+    fn layer_offsets(&self) -> Vec<usize> {
+        let mut offsets = vec![0];
+        let mut cursor = 0;
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            cursor += w.len();
+            offsets.push(cursor);
+            cursor += b.len();
+            offsets.push(cursor);
+        }
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Mlp {
+        let data = Classification::gaussian_mixture(64, 5, 3, 3.0, 1);
+        Mlp::new(&[5, 7, 3], data, 2)
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut m = tiny();
+        let p = m.params();
+        assert_eq!(p.len(), 5 * 7 + 7 + 7 * 3 + 3);
+        let mut q = p.clone();
+        q[0] += 1.0;
+        m.set_params(&q);
+        assert_eq!(m.params(), q);
+    }
+
+    #[test]
+    fn layer_offsets_cover_params() {
+        let m = tiny();
+        let off = m.layer_offsets();
+        assert_eq!(off.len(), 2 * m.layers() + 1);
+        assert_eq!(*off.last().unwrap(), m.params().len());
+        assert!(off.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let m = tiny();
+        let batch: Vec<usize> = (0..8).collect();
+        let (_, grad) = m.loss_and_grad(&batch);
+        let p0 = m.params();
+        let eps = 1e-3f32;
+        let mut rng = Xoshiro256::new(5);
+        // Check 30 random coordinates.
+        for _ in 0..30 {
+            let i = rng.index(p0.len());
+            let mut m2 = m.clone();
+            let mut p = p0.clone();
+            p[i] += eps;
+            m2.set_params(&p);
+            let (l_plus, _) = m2.loss_and_grad(&batch);
+            p[i] -= 2.0 * eps;
+            m2.set_params(&p);
+            let (l_minus, _) = m2.loss_and_grad(&batch);
+            let numeric = (l_plus - l_minus) / (2.0 * eps as f64);
+            let analytic = grad[i] as f64;
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * numeric.abs().max(analytic.abs()).max(0.1),
+                "coord {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut m = tiny();
+        let batch: Vec<usize> = (0..32).collect();
+        let (l0, _) = m.loss_and_grad(&batch);
+        for _ in 0..50 {
+            let (_, g) = m.loss_and_grad(&batch);
+            let mut p = m.params();
+            for (pi, gi) in p.iter_mut().zip(&g) {
+                *pi -= 0.1 * gi;
+            }
+            m.set_params(&p);
+        }
+        let (l1, _) = m.loss_and_grad(&batch);
+        assert!(l1 < l0 * 0.5, "loss {l0} -> {l1}");
+    }
+
+    #[test]
+    fn accuracy_improves_with_training() {
+        let data = Classification::gaussian_mixture(400, 8, 4, 4.0, 3);
+        let mut m = Mlp::new(&[8, 16, 4], data.clone(), 4);
+        let before = m.accuracy(&data);
+        let batch: Vec<usize> = (0..64).collect();
+        for _ in 0..100 {
+            let (_, g) = m.loss_and_grad(&batch);
+            let mut p = m.params();
+            for (pi, gi) in p.iter_mut().zip(&g) {
+                *pi -= 0.05 * gi;
+            }
+            m.set_params(&p);
+        }
+        let after = m.accuracy(&data);
+        assert!(after > before, "{before} -> {after}");
+        assert!(after > 0.7, "final accuracy {after}");
+    }
+}

@@ -1,0 +1,40 @@
+//! From-scratch neural networks with exact backpropagation.
+//!
+//! These are the real-training substrates for the convergence
+//! experiments (Figure 13): a multi-layer perceptron classifier (the
+//! "ResNet50 accuracy" analogue) and a single-layer LSTM language
+//! model (the "LSTM perplexity" analogue). Both compute true
+//! gradients — verified against numerical differentiation in the
+//! tests — so compressing those gradients exercises exactly the
+//! property the paper's convergence claims rest on.
+
+pub mod data;
+pub mod lstm;
+pub mod mlp;
+
+pub use lstm::LstmLm;
+pub use mlp::Mlp;
+
+/// A model trainable by data parallel SGD: flat parameter access and
+/// gradient computation over a batch.
+pub trait Trainable {
+    /// All parameters flattened into one vector (the "gradient
+    /// layout" used for synchronization).
+    fn params(&self) -> Vec<f32>;
+
+    /// Overwrites parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `params()`.
+    fn set_params(&mut self, flat: &[f32]);
+
+    /// Computes the loss and the flat gradient on a batch, identified
+    /// by example indices into the owner's dataset.
+    fn loss_and_grad(&self, batch: &[usize]) -> (f64, Vec<f32>);
+
+    /// Per-layer boundaries within the flat parameter vector
+    /// (offsets where each named gradient starts, plus the total) —
+    /// the layer-wise structure synchronization operates on.
+    fn layer_offsets(&self) -> Vec<usize>;
+}

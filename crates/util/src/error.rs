@@ -1,0 +1,96 @@
+//! The common error type shared across HiPress crates.
+
+use std::fmt;
+
+/// Errors produced by HiPress components.
+///
+/// Lower-level crates return these directly; higher-level crates wrap
+/// them with context. Fallible APIs are preferred over panics
+/// throughout the workspace; panics are reserved for programming
+/// errors (violated internal invariants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A compressed payload could not be decoded (truncated stream,
+    /// bad magic, inconsistent metadata).
+    Codec(String),
+    /// A CompLL DSL program failed to lex, parse, or type-check.
+    Dsl(String),
+    /// An experiment or component was configured inconsistently
+    /// (e.g., a ring of one node, a negative bandwidth).
+    Config(String),
+    /// The discrete-event simulation reached an invalid state
+    /// (e.g., a dependency cycle between tasks).
+    Sim(String),
+    /// The planner could not produce a plan (e.g., missing profile).
+    Plan(String),
+}
+
+impl Error {
+    /// Creates a [`Error::Codec`] with the given message.
+    pub fn codec(msg: impl Into<String>) -> Self {
+        Self::Codec(msg.into())
+    }
+
+    /// Creates a [`Error::Dsl`] with the given message.
+    pub fn dsl(msg: impl Into<String>) -> Self {
+        Self::Dsl(msg.into())
+    }
+
+    /// Creates a [`Error::Config`] with the given message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Self::Config(msg.into())
+    }
+
+    /// Creates a [`Error::Sim`] with the given message.
+    pub fn sim(msg: impl Into<String>) -> Self {
+        Self::Sim(msg.into())
+    }
+
+    /// Creates a [`Error::Plan`] with the given message.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Self::Plan(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Dsl(m) => write!(f, "DSL error: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Sim(m) => write!(f, "simulation error: {m}"),
+            Error::Plan(m) => write!(f, "planner error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(
+            Error::codec("truncated").to_string(),
+            "codec error: truncated"
+        );
+        assert_eq!(Error::dsl("bad token").to_string(), "DSL error: bad token");
+        assert_eq!(
+            Error::config("ring of 1").to_string(),
+            "configuration error: ring of 1"
+        );
+        assert_eq!(Error::sim("cycle").to_string(), "simulation error: cycle");
+        assert_eq!(Error::plan("no profile").to_string(), "planner error: no profile");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::codec("x"));
+    }
+}

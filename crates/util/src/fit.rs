@@ -1,0 +1,118 @@
+//! Least-squares affine curve fitting.
+//!
+//! The selective compression planner (§3.3 of the paper) profiles GPU
+//! kernels and network transfers at a handful of sizes and then fits
+//! `T(m) = a + b·m` to interpolate costs for arbitrary gradient sizes.
+//! An affine model is exact for the roofline cost models used by the
+//! simulated substrates, and a good approximation for real hardware.
+
+/// An affine cost curve `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineFit {
+    /// Fixed cost (e.g., kernel launch overhead or wire latency), in
+    /// the same unit as the fitted `y` values.
+    pub intercept: f64,
+    /// Marginal cost per unit of `x` (e.g., ns per byte).
+    pub slope: f64,
+}
+
+impl AffineFit {
+    /// Evaluates the curve at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Fits `y = a + b*x` to the samples by ordinary least squares.
+    ///
+    /// Returns `None` when fewer than two distinct `x` values are
+    /// provided (the slope would be underdetermined).
+    pub fn fit(samples: &[(f64, f64)]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|(x, _)| x).sum();
+        let sy: f64 = samples.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = samples.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = samples.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON * n * sxx.max(1.0) {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        Some(Self { intercept, slope })
+    }
+
+    /// Coefficient of determination R² of this fit on `samples`.
+    ///
+    /// 1.0 means the affine model explains the data perfectly.
+    pub fn r_squared(&self, samples: &[(f64, f64)]) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        let mean_y: f64 = samples.iter().map(|(_, y)| y).sum::<f64>() / samples.len() as f64;
+        let ss_tot: f64 = samples.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|(x, y)| (y - self.eval(*x)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            if ss_res == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_affine_recovered() {
+        let samples: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = AffineFit::fit(&samples).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-9);
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+        assert!(fit.r_squared(&samples) > 0.999_999);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        assert!(AffineFit::fit(&[]).is_none());
+        assert!(AffineFit::fit(&[(1.0, 2.0)]).is_none());
+        // Two samples at the same x: slope undefined.
+        assert!(AffineFit::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        // y = 10 + 0.5x with deterministic "noise".
+        let samples: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 * 4.0;
+                let noise = ((i * 37 % 11) as f64 - 5.0) * 0.01;
+                (x, 10.0 + 0.5 * x + noise)
+            })
+            .collect();
+        let fit = AffineFit::fit(&samples).unwrap();
+        assert!((fit.intercept - 10.0).abs() < 0.1);
+        assert!((fit.slope - 0.5).abs() < 0.01);
+        assert!(fit.r_squared(&samples) > 0.999);
+    }
+
+    #[test]
+    fn eval_is_affine() {
+        let f = AffineFit {
+            intercept: 1.0,
+            slope: -2.0,
+        };
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(2.0), -3.0);
+    }
+}

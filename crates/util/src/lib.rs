@@ -1,0 +1,27 @@
+//! Foundational utilities shared by every HiPress crate.
+//!
+//! This crate deliberately has no dependencies on the rest of the
+//! workspace. It provides:
+//!
+//! * [`rng`] — deterministic, seed-stable pseudo random number
+//!   generators (SplitMix64 and Xoshiro256**) used everywhere the
+//!   simulation needs reproducible randomness.
+//! * [`bits`] — LSB-first bit-level readers and writers used by the
+//!   quantization compressors and the CompLL packed-array runtime.
+//! * [`stats`] — streaming statistics (Welford) and percentile helpers
+//!   used by the benchmark harness.
+//! * [`units`] — byte/bandwidth/time unit conversions shared by the
+//!   network and GPU cost models.
+//! * [`fit`] — least-squares affine curve fitting used by the selective
+//!   compression planner to model `T(m) = a + b*m` cost curves.
+//! * [`error`] — the common error type.
+
+pub mod bits;
+pub mod error;
+pub mod fit;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use error::{Error, Result};
+pub use rng::{Rng64, SplitMix64, Xoshiro256};

@@ -1,0 +1,249 @@
+//! Streaming statistics and simple descriptive helpers.
+//!
+//! Used by the benchmark harness to summarize repeated simulation runs
+//! and by the profiler to aggregate kernel timings.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `data` by linear
+/// interpolation between order statistics.
+///
+/// Returns `None` for empty input. `data` does not need to be sorted.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = data.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// Geometric mean of strictly positive data. Returns `None` if empty or
+/// any element is non-positive.
+pub fn geometric_mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = data.iter().map(|x| x.ln()).sum();
+    Some((log_sum / data.len() as f64).exp())
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets.
+///
+/// Out-of-range observations are clamped into the first/last bucket so
+/// counts always sum to the number of observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (idx.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Left edge of bucket `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct() {
+        let data = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 16.0);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert_eq!(quantile(&data, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn histogram_clamps_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(-1.0); // Clamps into bin 0.
+        h.push(0.0);
+        h.push(9.999);
+        h.push(100.0); // Clamps into last bin.
+        h.push(5.0);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[4], 2);
+        assert_eq!(h.counts()[2], 1);
+        assert!((h.bin_lo(1) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Unit conversions and human-readable formatting.
+//!
+//! The whole simulation measures time in integer nanoseconds and data
+//! in bytes. These helpers keep bandwidth math (Gbps ↔ bytes/ns) and
+//! display formatting in one place so the network and GPU models agree
+//! on conventions.
+
+/// One kibibyte in bytes.
+pub const KIB: u64 = 1024;
+/// One mebibyte in bytes.
+pub const MIB: u64 = 1024 * 1024;
+/// One gibibyte in bytes.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// A transfer rate expressed canonically in bytes per second.
+///
+/// Stored as `f64` bytes/second; helpers construct it from the unit the
+/// literature uses (network links in Gbit/s, memory in GB/s).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// From gigabits per second (network convention, 1 Gbps = 1e9 bit/s).
+    pub fn gbps(g: f64) -> Self {
+        Self {
+            bytes_per_sec: g * 1e9 / 8.0,
+        }
+    }
+
+    /// From gigabytes per second (memory convention, 1 GB/s = 1e9 B/s).
+    pub fn gbytes_per_sec(g: f64) -> Self {
+        Self {
+            bytes_per_sec: g * 1e9,
+        }
+    }
+
+    /// From raw bytes per second.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        Self { bytes_per_sec: b }
+    }
+
+    /// The rate in bytes per second.
+    pub fn as_bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// The rate in gigabits per second.
+    pub fn as_gbps(&self) -> f64 {
+        self.bytes_per_sec * 8.0 / 1e9
+    }
+
+    /// Time to move `bytes` at this rate, in integer nanoseconds
+    /// (rounded up so a transfer never finishes early).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        assert!(
+            self.bytes_per_sec > 0.0,
+            "cannot transfer over a zero-bandwidth channel"
+        );
+        let secs = bytes as f64 / self.bytes_per_sec;
+        (secs * NS_PER_SEC as f64).ceil() as u64
+    }
+}
+
+/// Formats a byte count with binary units ("392.00 MiB").
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a duration in nanoseconds with an adaptive unit ("3.21 ms").
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= NS_PER_SEC {
+        format!("{:.3} s", ns as f64 / NS_PER_SEC as f64)
+    } else if ns >= NS_PER_MS {
+        format!("{:.3} ms", ns as f64 / NS_PER_MS as f64)
+    } else if ns >= NS_PER_US {
+        format!("{:.3} us", ns as f64 / NS_PER_US as f64)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversion() {
+        let bw = Bandwidth::gbps(100.0);
+        assert!((bw.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+        assert!((bw.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_100gbps() {
+        // 12.5 GB at 12.5 GB/s = 1 second.
+        let bw = Bandwidth::gbps(100.0);
+        assert_eq!(bw.transfer_ns(12_500_000_000), NS_PER_SEC);
+        // Zero bytes take zero time.
+        assert_eq!(bw.transfer_ns(0), 0);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let bw = Bandwidth::bytes_per_sec(3.0 * NS_PER_SEC as f64); // 3 bytes/ns
+        assert_eq!(bw.transfer_ns(1), 1); // 1/3 ns rounds up to 1.
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn zero_bandwidth_panics() {
+        Bandwidth::bytes_per_sec(0.0).transfer_ns(1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(392 * MIB), "392.00 MiB");
+        assert_eq!(fmt_bytes(3 * GIB / 2), "1.50 GiB");
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(2_500), "2.500 us");
+        assert_eq!(fmt_ns(NS_PER_SEC * 2), "2.000 s");
+    }
+}

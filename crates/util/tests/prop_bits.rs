@@ -1,0 +1,75 @@
+//! Property-based tests for the bit-level reader/writer duality.
+
+use hipress_util::bits::{packed_len, BitReader, BitWriter};
+use proptest::prelude::*;
+
+/// A sequence of (value, width) pairs where each value fits its width.
+fn codes() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    prop::collection::vec(
+        (1u32..=64).prop_flat_map(|w| {
+            let max = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            (0..=max, Just(w))
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    /// Every sequence of writes reads back identically.
+    #[test]
+    fn roundtrip(codes in codes()) {
+        let mut w = BitWriter::new();
+        let mut total_bits = 0usize;
+        for &(v, width) in &codes {
+            w.write(v, width);
+            total_bits += width as usize;
+        }
+        prop_assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.finish();
+        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &codes {
+            prop_assert_eq!(r.read(width), Some(v));
+        }
+        // Anything left is only zero padding within the final byte.
+        prop_assert!(r.remaining_bits() < 8);
+        while let Some(bit) = r.read_bit() {
+            prop_assert!(!bit, "padding bits must be zero");
+        }
+    }
+
+    /// Fixed-width packing density matches `packed_len`.
+    #[test]
+    fn fixed_width_density(count in 0usize..500, width in 1u32..=16) {
+        let mut w = BitWriter::new();
+        for i in 0..count {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            w.write(i as u64 & mask, width);
+        }
+        prop_assert_eq!(w.finish().len(), packed_len(count, width));
+    }
+
+    /// Skipping n bits is equivalent to reading and discarding them.
+    #[test]
+    fn skip_equals_read(bytes in prop::collection::vec(any::<u8>(), 1..64), skip in 0usize..256) {
+        let mut r1 = BitReader::new(&bytes);
+        let mut r2 = BitReader::new(&bytes);
+        let available = r1.remaining_bits();
+        let did_skip = r1.skip(skip).is_some();
+        prop_assert_eq!(did_skip, skip <= available);
+        if did_skip {
+            for _ in 0..skip {
+                r2.read_bit();
+            }
+            prop_assert_eq!(r1.bit_pos(), r2.bit_pos());
+            // Remaining streams agree.
+            loop {
+                let (a, b) = (r1.read_bit(), r2.read_bit());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 7/8-style sweep: throughput of every system as the cluster
+//! grows from 8 to 128 GPUs, for one model.
+//!
+//! ```text
+//! cargo run --release --example cluster_sweep [model]
+//! ```
+
+use hipress::prelude::*;
+
+fn main() {
+    let model = std::env::args()
+        .nth(1)
+        .and_then(|n| DnnModel::by_name(&n))
+        .unwrap_or(DnnModel::BertLarge);
+
+    println!("Weak-scaling sweep for {} (V100 x8 per node, 100 Gbps):\n", model.name());
+    println!(
+        "{:>5} {:>12} {:>12} {:>16} {:>16} {:>16}",
+        "GPUs", "BytePS", "Ring", "BytePS(onebit)", "HiPress-PS", "HiPress-Ring"
+    );
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let cluster = ClusterConfig::ec2(nodes);
+        let gpus = cluster.total_gpus();
+        if nodes == 1 {
+            // Single node: no inter-node synchronization; all systems
+            // run at compute speed.
+            let t = model.spec().compute(GpuClass::V100).single_gpu_throughput() * gpus as f64;
+            println!(
+                "{:>5} {:>12.0} {:>12.0} {:>16.0} {:>16.0} {:>16.0}",
+                gpus, t, t, t, t, t
+            );
+            continue;
+        }
+        let run = |job: TrainingJob| simulate(&job).expect("simulation runs").throughput;
+        let byteps = run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs));
+        let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
+        let byteps_onebit = run(
+            TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
+                .with_algorithm(Algorithm::OneBit),
+        );
+        let hipress_ps = run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs));
+        let hipress_ring = run(TrainingJob::hipress(model, cluster, Strategy::CaSyncRing));
+        println!(
+            "{:>5} {:>12.0} {:>12.0} {:>16.0} {:>16.0} {:>16.0}",
+            gpus, byteps, ring, byteps_onebit, hipress_ps, hipress_ring
+        );
+    }
+    println!("\n(HiPress's margin grows with the cluster — the paper's key scaling observation.)");
+}

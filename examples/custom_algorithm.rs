@@ -1,0 +1,113 @@
+//! Develop a brand-new gradient compression algorithm in the CompLL
+//! DSL and integrate it into the framework — the §4 workflow, end to
+//! end, with zero manual integration code.
+//!
+//! The algorithm here is a "top-magnitude + sign" hybrid not in the
+//! paper: keep the top 1% by magnitude, but transmit only their signs
+//! and a shared scale (a DGC/onebit blend).
+//!
+//! ```text
+//! cargo run --release --example custom_algorithm
+//! ```
+
+use hipress::compll::ops::Value;
+use hipress::compll::{param_values, CompiledAlgorithm};
+use hipress::prelude::*;
+use hipress::tensor::synth::{generate, GradientShape};
+
+const TOPSIGN_DSL: &str = r#"
+param TopSignParams { float rate; }
+float threshold;
+float scale;
+float absf(float x) { return abs(x); }
+uint1 keep(float x) {
+    if (abs(x) >= threshold) { return 1; }
+    return 0;
+}
+uint1 signOf(float x) {
+    if (x > 0) { return 1; }
+    return 0;
+}
+float unsign(uint1 q) {
+    if (q == 1) { return scale; }
+    return -scale;
+}
+void encode(float* gradient, uint8* compressed, TopSignParams params) {
+    if (gradient.size == 0) {
+        compressed = concat(0);
+        return;
+    }
+    int32 k = ceil(gradient.size * params.rate);
+    if (k < 1) { k = 1; }
+    if (k > gradient.size) { k = gradient.size; }
+    float* mags = map(gradient, absf);
+    float* sorted = sort(mags, greater);
+    threshold = sorted[k - 1];
+    int32* I = filter_idx(gradient, keep);
+    float* V = gather(gradient, I);
+    float* vm = map(V, absf);
+    scale = 0.0;
+    if (vm.size > 0) { scale = reduce(vm, sum) / vm.size; }
+    uint1* S = map(V, signOf);
+    compressed = concat(I.size, scale, I, S);
+}
+void decode(uint8* compressed, float* gradient, TopSignParams params) {
+    int32 count = extract(compressed);
+    scale = extract(compressed);
+    int32* I = extract(compressed, count);
+    uint1* S = extract(compressed, count);
+    float* V = map(S, unsign);
+    gradient = scatter(I, V, gradient.size);
+}
+"#;
+
+fn main() {
+    // 1. Compile: lex → parse → type-check.
+    let alg = CompiledAlgorithm::new(
+        "topsign",
+        TOPSIGN_DSL,
+        param_values(&[("rate", Value::F(0.01))]),
+    )
+    .expect("the DSL program compiles");
+
+    // 2. Inspect what CompLL generated.
+    let report = alg.loc_report();
+    println!("topsign: {} DSL lines ({} logic + {} udf), operators: {:?}",
+        report.total(), report.logic, report.udf, report.operators);
+    let cuda = alg.cuda_source();
+    println!("generated CUDA: {} lines (excerpt below)\n", cuda.lines().count());
+    for line in cuda.lines().take(12) {
+        println!("    {line}");
+    }
+
+    // 3. It is immediately a working compressor.
+    let grad = generate(100_000, GradientShape::default_dnn(), 7);
+    let stream = alg.encode(grad.as_slice(), 1);
+    let decoded = alg.decode(&stream).expect("own stream decodes");
+    let survivors = decoded.iter().filter(|&&x| x != 0.0).count();
+    println!(
+        "\n100k-element gradient -> {} bytes ({:.2}% of fp32), {} survivors",
+        stream.len(),
+        stream.len() as f64 / (grad.byte_size() as f64) * 100.0,
+        survivors
+    );
+
+    // 4. And it integrates into data parallel training with error
+    // feedback, through the same interfaces as the built-in five.
+    use hipress::compress::ErrorFeedback;
+    let mut fb = ErrorFeedback::new();
+    let mut residual_norm = 0.0;
+    for iter in 0..5u64 {
+        let g = generate(10_000, GradientShape::default_dnn(), 100 + iter);
+        let s = fb.encode("layer0", g.as_slice(), &alg, iter);
+        let _ = alg.decode(&s).unwrap();
+        residual_norm = fb
+            .residual("layer0")
+            .unwrap()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+    }
+    println!("error-feedback residual norm after 5 iterations: {residual_norm:.4}");
+}

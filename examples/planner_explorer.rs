@@ -1,0 +1,73 @@
+//! Explore the selective compression and partitioning planner (§3.3):
+//! per-gradient `<compress?, K>` decisions across sizes, strategies,
+//! and cluster scales — Table 7 territory.
+//!
+//! ```text
+//! cargo run --release --example planner_explorer
+//! ```
+
+use hipress::prelude::*;
+use hipress::util::units::fmt_bytes;
+
+fn main() {
+    let sizes: [u64; 6] = [
+        64 * 1024,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+        128 << 20,
+        392 << 20, // VGG19 fc6.
+    ];
+    for nodes in [4usize, 16] {
+        println!("== {nodes} nodes, 100 Gbps, V100, onebit ==");
+        println!(
+            "{:<12} {:>22} {:>22}",
+            "gradient", "CaSync-PS", "CaSync-Ring"
+        );
+        let ps = Planner::profile(&ClusterConfig::ec2(nodes), Strategy::CaSyncPs, Algorithm::OneBit)
+            .expect("profiling succeeds");
+        let ring = Planner::profile(
+            &ClusterConfig::ec2(nodes),
+            Strategy::CaSyncRing,
+            Algorithm::OneBit,
+        )
+        .expect("profiling succeeds");
+        for &m in &sizes {
+            let p = ps.plan_gradient(m);
+            let r = ring.plan_gradient(m);
+            let fmt = |plan: GradPlan| {
+                format!(
+                    "<{}, K={}>",
+                    if plan.compress { "yes" } else { "no " },
+                    plan.partitions
+                )
+            };
+            println!("{:<12} {:>22} {:>22}", fmt_bytes(m), fmt(p), fmt(r));
+        }
+        println!(
+            "compression threshold: PS {} / Ring {}\n",
+            fmt_bytes(ps.compression_threshold()),
+            fmt_bytes(ring.compression_threshold()),
+        );
+    }
+
+    // How the decision shifts with bandwidth (the §3.3 argument that
+    // the same model adapts to the environment).
+    println!("== bandwidth sensitivity (16 nodes, CaSync-PS, onebit) ==");
+    for (label, link) in [
+        ("100 Gbps", LinkSpec::gbps100()),
+        ("25 Gbps", LinkSpec::gbps25()),
+        ("10 Gbps", LinkSpec::gbps10()),
+    ] {
+        let p = Planner::profile(
+            &ClusterConfig::ec2(16).with_link(link),
+            Strategy::CaSyncPs,
+            Algorithm::OneBit,
+        )
+        .expect("profiling succeeds");
+        println!(
+            "{label:>9}: compress gradients above {}",
+            fmt_bytes(p.compression_threshold())
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: simulate HiPress against the baselines on one model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hipress::prelude::*;
+
+fn main() {
+    let cluster = ClusterConfig::ec2(16); // 16 nodes × 8 V100, 100 Gbps.
+    let model = DnnModel::Vgg19;
+
+    println!("Training {} on {} GPUs ({} nodes):\n", model.name(), cluster.total_gpus(), cluster.nodes);
+    println!(
+        "{:<34} {:>12} {:>10} {:>8}",
+        "system", "samples/s", "scaling", "comm%"
+    );
+
+    let configs: Vec<(&str, TrainingJob)> = vec![
+        (
+            "Ring (no compression)",
+            TrainingJob::baseline(model, cluster, Strategy::HorovodRing),
+        ),
+        (
+            "BytePS (no compression)",
+            TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs),
+        ),
+        (
+            "BytePS(OSS-onebit)",
+            TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
+                .with_algorithm(Algorithm::OneBit),
+        ),
+        (
+            "HiPress-CaSync-PS(CompLL-onebit)",
+            TrainingJob::hipress(model, cluster, Strategy::CaSyncPs),
+        ),
+        (
+            "HiPress-CaSync-Ring(CompLL-onebit)",
+            TrainingJob::hipress(model, cluster, Strategy::CaSyncRing),
+        ),
+    ];
+
+    let mut best_baseline: f64 = 0.0;
+    let mut hipress_best: f64 = 0.0;
+    for (name, job) in configs {
+        let r = simulate(&job).expect("simulation runs");
+        println!(
+            "{:<34} {:>12.0} {:>10.2} {:>7.0}%",
+            name,
+            r.throughput,
+            r.scaling_efficiency,
+            r.comm_ratio * 100.0
+        );
+        if name.starts_with("HiPress") {
+            hipress_best = hipress_best.max(r.throughput);
+        } else {
+            best_baseline = best_baseline.max(r.throughput);
+        }
+    }
+    println!(
+        "\nHiPress speedup over the best baseline: {:.1}%",
+        (hipress_best / best_baseline - 1.0) * 100.0
+    );
+}

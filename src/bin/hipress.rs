@@ -1,0 +1,290 @@
+//! The `hipress` command-line interface: run throughput simulations,
+//! inspect planner decisions, compile CompLL DSL programs, and browse
+//! the model zoo without writing Rust.
+//!
+//! ```text
+//! hipress models
+//! hipress sim --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
+//! hipress compare --model Bert-large --nodes 16
+//! hipress plan --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
+//! hipress compile path/to/algorithm.dsl
+//! ```
+
+use hipress::compll::{param_values, CompiledAlgorithm};
+use hipress::prelude::*;
+use hipress::util::units::fmt_bytes;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "models" => cmd_models(),
+        "sim" => cmd_sim(&flags),
+        "compare" => cmd_compare(&flags),
+        "plan" => cmd_plan(&flags),
+        "compile" => cmd_compile(args.get(1).map(String::as_str)),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "hipress — compression-aware data parallel DNN training (SOSP'21 reproduction)
+
+USAGE:
+  hipress models
+      List the Table 6 model zoo.
+  hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline]
+      Simulate one training configuration.
+  hipress compare --model <name> [--nodes N] [--local]
+      Simulate HiPress against all baselines.
+  hipress plan --model <name> [--nodes N] [--strategy S] [--algorithm A]
+      Show the selective compression & partitioning plan per gradient.
+  hipress compile <file.dsl>
+      Compile a CompLL DSL program; print its LoC report and CUDA output.
+
+FLAGS:
+  --model      VGG19 | ResNet50 | UGATIT | UGATIT-light | Bert-base | Bert-large | LSTM | Transformer
+  --nodes      cluster size (default 16)
+  --local      use the 1080Ti/56Gbps local-cluster preset (default: EC2 V100/100Gbps)
+  --strategy   casync-ps | casync-ring | byteps | ring (default casync-ps)
+  --algorithm  none | onebit | tbq | terngrad[:bits] | dgc[:rate] | graddrop[:rate] (default onebit)
+  --baseline   run the strategy with its baseline runtime (no CaSync optimizations)"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = !matches!(name, "local" | "baseline" | "no-selective");
+            if takes_value && i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn parse_model(flags: &HashMap<String, String>) -> Result<DnnModel, String> {
+    let name = flags
+        .get("model")
+        .ok_or_else(|| "--model is required".to_string())?;
+    DnnModel::by_name(name).ok_or_else(|| format!("unknown model '{name}' (try `hipress models`)"))
+}
+
+fn parse_cluster(flags: &HashMap<String, String>) -> Result<ClusterConfig, String> {
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|n| n.parse().map_err(|_| format!("bad --nodes '{n}'")))
+        .transpose()?
+        .unwrap_or(16);
+    Ok(if flags.contains_key("local") {
+        ClusterConfig::local(nodes)
+    } else {
+        ClusterConfig::ec2(nodes)
+    })
+}
+
+fn parse_strategy(flags: &HashMap<String, String>) -> Result<Strategy, String> {
+    match flags.get("strategy").map(String::as_str) {
+        None | Some("casync-ps") => Ok(Strategy::CaSyncPs),
+        Some("casync-ring") => Ok(Strategy::CaSyncRing),
+        Some("byteps") => Ok(Strategy::BytePs),
+        Some("ring") => Ok(Strategy::HorovodRing),
+        Some(other) => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn parse_algorithm(flags: &HashMap<String, String>) -> Result<Algorithm, String> {
+    let spec = flags.get("algorithm").map(String::as_str).unwrap_or("onebit");
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    match (name, param) {
+        ("none", _) => Ok(Algorithm::None),
+        ("onebit", _) => Ok(Algorithm::OneBit),
+        ("tbq", p) => Ok(Algorithm::Tbq {
+            tau: p.map(|v| v.parse().map_err(|_| "bad tau")).transpose()?.unwrap_or(0.05),
+        }),
+        ("terngrad", p) => Ok(Algorithm::TernGrad {
+            bitwidth: p.map(|v| v.parse().map_err(|_| "bad bitwidth")).transpose()?.unwrap_or(2),
+        }),
+        ("dgc", p) => Ok(Algorithm::Dgc {
+            rate: p.map(|v| v.parse().map_err(|_| "bad rate")).transpose()?.unwrap_or(0.001),
+        }),
+        ("graddrop", p) => Ok(Algorithm::GradDrop {
+            rate: p.map(|v| v.parse().map_err(|_| "bad rate")).transpose()?.unwrap_or(0.01),
+        }),
+        (other, _) => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!(
+        "{:<14} {:>12} {:>14} {:>11} {:>16}",
+        "model", "total", "max gradient", "#gradients", "V100 samples/s"
+    );
+    for m in DnnModel::all() {
+        let spec = m.spec();
+        println!(
+            "{:<14} {:>12} {:>14} {:>11} {:>16.1}",
+            m.name(),
+            fmt_bytes(spec.total_bytes()),
+            fmt_bytes(spec.max_gradient_bytes()),
+            spec.num_gradients(),
+            spec.compute(GpuClass::V100).single_gpu_throughput()
+        );
+    }
+    Ok(())
+}
+
+fn job_from_flags(flags: &HashMap<String, String>) -> Result<TrainingJob, String> {
+    let model = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let strategy = parse_strategy(flags)?;
+    let algorithm = parse_algorithm(flags)?;
+    let mut job = if flags.contains_key("baseline") || !strategy.is_casync() {
+        let cluster = if strategy == Strategy::BytePs && !flags.contains_key("local") {
+            cluster.with_tcp()
+        } else {
+            cluster
+        };
+        TrainingJob::baseline(model, cluster, strategy)
+    } else {
+        TrainingJob::hipress(model, cluster, strategy)
+    };
+    job = job.with_algorithm(algorithm);
+    if flags.contains_key("no-selective") {
+        job.selective = false;
+    }
+    Ok(job)
+}
+
+fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
+    let job = job_from_flags(flags)?;
+    let r = simulate(&job).map_err(|e| e.to_string())?;
+    println!("model:              {}", job.model.name());
+    println!(
+        "cluster:            {} nodes x {} {} ({:.0} Gbps)",
+        job.cluster.nodes,
+        job.cluster.gpus_per_node,
+        job.cluster.gpu.name,
+        job.cluster.link.bandwidth.as_gbps()
+    );
+    println!("strategy:           {}", job.strategy.label());
+    println!("algorithm:          {}", job.algorithm.label());
+    println!("iteration:          {:.2} ms", r.iteration_ns as f64 / 1e6);
+    println!("  compute:          {:.2} ms", r.compute_ns as f64 / 1e6);
+    println!("  sync finish:      {:.2} ms (from backward start)", r.sync_finish_ns as f64 / 1e6);
+    println!("throughput:         {:.0} samples/s", r.throughput);
+    println!("scaling efficiency: {:.3}", r.scaling_efficiency);
+    println!("communication:      {:.1}% of iteration", r.comm_ratio * 100.0);
+    println!(
+        "coordinator:        {} link batches, {} batched kernel launches",
+        r.stats.link_flushes, r.stats.comp_batch_launches
+    );
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    println!(
+        "{:<36} {:>13} {:>9}",
+        "system", "samples/s", "scaling"
+    );
+    let alg = parse_algorithm(flags)?;
+    let alg = if alg == Algorithm::None { Algorithm::OneBit } else { alg };
+    let byteps_cluster = if flags.contains_key("local") { cluster } else { cluster.with_tcp() };
+    let jobs: Vec<(String, TrainingJob)> = vec![
+        ("BytePS".into(), TrainingJob::baseline(model, byteps_cluster, Strategy::BytePs)),
+        ("Ring".into(), TrainingJob::baseline(model, cluster, Strategy::HorovodRing)),
+        (
+            format!("BytePS(OSS-{})", alg.label()),
+            TrainingJob::baseline(model, byteps_cluster, Strategy::BytePs).with_algorithm(alg),
+        ),
+        (
+            format!("HiPress-CaSync-PS({})", alg.label()),
+            TrainingJob::hipress(model, cluster, Strategy::CaSyncPs).with_algorithm(alg),
+        ),
+        (
+            format!("HiPress-CaSync-Ring({})", alg.label()),
+            TrainingJob::hipress(model, cluster, Strategy::CaSyncRing).with_algorithm(alg),
+        ),
+    ];
+    for (label, job) in jobs {
+        let r = simulate(&job).map_err(|e| e.to_string())?;
+        println!("{label:<36} {:>13.0} {:>9.2}", r.throughput, r.scaling_efficiency);
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let strategy = parse_strategy(flags)?;
+    let algorithm = parse_algorithm(flags)?;
+    if algorithm == Algorithm::None {
+        return Err("planning needs a compression algorithm".into());
+    }
+    let planner =
+        Planner::profile(&cluster, strategy, algorithm).map_err(|e| e.to_string())?;
+    println!(
+        "selective compression threshold: {}",
+        fmt_bytes(planner.compression_threshold())
+    );
+    println!("{:<28} {:>12} {:>10} {:>6}", "gradient", "size", "compress", "K");
+    let spec = model.spec();
+    for layer in &spec.layers {
+        let plan = planner.plan_gradient(layer.bytes);
+        println!(
+            "{:<28} {:>12} {:>10} {:>6}",
+            layer.name,
+            fmt_bytes(layer.bytes),
+            if plan.compress { "yes" } else { "no" },
+            plan.partitions
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compile(path: Option<&str>) -> Result<(), String> {
+    let path = path.ok_or("usage: hipress compile <file.dsl>")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let alg = CompiledAlgorithm::new("cli", &source, param_values(&[]))
+        .map_err(|e| e.to_string())?;
+    let report = alg.loc_report();
+    println!(
+        "compiled OK: {} logic lines, {} udf lines, operators {:?}, integration 0",
+        report.logic, report.udf, report.operators
+    );
+    println!("\n--- generated CUDA ---\n{}", alg.cuda_source());
+    Ok(())
+}

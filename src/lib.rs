@@ -1,0 +1,65 @@
+//! # HiPress-rs
+//!
+//! A from-scratch Rust reproduction of **"Gradient Compression
+//! Supercharged High-Performance Data Parallel DNN Training"**
+//! (SOSP 2021): the HiPress framework, built from the **CaSync**
+//! compression-aware gradient synchronization architecture and the
+//! **CompLL** gradient-compression toolkit.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`compress`] | `hipress-compress` | onebit, TBQ, TernGrad, DGC, GradDrop (+ OSS baselines, error feedback) |
+//! | [`compll`] | `hipress-compll` | the compression DSL: lexer → parser → type checker → interpreter → CUDA emitter |
+//! | [`casync`] | `hipress-core` | five-primitive task graphs, strategies (CaSync-PS/Ring, BytePS, Horovod-Ring), coordinator, executor, protocol interpreter |
+//! | [`planner`] | `hipress-planner` | selective compression & partitioning (§3.3 cost model, Table 7) |
+//! | [`train`] | `hipress-train` | cluster throughput simulation + real MLP/LSTM data-parallel training |
+//! | [`models`] | `hipress-models` | the Table 6 model zoo |
+//! | [`sim`](mod@simevent) / [`simnet`] / [`simgpu`] | substrates | discrete-event engine, network fabric, GPU cost models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hipress::prelude::*;
+//!
+//! // Train Bert-large with HiPress (CaSync-PS + CompLL-onebit) on a
+//! // 4-node EC2-like cluster, and compare against the BytePS
+//! // baseline.
+//! let cluster = ClusterConfig::ec2(4);
+//! let hipress = simulate(&TrainingJob::hipress(
+//!     DnnModel::BertLarge,
+//!     cluster,
+//!     Strategy::CaSyncPs,
+//! ))
+//! .unwrap();
+//! let byteps = simulate(&TrainingJob::baseline(
+//!     DnnModel::BertLarge,
+//!     cluster.with_tcp(),
+//!     Strategy::BytePs,
+//! ))
+//! .unwrap();
+//! assert!(hipress.throughput > byteps.throughput);
+//! ```
+
+pub use hipress_compll as compll;
+pub use hipress_compress as compress;
+pub use hipress_core as casync;
+pub use hipress_models as models;
+pub use hipress_planner as planner;
+pub use hipress_simevent as simevent;
+pub use hipress_simgpu as simgpu;
+pub use hipress_simnet as simnet;
+pub use hipress_tensor as tensor;
+pub use hipress_train as train;
+pub use hipress_util as util;
+
+/// The most common imports for experiments.
+pub mod prelude {
+    pub use hipress_compress::{Algorithm, Compressor, ErrorFeedback};
+    pub use hipress_core::{ClusterConfig, ExecConfig, Executor, GradPlan, Strategy};
+    pub use hipress_models::{DnnModel, GpuClass};
+    pub use hipress_planner::Planner;
+    pub use hipress_simnet::LinkSpec;
+    pub use hipress_train::{simulate, SimResult, TrainingJob};
+}

@@ -1,0 +1,180 @@
+//! Cross-crate end-to-end tests: the full HiPress stack wired
+//! together through the public facade.
+
+use hipress::compll::algorithms;
+use hipress::prelude::*;
+use hipress::tensor::synth::{generate, GradientShape};
+use hipress::tensor::Tensor;
+
+/// DSL-compiled algorithms flow through the CaSync protocol with real
+/// data: compile with CompLL, build a CaSync-Ring graph, execute it
+/// over real tensors, and verify replica consistency — the complete
+/// §4.3 "automated integration" story.
+#[test]
+fn compll_algorithm_through_casync_protocol() {
+    use hipress::casync::interp::{gradient_flows, interpret};
+    use hipress::casync::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
+
+    let alg = algorithms::onebit().expect("DSL onebit compiles");
+    let nodes = 4;
+    let grads: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            vec![generate(
+                600,
+                GradientShape::Gaussian { std_dev: 1.0 },
+                w as u64,
+            )]
+        })
+        .collect();
+    let iter = IterationSpec {
+        gradients: vec![SyncGradient {
+            name: "g0".into(),
+            bytes: 2400,
+            ready_offset_ns: 0,
+            plan: GradPlan {
+                compress: true,
+                partitions: 2,
+            },
+        }],
+        compression: Some(CompressionSpec::of(&alg)),
+    };
+    let cluster = ClusterConfig::ec2(nodes);
+    for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+        let graph = strat.build(&cluster, &iter).unwrap();
+        let flows = gradient_flows(&grads);
+        let out = interpret(&graph, nodes, &flows, Some(&alg), 5).unwrap();
+        assert!(out[0].replicas_consistent(), "{strat:?}");
+    }
+}
+
+/// The throughput simulation reproduces the paper's headline claim:
+/// HiPress beats every baseline on a communication-intensive model,
+/// and the margin grows with cluster size.
+#[test]
+fn hipress_margin_grows_with_cluster() {
+    let model = DnnModel::BertLarge;
+    let margin = |nodes: usize| {
+        let cluster = ClusterConfig::ec2(nodes);
+        let hip = simulate(&TrainingJob::hipress(model, cluster, Strategy::CaSyncPs))
+            .unwrap()
+            .throughput;
+        let base = simulate(&TrainingJob::baseline(
+            model,
+            cluster.with_tcp(),
+            Strategy::BytePs,
+        ))
+        .unwrap()
+        .throughput;
+        hip / base
+    };
+    let m4 = margin(4);
+    let m16 = margin(16);
+    assert!(m4 > 1.0, "HiPress must win at 4 nodes ({m4})");
+    assert!(
+        m16 >= m4,
+        "the margin must not shrink with scale: {m4} -> {m16}"
+    );
+}
+
+/// The planner's decisions actually pay off in the executor: running
+/// VGG19 with planner plans beats both compress-everything-K1 and
+/// compress-nothing.
+#[test]
+fn selective_plans_beat_naive_policies() {
+    let cluster = ClusterConfig::ec2(8);
+    let model = DnnModel::Vgg19;
+    let planned = simulate(&TrainingJob::hipress(model, cluster, Strategy::CaSyncPs)).unwrap();
+    let mut naive = TrainingJob::hipress(model, cluster, Strategy::CaSyncPs);
+    naive.selective = false; // Compress everything, K = 1.
+    let naive = simulate(&naive).unwrap();
+    let raw = simulate(
+        &TrainingJob::hipress(model, cluster, Strategy::CaSyncPs)
+            .with_algorithm(Algorithm::None),
+    )
+    .unwrap();
+    assert!(
+        planned.iteration_ns <= naive.iteration_ns,
+        "planned {} vs naive {}",
+        planned.iteration_ns,
+        naive.iteration_ns
+    );
+    assert!(
+        planned.iteration_ns < raw.iteration_ns,
+        "planned {} vs raw {}",
+        planned.iteration_ns,
+        raw.iteration_ns
+    );
+}
+
+/// Real convergence through the facade: compressed data-parallel
+/// training reaches the uncompressed accuracy (Figure 13's claim),
+/// with far less traffic.
+#[test]
+fn convergence_parity_with_less_traffic() {
+    use hipress::train::convergence::{run_data_parallel, ConvergenceConfig};
+    use hipress::train::nn::data::Classification;
+    use hipress::train::nn::Mlp;
+
+    let workers = 4;
+    let full = Classification::gaussian_mixture(500 * workers + 600, 12, 5, 4.0, 21);
+    let mut shards = full.split(workers + 1);
+    let eval = shards.pop().unwrap();
+    let run = |alg: Algorithm| {
+        let mut reps: Vec<Mlp> = shards
+            .iter()
+            .map(|s| Mlp::new(&[12, 32, 5], s.clone(), 9))
+            .collect();
+        run_data_parallel(
+            &ConvergenceConfig {
+                workers,
+                batch_per_worker: 24,
+                lr: 0.05,
+                momentum: 0.9,
+                algorithm: alg,
+                iterations: 150,
+                eval_every: 10,
+                seed: 4,
+            },
+            &mut reps,
+            |m| m.data().len(),
+            |m| m.accuracy(&eval),
+        )
+        .unwrap()
+    };
+    let baseline = run(Algorithm::None);
+    let compressed = run(Algorithm::Dgc { rate: 0.05 });
+    assert!(
+        compressed.final_metric > baseline.final_metric - 0.05,
+        "accuracy parity: {} vs {}",
+        compressed.final_metric,
+        baseline.final_metric
+    );
+    assert!(compressed.bytes_per_iteration < baseline.bytes_per_iteration / 4.0);
+}
+
+/// Every (strategy × algorithm) combination simulates cleanly on a
+/// small model — the generality claim (§3: "not tied to specific
+/// algorithms and synchronization strategies").
+#[test]
+fn full_compatibility_matrix() {
+    let cluster = ClusterConfig::local(4);
+    for strat in Strategy::all() {
+        for alg in [
+            Algorithm::None,
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.05 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.001 },
+            Algorithm::GradDrop { rate: 0.01 },
+        ] {
+            let job = if strat.is_casync() {
+                TrainingJob::hipress(DnnModel::ResNet50, cluster, strat).with_algorithm(alg)
+            } else {
+                TrainingJob::baseline(DnnModel::ResNet50, cluster, strat).with_algorithm(alg)
+            };
+            let r = simulate(&job)
+                .unwrap_or_else(|e| panic!("{strat:?} × {} failed: {e}", alg.label()));
+            assert!(r.throughput > 0.0, "{strat:?} × {}", alg.label());
+        }
+    }
+}
