@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate: build, test, and format-check the entire workspace,
+# fully offline (every dependency is a workspace path crate — see
+# Cargo.toml [workspace.dependencies]).
+#
+#   ./ci.sh
+#
+# Warnings are errors here; the workspace-wide lint expectations live
+# in [workspace.lints] in the root Cargo.toml.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "== build (release, -D warnings) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "ci.sh: all green"

@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks for the compression kernels: encode
-//! and decode throughput of every algorithm (optimized, OSS, and
-//! CompLL-generated) across gradient sizes.
+//! Micro-benchmarks for the compression kernels: encode and decode
+//! throughput of every algorithm (optimized, OSS, and
+//! CompLL-generated) across gradient sizes, on the plain harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hipress::compll::algorithms;
 use hipress::compress::{Algorithm, Compressor};
 use hipress::tensor::synth::{generate, GradientShape};
+use hipress_bench::banner;
+use std::time::Instant;
 
 fn algorithms_under_test() -> Vec<(String, Box<dyn Compressor>)> {
     let mut v: Vec<(String, Box<dyn Compressor>)> = Vec::new();
@@ -31,39 +32,53 @@ fn algorithms_under_test() -> Vec<(String, Box<dyn Compressor>)> {
     v
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode");
-    group.sample_size(10);
+/// Times `f` over `iters` runs after one warmup, returning the best
+/// per-iteration time in seconds (criterion-style minimum, robust to
+/// scheduler noise).
+fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // Warmup.
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn throughput(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 / secs / 1e9
+}
+
+fn main() {
+    banner(
+        "compression_micro",
+        "encode/decode throughput per algorithm (GB/s, best of 10)",
+    );
+    const ITERS: usize = 10;
+    println!(
+        "\n{:<16} {:>10} {:>12} {:>12}",
+        "algorithm", "bytes", "enc GB/s", "dec GB/s"
+    );
     for elems in [1usize << 14, 1 << 18] {
         let grad = generate(elems, GradientShape::default_dnn(), 3);
+        let data = grad.as_slice();
+        println!();
         for (name, alg) in algorithms_under_test() {
-            group.throughput(Throughput::Bytes(grad.byte_size()));
-            group.bench_with_input(
-                BenchmarkId::new(name, elems * 4),
-                grad.as_slice(),
-                |b, data| {
-                    b.iter(|| alg.encode(std::hint::black_box(data), 1));
-                },
+            let enc = best_of(ITERS, || {
+                std::hint::black_box(alg.encode(std::hint::black_box(data), 1));
+            });
+            let stream = alg.encode(data, 1);
+            let dec = best_of(ITERS, || {
+                std::hint::black_box(alg.decode(std::hint::black_box(&stream)).expect("decodes"));
+            });
+            println!(
+                "{:<16} {:>10} {:>12.2} {:>12.2}",
+                name,
+                grad.byte_size(),
+                throughput(grad.byte_size(), enc),
+                throughput(grad.byte_size(), dec)
             );
         }
     }
-    group.finish();
 }
-
-fn bench_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decode");
-    group.sample_size(10);
-    let elems = 1usize << 18;
-    let grad = generate(elems, GradientShape::default_dnn(), 3);
-    for (name, alg) in algorithms_under_test() {
-        let stream = alg.encode(grad.as_slice(), 1);
-        group.throughput(Throughput::Bytes(grad.byte_size()));
-        group.bench_with_input(BenchmarkId::new(name, elems * 4), &stream, |b, data| {
-            b.iter(|| alg.decode(std::hint::black_box(data)).expect("decodes"));
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_encode, bench_decode);
-criterion_main!(benches);

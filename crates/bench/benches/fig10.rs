@@ -19,10 +19,8 @@ fn main() {
         let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
         let byteps = run(TrainingJob::baseline(model, cluster, Strategy::BytePs));
         let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
-        let byteps_onebit = run(
-            TrainingJob::baseline(model, cluster, Strategy::BytePs)
-                .with_algorithm(Algorithm::OneBit),
-        );
+        let byteps_onebit = run(TrainingJob::baseline(model, cluster, Strategy::BytePs)
+            .with_algorithm(Algorithm::OneBit));
         let hip_ps = run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs));
         let hip_ring = run(TrainingJob::hipress(model, cluster, Strategy::CaSyncRing));
         println!("\n--- {} (normalized to BytePS = 1.0) ---", model.name());

@@ -83,7 +83,8 @@ fn run_ladder(model: DnnModel, casync: Strategy, baseline: Strategy) {
         let r = simulate(&rung.job).expect("simulation runs");
         // The isolated synchronization cost (all gradients ready at
         // t=0), like the paper's latency breakdown bars.
-        let sync_ms = hipress::train::sync_only_ns(&rung.job).expect("simulation runs") as f64 / 1e6;
+        let sync_ms =
+            hipress::train::sync_only_ns(&rung.job).expect("simulation runs") as f64 / 1e6;
         let delta = prev_sync
             .map(|p| format!(" ({:+.1}%)", pct(sync_ms, p)))
             .unwrap_or_default();
@@ -123,5 +124,9 @@ fn main() {
         "optimization ablation on the local cluster (each rung stacks one optimization)",
     );
     run_ladder(DnnModel::Vgg19, Strategy::CaSyncPs, Strategy::BytePs);
-    run_ladder(DnnModel::BertBase, Strategy::CaSyncRing, Strategy::HorovodRing);
+    run_ladder(
+        DnnModel::BertBase,
+        Strategy::CaSyncRing,
+        Strategy::HorovodRing,
+    );
 }

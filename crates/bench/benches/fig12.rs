@@ -12,7 +12,10 @@ use hipress::prelude::*;
 use hipress_bench::{banner, pct};
 
 fn main() {
-    banner("Figure 12a", "impact of network bandwidth (Bert-base, HiPress-CaSync-PS onebit)");
+    banner(
+        "Figure 12a",
+        "impact of network bandwidth (Bert-base, HiPress-CaSync-PS onebit)",
+    );
     let mut ratios = Vec::new();
     for (name, cluster, slow_link) in [
         ("EC2 V100", ClusterConfig::ec2(16), LinkSpec::gbps25()),
@@ -44,7 +47,9 @@ fn main() {
         ratios.iter().all(|&r| r > 0.6),
         "HiPress must retain most of its throughput on slow networks: {ratios:?}"
     );
-    println!("(paper: near-identical speedups on both bandwidths — compression removes the bottleneck)");
+    println!(
+        "(paper: near-identical speedups on both bandwidths — compression removes the bottleneck)"
+    );
 
     banner(
         "Figure 12b",
@@ -57,8 +62,7 @@ fn main() {
     let cluster = ClusterConfig::local(16);
     let sync_ms = |alg: Algorithm| {
         hipress::train::sync_only_ns(
-            &TrainingJob::hipress(DnnModel::Vgg19, cluster, Strategy::CaSyncPs)
-                .with_algorithm(alg),
+            &TrainingJob::hipress(DnnModel::Vgg19, cluster, Strategy::CaSyncPs).with_algorithm(alg),
         )
         .expect("simulation runs") as f64
             / 1e6

@@ -21,8 +21,8 @@ fn iter_ms(alg: Algorithm) -> f64 {
     let cluster = ClusterConfig::local(16);
     // LSTM is the paper's left panel; its per-iteration time is what
     // the time axis uses.
-    let job = TrainingJob::hipress(DnnModel::Lstm, cluster, Strategy::CaSyncRing)
-        .with_algorithm(alg);
+    let job =
+        TrainingJob::hipress(DnnModel::Lstm, cluster, Strategy::CaSyncRing).with_algorithm(alg);
     simulate(&job).expect("simulation runs").iteration_ns as f64 / 1e6
 }
 
@@ -70,9 +70,7 @@ fn lstm_panel() {
         )
         .expect("training runs");
         let ms = iter_ms(alg);
-        let tti = r
-            .iterations_to_target(target, false)
-            .map(|i| i as f64 * ms);
+        let tti = r.iterations_to_target(target, false).map(|i| i as f64 * ms);
         println!(
             "{:<22} {:>12.2} {:>12} {:>10.1} {:>14}",
             alg.label(),
@@ -81,7 +79,8 @@ fn lstm_panel() {
                 .map(|i| i.to_string())
                 .unwrap_or_else(|| "-".into()),
             ms,
-            tti.map(|t| format!("{t:.0} ms")).unwrap_or_else(|| "-".into()),
+            tti.map(|t| format!("{t:.0} ms"))
+                .unwrap_or_else(|| "-".into()),
         );
         times.push((alg.label(), r.final_metric, tti));
     }
@@ -125,9 +124,12 @@ fn classifier_panel() {
             eval_every: 5,
             seed: 3,
         };
-        let r = run_data_parallel(&cfg, &mut replicas, |m| m.data().len(), |m| {
-            m.accuracy(&eval)
-        })
+        let r = run_data_parallel(
+            &cfg,
+            &mut replicas,
+            |m| m.data().len(),
+            |m| m.accuracy(&eval),
+        )
         .expect("training runs");
         // Time axis: ResNet50-analogue iteration times.
         let cluster = ClusterConfig::local(16);
@@ -147,7 +149,8 @@ fn classifier_panel() {
                 .map(|i| i.to_string())
                 .unwrap_or_else(|| "-".into()),
             ms,
-            tti.map(|t| format!("{t:.0} ms")).unwrap_or_else(|| "-".into()),
+            tti.map(|t| format!("{t:.0} ms"))
+                .unwrap_or_else(|| "-".into()),
         );
         rows.push((alg.label(), r.final_metric));
     }

@@ -21,15 +21,21 @@ fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
             continue;
         }
         let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
-        let byteps = run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs));
+        let byteps = run(TrainingJob::baseline(
+            model,
+            cluster.with_tcp(),
+            Strategy::BytePs,
+        ));
         let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
         // The compression-enabled baseline: BytePS(OSS-onebit) for
         // MXNet models, Ring(OSS-DGC) for TensorFlow models (§6.2).
         let oss = if ring_for_oss {
             run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing).with_algorithm(alg))
         } else {
-            run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
-                .with_algorithm(alg))
+            run(
+                TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
+                    .with_algorithm(alg),
+            )
         };
         let hip_ps =
             run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs).with_algorithm(alg));

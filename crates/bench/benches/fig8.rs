@@ -15,13 +15,19 @@ fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
         let cluster = ClusterConfig::ec2(nodes);
         let gpus = cluster.total_gpus();
         let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
-        let byteps = run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs));
+        let byteps = run(TrainingJob::baseline(
+            model,
+            cluster.with_tcp(),
+            Strategy::BytePs,
+        ));
         let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
         let oss = if ring_for_oss {
             run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing).with_algorithm(alg))
         } else {
-            run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
-                .with_algorithm(alg))
+            run(
+                TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)
+                    .with_algorithm(alg),
+            )
         };
         let hip_ps =
             run(TrainingJob::hipress(model, cluster, Strategy::CaSyncPs).with_algorithm(alg));

@@ -23,7 +23,11 @@ fn strip(job: &TrainingJob, iters: usize) -> (String, f64) {
         let start = i * iter;
         // Forward+backward occupy the GPU back to back; the sync tail
         // (if any) leaves it idle until the next iteration.
-        tl.record(track, SimTime::from_ns(start), SimTime::from_ns(start + busy));
+        tl.record(
+            track,
+            SimTime::from_ns(start),
+            SimTime::from_ns(start + busy),
+        );
     }
     let horizon = SimTime::from_ns(iter * iters as u64);
     (
@@ -58,5 +62,7 @@ fn main() {
         Algorithm::TernGrad { bitwidth: 2 },
         Strategy::CaSyncPs,
     );
-    println!("\n(paper: Ring's utilization drops to zero during transmissions; HiPress stays busy)");
+    println!(
+        "\n(paper: Ring's utilization drops to zero during transmissions; HiPress stays busy)"
+    );
 }

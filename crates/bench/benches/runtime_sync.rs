@@ -1,0 +1,81 @@
+//! Wall-clock benchmark of the CaSync-RT thread engine: uncompressed
+//! vs. compressed synchronization of a multi-tensor gradient set on
+//! real OS threads, per strategy and algorithm.
+
+use hipress::prelude::*;
+use hipress::tensor::synth::{generate, GradientShape};
+use hipress::tensor::Tensor;
+use hipress_bench::banner;
+
+fn grads(nodes: usize, sizes: &[usize]) -> Vec<Vec<Tensor>> {
+    (0..nodes)
+        .map(|w| {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(g, &n)| {
+                    generate(
+                        n,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        (w * 7919 + g) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "runtime_sync",
+        "CaSync-RT wall clock: thread backend, real codecs, mpsc fabric",
+    );
+    let nodes = 4;
+    let sizes = [1 << 20, 1 << 18, 1 << 16, 4096];
+    let total_mib = sizes.iter().sum::<usize>() as f64 * 4.0 / (1 << 20) as f64;
+    let workers = grads(nodes, &sizes);
+    println!(
+        "\n{nodes} node threads, {} tensors, {total_mib:.1} MiB of gradients per worker\n",
+        sizes.len()
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "strategy", "algorithm", "wall", "wire", "savings", "speedup"
+    );
+    for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+        let mut baseline: Option<RuntimeReport> = None;
+        for alg in [
+            Algorithm::None,
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.05 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.001 },
+        ] {
+            let out = HiPress::new(strategy)
+                .algorithm(alg)
+                .partitions(4)
+                .backend(Backend::Threads(nodes))
+                .sync(&workers)
+                .expect("runtime sync");
+            assert!(out.replicas_consistent(), "replica divergence");
+            let report = out.report.expect("thread backend reports");
+            let speedup = baseline.as_ref().map_or_else(
+                || "1.00x".into(),
+                |b| format!("{:.2}x", report.speedup_vs(b)),
+            );
+            println!(
+                "{:>12} {:>10} {:>9.1}ms {:>9.2}MiB {:>8.1}x {:>9}",
+                format!("{strategy:?}"),
+                alg.label(),
+                report.wall_ns as f64 / 1e6,
+                report.bytes_wire as f64 / (1 << 20) as f64,
+                report.compression_savings(),
+                speedup
+            );
+            if alg == Algorithm::None {
+                baseline = Some(report);
+            }
+        }
+        println!();
+    }
+}

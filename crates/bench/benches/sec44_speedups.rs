@@ -42,7 +42,11 @@ fn main() {
     for alg in pairs {
         let opt = alg.build().expect("builds");
         let oss = alg.build_oss().expect("OSS exists for these four");
-        let reps = if matches!(alg, Algorithm::Dgc { .. }) { 3 } else { 8 };
+        let reps = if matches!(alg, Algorithm::Dgc { .. }) {
+            3
+        } else {
+            8
+        };
         let t_opt = time_encode(opt.as_ref(), grad.as_slice(), reps);
         let t_oss = time_encode(oss.as_ref(), grad.as_slice(), reps);
         println!(

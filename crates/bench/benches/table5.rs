@@ -6,7 +6,10 @@ use hipress::compll::algorithms;
 use hipress_bench::banner;
 
 fn main() {
-    banner("Table 5", "implementation & integration cost (lines of code)");
+    banner(
+        "Table 5",
+        "implementation & integration cost (lines of code)",
+    );
     // Paper's OSS columns: (logic, integration); N/A for GradDrop.
     let paper_oss: [(&str, Option<(usize, usize)>, (usize, usize, usize)); 5] = [
         ("onebit", Some((80, 445)), (21, 9, 4)),
@@ -18,7 +21,12 @@ fn main() {
     let algs = algorithms::paper_suite().expect("suite compiles");
     println!(
         "{:<10} {:>16} {:>14} {:>22} {:>14} {:>12}",
-        "algorithm", "OSS logic", "OSS integ.", "CompLL logic (paper)", "udf (paper)", "#ops (paper)"
+        "algorithm",
+        "OSS logic",
+        "OSS integ.",
+        "CompLL logic (paper)",
+        "udf (paper)",
+        "#ops (paper)"
     );
     for (alg, (name, oss, (p_logic, p_udf, p_ops))) in algs.iter().zip(paper_oss) {
         let r = alg.loc_report();
@@ -28,7 +36,15 @@ fn main() {
         };
         println!(
             "{:<10} {:>16} {:>14} {:>15} ({:>3}) {:>8} ({:>3}) {:>6} ({:>3})",
-            name, oss_str.0, oss_str.1, r.logic, p_logic, r.udf, p_udf, r.operators.len(), p_ops
+            name,
+            oss_str.0,
+            oss_str.1,
+            r.logic,
+            p_logic,
+            r.udf,
+            p_udf,
+            r.operators.len(),
+            p_ops
         );
         assert_eq!(r.integration, 0, "CompLL integration must be automatic");
         // The Table 5 claim: tens of DSL lines vs hundreds/thousands.
@@ -40,5 +56,7 @@ fn main() {
             );
         }
     }
-    println!("\nintegration column: 0 lines for every CompLL algorithm (automatic), as in the paper");
+    println!(
+        "\nintegration column: 0 lines for every CompLL algorithm (automatic), as in the paper"
+    );
 }

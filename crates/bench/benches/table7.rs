@@ -14,12 +14,22 @@ fn plan_str(p: GradPlan) -> String {
 }
 
 fn main() {
-    banner("Table 7", "compression and partitioning plans (CompLL-onebit)");
+    banner(
+        "Table 7",
+        "compression and partitioning plans (CompLL-onebit)",
+    );
     // Paper tuples: (size, PS@4, PS@16, Ring@4, Ring@16).
     let paper: [(&str, u64, &str, &str, &str, &str); 3] = [
         ("4MB", 4 << 20, "<yes,2>", "<yes,1>", "<yes,1>", "<no,16>"),
         ("16MB", 16 << 20, "<yes,4>", "<yes,6>", "<yes,4>", "<yes,5>"),
-        ("392MB", 392 << 20, "<yes,12>", "<yes,16>", "<yes,4>", "<yes,16>"),
+        (
+            "392MB",
+            392 << 20,
+            "<yes,12>",
+            "<yes,16>",
+            "<yes,4>",
+            "<yes,16>",
+        ),
     ];
     let mut planners = Vec::new();
     for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
@@ -63,9 +73,13 @@ fn main() {
     println!(
         "selective threshold at 16 nodes (paper: compress gradients larger than 4MB): {}",
         hipress::util::units::fmt_bytes(
-            Planner::profile(&ClusterConfig::ec2(16), Strategy::CaSyncPs, Algorithm::OneBit)
-                .unwrap()
-                .compression_threshold()
+            Planner::profile(
+                &ClusterConfig::ec2(16),
+                Strategy::CaSyncPs,
+                Algorithm::OneBit
+            )
+            .unwrap()
+            .compression_threshold()
         )
     );
 }

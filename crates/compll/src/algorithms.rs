@@ -283,7 +283,9 @@ mod tests {
 
     #[test]
     fn all_five_compile_and_roundtrip() {
-        let grad: Vec<f32> = (0..2000).map(|i| ((i * 37 % 200) as f32 - 100.0) / 50.0).collect();
+        let grad: Vec<f32> = (0..2000)
+            .map(|i| ((i * 37 % 200) as f32 - 100.0) / 50.0)
+            .collect();
         for alg in paper_suite().unwrap() {
             let enc = alg.encode(&grad, 3);
             let dec = alg.decode(&enc).unwrap();

@@ -53,13 +53,12 @@ impl CompiledAlgorithm {
         let report = count(source, &prog);
         let encode_passes: f64 = entry_passes(&prog, "encode");
         let decode_passes: f64 = entry_passes(&prog, "decode");
-        let kind = if report.operators.contains("filter_idx")
-            || report.operators.contains("scatter")
-        {
-            AlgorithmKind::Sparsification
-        } else {
-            AlgorithmKind::Quantization
-        };
+        let kind =
+            if report.operators.contains("filter_idx") || report.operators.contains("scatter") {
+                AlgorithmKind::Sparsification
+            } else {
+                AlgorithmKind::Quantization
+            };
         let mut this = Self {
             name: Box::leak(name.to_string().into_boxed_str()),
             source: source.to_string(),
@@ -138,9 +137,7 @@ fn entry_passes(prog: &Program, entry: &str) -> f64 {
     fn walk(stmts: &[Stmt], acc: &mut f64) {
         for s in stmts {
             match s {
-                Stmt::Decl(_, _, Some(e)) | Stmt::Assign(_, e) | Stmt::Expr(e) => {
-                    walk_expr(e, acc)
-                }
+                Stmt::Decl(_, _, Some(e)) | Stmt::Assign(_, e) | Stmt::Expr(e) => walk_expr(e, acc),
                 Stmt::Return(Some(e)) => walk_expr(e, acc),
                 Stmt::If(c, t, e) => {
                     walk_expr(c, acc);

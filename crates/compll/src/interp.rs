@@ -221,9 +221,7 @@ impl<'p> Interp<'p> {
                     (Ty::UInt(b), None) => Ok(Value::U(cursor.uint(b)?, b)),
                     (Ty::Arr(ScalarTy::Float), Some(n)) => Ok(Value::FArr(cursor.farr(n)?)),
                     (Ty::Arr(ScalarTy::Int32), Some(n)) => Ok(Value::IArr(cursor.iarr(n)?)),
-                    (Ty::Arr(ScalarTy::UInt(b)), Some(n)) => {
-                        Ok(Value::UArr(cursor.uarr(b, n)?))
-                    }
+                    (Ty::Arr(ScalarTy::UInt(b)), Some(n)) => Ok(Value::UArr(cursor.uarr(b, n)?)),
                     (Ty::Bytes, Some(n)) => Ok(Value::UArr(cursor.uarr(8, n)?)),
                     (t, c) => Err(Error::dsl(format!(
                         "extract into {t:?} with count {c:?} is not supported"
@@ -370,7 +368,9 @@ impl<'p> Interp<'p> {
         match self.exec_block(&f.body, &mut scope)? {
             Flow::Return(v) => coerce(v, f.ret),
             Flow::Normal if f.ret == Ty::Void => Ok(Value::Unit),
-            Flow::Normal => Err(Error::dsl(format!("{name} fell off the end without return"))),
+            Flow::Normal => Err(Error::dsl(format!(
+                "{name} fell off the end without return"
+            ))),
         }
     }
 
@@ -420,11 +420,7 @@ impl<'p> Interp<'p> {
             "map" => {
                 let arr = self.eval(&args[0], scope)?;
                 let udf = Self::udf_name(&args[1])?.to_string();
-                let ret = self
-                    .prog
-                    .function(&udf)
-                    .map(|f| f.ret)
-                    .unwrap_or(Ty::Float);
+                let ret = self.prog.function(&udf).map(|f| f.ret).unwrap_or(Ty::Float);
                 let inputs: Vec<Value> = match arr {
                     Value::FArr(v) => v.into_iter().map(|x| Value::F(x as f64)).collect(),
                     Value::IArr(v) => v.into_iter().map(|x| Value::I(x as i64)).collect(),
@@ -490,9 +486,9 @@ impl<'p> Interp<'p> {
                 };
                 let mut out = Vec::with_capacity(idx.len());
                 for i in idx {
-                    let x = v.get(i as usize).ok_or_else(|| {
-                        Error::dsl(format!("gather index {i} out of bounds"))
-                    })?;
+                    let x = v
+                        .get(i as usize)
+                        .ok_or_else(|| Error::dsl(format!("gather index {i} out of bounds")))?;
                     out.push(*x);
                 }
                 Ok(Value::FArr(out))
@@ -533,13 +529,13 @@ impl<'p> Interp<'p> {
                         // so fall back to an O(n log n) comparison sort
                         // that may call the udf ~n log n times.
                         let mut err = None;
-                        let mut this = std::mem::replace(self, Interp::new(self.prog, self.params, 0));
+                        let mut this =
+                            std::mem::replace(self, Interp::new(self.prog, self.params, 0));
                         v.sort_by(|a, b| {
                             if err.is_some() {
                                 return std::cmp::Ordering::Equal;
                             }
-                            match this.call_udf(&udf, &[Value::F(*a as f64), Value::F(*b as f64)])
-                            {
+                            match this.call_udf(&udf, &[Value::F(*a as f64), Value::F(*b as f64)]) {
                                 Ok(r) => match r.truthy() {
                                     Ok(true) => std::cmp::Ordering::Less,
                                     Ok(false) => std::cmp::Ordering::Greater,

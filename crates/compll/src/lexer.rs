@@ -154,9 +154,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if text.contains('.') {
-                    let v = text
-                        .parse::<f64>()
-                        .map_err(|_| Error::dsl(format!("bad float literal '{text}' line {line}")))?;
+                    let v = text.parse::<f64>().map_err(|_| {
+                        Error::dsl(format!("bad float literal '{text}' line {line}"))
+                    })?;
                     out.push(Token {
                         kind: Tok::Float(v),
                         line,

@@ -29,7 +29,11 @@ impl PackedArr {
     /// Creates an array from element values (masked to width).
     pub fn from_values(bits: u8, values: impl IntoIterator<Item = u64>) -> Self {
         let mut w = BitWriter::new();
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mut len = 0;
         for v in values {
             w.write(v & mask, bits as u32);
@@ -48,7 +52,11 @@ impl PackedArr {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> u64 {
-        assert!(i < self.len, "packed index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "packed index {i} out of bounds ({})",
+            self.len
+        );
         let mut r = BitReader::new(&self.data);
         r.skip(i * self.bits as usize).expect("bounds checked");
         r.read(self.bits as u32).expect("bounds checked")
@@ -196,7 +204,11 @@ impl<'a> ExtractCursor<'a> {
     /// Extracts a uintN scalar (stored as one byte).
     pub fn uint(&mut self, bits: u8) -> Result<u64> {
         let b = self.take(1)?;
-        let mask = if bits >= 8 { 0xFF } else { (1u16 << bits) as u64 - 1 };
+        let mask = if bits >= 8 {
+            0xFF
+        } else {
+            (1u16 << bits) as u64 - 1
+        };
         Ok((b[0] as u64) & mask)
     }
 
@@ -231,8 +243,17 @@ impl<'a> ExtractCursor<'a> {
 /// Names of the common operators (for the type checker and the cost
 /// estimator).
 pub const OPERATORS: &[&str] = &[
-    "sort", "filter", "map", "reduce", "random", "concat", "extract", // Table 4
-    "filter_idx", "gather", "scatter", "sample", // Registered extensions.
+    "sort",
+    "filter",
+    "map",
+    "reduce",
+    "random",
+    "concat",
+    "extract", // Table 4
+    "filter_idx",
+    "gather",
+    "scatter",
+    "sample", // Registered extensions.
 ];
 
 /// Estimated full memory passes per operator invocation, used to

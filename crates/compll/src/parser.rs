@@ -436,7 +436,10 @@ mod tests {
         "#;
         let prog = parse_src(src).unwrap();
         assert_eq!(prog.params.len(), 1);
-        assert_eq!(prog.params[0].fields, vec![("bitwidth".into(), Ty::UInt(8))]);
+        assert_eq!(
+            prog.params[0].fields,
+            vec![("bitwidth".into(), Ty::UInt(8))]
+        );
         assert_eq!(prog.globals.len(), 3);
         assert!(prog.function("encode").is_some());
         assert!(prog.function("floatToUint").is_some());
@@ -464,17 +467,14 @@ mod tests {
 
     #[test]
     fn if_else_and_return() {
-        let prog = parse_src(
-            "uint1 sign(float x) { if (x > 0) { return 1; } else { return 0; } }",
-        )
-        .unwrap();
+        let prog = parse_src("uint1 sign(float x) { if (x > 0) { return 1; } else { return 0; } }")
+            .unwrap();
         assert!(matches!(prog.functions[0].body[0], Stmt::If(_, _, _)));
     }
 
     #[test]
     fn member_and_index() {
-        let prog =
-            parse_src("void f(float* g) { float t = g[3].size; }");
+        let prog = parse_src("void f(float* g) { float t = g[3].size; }");
         // `.size` on an indexed element is nonsense but parses; the
         // type checker rejects it.
         assert!(prog.is_ok());

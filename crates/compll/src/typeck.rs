@@ -73,7 +73,11 @@ impl Checker<'_> {
                 && enc.params.len() >= 2
                 && enc.params[0].1 == Ty::Arr(ScalarTy::Float)
                 && enc.params[1].1 == Ty::Bytes
-                && enc.params.get(2).map(|p| p.1 == Ty::ParamStruct).unwrap_or(true);
+                && enc
+                    .params
+                    .get(2)
+                    .map(|p| p.1 == Ty::ParamStruct)
+                    .unwrap_or(true);
             if !ok {
                 return Err(Error::dsl(
                     "encode must be void encode(float* gradient, uint8* compressed[, Params p])",
@@ -85,7 +89,11 @@ impl Checker<'_> {
                 && dec.params.len() >= 2
                 && dec.params[0].1 == Ty::Bytes
                 && dec.params[1].1 == Ty::Arr(ScalarTy::Float)
-                && dec.params.get(2).map(|p| p.1 == Ty::ParamStruct).unwrap_or(true);
+                && dec
+                    .params
+                    .get(2)
+                    .map(|p| p.1 == Ty::ParamStruct)
+                    .unwrap_or(true);
             if !ok {
                 return Err(Error::dsl(
                     "decode must be void decode(uint8* compressed, float* gradient[, Params p])",
@@ -407,7 +415,10 @@ impl Checker<'_> {
             "reduce" => {
                 need(2)?;
                 if arg_t(0)? != T::Val(Ty::Arr(ScalarTy::Float)) {
-                    return Err(Error::dsl(format!("{}: reduce needs a float array", f.name)));
+                    return Err(Error::dsl(format!(
+                        "{}: reduce needs a float array",
+                        f.name
+                    )));
                 }
                 let udf = self.expect_fn_arg(&args[1], f)?;
                 self.udf_ret(&udf, f)?;
@@ -553,22 +564,23 @@ mod tests {
 
     #[test]
     fn rejects_unknown_variable() {
-        let err = compile("void encode(float* gradient, uint8* compressed) { compressed = concat(mystery); }")
-            .unwrap_err();
+        let err = compile(
+            "void encode(float* gradient, uint8* compressed) { compressed = concat(mystery); }",
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("unknown variable"), "{err}");
     }
 
     #[test]
     fn rejects_bad_entry_signature() {
-        let err = compile("int32 encode(float* gradient, uint8* compressed) { return 1; }")
-            .unwrap_err();
+        let err =
+            compile("int32 encode(float* gradient, uint8* compressed) { return 1; }").unwrap_err();
         assert!(err.to_string().contains("encode must be"), "{err}");
     }
 
     #[test]
     fn rejects_float_shift() {
-        let err =
-            compile("void f() { float x = 1.5; int32 y = x << 2; }").unwrap_err();
+        let err = compile("void f() { float x = 1.5; int32 y = x << 2; }").unwrap_err();
         assert!(err.to_string().contains("integer operands"), "{err}");
     }
 

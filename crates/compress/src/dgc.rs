@@ -73,9 +73,7 @@ pub(crate) fn top_k_indices(grad: &[f32], k: usize) -> Vec<u32> {
     // Partition so the k largest magnitudes occupy idx[..k]. Ties are
     // broken arbitrarily by quickselect, which matches GPU behaviour.
     idx.select_nth_unstable_by(k - 1, |&a, &b| {
-        grad[b as usize]
-            .abs()
-            .total_cmp(&grad[a as usize].abs())
+        grad[b as usize].abs().total_cmp(&grad[a as usize].abs())
     });
     idx.truncate(k);
     idx.sort_unstable();
@@ -210,7 +208,11 @@ mod tests {
         let c = Dgc::new(0.01);
         for n in [0usize, 1, 100, 12345] {
             let grad: Vec<f32> = (0..n).map(|i| i as f32).collect();
-            assert_eq!(c.encode(&grad, 0).len() as u64, c.compressed_size(n), "n={n}");
+            assert_eq!(
+                c.encode(&grad, 0).len() as u64,
+                c.compressed_size(n),
+                "n={n}"
+            );
         }
     }
 

@@ -118,11 +118,7 @@ mod tests {
             let mut true_sum = vec![0.0f64; n];
             let mut decoded_sum = vec![0.0f64; n];
             for iter in 0..10u64 {
-                let grad = generate(
-                    n,
-                    GradientShape::Gaussian { std_dev: 0.01 },
-                    100 + iter,
-                );
+                let grad = generate(n, GradientShape::Gaussian { std_dev: 0.01 }, 100 + iter);
                 for (s, &g) in true_sum.iter_mut().zip(grad.as_slice()) {
                     *s += g as f64;
                 }

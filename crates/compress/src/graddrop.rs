@@ -51,13 +51,10 @@ impl GradDrop {
     fn estimate_threshold(&self, grad: &[f32], rng: &mut Xoshiro256) -> f32 {
         let n = grad.len();
         let sample_size = (n / 100).max(MIN_SAMPLE).min(n);
-        let mut sample: Vec<f32> = (0..sample_size)
-            .map(|_| grad[rng.index(n)].abs())
-            .collect();
+        let mut sample: Vec<f32> = (0..sample_size).map(|_| grad[rng.index(n)].abs()).collect();
         // The survivor fraction `rate` corresponds to the
         // (1-rate)-quantile of magnitudes.
-        let keep = ((sample.len() as f64 * self.rate).ceil() as usize)
-            .clamp(1, sample.len());
+        let keep = ((sample.len() as f64 * self.rate).ceil() as usize).clamp(1, sample.len());
         let cut = sample.len() - keep;
         sample.select_nth_unstable_by(cut, f32::total_cmp);
         sample[cut]
@@ -151,7 +148,10 @@ mod tests {
             .filter(|(_, &d)| d == 0.0)
             .fold(0.0f32, |m, (&g, _)| m.max(g.abs()));
         // The threshold separates kept from dropped.
-        assert!(min_kept >= max_dropped * 0.999, "{min_kept} < {max_dropped}");
+        assert!(
+            min_kept >= max_dropped * 0.999,
+            "{min_kept} < {max_dropped}"
+        );
         // Kept values are exact.
         for (g, d) in grad.as_slice().iter().zip(dec.iter()) {
             if *d != 0.0 {
@@ -164,10 +164,7 @@ mod tests {
     fn deterministic_given_seed() {
         let c = GradDrop::new(0.02);
         let grad = generate(5000, GradientShape::default_dnn(), 8);
-        assert_eq!(
-            c.encode(grad.as_slice(), 33),
-            c.encode(grad.as_slice(), 33)
-        );
+        assert_eq!(c.encode(grad.as_slice(), 33), c.encode(grad.as_slice(), 33));
     }
 
     #[test]

@@ -151,9 +151,7 @@ impl Algorithm {
             Algorithm::None => None,
             Algorithm::OneBit => Some(Box::new(onebit::OneBit::new())),
             Algorithm::Tbq { tau } => Some(Box::new(tbq::Tbq::new(tau))),
-            Algorithm::TernGrad { bitwidth } => {
-                Some(Box::new(terngrad::TernGrad::new(bitwidth)))
-            }
+            Algorithm::TernGrad { bitwidth } => Some(Box::new(terngrad::TernGrad::new(bitwidth))),
             Algorithm::Dgc { rate } => Some(Box::new(dgc::Dgc::new(rate))),
             Algorithm::GradDrop { rate } => Some(Box::new(graddrop::GradDrop::new(rate))),
         }

@@ -50,8 +50,16 @@ fn reconstruction_levels(grad: &[f32]) -> (f32, f32) {
             neg_n += 1;
         }
     }
-    let pos_mean = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
-    let neg_mean = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+    let pos_mean = if pos_n > 0 {
+        (pos_sum / pos_n as f64) as f32
+    } else {
+        0.0
+    };
+    let neg_mean = if neg_n > 0 {
+        (neg_sum / neg_n as f64) as f32
+    } else {
+        0.0
+    };
     (neg_mean, pos_mean)
 }
 
@@ -175,7 +183,9 @@ mod tests {
     fn mean_preserved_in_expectation() {
         // onebit preserves the per-subset means exactly, so the total
         // sum of the reconstruction equals the sum of the original.
-        let grad: Vec<f32> = (0..1000).map(|i| ((i * 7919) % 100) as f32 - 49.5).collect();
+        let grad: Vec<f32> = (0..1000)
+            .map(|i| ((i * 7919) % 100) as f32 - 49.5)
+            .collect();
         let dec = roundtrip(&grad);
         let s1: f64 = grad.iter().map(|&x| x as f64).sum();
         let s2: f64 = dec.iter().map(|&x| x as f64).sum();

@@ -110,7 +110,10 @@ pub struct OssTbq {
 impl OssTbq {
     /// Creates the baseline with threshold `tau`.
     pub fn new(tau: f32) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "TBQ threshold must be positive");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "TBQ threshold must be positive"
+        );
         Self { tau }
     }
 }
@@ -200,9 +203,17 @@ impl Compressor for OssTernGrad {
         // Two separate reduction passes.
         let min = grad.iter().copied().fold(f32::INFINITY, f32::min);
         let max = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let (min, max) = if grad.is_empty() { (0.0, 0.0) } else { (min, max) };
+        let (min, max) = if grad.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        };
         let levels = (1u32 << self.bitwidth) - 1;
-        let gap = if max > min { (max - min) / levels as f32 } else { 0.0 };
+        let gap = if max > min {
+            (max - min) / levels as f32
+        } else {
+            0.0
+        };
         let mut out = Vec::new();
         Header {
             algo: AlgoId::TernGrad,

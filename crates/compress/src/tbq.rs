@@ -150,7 +150,9 @@ mod tests {
     #[test]
     fn quantization_error_bounded_by_tau() {
         let c = Tbq::new(0.25);
-        let grad: Vec<f32> = (0..500).map(|i| ((i as f32) / 250.0 - 1.0) * 0.24).collect();
+        let grad: Vec<f32> = (0..500)
+            .map(|i| ((i as f32) / 250.0 - 1.0) * 0.24)
+            .collect();
         // All magnitudes < tau: everything becomes zero, so the error
         // equals the original magnitude, which is < tau.
         let dec = c.decode(&c.encode(&grad, 0)).unwrap();

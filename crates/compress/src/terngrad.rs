@@ -120,7 +120,9 @@ impl Compressor for TernGrad {
             .first()
             .ok_or_else(|| Error::codec("terngrad stream missing bitwidth"))?;
         if !(1..=8).contains(&bitwidth) {
-            return Err(Error::codec(format!("invalid terngrad bitwidth {bitwidth}")));
+            return Err(Error::codec(format!(
+                "invalid terngrad bitwidth {bitwidth}"
+            )));
         }
         let min = read_f32(rest, 1)?;
         let max = read_f32(rest, 5)?;

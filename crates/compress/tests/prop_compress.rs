@@ -1,11 +1,17 @@
-//! Property-based invariants for every compression algorithm.
+//! Randomized invariants for every compression algorithm, driven by
+//! the workspace's own deterministic PRNGs.
 
 use hipress_compress::Algorithm;
-use proptest::prelude::*;
+use hipress_util::rng::{Rng64, Xoshiro256};
 
-/// Arbitrary finite gradients of modest size.
-fn gradient() -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-1e3f32..1e3, 0..600)
+const CASES: usize = 256;
+
+/// Arbitrary finite gradient with up to `max` elements in ±`span`.
+fn gradient(rng: &mut impl Rng64, max: usize, min: usize, span: f32) -> Vec<f32> {
+    let n = min + rng.index(max - min);
+    (0..n)
+        .map(|_| (rng.next_f32() * 2.0 - 1.0) * span)
+        .collect()
 }
 
 fn all_algorithms() -> Vec<Algorithm> {
@@ -19,78 +25,117 @@ fn all_algorithms() -> Vec<Algorithm> {
     ]
 }
 
-proptest! {
-    /// decode(encode(g)) has the original length, finite values, and a
-    /// stream exactly as large as advertised (for size-deterministic
-    /// algorithms).
-    #[test]
-    fn roundtrip_shape(grad in gradient(), seed in any::<u64>()) {
+/// decode(encode(g)) has the original length, finite values, and a
+/// stream exactly as large as advertised (for size-deterministic
+/// algorithms).
+#[test]
+fn roundtrip_shape() {
+    let mut rng = Xoshiro256::new(0xC0DE_0001);
+    for _ in 0..CASES {
+        let grad = gradient(&mut rng, 600, 0, 1e3);
+        let seed = rng.next_u64();
         for alg in all_algorithms() {
             let c = alg.build().unwrap();
             let enc = c.encode(&grad, seed);
             let dec = c.decode(&enc).unwrap();
-            prop_assert_eq!(dec.len(), grad.len(), "{}", c.name());
-            prop_assert!(dec.iter().all(|x| x.is_finite()), "{}", c.name());
+            assert_eq!(dec.len(), grad.len(), "{}", c.name());
+            assert!(dec.iter().all(|x| x.is_finite()), "{}", c.name());
             match alg {
                 // GradDrop's size is data-dependent.
                 Algorithm::GradDrop { .. } => {}
-                _ => prop_assert_eq!(
+                _ => assert_eq!(
                     enc.len() as u64,
                     c.compressed_size(grad.len()),
-                    "{} size mismatch", c.name()
+                    "{} size mismatch",
+                    c.name()
                 ),
             }
         }
     }
+}
 
-    /// Quantizers never increase the dynamic range: every decoded value
-    /// lies within [min, max] of the original gradient.
-    #[test]
-    fn quantizers_stay_in_range(grad in prop::collection::vec(-100f32..100.0, 1..400), seed in any::<u64>()) {
+/// Quantizers never increase the dynamic range: every decoded value
+/// lies within [min, max] of the original gradient.
+#[test]
+fn quantizers_stay_in_range() {
+    let mut rng = Xoshiro256::new(0xC0DE_0002);
+    for _ in 0..CASES {
+        let grad = gradient(&mut rng, 400, 1, 100.0);
+        let seed = rng.next_u64();
         let lo = grad.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        for alg in [Algorithm::OneBit, Algorithm::TernGrad { bitwidth: 2 }, Algorithm::TernGrad { bitwidth: 4 }] {
+        for alg in [
+            Algorithm::OneBit,
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::TernGrad { bitwidth: 4 },
+        ] {
             let c = alg.build().unwrap();
             let dec = c.decode(&c.encode(&grad, seed)).unwrap();
             for &d in &dec {
-                prop_assert!(d >= lo - 1e-4 && d <= hi + 1e-4,
-                    "{}: {d} outside [{lo}, {hi}]", c.name());
+                assert!(
+                    d >= lo - 1e-4 && d <= hi + 1e-4,
+                    "{}: {d} outside [{lo}, {hi}]",
+                    c.name()
+                );
             }
         }
     }
+}
 
-    /// TernGrad's element-wise error is bounded by one quantization gap.
-    #[test]
-    fn terngrad_error_bound(grad in prop::collection::vec(-10f32..10.0, 1..400), seed in any::<u64>(), bitwidth in 1u8..=8) {
+/// TernGrad's element-wise error is bounded by one quantization gap.
+#[test]
+fn terngrad_error_bound() {
+    let mut rng = Xoshiro256::new(0xC0DE_0003);
+    for _ in 0..CASES {
+        let grad = gradient(&mut rng, 400, 1, 10.0);
+        let seed = rng.next_u64();
+        let bitwidth = rng.range_u64(1, 9) as u8;
         let c = Algorithm::TernGrad { bitwidth }.build().unwrap();
         let dec = c.decode(&c.encode(&grad, seed)).unwrap();
         let lo = grad.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let gap = (hi - lo) / ((1u32 << bitwidth) - 1).max(1) as f32;
         for (o, d) in grad.iter().zip(&dec) {
-            prop_assert!((o - d).abs() <= gap + (hi - lo).abs() * 1e-5 + 1e-6);
+            assert!((o - d).abs() <= gap + (hi - lo).abs() * 1e-5 + 1e-6);
         }
     }
+}
 
-    /// Sparsifiers keep values exactly and zero the rest.
-    #[test]
-    fn sparsifier_values_exact(grad in prop::collection::vec(-50f32..50.0, 1..400), seed in any::<u64>()) {
-        for alg in [Algorithm::Dgc { rate: 0.2 }, Algorithm::GradDrop { rate: 0.2 }] {
+/// Sparsifiers keep values exactly and zero the rest.
+#[test]
+fn sparsifier_values_exact() {
+    let mut rng = Xoshiro256::new(0xC0DE_0004);
+    for _ in 0..CASES {
+        let grad = gradient(&mut rng, 400, 1, 50.0);
+        let seed = rng.next_u64();
+        for alg in [
+            Algorithm::Dgc { rate: 0.2 },
+            Algorithm::GradDrop { rate: 0.2 },
+        ] {
             let c = alg.build().unwrap();
             let dec = c.decode(&c.encode(&grad, seed)).unwrap();
             for (o, d) in grad.iter().zip(&dec) {
-                prop_assert!(*d == 0.0 || d == o, "{}: {d} not in {{0, {o}}}", c.name());
+                assert!(*d == 0.0 || d == o, "{}: {d} not in {{0, {o}}}", c.name());
             }
         }
     }
+}
 
-    /// DGC keeps exactly k elements and they dominate the dropped ones.
-    #[test]
-    fn dgc_topk_dominance(grad in prop::collection::vec(-50f32..50.0, 1..300)) {
+/// DGC keeps exactly k elements and they dominate the dropped ones.
+#[test]
+fn dgc_topk_dominance() {
+    let mut rng = Xoshiro256::new(0xC0DE_0005);
+    for _ in 0..CASES {
+        let grad = gradient(&mut rng, 300, 1, 50.0);
         let alg = Algorithm::Dgc { rate: 0.15 };
         let c = alg.build().unwrap();
         let dec = c.decode(&c.encode(&grad, 0)).unwrap();
-        let kept: Vec<f32> = grad.iter().zip(&dec).filter(|(_, &d)| d != 0.0).map(|(&o, _)| o.abs()).collect();
+        let kept: Vec<f32> = grad
+            .iter()
+            .zip(&dec)
+            .filter(|(_, &d)| d != 0.0)
+            .map(|(&o, _)| o.abs())
+            .collect();
         let dropped_max = grad
             .iter()
             .zip(&dec)
@@ -98,13 +143,21 @@ proptest! {
             .map(|(&o, _)| o.abs())
             .fold(0.0f32, f32::max);
         let kept_min = kept.iter().copied().fold(f32::INFINITY, f32::min);
-        prop_assert!(kept_min >= dropped_max || kept.is_empty() || (kept_min - dropped_max).abs() < 1e-6);
+        assert!(
+            kept_min >= dropped_max || kept.is_empty() || (kept_min - dropped_max).abs() < 1e-6
+        );
     }
+}
 
-    /// Corrupting any single byte of the header never panics: decode
-    /// returns an error or a (possibly wrong) value, but must not crash.
-    #[test]
-    fn corrupted_streams_do_not_panic(grad in prop::collection::vec(-5f32..5.0, 1..100), pos in 0usize..32, val in any::<u8>()) {
+/// Corrupting any single byte of the header never panics: decode
+/// returns an error or a (possibly wrong) value, but must not crash.
+#[test]
+fn corrupted_streams_do_not_panic() {
+    let mut rng = Xoshiro256::new(0xC0DE_0006);
+    for _ in 0..CASES {
+        let grad = gradient(&mut rng, 100, 1, 5.0);
+        let pos = rng.index(32);
+        let val = rng.next_u64() as u8;
         for alg in all_algorithms() {
             let c = alg.build().unwrap();
             let mut enc = c.encode(&grad, 1);

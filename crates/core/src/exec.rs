@@ -544,7 +544,6 @@ impl Scheduler {
             }
         }
     }
-
 }
 
 impl Actor<Ev> for Scheduler {

@@ -301,8 +301,7 @@ pub fn interpret(
             }
             Primitive::Barrier => {}
             Primitive::Update => {
-                let value: Vec<f32> = if let Some(d) = find_dep(id, &|p| p == Primitive::Decode)
-                {
+                let value: Vec<f32> = if let Some(d) = find_dep(id, &|p| p == Primitive::Decode) {
                     dec_out
                         .get(&d.0)
                         .cloned()

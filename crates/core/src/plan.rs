@@ -120,7 +120,11 @@ mod tests {
         let c = Algorithm::OneBit.build().unwrap();
         let spec = CompressionSpec::of(c.as_ref());
         // 1 bit per 32-bit element.
-        assert!((spec.ratio - 1.0 / 32.0).abs() < 1e-4, "ratio {}", spec.ratio);
+        assert!(
+            (spec.ratio - 1.0 / 32.0).abs() < 1e-4,
+            "ratio {}",
+            spec.ratio
+        );
         assert_eq!(spec.metadata_bytes, 16); // header + two means
         assert_eq!(spec.encode_passes, 2.0);
         // Compressed size of a 4MiB chunk ~ 128KiB + metadata.

@@ -21,7 +21,6 @@ use crate::strategy::util::{chunk_sizes, Emit};
 /// BytePS's partition size for uncompressed tensors.
 const PARTITION_BYTES: u64 = 4 * 1024 * 1024;
 
-
 /// Builds the BytePS task graph for one iteration on `n` nodes.
 pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
     let mut graph = TaskGraph::new();
@@ -177,9 +176,8 @@ mod tests {
                     partitions: 13,
                 },
             }],
-            compression: compress.then(|| {
-                CompressionSpec::of(Algorithm::OneBit.build().unwrap().as_ref())
-            }),
+            compression: compress
+                .then(|| CompressionSpec::of(Algorithm::OneBit.build().unwrap().as_ref())),
         }
     }
 

@@ -67,7 +67,11 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
                 } else {
                     sources[w]
                 };
-                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
+                let src = if compressed {
+                    SendSrc::Encoded
+                } else {
+                    SendSrc::Raw
+                };
                 let (_, recv) = e.send_recv(w, agg, g, c, chunk_bytes, wire, src, vec![ready]);
                 let contribution = if compressed {
                     e.compute(Primitive::Decode, agg, g, c, chunk_bytes, wire, vec![recv])
@@ -117,7 +121,11 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
                 if w == agg {
                     continue;
                 }
-                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
+                let src = if compressed {
+                    SendSrc::Encoded
+                } else {
+                    SendSrc::Raw
+                };
                 let (_, recv) =
                     e.send_recv(agg, w, g, c, chunk_bytes, wire, src, vec![result_ready]);
                 let installed = if compressed {
@@ -157,9 +165,8 @@ mod tests {
                     partitions: k,
                 },
             }],
-            compression: compress.then(|| {
-                CompressionSpec::of(Algorithm::OneBit.build().unwrap().as_ref())
-            }),
+            compression: compress
+                .then(|| CompressionSpec::of(Algorithm::OneBit.build().unwrap().as_ref())),
         }
     }
 

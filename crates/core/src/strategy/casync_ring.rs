@@ -61,7 +61,11 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
                 } else {
                     carry
                 };
-                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
+                let src = if compressed {
+                    SendSrc::Encoded
+                } else {
+                    SendSrc::Raw
+                };
                 let (_, recv) =
                     e.send_recv(holder, next, g, c, chunk_bytes, wire, src, vec![ready]);
                 let contribution = if compressed {
@@ -112,13 +116,20 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
             let mut from = owner;
             for hop in 0..n - 1 {
                 let to = topo.successor(from);
+                // Hop 0 ships the owner's aggregate (encoded or its
+                // raw accumulator); every later hop forwards the
+                // received payload verbatim. Raw would be wrong past
+                // hop 0: a non-owner's accumulator holds its local
+                // partial, not the aggregate — the interpreter only
+                // masked that because its topological order ran the
+                // Update (which overwrites the accumulator) first,
+                // an ordering a concurrent executor does not owe us.
                 let src = match (compressed, hop) {
-                    (false, _) => SendSrc::Raw,
+                    (false, 0) => SendSrc::Raw,
                     (true, 0) => SendSrc::Encoded,
-                    (true, _) => SendSrc::Forward,
+                    (_, _) => SendSrc::Forward,
                 };
-                let (_, recv) =
-                    e.send_recv(from, to, g, c, chunk_bytes, wire, src, vec![outgoing]);
+                let (_, recv) = e.send_recv(from, to, g, c, chunk_bytes, wire, src, vec![outgoing]);
                 let installed = if compressed {
                     e.compute(Primitive::Decode, to, g, c, chunk_bytes, wire, vec![recv])
                 } else {

@@ -148,13 +148,24 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
                 let v = (u + 1) % n;
                 let wire = wire_for(iter, chunk_bytes);
                 let ready = if compressed {
-                    e.compute(Primitive::Encode, u, lead, c, chunk_bytes, wire, vec![carry[c]])
+                    e.compute(
+                        Primitive::Encode,
+                        u,
+                        lead,
+                        c,
+                        chunk_bytes,
+                        wire,
+                        vec![carry[c]],
+                    )
                 } else {
                     carry[c]
                 };
-                let src = if compressed { SendSrc::Encoded } else { SendSrc::Raw };
-                let (_, recv) =
-                    e.send_recv(u, v, lead, c, chunk_bytes, wire, src, vec![ready]);
+                let src = if compressed {
+                    SendSrc::Encoded
+                } else {
+                    SendSrc::Raw
+                };
+                let (_, recv) = e.send_recv(u, v, lead, c, chunk_bytes, wire, src, vec![ready]);
                 let contribution = if compressed {
                     e.compute(Primitive::Decode, v, lead, c, chunk_bytes, wire, vec![recv])
                 } else {
@@ -237,7 +248,15 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
                 let (_, recv) =
                     e.send_recv(from, to, lead, c, chunk_bytes, wire, src, vec![outgoing[c]]);
                 let installed = if compressed {
-                    e.compute(Primitive::Decode, to, lead, c, chunk_bytes, wire, vec![recv])
+                    e.compute(
+                        Primitive::Decode,
+                        to,
+                        lead,
+                        c,
+                        chunk_bytes,
+                        wire,
+                        vec![recv],
+                    )
                 } else {
                     recv
                 };
@@ -335,7 +354,10 @@ mod tests {
         let n = 4;
         let g = build(n, &spec(&[16 << 20], true));
         g.validate(n).unwrap();
-        assert!(g.count(Primitive::Barrier) > 0, "coupled compression must barrier");
+        assert!(
+            g.count(Primitive::Barrier) > 0,
+            "coupled compression must barrier"
+        );
         assert!(g.count(Primitive::Encode) > 0);
     }
 

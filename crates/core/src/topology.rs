@@ -196,8 +196,7 @@ mod tests {
             (0..4).map(|c| t.aggregator_of(0, c)).collect();
         assert_eq!(aggs.len(), 4, "chunks must spread across aggregators");
         let r = Topology::ring(4).unwrap();
-        let owners: std::collections::HashSet<usize> =
-            (0..4).map(|c| r.owner_of(1, c)).collect();
+        let owners: std::collections::HashSet<usize> = (0..4).map(|c| r.owner_of(1, c)).collect();
         assert_eq!(owners.len(), 4);
     }
 

@@ -105,7 +105,12 @@ fn casync_beats_coupled_baselines() {
     for (i, g) in ring_iter.gradients.iter_mut().enumerate() {
         g.ready_offset_ns = (24 - i) as u64 * 2_000_000;
     }
-    let casync_ring = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &ring_iter);
+    let casync_ring = run(
+        Strategy::CaSyncRing,
+        &cluster,
+        ExecConfig::hipress(),
+        &ring_iter,
+    );
     let mut ring_coupled_iter = ring_iter.clone();
     for g in ring_coupled_iter.gradients.iter_mut() {
         g.plan.partitions = 1;
@@ -261,7 +266,11 @@ fn bandwidth_shapes_comm_ratio() {
 #[test]
 fn executor_is_deterministic() {
     let cluster = ClusterConfig::ec2(4);
-    let iter = iter_spec(&[1 << 22, 1 << 16, 1 << 10], Some(Algorithm::Dgc { rate: 0.01 }), 3);
+    let iter = iter_spec(
+        &[1 << 22, 1 << 16, 1 << 10],
+        Some(Algorithm::Dgc { rate: 0.01 }),
+        3,
+    );
     let a = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &iter);
     let b = run(Strategy::CaSyncRing, &cluster, ExecConfig::hipress(), &iter);
     assert_eq!(a.makespan_ns, b.makespan_ns);

@@ -1,7 +1,11 @@
-//! Property-based tests of the synchronization protocols: for
+//! Randomized property tests of the synchronization protocols: for
 //! arbitrary gradient mixes, partition counts, and cluster sizes,
 //! every strategy must build a valid graph whose semantics are exact
 //! (no compression) or replica-consistent (with compression).
+//!
+//! Cases are drawn from the workspace's own deterministic PRNGs
+//! (`hipress_util::rng`), so the suite is reproducible offline with
+//! no external dependencies.
 
 use hipress_compress::Algorithm;
 use hipress_core::interp::{fused_flows, gradient_flows, interpret, reference_sum};
@@ -12,16 +16,25 @@ use hipress_core::{
 };
 use hipress_tensor::synth::{generate, GradientShape};
 use hipress_tensor::Tensor;
-use proptest::prelude::*;
+use hipress_util::rng::{Rng64, Xoshiro256};
 use std::collections::HashMap;
+
+const CASES: usize = 24;
 
 /// An arbitrary iteration: 1..5 gradients of 1..300 elements, each
 /// with its own partition count and compression choice.
-fn arb_iteration() -> impl Strategy<Value = (Vec<(usize, usize, bool)>, u64)> {
-    (
-        prop::collection::vec((1usize..300, 1usize..6, any::<bool>()), 1..5),
-        any::<u64>(),
-    )
+fn arb_iteration(rng: &mut impl Rng64) -> (Vec<(usize, usize, bool)>, u64) {
+    let n = rng.range_u64(1, 5) as usize;
+    let grads = (0..n)
+        .map(|_| {
+            (
+                rng.range_u64(1, 300) as usize,
+                rng.range_u64(1, 6) as usize,
+                rng.bernoulli(0.5),
+            )
+        })
+        .collect();
+    (grads, rng.next_u64())
 }
 
 fn build_spec(
@@ -75,13 +88,14 @@ fn flows_for(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Uncompressed: every strategy computes the exact sum everywhere,
-    /// for arbitrary gradient mixes and cluster sizes.
-    #[test]
-    fn uncompressed_sum_exact((grads, seed) in arb_iteration(), nodes in 2usize..6) {
+/// Uncompressed: every strategy computes the exact sum everywhere,
+/// for arbitrary gradient mixes and cluster sizes.
+#[test]
+fn uncompressed_sum_exact() {
+    let mut rng = Xoshiro256::new(0x5150_0001);
+    for _ in 0..CASES {
+        let (grads, seed) = arb_iteration(&mut rng);
+        let nodes = rng.range_u64(2, 6) as usize;
         let iter = build_spec(&grads, None);
         let cluster = ClusterConfig::ec2(nodes);
         let data = worker_grads(nodes, &grads, seed);
@@ -91,19 +105,25 @@ proptest! {
             let flows = flows_for(strat, &iter, &data);
             let out = interpret(&graph, nodes, &flows, None, seed).unwrap();
             for o in &out {
-                prop_assert!(o.replicas_consistent(), "{strat:?}");
+                assert!(o.replicas_consistent(), "{strat:?}");
                 let reference = reference_sum(&flows[&o.flow]);
-                prop_assert!(
+                assert!(
                     o.max_abs_error(&reference) < 1e-3,
-                    "{strat:?} flow {}: wrong sum", o.flow
+                    "{strat:?} flow {}: wrong sum",
+                    o.flow
                 );
             }
         }
     }
+}
 
-    /// Compressed: replicas stay bit-identical under every strategy.
-    #[test]
-    fn compressed_replicas_identical((grads, seed) in arb_iteration(), nodes in 2usize..5) {
+/// Compressed: replicas stay bit-identical under every strategy.
+#[test]
+fn compressed_replicas_identical() {
+    let mut rng = Xoshiro256::new(0x5150_0002);
+    for _ in 0..CASES {
+        let (grads, seed) = arb_iteration(&mut rng);
+        let nodes = rng.range_u64(2, 5) as usize;
         let alg = Algorithm::OneBit;
         let c = alg.build().unwrap();
         let iter = build_spec(&grads, Some(CompressionSpec::of(c.as_ref())));
@@ -114,15 +134,21 @@ proptest! {
             let flows = flows_for(strat, &iter, &data);
             let out = interpret(&graph, nodes, &flows, Some(c.as_ref()), seed).unwrap();
             for o in &out {
-                prop_assert!(o.replicas_consistent(), "{strat:?} flow {}", o.flow);
+                assert!(o.replicas_consistent(), "{strat:?} flow {}", o.flow);
             }
         }
     }
+}
 
-    /// The executor terminates with a finite makespan on arbitrary
-    /// graphs, and every gradient finishes no later than the makespan.
-    #[test]
-    fn executor_always_terminates((grads, _seed) in arb_iteration(), nodes in 2usize..5, compressed in any::<bool>()) {
+/// The executor terminates with a finite makespan on arbitrary
+/// graphs, and every gradient finishes no later than the makespan.
+#[test]
+fn executor_always_terminates() {
+    let mut rng = Xoshiro256::new(0x5150_0003);
+    for _ in 0..CASES {
+        let (grads, _seed) = arb_iteration(&mut rng);
+        let nodes = rng.range_u64(2, 5) as usize;
+        let compressed = rng.bernoulli(0.5);
         let compression = if compressed {
             Some(CompressionSpec::of(
                 Algorithm::Dgc { rate: 0.1 }.build().unwrap().as_ref(),
@@ -134,22 +160,32 @@ proptest! {
         let cluster = ClusterConfig::ec2(nodes);
         for strat in SyncStrategy::all() {
             let graph = strat.build(&cluster, &iter).unwrap();
-            for cfg in [ExecConfig::hipress(), ExecConfig::baseline(), ExecConfig::byteps()] {
+            for cfg in [
+                ExecConfig::hipress(),
+                ExecConfig::baseline(),
+                ExecConfig::byteps(),
+            ] {
                 let stats = Executor::new(cluster, cfg).run(&graph, &iter).unwrap();
-                prop_assert!(stats.makespan_ns > 0);
+                assert!(stats.makespan_ns > 0);
                 for (g, &f) in stats.grad_finish_ns.iter().enumerate() {
-                    prop_assert!(f > 0, "{strat:?}: gradient {g} never finished");
-                    prop_assert!(f <= stats.makespan_ns);
+                    assert!(f > 0, "{strat:?}: gradient {g} never finished");
+                    assert!(f <= stats.makespan_ns);
                 }
             }
         }
     }
+}
 
-    /// Compressing never moves more bytes: the total wire volume under
-    /// compression is at most the raw volume (per strategy, when all
-    /// gradients opt in and are reasonably large).
-    #[test]
-    fn compression_reduces_wire_volume(elems in 2048usize..40_000, nodes in 2usize..6, parts in 1usize..5) {
+/// Compressing never moves more bytes: the total wire volume under
+/// compression is at most the raw volume (per strategy, when all
+/// gradients opt in and are reasonably large).
+#[test]
+fn compression_reduces_wire_volume() {
+    let mut rng = Xoshiro256::new(0x5150_0004);
+    for _ in 0..CASES {
+        let elems = rng.range_u64(2048, 40_000) as usize;
+        let nodes = rng.range_u64(2, 6) as usize;
+        let parts = rng.range_u64(1, 5) as usize;
         let grads = vec![(elems, parts, true)];
         let alg = Algorithm::OneBit;
         let c = alg.build().unwrap();
@@ -167,7 +203,7 @@ proptest! {
                     .map(|t| t.bytes_wire)
                     .sum()
             };
-            prop_assert!(
+            assert!(
                 wire(&cmp) < wire(&raw),
                 "{strat:?}: compressed wire volume must shrink"
             );

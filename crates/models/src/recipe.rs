@@ -47,7 +47,10 @@ pub fn build_sizes(recipe: &Recipe) -> Vec<u64> {
         seed,
     } = *recipe;
     assert!(count >= 1, "a model needs at least one gradient");
-    assert!(max_bytes % 4 == 0 && total_bytes % 4 == 0, "sizes are f32 multiples");
+    assert!(
+        max_bytes % 4 == 0 && total_bytes % 4 == 0,
+        "sizes are f32 multiples"
+    );
     assert!(max_bytes <= total_bytes, "max gradient exceeds total");
     assert!(
         total_bytes >= 4 * count as u64,
@@ -82,7 +85,9 @@ pub fn build_sizes(recipe: &Recipe) -> Vec<u64> {
         "body budget too small for {n_body} gradients"
     );
     if n_body > 0 {
-        let weights: Vec<f64> = (0..n_body).map(|i| ((i + 2) as f64).powf(-BODY_ALPHA)).collect();
+        let weights: Vec<f64> = (0..n_body)
+            .map(|i| ((i + 2) as f64).powf(-BODY_ALPHA))
+            .collect();
         let wsum: f64 = weights.iter().sum();
         // Body layers may grow up to (but not beyond) the documented
         // maximum, so `max_bytes` stays the unique table statistic

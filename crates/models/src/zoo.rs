@@ -293,7 +293,11 @@ fn vgg19_layers() -> Vec<LayerGrad> {
         });
     }
     // Fully connected: 7*7*512 = 25088 -> 4096 -> 4096 -> 1000.
-    let fcs: [(&str, u64, u64); 3] = [("fc6", 25088, 4096), ("fc7", 4096, 4096), ("fc8", 4096, 1000)];
+    let fcs: [(&str, u64, u64); 3] = [
+        ("fc6", 25088, 4096),
+        ("fc7", 4096, 4096),
+        ("fc8", 4096, 1000),
+    ];
     for (name, in_f, out_f) in fcs {
         layers.push(LayerGrad {
             name: format!("vgg19.{name}.weight"),

@@ -1,47 +1,51 @@
-//! Property-based tests for the model zoo and backward schedules.
+//! Exhaustive tests for the model zoo and backward schedules: the
+//! original randomized suite sampled (model, GPU) pairs; the domain
+//! is small enough to sweep completely instead.
 
 use hipress_models::{DnnModel, GpuClass};
-use proptest::prelude::*;
 
-proptest! {
-    /// Backward-pass readiness offsets are monotone (later layers are
-    /// ready earlier), positive, and end exactly at the backward time
-    /// for every model and GPU class.
-    #[test]
-    fn backward_offsets_well_formed(model_idx in 0usize..8, gpu in 0usize..2) {
-        let model = DnnModel::all()[model_idx];
-        let gpu = if gpu == 0 { GpuClass::V100 } else { GpuClass::Gtx1080Ti };
-        let spec = model.spec();
-        let offsets = spec.backward_ready_offsets(gpu);
-        prop_assert_eq!(offsets.len(), spec.num_gradients());
-        for w in offsets.windows(2) {
-            prop_assert!(w[0] >= w[1], "offsets must decrease with depth");
+/// Backward-pass readiness offsets are monotone (later layers are
+/// ready earlier), positive, and end exactly at the backward time
+/// for every model and GPU class.
+#[test]
+fn backward_offsets_well_formed() {
+    for model in DnnModel::all() {
+        for gpu in [GpuClass::V100, GpuClass::Gtx1080Ti] {
+            let spec = model.spec();
+            let offsets = spec.backward_ready_offsets(gpu);
+            assert_eq!(offsets.len(), spec.num_gradients());
+            for w in offsets.windows(2) {
+                assert!(w[0] >= w[1], "offsets must decrease with depth");
+            }
+            let bwd = spec.compute(gpu).backward_ns;
+            assert!(*offsets.last().unwrap() > 0);
+            assert!((offsets[0] as i64 - bwd as i64).abs() <= 2);
         }
-        let bwd = spec.compute(gpu).backward_ns;
-        prop_assert!(*offsets.last().unwrap() > 0);
-        prop_assert!((offsets[0] as i64 - bwd as i64).abs() <= 2);
     }
+}
 
-    /// Model specs never change across calls (full determinism).
-    #[test]
-    fn specs_deterministic(model_idx in 0usize..8) {
-        let model = DnnModel::all()[model_idx];
+/// Model specs never change across calls (full determinism).
+#[test]
+fn specs_deterministic() {
+    for model in DnnModel::all() {
         let a = model.spec();
         let b = model.spec();
-        prop_assert_eq!(a.total_bytes(), b.total_bytes());
-        prop_assert_eq!(&a.layers, &b.layers);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(&a.layers, &b.layers);
     }
+}
 
-    /// Every layer of every model is a positive whole-f32 size and no
-    /// layer exceeds the documented maximum.
-    #[test]
-    fn layer_sizes_sane(model_idx in 0usize..8) {
-        let spec = DnnModel::all()[model_idx].spec();
+/// Every layer of every model is a positive whole-f32 size and no
+/// layer exceeds the documented maximum.
+#[test]
+fn layer_sizes_sane() {
+    for model in DnnModel::all() {
+        let spec = model.spec();
         let max = spec.max_gradient_bytes();
         for layer in &spec.layers {
-            prop_assert!(layer.bytes > 0);
-            prop_assert_eq!(layer.bytes % 4, 0);
-            prop_assert!(layer.bytes <= max);
+            assert!(layer.bytes > 0);
+            assert_eq!(layer.bytes % 4, 0);
+            assert!(layer.bytes <= max);
         }
     }
 }

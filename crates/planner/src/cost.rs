@@ -211,7 +211,12 @@ mod tests {
             .0;
         assert!(best > 0, "partitioning must help a 392 MiB gradient");
         // K=1 is strictly worse than the optimum.
-        assert!(costs[0] > costs[best] * 1.2, "{} vs {}", costs[0], costs[best]);
+        assert!(
+            costs[0] > costs[best] * 1.2,
+            "{} vs {}",
+            costs[0],
+            costs[best]
+        );
     }
 
     #[test]

@@ -164,8 +164,7 @@ mod tests {
     #[test]
     fn none_algorithm_rejected() {
         assert!(
-            Planner::profile(&ClusterConfig::ec2(4), Strategy::CaSyncPs, Algorithm::None)
-                .is_err()
+            Planner::profile(&ClusterConfig::ec2(4), Strategy::CaSyncPs, Algorithm::None).is_err()
         );
     }
 }

@@ -1,59 +1,76 @@
-//! Property-based tests of the selective compression planner.
+//! Randomized tests of the selective compression planner, driven by
+//! the workspace's own deterministic PRNGs.
 
 use hipress_compress::Algorithm;
 use hipress_core::{ClusterConfig, Strategy};
 use hipress_planner::Planner;
-use proptest::prelude::*;
+use hipress_util::rng::{Rng64, Xoshiro256};
+
+const CASES: usize = 16;
 
 fn planner(nodes: usize, strategy: Strategy, alg: Algorithm) -> Planner {
     Planner::profile(&ClusterConfig::ec2(nodes), strategy, alg).expect("profiling succeeds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Plans are always structurally valid: K >= 1 and bounded.
-    #[test]
-    fn plans_are_valid(bytes in 4u64..(1u64 << 30), nodes in 2usize..20) {
-        let bytes = bytes / 4 * 4;
+/// Plans are always structurally valid: K >= 1 and bounded.
+#[test]
+fn plans_are_valid() {
+    let mut rng = Xoshiro256::new(0x71A9_0001);
+    for _ in 0..CASES {
+        let bytes = rng.range_u64(4, 1 << 30) / 4 * 4;
+        let nodes = rng.range_u64(2, 20) as usize;
         for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
             let p = planner(nodes, strategy, Algorithm::OneBit);
             let plan = p.plan_gradient(bytes.max(4));
-            prop_assert!(plan.partitions >= 1);
-            prop_assert!(plan.partitions <= (nodes * 4).clamp(4, 64));
+            assert!(plan.partitions >= 1);
+            assert!(plan.partitions <= (nodes * 4).clamp(4, 64));
         }
     }
+}
 
-    /// The compression decision is monotone in gradient size: if a
-    /// gradient is compressed, every larger gradient is too.
-    #[test]
-    fn decision_monotone_in_size(small in 1024u64..(1 << 22), factor in 2u64..64, nodes in 2usize..17) {
-        let small = small / 4 * 4;
+/// The compression decision is monotone in gradient size: if a
+/// gradient is compressed, every larger gradient is too.
+#[test]
+fn decision_monotone_in_size() {
+    let mut rng = Xoshiro256::new(0x71A9_0002);
+    for _ in 0..CASES {
+        let small = rng.range_u64(1024, 1 << 22) / 4 * 4;
+        let factor = rng.range_u64(2, 64);
+        let nodes = rng.range_u64(2, 17) as usize;
         let large = small * factor;
         let p = planner(nodes, Strategy::CaSyncPs, Algorithm::OneBit);
         if p.plan_gradient(small).compress {
-            prop_assert!(
+            assert!(
                 p.plan_gradient(large).compress,
                 "compressed at {small} but not at {large}"
             );
         }
     }
+}
 
-    /// The predicted compressed-path cost never exceeds raw cost for
-    /// very large gradients (compression must win in the limit).
-    #[test]
-    fn compression_wins_in_the_limit(nodes in 2usize..17) {
+/// The predicted compressed-path cost never exceeds raw cost for
+/// very large gradients (compression must win in the limit).
+#[test]
+fn compression_wins_in_the_limit() {
+    let mut rng = Xoshiro256::new(0x71A9_0003);
+    for _ in 0..CASES {
+        let nodes = rng.range_u64(2, 17) as usize;
         for alg in [Algorithm::OneBit, Algorithm::Dgc { rate: 0.001 }] {
             let p = planner(nodes, Strategy::CaSyncRing, alg);
             let plan = p.plan_gradient(512 << 20);
-            prop_assert!(plan.compress, "{alg:?} at {nodes} nodes");
+            assert!(plan.compress, "{alg:?} at {nodes} nodes");
         }
     }
+}
 
-    /// Eq. 1/2 algebra: predicted costs are positive and increase with
-    /// gradient size at fixed K.
-    #[test]
-    fn costs_increase_with_size(k in 1usize..16, nodes in 2usize..17) {
+/// Eq. 1/2 algebra: predicted costs are positive and increase with
+/// gradient size at fixed K.
+#[test]
+fn costs_increase_with_size() {
+    let mut rng = Xoshiro256::new(0x71A9_0004);
+    for _ in 0..CASES {
+        let k = rng.range_u64(1, 16) as usize;
+        let nodes = rng.range_u64(2, 17) as usize;
         let p = planner(nodes, Strategy::CaSyncPs, Algorithm::OneBit);
         let m = p.cost_model();
         let mut prev_orig = 0.0;
@@ -61,8 +78,8 @@ proptest! {
         for bytes in [1u64 << 16, 1 << 20, 1 << 24, 1 << 28] {
             let o = m.t_sync_orig(bytes, k, nodes);
             let c = m.t_sync_cpr(bytes, k, nodes);
-            prop_assert!(o > prev_orig, "orig cost must grow");
-            prop_assert!(c > prev_cpr, "cpr cost must grow");
+            assert!(o > prev_orig, "orig cost must grow");
+            assert!(c > prev_cpr, "cpr cost must grow");
             prev_orig = o;
             prev_cpr = c;
         }

@@ -1,0 +1,1055 @@
+//! The multi-threaded CaSync execution engine.
+//!
+//! One OS thread per cluster node; `std::sync::mpsc` channels are the
+//! network fabric. Each node runs the paper's task manager (§3.1) for
+//! real: its share of the task DAG, two queues — `Q_comp` for
+//! computing primitives, `Q_commu` for communication primitives — and
+//! dependency-count promotion driven by actual completion events.
+//! Local dependencies are cleared when the node finishes a task;
+//! remote dependencies are cleared by completion messages arriving on
+//! the node's inbox, with `Send` completions carrying the payload
+//! itself (so the message *is* the transfer).
+//!
+//! The dataflow semantics are exactly those of
+//! [`hipress_core::interp`]: the same per-task encode seeds, the same
+//! serial merge chains, the same owner-installs-`decode(encode(sum))`
+//! rule for replica consistency. A graph executed here and in the
+//! discrete-event interpreter produces bit-identical installed
+//! parameters — that cross-validation is what lets the simulator and
+//! the runtime vouch for each other.
+
+use crate::report::RuntimeReport;
+use hipress_compress::Compressor;
+use hipress_core::graph::{Primitive, SendSrc, TaskGraph, TaskId};
+use hipress_core::interp::FlowOutcome;
+use hipress_tensor::Tensor;
+use hipress_util::{Error, Result};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How long a node thread waits on its inbox before declaring the
+/// protocol wedged (a malformed graph, not ordinary slowness).
+const INBOX_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Tuning knobs for the thread engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Group small ready `Encode` tasks into one launch (the batch
+    /// compression optimization of §3.2). Semantically neutral; the
+    /// report counts launches so the batching is observable.
+    pub batch_compression: bool,
+    /// Encodes at or below this raw size are eligible for batching.
+    pub comp_batch_max_task_bytes: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            batch_compression: true,
+            comp_batch_max_task_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// A value on the wire: raw tensor data or a compressed stream.
+#[derive(Debug, Clone)]
+enum Payload {
+    Raw(Vec<f32>),
+    Compressed(Vec<u8>),
+}
+
+impl Payload {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::Raw(v) => (v.len() * 4) as u64,
+            Payload::Compressed(b) => b.len() as u64,
+        }
+    }
+}
+
+/// Inter-node messages: the entire network fabric.
+enum Msg {
+    /// `task` (on some other node) completed. For `Send` tasks the
+    /// payload rides along — the message is the transfer.
+    Done {
+        task: TaskId,
+        payload: Option<Payload>,
+    },
+    /// A peer hit an error; unwind.
+    Abort,
+}
+
+/// Per-chunk node state: the local accumulator and the installed
+/// aggregate.
+#[derive(Debug, Default, Clone)]
+struct Cell {
+    acc: Vec<f32>,
+    updated: Option<Vec<f32>>,
+}
+
+/// Per-flow input tensors, one replica per node — the shape the
+/// interpreter uses.
+pub type Flows = HashMap<u32, Vec<Tensor>>;
+
+/// Per-flow input tensors with one or more local replicas per node
+/// (multiple local GPUs whose gradients are locally aggregated before
+/// synchronization, §3.1).
+pub type ReplicaFlows = HashMap<u32, Vec<Vec<Tensor>>>;
+
+/// The result of one runtime execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Synchronized per-flow, per-node tensors (same shape as the
+    /// interpreter's outcomes).
+    pub flows: Vec<FlowOutcome>,
+    /// Measured wall-clock statistics.
+    pub report: RuntimeReport,
+}
+
+/// Sums each node's replica gradients into one tensor per node, in
+/// replica order — the reference semantics of local aggregation. The
+/// engine performs the same sums internally; this helper produces the
+/// equivalent single-replica input for cross-validation against the
+/// interpreter.
+pub fn sum_replicas(flows: &ReplicaFlows) -> Result<Flows> {
+    let mut out = HashMap::new();
+    for (&f, per_node) in flows {
+        let mut nodes = Vec::with_capacity(per_node.len());
+        for reps in per_node {
+            let first = reps
+                .first()
+                .ok_or_else(|| Error::config(format!("flow {f}: node with zero replicas")))?;
+            let mut acc = first.clone();
+            for r in &reps[1..] {
+                acc.add_assign(r);
+            }
+            nodes.push(acc);
+        }
+        out.insert(f, nodes);
+    }
+    Ok(out)
+}
+
+/// Executes `graph` on `nodes` OS threads with one replica per node.
+///
+/// # Errors
+///
+/// Returns an error for malformed graphs (missing flow data, chunks
+/// that do not tile their flow, decode without a compressor, wedged
+/// protocols) — the same conditions the interpreter rejects.
+pub fn run(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &Flows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+) -> Result<RunOutcome> {
+    let replicated: ReplicaFlows = flows
+        .iter()
+        .map(|(&f, per_node)| (f, per_node.iter().map(|t| vec![t.clone()]).collect()))
+        .collect();
+    run_replicated(graph, nodes, &replicated, compressor, seed, config)
+}
+
+/// Executes `graph` on `nodes` OS threads, locally aggregating each
+/// node's replica gradients at `Source` time.
+///
+/// # Errors
+///
+/// As [`run`], plus mismatched replica shapes.
+pub fn run_replicated(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &ReplicaFlows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+) -> Result<RunOutcome> {
+    let layout = FlowLayout::derive(graph, nodes, flows)?;
+    let plan = NodePlan::derive(graph, nodes);
+
+    let poison = AtomicBool::new(false);
+    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(nodes);
+    let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let started = Instant::now();
+    let mut results: Vec<Result<(HashMap<(u32, u32), Cell>, RuntimeReport)>> = (0..nodes)
+        .map(|_| Err(Error::sim("node never ran")))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nodes);
+        for (node, rx) in rxs.into_iter().enumerate() {
+            let txs: Vec<Sender<Msg>> = txs.clone();
+            let layout = &layout;
+            let plan = &plan;
+            let poison = &poison;
+            handles.push(scope.spawn(move || {
+                let mut worker = NodeWorker {
+                    node,
+                    graph,
+                    flows,
+                    layout,
+                    plan,
+                    compressor,
+                    seed,
+                    config: *config,
+                    rx,
+                    txs,
+                    poison,
+                    pending: plan.pending[node].clone(),
+                    q_comp: VecDeque::new(),
+                    q_commu: VecDeque::new(),
+                    cells: HashMap::new(),
+                    enc_out: HashMap::new(),
+                    dec_out: HashMap::new(),
+                    recv_payload: HashMap::new(),
+                    inbound: HashMap::new(),
+                    done: 0,
+                    report: RuntimeReport::default(),
+                };
+                worker.run()
+            }));
+        }
+        for (node, h) in handles.into_iter().enumerate() {
+            results[node] = h
+                .join()
+                .unwrap_or_else(|_| Err(Error::sim(format!("node {node} thread panicked"))));
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    // Prefer a root-cause error over the "aborted" echoes it causes.
+    let mut aborted = None;
+    let mut cells_per_node = Vec::with_capacity(nodes);
+    let mut report = RuntimeReport {
+        nodes,
+        wall_ns,
+        per_node_busy_ns: vec![0; nodes],
+        ..Default::default()
+    };
+    for (node, r) in results.into_iter().enumerate() {
+        match r {
+            Ok((cells, node_report)) => {
+                report.absorb(&node_report);
+                report.per_node_busy_ns[node] = node_report.total_busy_ns();
+                cells_per_node.push(cells);
+            }
+            Err(e) => {
+                if matches!(&e, Error::Sim(m) if m == "aborted") {
+                    aborted = Some(e);
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = aborted {
+        return Err(e);
+    }
+
+    let flows_out = layout.assemble(&cells_per_node)?;
+    Ok(RunOutcome {
+        flows: flows_out,
+        report,
+    })
+}
+
+/// Chunk geometry shared by the workers and the result assembly.
+struct FlowLayout {
+    nodes: usize,
+    /// (flow, part) → element count.
+    chunk_elems: HashMap<(u32, u32), usize>,
+    /// (flow, part) → start element within the flow.
+    chunk_start: HashMap<(u32, u32), usize>,
+    /// Sorted flow ids.
+    flow_ids: Vec<u32>,
+    /// flow → total elements.
+    flow_len: HashMap<u32, usize>,
+}
+
+impl FlowLayout {
+    fn derive(graph: &TaskGraph, nodes: usize, flows: &ReplicaFlows) -> Result<Self> {
+        let mut chunk_elems: HashMap<(u32, u32), usize> = HashMap::new();
+        for t in graph.tasks() {
+            if t.prim == Primitive::Source {
+                chunk_elems.insert((t.chunk.grad, t.chunk.part), (t.bytes_raw / 4) as usize);
+            }
+        }
+        let mut flow_ids: Vec<u32> = chunk_elems.keys().map(|&(f, _)| f).collect();
+        flow_ids.sort_unstable();
+        flow_ids.dedup();
+        let mut chunk_start = HashMap::new();
+        let mut flow_len = HashMap::new();
+        for &f in &flow_ids {
+            let mut parts: Vec<u32> = chunk_elems
+                .keys()
+                .filter(|(ff, _)| *ff == f)
+                .map(|&(_, p)| p)
+                .collect();
+            parts.sort_unstable();
+            let mut start = 0usize;
+            for p in parts {
+                chunk_start.insert((f, p), start);
+                start += chunk_elems[&(f, p)];
+            }
+            let data = flows
+                .get(&f)
+                .ok_or_else(|| Error::config(format!("missing data for flow {f}")))?;
+            if data.len() != nodes {
+                return Err(Error::config(format!(
+                    "flow {f}: {} node entries for {nodes} nodes",
+                    data.len()
+                )));
+            }
+            for (node, reps) in data.iter().enumerate() {
+                if reps.is_empty() {
+                    return Err(Error::config(format!(
+                        "flow {f}: node {node} has zero replicas"
+                    )));
+                }
+                if reps.iter().any(|r| r.len() != start) {
+                    return Err(Error::sim(format!(
+                        "flow {f}: chunks cover {start} elements but node {node} holds a \
+                         different length"
+                    )));
+                }
+            }
+            flow_len.insert(f, start);
+        }
+        Ok(Self {
+            nodes,
+            chunk_elems,
+            chunk_start,
+            flow_ids,
+            flow_len,
+        })
+    }
+
+    /// Reassembles dense per-flow, per-node tensors from worker cells.
+    fn assemble(&self, cells_per_node: &[HashMap<(u32, u32), Cell>]) -> Result<Vec<FlowOutcome>> {
+        let mut outcomes = Vec::with_capacity(self.flow_ids.len());
+        for &f in &self.flow_ids {
+            let elems = self.flow_len[&f];
+            let mut per_node = Vec::with_capacity(self.nodes);
+            for node in 0..self.nodes {
+                let mut dense = vec![0.0f32; elems];
+                for (&(ff, p), &start) in &self.chunk_start {
+                    if ff != f {
+                        continue;
+                    }
+                    let len = self.chunk_elems[&(ff, p)];
+                    let cell = cells_per_node[node].get(&(ff, p)).ok_or_else(|| {
+                        Error::sim(format!("node {node} never touched chunk ({ff},{p})"))
+                    })?;
+                    let value = cell.updated.as_ref().ok_or_else(|| {
+                        Error::sim(format!("node {node} never updated chunk ({ff},{p})"))
+                    })?;
+                    dense[start..start + len].copy_from_slice(value);
+                }
+                per_node.push(dense);
+            }
+            outcomes.push(FlowOutcome { flow: f, per_node });
+        }
+        Ok(outcomes)
+    }
+}
+
+/// The static execution plan: per-node dependency counts and edge
+/// maps, computed once on the main thread.
+struct NodePlan {
+    /// pending[node][task.0] = unresolved dependency count (only
+    /// meaningful for tasks owned by `node`).
+    pending: Vec<HashMap<u32, usize>>,
+    /// local_dependents[task.0] = same-node tasks depending on it.
+    local_dependents: HashMap<u32, Vec<u32>>,
+    /// remote_notify[task.0] = distinct other nodes hosting dependents.
+    remote_notify: HashMap<u32, Vec<usize>>,
+    /// remote_edges_in[node][remote_task.0] = local dependents.
+    remote_edges_in: Vec<HashMap<u32, Vec<u32>>>,
+    /// Number of tasks each node owns.
+    local_counts: Vec<usize>,
+}
+
+impl NodePlan {
+    fn derive(graph: &TaskGraph, nodes: usize) -> Self {
+        let mut pending: Vec<HashMap<u32, usize>> = vec![HashMap::new(); nodes];
+        let mut local_dependents: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut remote_notify: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut remote_edges_in: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); nodes];
+        let mut local_counts = vec![0usize; nodes];
+        for t in graph.tasks() {
+            local_counts[t.node] += 1;
+            pending[t.node].insert(t.id.0, t.deps.len());
+            for d in &t.deps {
+                let dep_node = graph.task(*d).node;
+                if dep_node == t.node {
+                    local_dependents.entry(d.0).or_default().push(t.id.0);
+                } else {
+                    let notify = remote_notify.entry(d.0).or_default();
+                    if !notify.contains(&t.node) {
+                        notify.push(t.node);
+                    }
+                    remote_edges_in[t.node].entry(d.0).or_default().push(t.id.0);
+                }
+            }
+        }
+        Self {
+            pending,
+            local_dependents,
+            remote_notify,
+            remote_edges_in,
+            local_counts,
+        }
+    }
+}
+
+/// One node's execution state: the per-node task manager.
+struct NodeWorker<'a> {
+    node: usize,
+    graph: &'a TaskGraph,
+    flows: &'a ReplicaFlows,
+    layout: &'a FlowLayout,
+    plan: &'a NodePlan,
+    compressor: Option<&'a dyn Compressor>,
+    seed: u64,
+    config: RuntimeConfig,
+    rx: Receiver<Msg>,
+    txs: Vec<Sender<Msg>>,
+    poison: &'a AtomicBool,
+    /// Remaining dependency counts for local tasks.
+    pending: HashMap<u32, usize>,
+    /// Ready computing tasks (encode/decode/merge/update + source).
+    q_comp: VecDeque<TaskId>,
+    /// Ready communication tasks (send/recv).
+    q_commu: VecDeque<TaskId>,
+    cells: HashMap<(u32, u32), Cell>,
+    enc_out: HashMap<u32, Vec<u8>>,
+    dec_out: HashMap<u32, Vec<f32>>,
+    recv_payload: HashMap<u32, Payload>,
+    /// Payloads delivered by remote `Send` completions, keyed by the
+    /// sending task.
+    inbound: HashMap<u32, Payload>,
+    done: usize,
+    report: RuntimeReport,
+}
+
+impl NodeWorker<'_> {
+    fn run(&mut self) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
+        // Seed the queues with dependency-free local tasks (Sources).
+        let ready: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|&(_, &n)| n == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut ready = ready;
+        ready.sort_unstable(); // Deterministic initial order.
+        for t in ready {
+            self.enqueue(TaskId(t));
+        }
+
+        let total = self.plan.local_counts[self.node];
+        while self.done < total {
+            if self.poison.load(Ordering::Relaxed) {
+                return Err(Error::sim("aborted"));
+            }
+            // Drain the inbox without blocking: completion events
+            // promote tasks into the queues.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(msg) => self.handle(msg)?,
+                    Err(_) => break,
+                }
+            }
+            if let Some(t) = self.next_ready() {
+                if let Err(e) = self.execute(t) {
+                    self.broadcast_abort();
+                    return Err(e);
+                }
+            } else if self.done < total {
+                match self.rx.recv_timeout(INBOX_TIMEOUT) {
+                    Ok(msg) => self.handle(msg)?,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.broadcast_abort();
+                        return Err(Error::sim(format!(
+                            "node {} wedged: {} of {total} tasks done, inbox silent",
+                            self.node, self.done
+                        )));
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.broadcast_abort();
+                        return Err(Error::sim(format!(
+                            "node {}: fabric disconnected with {} of {total} tasks done",
+                            self.node, self.done
+                        )));
+                    }
+                }
+            }
+        }
+        Ok((
+            std::mem::take(&mut self.cells),
+            std::mem::take(&mut self.report),
+        ))
+    }
+
+    fn broadcast_abort(&self) {
+        self.poison.store(true, Ordering::Relaxed);
+        for (n, tx) in self.txs.iter().enumerate() {
+            if n != self.node {
+                let _ = tx.send(Msg::Abort);
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: Msg) -> Result<()> {
+        match msg {
+            Msg::Abort => Err(Error::sim("aborted")),
+            Msg::Done { task, payload } => {
+                if let Some(p) = payload {
+                    self.inbound.insert(task.0, p);
+                }
+                self.report.messages += 1;
+                if let Some(deps) = self.plan.remote_edges_in[self.node].get(&task.0) {
+                    for &d in deps.clone().iter() {
+                        self.resolve_dep(d);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Clears one dependency edge of local task `t`, promoting it into
+    /// its queue when the count reaches zero (Figure 2's promotion).
+    fn resolve_dep(&mut self, t: u32) {
+        let n = self
+            .pending
+            .get_mut(&t)
+            .expect("resolve_dep on a task this node does not own");
+        *n -= 1;
+        if *n == 0 {
+            self.enqueue(TaskId(t));
+        }
+    }
+
+    fn enqueue(&mut self, t: TaskId) {
+        let prim = self.graph.task(t).prim;
+        if prim == Primitive::Send || prim == Primitive::Recv {
+            self.q_commu.push_back(t);
+        } else {
+            self.q_comp.push_back(t);
+        }
+    }
+
+    /// Communication first: a completed send unblocks another node,
+    /// which is what keeps the pipeline full.
+    fn next_ready(&mut self) -> Option<TaskId> {
+        self.q_commu.pop_front().or_else(|| self.q_comp.pop_front())
+    }
+
+    /// Finds the transitive dependency of `id` matching `pred`,
+    /// looking through zero-cost barriers (mirrors the interpreter).
+    fn find_dep(&self, id: TaskId, pred: impl Fn(Primitive) -> bool) -> Option<TaskId> {
+        let mut stack: Vec<TaskId> = self.graph.task(id).deps.clone();
+        while let Some(d) = stack.pop() {
+            let dt = self.graph.task(d);
+            if pred(dt.prim) {
+                return Some(d);
+            }
+            if dt.prim == Primitive::Barrier {
+                stack.extend(dt.deps.iter().copied());
+            }
+        }
+        None
+    }
+
+    fn compressor(&self) -> Result<&dyn Compressor> {
+        self.compressor
+            .ok_or_else(|| Error::sim("codec task without a compressor"))
+    }
+
+    fn execute(&mut self, id: TaskId) -> Result<()> {
+        let prim = self.graph.task(id).prim;
+        // Batch compression: gather other ready small encodes so the
+        // group runs as one launch.
+        if prim == Primitive::Encode
+            && self.config.batch_compression
+            && self.graph.task(id).bytes_raw <= self.config.comp_batch_max_task_bytes
+        {
+            let mut batch = vec![id];
+            let mut rest = VecDeque::new();
+            while let Some(t) = self.q_comp.pop_front() {
+                let n = self.graph.task(t);
+                if n.prim == Primitive::Encode
+                    && n.bytes_raw <= self.config.comp_batch_max_task_bytes
+                {
+                    batch.push(t);
+                } else {
+                    rest.push_back(t);
+                }
+            }
+            self.q_comp = rest;
+            self.report.comp_batch_launches += 1;
+            for t in batch {
+                self.execute_one(t)?;
+            }
+            return Ok(());
+        }
+        self.execute_one(id)
+    }
+
+    fn execute_one(&mut self, id: TaskId) -> Result<()> {
+        let started = Instant::now();
+        let t = self.graph.task(id);
+        debug_assert_eq!(t.node, self.node, "task scheduled on the wrong node");
+        let key = (t.chunk.grad, t.chunk.part);
+        let mut outbound: Option<Payload> = None;
+        match t.prim {
+            Primitive::Source => {
+                let start = self.layout.chunk_start[&key];
+                let len = (t.bytes_raw / 4) as usize;
+                let reps = &self.flows[&t.chunk.grad][self.node];
+                let mut acc = reps[0].as_slice()[start..start + len].to_vec();
+                if reps.len() > 1 {
+                    let agg_started = Instant::now();
+                    for r in &reps[1..] {
+                        let slice = &r.as_slice()[start..start + len];
+                        for (a, &b) in acc.iter_mut().zip(slice) {
+                            *a += b;
+                        }
+                    }
+                    self.report.local_agg_ns += agg_started.elapsed().as_nanos() as u64;
+                }
+                self.cells.entry(key).or_default().acc = acc;
+            }
+            Primitive::Encode => {
+                let c = self.compressor()?;
+                let cell = self
+                    .cells
+                    .get(&key)
+                    .ok_or_else(|| Error::sim("encode before source"))?;
+                // Identical per-task seed derivation to the
+                // interpreter — required for bit-level equivalence.
+                let task_seed = self.seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let bytes = c.encode(&cell.acc, task_seed);
+                self.enc_out.insert(id.0, bytes);
+            }
+            Primitive::Decode => {
+                let c = self.compressor()?;
+                let recv = self
+                    .find_dep(id, |p| p == Primitive::Recv)
+                    .ok_or_else(|| Error::sim("decode without a recv dependency"))?;
+                match self.recv_payload.get(&recv.0) {
+                    Some(Payload::Compressed(bytes)) => {
+                        let out = c.decode(bytes)?;
+                        self.dec_out.insert(id.0, out);
+                    }
+                    Some(Payload::Raw(_)) => {
+                        return Err(Error::sim("decode of a raw payload"));
+                    }
+                    None => return Err(Error::sim("decode before recv delivered")),
+                }
+            }
+            Primitive::Merge => {
+                let contribution: Vec<f32> =
+                    if let Some(d) = self.find_dep(id, |p| p == Primitive::Decode) {
+                        self.dec_out
+                            .get(&d.0)
+                            .cloned()
+                            .ok_or_else(|| Error::sim("merge before decode"))?
+                    } else if let Some(r) = self.find_dep(id, |p| p == Primitive::Recv) {
+                        match self.recv_payload.get(&r.0) {
+                            Some(Payload::Raw(v)) => v.clone(),
+                            Some(Payload::Compressed(_)) => {
+                                return Err(Error::sim("raw merge of compressed payload"));
+                            }
+                            None => return Err(Error::sim("merge before recv delivered")),
+                        }
+                    } else {
+                        return Err(Error::sim("merge with nothing to merge"));
+                    };
+                let cell = self
+                    .cells
+                    .get_mut(&key)
+                    .ok_or_else(|| Error::sim("merge with no accumulator"))?;
+                if contribution.len() != cell.acc.len() {
+                    return Err(Error::sim("merge length mismatch"));
+                }
+                for (a, b) in cell.acc.iter_mut().zip(contribution) {
+                    *a += b;
+                }
+            }
+            Primitive::Send => {
+                let payload = match t.send_src {
+                    SendSrc::Raw => {
+                        let cell = self
+                            .cells
+                            .get(&key)
+                            .ok_or_else(|| Error::sim("raw send with no state"))?;
+                        Payload::Raw(cell.acc.clone())
+                    }
+                    SendSrc::Encoded => {
+                        let e = self
+                            .find_dep(id, |p| p == Primitive::Encode)
+                            .ok_or_else(|| Error::sim("encoded send without encode"))?;
+                        Payload::Compressed(
+                            self.enc_out
+                                .get(&e.0)
+                                .cloned()
+                                .ok_or_else(|| Error::sim("send before encode ran"))?,
+                        )
+                    }
+                    SendSrc::Forward => {
+                        let r = self
+                            .find_dep(id, |p| p == Primitive::Recv)
+                            .ok_or_else(|| Error::sim("forward without recv"))?;
+                        self.recv_payload
+                            .get(&r.0)
+                            .cloned()
+                            .ok_or_else(|| Error::sim("forward before recv delivered"))?
+                    }
+                };
+                self.report.bytes_wire += payload.wire_bytes();
+                self.report.bytes_raw += t.bytes_raw;
+                outbound = Some(payload);
+            }
+            Primitive::Recv => {
+                let send = self
+                    .find_dep(id, |p| p == Primitive::Send)
+                    .ok_or_else(|| Error::sim("recv without its send"))?;
+                let payload = self
+                    .inbound
+                    .remove(&send.0)
+                    .ok_or_else(|| Error::sim("recv promoted before its payload arrived"))?;
+                self.recv_payload.insert(id.0, payload);
+            }
+            Primitive::Barrier => {}
+            Primitive::Update => {
+                let value: Vec<f32> = if let Some(d) = self.find_dep(id, |p| p == Primitive::Decode)
+                {
+                    self.dec_out
+                        .get(&d.0)
+                        .cloned()
+                        .ok_or_else(|| Error::sim("update before decode"))?
+                } else if let Some(r) = self.find_dep(id, |p| p == Primitive::Recv) {
+                    match self.recv_payload.get(&r.0) {
+                        Some(Payload::Raw(v)) => v.clone(),
+                        Some(Payload::Compressed(_)) => {
+                            return Err(Error::sim("raw update of compressed payload"));
+                        }
+                        None => return Err(Error::sim("update before recv delivered")),
+                    }
+                } else if let Some(e) = self.find_dep(id, |p| p == Primitive::Encode) {
+                    // Replica consistency: the aggregate's owner
+                    // installs the reconstruction of the bytes it
+                    // disseminated, exactly as every decoding replica
+                    // will.
+                    let c = self.compressor()?;
+                    let bytes = self
+                        .enc_out
+                        .get(&e.0)
+                        .ok_or_else(|| Error::sim("update before encode ran"))?;
+                    c.decode(bytes)?
+                } else {
+                    self.cells
+                        .get(&key)
+                        .ok_or_else(|| Error::sim("update with no state"))?
+                        .acc
+                        .clone()
+                };
+                let cell = self
+                    .cells
+                    .get_mut(&key)
+                    .ok_or_else(|| Error::sim("update with no state"))?;
+                if value.len() != cell.acc.len() {
+                    return Err(Error::sim("update length mismatch"));
+                }
+                cell.acc = value.clone();
+                cell.updated = Some(value);
+            }
+        }
+        let ns = started.elapsed().as_nanos() as u64;
+        self.report.prim_mut(t.prim).record(ns);
+        self.finish(id, outbound);
+        Ok(())
+    }
+
+    /// Marks `id` complete: clears local dependents' edges and ships
+    /// completion events (with payloads for sends) to remote nodes.
+    fn finish(&mut self, id: TaskId, payload: Option<Payload>) {
+        self.done += 1;
+        if let Some(deps) = self.plan.local_dependents.get(&id.0) {
+            for &d in deps.clone().iter() {
+                self.resolve_dep(d);
+            }
+        }
+        if let Some(nodes) = self.plan.remote_notify.get(&id.0) {
+            for &n in nodes {
+                // A dropped receiver means that node already failed;
+                // the poison flag will surface the root cause.
+                let _ = self.txs[n].send(Msg::Done {
+                    task: id,
+                    payload: payload.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipress_compress::Algorithm;
+    use hipress_core::interp::{gradient_flows, interpret, reference_sum};
+    use hipress_core::plan::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
+    use hipress_core::{ClusterConfig, Strategy};
+    use hipress_tensor::synth::{generate, GradientShape};
+
+    fn worker_grads(nodes: usize, sizes: &[usize]) -> Vec<Vec<Tensor>> {
+        (0..nodes)
+            .map(|w| {
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &n)| {
+                        generate(
+                            n,
+                            GradientShape::Gaussian { std_dev: 1.0 },
+                            (w * 1000 + g) as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn iter_spec(sizes: &[usize], alg: Option<Algorithm>, k: usize) -> IterationSpec {
+        IterationSpec {
+            gradients: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| SyncGradient {
+                    name: format!("g{i}"),
+                    bytes: (n * 4) as u64,
+                    ready_offset_ns: 0,
+                    plan: GradPlan {
+                        compress: true,
+                        partitions: k,
+                    },
+                })
+                .collect(),
+            compression: alg.map(|a| CompressionSpec::of(a.build().unwrap().as_ref())),
+        }
+    }
+
+    #[test]
+    fn uncompressed_threads_compute_exact_sum() {
+        let nodes = 4;
+        let sizes = [100usize, 257, 31];
+        let grads = worker_grads(nodes, &sizes);
+        let iter = iter_spec(&sizes, None, 3);
+        let cluster = ClusterConfig::ec2(nodes);
+        for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let graph = strat.build(&cluster, &iter).unwrap();
+            let flows = gradient_flows(&grads);
+            let out = run(&graph, nodes, &flows, None, 7, &RuntimeConfig::default()).unwrap();
+            for o in &out.flows {
+                assert!(o.replicas_consistent(), "{strat:?} flow {}", o.flow);
+                let reference = reference_sum(&flows[&o.flow]);
+                assert!(o.max_abs_error(&reference) < 1e-4, "{strat:?}");
+            }
+            assert_eq!(out.report.nodes, nodes);
+            assert!(out.report.wall_ns > 0);
+            assert!(out.report.bytes_wire > 0);
+        }
+    }
+
+    #[test]
+    fn threads_match_interpreter_bit_for_bit() {
+        let nodes = 3;
+        let sizes = [512usize, 64];
+        let grads = worker_grads(nodes, &sizes);
+        for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            for alg in [
+                Algorithm::OneBit,
+                Algorithm::TernGrad { bitwidth: 2 },
+                Algorithm::Dgc { rate: 0.1 },
+            ] {
+                let iter = iter_spec(&sizes, Some(alg), 2);
+                let cluster = ClusterConfig::ec2(nodes);
+                let graph = strat.build(&cluster, &iter).unwrap();
+                let c = alg.build().unwrap();
+                let flows = gradient_flows(&grads);
+                let sim = interpret(&graph, nodes, &flows, Some(c.as_ref()), 11).unwrap();
+                let rt = run(
+                    &graph,
+                    nodes,
+                    &flows,
+                    Some(c.as_ref()),
+                    11,
+                    &RuntimeConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(sim.len(), rt.flows.len());
+                for (a, b) in sim.iter().zip(&rt.flows) {
+                    assert_eq!(a.flow, b.flow);
+                    assert_eq!(a.per_node, b.per_node, "{strat:?} {} diverged", c.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_aggregation_sums_replicas() {
+        let nodes = 2;
+        let elems = 96usize;
+        // Two local replicas per node.
+        let replicated: ReplicaFlows = HashMap::from([(
+            0u32,
+            (0..nodes)
+                .map(|w| {
+                    (0..2)
+                        .map(|r| {
+                            generate(
+                                elems,
+                                GradientShape::Gaussian { std_dev: 1.0 },
+                                (w * 10 + r) as u64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        )]);
+        let iter = iter_spec(&[elems], None, 1);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncPs.build(&cluster, &iter).unwrap();
+        let out = run_replicated(
+            &graph,
+            nodes,
+            &replicated,
+            None,
+            3,
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        // Equivalent single-replica input through the interpreter.
+        let summed = sum_replicas(&replicated).unwrap();
+        let sim = interpret(&graph, nodes, &summed, None, 3).unwrap();
+        assert_eq!(out.flows[0].per_node, sim[0].per_node);
+        assert!(out.report.local_agg_ns > 0);
+    }
+
+    #[test]
+    fn batch_compression_is_semantically_neutral() {
+        let nodes = 3;
+        let sizes = [2048usize];
+        let grads = worker_grads(nodes, &sizes);
+        let iter = iter_spec(&sizes, Some(Algorithm::OneBit), 4);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncPs.build(&cluster, &iter).unwrap();
+        let c = Algorithm::OneBit.build().unwrap();
+        let flows = gradient_flows(&grads);
+        let batched = run(
+            &graph,
+            nodes,
+            &flows,
+            Some(c.as_ref()),
+            5,
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        let unbatched = run(
+            &graph,
+            nodes,
+            &flows,
+            Some(c.as_ref()),
+            5,
+            &RuntimeConfig {
+                batch_compression: false,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(batched.flows[0].per_node, unbatched.flows[0].per_node);
+        assert!(batched.report.comp_batch_launches > 0);
+        assert_eq!(unbatched.report.comp_batch_launches, 0);
+        assert_eq!(
+            batched.report.encode.count, unbatched.report.encode.count,
+            "batching must not change how many encodes run"
+        );
+    }
+
+    #[test]
+    fn compressed_run_moves_fewer_bytes() {
+        let nodes = 4;
+        let sizes = [1 << 14];
+        let grads = worker_grads(nodes, &sizes);
+        let cluster = ClusterConfig::ec2(nodes);
+        let raw_iter = iter_spec(&sizes, None, 2);
+        let cmp_iter = iter_spec(&sizes, Some(Algorithm::OneBit), 2);
+        let flows = gradient_flows(&grads);
+        let raw_graph = Strategy::CaSyncRing.build(&cluster, &raw_iter).unwrap();
+        let cmp_graph = Strategy::CaSyncRing.build(&cluster, &cmp_iter).unwrap();
+        let c = Algorithm::OneBit.build().unwrap();
+        let raw = run(
+            &raw_graph,
+            nodes,
+            &flows,
+            None,
+            1,
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        let cmp = run(
+            &cmp_graph,
+            nodes,
+            &flows,
+            Some(c.as_ref()),
+            1,
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            cmp.report.bytes_wire < raw.report.bytes_wire / 8,
+            "onebit wire volume must collapse: {} vs {}",
+            cmp.report.bytes_wire,
+            raw.report.bytes_wire
+        );
+        assert!(cmp.report.compression_savings() > 8.0);
+        assert!((raw.report.compression_savings() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_flow_data_is_rejected() {
+        let nodes = 2;
+        let iter = iter_spec(&[64], None, 1);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncPs.build(&cluster, &iter).unwrap();
+        let empty: Flows = HashMap::new();
+        assert!(run(&graph, nodes, &empty, None, 0, &RuntimeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn codec_graph_without_compressor_aborts_cleanly() {
+        let nodes = 3;
+        let sizes = [256usize];
+        let grads = worker_grads(nodes, &sizes);
+        let iter = iter_spec(&sizes, Some(Algorithm::OneBit), 1);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncPs.build(&cluster, &iter).unwrap();
+        let flows = gradient_flows(&grads);
+        // Compressed graph, no compressor: every node must unwind, not
+        // deadlock.
+        let err = run(&graph, nodes, &flows, None, 0, &RuntimeConfig::default());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! CaSync-RT: a real multi-threaded execution engine for the CaSync
+//! gradient-synchronization protocol.
+//!
+//! The rest of the workspace *simulates* CaSync: the discrete-event
+//! executor charges modelled costs against virtual clocks, and the
+//! interpreter in [`hipress_core::interp`] checks dataflow semantics
+//! one task at a time. This crate *executes* it: one OS thread per
+//! cluster node, `std::sync::mpsc` channels as the network fabric,
+//! and the actual `hipress-compress` codecs encoding, merging, and
+//! decoding real `f32` gradients. Each node thread runs the paper's
+//! task manager — two ready queues (computing vs. communication) fed
+//! by dependency-count promotion on completion events.
+//!
+//! The engine and the interpreter are cross-validated bit for bit:
+//! the same graph, inputs, and seed produce byte-identical installed
+//! parameters on every replica under both executions, for every
+//! compression algorithm on both CaSync-PS and CaSync-Ring. That
+//! equivalence is what licenses trusting the simulator's timing
+//! studies and the runtime's wall-clock measurements as two views of
+//! one system.
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{
+    run, run_replicated, sum_replicas, Flows, ReplicaFlows, RunOutcome, RuntimeConfig,
+};
+pub use report::{PrimStat, RuntimeReport};
+
+/// Which machinery executes a synchronization graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The single-threaded semantic interpreter (reference
+    /// semantics, no wall-clock measurement).
+    Simulator,
+    /// The thread engine with one OS thread per node; the value is
+    /// the node count and must match the number of workers.
+    Threads(usize),
+}

@@ -1,0 +1,255 @@
+//! Wall-clock execution reports for the thread runtime.
+//!
+//! Unlike [`hipress_core::ExecStats`] — which reports *simulated*
+//! nanoseconds derived from cost models — everything in a
+//! [`RuntimeReport`] is measured with `std::time::Instant` on real
+//! hardware: how long the five primitives actually took, how many
+//! bytes actually crossed the channel fabric, and how that compares
+//! to an uncompressed run.
+
+use hipress_core::Primitive;
+use std::fmt;
+
+/// Count and cumulative busy time for one primitive kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrimStat {
+    /// Number of task executions.
+    pub count: u64,
+    /// Total wall-clock busy nanoseconds across all nodes.
+    pub busy_ns: u64,
+}
+
+impl PrimStat {
+    /// Accumulates another stat into this one.
+    pub fn absorb(&mut self, other: PrimStat) {
+        self.count += other.count;
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// Records one execution of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.busy_ns += ns;
+    }
+}
+
+/// Measured wall-clock statistics for one runtime execution.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeReport {
+    /// Number of node threads that executed the graph.
+    pub nodes: usize,
+    /// End-to-end wall-clock time (spawn to last join), ns.
+    pub wall_ns: u64,
+    /// Per-primitive execution statistics, summed across nodes.
+    pub source: PrimStat,
+    /// Encode (compression kernel) statistics.
+    pub encode: PrimStat,
+    /// Decode (decompression kernel) statistics.
+    pub decode: PrimStat,
+    /// Merge (aggregation) statistics.
+    pub merge: PrimStat,
+    /// Send statistics (payload extraction + channel push).
+    pub send: PrimStat,
+    /// Recv statistics (payload hand-off).
+    pub recv: PrimStat,
+    /// Update (parameter install) statistics.
+    pub update: PrimStat,
+    /// Time spent summing local replica gradients (local aggregation,
+    /// §3.1); zero when every node holds a single replica.
+    pub local_agg_ns: u64,
+    /// Bytes actually moved through the channel fabric.
+    pub bytes_wire: u64,
+    /// Bytes the same sends would have moved uncompressed.
+    pub bytes_raw: u64,
+    /// Messages delivered between node threads.
+    pub messages: u64,
+    /// Batched codec launches performed (batch compression, §3.2).
+    pub comp_batch_launches: u64,
+    /// Per-node total busy ns (all primitives).
+    pub per_node_busy_ns: Vec<u64>,
+}
+
+impl RuntimeReport {
+    /// The stat bucket for a primitive kind (Barrier maps to `source`,
+    /// whose cost is ~zero, to keep the accessor total).
+    pub fn prim(&self, p: Primitive) -> &PrimStat {
+        match p {
+            Primitive::Source | Primitive::Barrier => &self.source,
+            Primitive::Encode => &self.encode,
+            Primitive::Decode => &self.decode,
+            Primitive::Merge => &self.merge,
+            Primitive::Send => &self.send,
+            Primitive::Recv => &self.recv,
+            Primitive::Update => &self.update,
+        }
+    }
+
+    /// Mutable access to the stat bucket for a primitive kind.
+    pub(crate) fn prim_mut(&mut self, p: Primitive) -> &mut PrimStat {
+        match p {
+            Primitive::Source | Primitive::Barrier => &mut self.source,
+            Primitive::Encode => &mut self.encode,
+            Primitive::Decode => &mut self.decode,
+            Primitive::Merge => &mut self.merge,
+            Primitive::Send => &mut self.send,
+            Primitive::Recv => &mut self.recv,
+            Primitive::Update => &mut self.update,
+        }
+    }
+
+    /// Merges a per-node report into this aggregate.
+    pub fn absorb(&mut self, other: &RuntimeReport) {
+        self.source.absorb(other.source);
+        self.encode.absorb(other.encode);
+        self.decode.absorb(other.decode);
+        self.merge.absorb(other.merge);
+        self.send.absorb(other.send);
+        self.recv.absorb(other.recv);
+        self.update.absorb(other.update);
+        self.local_agg_ns += other.local_agg_ns;
+        self.bytes_wire += other.bytes_wire;
+        self.bytes_raw += other.bytes_raw;
+        self.messages += other.messages;
+        self.comp_batch_launches += other.comp_batch_launches;
+    }
+
+    /// Wire-volume reduction factor: raw bytes divided by bytes
+    /// actually moved (1.0 when nothing was compressed).
+    pub fn compression_savings(&self) -> f64 {
+        if self.bytes_wire == 0 {
+            return 1.0;
+        }
+        self.bytes_raw as f64 / self.bytes_wire as f64
+    }
+
+    /// Wall-clock speedup of this run relative to `baseline`
+    /// (> 1.0 means this run was faster).
+    pub fn speedup_vs(&self, baseline: &RuntimeReport) -> f64 {
+        if self.wall_ns == 0 {
+            return 1.0;
+        }
+        baseline.wall_ns as f64 / self.wall_ns as f64
+    }
+
+    /// Total busy time across primitives and nodes.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.source.busy_ns
+            + self.encode.busy_ns
+            + self.decode.busy_ns
+            + self.merge.busy_ns
+            + self.send.busy_ns
+            + self.recv.busy_ns
+            + self.update.busy_ns
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RuntimeReport: {} node threads, wall {}",
+            self.nodes,
+            fmt_ns(self.wall_ns)
+        )?;
+        writeln!(f, "  {:<10} {:>8} {:>12}", "primitive", "count", "busy")?;
+        for (name, s) in [
+            ("source", self.source),
+            ("encode", self.encode),
+            ("decode", self.decode),
+            ("merge", self.merge),
+            ("send", self.send),
+            ("recv", self.recv),
+            ("update", self.update),
+        ] {
+            if s.count > 0 {
+                writeln!(f, "  {:<10} {:>8} {:>12}", name, s.count, fmt_ns(s.busy_ns))?;
+            }
+        }
+        if self.local_agg_ns > 0 {
+            writeln!(f, "  local aggregation: {}", fmt_ns(self.local_agg_ns))?;
+        }
+        writeln!(
+            f,
+            "  wire: {} moved ({} raw equivalent, {:.1}x reduction), {} messages",
+            fmt_bytes(self.bytes_wire),
+            fmt_bytes(self.bytes_raw),
+            self.compression_savings(),
+            self.messages
+        )?;
+        if self.comp_batch_launches > 0 {
+            writeln!(f, "  batched codec launches: {}", self.comp_batch_launches)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RuntimeReport::default();
+        let mut b = RuntimeReport::default();
+        b.encode.record(100);
+        b.encode.record(50);
+        b.bytes_wire = 10;
+        b.bytes_raw = 100;
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.encode.count, 4);
+        assert_eq!(a.encode.busy_ns, 300);
+        assert_eq!(a.bytes_wire, 20);
+        assert!((a.compression_savings() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = RuntimeReport {
+            wall_ns: 100,
+            ..Default::default()
+        };
+        let slow = RuntimeReport {
+            wall_ns: 300,
+            ..Default::default()
+        };
+        assert!((fast.speedup_vs(&slow) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut r = RuntimeReport {
+            nodes: 4,
+            wall_ns: 1_500_000,
+            ..Default::default()
+        };
+        r.encode.record(10_000);
+        r.bytes_wire = 4096;
+        r.bytes_raw = 65536;
+        let s = r.to_string();
+        assert!(s.contains("4 node threads"));
+        assert!(s.contains("encode"));
+    }
+}

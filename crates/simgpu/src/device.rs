@@ -79,8 +79,7 @@ impl DeviceSpec {
     /// Roofline kernel time: launch overhead plus `passes` full
     /// memory sweeps over `bytes`.
     pub fn kernel_ns(&self, passes: f64, bytes: u64) -> u64 {
-        let sweep = (bytes as f64 * passes / self.effective_bandwidth.as_bytes_per_sec()
-            * 1e9)
+        let sweep = (bytes as f64 * passes / self.effective_bandwidth.as_bytes_per_sec() * 1e9)
             .ceil() as u64;
         self.kernel_launch_ns + sweep
     }
@@ -296,7 +295,10 @@ mod tests {
         let mut gpu = GpuDevice::new(DeviceSpec::v100(), 2);
         gpu.launch(SimTime::ZERO, StreamId(0), 1.0, 0);
         gpu.launch(SimTime::ZERO, StreamId(1), 1.0, 0);
-        assert_eq!(gpu.kernel_busy_ns(), 2 * DeviceSpec::v100().kernel_launch_ns);
+        assert_eq!(
+            gpu.kernel_busy_ns(),
+            2 * DeviceSpec::v100().kernel_launch_ns
+        );
     }
 
     #[test]

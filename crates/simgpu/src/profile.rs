@@ -49,12 +49,7 @@ impl CompressionProfile {
     /// output, so its per-original-byte cost uses
     /// `decode_passes × ratio + 1` sweeps (one full write pass of the
     /// dense output).
-    pub fn measure(
-        spec: &DeviceSpec,
-        encode_passes: f64,
-        decode_passes: f64,
-        ratio: f64,
-    ) -> Self {
+    pub fn measure(spec: &DeviceSpec, encode_passes: f64, decode_passes: f64, ratio: f64) -> Self {
         let sizes = default_sizes();
         let encode = profile_kernel(spec, encode_passes, &sizes);
         let decode = profile_kernel(spec, decode_passes * ratio + 1.0, &sizes);

@@ -99,7 +99,10 @@ impl Fabric {
     /// (local aggregation handles intra-node traffic).
     pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> TransferPlan {
         assert_ne!(src, dst, "intra-node traffic must not use the fabric");
-        let latency = self.nics[src.0].spec.latency_ns.max(self.nics[dst.0].spec.latency_ns);
+        let latency = self.nics[src.0]
+            .spec
+            .latency_ns
+            .max(self.nics[dst.0].spec.latency_ns);
         let up_bw = self.nics[src.0].spec.bandwidth;
         let down_bw = self.nics[dst.0].spec.bandwidth;
         let rate = if up_bw.as_bytes_per_sec() <= down_bw.as_bytes_per_sec() {
@@ -146,7 +149,10 @@ impl Fabric {
     /// transfer of `bytes` between two nodes would take. This is the
     /// `T_send(m)` of the paper's cost model (Table 2).
     pub fn isolated_transfer_ns(&self, src: NodeId, dst: NodeId, bytes: u64) -> u64 {
-        let latency = self.nics[src.0].spec.latency_ns.max(self.nics[dst.0].spec.latency_ns);
+        let latency = self.nics[src.0]
+            .spec
+            .latency_ns
+            .max(self.nics[dst.0].spec.latency_ns);
         let up = self.nics[src.0].spec.bandwidth;
         let down = self.nics[dst.0].spec.bandwidth;
         let rate = if up.as_bytes_per_sec() <= down.as_bytes_per_sec() {
@@ -223,10 +229,22 @@ mod tests {
         let mut f = fabric(3);
         assert!(f.link_idle(SimTime::ZERO, NodeId(0), NodeId(1)));
         f.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 12_500_000);
-        assert!(!f.link_idle(SimTime::from_ns(10), NodeId(0), NodeId(2)), "uplink busy");
-        assert!(!f.link_idle(SimTime::from_ns(10), NodeId(2), NodeId(1)), "downlink busy");
-        assert!(f.link_idle(SimTime::from_ns(10), NodeId(2), NodeId(0)), "reverse path free");
-        assert!(f.link_idle(SimTime::from_ms(2), NodeId(0), NodeId(2)), "free after drain");
+        assert!(
+            !f.link_idle(SimTime::from_ns(10), NodeId(0), NodeId(2)),
+            "uplink busy"
+        );
+        assert!(
+            !f.link_idle(SimTime::from_ns(10), NodeId(2), NodeId(1)),
+            "downlink busy"
+        );
+        assert!(
+            f.link_idle(SimTime::from_ns(10), NodeId(2), NodeId(0)),
+            "reverse path free"
+        );
+        assert!(
+            f.link_idle(SimTime::from_ms(2), NodeId(0), NodeId(2)),
+            "free after drain"
+        );
     }
 
     #[test]

@@ -114,8 +114,12 @@ mod tests {
         let t = generate(200_000, GradientShape::Gaussian { std_dev: 0.5 }, 1);
         let mean: f64 = t.as_slice().iter().map(|&x| x as f64).sum::<f64>() / t.len() as f64;
         assert!(mean.abs() < 0.01);
-        let var: f64 =
-            t.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / t.len() as f64;
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!((var - 0.25).abs() < 0.01);
     }
 

@@ -224,8 +224,12 @@ mod tests {
         let mut rng = SplitMix64::new(42);
         t.fill_gaussian(&mut rng, 2.0);
         let mean: f64 = t.as_slice().iter().map(|&x| x as f64).sum::<f64>() / t.len() as f64;
-        let var: f64 =
-            t.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / t.len() as f64;
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / t.len() as f64;
         assert!(mean.abs() < 0.05);
         assert!((var - 4.0).abs() < 0.15);
     }

@@ -7,25 +7,82 @@ use hipress_train::{simulate, TrainingJob};
 fn main() {
     let ec2 = ClusterConfig::ec2(16);
     let rows = [
-        ("Ring  Transformer raw   ", TrainingJob::baseline(DnnModel::Transformer, ec2, Strategy::HorovodRing)),
-        ("Ring  Transformer DGC   ", TrainingJob::baseline(DnnModel::Transformer, ec2, Strategy::HorovodRing).with_algorithm(Algorithm::Dgc{rate:0.001})),
-        ("BytePS Bert-large raw   ", TrainingJob::baseline(DnnModel::BertLarge, ec2.with_tcp(), Strategy::BytePs)),
-        ("BytePS Bert-large onebit", TrainingJob::baseline(DnnModel::BertLarge, ec2.with_tcp(), Strategy::BytePs).with_algorithm(Algorithm::OneBit)),
-        ("HiPress Bert-large PS   ", TrainingJob::hipress(DnnModel::BertLarge, ec2, Strategy::CaSyncPs)),
-        ("HiPress Transformer Ring", TrainingJob::hipress(DnnModel::Transformer, ec2, Strategy::CaSyncRing).with_algorithm(Algorithm::Dgc{rate:0.001})),
-        ("Ring  VGG19 raw         ", TrainingJob::baseline(DnnModel::Vgg19, ec2, Strategy::HorovodRing)),
-        ("BytePS VGG19 raw        ", TrainingJob::baseline(DnnModel::Vgg19, ec2.with_tcp(), Strategy::BytePs)),
-        ("HiPress VGG19 PS onebit ", TrainingJob::hipress(DnnModel::Vgg19, ec2, Strategy::CaSyncPs)),
-        ("BytePS VGG19 onebit     ", TrainingJob::baseline(DnnModel::Vgg19, ec2.with_tcp(), Strategy::BytePs).with_algorithm(Algorithm::OneBit)),
-        ("Ring  Bert-large raw    ", TrainingJob::baseline(DnnModel::BertLarge, ec2, Strategy::HorovodRing)),
-        ("HiPress VGG19 Ring      ", TrainingJob::hipress(DnnModel::Vgg19, ec2, Strategy::CaSyncRing)),
-        ("Ring  ResNet50 raw      ", TrainingJob::baseline(DnnModel::ResNet50, ec2, Strategy::HorovodRing)),
-        ("Ring  ResNet50 OSS-DGC  ", TrainingJob::baseline(DnnModel::ResNet50, ec2, Strategy::HorovodRing).with_algorithm(Algorithm::Dgc{rate:0.001})),
-        ("HiPress ResNet50 Ring   ", TrainingJob::hipress(DnnModel::ResNet50, ec2, Strategy::CaSyncRing).with_algorithm(Algorithm::Dgc{rate:0.001})),
+        (
+            "Ring  Transformer raw   ",
+            TrainingJob::baseline(DnnModel::Transformer, ec2, Strategy::HorovodRing),
+        ),
+        (
+            "Ring  Transformer DGC   ",
+            TrainingJob::baseline(DnnModel::Transformer, ec2, Strategy::HorovodRing)
+                .with_algorithm(Algorithm::Dgc { rate: 0.001 }),
+        ),
+        (
+            "BytePS Bert-large raw   ",
+            TrainingJob::baseline(DnnModel::BertLarge, ec2.with_tcp(), Strategy::BytePs),
+        ),
+        (
+            "BytePS Bert-large onebit",
+            TrainingJob::baseline(DnnModel::BertLarge, ec2.with_tcp(), Strategy::BytePs)
+                .with_algorithm(Algorithm::OneBit),
+        ),
+        (
+            "HiPress Bert-large PS   ",
+            TrainingJob::hipress(DnnModel::BertLarge, ec2, Strategy::CaSyncPs),
+        ),
+        (
+            "HiPress Transformer Ring",
+            TrainingJob::hipress(DnnModel::Transformer, ec2, Strategy::CaSyncRing)
+                .with_algorithm(Algorithm::Dgc { rate: 0.001 }),
+        ),
+        (
+            "Ring  VGG19 raw         ",
+            TrainingJob::baseline(DnnModel::Vgg19, ec2, Strategy::HorovodRing),
+        ),
+        (
+            "BytePS VGG19 raw        ",
+            TrainingJob::baseline(DnnModel::Vgg19, ec2.with_tcp(), Strategy::BytePs),
+        ),
+        (
+            "HiPress VGG19 PS onebit ",
+            TrainingJob::hipress(DnnModel::Vgg19, ec2, Strategy::CaSyncPs),
+        ),
+        (
+            "BytePS VGG19 onebit     ",
+            TrainingJob::baseline(DnnModel::Vgg19, ec2.with_tcp(), Strategy::BytePs)
+                .with_algorithm(Algorithm::OneBit),
+        ),
+        (
+            "Ring  Bert-large raw    ",
+            TrainingJob::baseline(DnnModel::BertLarge, ec2, Strategy::HorovodRing),
+        ),
+        (
+            "HiPress VGG19 Ring      ",
+            TrainingJob::hipress(DnnModel::Vgg19, ec2, Strategy::CaSyncRing),
+        ),
+        (
+            "Ring  ResNet50 raw      ",
+            TrainingJob::baseline(DnnModel::ResNet50, ec2, Strategy::HorovodRing),
+        ),
+        (
+            "Ring  ResNet50 OSS-DGC  ",
+            TrainingJob::baseline(DnnModel::ResNet50, ec2, Strategy::HorovodRing)
+                .with_algorithm(Algorithm::Dgc { rate: 0.001 }),
+        ),
+        (
+            "HiPress ResNet50 Ring   ",
+            TrainingJob::hipress(DnnModel::ResNet50, ec2, Strategy::CaSyncRing)
+                .with_algorithm(Algorithm::Dgc { rate: 0.001 }),
+        ),
     ];
     for (name, job) in rows {
         match simulate(&job) {
-            Ok(r) => println!("{name}  eff={:.2}  comm={:.2}  iter={:.1}ms thpt={:.0}", r.scaling_efficiency, r.comm_ratio, r.iteration_ns as f64/1e6, r.throughput),
+            Ok(r) => println!(
+                "{name}  eff={:.2}  comm={:.2}  iter={:.1}ms thpt={:.0}",
+                r.scaling_efficiency,
+                r.comm_ratio,
+                r.iteration_ns as f64 / 1e6,
+                r.throughput
+            ),
             Err(e) => println!("{name}  ERROR {e}"),
         }
     }

@@ -93,8 +93,7 @@ pub fn run_data_parallel<M: Trainable>(
     let offsets = replicas[0].layer_offsets();
     let n_params = *offsets.last().expect("layer offsets nonempty");
     let compressor = cfg.algorithm.build();
-    let mut feedback: Vec<ErrorFeedback> =
-        (0..cfg.workers).map(|_| ErrorFeedback::new()).collect();
+    let mut feedback: Vec<ErrorFeedback> = (0..cfg.workers).map(|_| ErrorFeedback::new()).collect();
     let mut velocity = vec![0.0f32; n_params];
     let mut rng = SplitMix64::new(cfg.seed);
     let mut curve = Vec::new();
@@ -106,9 +105,7 @@ pub fn run_data_parallel<M: Trainable>(
         let mut agg = vec![0.0f32; n_params];
         for (w, replica) in replicas.iter().enumerate() {
             let len = dataset_len(replica);
-            let batch: Vec<usize> = (0..cfg.batch_per_worker)
-                .map(|_| rng.index(len))
-                .collect();
+            let batch: Vec<usize> = (0..cfg.batch_per_worker).map(|_| rng.index(len)).collect();
             let (loss, grad) = replica.loss_and_grad(&batch);
             losses += loss;
             // 2. Layer-wise compression with error feedback, then
@@ -165,8 +162,7 @@ pub fn run_data_parallel<M: Trainable>(
     Ok(ConvergenceResult {
         curve,
         final_metric,
-        bytes_per_iteration: bytes_total as f64
-            / (cfg.iterations.max(1) * cfg.workers) as f64,
+        bytes_per_iteration: bytes_total as f64 / (cfg.iterations.max(1) * cfg.workers) as f64,
     })
 }
 
@@ -248,15 +244,21 @@ mod tests {
         let mut cfg = base_cfg(Algorithm::None);
         cfg.workers = 2;
         cfg.iterations = 5;
-        let raw = run_data_parallel(&cfg, &mut raw_reps, |m| m.data().len(), |m| {
-            m.accuracy(&eval)
-        })
+        let raw = run_data_parallel(
+            &cfg,
+            &mut raw_reps,
+            |m| m.data().len(),
+            |m| m.accuracy(&eval),
+        )
         .unwrap();
         let (mut cmp_reps, _) = mlp_replicas(2);
         cfg.algorithm = Algorithm::OneBit;
-        let cmp = run_data_parallel(&cfg, &mut cmp_reps, |m| m.data().len(), |m| {
-            m.accuracy(&eval)
-        })
+        let cmp = run_data_parallel(
+            &cfg,
+            &mut cmp_reps,
+            |m| m.data().len(),
+            |m| m.accuracy(&eval),
+        )
         .unwrap();
         assert!(
             cmp.bytes_per_iteration < raw.bytes_per_iteration / 5.0,

@@ -114,7 +114,9 @@ impl MarkovText {
         // few successors.
         let mut table: Vec<Vec<f64>> = Vec::with_capacity(vocab);
         for _ in 0..vocab {
-            let mut row: Vec<f64> = (0..vocab).map(|_| rng.next_f64().powf(concentration)).collect();
+            let mut row: Vec<f64> = (0..vocab)
+                .map(|_| rng.next_f64().powf(concentration))
+                .collect();
             let z: f64 = row.iter().sum();
             for p in &mut row {
                 *p /= z;

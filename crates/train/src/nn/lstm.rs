@@ -36,11 +36,19 @@ fn sigmoid(x: f32) -> f32 {
 
 impl LstmLm {
     /// Creates a model over `data` with the given sizes.
-    pub fn new(embed_dim: usize, hidden: usize, seq_len: usize, data: MarkovText, seed: u64) -> Self {
+    pub fn new(
+        embed_dim: usize,
+        hidden: usize,
+        seq_len: usize,
+        data: MarkovText,
+        seed: u64,
+    ) -> Self {
         let vocab = data.vocab;
         let mut rng = Xoshiro256::new(seed);
         let init = |n: usize, scale: f32, rng: &mut Xoshiro256| -> Vec<f32> {
-            (0..n).map(|_| (rng.next_gaussian() as f32) * scale).collect()
+            (0..n)
+                .map(|_| (rng.next_gaussian() as f32) * scale)
+                .collect()
         };
         let gate_in = embed_dim + hidden;
         let mut b = vec![0.0f32; 4 * hidden];
@@ -55,9 +63,17 @@ impl LstmLm {
             hidden,
             seq_len,
             embed: init(vocab * embed_dim, 0.1, &mut rng),
-            w: init(4 * hidden * gate_in, (1.0 / gate_in as f64).sqrt() as f32, &mut rng),
+            w: init(
+                4 * hidden * gate_in,
+                (1.0 / gate_in as f64).sqrt() as f32,
+                &mut rng,
+            ),
             b,
-            w_out: init(vocab * hidden, (1.0 / hidden as f64).sqrt() as f32, &mut rng),
+            w_out: init(
+                vocab * hidden,
+                (1.0 / hidden as f64).sqrt() as f32,
+                &mut rng,
+            ),
             b_out: vec![0.0; vocab],
             data,
         }
@@ -356,8 +372,7 @@ mod tests {
             let numeric = (lp - lm) / (2.0 * eps as f64);
             let analytic = grad[i] as f64;
             assert!(
-                (numeric - analytic).abs()
-                    < 2e-2 * numeric.abs().max(analytic.abs()).max(0.05),
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(analytic.abs()).max(0.05),
                 "coord {i}: numeric {numeric} vs analytic {analytic}"
             );
         }

@@ -17,11 +17,11 @@
 //! ```
 
 use hipress_compress::Algorithm;
+use hipress_core::ClusterConfig;
 use hipress_core::{
     CompressionSpec, ExecConfig, ExecStats, Executor, GradPlan, IterationSpec, Strategy,
     SyncGradient,
 };
-use hipress_core::ClusterConfig;
 use hipress_models::{DnnModel, GpuClass};
 use hipress_planner::Planner;
 use hipress_simgpu::intra_node_allreduce_ns;
@@ -232,8 +232,7 @@ pub fn simulate(job: &TrainingJob) -> Result<SimResult> {
         .unwrap_or(stats.makespan_ns);
     let iteration_ns = compute.forward_ns + compute.backward_ns.max(sync_finish);
     let total_gpus = job.cluster.total_gpus() as f64;
-    let throughput =
-        total_gpus * compute.batch_size as f64 / (iteration_ns as f64 / 1e9);
+    let throughput = total_gpus * compute.batch_size as f64 / (iteration_ns as f64 / 1e9);
     let scaling_efficiency = throughput / (total_gpus * compute.single_gpu_throughput());
     let comm_busy = stats
         .network_busy_ns

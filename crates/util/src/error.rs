@@ -85,7 +85,10 @@ mod tests {
             "configuration error: ring of 1"
         );
         assert_eq!(Error::sim("cycle").to_string(), "simulation error: cycle");
-        assert_eq!(Error::plan("no profile").to_string(), "planner error: no profile");
+        assert_eq!(
+            Error::plan("no profile").to_string(),
+            "planner error: no profile"
+        );
     }
 
     #[test]

@@ -1,71 +1,97 @@
-//! Property-based tests for the bit-level reader/writer duality.
+//! Randomized tests for the bit-level reader/writer duality, driven
+//! by the workspace's own deterministic PRNGs.
 
 use hipress_util::bits::{packed_len, BitReader, BitWriter};
-use proptest::prelude::*;
+use hipress_util::rng::{Rng64, Xoshiro256};
+
+const CASES: usize = 256;
 
 /// A sequence of (value, width) pairs where each value fits its width.
-fn codes() -> impl Strategy<Value = Vec<(u64, u32)>> {
-    prop::collection::vec(
-        (1u32..=64).prop_flat_map(|w| {
-            let max = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-            (0..=max, Just(w))
-        }),
-        0..200,
-    )
+fn codes(rng: &mut impl Rng64) -> Vec<(u64, u32)> {
+    let n = rng.index(200);
+    (0..n)
+        .map(|_| {
+            let w = rng.range_u64(1, 65) as u32;
+            let v = if w == 64 {
+                rng.next_u64()
+            } else {
+                rng.next_below(1u64 << w)
+            };
+            (v, w)
+        })
+        .collect()
 }
 
-proptest! {
-    /// Every sequence of writes reads back identically.
-    #[test]
-    fn roundtrip(codes in codes()) {
+/// Every sequence of writes reads back identically.
+#[test]
+fn roundtrip() {
+    let mut rng = Xoshiro256::new(0xB175_0001);
+    for _ in 0..CASES {
+        let codes = codes(&mut rng);
         let mut w = BitWriter::new();
         let mut total_bits = 0usize;
         for &(v, width) in &codes {
             w.write(v, width);
             total_bits += width as usize;
         }
-        prop_assert_eq!(w.bit_len(), total_bits);
+        assert_eq!(w.bit_len(), total_bits);
         let bytes = w.finish();
-        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+        assert_eq!(bytes.len(), total_bits.div_ceil(8));
         let mut r = BitReader::new(&bytes);
         for &(v, width) in &codes {
-            prop_assert_eq!(r.read(width), Some(v));
+            assert_eq!(r.read(width), Some(v));
         }
         // Anything left is only zero padding within the final byte.
-        prop_assert!(r.remaining_bits() < 8);
+        assert!(r.remaining_bits() < 8);
         while let Some(bit) = r.read_bit() {
-            prop_assert!(!bit, "padding bits must be zero");
+            assert!(!bit, "padding bits must be zero");
         }
     }
+}
 
-    /// Fixed-width packing density matches `packed_len`.
-    #[test]
-    fn fixed_width_density(count in 0usize..500, width in 1u32..=16) {
+/// Fixed-width packing density matches `packed_len`.
+#[test]
+fn fixed_width_density() {
+    let mut rng = Xoshiro256::new(0xB175_0002);
+    for _ in 0..CASES {
+        let count = rng.index(500);
+        let width = rng.range_u64(1, 17) as u32;
         let mut w = BitWriter::new();
         for i in 0..count {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             w.write(i as u64 & mask, width);
         }
-        prop_assert_eq!(w.finish().len(), packed_len(count, width));
+        assert_eq!(w.finish().len(), packed_len(count, width));
     }
+}
 
-    /// Skipping n bits is equivalent to reading and discarding them.
-    #[test]
-    fn skip_equals_read(bytes in prop::collection::vec(any::<u8>(), 1..64), skip in 0usize..256) {
+/// Skipping n bits is equivalent to reading and discarding them.
+#[test]
+fn skip_equals_read() {
+    let mut rng = Xoshiro256::new(0xB175_0003);
+    for _ in 0..CASES {
+        let bytes: Vec<u8> = (0..rng.range_u64(1, 64))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
+        let skip = rng.index(256);
         let mut r1 = BitReader::new(&bytes);
         let mut r2 = BitReader::new(&bytes);
         let available = r1.remaining_bits();
         let did_skip = r1.skip(skip).is_some();
-        prop_assert_eq!(did_skip, skip <= available);
+        assert_eq!(did_skip, skip <= available);
         if did_skip {
             for _ in 0..skip {
                 r2.read_bit();
             }
-            prop_assert_eq!(r1.bit_pos(), r2.bit_pos());
+            assert_eq!(r1.bit_pos(), r2.bit_pos());
             // Remaining streams agree.
             loop {
                 let (a, b) = (r1.read_bit(), r2.read_bit());
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
                 if a.is_none() {
                     break;
                 }

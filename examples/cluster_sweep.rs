@@ -13,7 +13,10 @@ fn main() {
         .and_then(|n| DnnModel::by_name(&n))
         .unwrap_or(DnnModel::BertLarge);
 
-    println!("Weak-scaling sweep for {} (V100 x8 per node, 100 Gbps):\n", model.name());
+    println!(
+        "Weak-scaling sweep for {} (V100 x8 per node, 100 Gbps):\n",
+        model.name()
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>16} {:>16} {:>16}",
         "GPUs", "BytePS", "Ring", "BytePS(onebit)", "HiPress-PS", "HiPress-Ring"
@@ -32,7 +35,11 @@ fn main() {
             continue;
         }
         let run = |job: TrainingJob| simulate(&job).expect("simulation runs").throughput;
-        let byteps = run(TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs));
+        let byteps = run(TrainingJob::baseline(
+            model,
+            cluster.with_tcp(),
+            Strategy::BytePs,
+        ));
         let ring = run(TrainingJob::baseline(model, cluster, Strategy::HorovodRing));
         let byteps_onebit = run(
             TrainingJob::baseline(model, cluster.with_tcp(), Strategy::BytePs)

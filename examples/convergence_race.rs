@@ -46,9 +46,12 @@ fn main() {
             eval_every: 10,
             seed: 3,
         };
-        let r = run_data_parallel(&cfg, &mut replicas, |m| m.data().len(), |m| {
-            m.accuracy(&eval)
-        })
+        let r = run_data_parallel(
+            &cfg,
+            &mut replicas,
+            |m| m.data().len(),
+            |m| m.accuracy(&eval),
+        )
         .expect("training runs");
         let ms_per_iter = compute_ms + r.bytes_per_iteration / net_bytes_per_ms;
         let to_target = r.iterations_to_target(0.85, true);
@@ -56,7 +59,9 @@ fn main() {
             "{:<22} {:>8.1}% {:>12} {:>11.2} {:>13}",
             alg.label(),
             r.final_metric * 100.0,
-            to_target.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+            to_target
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".into()),
             ms_per_iter,
             to_target
                 .map(|i| format!("{:.0} ms", i as f64 * ms_per_iter))

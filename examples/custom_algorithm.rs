@@ -72,10 +72,18 @@ fn main() {
 
     // 2. Inspect what CompLL generated.
     let report = alg.loc_report();
-    println!("topsign: {} DSL lines ({} logic + {} udf), operators: {:?}",
-        report.total(), report.logic, report.udf, report.operators);
+    println!(
+        "topsign: {} DSL lines ({} logic + {} udf), operators: {:?}",
+        report.total(),
+        report.logic,
+        report.udf,
+        report.operators
+    );
     let cuda = alg.cuda_source();
-    println!("generated CUDA: {} lines (excerpt below)\n", cuda.lines().count());
+    println!(
+        "generated CUDA: {} lines (excerpt below)\n",
+        cuda.lines().count()
+    );
     for line in cuda.lines().take(12) {
         println!("    {line}");
     }

@@ -24,8 +24,12 @@ fn main() {
             "{:<12} {:>22} {:>22}",
             "gradient", "CaSync-PS", "CaSync-Ring"
         );
-        let ps = Planner::profile(&ClusterConfig::ec2(nodes), Strategy::CaSyncPs, Algorithm::OneBit)
-            .expect("profiling succeeds");
+        let ps = Planner::profile(
+            &ClusterConfig::ec2(nodes),
+            Strategy::CaSyncPs,
+            Algorithm::OneBit,
+        )
+        .expect("profiling succeeds");
         let ring = Planner::profile(
             &ClusterConfig::ec2(nodes),
             Strategy::CaSyncRing,

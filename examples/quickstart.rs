@@ -10,7 +10,12 @@ fn main() {
     let cluster = ClusterConfig::ec2(16); // 16 nodes × 8 V100, 100 Gbps.
     let model = DnnModel::Vgg19;
 
-    println!("Training {} on {} GPUs ({} nodes):\n", model.name(), cluster.total_gpus(), cluster.nodes);
+    println!(
+        "Training {} on {} GPUs ({} nodes):\n",
+        model.name(),
+        cluster.total_gpus(),
+        cluster.nodes
+    );
     println!(
         "{:<34} {:>12} {:>10} {:>8}",
         "system", "samples/s", "scaling", "comm%"

@@ -1,0 +1,55 @@
+//! CaSync-RT demo: synchronize real gradients across OS threads with
+//! and without compression, and print measured wall-clock reports.
+//!
+//! ```sh
+//! cargo run --release --example runtime_demo
+//! ```
+
+use hipress::prelude::*;
+use hipress::tensor::synth::{generate, GradientShape};
+use hipress::tensor::Tensor;
+
+fn main() {
+    let nodes = 4;
+    let sizes = [1usize << 20, 1 << 17, 50_000];
+    let workers: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(g, &n)| {
+                    generate(
+                        n,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        (w * 100 + g) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mib = sizes.iter().sum::<usize>() as f64 * 4.0 / (1 << 20) as f64;
+    println!("CaSync-RT: {nodes} node threads syncing {mib:.1} MiB of gradients each\n");
+
+    let run = |label: &str, alg: Algorithm| -> RuntimeReport {
+        let out = HiPress::new(Strategy::CaSyncRing)
+            .algorithm(alg)
+            .partitions(4)
+            .backend(Backend::Threads(nodes))
+            .sync(&workers)
+            .expect("sync succeeds");
+        assert!(out.replicas_consistent(), "replicas must be identical");
+        let report = out.report.expect("thread backend reports");
+        println!("=== {label} ===\n{report}");
+        report
+    };
+
+    let raw = run("uncompressed (CaSync-Ring)", Algorithm::None);
+    let cmp = run("onebit (CaSync-Ring)", Algorithm::OneBit);
+    println!(
+        "onebit moved {:.1}x fewer bytes; wall clock {:.2}x vs uncompressed \
+         (in-process channels have no bandwidth limit, so codec time is all \
+         cost and no win here — on a real wire the byte reduction is the win)",
+        raw.bytes_wire as f64 / cmp.bytes_wire as f64,
+        cmp.speedup_vs(&raw)
+    );
+}

@@ -122,7 +122,10 @@ fn parse_strategy(flags: &HashMap<String, String>) -> Result<Strategy, String> {
 }
 
 fn parse_algorithm(flags: &HashMap<String, String>) -> Result<Algorithm, String> {
-    let spec = flags.get("algorithm").map(String::as_str).unwrap_or("onebit");
+    let spec = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("onebit");
     let (name, param) = match spec.split_once(':') {
         Some((n, p)) => (n, Some(p)),
         None => (spec, None),
@@ -131,16 +134,28 @@ fn parse_algorithm(flags: &HashMap<String, String>) -> Result<Algorithm, String>
         ("none", _) => Ok(Algorithm::None),
         ("onebit", _) => Ok(Algorithm::OneBit),
         ("tbq", p) => Ok(Algorithm::Tbq {
-            tau: p.map(|v| v.parse().map_err(|_| "bad tau")).transpose()?.unwrap_or(0.05),
+            tau: p
+                .map(|v| v.parse().map_err(|_| "bad tau"))
+                .transpose()?
+                .unwrap_or(0.05),
         }),
         ("terngrad", p) => Ok(Algorithm::TernGrad {
-            bitwidth: p.map(|v| v.parse().map_err(|_| "bad bitwidth")).transpose()?.unwrap_or(2),
+            bitwidth: p
+                .map(|v| v.parse().map_err(|_| "bad bitwidth"))
+                .transpose()?
+                .unwrap_or(2),
         }),
         ("dgc", p) => Ok(Algorithm::Dgc {
-            rate: p.map(|v| v.parse().map_err(|_| "bad rate")).transpose()?.unwrap_or(0.001),
+            rate: p
+                .map(|v| v.parse().map_err(|_| "bad rate"))
+                .transpose()?
+                .unwrap_or(0.001),
         }),
         ("graddrop", p) => Ok(Algorithm::GradDrop {
-            rate: p.map(|v| v.parse().map_err(|_| "bad rate")).transpose()?.unwrap_or(0.01),
+            rate: p
+                .map(|v| v.parse().map_err(|_| "bad rate"))
+                .transpose()?
+                .unwrap_or(0.01),
         }),
         (other, _) => Err(format!("unknown algorithm '{other}'")),
     }
@@ -202,10 +217,16 @@ fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("algorithm:          {}", job.algorithm.label());
     println!("iteration:          {:.2} ms", r.iteration_ns as f64 / 1e6);
     println!("  compute:          {:.2} ms", r.compute_ns as f64 / 1e6);
-    println!("  sync finish:      {:.2} ms (from backward start)", r.sync_finish_ns as f64 / 1e6);
+    println!(
+        "  sync finish:      {:.2} ms (from backward start)",
+        r.sync_finish_ns as f64 / 1e6
+    );
     println!("throughput:         {:.0} samples/s", r.throughput);
     println!("scaling efficiency: {:.3}", r.scaling_efficiency);
-    println!("communication:      {:.1}% of iteration", r.comm_ratio * 100.0);
+    println!(
+        "communication:      {:.1}% of iteration",
+        r.comm_ratio * 100.0
+    );
     println!(
         "coordinator:        {} link batches, {} batched kernel launches",
         r.stats.link_flushes, r.stats.comp_batch_launches
@@ -216,16 +237,27 @@ fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
-    println!(
-        "{:<36} {:>13} {:>9}",
-        "system", "samples/s", "scaling"
-    );
+    println!("{:<36} {:>13} {:>9}", "system", "samples/s", "scaling");
     let alg = parse_algorithm(flags)?;
-    let alg = if alg == Algorithm::None { Algorithm::OneBit } else { alg };
-    let byteps_cluster = if flags.contains_key("local") { cluster } else { cluster.with_tcp() };
+    let alg = if alg == Algorithm::None {
+        Algorithm::OneBit
+    } else {
+        alg
+    };
+    let byteps_cluster = if flags.contains_key("local") {
+        cluster
+    } else {
+        cluster.with_tcp()
+    };
     let jobs: Vec<(String, TrainingJob)> = vec![
-        ("BytePS".into(), TrainingJob::baseline(model, byteps_cluster, Strategy::BytePs)),
-        ("Ring".into(), TrainingJob::baseline(model, cluster, Strategy::HorovodRing)),
+        (
+            "BytePS".into(),
+            TrainingJob::baseline(model, byteps_cluster, Strategy::BytePs),
+        ),
+        (
+            "Ring".into(),
+            TrainingJob::baseline(model, cluster, Strategy::HorovodRing),
+        ),
         (
             format!("BytePS(OSS-{})", alg.label()),
             TrainingJob::baseline(model, byteps_cluster, Strategy::BytePs).with_algorithm(alg),
@@ -241,7 +273,10 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     ];
     for (label, job) in jobs {
         let r = simulate(&job).map_err(|e| e.to_string())?;
-        println!("{label:<36} {:>13.0} {:>9.2}", r.throughput, r.scaling_efficiency);
+        println!(
+            "{label:<36} {:>13.0} {:>9.2}",
+            r.throughput, r.scaling_efficiency
+        );
     }
     Ok(())
 }
@@ -254,13 +289,15 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     if algorithm == Algorithm::None {
         return Err("planning needs a compression algorithm".into());
     }
-    let planner =
-        Planner::profile(&cluster, strategy, algorithm).map_err(|e| e.to_string())?;
+    let planner = Planner::profile(&cluster, strategy, algorithm).map_err(|e| e.to_string())?;
     println!(
         "selective compression threshold: {}",
         fmt_bytes(planner.compression_threshold())
     );
-    println!("{:<28} {:>12} {:>10} {:>6}", "gradient", "size", "compress", "K");
+    println!(
+        "{:<28} {:>12} {:>10} {:>6}",
+        "gradient", "size", "compress", "K"
+    );
     let spec = model.spec();
     for layer in &spec.layers {
         let plan = planner.plan_gradient(layer.bytes);
@@ -278,8 +315,8 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_compile(path: Option<&str>) -> Result<(), String> {
     let path = path.ok_or("usage: hipress compile <file.dsl>")?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let alg = CompiledAlgorithm::new("cli", &source, param_values(&[]))
-        .map_err(|e| e.to_string())?;
+    let alg =
+        CompiledAlgorithm::new("cli", &source, param_values(&[])).map_err(|e| e.to_string())?;
     let report = alg.loc_report();
     println!(
         "compiled OK: {} logic lines, {} udf lines, operators {:?}, integration 0",

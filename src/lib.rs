@@ -14,6 +14,7 @@
 //! | [`compll`] | `hipress-compll` | the compression DSL: lexer → parser → type checker → interpreter → CUDA emitter |
 //! | [`casync`] | `hipress-core` | five-primitive task graphs, strategies (CaSync-PS/Ring, BytePS, Horovod-Ring), coordinator, executor, protocol interpreter |
 //! | [`planner`] | `hipress-planner` | selective compression & partitioning (§3.3 cost model, Table 7) |
+//! | [`runtime`] | `hipress-runtime` | CaSync-RT: the protocol on real OS threads, cross-validated against the interpreter |
 //! | [`train`] | `hipress-train` | cluster throughput simulation + real MLP/LSTM data-parallel training |
 //! | [`models`] | `hipress-models` | the Table 6 model zoo |
 //! | [`sim`](mod@simevent) / [`simnet`] / [`simgpu`] | substrates | discrete-event engine, network fabric, GPU cost models |
@@ -42,11 +43,14 @@
 //! assert!(hipress.throughput > byteps.throughput);
 //! ```
 
+pub mod sync;
+
 pub use hipress_compll as compll;
 pub use hipress_compress as compress;
 pub use hipress_core as casync;
 pub use hipress_models as models;
 pub use hipress_planner as planner;
+pub use hipress_runtime as runtime;
 pub use hipress_simevent as simevent;
 pub use hipress_simgpu as simgpu;
 pub use hipress_simnet as simnet;
@@ -60,6 +64,9 @@ pub mod prelude {
     pub use hipress_core::{ClusterConfig, ExecConfig, Executor, GradPlan, Strategy};
     pub use hipress_models::{DnnModel, GpuClass};
     pub use hipress_planner::Planner;
+    pub use hipress_runtime::{RuntimeConfig, RuntimeReport};
     pub use hipress_simnet::LinkSpec;
     pub use hipress_train::{simulate, SimResult, TrainingJob};
+
+    pub use crate::sync::{Backend, HiPress, SyncOutcome};
 }

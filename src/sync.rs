@@ -1,0 +1,194 @@
+//! The high-level gradient-synchronization entry point.
+//!
+//! [`HiPress`] is a builder over the whole stack: pick a strategy and
+//! a compression algorithm, hand it one gradient set per worker, and
+//! it builds the CaSync task graph and executes it — either on the
+//! reference interpreter ([`Backend::Simulator`]) or for real on OS
+//! threads ([`Backend::Threads`]). Both backends install bit-identical
+//! parameters; the thread backend additionally returns a measured
+//! [`RuntimeReport`].
+
+use hipress_compress::Algorithm;
+use hipress_core::interp::{gradient_flows, interpret, FlowOutcome};
+use hipress_core::{
+    ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
+};
+use hipress_runtime::{RunOutcome, RuntimeConfig, RuntimeReport};
+use hipress_tensor::Tensor;
+use hipress_util::{Error, Result};
+
+pub use hipress_runtime::Backend;
+
+/// The result of one synchronization round.
+#[derive(Debug, Clone)]
+pub struct SyncOutcome {
+    /// Synchronized per-flow, per-node tensors.
+    pub flows: Vec<FlowOutcome>,
+    /// Wall-clock measurements — present only for
+    /// [`Backend::Threads`]; the simulator has no wall clock worth
+    /// reporting.
+    pub report: Option<RuntimeReport>,
+}
+
+impl SyncOutcome {
+    /// True when every flow's replicas are byte-identical.
+    pub fn replicas_consistent(&self) -> bool {
+        self.flows.iter().all(FlowOutcome::replicas_consistent)
+    }
+}
+
+/// Builder for compression-aware gradient synchronization.
+///
+/// ```
+/// use hipress::prelude::*;
+/// use hipress::tensor::synth::{generate, GradientShape};
+///
+/// let grads: Vec<Vec<_>> = (0..3)
+///     .map(|w| vec![generate(4096, GradientShape::Gaussian { std_dev: 1.0 }, w)])
+///     .collect();
+/// let out = HiPress::new(Strategy::CaSyncRing)
+///     .algorithm(Algorithm::OneBit)
+///     .backend(Backend::Threads(3))
+///     .sync(&grads)
+///     .unwrap();
+/// assert!(out.replicas_consistent());
+/// assert!(out.report.unwrap().compression_savings() > 8.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HiPress {
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: usize,
+    seed: u64,
+    backend: Backend,
+    batch_compression: bool,
+}
+
+impl HiPress {
+    /// Starts a builder for the given synchronization strategy.
+    pub fn new(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            algorithm: Algorithm::None,
+            partitions: 1,
+            seed: 0,
+            backend: Backend::Simulator,
+            batch_compression: true,
+        }
+    }
+
+    /// Sets the compression algorithm ([`Algorithm::None`] runs the
+    /// strategy uncompressed).
+    #[must_use]
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Splits each gradient into `k` chunks synchronized as parallel
+    /// flows (§3.3 partitioning).
+    #[must_use]
+    pub fn partitions(mut self, k: usize) -> Self {
+        self.partitions = k.max(1);
+        self
+    }
+
+    /// Seeds the stochastic codecs (TernGrad, DGC sampling).
+    #[must_use]
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Enables or disables batch compression on the thread backend.
+    #[must_use]
+    pub fn batch_compression(mut self, on: bool) -> Self {
+        self.batch_compression = on;
+        self
+    }
+
+    /// Synchronizes one gradient set per worker: `worker_grads[w][g]`
+    /// is worker `w`'s gradient `g`. All workers must hold the same
+    /// gradient shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches, a node count that does
+    /// not match [`Backend::Threads`], or protocol failures from the
+    /// chosen backend.
+    pub fn sync(&self, worker_grads: &[Vec<Tensor>]) -> Result<SyncOutcome> {
+        let nodes = worker_grads.len();
+        if nodes < 2 {
+            return Err(Error::config("synchronization needs at least 2 workers"));
+        }
+        if let Backend::Threads(n) = self.backend {
+            if n != nodes {
+                return Err(Error::config(format!(
+                    "Backend::Threads({n}) but {nodes} workers supplied"
+                )));
+            }
+        }
+        let first = &worker_grads[0];
+        for (w, g) in worker_grads.iter().enumerate() {
+            if g.len() != first.len() || g.iter().zip(first).any(|(a, b)| a.len() != b.len()) {
+                return Err(Error::config(format!(
+                    "worker {w} gradient shapes differ from worker 0"
+                )));
+            }
+        }
+        let compressor = self.algorithm.build();
+        let iter = IterationSpec {
+            gradients: first
+                .iter()
+                .enumerate()
+                .map(|(g, t)| SyncGradient {
+                    name: format!("g{g}"),
+                    bytes: t.byte_size(),
+                    ready_offset_ns: 0,
+                    plan: GradPlan {
+                        compress: compressor.is_some(),
+                        partitions: self.partitions,
+                    },
+                })
+                .collect(),
+            compression: compressor.as_deref().map(CompressionSpec::of),
+        };
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = self.strategy.build(&cluster, &iter)?;
+        let flows = gradient_flows(worker_grads);
+        match self.backend {
+            Backend::Simulator => {
+                let outcomes = interpret(&graph, nodes, &flows, compressor.as_deref(), self.seed)?;
+                Ok(SyncOutcome {
+                    flows: outcomes,
+                    report: None,
+                })
+            }
+            Backend::Threads(_) => {
+                let config = RuntimeConfig {
+                    batch_compression: self.batch_compression,
+                    ..RuntimeConfig::default()
+                };
+                let RunOutcome { flows, report } = hipress_runtime::run(
+                    &graph,
+                    nodes,
+                    &flows,
+                    compressor.as_deref(),
+                    self.seed,
+                    &config,
+                )?;
+                Ok(SyncOutcome {
+                    flows,
+                    report: Some(report),
+                })
+            }
+        }
+    }
+}

@@ -88,8 +88,7 @@ fn selective_plans_beat_naive_policies() {
     naive.selective = false; // Compress everything, K = 1.
     let naive = simulate(&naive).unwrap();
     let raw = simulate(
-        &TrainingJob::hipress(model, cluster, Strategy::CaSyncPs)
-            .with_algorithm(Algorithm::None),
+        &TrainingJob::hipress(model, cluster, Strategy::CaSyncPs).with_algorithm(Algorithm::None),
     )
     .unwrap();
     assert!(
@@ -150,6 +149,70 @@ fn convergence_parity_with_less_traffic() {
         baseline.final_metric
     );
     assert!(compressed.bytes_per_iteration < baseline.bytes_per_iteration / 4.0);
+}
+
+/// The full synchronization matrix, executed for real: for each
+/// CaSync strategy and each of the five compression algorithms, both
+/// the semantic interpreter and the CaSync-RT thread backend must
+/// install byte-identical parameters on every replica — and the two
+/// backends must agree with each other bit for bit.
+#[test]
+fn sync_matrix_replicas_identical_on_both_backends() {
+    let nodes = 3;
+    let workers: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            vec![
+                generate(1500, GradientShape::Gaussian { std_dev: 1.0 }, w as u64),
+                generate(
+                    333,
+                    GradientShape::Gaussian { std_dev: 0.5 },
+                    100 + w as u64,
+                ),
+            ]
+        })
+        .collect();
+    for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+        for alg in [
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.05 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.001 },
+            Algorithm::GradDrop { rate: 0.01 },
+        ] {
+            let build = || HiPress::new(strategy).algorithm(alg).partitions(2).seed(42);
+            let sim = build()
+                .backend(Backend::Simulator)
+                .sync(&workers)
+                .unwrap_or_else(|e| panic!("{strategy:?} × {} (sim): {e}", alg.label()));
+            let rt = build()
+                .backend(Backend::Threads(nodes))
+                .sync(&workers)
+                .unwrap_or_else(|e| panic!("{strategy:?} × {} (threads): {e}", alg.label()));
+            for out in [&sim, &rt] {
+                assert!(
+                    out.replicas_consistent(),
+                    "{strategy:?} × {}: replicas diverged",
+                    alg.label()
+                );
+            }
+            assert_eq!(sim.flows.len(), rt.flows.len());
+            for (a, b) in sim.flows.iter().zip(&rt.flows) {
+                assert_eq!(a.flow, b.flow);
+                assert_eq!(
+                    a.per_node,
+                    b.per_node,
+                    "{strategy:?} × {}: backends disagree",
+                    alg.label()
+                );
+            }
+            let report = rt.report.expect("thread backend measures");
+            assert!(
+                report.compression_savings() > 1.0,
+                "{strategy:?} × {}: compression must shrink wire volume",
+                alg.label()
+            );
+        }
+    }
 }
 
 /// Every (strategy × algorithm) combination simulates cleanly on a
