@@ -18,6 +18,11 @@ cargo build --release --workspace
 echo "== test =="
 cargo test -q --workspace
 
+echo "== lint (plan verifier + CompLL dataflow, full matrix) =="
+# Runs hipress-lint over every strategy x algorithm x cluster-size
+# task graph plus all shipped CompLL programs; any diagnostic fails.
+cargo run --release -q --bin hipress -- lint
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -7,6 +7,8 @@
 //! match: the substrate here is a calibrated simulator, not the
 //! authors' EC2 testbed (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 /// Prints a bench banner.
 pub fn banner(id: &str, what: &str) {
     println!("\n=== {id}: {what} ===");

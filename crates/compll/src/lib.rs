@@ -29,6 +29,8 @@
 //!   against the handwritten `hipress-compress` implementations;
 //! * [`loc`] — lines-of-code accounting reproducing Table 5.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod ast;
 pub mod cuda;
@@ -44,16 +46,41 @@ mod compiled;
 pub use compiled::{param_values, CompiledAlgorithm};
 
 use hipress_util::Result;
+use std::sync::OnceLock;
+
+/// The signature of an installed post-typeck dataflow check.
+pub type DataflowCheck = fn(&ast::Program) -> Result<()>;
+
+static DATAFLOW_CHECK: OnceLock<DataflowCheck> = OnceLock::new();
+
+/// Installs a dataflow analyzer that debug builds run on every
+/// program [`compile`] accepts.
+///
+/// `hipress-lint` registers its analyzer here (via
+/// `hipress_lint::install`); the indirection keeps this crate free of
+/// a dependency on its own analyzer. Idempotent: the first installed
+/// check wins.
+pub fn install_dataflow_check(check: DataflowCheck) {
+    let _ = DATAFLOW_CHECK.set(check);
+}
 
 /// Front-to-back compilation: source → checked AST.
+///
+/// Debug builds additionally run the installed dataflow check (if
+/// any) after the type checker.
 ///
 /// # Errors
 ///
 /// Returns a [`hipress_util::Error::Dsl`] describing the first lexing,
-/// parsing, or type error.
+/// parsing, or type error, or a [`hipress_util::Error::Lint`] from
+/// the installed dataflow check.
 pub fn compile(source: &str) -> Result<ast::Program> {
     let tokens = lexer::lex(source)?;
     let program = parser::parse(&tokens)?;
     typeck::check(&program)?;
+    #[cfg(debug_assertions)]
+    if let Some(check) = DATAFLOW_CHECK.get() {
+        check(&program)?;
+    }
     Ok(program)
 }

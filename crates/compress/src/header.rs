@@ -49,7 +49,7 @@ pub struct Header {
 const MAGIC: u8 = 0xC9;
 
 /// Serialized header length in bytes.
-pub const HEADER_LEN: usize = 8;
+pub(crate) const HEADER_LEN: usize = 8;
 
 impl Header {
     /// Appends the serialized header to `out`.

@@ -32,6 +32,8 @@
 //! ("error feedback") that makes lossy compression converge, used by
 //! the convergence experiments (Figure 13).
 
+#![forbid(unsafe_code)]
+
 pub mod dgc;
 pub mod feedback;
 pub mod graddrop;

@@ -606,7 +606,43 @@ impl Executor {
     /// Returns an error if the graph is invalid for the cluster or the
     /// simulation livelocks.
     pub fn run(&self, graph: &TaskGraph, iter: &IterationSpec) -> Result<ExecStats> {
-        graph.validate(self.cluster.nodes)?;
+        // Structural guard: the scheduler indexes per-node resources
+        // and resolves each recv's paired send, so those invariants
+        // must hold even in release builds. The full defect catalogue
+        // lives in `hipress-lint`, which debug builds run via the
+        // strategy/interpreter hooks and `hipress lint` runs offline.
+        graph.topo_order()?;
+        for t in graph.tasks() {
+            if t.node >= self.cluster.nodes {
+                return Err(Error::sim(format!(
+                    "task {:?} on unknown node {}",
+                    t.id, t.node
+                )));
+            }
+            match t.prim {
+                Primitive::Send => {
+                    let peer = t
+                        .peer
+                        .ok_or_else(|| Error::sim(format!("send {:?} lacks a peer", t.id)))?;
+                    if peer == t.node || peer >= self.cluster.nodes {
+                        return Err(Error::sim(format!("send {:?} has bad peer {peer}", t.id)));
+                    }
+                }
+                Primitive::Recv => {
+                    if !t
+                        .deps
+                        .iter()
+                        .any(|d| graph.task(*d).prim == Primitive::Send)
+                    {
+                        return Err(Error::sim(format!(
+                            "recv {:?} has no send dependency",
+                            t.id
+                        )));
+                    }
+                }
+                _ => {}
+            }
+        }
         let n = self.cluster.nodes;
         let fabric = Fabric::homogeneous(n, self.cluster.effective_link())?;
         let gpus = (0..n)

@@ -126,6 +126,10 @@ pub fn interpret(
     compressor: Option<&dyn Compressor>,
     seed: u64,
 ) -> Result<Vec<FlowOutcome>> {
+    // Debug builds verify the plan before executing it (the installed
+    // `hipress-lint` analyzer; a no-op when nothing is installed).
+    #[cfg(debug_assertions)]
+    crate::graph::run_debug_verifier(graph, nodes)?;
     // Chunk boundaries per flow, derived from Source tasks: chunk
     // `part` covers a contiguous range, in part order.
     let mut chunk_elems: HashMap<(u32, u32), usize> = HashMap::new();

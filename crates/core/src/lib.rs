@@ -33,6 +33,8 @@
 //!   verify protocol correctness (all nodes converge to identical,
 //!   correctly aggregated gradients).
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod exec;
 pub mod graph;

@@ -22,7 +22,7 @@ use crate::strategy::util::{chunk_sizes, Emit};
 const PARTITION_BYTES: u64 = 4 * 1024 * 1024;
 
 /// Builds the BytePS task graph for one iteration on `n` nodes.
-pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
+pub(crate) fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
     let mut graph = TaskGraph::new();
     let mut e = Emit {
         graph: &mut graph,
@@ -189,7 +189,7 @@ mod tests {
         // ceil(10MiB / 4MiB) = 3 chunks, each updated on n nodes.
         assert_eq!(g.count(Primitive::Update), 3 * n);
         assert_eq!(g.count(Primitive::Encode), 0);
-        g.validate(n).unwrap();
+        g.topo_order().unwrap();
     }
 
     #[test]
@@ -203,7 +203,7 @@ mod tests {
         assert_eq!(parts.len(), 1);
         // N-1 worker encodes + 1 server encode.
         assert_eq!(g.count(Primitive::Encode), n);
-        g.validate(n).unwrap();
+        g.topo_order().unwrap();
     }
 
     #[test]

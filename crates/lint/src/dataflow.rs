@@ -1,0 +1,1137 @@
+//! The CompLL dataflow analyzer.
+//!
+//! Layered after `typeck`, this pass answers the questions the type
+//! checker cannot: is every variable assigned before it is read, does
+//! any store get silently discarded, can an index expression escape
+//! its array, can an integer overflow its packed `uintN` cell, and is
+//! every lambda handed to a data-parallel operator pure enough to run
+//! as thousands of concurrent GPU threads?
+//!
+//! All value-range reasoning uses a symbolic interval domain whose
+//! bounds are integers, `array.size + k` terms, or ±∞. The analyzer
+//! only reports *definite* defects (`lo ≥ size`, `hi < 0`,
+//! `lo ≥ 2^N`): an unknown interval is never an error, which is what
+//! keeps the five shipped algorithms warning-free.
+//!
+//! The diagnostic catalogue (`D001`–`D005`) is documented on
+//! [`Code`] and in `DESIGN.md`.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use hipress_compll::ast::{BinOp, Expr, Function, Program, ScalarTy, Stmt, Ty, UnOp};
+
+use crate::diag::{Code, Diagnostic, Report, Site};
+
+/// Operators whose second argument is a lambda executed in parallel,
+/// once per element.
+const LAMBDA_OPS: &[&str] = &["map", "filter", "filter_idx", "sort", "reduce"];
+
+/// Analyzes a type-checked program and reports `D001`–`D005`.
+///
+/// Entry points (`encode`/`decode`) start with every global
+/// unassigned; user-defined functions are analyzed as if all globals
+/// were assigned, because their global reads are checked at each call
+/// site against what the caller has definitely assigned by then.
+pub fn analyze(prog: &Program) -> Report {
+    let mut a = Analyzer::new(prog);
+    for f in &prog.functions {
+        a.function(f);
+    }
+    a.report
+}
+
+/// One bound of a symbolic interval.
+#[derive(Debug, Clone, PartialEq)]
+enum Bound {
+    NegInf,
+    Int(i64),
+    /// `size(array) + offset` for a named array in scope.
+    Size(String, i64),
+    PosInf,
+}
+
+/// A symbolic interval `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+struct Interval {
+    lo: Bound,
+    hi: Bound,
+}
+
+impl Interval {
+    fn top() -> Self {
+        Self {
+            lo: Bound::NegInf,
+            hi: Bound::PosInf,
+        }
+    }
+
+    fn of_int(k: i64) -> Self {
+        Self {
+            lo: Bound::Int(k),
+            hi: Bound::Int(k),
+        }
+    }
+
+    fn of_size(array: &str) -> Self {
+        Self {
+            lo: Bound::Size(array.to_string(), 0),
+            hi: Bound::Size(array.to_string(), 0),
+        }
+    }
+
+    /// Whether the interval provably sits at/above zero.
+    fn nonneg(&self) -> bool {
+        match &self.lo {
+            Bound::Int(l) => *l >= 0,
+            Bound::Size(_, off) => *off >= 0,
+            _ => false,
+        }
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Self {
+            lo: badd(&self.lo, &other.lo, false),
+            hi: badd(&self.hi, &other.hi, true),
+        }
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        self.add(&other.negate())
+    }
+
+    fn negate(&self) -> Self {
+        Self {
+            lo: bneg(&self.hi, false),
+            hi: bneg(&self.lo, true),
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        if let (Bound::Int(a), Bound::Int(b), Bound::Int(c), Bound::Int(d)) =
+            (&self.lo, &self.hi, &other.lo, &other.hi)
+        {
+            let products = [
+                a.saturating_mul(*c),
+                a.saturating_mul(*d),
+                b.saturating_mul(*c),
+                b.saturating_mul(*d),
+            ];
+            return Self {
+                lo: Bound::Int(*products.iter().min().unwrap()),
+                hi: Bound::Int(*products.iter().max().unwrap()),
+            };
+        }
+        Self::top()
+    }
+
+    fn rem(&self, other: &Self) -> Self {
+        if self.nonneg() {
+            let hi = match &other.hi {
+                Bound::Int(h) if *h > 0 => Bound::Int(h - 1),
+                _ => Bound::PosInf,
+            };
+            return Self {
+                lo: Bound::Int(0),
+                hi,
+            };
+        }
+        Self::top()
+    }
+
+    fn shl(&self, other: &Self) -> Self {
+        if let (Bound::Int(a), Bound::Int(b), Bound::Int(c), Bound::Int(d)) =
+            (&self.lo, &self.hi, &other.lo, &other.hi)
+        {
+            if a == b && c == d && (0..63).contains(c) {
+                return Self::of_int(a.saturating_mul(1i64 << c));
+            }
+        }
+        Self::top()
+    }
+
+    /// Smallest interval containing both (at control-flow joins).
+    fn hull(&self, other: &Self) -> Self {
+        Self {
+            lo: bmin(&self.lo, &other.lo),
+            hi: bmax(&self.hi, &other.hi),
+        }
+    }
+
+    /// Erases any bound that mentions `array` (the array was
+    /// reassigned; its size may have changed).
+    fn forget(&self, array: &str) -> Self {
+        let wipe = |b: &Bound, inf: Bound| match b {
+            Bound::Size(a, _) if a == array => inf,
+            other => other.clone(),
+        };
+        Self {
+            lo: wipe(&self.lo, Bound::NegInf),
+            hi: wipe(&self.hi, Bound::PosInf),
+        }
+    }
+}
+
+fn badd(a: &Bound, b: &Bound, upper: bool) -> Bound {
+    let inf = if upper { Bound::PosInf } else { Bound::NegInf };
+    match (a, b) {
+        (Bound::Int(x), Bound::Int(y)) => Bound::Int(x.saturating_add(*y)),
+        (Bound::Size(s, o), Bound::Int(k)) | (Bound::Int(k), Bound::Size(s, o)) => {
+            Bound::Size(s.clone(), o.saturating_add(*k))
+        }
+        _ => inf,
+    }
+}
+
+fn bneg(b: &Bound, upper: bool) -> Bound {
+    match b {
+        Bound::Int(x) => Bound::Int(x.saturating_neg()),
+        Bound::NegInf => Bound::PosInf,
+        Bound::PosInf => Bound::NegInf,
+        Bound::Size(..) => {
+            if upper {
+                Bound::PosInf
+            } else {
+                Bound::NegInf
+            }
+        }
+    }
+}
+
+fn bmin(a: &Bound, b: &Bound) -> Bound {
+    match (a, b) {
+        (Bound::Int(x), Bound::Int(y)) => Bound::Int(*x.min(y)),
+        (Bound::Size(s, o), Bound::Size(t, p)) if s == t => Bound::Size(s.clone(), *o.min(p)),
+        (Bound::PosInf, other) | (other, Bound::PosInf) => other.clone(),
+        _ => Bound::NegInf,
+    }
+}
+
+fn bmax(a: &Bound, b: &Bound) -> Bound {
+    match (a, b) {
+        (Bound::Int(x), Bound::Int(y)) => Bound::Int(*x.max(y)),
+        (Bound::Size(s, o), Bound::Size(t, p)) if s == t => Bound::Size(s.clone(), *o.max(p)),
+        (Bound::NegInf, other) | (other, Bound::NegInf) => other.clone(),
+        _ => Bound::PosInf,
+    }
+}
+
+/// The globals a function may read or write, transitively through
+/// every function it calls or hands to an operator as a lambda.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Summary {
+    reads: BTreeSet<String>,
+    writes: BTreeSet<String>,
+}
+
+/// Per-function dataflow state at one program point.
+#[derive(Debug, Clone)]
+struct Env {
+    /// Locals declared so far: type and whether definitely assigned.
+    locals: HashMap<String, (Ty, bool)>,
+    /// Globals definitely assigned so far (entry points only).
+    assigned_globals: HashSet<String>,
+    /// Symbolic intervals for integer-typed locals.
+    intervals: HashMap<String, Interval>,
+    /// Whether control definitely returned already.
+    terminated: bool,
+}
+
+struct Analyzer<'a> {
+    prog: &'a Program,
+    globals: HashMap<String, Ty>,
+    param_fields: HashMap<String, Ty>,
+    summaries: HashMap<String, Summary>,
+    report: Report,
+    /// (function, variable) pairs already reported, to avoid a
+    /// cascade per read.
+    reported: HashSet<(String, String)>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(prog: &'a Program) -> Self {
+        let globals = prog.globals.iter().cloned().collect();
+        let param_fields = prog
+            .params
+            .iter()
+            .flat_map(|p| p.fields.iter().cloned())
+            .collect();
+        let mut a = Self {
+            prog,
+            globals,
+            param_fields,
+            summaries: HashMap::new(),
+            report: Report::new(),
+            reported: HashSet::new(),
+        };
+        a.summaries = a.build_summaries();
+        a
+    }
+
+    /// Fixpoint over the call graph (direct calls and lambda
+    /// references): each function's transitive global reads/writes.
+    fn build_summaries(&self) -> HashMap<String, Summary> {
+        let mut direct: HashMap<String, Summary> = HashMap::new();
+        let mut callees: HashMap<String, BTreeSet<String>> = HashMap::new();
+        for f in &self.prog.functions {
+            let mut locals: HashSet<String> = f.params.iter().map(|(n, _)| n.clone()).collect();
+            collect_decls(&f.body, &mut locals);
+            let mut s = Summary::default();
+            let mut called = BTreeSet::new();
+            scan_stmts(&f.body, &mut |e| {
+                match e {
+                    Expr::Var(n) => {
+                        if self.globals.contains_key(n) && !locals.contains(n) {
+                            s.reads.insert(n.clone());
+                        }
+                        if self.prog.function(n).is_some() {
+                            called.insert(n.clone());
+                        }
+                    }
+                    Expr::Call { name, .. } => {
+                        if self.prog.function(name).is_some() {
+                            called.insert(name.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                true
+            });
+            for st in all_stmts(&f.body) {
+                if let Stmt::Assign(n, _) = st {
+                    if self.globals.contains_key(n) && !locals.contains(n) {
+                        s.writes.insert(n.clone());
+                    }
+                }
+            }
+            direct.insert(f.name.clone(), s);
+            callees.insert(f.name.clone(), called);
+        }
+        let mut summaries = direct.clone();
+        loop {
+            let mut changed = false;
+            for f in &self.prog.functions {
+                let mut s = summaries[&f.name].clone();
+                for c in &callees[&f.name] {
+                    if c == &f.name {
+                        continue;
+                    }
+                    if let Some(cs) = summaries.get(c).cloned() {
+                        s.reads.extend(cs.reads);
+                        s.writes.extend(cs.writes);
+                    }
+                }
+                if s != summaries[&f.name] {
+                    summaries.insert(f.name.clone(), s);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return summaries;
+            }
+        }
+    }
+
+    fn site(&self, f: &Function) -> Site {
+        Site::Dsl {
+            function: f.name.clone(),
+            line: f.line,
+        }
+    }
+
+    fn diag(&mut self, code: Code, f: &Function, msg: String) {
+        self.report.push(Diagnostic::new(code, self.site(f), msg));
+    }
+
+    fn diag_once(&mut self, code: Code, f: &Function, var: &str, msg: String) {
+        if self.reported.insert((f.name.clone(), var.to_string())) {
+            self.diag(code, f, msg);
+        }
+    }
+
+    fn function(&mut self, f: &Function) {
+        let is_entry = f.name == "encode" || f.name == "decode";
+        let mut env = Env {
+            locals: HashMap::new(),
+            assigned_globals: if is_entry {
+                HashSet::new()
+            } else {
+                // A udf's global reads are checked at its call sites;
+                // standalone, assume everything is available.
+                self.globals.keys().cloned().collect()
+            },
+            intervals: HashMap::new(),
+            terminated: false,
+        };
+        self.block(f, &f.body, &mut env);
+        self.dead_stores(f);
+    }
+
+    fn block(&mut self, f: &Function, stmts: &[Stmt], env: &mut Env) {
+        for st in stmts {
+            if env.terminated {
+                break;
+            }
+            self.stmt(f, st, env);
+        }
+    }
+
+    fn stmt(&mut self, f: &Function, st: &Stmt, env: &mut Env) {
+        match st {
+            Stmt::Decl(name, ty, init) => {
+                let assigned = if let Some(e) = init {
+                    let (ety, iv) = self.eval(f, e, env);
+                    self.overflow_check(f, name, *ty, ety, &iv);
+                    if matches!(ty, Ty::UInt(_) | Ty::Int32) {
+                        env.intervals.insert(name.clone(), iv);
+                    }
+                    true
+                } else {
+                    false
+                };
+                env.locals.insert(name.clone(), (*ty, assigned));
+            }
+            Stmt::Assign(name, e) => {
+                let (ety, iv) = self.eval(f, e, env);
+                let target_ty = self.target_ty(f, name, env);
+                if let Some(ty) = target_ty {
+                    self.overflow_check(f, name, ty, ety, &iv);
+                    if matches!(ty, Ty::Arr(_) | Ty::Bytes) {
+                        // The array's size may have changed; bounds
+                        // derived from it are stale.
+                        for v in env.intervals.values_mut() {
+                            *v = v.forget(name);
+                        }
+                    }
+                }
+                if let Some(entry) = env.locals.get_mut(name) {
+                    entry.1 = true;
+                    if matches!(entry.0, Ty::UInt(_) | Ty::Int32) {
+                        env.intervals.insert(name.clone(), iv);
+                    }
+                } else if self.globals.contains_key(name)
+                    && !f.params.iter().any(|(p, _)| p == name)
+                {
+                    env.assigned_globals.insert(name.clone());
+                }
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    let (ety, iv) = self.eval(f, e, env);
+                    self.overflow_check(f, "return value", f.ret, ety, &iv);
+                }
+                env.terminated = true;
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                self.eval(f, cond, env);
+                let pre_locals: HashSet<String> = env.locals.keys().cloned().collect();
+                let mut then_env = env.clone();
+                self.block(f, then_b, &mut then_env);
+                let mut else_env = env.clone();
+                self.block(f, else_b, &mut else_env);
+                *env = merge(then_env, else_env, &pre_locals);
+            }
+            Stmt::Expr(e) => {
+                self.eval(f, e, env);
+            }
+        }
+    }
+
+    /// The declared type of an assignment target, if known.
+    fn target_ty(&self, f: &Function, name: &str, env: &Env) -> Option<Ty> {
+        if let Some((ty, _)) = env.locals.get(name) {
+            return Some(*ty);
+        }
+        if let Some((_, ty)) = f.params.iter().find(|(p, _)| p == name) {
+            return Some(*ty);
+        }
+        self.globals.get(name).copied()
+    }
+
+    /// Evaluates an expression for diagnostics, returning its type
+    /// (when scalar and known) and value interval.
+    fn eval(&mut self, f: &Function, e: &Expr, env: &Env) -> (Option<Ty>, Interval) {
+        match e {
+            Expr::Int(k) => (Some(Ty::Int32), Interval::of_int(*k)),
+            Expr::Float(_) => (Some(Ty::Float), Interval::top()),
+            Expr::Var(name) => self.eval_var(f, name, env),
+            Expr::Member(base, field) => {
+                let (bty, _) = self.eval(f, base, env);
+                if field == "size" {
+                    if let (Expr::Var(array), Some(Ty::Arr(_) | Ty::Bytes)) = (base.as_ref(), bty) {
+                        return (Some(Ty::Int32), Interval::of_size(array));
+                    }
+                    return (Some(Ty::Int32), Interval::top());
+                }
+                if bty == Some(Ty::ParamStruct) {
+                    return (self.param_fields.get(field).copied(), Interval::top());
+                }
+                (None, Interval::top())
+            }
+            Expr::Index(base, idx) => {
+                let (bty, _) = self.eval(f, base, env);
+                let (_, iv) = self.eval(f, idx, env);
+                if let (Expr::Var(array), Some(Ty::Arr(_) | Ty::Bytes)) = (base.as_ref(), bty) {
+                    self.oob_check(f, array, &iv);
+                }
+                let elem = match bty {
+                    Some(Ty::Arr(ScalarTy::UInt(b))) => Some(Ty::UInt(b)),
+                    Some(Ty::Arr(ScalarTy::Int32)) => Some(Ty::Int32),
+                    Some(Ty::Arr(ScalarTy::Float)) => Some(Ty::Float),
+                    Some(Ty::Bytes) => Some(Ty::UInt(8)),
+                    _ => None,
+                };
+                (elem, Interval::top())
+            }
+            Expr::Call { name, args, .. } => self.eval_call(f, name, args, env),
+            Expr::Unary(UnOp::Neg, inner) => {
+                let (ty, iv) = self.eval(f, inner, env);
+                (ty, iv.negate())
+            }
+            Expr::Unary(UnOp::Not, inner) => {
+                self.eval(f, inner, env);
+                (
+                    Some(Ty::Int32),
+                    Interval {
+                        lo: Bound::Int(0),
+                        hi: Bound::Int(1),
+                    },
+                )
+            }
+            Expr::Bin(op, a, b) => {
+                let (ta, ia) = self.eval(f, a, env);
+                let (tb, ib) = self.eval(f, b, env);
+                let float = ta == Some(Ty::Float) || tb == Some(Ty::Float);
+                let iv = if float {
+                    Interval::top()
+                } else {
+                    match op {
+                        BinOp::Add => ia.add(&ib),
+                        BinOp::Sub => ia.sub(&ib),
+                        BinOp::Mul => ia.mul(&ib),
+                        BinOp::Rem => ia.rem(&ib),
+                        BinOp::Shl => ia.shl(&ib),
+                        BinOp::Eq
+                        | BinOp::Ne
+                        | BinOp::Lt
+                        | BinOp::Gt
+                        | BinOp::Le
+                        | BinOp::Ge
+                        | BinOp::And
+                        | BinOp::Or => Interval {
+                            lo: Bound::Int(0),
+                            hi: Bound::Int(1),
+                        },
+                        BinOp::Div | BinOp::Shr => Interval::top(),
+                    }
+                };
+                let ty = match op {
+                    BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Gt
+                    | BinOp::Le
+                    | BinOp::Ge
+                    | BinOp::And
+                    | BinOp::Or => Some(Ty::Int32),
+                    _ if float => Some(Ty::Float),
+                    _ => Some(Ty::Int32),
+                };
+                (ty, iv)
+            }
+        }
+    }
+
+    fn eval_var(&mut self, f: &Function, name: &str, env: &Env) -> (Option<Ty>, Interval) {
+        if let Some((ty, assigned)) = env.locals.get(name) {
+            if !assigned {
+                self.diag_once(
+                    Code::UseBeforeDef,
+                    f,
+                    name,
+                    format!("local '{name}' may be read before it is assigned"),
+                );
+            }
+            let iv = env
+                .intervals
+                .get(name)
+                .cloned()
+                .unwrap_or_else(Interval::top);
+            return (Some(*ty), iv);
+        }
+        if let Some((_, ty)) = f.params.iter().find(|(p, _)| p == name) {
+            return (Some(*ty), Interval::top());
+        }
+        if let Some(ty) = self.globals.get(name).copied() {
+            if !env.assigned_globals.contains(name) {
+                self.diag_once(
+                    Code::UseBeforeDef,
+                    f,
+                    name,
+                    format!("global '{name}' is read before this entry point assigns it"),
+                );
+            }
+            return (Some(ty), Interval::top());
+        }
+        // A function reference (lambda argument) or a name typeck
+        // already rejected.
+        (None, Interval::top())
+    }
+
+    fn eval_call(
+        &mut self,
+        f: &Function,
+        name: &str,
+        args: &[Expr],
+        env: &Env,
+    ) -> (Option<Ty>, Interval) {
+        for a in args {
+            self.eval(f, a, env);
+        }
+        if LAMBDA_OPS.contains(&name) {
+            if let Some(Expr::Var(lambda)) = args.get(1) {
+                if self.prog.function(lambda).is_some() {
+                    self.lambda_checks(f, name, lambda, env);
+                }
+            }
+        }
+        if let Some(callee) = self.prog.function(name) {
+            let summary = self.summaries.get(name).cloned().unwrap_or_default();
+            self.require_globals(f, name, &summary.reads, env);
+            return (Some(callee.ret), Interval::top());
+        }
+        match name {
+            "floor" | "ceil" | "abs" | "sqrt" | "min" | "max" | "random" | "reduce" => {
+                (Some(Ty::Float), Interval::top())
+            }
+            _ => (None, Interval::top()),
+        }
+    }
+
+    /// A lambda run once per element must not write globals (two
+    /// instances would race), and may only read globals the caller
+    /// has assigned.
+    fn lambda_checks(&mut self, f: &Function, op: &str, lambda: &str, env: &Env) {
+        let summary = self.summaries.get(lambda).cloned().unwrap_or_default();
+        if !summary.writes.is_empty() {
+            let written: Vec<&str> = summary.writes.iter().map(String::as_str).collect();
+            self.diag(
+                Code::ImpureLambda,
+                f,
+                format!(
+                    "lambda '{lambda}' passed to {op} writes global(s) {}: \
+                     parallel instances race on them",
+                    written.join(", ")
+                ),
+            );
+        }
+        self.require_globals(f, lambda, &summary.reads, env);
+    }
+
+    /// Every global the callee (transitively) reads must be
+    /// definitely assigned at this call site.
+    fn require_globals(&mut self, f: &Function, callee: &str, reads: &BTreeSet<String>, env: &Env) {
+        for g in reads {
+            if !env.assigned_globals.contains(g) {
+                self.diag_once(
+                    Code::UseBeforeDef,
+                    f,
+                    g,
+                    format!(
+                        "'{callee}' reads global '{g}', which this entry point \
+                         has not assigned yet"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `D004`: a definitely-too-large (or definitely negative)
+    /// integer stored where only `N` bits fit.
+    fn overflow_check(
+        &mut self,
+        f: &Function,
+        target: &str,
+        target_ty: Ty,
+        expr_ty: Option<Ty>,
+        iv: &Interval,
+    ) {
+        let Ty::UInt(bits) = target_ty else {
+            return;
+        };
+        if !matches!(expr_ty, Some(Ty::Int32 | Ty::UInt(_))) {
+            return;
+        }
+        let cap = 1i64 << bits;
+        if let Bound::Int(lo) = iv.lo {
+            if lo >= cap {
+                self.diag(
+                    Code::UintOverflow,
+                    f,
+                    format!("{target}: value is at least {lo}, which cannot fit in uint{bits}"),
+                );
+                return;
+            }
+        }
+        if let Bound::Int(hi) = iv.hi {
+            if hi < 0 {
+                self.diag(
+                    Code::UintOverflow,
+                    f,
+                    format!("{target}: value is negative (at most {hi}); uint{bits} is unsigned"),
+                );
+            }
+        }
+    }
+
+    /// `D003`: an index provably negative or provably at/past the end
+    /// of the array it indexes.
+    fn oob_check(&mut self, f: &Function, array: &str, iv: &Interval) {
+        if let Bound::Int(hi) = iv.hi {
+            if hi < 0 {
+                self.diag(
+                    Code::IndexOutOfBounds,
+                    f,
+                    format!("index into '{array}' is at most {hi} (negative)"),
+                );
+                return;
+            }
+        }
+        if let Bound::Size(a, off) = &iv.lo {
+            if a == array && *off >= 0 {
+                self.diag(
+                    Code::IndexOutOfBounds,
+                    f,
+                    format!(
+                        "index into '{array}' is at least {array}.size{}",
+                        if *off > 0 {
+                            format!(" + {off}")
+                        } else {
+                            String::new()
+                        }
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `D002`: pure stores that are never read — either the local is
+    /// never read at all, or the store is overwritten before any read
+    /// within one straight-line block. Stores whose right-hand side
+    /// contains a call are exempt: `extract` advances the stream
+    /// cursor, and calls in general may have effects worth keeping.
+    fn dead_stores(&mut self, f: &Function) {
+        let mut locals: HashSet<String> = HashSet::new();
+        collect_decls(&f.body, &mut locals);
+        let params: HashSet<String> = f.params.iter().map(|(n, _)| n.clone()).collect();
+        let mut reads: HashSet<String> = HashSet::new();
+        scan_stmts(&f.body, &mut |e| {
+            if let Expr::Var(n) = e {
+                reads.insert(n.clone());
+            }
+            true
+        });
+        let is_trackable = |n: &String| locals.contains(n) && !params.contains(n);
+        // Never read at all.
+        let mut never_read_flagged: HashSet<String> = HashSet::new();
+        for st in all_stmts(&f.body) {
+            let (name, rhs) = match st {
+                Stmt::Decl(n, _, Some(e)) => (n, e),
+                Stmt::Assign(n, e) => (n, e),
+                _ => continue,
+            };
+            if is_trackable(name)
+                && !reads.contains(name)
+                && is_pure(rhs)
+                && never_read_flagged.insert(name.clone())
+            {
+                self.diag(
+                    Code::DeadStore,
+                    f,
+                    format!("local '{name}' is assigned but never read"),
+                );
+            }
+        }
+        // Overwritten before any read, per straight-line block.
+        self.overwrites(f, &f.body, &|n: &String| {
+            is_trackable(n) && reads.contains(n)
+        });
+    }
+
+    fn overwrites(&mut self, f: &Function, block: &[Stmt], trackable: &dyn Fn(&String) -> bool) {
+        let mut pending: HashSet<String> = HashSet::new();
+        for st in block {
+            let mut stmt_reads = HashSet::new();
+            scan_stmts(std::slice::from_ref(st), &mut |e| {
+                if let Expr::Var(n) = e {
+                    stmt_reads.insert(n.clone());
+                }
+                true
+            });
+            for r in &stmt_reads {
+                pending.remove(r);
+            }
+            match st {
+                Stmt::Decl(n, _, Some(e)) | Stmt::Assign(n, e) if trackable(n) => {
+                    if pending.contains(n) {
+                        self.diag(
+                            Code::DeadStore,
+                            f,
+                            format!("'{n}' is overwritten before the previous store is read"),
+                        );
+                    }
+                    if is_pure(e) {
+                        pending.insert(n.clone());
+                    } else {
+                        pending.remove(n);
+                    }
+                }
+                Stmt::If(_, then_b, else_b) => {
+                    // Conditional stores invalidate tracking.
+                    let mut written = HashSet::new();
+                    for inner in all_stmts(then_b).chain(all_stmts(else_b)) {
+                        match inner {
+                            Stmt::Decl(n, _, _) | Stmt::Assign(n, _) => {
+                                written.insert(n.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                    for w in &written {
+                        pending.remove(w);
+                    }
+                    self.overwrites(f, then_b, trackable);
+                    self.overwrites(f, else_b, trackable);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Joins the two branch states after an `if`.
+fn merge(then_env: Env, else_env: Env, pre_locals: &HashSet<String>) -> Env {
+    if then_env.terminated && !else_env.terminated {
+        return restrict(else_env, pre_locals);
+    }
+    if else_env.terminated && !then_env.terminated {
+        return restrict(then_env, pre_locals);
+    }
+    if then_env.terminated && else_env.terminated {
+        let mut env = restrict(then_env, pre_locals);
+        env.terminated = true;
+        return env;
+    }
+    let mut env = restrict(then_env, pre_locals);
+    // Definitely-assigned = assigned on both paths.
+    for (name, entry) in env.locals.iter_mut() {
+        let else_assigned = else_env.locals.get(name).map(|(_, a)| *a).unwrap_or(false);
+        entry.1 = entry.1 && else_assigned;
+    }
+    env.assigned_globals = env
+        .assigned_globals
+        .intersection(&else_env.assigned_globals)
+        .cloned()
+        .collect();
+    let mut intervals = HashMap::new();
+    for (name, iv) in &env.intervals {
+        if let Some(other) = else_env.intervals.get(name) {
+            intervals.insert(name.clone(), iv.hull(other));
+        }
+    }
+    env.intervals = intervals;
+    env
+}
+
+/// Drops locals declared inside a branch (they go out of scope).
+fn restrict(mut env: Env, pre_locals: &HashSet<String>) -> Env {
+    env.locals.retain(|n, _| pre_locals.contains(n));
+    env.intervals.retain(|n, _| pre_locals.contains(n));
+    env
+}
+
+/// All statements in a block, recursing into `if` branches.
+fn all_stmts(block: &[Stmt]) -> Box<dyn Iterator<Item = &Stmt> + '_> {
+    Box::new(block.iter().flat_map(|st| {
+        let nested: Box<dyn Iterator<Item = &Stmt>> = match st {
+            Stmt::If(_, t, e) => Box::new(all_stmts(t).chain(all_stmts(e))),
+            _ => Box::new(std::iter::empty()),
+        };
+        std::iter::once(st).chain(nested)
+    }))
+}
+
+/// Collects every `Decl`ed name in a block (recursively).
+fn collect_decls(block: &[Stmt], out: &mut HashSet<String>) {
+    for st in all_stmts(block) {
+        if let Stmt::Decl(n, _, _) = st {
+            out.insert(n.clone());
+        }
+    }
+}
+
+/// Visits every expression in a block (recursively), including
+/// subexpressions.
+fn scan_stmts(block: &[Stmt], visit: &mut dyn FnMut(&Expr) -> bool) {
+    fn walk(e: &Expr, visit: &mut dyn FnMut(&Expr) -> bool) {
+        if !visit(e) {
+            return;
+        }
+        match e {
+            Expr::Member(b, _) => walk(b, visit),
+            Expr::Index(b, i) => {
+                walk(b, visit);
+                walk(i, visit);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    walk(a, visit);
+                }
+            }
+            Expr::Unary(_, inner) => walk(inner, visit),
+            Expr::Bin(_, a, b) => {
+                walk(a, visit);
+                walk(b, visit);
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        }
+    }
+    for st in all_stmts(block) {
+        match st {
+            Stmt::Decl(_, _, Some(e)) | Stmt::Assign(_, e) | Stmt::Expr(e) => walk(e, visit),
+            Stmt::Return(Some(e)) => walk(e, visit),
+            Stmt::If(c, _, _) => walk(c, visit),
+            _ => {}
+        }
+    }
+}
+
+/// An expression with no calls: safe to drop without losing effects.
+fn is_pure(e: &Expr) -> bool {
+    let mut pure = true;
+    fn walk(e: &Expr, pure: &mut bool) {
+        match e {
+            Expr::Call { .. } => *pure = false,
+            Expr::Member(b, _) => walk(b, pure),
+            Expr::Index(b, i) => {
+                walk(b, pure);
+                walk(i, pure);
+            }
+            Expr::Unary(_, inner) => walk(inner, pure),
+            Expr::Bin(_, a, b) => {
+                walk(a, pure);
+                walk(b, pure);
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        }
+    }
+    walk(e, &mut pure);
+    pure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Report {
+        let prog = hipress_compll::compile(src).expect("counterexamples must still type-check");
+        analyze(&prog)
+    }
+
+    #[test]
+    fn shipped_programs_are_clean() {
+        use hipress_compll::algorithms as algs;
+        let sources = [
+            ("onebit", algs::ONEBIT_DSL.to_string()),
+            ("tbq", algs::TBQ_DSL.to_string()),
+            ("dgc", algs::DGC_DSL.to_string()),
+            ("graddrop", algs::GRADDROP_DSL.to_string()),
+            ("adacomp", algs::ADACOMP_DSL.to_string()),
+            (
+                "terngrad1",
+                algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint1"),
+            ),
+            (
+                "terngrad2",
+                algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint2"),
+            ),
+            (
+                "terngrad4",
+                algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint4"),
+            ),
+            (
+                "terngrad8",
+                algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint8"),
+            ),
+        ];
+        for (name, src) in sources {
+            let r = check(&src);
+            assert!(r.is_clean(), "{name}:\n{}", r.render());
+        }
+    }
+
+    #[test]
+    fn index_past_end_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                float x = gradient[gradient.size];
+                compressed = concat(x);
+            }",
+        );
+        assert!(r.has(Code::IndexOutOfBounds), "{}", r.render());
+    }
+
+    #[test]
+    fn negative_index_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                float x = gradient[0 - 1];
+                compressed = concat(x);
+            }",
+        );
+        assert!(r.has(Code::IndexOutOfBounds), "{}", r.render());
+    }
+
+    #[test]
+    fn in_bounds_last_element_not_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                float x = gradient[gradient.size - 1];
+                compressed = concat(x);
+            }",
+        );
+        assert!(!r.has(Code::IndexOutOfBounds), "{}", r.render());
+    }
+
+    #[test]
+    fn uint_overflow_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                uint2 q = 7;
+                compressed = concat(q);
+            }",
+        );
+        assert!(r.has(Code::UintOverflow), "{}", r.render());
+    }
+
+    #[test]
+    fn uint_overflow_on_return_flagged() {
+        let r = check(
+            "uint2 three(float x) { return 5; }
+            void encode(float* gradient, uint8* compressed) {
+                uint2* Q = map(gradient, three);
+                compressed = concat(Q);
+            }",
+        );
+        assert!(r.has(Code::UintOverflow), "{}", r.render());
+    }
+
+    #[test]
+    fn impure_lambda_flagged() {
+        let r = check(
+            "float acc;
+            uint1 markAndKeep(float x) { acc = x; return 1; }
+            void encode(float* gradient, uint8* compressed) {
+                acc = 0.0;
+                uint1* Q = map(gradient, markAndKeep);
+                compressed = concat(Q);
+            }",
+        );
+        assert!(r.has(Code::ImpureLambda), "{}", r.render());
+    }
+
+    #[test]
+    fn local_use_before_def_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                float x;
+                float y = x + 1.0;
+                compressed = concat(y);
+            }",
+        );
+        assert!(r.has(Code::UseBeforeDef), "{}", r.render());
+        assert!(r.error_count() > 0);
+    }
+
+    #[test]
+    fn global_read_before_assign_warns() {
+        let r = check(
+            "float scale;
+            float scaled(float x) { return x * scale; }
+            void encode(float* gradient, uint8* compressed) {
+                float* S = map(gradient, scaled);
+                compressed = concat(S);
+            }",
+        );
+        assert!(r.has(Code::UseBeforeDef), "{}", r.render());
+    }
+
+    #[test]
+    fn conditional_assignment_not_definite() {
+        let r = check(
+            "float scale;
+            float scaled(float x) { return x * scale; }
+            void encode(float* gradient, uint8* compressed) {
+                if (gradient.size > 10) { scale = 2.0; }
+                float* S = map(gradient, scaled);
+                compressed = concat(S);
+            }",
+        );
+        assert!(r.has(Code::UseBeforeDef), "{}", r.render());
+    }
+
+    #[test]
+    fn early_return_branch_keeps_other_path_definite() {
+        let r = check(
+            "float scale;
+            float scaled(float x) { return x * scale; }
+            void encode(float* gradient, uint8* compressed) {
+                if (gradient.size == 0) {
+                    compressed = concat(0);
+                    return;
+                }
+                scale = 2.0;
+                float* S = map(gradient, scaled);
+                compressed = concat(S);
+            }",
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn dead_store_never_read_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                float unused = 3.0;
+                compressed = concat(gradient.size);
+            }",
+        );
+        assert!(r.has(Code::DeadStore), "{}", r.render());
+        assert_eq!(r.error_count(), 0, "{}", r.render());
+    }
+
+    #[test]
+    fn dead_store_overwrite_flagged() {
+        let r = check(
+            "void encode(float* gradient, uint8* compressed) {
+                float x = 1.0;
+                x = 2.0;
+                compressed = concat(x);
+            }",
+        );
+        assert!(r.has(Code::DeadStore), "{}", r.render());
+    }
+
+    #[test]
+    fn effectful_store_exempt_from_dead_store() {
+        // Mirrors TernGrad's decode, which extracts stream fields it
+        // never reads (params carry the authoritative values): the
+        // extract must still run to advance the cursor.
+        let r = check(
+            "void decode(uint8* compressed, float* gradient) {
+                uint8 skipped = extract(compressed);
+                gradient = extract(compressed, gradient.size);
+            }",
+        );
+        assert!(!r.has(Code::DeadStore), "{}", r.render());
+    }
+}

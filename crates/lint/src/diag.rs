@@ -1,0 +1,350 @@
+//! The diagnostics core shared by both analyzers: codes, severities,
+//! provenance sites, and human-readable rendering.
+
+use std::fmt;
+
+use hipress_core::graph::TaskId;
+use hipress_util::{Error, Result};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong — reported, never fatal.
+    Warning,
+    /// A defect: the plan or program would misbehave if executed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Every check the two analyzers can report, with a stable code.
+///
+/// `P…` codes come from the plan verifier ([`crate::plan::verify`]),
+/// `D…` codes from the CompLL dataflow analyzer
+/// ([`crate::dataflow::analyze`]). The catalogue (with examples) is
+/// documented in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// P001 — a task is placed on a node outside the cluster.
+    UnknownNode,
+    /// P002 — a dependency edge points at a missing task or at the
+    /// task itself.
+    OrphanDep,
+    /// P003 — the dependency relation contains a cycle; the plan can
+    /// never complete.
+    DependencyCycle,
+    /// P004 — a Send/Recv has a missing, out-of-range, or self peer.
+    BadPeer,
+    /// P005 — a Recv is not paired with exactly one matching Send
+    /// (wrong count, wrong node, or wrong peer on either side).
+    UnpairedRecv,
+    /// P006 — a paired Send/Recv disagree on chunk identity or wire
+    /// bytes.
+    PayloadMismatch,
+    /// P007 — a Send whose payload no Recv ever consumes.
+    UnconsumedSend,
+    /// P008 — a task's value source is missing: decode without a
+    /// recv, encoded send without an encode, forward without a recv,
+    /// merge with nothing to merge, or a read of a chunk no Source
+    /// initialized.
+    MissingValueSource,
+    /// P009 — a payload of the wrong kind flows into a task (decode
+    /// of a raw payload, raw merge/update of a compressed payload).
+    PayloadKindMismatch,
+    /// P010 — a read and a write of the same chunk replica are not
+    /// ordered by happens-before (the PR-1 dissemination bug class).
+    DataRace,
+    /// P011 — two writes of the same chunk replica are not ordered by
+    /// happens-before.
+    DoubleWrite,
+    /// P012 — two sends on one channel are ordered one way but their
+    /// receives are consumed in the opposite order: a FIFO fabric
+    /// deadlocks or crosses payloads.
+    FifoInversion,
+    /// P013 — a chunk replica is initialized by a Source but never
+    /// committed by an Update; synchronization silently never
+    /// finishes there.
+    MissingCompletion,
+    /// P014 — an Update commits a value that cannot have aggregated
+    /// every node's contribution (some Source is not an ancestor).
+    IncompleteAggregation,
+    /// P015 — tasks touching one chunk disagree on its raw size.
+    ChunkSizeMismatch,
+    /// P016 — the graph exceeds the deep-analysis size bound; only
+    /// structural checks ran.
+    AnalysisSkipped,
+    /// D001 — a local or global is read before any assignment.
+    UseBeforeDef,
+    /// D002 — a pure store whose value is overwritten or never read.
+    DeadStore,
+    /// D003 — an index expression is provably outside its array.
+    IndexOutOfBounds,
+    /// D004 — an integer provably too large (or negative) is packed
+    /// into a `uintN` cell.
+    UintOverflow,
+    /// D005 — a lambda used in a data-parallel operator writes a
+    /// global: two instances race on it in the generated CUDA.
+    ImpureLambda,
+}
+
+impl Code {
+    /// The stable short code (`P010`, `D003`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnknownNode => "P001",
+            Code::OrphanDep => "P002",
+            Code::DependencyCycle => "P003",
+            Code::BadPeer => "P004",
+            Code::UnpairedRecv => "P005",
+            Code::PayloadMismatch => "P006",
+            Code::UnconsumedSend => "P007",
+            Code::MissingValueSource => "P008",
+            Code::PayloadKindMismatch => "P009",
+            Code::DataRace => "P010",
+            Code::DoubleWrite => "P011",
+            Code::FifoInversion => "P012",
+            Code::MissingCompletion => "P013",
+            Code::IncompleteAggregation => "P014",
+            Code::ChunkSizeMismatch => "P015",
+            Code::AnalysisSkipped => "P016",
+            Code::UseBeforeDef => "D001",
+            Code::DeadStore => "D002",
+            Code::IndexOutOfBounds => "D003",
+            Code::UintOverflow => "D004",
+            Code::ImpureLambda => "D005",
+        }
+    }
+
+    /// The severity this code always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnconsumedSend
+            | Code::ChunkSizeMismatch
+            | Code::AnalysisSkipped
+            | Code::DeadStore => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Site {
+    /// The plan as a whole (cycles, skipped analysis).
+    Graph,
+    /// One task in a plan.
+    Task(TaskId),
+    /// Two tasks in a plan (races, inversions, bad pairings).
+    Tasks(TaskId, TaskId),
+    /// A location in a CompLL program.
+    Dsl {
+        /// The enclosing function.
+        function: String,
+        /// The function's source line (CompLL tracks per-function
+        /// lines, not per-statement).
+        line: u32,
+    },
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::Graph => write!(f, "plan"),
+            Site::Task(t) => write!(f, "task {}", t.0),
+            Site::Tasks(a, b) => write!(f, "tasks {}/{}", a.0, b.0),
+            Site::Dsl { function, line } => write!(f, "fn {function} (line {line})"),
+        }
+    }
+}
+
+/// One finding: a coded, sited, human-readable defect description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub code: Code,
+    /// Where it fired.
+    pub site: Site,
+    /// What is wrong, in one sentence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity comes from the code.
+    pub fn new(code: Code, site: Site, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            site,
+            message: message.into(),
+        }
+    }
+
+    /// The severity of this diagnostic.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity(),
+            self.code,
+            self.site,
+            self.message
+        )
+    }
+}
+
+/// The outcome of one analyzer run: all diagnostics, in emission
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Only the error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// True when there are no diagnostics at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one diagnostic carries the given code.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders every diagnostic, one per line.
+    pub fn render(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// `Ok(())` when error-free; otherwise an [`Error::Lint`] whose
+    /// message is the rendered error diagnostics.
+    pub fn into_result(self) -> Result<()> {
+        if self.error_count() == 0 {
+            return Ok(());
+        }
+        let rendered = self
+            .errors()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(Error::lint(rendered))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::UnknownNode,
+            Code::OrphanDep,
+            Code::DependencyCycle,
+            Code::BadPeer,
+            Code::UnpairedRecv,
+            Code::PayloadMismatch,
+            Code::UnconsumedSend,
+            Code::MissingValueSource,
+            Code::PayloadKindMismatch,
+            Code::DataRace,
+            Code::DoubleWrite,
+            Code::FifoInversion,
+            Code::MissingCompletion,
+            Code::IncompleteAggregation,
+            Code::ChunkSizeMismatch,
+            Code::AnalysisSkipped,
+            Code::UseBeforeDef,
+            Code::DeadStore,
+            Code::IndexOutOfBounds,
+            Code::UintOverflow,
+            Code::ImpureLambda,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+        }
+    }
+
+    #[test]
+    fn report_severity_accounting() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(r.clone().into_result().is_ok());
+        r.push(Diagnostic::new(Code::UnconsumedSend, Site::Graph, "idle"));
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.error_count(), 0);
+        assert!(!r.is_clean());
+        assert!(r.clone().into_result().is_ok());
+        r.push(Diagnostic::new(
+            Code::DataRace,
+            Site::Tasks(TaskId(3), TaskId(7)),
+            "unordered read/write",
+        ));
+        assert_eq!(r.error_count(), 1);
+        let err = r.clone().into_result().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("P010"), "{msg}");
+        assert!(msg.contains("tasks 3/7"), "{msg}");
+        assert!(!msg.contains("P007"), "warnings must not fail: {msg}");
+    }
+}

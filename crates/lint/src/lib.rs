@@ -1,0 +1,65 @@
+//! `hipress-lint` — static analysis for HiPress.
+//!
+//! Two analyzers share one diagnostics core ([`diag`]):
+//!
+//! * [`plan::verify`] checks a CaSync [`hipress_core::TaskGraph`]
+//!   before anything executes it: structural sanity, dependency
+//!   cycles, Send/Recv pairing and FIFO ordering on the fabric,
+//!   happens-before races on chunk replicas, and completion /
+//!   aggregation coverage.
+//! * [`dataflow::analyze`] checks a type-checked CompLL program:
+//!   def-before-use, dead stores, interval-based index bounds, packed
+//!   `uintN` overflow, and lambda purity.
+//!
+//! Call [`install`] once (the `hipress` facade and CLI do) to make
+//! both analyzers load-bearing: in debug builds every graph built by
+//! `hipress_core::Strategy::build`, every graph interpreted, and
+//! every program compiled by `hipress_compll::compile` is analyzed
+//! automatically, and any error-severity diagnostic aborts with
+//! [`hipress_util::Error::Lint`]. Release builds skip the hooks;
+//! `hipress lint` runs the same analyzers standalone.
+
+#![forbid(unsafe_code)]
+
+pub mod dataflow;
+pub mod diag;
+pub mod plan;
+
+pub use diag::{Code, Diagnostic, Report, Severity, Site};
+
+use hipress_compll::ast::Program;
+use hipress_core::TaskGraph;
+use hipress_util::Result;
+
+/// Verifies a CaSync task graph; alias for [`plan::verify`].
+pub fn verify_graph(graph: &TaskGraph, cluster_nodes: usize) -> Report {
+    plan::verify(graph, cluster_nodes)
+}
+
+/// Analyzes a type-checked CompLL program; alias for
+/// [`dataflow::analyze`].
+pub fn check_program(prog: &Program) -> Report {
+    dataflow::analyze(prog)
+}
+
+/// Compiles CompLL source (lex, parse, typeck — without the installed
+/// debug hook, to avoid double analysis) and runs the dataflow
+/// analyzer on the result.
+///
+/// Returns `Err` when the program does not compile; the [`Report`]
+/// carries the dataflow diagnostics of a compiling program.
+pub fn check_source(source: &str) -> Result<Report> {
+    let toks = hipress_compll::lexer::lex(source)?;
+    let prog = hipress_compll::parser::parse(&toks)?;
+    hipress_compll::typeck::check(&prog)?;
+    Ok(dataflow::analyze(&prog))
+}
+
+/// Registers both analyzers as debug-build hooks in `hipress-core`
+/// and `hipress-compll`. Idempotent.
+pub fn install() {
+    hipress_core::graph::install_debug_verifier(|graph, cluster_nodes| {
+        plan::verify(graph, cluster_nodes).into_result()
+    });
+    hipress_compll::install_dataflow_check(|prog| dataflow::analyze(prog).into_result());
+}

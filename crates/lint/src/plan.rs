@@ -1,0 +1,968 @@
+//! The CaSync plan verifier.
+//!
+//! Builds a happens-before relation over a [`TaskGraph`] (transitive
+//! closure of the dependency edges) plus the fabric's send/recv
+//! pairing, then statically replays the interpreter's value-flow
+//! rules over every task. Anything the reference interpreter or the
+//! concurrent thread engine could trip over at run time — unmatched
+//! sends, payloads of the wrong kind, reads of chunks another task
+//! may still be writing — becomes a [`Diagnostic`] here, before any
+//! engine runs.
+//!
+//! The diagnostic catalogue (`P001`–`P016`) is documented on
+//! [`Code`] and in `DESIGN.md`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use hipress_core::graph::{Primitive, SendSrc, TaskGraph, TaskId, TaskNode};
+
+use crate::diag::{Code, Diagnostic, Report, Site};
+
+/// Graphs beyond this many tasks only get the structural checks; the
+/// happens-before closure is quadratic in memory (n²/8 bytes) and the
+/// deep checks are quadratic per cell/channel.
+pub const DEEP_ANALYSIS_LIMIT: usize = 20_000;
+
+/// A chunk replica: one node's accumulator for one gradient chunk.
+type Cell = (usize, u32, u32);
+
+/// What a task does to its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Access {
+    Read,
+    Write,
+}
+
+/// What travels over a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Raw,
+    Compressed,
+}
+
+/// Verifies a task graph against a cluster of `cluster_nodes` nodes.
+///
+/// Runs every check that does not require dependency edges to be
+/// well-formed first; if edges are broken (orphan deps, cycles) the
+/// deep happens-before phase is skipped — its diagnostics would be
+/// noise on top of the structural ones.
+pub fn verify(graph: &TaskGraph, cluster_nodes: usize) -> Report {
+    let mut report = Report::new();
+    let deps_ok = structural(graph, cluster_nodes, &mut report);
+    if !deps_ok {
+        return report;
+    }
+    let Some(topo) = topo_or_cycle(graph, &mut report) else {
+        return report;
+    };
+    if graph.len() > DEEP_ANALYSIS_LIMIT {
+        report.push(Diagnostic::new(
+            Code::AnalysisSkipped,
+            Site::Graph,
+            format!(
+                "graph has {} tasks (> {DEEP_ANALYSIS_LIMIT}); deep analysis skipped",
+                graph.len()
+            ),
+        ));
+        return report;
+    }
+    let hb = Closure::build(graph, &topo);
+    let pairing = Pairing::build(graph);
+    value_sources(graph, &hb, &pairing, &mut report);
+    races(graph, &hb, &mut report);
+    fifo_order(graph, &hb, &pairing, &mut report);
+    completion(graph, &hb, &mut report);
+    chunk_sizes(graph, &mut report);
+    report
+}
+
+/// Short human label for a task: `Send(node 2, g0.p1)`.
+fn describe(t: &TaskNode) -> String {
+    format!(
+        "{:?}(node {}, g{}.p{})",
+        t.prim, t.node, t.chunk.grad, t.chunk.part
+    )
+}
+
+/// Node bounds, dependency sanity, peer sanity, send/recv pairing.
+/// Returns false when dependency edges themselves are broken.
+fn structural(graph: &TaskGraph, cluster_nodes: usize, report: &mut Report) -> bool {
+    let n = graph.len();
+    let mut deps_ok = true;
+    for t in graph.tasks() {
+        if t.node >= cluster_nodes {
+            report.push(Diagnostic::new(
+                Code::UnknownNode,
+                Site::Task(t.id),
+                format!(
+                    "{} placed on node {} of a {cluster_nodes}-node cluster",
+                    describe(t),
+                    t.node
+                ),
+            ));
+        }
+        for d in &t.deps {
+            if d.0 as usize >= n || *d == t.id {
+                deps_ok = false;
+                report.push(Diagnostic::new(
+                    Code::OrphanDep,
+                    Site::Task(t.id),
+                    format!(
+                        "{} depends on nonexistent or self task {}",
+                        describe(t),
+                        d.0
+                    ),
+                ));
+            }
+        }
+        match t.prim {
+            Primitive::Send | Primitive::Recv => match t.peer {
+                None => report.push(Diagnostic::new(
+                    Code::BadPeer,
+                    Site::Task(t.id),
+                    format!("{} lacks a peer", describe(t)),
+                )),
+                Some(p) if p == t.node || p >= cluster_nodes => report.push(Diagnostic::new(
+                    Code::BadPeer,
+                    Site::Task(t.id),
+                    format!("{} has bad peer {p}", describe(t)),
+                )),
+                Some(_) => {}
+            },
+            _ => {}
+        }
+    }
+    if !deps_ok {
+        return false;
+    }
+    for t in graph.tasks() {
+        if t.prim != Primitive::Recv {
+            continue;
+        }
+        let sends: Vec<&TaskNode> = t
+            .deps
+            .iter()
+            .map(|d| graph.task(*d))
+            .filter(|d| d.prim == Primitive::Send)
+            .collect();
+        match sends.as_slice() {
+            [s] => {
+                if t.peer.is_some() && (s.node != t.peer.unwrap() || s.peer != Some(t.node)) {
+                    report.push(Diagnostic::new(
+                        Code::UnpairedRecv,
+                        Site::Tasks(t.id, s.id),
+                        format!(
+                            "{} expects its payload from node {:?} but is wired to {} ({} -> {:?})",
+                            describe(t),
+                            t.peer,
+                            describe(s),
+                            s.node,
+                            s.peer
+                        ),
+                    ));
+                } else if s.chunk != t.chunk || s.bytes_wire != t.bytes_wire {
+                    report.push(Diagnostic::new(
+                        Code::PayloadMismatch,
+                        Site::Tasks(t.id, s.id),
+                        format!(
+                            "{} (g{}.p{}, {} wire bytes) disagrees with {} (g{}.p{}, {} wire bytes)",
+                            describe(t),
+                            t.chunk.grad,
+                            t.chunk.part,
+                            t.bytes_wire,
+                            describe(s),
+                            s.chunk.grad,
+                            s.chunk.part,
+                            s.bytes_wire
+                        ),
+                    ));
+                }
+            }
+            _ => report.push(Diagnostic::new(
+                Code::UnpairedRecv,
+                Site::Task(t.id),
+                format!(
+                    "{} depends on {} sends (want exactly 1)",
+                    describe(t),
+                    sends.len()
+                ),
+            )),
+        }
+    }
+    true
+}
+
+/// Kahn order, or a cycle diagnostic.
+fn topo_or_cycle(graph: &TaskGraph, report: &mut Report) -> Option<Vec<TaskId>> {
+    let n = graph.len();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for t in graph.tasks() {
+        for d in &t.deps {
+            indeg[t.id.0 as usize] += 1;
+            out[d.0 as usize].push(t.id.0);
+        }
+    }
+    let mut q: VecDeque<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = q.pop_front() {
+        order.push(TaskId(i));
+        for &s in &out[i as usize] {
+            indeg[s as usize] -= 1;
+            if indeg[s as usize] == 0 {
+                q.push_back(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n).filter(|&i| indeg[i] > 0).count();
+        let witness = (0..n).find(|&i| indeg[i] > 0).unwrap();
+        report.push(Diagnostic::new(
+            Code::DependencyCycle,
+            Site::Task(TaskId(witness as u32)),
+            format!(
+                "dependency cycle: {stuck} tasks can never run, e.g. {}",
+                describe(graph.task(TaskId(witness as u32)))
+            ),
+        ));
+        return None;
+    }
+    Some(order)
+}
+
+/// Transitive closure of the dependency relation as per-task ancestor
+/// bitsets.
+struct Closure {
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl Closure {
+    fn build(graph: &TaskGraph, topo: &[TaskId]) -> Self {
+        let n = graph.len();
+        let words = n.div_ceil(64);
+        let mut rows = vec![0u64; n * words];
+        for &id in topo {
+            let i = id.0 as usize;
+            for d in &graph.task(id).deps {
+                let di = d.0 as usize;
+                let (dst, src) = split_rows(&mut rows, i, di, words);
+                for (a, b) in dst.iter_mut().zip(src) {
+                    *a |= *b;
+                }
+                rows[i * words + di / 64] |= 1 << (di % 64);
+            }
+        }
+        Self { words, rows }
+    }
+
+    /// True when `anc` happens strictly before `desc` (is an
+    /// ancestor).
+    fn before(&self, anc: TaskId, desc: TaskId) -> bool {
+        let (a, d) = (anc.0 as usize, desc.0 as usize);
+        self.rows[d * self.words + a / 64] >> (a % 64) & 1 == 1
+    }
+
+    /// True when the two tasks are ordered either way.
+    fn ordered(&self, a: TaskId, b: TaskId) -> bool {
+        self.before(a, b) || self.before(b, a)
+    }
+}
+
+/// Borrows row `i` mutably and row `j` immutably from the flat bitset.
+fn split_rows(rows: &mut [u64], i: usize, j: usize, words: usize) -> (&mut [u64], &[u64]) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = rows.split_at_mut(j * words);
+        (&mut lo[i * words..(i + 1) * words], &hi[..words])
+    } else {
+        let (lo, hi) = rows.split_at_mut(i * words);
+        (&mut hi[..words], &lo[j * words..(j + 1) * words])
+    }
+}
+
+/// The fabric view: which recvs consume which sends.
+struct Pairing {
+    /// send id → recvs listing it as a direct dependency.
+    consumers: HashMap<TaskId, Vec<TaskId>>,
+}
+
+impl Pairing {
+    fn build(graph: &TaskGraph) -> Self {
+        let mut consumers: HashMap<TaskId, Vec<TaskId>> = HashMap::new();
+        for t in graph.tasks() {
+            if t.prim != Primitive::Recv {
+                continue;
+            }
+            for d in &t.deps {
+                if graph.task(*d).prim == Primitive::Send {
+                    consumers.entry(*d).or_default().push(t.id);
+                }
+            }
+        }
+        Self { consumers }
+    }
+
+    /// The recv consuming this send, when unique.
+    fn recv_of(&self, send: TaskId) -> Option<TaskId> {
+        match self.consumers.get(&send).map(Vec::as_slice) {
+            Some([r]) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// Mirrors the interpreter's `find_dep`: depth-first over direct
+/// dependencies, looking through `Barrier` pseudo-tasks only.
+fn find_dep(graph: &TaskGraph, t: &TaskNode, want: Primitive) -> Option<TaskId> {
+    let mut stack: Vec<TaskId> = t.deps.clone();
+    while let Some(d) = stack.pop() {
+        let dt = graph.task(d);
+        if dt.prim == want {
+            return Some(d);
+        }
+        if dt.prim == Primitive::Barrier {
+            stack.extend(dt.deps.iter().copied());
+        }
+    }
+    None
+}
+
+/// The payload kind a send puts on the wire (`None` when the forward
+/// chain is broken — reported elsewhere).
+fn send_kind(graph: &TaskGraph, send: TaskId) -> Option<Kind> {
+    let t = graph.task(send);
+    match t.send_src {
+        SendSrc::Raw => Some(Kind::Raw),
+        SendSrc::Encoded => Some(Kind::Compressed),
+        SendSrc::Forward => {
+            let recv = find_dep(graph, t, Primitive::Recv)?;
+            let upstream = graph
+                .task(recv)
+                .deps
+                .iter()
+                .copied()
+                .find(|d| graph.task(*d).prim == Primitive::Send)?;
+            send_kind(graph, upstream)
+        }
+    }
+}
+
+/// The payload kind a recv delivers.
+fn recv_kind(graph: &TaskGraph, recv: TaskId) -> Option<Kind> {
+    let send = graph
+        .task(recv)
+        .deps
+        .iter()
+        .copied()
+        .find(|d| graph.task(*d).prim == Primitive::Send)?;
+    send_kind(graph, send)
+}
+
+/// Sources per cell, for initialized-before-read checks.
+fn cell_sources(graph: &TaskGraph) -> HashMap<Cell, Vec<TaskId>> {
+    let mut m: HashMap<Cell, Vec<TaskId>> = HashMap::new();
+    for t in graph.tasks() {
+        if t.prim == Primitive::Source {
+            m.entry((t.node, t.chunk.grad, t.chunk.part))
+                .or_default()
+                .push(t.id);
+        }
+    }
+    m
+}
+
+/// Statically replays the interpreter's per-primitive value-source
+/// resolution: every task must be able to find the data it consumes,
+/// of the kind it expects (`P008`, `P009`, `P007`).
+fn value_sources(graph: &TaskGraph, hb: &Closure, pairing: &Pairing, report: &mut Report) {
+    let sources = cell_sources(graph);
+    let initialized = |t: &TaskNode| {
+        sources
+            .get(&(t.node, t.chunk.grad, t.chunk.part))
+            .is_some_and(|ss| ss.iter().any(|s| hb.before(*s, t.id)))
+    };
+    let missing = |report: &mut Report, t: &TaskNode, what: &str| {
+        report.push(Diagnostic::new(
+            Code::MissingValueSource,
+            Site::Task(t.id),
+            format!("{}: {what}", describe(t)),
+        ));
+    };
+    for t in graph.tasks() {
+        match t.prim {
+            Primitive::Encode => {
+                if !initialized(t) {
+                    missing(report, t, "encodes a chunk no Source initialized before it");
+                }
+            }
+            Primitive::Decode => match find_dep(graph, t, Primitive::Recv) {
+                None => missing(report, t, "decode without a recv dependency"),
+                Some(r) => {
+                    if recv_kind(graph, r) == Some(Kind::Raw) {
+                        report.push(Diagnostic::new(
+                            Code::PayloadKindMismatch,
+                            Site::Tasks(t.id, r),
+                            format!("{} decodes a raw payload", describe(t)),
+                        ));
+                    }
+                }
+            },
+            Primitive::Merge => {
+                if !initialized(t) {
+                    missing(
+                        report,
+                        t,
+                        "merges into an accumulator no Source initialized",
+                    );
+                }
+                if find_dep(graph, t, Primitive::Decode).is_none() {
+                    match find_dep(graph, t, Primitive::Recv) {
+                        None => missing(report, t, "merge with nothing to merge"),
+                        Some(r) => {
+                            if recv_kind(graph, r) == Some(Kind::Compressed) {
+                                report.push(Diagnostic::new(
+                                    Code::PayloadKindMismatch,
+                                    Site::Tasks(t.id, r),
+                                    format!(
+                                        "{} raw-merges a compressed payload (missing decode)",
+                                        describe(t)
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Primitive::Send => {
+                match t.send_src {
+                    SendSrc::Raw => {
+                        if !initialized(t) {
+                            missing(report, t, "raw send of a chunk no Source initialized");
+                        }
+                    }
+                    SendSrc::Encoded => {
+                        if find_dep(graph, t, Primitive::Encode).is_none() {
+                            missing(report, t, "encoded send without an encode dependency");
+                        }
+                    }
+                    SendSrc::Forward => {
+                        if find_dep(graph, t, Primitive::Recv).is_none() {
+                            missing(report, t, "forward send without a recv dependency");
+                        }
+                    }
+                }
+                if !pairing.consumers.contains_key(&t.id) {
+                    report.push(Diagnostic::new(
+                        Code::UnconsumedSend,
+                        Site::Task(t.id),
+                        format!("{} is never consumed by a recv", describe(t)),
+                    ));
+                }
+            }
+            Primitive::Update => {
+                if !sources.contains_key(&(t.node, t.chunk.grad, t.chunk.part)) {
+                    missing(report, t, "commits a chunk replica that has no Source");
+                } else if find_dep(graph, t, Primitive::Decode).is_some() {
+                    // Installs the decoded payload.
+                } else if let Some(r) = find_dep(graph, t, Primitive::Recv) {
+                    if recv_kind(graph, r) == Some(Kind::Compressed) {
+                        report.push(Diagnostic::new(
+                            Code::PayloadKindMismatch,
+                            Site::Tasks(t.id, r),
+                            format!(
+                                "{} raw-installs a compressed payload (missing decode)",
+                                describe(t)
+                            ),
+                        ));
+                    }
+                } else if find_dep(graph, t, Primitive::Encode).is_some() {
+                    // Installs the decode∘encode reconstruction.
+                } else if !initialized(t) {
+                    missing(report, t, "commits an accumulator no Source initialized");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// How a task touches its cell, if at all. A foreign-valued `Update`
+/// (one that installs a decode/recv/encode product) overwrites the
+/// accumulator; a fallback `Update` re-installs the accumulator's own
+/// value and is a read.
+fn access_of(graph: &TaskGraph, t: &TaskNode) -> Option<Access> {
+    match t.prim {
+        Primitive::Source => Some(Access::Write),
+        Primitive::Encode => Some(Access::Read),
+        Primitive::Merge => Some(Access::Write),
+        Primitive::Send if t.send_src == SendSrc::Raw => Some(Access::Read),
+        Primitive::Update => {
+            let foreign = find_dep(graph, t, Primitive::Decode).is_some()
+                || find_dep(graph, t, Primitive::Recv).is_some()
+                || find_dep(graph, t, Primitive::Encode).is_some();
+            Some(if foreign { Access::Write } else { Access::Read })
+        }
+        _ => None,
+    }
+}
+
+/// Unordered read/write and write/write pairs on one chunk replica
+/// (`P010`, `P011`) — the PR-1 dissemination bug class.
+fn races(graph: &TaskGraph, hb: &Closure, report: &mut Report) {
+    let mut cells: BTreeMap<Cell, Vec<(TaskId, Access)>> = BTreeMap::new();
+    for t in graph.tasks() {
+        if let Some(a) = access_of(graph, t) {
+            cells
+                .entry((t.node, t.chunk.grad, t.chunk.part))
+                .or_default()
+                .push((t.id, a));
+        }
+    }
+    for ((node, grad, part), accs) in cells {
+        for (i, &(a, ka)) in accs.iter().enumerate() {
+            for &(b, kb) in &accs[i + 1..] {
+                if ka == Access::Read && kb == Access::Read {
+                    continue;
+                }
+                if hb.ordered(a, b) {
+                    continue;
+                }
+                let (code, what) = if ka == Access::Write && kb == Access::Write {
+                    (Code::DoubleWrite, "both write")
+                } else {
+                    (Code::DataRace, "read and write")
+                };
+                report.push(Diagnostic::new(
+                    code,
+                    Site::Tasks(a, b),
+                    format!(
+                        "{} and {} {what} node {node}'s replica of g{grad}.p{part} \
+                         with no happens-before edge",
+                        describe(graph.task(a)),
+                        describe(graph.task(b)),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Per-channel FIFO consistency (`P012`): if two sends on one
+/// `from → to` channel are ordered, their receives must complete in
+/// the same order, or a FIFO fabric wedges/crosses payloads.
+fn fifo_order(graph: &TaskGraph, hb: &Closure, pairing: &Pairing, report: &mut Report) {
+    let mut channels: BTreeMap<(usize, usize), Vec<TaskId>> = BTreeMap::new();
+    for t in graph.tasks() {
+        if t.prim == Primitive::Send {
+            if let Some(p) = t.peer {
+                channels.entry((t.node, p)).or_default().push(t.id);
+            }
+        }
+    }
+    for ((from, to), sends) in channels {
+        for (i, &s1) in sends.iter().enumerate() {
+            let Some(r1) = pairing.recv_of(s1) else {
+                continue;
+            };
+            for &s2 in &sends[i + 1..] {
+                let Some(r2) = pairing.recv_of(s2) else {
+                    continue;
+                };
+                let inverted = (hb.before(s1, s2) && hb.before(r2, r1))
+                    || (hb.before(s2, s1) && hb.before(r1, r2));
+                if inverted {
+                    report.push(Diagnostic::new(
+                        Code::FifoInversion,
+                        Site::Tasks(s1, s2),
+                        format!(
+                            "sends {} and {} on channel {from} -> {to} are ordered one way \
+                             but their recvs are consumed in the opposite order",
+                            s1.0, s2.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Every initialized nonzero chunk replica must be committed by an
+/// `Update` (`P013`), and every such `Update` must causally follow
+/// every node's `Source` for that chunk (`P014`) — otherwise it
+/// commits a partial aggregate.
+fn completion(graph: &TaskGraph, hb: &Closure, report: &mut Report) {
+    let mut chunk_sources: BTreeMap<(u32, u32), Vec<TaskId>> = BTreeMap::new();
+    let mut nonzero: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+    for t in graph.tasks() {
+        if t.prim == Primitive::Source {
+            chunk_sources
+                .entry((t.chunk.grad, t.chunk.part))
+                .or_default()
+                .push(t.id);
+            *nonzero.entry((t.chunk.grad, t.chunk.part)).or_default() |= t.bytes_raw > 0;
+        }
+    }
+    let mut updates: BTreeMap<Cell, Vec<TaskId>> = BTreeMap::new();
+    for t in graph.tasks() {
+        if t.prim == Primitive::Update {
+            updates
+                .entry((t.node, t.chunk.grad, t.chunk.part))
+                .or_default()
+                .push(t.id);
+        }
+    }
+    for (&(grad, part), srcs) in &chunk_sources {
+        if !nonzero[&(grad, part)] {
+            continue;
+        }
+        for &s in srcs {
+            let node = graph.task(s).node;
+            match updates.get(&(node, grad, part)) {
+                None => report.push(Diagnostic::new(
+                    Code::MissingCompletion,
+                    Site::Task(s),
+                    format!(
+                        "node {node}'s replica of g{grad}.p{part} is initialized \
+                         but never committed by an Update"
+                    ),
+                )),
+                Some(ups) => {
+                    for &u in ups {
+                        if let Some(&miss) = srcs.iter().find(|&&other| !hb.before(other, u)) {
+                            report.push(Diagnostic::new(
+                                Code::IncompleteAggregation,
+                                Site::Tasks(u, miss),
+                                format!(
+                                    "{} commits g{grad}.p{part} without node {}'s \
+                                     contribution (Source {} is not an ancestor)",
+                                    describe(graph.task(u)),
+                                    graph.task(miss).node,
+                                    miss.0
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All non-barrier tasks touching one chunk must agree on its raw
+/// size (`P015`).
+fn chunk_sizes(graph: &TaskGraph, report: &mut Report) {
+    let mut sizes: BTreeMap<(u32, u32), Vec<(u64, TaskId)>> = BTreeMap::new();
+    for t in graph.tasks() {
+        if t.prim != Primitive::Barrier {
+            sizes
+                .entry((t.chunk.grad, t.chunk.part))
+                .or_default()
+                .push((t.bytes_raw, t.id));
+        }
+    }
+    for ((grad, part), mut seen) in sizes {
+        seen.sort_unstable();
+        seen.dedup_by_key(|(b, _)| *b);
+        if seen.len() > 1 {
+            report.push(Diagnostic::new(
+                Code::ChunkSizeMismatch,
+                Site::Tasks(seen[0].1, seen[seen.len() - 1].1),
+                format!(
+                    "tasks on g{grad}.p{part} disagree on its raw size: {:?}",
+                    seen.iter().map(|(b, _)| *b).collect::<Vec<_>>()
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipress_core::graph::{task, ChunkId, TaskGraph, TaskNode};
+
+    fn chunk() -> ChunkId {
+        ChunkId { grad: 0, part: 0 }
+    }
+
+    /// A minimal clean two-node exchange: 0 sends its raw chunk, 1
+    /// merges it and both commit.
+    fn clean_pair() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let s0 = g.add(TaskNode {
+            bytes_raw: 100,
+            bytes_wire: 100,
+            ..task(0, Primitive::Source, chunk())
+        });
+        let s1 = g.add(TaskNode {
+            bytes_raw: 100,
+            bytes_wire: 100,
+            ..task(1, Primitive::Source, chunk())
+        });
+        let send = g.add(TaskNode {
+            peer: Some(1),
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![s0],
+            ..task(0, Primitive::Send, chunk())
+        });
+        let recv = g.add(TaskNode {
+            peer: Some(0),
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![send],
+            ..task(1, Primitive::Recv, chunk())
+        });
+        let merge = g.add(TaskNode {
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![recv, s1],
+            ..task(1, Primitive::Merge, chunk())
+        });
+        let back = g.add(TaskNode {
+            peer: Some(0),
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![merge],
+            ..task(1, Primitive::Send, chunk())
+        });
+        let recv0 = g.add(TaskNode {
+            peer: Some(1),
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![back],
+            ..task(0, Primitive::Recv, chunk())
+        });
+        g.add(TaskNode {
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![recv0],
+            ..task(0, Primitive::Update, chunk())
+        });
+        g.add(TaskNode {
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![merge],
+            ..task(1, Primitive::Update, chunk())
+        });
+        g
+    }
+
+    #[test]
+    fn clean_exchange_passes() {
+        let r = verify(&clean_pair(), 2);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn unknown_node_flagged() {
+        let mut g = TaskGraph::new();
+        g.add(task(5, Primitive::Source, chunk()));
+        assert!(verify(&g, 2).has(Code::UnknownNode));
+    }
+
+    #[test]
+    fn self_send_flagged() {
+        let mut g = TaskGraph::new();
+        g.add(TaskNode {
+            peer: Some(0),
+            ..task(0, Primitive::Send, chunk())
+        });
+        assert!(verify(&g, 2).has(Code::BadPeer));
+    }
+
+    #[test]
+    fn recv_without_send_flagged() {
+        let mut g = TaskGraph::new();
+        g.add(TaskNode {
+            peer: Some(0),
+            ..task(1, Primitive::Recv, chunk())
+        });
+        assert!(verify(&g, 2).has(Code::UnpairedRecv));
+    }
+
+    #[test]
+    fn mismatched_payload_flagged() {
+        let mut g = clean_pair();
+        g.task_mut(TaskId(3)).bytes_wire = 50;
+        assert!(verify(&g, 2).has(Code::PayloadMismatch));
+    }
+
+    #[test]
+    fn retargeted_recv_flagged() {
+        let mut g = clean_pair();
+        g.task_mut(TaskId(3)).peer = Some(1);
+        let r = verify(&g, 3);
+        assert!(
+            r.has(Code::UnpairedRecv) || r.has(Code::BadPeer),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn cycle_flagged() {
+        let mut g = clean_pair();
+        // Make the first Source depend on the last Update: a cycle.
+        g.task_mut(TaskId(0)).deps.push(TaskId(8));
+        assert!(verify(&g, 2).has(Code::DependencyCycle));
+    }
+
+    #[test]
+    fn orphan_dep_flagged() {
+        let mut g = clean_pair();
+        g.task_mut(TaskId(2)).deps.push(TaskId(99));
+        assert!(verify(&g, 2).has(Code::OrphanDep));
+    }
+
+    #[test]
+    fn unordered_read_write_flagged_as_race() {
+        let mut g = clean_pair();
+        // Cut the edge ordering node 1's merge after its own source:
+        // Source(1) write now races with nothing ordering it before
+        // the merge write.
+        g.task_mut(TaskId(4)).deps.retain(|d| *d != TaskId(1));
+        let r = verify(&g, 2);
+        assert!(
+            r.has(Code::DataRace) || r.has(Code::DoubleWrite),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn missing_completion_flagged() {
+        let mut g = clean_pair();
+        // Retarget node 0's update to a different chunk: node 0's
+        // replica of g0.p0 is never committed.
+        g.task_mut(TaskId(7)).chunk = ChunkId { grad: 1, part: 0 };
+        let r = verify(&g, 2);
+        assert!(r.has(Code::MissingCompletion), "{}", r.render());
+    }
+
+    #[test]
+    fn partial_aggregate_flagged() {
+        let mut g = clean_pair();
+        // Node 1's update no longer waits for the merge — it commits
+        // before node 0's contribution arrived.
+        let merge = TaskId(4);
+        let upd = TaskId(8);
+        g.task_mut(upd).deps.retain(|d| *d != merge);
+        g.task_mut(upd).deps.push(TaskId(1));
+        let r = verify(&g, 2);
+        assert!(r.has(Code::IncompleteAggregation), "{}", r.render());
+    }
+
+    #[test]
+    fn unconsumed_send_warns() {
+        let mut g = clean_pair();
+        // Depends on node 0's final Update so the extra read races
+        // with nothing — the only defect is the dangling payload.
+        g.add(TaskNode {
+            peer: Some(1),
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![TaskId(7)],
+            ..task(0, Primitive::Send, chunk())
+        });
+        let r = verify(&g, 2);
+        assert!(r.has(Code::UnconsumedSend));
+        assert_eq!(r.error_count(), 0, "{}", r.render());
+    }
+
+    #[test]
+    fn chunk_size_disagreement_warns() {
+        let mut g = clean_pair();
+        g.task_mut(TaskId(4)).bytes_raw = 64;
+        let r = verify(&g, 2);
+        assert!(r.has(Code::ChunkSizeMismatch), "{}", r.render());
+    }
+
+    #[test]
+    fn decode_of_raw_payload_flagged() {
+        let mut g = clean_pair();
+        // Insert a decode after node 1's recv of a raw payload.
+        g.add(TaskNode {
+            bytes_raw: 100,
+            bytes_wire: 100,
+            deps: vec![TaskId(3)],
+            ..task(1, Primitive::Decode, chunk())
+        });
+        let r = verify(&g, 2);
+        assert!(r.has(Code::PayloadKindMismatch), "{}", r.render());
+    }
+
+    #[test]
+    fn encoded_send_without_encode_flagged() {
+        let mut g = clean_pair();
+        g.task_mut(TaskId(2)).send_src = SendSrc::Encoded;
+        let r = verify(&g, 2);
+        assert!(r.has(Code::MissingValueSource), "{}", r.render());
+    }
+
+    #[test]
+    fn fifo_inversion_flagged() {
+        // Two ordered sends 0 -> 1 whose recvs are consumed in the
+        // opposite order.
+        let mut g = TaskGraph::new();
+        let src = g.add(TaskNode {
+            bytes_raw: 8,
+            bytes_wire: 8,
+            ..task(0, Primitive::Source, chunk())
+        });
+        g.add(TaskNode {
+            bytes_raw: 8,
+            bytes_wire: 8,
+            ..task(1, Primitive::Source, chunk())
+        });
+        let s1 = g.add(TaskNode {
+            peer: Some(1),
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![src],
+            ..task(0, Primitive::Send, chunk())
+        });
+        let s2 = g.add(TaskNode {
+            peer: Some(1),
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![s1],
+            ..task(0, Primitive::Send, chunk())
+        });
+        let r2 = g.add(TaskNode {
+            peer: Some(0),
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![s2],
+            ..task(1, Primitive::Recv, chunk())
+        });
+        let r1 = g.add(TaskNode {
+            peer: Some(0),
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![s1, r2],
+            ..task(1, Primitive::Recv, chunk())
+        });
+        let m = g.add(TaskNode {
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![r1, TaskId(1)],
+            ..task(1, Primitive::Merge, chunk())
+        });
+        g.add(TaskNode {
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![m, src],
+            ..task(1, Primitive::Update, chunk())
+        });
+        g.add(TaskNode {
+            bytes_raw: 8,
+            bytes_wire: 8,
+            deps: vec![s2, src],
+            ..task(0, Primitive::Update, chunk())
+        });
+        let r = verify(&g, 2);
+        assert!(r.has(Code::FifoInversion), "{}", r.render());
+    }
+}

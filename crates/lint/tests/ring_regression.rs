@@ -1,0 +1,116 @@
+//! Regression: the pre-fix ring dissemination bug must be caught
+//! statically.
+//!
+//! Both ring strategies once emitted every uncompressed dissemination
+//! hop as `SendSrc::Raw`. Hop 0 legitimately ships the owner's
+//! accumulator, but hops ≥ 1 run on nodes whose accumulator holds
+//! only a local partial — and whose `Update` (installing the received
+//! aggregate into that same accumulator) is *unordered* with the
+//! onward send. The reference interpreter masked the bug by running
+//! tasks in topological insertion order; a concurrent executor owes
+//! no such ordering. These tests reconstruct that graph by mutating
+//! the fixed builders' output back to `Raw` and assert the plan
+//! verifier reports the race.
+
+use hipress_compress::Algorithm;
+use hipress_core::graph::{Primitive, SendSrc};
+use hipress_core::{
+    ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient, TaskGraph,
+};
+use hipress_lint::{verify_graph, Code};
+
+fn spec(sizes: &[u64], algorithm: Option<Algorithm>, partitions: usize) -> IterationSpec {
+    let compressor = algorithm.and_then(|a| a.build());
+    IterationSpec {
+        gradients: sizes
+            .iter()
+            .enumerate()
+            .map(|(g, &bytes)| SyncGradient {
+                name: format!("g{g}"),
+                bytes,
+                ready_offset_ns: (sizes.len() - g) as u64 * 1000,
+                plan: GradPlan {
+                    compress: compressor.is_some(),
+                    partitions,
+                },
+            })
+            .collect(),
+        compression: compressor.as_deref().map(CompressionSpec::of),
+    }
+}
+
+fn build(strategy: Strategy, nodes: usize, iter: &IterationSpec) -> TaskGraph {
+    strategy
+        .build(&ClusterConfig::ec2(nodes), iter)
+        .expect("builders produce valid graphs")
+}
+
+/// Reintroduces the bug: every `Forward` dissemination send reverted
+/// to `Raw` (what the builders emitted before the fix). Returns how
+/// many sends were flipped.
+fn revert_forward_sends_to_raw(graph: &mut TaskGraph) -> usize {
+    let targets: Vec<_> = graph
+        .tasks()
+        .iter()
+        .filter(|t| t.prim == Primitive::Send && t.send_src == SendSrc::Forward)
+        .map(|t| t.id)
+        .collect();
+    for id in &targets {
+        graph.task_mut(*id).send_src = SendSrc::Raw;
+    }
+    targets.len()
+}
+
+#[test]
+fn fixed_ring_graphs_are_clean() {
+    for nodes in [4usize, 5] {
+        for strategy in [Strategy::CaSyncRing, Strategy::HorovodRing] {
+            let graph = build(strategy, nodes, &spec(&[1 << 16], None, 1));
+            let report = verify_graph(&graph, nodes);
+            assert!(report.is_clean(), "{strategy:?}:\n{}", report.render());
+        }
+    }
+}
+
+#[test]
+fn casync_ring_raw_dissemination_race_is_flagged() {
+    let nodes = 4;
+    let mut graph = build(Strategy::CaSyncRing, nodes, &spec(&[1 << 16], None, 1));
+    let flipped = revert_forward_sends_to_raw(&mut graph);
+    // n-1 dissemination hops per chunk; hops >= 1 forward.
+    assert!(flipped > 0, "expected Forward dissemination sends to flip");
+    let report = verify_graph(&graph, nodes);
+    assert!(
+        report.has(Code::DataRace),
+        "raw re-send must race with the concurrent Update:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn horovod_ring_raw_dissemination_race_is_flagged() {
+    let nodes = 5;
+    let mut graph = build(Strategy::HorovodRing, nodes, &spec(&[1 << 20], None, 1));
+    let flipped = revert_forward_sends_to_raw(&mut graph);
+    assert!(flipped > 0, "expected Forward dissemination sends to flip");
+    let report = verify_graph(&graph, nodes);
+    assert!(
+        report.has(Code::DataRace),
+        "raw re-send must race with the concurrent Update:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn partitioned_compressed_ring_still_clean() {
+    // The race detector must not fire on the legitimate compressed
+    // path, where dissemination forwards encoded payloads.
+    let nodes = 5;
+    let graph = build(
+        Strategy::CaSyncRing,
+        nodes,
+        &spec(&[1 << 16, 260], Some(Algorithm::OneBit), 3),
+    );
+    let report = verify_graph(&graph, nodes);
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -30,6 +30,8 @@
 //! by the training simulator, and the backward-pass schedule at which
 //! gradients become ready (reverse layer order, §2.1).
 
+#![forbid(unsafe_code)]
+
 mod compute;
 mod recipe;
 mod zoo;

@@ -6,7 +6,7 @@ use hipress_util::rng::{Rng64, SplitMix64};
 /// Parameters of the reconstruction: the Table 6 statistics plus two
 //  structural knobs.
 #[derive(Debug, Clone, Copy)]
-pub struct Recipe {
+pub(crate) struct Recipe {
     /// Number of gradients (Table 6).
     pub count: usize,
     /// Total gradient volume in bytes (Table 6).
@@ -37,7 +37,7 @@ const BODY_ALPHA: f64 = 1.1;
 /// Panics if the statistics are inconsistent (e.g., `max_bytes >
 /// total_bytes`, or too little volume to give every layer one
 /// element).
-pub fn build_sizes(recipe: &Recipe) -> Vec<u64> {
+pub(crate) fn build_sizes(recipe: &Recipe) -> Vec<u64> {
     let Recipe {
         count,
         total_bytes,

@@ -22,6 +22,8 @@
 //! with respect to different gradient sizes to fit the compression
 //! and network cost curves" (§3.3).
 
+#![forbid(unsafe_code)]
+
 mod cost;
 mod params;
 

@@ -168,6 +168,11 @@ pub fn run_replicated(
     seed: u64,
     config: &RuntimeConfig,
 ) -> Result<RunOutcome> {
+    // Debug builds statically verify the plan before spawning
+    // threads: a racy or deadlocking graph aborts here with a
+    // diagnostic instead of corrupting replicas or wedging.
+    #[cfg(debug_assertions)]
+    hipress_lint::plan::verify(graph, nodes).into_result()?;
     let layout = FlowLayout::derive(graph, nodes, flows)?;
     let plan = NodePlan::derive(graph, nodes);
 

@@ -19,6 +19,8 @@
 //! studies and the runtime's wall-clock measurements as two views of
 //! one system.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod report;
 

@@ -16,6 +16,8 @@
 //! * [`Timeline`] records named busy intervals for utilization plots
 //!   (Figure 9 of the paper).
 
+#![forbid(unsafe_code)]
+
 mod resource;
 mod time;
 mod timeline;

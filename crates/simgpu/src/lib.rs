@@ -16,6 +16,8 @@
 //!   planner uses to fit `T_enc(m) = a + b·m` cost curves, mirroring
 //!   the paper's profiling of compression algorithms (§3.3).
 
+#![forbid(unsafe_code)]
+
 mod device;
 pub mod profile;
 

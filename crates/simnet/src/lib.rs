@@ -19,6 +19,8 @@
 //! gradient synchronization moves megabyte-scale messages whose
 //! serialization time dwarfs packetization effects.
 
+#![forbid(unsafe_code)]
+
 mod fabric;
 mod spec;
 

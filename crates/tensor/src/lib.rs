@@ -11,6 +11,8 @@
 //!   statistical shapes (Gaussian, sparse, heavy-tailed) that real DNN
 //!   gradients exhibit, used by tests and benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod partition;
 pub mod synth;
 mod tensor;

@@ -14,6 +14,8 @@
 //!   with error feedback and aggregated — the Figure 13 convergence
 //!   validation.
 
+#![forbid(unsafe_code)]
+
 pub mod convergence;
 pub mod nn;
 pub mod sim;

@@ -23,6 +23,9 @@ pub enum Error {
     Sim(String),
     /// The planner could not produce a plan (e.g., missing profile).
     Plan(String),
+    /// Static analysis rejected a task graph or CompLL program
+    /// (`hipress-lint` diagnostics rendered into one message).
+    Lint(String),
 }
 
 impl Error {
@@ -50,6 +53,11 @@ impl Error {
     pub fn plan(msg: impl Into<String>) -> Self {
         Self::Plan(msg.into())
     }
+
+    /// Creates a [`Error::Lint`] with the given message.
+    pub fn lint(msg: impl Into<String>) -> Self {
+        Self::Lint(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -60,6 +68,7 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::Sim(m) => write!(f, "simulation error: {m}"),
             Error::Plan(m) => write!(f, "planner error: {m}"),
+            Error::Lint(m) => write!(f, "lint error: {m}"),
         }
     }
 }
@@ -89,6 +98,7 @@ mod tests {
             Error::plan("no profile").to_string(),
             "planner error: no profile"
         );
+        assert_eq!(Error::lint("race").to_string(), "lint error: race");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   compression planner to model `T(m) = a + b*m` cost curves.
 //! * [`error`] — the common error type.
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod error;
 pub mod fit;

@@ -29,6 +29,12 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "plan" => cmd_plan(&flags),
         "compile" => cmd_compile(args.get(1).map(String::as_str)),
+        "lint" => cmd_lint(
+            &flags,
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+        ),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -59,6 +65,10 @@ USAGE:
       Show the selective compression & partitioning plan per gradient.
   hipress compile <file.dsl>
       Compile a CompLL DSL program; print its LoC report and CUDA output.
+  hipress lint [file.dsl] [--strategy S] [--algorithm A] [--nodes N]
+      Statically verify CaSync task graphs across the strategy x
+      algorithm x cluster matrix and dataflow-check the shipped CompLL
+      programs; with a file, dataflow-check that program instead.
 
 FLAGS:
   --model      VGG19 | ResNet50 | UGATIT | UGATIT-light | Bert-base | Bert-large | LSTM | Transformer
@@ -308,6 +318,145 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
             if plan.compress { "yes" } else { "no" },
             plan.partitions
         );
+    }
+    Ok(())
+}
+
+fn cmd_lint(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), String> {
+    use hipress::casync::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
+    use hipress::compll::algorithms as algs;
+
+    // A single DSL file: dataflow-check it and stop.
+    if let Some(path) = file {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = hipress::lint::check_source(&source).map_err(|e| e.to_string())?;
+        if !report.is_clean() {
+            println!("{}", report.render());
+        }
+        println!(
+            "{path}: {} error(s), {} warning(s)",
+            report.error_count(),
+            report.warning_count()
+        );
+        return if report.error_count() == 0 {
+            Ok(())
+        } else {
+            Err(format!("{path}: lint errors"))
+        };
+    }
+
+    // Plan verification across strategy x algorithm x cluster size x
+    // partitioning, over a gradient mix with large, medium, and tiny
+    // (zero-chunk-producing) gradients.
+    let strategies: Vec<Strategy> = match flags.get("strategy") {
+        Some(_) => vec![parse_strategy(flags)?],
+        None => Strategy::all().to_vec(),
+    };
+    let algorithms: Vec<Algorithm> = match flags.get("algorithm") {
+        Some(_) => vec![parse_algorithm(flags)?],
+        None => vec![
+            Algorithm::None,
+            Algorithm::OneBit,
+            Algorithm::Tbq { tau: 0.05 },
+            Algorithm::TernGrad { bitwidth: 2 },
+            Algorithm::Dgc { rate: 0.001 },
+            Algorithm::GradDrop { rate: 0.01 },
+        ],
+    };
+    let node_counts: Vec<usize> = match flags.get("nodes") {
+        Some(n) => vec![n.parse().map_err(|_| format!("bad --nodes '{n}'"))?],
+        None => vec![2, 3, 5],
+    };
+    let sizes: [u64; 3] = [4096, 65536, 260];
+    let mut graphs = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for &strat in &strategies {
+        for algorithm in &algorithms {
+            let compressor = algorithm.build();
+            for &nodes in &node_counts {
+                for partitions in [1usize, 3] {
+                    let cluster = ClusterConfig::ec2(nodes);
+                    let iter = IterationSpec {
+                        gradients: sizes
+                            .iter()
+                            .enumerate()
+                            .map(|(g, &bytes)| SyncGradient {
+                                name: format!("g{g}"),
+                                bytes,
+                                ready_offset_ns: (sizes.len() - g) as u64 * 1000,
+                                plan: GradPlan {
+                                    compress: compressor.is_some(),
+                                    partitions,
+                                },
+                            })
+                            .collect(),
+                        compression: compressor.as_deref().map(CompressionSpec::of),
+                    };
+                    let graph = strat
+                        .build(&cluster, &iter)
+                        .map_err(|e| format!("{strat:?}/{nodes} nodes: {e}"))?;
+                    let report = hipress::lint::verify_graph(&graph, nodes);
+                    graphs += 1;
+                    errors += report.error_count();
+                    warnings += report.warning_count();
+                    if !report.is_clean() {
+                        println!(
+                            "{} x {} x {nodes} nodes x K={partitions} ({} tasks):",
+                            strat.label(),
+                            algorithm.label(),
+                            graph.len()
+                        );
+                        println!("{}", report.render());
+                    }
+                }
+            }
+        }
+    }
+
+    // Dataflow analysis of every shipped CompLL program.
+    let programs: Vec<(String, String)> = vec![
+        ("onebit".into(), algs::ONEBIT_DSL.to_string()),
+        ("tbq".into(), algs::TBQ_DSL.to_string()),
+        ("dgc".into(), algs::DGC_DSL.to_string()),
+        ("graddrop".into(), algs::GRADDROP_DSL.to_string()),
+        ("adacomp".into(), algs::ADACOMP_DSL.to_string()),
+        (
+            "terngrad:1".into(),
+            algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint1"),
+        ),
+        (
+            "terngrad:2".into(),
+            algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint2"),
+        ),
+        (
+            "terngrad:4".into(),
+            algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint4"),
+        ),
+        (
+            "terngrad:8".into(),
+            algs::TERNGRAD_DSL_TEMPLATE.replace("{U}", "uint8"),
+        ),
+    ];
+    for (name, source) in &programs {
+        let report = hipress::lint::check_source(source)
+            .map_err(|e| format!("shipped program {name}: {e}"))?;
+        errors += report.error_count();
+        warnings += report.warning_count();
+        if !report.is_clean() {
+            println!("{name}:");
+            println!("{}", report.render());
+        }
+    }
+
+    println!(
+        "linted {graphs} task graphs and {} CompLL programs: {errors} error(s), {warnings} warning(s)",
+        programs.len()
+    );
+    // The builder matrix and shipped programs must be warning-clean,
+    // not merely error-free — ci.sh relies on this.
+    if errors > 0 || warnings > 0 {
+        return Err(format!("{errors} lint error(s), {warnings} warning(s)"));
     }
     Ok(())
 }

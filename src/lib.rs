@@ -15,6 +15,7 @@
 //! | [`casync`] | `hipress-core` | five-primitive task graphs, strategies (CaSync-PS/Ring, BytePS, Horovod-Ring), coordinator, executor, protocol interpreter |
 //! | [`planner`] | `hipress-planner` | selective compression & partitioning (§3.3 cost model, Table 7) |
 //! | [`runtime`] | `hipress-runtime` | CaSync-RT: the protocol on real OS threads, cross-validated against the interpreter |
+//! | [`lint`] | `hipress-lint` | static plan verification for CaSync task graphs + dataflow analysis for CompLL programs |
 //! | [`train`] | `hipress-train` | cluster throughput simulation + real MLP/LSTM data-parallel training |
 //! | [`models`] | `hipress-models` | the Table 6 model zoo |
 //! | [`sim`](mod@simevent) / [`simnet`] / [`simgpu`] | substrates | discrete-event engine, network fabric, GPU cost models |
@@ -43,11 +44,14 @@
 //! assert!(hipress.throughput > byteps.throughput);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod sync;
 
 pub use hipress_compll as compll;
 pub use hipress_compress as compress;
 pub use hipress_core as casync;
+pub use hipress_lint as lint;
 pub use hipress_models as models;
 pub use hipress_planner as planner;
 pub use hipress_runtime as runtime;

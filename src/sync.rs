@@ -124,6 +124,9 @@ impl HiPress {
     /// not match [`Backend::Threads`], or protocol failures from the
     /// chosen backend.
     pub fn sync(&self, worker_grads: &[Vec<Tensor>]) -> Result<SyncOutcome> {
+        // Make the static analyzers load-bearing: debug builds verify
+        // every graph built/interpreted below (no-op in release).
+        hipress_lint::install();
         let nodes = worker_grads.len();
         if nodes < 2 {
             return Err(Error::config("synchronization needs at least 2 workers"));
