@@ -23,6 +23,19 @@ echo "== lint (plan verifier + CompLL dataflow, full matrix) =="
 # task graph plus all shipped CompLL programs; any diagnostic fails.
 cargo run --release -q --bin hipress -- lint
 
+echo "== trace smoke (sim + runtime export, read back by the crate's own parser) =="
+# Both engines must export a Chrome trace that validates (every
+# registered track non-empty) and survives the crate's import; the
+# CLI itself enforces both and exits non-zero otherwise. trace-diff
+# must then load the pair.
+cargo run --release -q --bin hipress -- sim --model ResNet50 --nodes 4 \
+  --trace /tmp/hipress-ci-sim.json >/dev/null
+cargo run --release -q --bin hipress -- run --nodes 3 --algorithm onebit \
+  --trace /tmp/hipress-ci-rt.json >/dev/null
+cargo run --release -q --bin hipress -- trace-diff \
+  /tmp/hipress-ci-sim.json /tmp/hipress-ci-rt.json >/dev/null
+rm -f /tmp/hipress-ci-sim.json /tmp/hipress-ci-rt.json
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -29,6 +29,7 @@ use crate::plan::{CompressionSpec, IterationSpec};
 use hipress_simevent::{Actor, Ctx, Engine, FifoResource, SimTime};
 use hipress_simgpu::{CopyPath, DeviceSpec, GpuDevice};
 use hipress_simnet::{Fabric, NodeId};
+use hipress_trace::Tracer;
 use hipress_util::{Error, Result};
 use std::collections::HashMap;
 
@@ -198,6 +199,50 @@ struct CompBatch {
     armed: bool,
 }
 
+/// One buffered span: a task's simulated execution window.
+struct SpanRec {
+    node: usize,
+    category: &'static str,
+    ts_ns: u64,
+    dur_ns: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// One buffered instant event (message arrival, batch launch).
+struct InstantRec {
+    node: usize,
+    name: &'static str,
+    category: &'static str,
+    ts_ns: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// Span/instant buffer filled while the simulation runs. Events are
+/// recorded out of timeline order (the scheduler books windows ahead
+/// of the virtual clock), so they are buffered here and lowered onto
+/// the tracer's per-node tracks, time-sorted, after the run.
+#[derive(Default)]
+struct TraceRec {
+    spans: Vec<SpanRec>,
+    instants: Vec<InstantRec>,
+}
+
+/// Trace category for a primitive — the same names CaSync-RT records,
+/// which is what lets a simulated and a measured trace of one plan
+/// align track-for-track in views and `trace-diff`.
+fn prim_category(p: Primitive) -> &'static str {
+    match p {
+        Primitive::Source => "source",
+        Primitive::Encode => "encode",
+        Primitive::Decode => "decode",
+        Primitive::Merge => "merge",
+        Primitive::Send => "send",
+        Primitive::Recv => "recv",
+        Primitive::Update => "update",
+        Primitive::Barrier => "barrier",
+    }
+}
+
 /// The scheduler actor: owns all executor state.
 struct Scheduler {
     graph: TaskGraph,
@@ -227,9 +272,39 @@ struct Scheduler {
     /// Recvs that executed before their batched transfer was flushed:
     /// send task → waiting recv task.
     pending_recvs: HashMap<TaskId, TaskId>,
+    /// Buffered trace events when running under a tracer.
+    rec: Option<TraceRec>,
 }
 
 impl Scheduler {
+    /// Buffers a span for `id` over `[start, end)`, with the same
+    /// argument set CaSync-RT attaches to its task spans.
+    fn record_task_span(&mut self, id: TaskId, start: u64, end: u64) {
+        if self.rec.is_none() {
+            return;
+        }
+        let t = self.graph.task(id);
+        let (node, category) = (t.node, prim_category(t.prim));
+        let mut args = vec![
+            ("grad", u64::from(t.chunk.grad)),
+            ("part", u64::from(t.chunk.part)),
+            ("task", u64::from(id.0)),
+        ];
+        if t.prim == Primitive::Send {
+            args.push(("bytes_wire", t.bytes_wire));
+            args.push(("bytes_raw", t.bytes_raw));
+        }
+        if let Some(rec) = &mut self.rec {
+            rec.spans.push(SpanRec {
+                node,
+                category,
+                ts_ns: start,
+                dur_ns: end - start,
+                args,
+            });
+        }
+    }
+
     fn codec_passes(&self, prim: Primitive) -> f64 {
         let spec = self.compression.expect("codec task without compression");
         let base = match prim {
@@ -308,7 +383,8 @@ impl Scheduler {
                 } else {
                     let dur = self.launch_ns(id) + self.compute_body_ns(id);
                     let node = self.graph.task(id).node;
-                    let (_, end) = self.acquire_compute(node, now, dur, on_cpu);
+                    let (start, end) = self.acquire_compute(node, now, dur, on_cpu);
+                    self.record_task_span(id, start, end);
                     self.finish_later(ctx, id, end);
                 }
             }
@@ -413,9 +489,20 @@ impl Scheduler {
         batch.armed = false;
         // One launch, one callback, for the whole batch (SS3.2).
         let dur: u64 = self.device.kernel_launch_ns + tasks.iter().map(|&(_, b)| b).sum::<u64>();
-        let (_, end) = self.acquire_compute(node, now, dur, false);
+        let (start, end) = self.acquire_compute(node, now, dur, false);
         self.comp_batch_launches += 1;
+        if let Some(rec) = &mut self.rec {
+            rec.instants.push(InstantRec {
+                node,
+                name: "batch",
+                category: "batch",
+                ts_ns: now,
+                args: vec![("size", tasks.len() as u64)],
+            });
+        }
         for (id, _) in tasks {
+            // Batched tasks share the single launch window.
+            self.record_task_span(id, start, end);
             self.finish_later(ctx, id, end);
         }
     }
@@ -486,8 +573,25 @@ impl Scheduler {
         }
         let plan = self.fabric.transfer(t, NodeId(src), NodeId(dst), bytes);
         let arr = plan.arrive.as_ns();
+        let start = t.as_ns();
         for &s in sends {
             self.arrival.insert(s, arr);
+            // The send's span is its wire occupancy: transfer start to
+            // arrival on the sender's track, plus a message-arrival
+            // instant on the receiver's.
+            self.record_task_span(s, start, arr);
+            if self.rec.is_some() {
+                let bytes_wire = self.graph.task(s).bytes_wire;
+                if let Some(rec) = &mut self.rec {
+                    rec.instants.push(InstantRec {
+                        node: dst,
+                        name: "msg",
+                        category: "fabric",
+                        ts_ns: arr,
+                        args: vec![("bytes", bytes_wire), ("task", u64::from(s.0))],
+                    });
+                }
+            }
             // If the paired recv already executed and is waiting on
             // this arrival, complete it now.
             if let Some(recv) = self.pending_recvs.remove(&s) {
@@ -519,6 +623,15 @@ impl Scheduler {
         self.done[id.0 as usize] = true;
         self.finish_at[id.0 as usize] = now;
         self.finished_tasks += 1;
+        let prim = self.graph.task(id).prim;
+        if matches!(
+            prim,
+            Primitive::Source | Primitive::Barrier | Primitive::Recv
+        ) {
+            // Instantaneous in the cost model: zero-duration marks at
+            // completion keep one span per task on the timeline.
+            self.record_task_span(id, now, now);
+        }
         let t = self.graph.task(id);
         if t.prim == Primitive::Update {
             for m in self.graph.flow_members(t.chunk.grad) {
@@ -606,6 +719,35 @@ impl Executor {
     /// Returns an error if the graph is invalid for the cluster or the
     /// simulation livelocks.
     pub fn run(&self, graph: &TaskGraph, iter: &IterationSpec) -> Result<ExecStats> {
+        self.run_inner(graph, iter, None)
+    }
+
+    /// Like [`Executor::run`], additionally lowering every task's
+    /// simulated execution window into `tracer`: one `node{i}` thread
+    /// track per cluster node (timestamps in simulated nanoseconds,
+    /// origin at backward start), span categories matching CaSync-RT's
+    /// (`source`/`encode`/…/`barrier`), `msg` arrival instants on the
+    /// receiver's track, `batch` instants for batched codec launches,
+    /// and a `run` span on the `engine` track covering the makespan.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Executor::run`].
+    pub fn run_traced(
+        &self,
+        graph: &TaskGraph,
+        iter: &IterationSpec,
+        tracer: &Tracer,
+    ) -> Result<ExecStats> {
+        self.run_inner(graph, iter, Some(tracer))
+    }
+
+    fn run_inner(
+        &self,
+        graph: &TaskGraph,
+        iter: &IterationSpec,
+        tracer: Option<&Tracer>,
+    ) -> Result<ExecStats> {
         // Structural guard: the scheduler indexes per-node resources
         // and resolves each recv's paired send, so those invariants
         // must hold even in release builds. The full defect catalogue
@@ -680,6 +822,7 @@ impl Executor {
             comp_batch_launches: 0,
             finished_tasks: 0,
             pending_recvs: HashMap::new(),
+            rec: tracer.map(|_| TraceRec::default()),
         };
         let mut engine: Engine<Ev> = Engine::new();
         let actor = engine.add_actor(Box::new(scheduler));
@@ -694,6 +837,47 @@ impl Executor {
             )));
         }
         let makespan = s.finish_at.iter().copied().max().unwrap_or(0);
+        if let Some(tr) = tracer {
+            let engine_track = tr.thread_track("engine");
+            let node_tracks: Vec<_> = (0..n)
+                .map(|i| tr.thread_track(&format!("node{i}")))
+                .collect();
+            if let Some(rec) = &s.rec {
+                let mut order: Vec<usize> = (0..rec.spans.len()).collect();
+                order.sort_by_key(|&i| (rec.spans[i].ts_ns, rec.spans[i].node));
+                for i in order {
+                    let sp = &rec.spans[i];
+                    tr.record_span(
+                        node_tracks[sp.node],
+                        sp.category,
+                        sp.category,
+                        sp.ts_ns,
+                        sp.dur_ns,
+                        &sp.args,
+                    );
+                }
+                let mut order: Vec<usize> = (0..rec.instants.len()).collect();
+                order.sort_by_key(|&i| (rec.instants[i].ts_ns, rec.instants[i].node));
+                for i in order {
+                    let ev = &rec.instants[i];
+                    tr.instant(
+                        node_tracks[ev.node],
+                        ev.name,
+                        ev.category,
+                        ev.ts_ns,
+                        &ev.args,
+                    );
+                }
+            }
+            tr.record_span(
+                engine_track,
+                "run",
+                "run",
+                0,
+                makespan,
+                &[("nodes", n as u64)],
+            );
+        }
         let network_busy_ns = (0..n)
             .map(|i| {
                 (

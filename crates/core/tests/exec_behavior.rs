@@ -288,3 +288,61 @@ fn ready_offsets_respected() {
     let delayed = run(Strategy::CaSyncPs, &cluster, ExecConfig::hipress(), &iter);
     assert!(delayed.makespan_ns >= base.makespan_ns + 50_000_000);
 }
+
+/// Traced execution is observation only: identical statistics, one
+/// span per task with the runtime's category names, a `run` span
+/// covering the makespan, and lossless Chrome JSON round-tripping.
+#[test]
+fn traced_execution_mirrors_untraced() {
+    use hipress_trace::{chrome, Tracer};
+    let cluster = ClusterConfig::ec2(4);
+    for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing, Strategy::BytePs] {
+        let iter = iter_spec(&[1 << 22, 1 << 14, 1 << 10], Some(Algorithm::OneBit), 2);
+        let graph = strat.build(&cluster, &iter).unwrap();
+        let cfg = if strat.is_casync() {
+            ExecConfig::hipress()
+        } else {
+            ExecConfig::byteps()
+        };
+        let plain = Executor::new(cluster, cfg).run(&graph, &iter).unwrap();
+        let tracer = Tracer::new("sim");
+        let traced = Executor::new(cluster, cfg)
+            .run_traced(&graph, &iter, &tracer)
+            .unwrap();
+        assert_eq!(plain.makespan_ns, traced.makespan_ns, "{strat:?}");
+        assert_eq!(plain.grad_finish_ns, traced.grad_finish_ns, "{strat:?}");
+        assert_eq!(plain.events, traced.events, "{strat:?}");
+        let trace = tracer.finish();
+        assert!(
+            trace.validate().is_ok(),
+            "{strat:?}: {:?}",
+            trace.validate()
+        );
+
+        // One span per task, under the category CaSync-RT also uses.
+        let task_spans: usize = [
+            "source", "encode", "decode", "merge", "send", "recv", "update", "barrier",
+        ]
+        .iter()
+        .map(|c| trace.events_of(c).filter(|e| !e.instant).count())
+        .sum();
+        assert_eq!(task_spans, graph.len(), "{strat:?}");
+
+        // The engine track's run span covers the whole makespan.
+        let run_span = trace.events_of("run").next().unwrap();
+        assert_eq!(run_span.dur_ns, traced.makespan_ns, "{strat:?}");
+        assert_eq!(run_span.arg("nodes"), Some(cluster.nodes as u64));
+        assert_eq!(trace.end_ns(), traced.makespan_ns, "{strat:?}");
+
+        // Message arrivals: one instant per send, on the receiver.
+        assert_eq!(
+            trace.events_of("fabric").count(),
+            trace.events_of("send").count(),
+            "{strat:?}"
+        );
+
+        // Chrome export is lossless through the crate's own reader.
+        let back = chrome::import(&chrome::export(&trace)).unwrap();
+        assert_eq!(back, trace, "{strat:?}");
+    }
+}

@@ -23,6 +23,7 @@ use hipress_compress::Compressor;
 use hipress_core::graph::{Primitive, SendSrc, TaskGraph, TaskId};
 use hipress_core::interp::FlowOutcome;
 use hipress_tensor::Tensor;
+use hipress_trace::{Counter, Tracer, TrackId};
 use hipress_util::{Error, Result};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +51,31 @@ impl Default for RuntimeConfig {
             batch_compression: true,
             comp_batch_max_task_bytes: 256 * 1024,
         }
+    }
+}
+
+/// One node thread's tracing handles: its timeline track plus the
+/// queue-depth gauges. `None` on the worker means tracing is off and
+/// the hot path records nothing (and allocates nothing).
+struct NodeTrace {
+    tracer: Tracer,
+    track: TrackId,
+    q_comp: Counter,
+    q_commu: Counter,
+}
+
+/// The span category used for each primitive (also the span name).
+/// [`RuntimeReport::from_trace`] keys its buckets on these.
+fn prim_category(p: Primitive) -> &'static str {
+    match p {
+        Primitive::Source => "source",
+        Primitive::Encode => "encode",
+        Primitive::Decode => "decode",
+        Primitive::Merge => "merge",
+        Primitive::Send => "send",
+        Primitive::Recv => "recv",
+        Primitive::Update => "update",
+        Primitive::Barrier => "barrier",
     }
 }
 
@@ -154,6 +180,28 @@ pub fn run(
     run_replicated(graph, nodes, &replicated, compressor, seed, config)
 }
 
+/// As [`run`], recording every task execution, queue-depth change,
+/// and fabric message into `tracer`.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_traced(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &Flows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    tracer: &Tracer,
+) -> Result<RunOutcome> {
+    let replicated: ReplicaFlows = flows
+        .iter()
+        .map(|(&f, per_node)| (f, per_node.iter().map(|t| vec![t.clone()]).collect()))
+        .collect();
+    run_replicated_traced(graph, nodes, &replicated, compressor, seed, config, tracer)
+}
+
 /// Executes `graph` on `nodes` OS threads, locally aggregating each
 /// node's replica gradients at `Source` time.
 ///
@@ -167,6 +215,42 @@ pub fn run_replicated(
     compressor: Option<&dyn Compressor>,
     seed: u64,
     config: &RuntimeConfig,
+) -> Result<RunOutcome> {
+    run_replicated_inner(graph, nodes, flows, compressor, seed, config, None)
+}
+
+/// As [`run_replicated`], recording into `tracer`: one `node{i}`
+/// thread track per node (primitive spans, nested `local_agg` spans,
+/// `fabric` message instants, `batch` launch instants), `Q_comp` /
+/// `Q_commu` counter tracks per node, and a `run` wall span on the
+/// `engine` track. The recorded durations are the very measurements
+/// the returned [`RuntimeReport`] accumulates, so
+/// [`RuntimeReport::from_trace`] on the trace reproduces the report
+/// exactly.
+///
+/// # Errors
+///
+/// As [`run_replicated`].
+pub fn run_replicated_traced(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &ReplicaFlows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    tracer: &Tracer,
+) -> Result<RunOutcome> {
+    run_replicated_inner(graph, nodes, flows, compressor, seed, config, Some(tracer))
+}
+
+fn run_replicated_inner(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &ReplicaFlows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    tracer: Option<&Tracer>,
 ) -> Result<RunOutcome> {
     // Debug builds statically verify the plan before spawning
     // threads: a racy or deadlocking graph aborts here with a
@@ -185,6 +269,28 @@ pub fn run_replicated(
         rxs.push(rx);
     }
 
+    // Track registration happens up front on the main thread so the
+    // layout is deterministic: engine first, then each node's
+    // timeline and queue gauges in node order.
+    let mut node_traces: Vec<Option<NodeTrace>> = Vec::with_capacity(nodes);
+    if let Some(tr) = tracer {
+        tr.thread_track("engine");
+        for node in 0..nodes {
+            let track = tr.thread_track(&format!("node{node}"));
+            let q_comp = tr.counter(tr.counter_track(&format!("node{node}/Q_comp")));
+            let q_commu = tr.counter(tr.counter_track(&format!("node{node}/Q_commu")));
+            node_traces.push(Some(NodeTrace {
+                tracer: tr.clone(),
+                track,
+                q_comp,
+                q_commu,
+            }));
+        }
+    } else {
+        node_traces.resize_with(nodes, || None);
+    }
+
+    let run_start_ns = tracer.map(Tracer::now_ns);
     let started = Instant::now();
     let mut results: Vec<Result<(HashMap<(u32, u32), Cell>, RuntimeReport)>> = (0..nodes)
         .map(|_| Err(Error::sim("node never ran")))
@@ -192,7 +298,7 @@ pub fn run_replicated(
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nodes);
-        for (node, rx) in rxs.into_iter().enumerate() {
+        for ((node, rx), trace) in rxs.into_iter().enumerate().zip(node_traces) {
             let txs: Vec<Sender<Msg>> = txs.clone();
             let layout = &layout;
             let plan = &plan;
@@ -220,6 +326,7 @@ pub fn run_replicated(
                     inbound: HashMap::new(),
                     done: 0,
                     report: RuntimeReport::default(),
+                    trace,
                 };
                 worker.run()
             }));
@@ -231,6 +338,19 @@ pub fn run_replicated(
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
+    if let Some(tr) = tracer {
+        // The run span carries the same wall measurement the report
+        // stores, keeping trace-derived reports exact.
+        let engine = tr.thread_track("engine");
+        tr.record_span(
+            engine,
+            "run",
+            "run",
+            run_start_ns.unwrap_or(0),
+            wall_ns,
+            &[("nodes", nodes as u64)],
+        );
+    }
 
     // Prefer a root-cause error over the "aborted" echoes it causes.
     let mut aborted = None;
@@ -445,6 +565,8 @@ struct NodeWorker<'a> {
     inbound: HashMap<u32, Payload>,
     done: usize,
     report: RuntimeReport,
+    /// Tracing handles; `None` keeps the hot path allocation-free.
+    trace: Option<NodeTrace>,
 }
 
 impl NodeWorker<'_> {
@@ -519,10 +641,19 @@ impl NodeWorker<'_> {
         match msg {
             Msg::Abort => Err(Error::sim("aborted")),
             Msg::Done { task, payload } => {
+                let wire_bytes = payload.as_ref().map(Payload::wire_bytes);
                 if let Some(p) = payload {
                     self.inbound.insert(task.0, p);
                 }
                 self.report.messages += 1;
+                if let Some(tr) = &self.trace {
+                    let mut args = vec![("task", task.0 as u64)];
+                    if let Some(b) = wire_bytes {
+                        args.push(("bytes", b));
+                    }
+                    tr.tracer
+                        .instant(tr.track, "msg", "fabric", tr.tracer.now_ns(), &args);
+                }
                 if let Some(deps) = self.plan.remote_edges_in[self.node].get(&task.0) {
                     for &d in deps.clone().iter() {
                         self.resolve_dep(d);
@@ -550,15 +681,33 @@ impl NodeWorker<'_> {
         let prim = self.graph.task(t).prim;
         if prim == Primitive::Send || prim == Primitive::Recv {
             self.q_commu.push_back(t);
+            if let Some(tr) = &self.trace {
+                tr.q_commu.add(1);
+            }
         } else {
             self.q_comp.push_back(t);
+            if let Some(tr) = &self.trace {
+                tr.q_comp.add(1);
+            }
         }
     }
 
     /// Communication first: a completed send unblocks another node,
     /// which is what keeps the pipeline full.
     fn next_ready(&mut self) -> Option<TaskId> {
-        self.q_commu.pop_front().or_else(|| self.q_comp.pop_front())
+        if let Some(t) = self.q_commu.pop_front() {
+            if let Some(tr) = &self.trace {
+                tr.q_commu.add(-1);
+            }
+            return Some(t);
+        }
+        if let Some(t) = self.q_comp.pop_front() {
+            if let Some(tr) = &self.trace {
+                tr.q_comp.add(-1);
+            }
+            return Some(t);
+        }
+        None
     }
 
     /// Finds the transitive dependency of `id` matching `pred`,
@@ -604,6 +753,18 @@ impl NodeWorker<'_> {
             }
             self.q_comp = rest;
             self.report.comp_batch_launches += 1;
+            if let Some(tr) = &self.trace {
+                // The gathered encodes left Q_comp without individual
+                // pops; resync the gauge to the rebuilt queue.
+                tr.q_comp.set(self.q_comp.len() as i64);
+                tr.tracer.instant(
+                    tr.track,
+                    "batch",
+                    "batch",
+                    tr.tracer.now_ns(),
+                    &[("size", batch.len() as u64)],
+                );
+            }
             for t in batch {
                 self.execute_one(t)?;
             }
@@ -613,11 +774,13 @@ impl NodeWorker<'_> {
     }
 
     fn execute_one(&mut self, id: TaskId) -> Result<()> {
+        let start_ns = self.trace.as_ref().map(|tr| tr.tracer.now_ns());
         let started = Instant::now();
         let t = self.graph.task(id);
         debug_assert_eq!(t.node, self.node, "task scheduled on the wrong node");
         let key = (t.chunk.grad, t.chunk.part);
         let mut outbound: Option<Payload> = None;
+        let mut sent_bytes: Option<(u64, u64)> = None;
         match t.prim {
             Primitive::Source => {
                 let start = self.layout.chunk_start[&key];
@@ -625,6 +788,7 @@ impl NodeWorker<'_> {
                 let reps = &self.flows[&t.chunk.grad][self.node];
                 let mut acc = reps[0].as_slice()[start..start + len].to_vec();
                 if reps.len() > 1 {
+                    let agg_start_ns = self.trace.as_ref().map(|tr| tr.tracer.now_ns());
                     let agg_started = Instant::now();
                     for r in &reps[1..] {
                         let slice = &r.as_slice()[start..start + len];
@@ -632,7 +796,19 @@ impl NodeWorker<'_> {
                             *a += b;
                         }
                     }
-                    self.report.local_agg_ns += agg_started.elapsed().as_nanos() as u64;
+                    let agg_ns = agg_started.elapsed().as_nanos() as u64;
+                    self.report.local_agg_ns += agg_ns;
+                    if let Some(tr) = &self.trace {
+                        // Nested inside the enclosing source span.
+                        tr.tracer.record_span(
+                            tr.track,
+                            "local_agg",
+                            "local_agg",
+                            agg_start_ns.unwrap_or(0),
+                            agg_ns,
+                            &[("replicas", reps.len() as u64)],
+                        );
+                    }
                 }
                 self.cells.entry(key).or_default().acc = acc;
             }
@@ -725,6 +901,7 @@ impl NodeWorker<'_> {
                 };
                 self.report.bytes_wire += payload.wire_bytes();
                 self.report.bytes_raw += t.bytes_raw;
+                sent_bytes = Some((payload.wire_bytes(), t.bytes_raw));
                 outbound = Some(payload);
             }
             Primitive::Recv => {
@@ -784,6 +961,23 @@ impl NodeWorker<'_> {
         }
         let ns = started.elapsed().as_nanos() as u64;
         self.report.prim_mut(t.prim).record(ns);
+        if let Some(tr) = &self.trace {
+            // The span duration is the very `ns` the report recorded
+            // above — one measurement, two consumers — so a report
+            // derived from the trace matches this one exactly.
+            let name = prim_category(t.prim);
+            let mut args = vec![
+                ("grad", t.chunk.grad as u64),
+                ("part", t.chunk.part as u64),
+                ("task", id.0 as u64),
+            ];
+            if let Some((wire, raw)) = sent_bytes {
+                args.push(("bytes_wire", wire));
+                args.push(("bytes_raw", raw));
+            }
+            tr.tracer
+                .record_span(tr.track, name, name, start_ns.unwrap_or(0), ns, &args);
+        }
         self.finish(id, outbound);
         Ok(())
     }

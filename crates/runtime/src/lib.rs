@@ -25,7 +25,8 @@ pub mod engine;
 pub mod report;
 
 pub use engine::{
-    run, run_replicated, sum_replicas, Flows, ReplicaFlows, RunOutcome, RuntimeConfig,
+    run, run_replicated, run_replicated_traced, run_traced, sum_replicas, Flows, ReplicaFlows,
+    RunOutcome, RuntimeConfig,
 };
 pub use report::{PrimStat, RuntimeReport};
 

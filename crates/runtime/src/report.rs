@@ -3,11 +3,20 @@
 //! Unlike [`hipress_core::ExecStats`] — which reports *simulated*
 //! nanoseconds derived from cost models — everything in a
 //! [`RuntimeReport`] is measured with `std::time::Instant` on real
-//! hardware: how long the five primitives actually took, how many
+//! hardware: how long the eight primitives actually took, how many
 //! bytes actually crossed the channel fabric, and how that compares
 //! to an uncompressed run.
+//!
+//! When tracing is enabled the engine records every one of these
+//! measurements into a [`hipress_trace::Trace`] as well, and
+//! [`RuntimeReport::from_trace`] re-derives the full report from the
+//! trace alone. The two paths share each task's single measured
+//! duration, so the derived report is *equal* to the accumulated one —
+//! the cross-check that keeps the trace honest.
 
 use hipress_core::Primitive;
+use hipress_trace::Trace;
+use hipress_util::units::fmt_duration_ns;
 use std::fmt;
 
 /// Count and cumulative busy time for one primitive kind.
@@ -33,8 +42,21 @@ impl PrimStat {
     }
 }
 
+/// The primitive kinds in report/display order, paired with the span
+/// category names the tracing engine uses for them.
+const PRIMS: [(Primitive, &str); 8] = [
+    (Primitive::Source, "source"),
+    (Primitive::Encode, "encode"),
+    (Primitive::Decode, "decode"),
+    (Primitive::Merge, "merge"),
+    (Primitive::Send, "send"),
+    (Primitive::Recv, "recv"),
+    (Primitive::Update, "update"),
+    (Primitive::Barrier, "barrier"),
+];
+
 /// Measured wall-clock statistics for one runtime execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeReport {
     /// Number of node threads that executed the graph.
     pub nodes: usize,
@@ -54,6 +76,9 @@ pub struct RuntimeReport {
     pub recv: PrimStat,
     /// Update (parameter install) statistics.
     pub update: PrimStat,
+    /// Barrier statistics (dependency joins; near-zero cost but
+    /// counted in their own bucket so plan structure is visible).
+    pub barrier: PrimStat,
     /// Time spent summing local replica gradients (local aggregation,
     /// §3.1); zero when every node holds a single replica.
     pub local_agg_ns: u64,
@@ -70,47 +95,102 @@ pub struct RuntimeReport {
 }
 
 impl RuntimeReport {
-    /// The stat bucket for a primitive kind (Barrier maps to `source`,
-    /// whose cost is ~zero, to keep the accessor total).
+    /// The stat bucket for a primitive kind.
     pub fn prim(&self, p: Primitive) -> &PrimStat {
         match p {
-            Primitive::Source | Primitive::Barrier => &self.source,
+            Primitive::Source => &self.source,
             Primitive::Encode => &self.encode,
             Primitive::Decode => &self.decode,
             Primitive::Merge => &self.merge,
             Primitive::Send => &self.send,
             Primitive::Recv => &self.recv,
             Primitive::Update => &self.update,
+            Primitive::Barrier => &self.barrier,
         }
     }
 
     /// Mutable access to the stat bucket for a primitive kind.
     pub(crate) fn prim_mut(&mut self, p: Primitive) -> &mut PrimStat {
         match p {
-            Primitive::Source | Primitive::Barrier => &mut self.source,
+            Primitive::Source => &mut self.source,
             Primitive::Encode => &mut self.encode,
             Primitive::Decode => &mut self.decode,
             Primitive::Merge => &mut self.merge,
             Primitive::Send => &mut self.send,
             Primitive::Recv => &mut self.recv,
             Primitive::Update => &mut self.update,
+            Primitive::Barrier => &mut self.barrier,
         }
     }
 
     /// Merges a per-node report into this aggregate.
     pub fn absorb(&mut self, other: &RuntimeReport) {
-        self.source.absorb(other.source);
-        self.encode.absorb(other.encode);
-        self.decode.absorb(other.decode);
-        self.merge.absorb(other.merge);
-        self.send.absorb(other.send);
-        self.recv.absorb(other.recv);
-        self.update.absorb(other.update);
+        for (p, _) in PRIMS {
+            self.prim_mut(p).absorb(*other.prim(p));
+        }
         self.local_agg_ns += other.local_agg_ns;
         self.bytes_wire += other.bytes_wire;
         self.bytes_raw += other.bytes_raw;
         self.messages += other.messages;
         self.comp_batch_launches += other.comp_batch_launches;
+    }
+
+    /// Re-derives a full report from a trace recorded by the engine.
+    ///
+    /// Every quantity maps to trace structure: primitive buckets from
+    /// span categories, wire volume from `send` span arguments,
+    /// messages from `fabric` instants, batched launches from `batch`
+    /// instants, wall time and node count from the `run` span, and
+    /// per-node busy time from each `node{i}` track's primitive spans.
+    /// Because the engine feeds each task's single measured duration
+    /// to both the counters and the trace, the derived report equals
+    /// the accumulated one exactly.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut r = RuntimeReport::default();
+        for (p, cat) in PRIMS {
+            let s = r.prim_mut(p);
+            for e in trace.events_of(cat) {
+                s.record(e.dur_ns);
+            }
+        }
+        for e in trace.events_of("local_agg") {
+            r.local_agg_ns += e.dur_ns;
+        }
+        for e in trace.events_of("send") {
+            r.bytes_wire += e.arg("bytes_wire").unwrap_or(0);
+            r.bytes_raw += e.arg("bytes_raw").unwrap_or(0);
+        }
+        r.messages = trace.events_of("fabric").count() as u64;
+        r.comp_batch_launches = trace.events_of("batch").count() as u64;
+        if let Some(run) = trace.events_of("run").next() {
+            r.wall_ns = run.dur_ns;
+            r.nodes = run.arg("nodes").unwrap_or(0) as usize;
+        }
+        if r.nodes == 0 {
+            // No run span (foreign trace): count node tracks instead.
+            r.nodes = trace
+                .tracks()
+                .iter()
+                .filter(|t| t.name.starts_with("node") && !t.name.contains('/'))
+                .count();
+        }
+        r.per_node_busy_ns = (0..r.nodes)
+            .map(|node| {
+                trace
+                    .find_track(&format!("node{node}"))
+                    .map(|id| {
+                        trace
+                            .track(id)
+                            .events
+                            .iter()
+                            .filter(|e| PRIMS.iter().any(|(_, c)| e.category == *c))
+                            .map(|e| e.dur_ns)
+                            .sum()
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+        r
     }
 
     /// Wire-volume reduction factor: raw bytes divided by bytes
@@ -133,25 +213,7 @@ impl RuntimeReport {
 
     /// Total busy time across primitives and nodes.
     pub fn total_busy_ns(&self) -> u64 {
-        self.source.busy_ns
-            + self.encode.busy_ns
-            + self.decode.busy_ns
-            + self.merge.busy_ns
-            + self.send.busy_ns
-            + self.recv.busy_ns
-            + self.update.busy_ns
-    }
-}
-
-fn fmt_ns(ns: u64) -> String {
-    if ns >= 1_000_000_000 {
-        format!("{:.2}s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.2}ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.1}us", ns as f64 / 1e3)
-    } else {
-        format!("{ns}ns")
+        PRIMS.iter().map(|&(p, _)| self.prim(p).busy_ns).sum()
     }
 }
 
@@ -171,24 +233,27 @@ impl fmt::Display for RuntimeReport {
             f,
             "RuntimeReport: {} node threads, wall {}",
             self.nodes,
-            fmt_ns(self.wall_ns)
+            fmt_duration_ns(self.wall_ns)
         )?;
         writeln!(f, "  {:<10} {:>8} {:>12}", "primitive", "count", "busy")?;
-        for (name, s) in [
-            ("source", self.source),
-            ("encode", self.encode),
-            ("decode", self.decode),
-            ("merge", self.merge),
-            ("send", self.send),
-            ("recv", self.recv),
-            ("update", self.update),
-        ] {
+        for (p, name) in PRIMS {
+            let s = self.prim(p);
             if s.count > 0 {
-                writeln!(f, "  {:<10} {:>8} {:>12}", name, s.count, fmt_ns(s.busy_ns))?;
+                writeln!(
+                    f,
+                    "  {:<10} {:>8} {:>12}",
+                    name,
+                    s.count,
+                    fmt_duration_ns(s.busy_ns)
+                )?;
             }
         }
         if self.local_agg_ns > 0 {
-            writeln!(f, "  local aggregation: {}", fmt_ns(self.local_agg_ns))?;
+            writeln!(
+                f,
+                "  local aggregation: {}",
+                fmt_duration_ns(self.local_agg_ns)
+            )?;
         }
         writeln!(
             f,
@@ -215,14 +280,26 @@ mod tests {
         let mut b = RuntimeReport::default();
         b.encode.record(100);
         b.encode.record(50);
+        b.barrier.record(5);
         b.bytes_wire = 10;
         b.bytes_raw = 100;
         a.absorb(&b);
         a.absorb(&b);
         assert_eq!(a.encode.count, 4);
         assert_eq!(a.encode.busy_ns, 300);
+        assert_eq!(a.barrier.count, 2);
         assert_eq!(a.bytes_wire, 20);
         assert!((a.compression_savings() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_has_its_own_bucket() {
+        let mut r = RuntimeReport::default();
+        r.prim_mut(Primitive::Barrier).record(40);
+        assert_eq!(r.barrier.count, 1);
+        assert_eq!(r.source.count, 0, "barriers must not pollute source");
+        assert_eq!(r.prim(Primitive::Barrier).busy_ns, 40);
+        assert_eq!(r.total_busy_ns(), 40);
     }
 
     #[test]
@@ -239,6 +316,21 @@ mod tests {
     }
 
     #[test]
+    fn speedup_edge_cases() {
+        let zero = RuntimeReport::default();
+        let real = RuntimeReport {
+            wall_ns: 100,
+            ..Default::default()
+        };
+        // A zero-wall report defines its speedup as 1.0 (no division).
+        assert!((zero.speedup_vs(&real) - 1.0).abs() < 1e-9);
+        assert!((zero.speedup_vs(&zero) - 1.0).abs() < 1e-9);
+        // A zero-wall baseline yields 0.0: "infinitely slower" is
+        // reported as no speedup at all rather than infinity.
+        assert!((real.speedup_vs(&zero) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn display_renders() {
         let mut r = RuntimeReport {
             nodes: 4,
@@ -246,10 +338,74 @@ mod tests {
             ..Default::default()
         };
         r.encode.record(10_000);
+        r.barrier.record(100);
         r.bytes_wire = 4096;
         r.bytes_raw = 65536;
         let s = r.to_string();
         assert!(s.contains("4 node threads"));
+        assert!(s.contains("wall 1.50ms"));
         assert!(s.contains("encode"));
+        assert!(s.contains("barrier"));
+    }
+
+    #[test]
+    fn from_trace_rebuilds_every_field() {
+        let mut t = Trace::new("casync-rt");
+        let engine = t.thread_track("engine");
+        let n0 = t.thread_track("node0");
+        let n1 = t.thread_track("node1");
+        t.push_span(engine, "run", "run", 0, 10_000, &[("nodes", 2)]);
+        t.push_span(n0, "source", "source", 10, 100, &[("grad", 0), ("part", 0)]);
+        t.push_span(n0, "local_agg", "local_agg", 20, 30, &[]);
+        t.push_span(
+            n0,
+            "send",
+            "send",
+            200,
+            50,
+            &[("bytes_wire", 64), ("bytes_raw", 512)],
+        );
+        t.push_span(n1, "recv", "recv", 300, 5, &[]);
+        t.push_span(n1, "barrier", "barrier", 400, 2, &[]);
+        t.push_instant(n1, "msg", "fabric", 250, &[("bytes", 64)]);
+        t.push_instant(n0, "batch", "batch", 50, &[("size", 3)]);
+        let r = RuntimeReport::from_trace(&t);
+        assert_eq!(r.nodes, 2);
+        assert_eq!(r.wall_ns, 10_000);
+        assert_eq!(
+            r.source,
+            PrimStat {
+                count: 1,
+                busy_ns: 100
+            }
+        );
+        assert_eq!(
+            r.send,
+            PrimStat {
+                count: 1,
+                busy_ns: 50
+            }
+        );
+        assert_eq!(
+            r.recv,
+            PrimStat {
+                count: 1,
+                busy_ns: 5
+            }
+        );
+        assert_eq!(
+            r.barrier,
+            PrimStat {
+                count: 1,
+                busy_ns: 2
+            }
+        );
+        assert_eq!(r.local_agg_ns, 30);
+        assert_eq!(r.bytes_wire, 64);
+        assert_eq!(r.bytes_raw, 512);
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.comp_batch_launches, 1);
+        // local_agg is nested inside source and excluded from busy.
+        assert_eq!(r.per_node_busy_ns, vec![150, 7]);
     }
 }

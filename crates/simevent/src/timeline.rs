@@ -128,6 +128,28 @@ impl Timeline {
         busy.into_iter().map(|b| (b / width).min(1.0)).collect()
     }
 
+    /// Lowers the timeline into the unified trace model: one thread
+    /// track per component, one `busy`-category span per recorded
+    /// interval. The result exports to Chrome trace JSON and renders
+    /// next to CaSync-RT traces through `hipress-trace`'s views.
+    pub fn to_trace(&self, process: &str) -> hipress_trace::Trace {
+        let mut trace = hipress_trace::Trace::new(process);
+        for (id, name) in self.tracks() {
+            let track = trace.thread_track(name);
+            for iv in self.intervals(id) {
+                trace.push_span(
+                    track,
+                    "busy",
+                    "busy",
+                    iv.start.as_ns(),
+                    iv.end.as_ns() - iv.start.as_ns(),
+                    &[],
+                );
+            }
+        }
+        trace
+    }
+
     /// Renders `track` as an ASCII strip (`#` busy, `.` idle), one
     /// character per bucket — a quick-look Figure 9.
     pub fn ascii_strip(&self, track: TrackId, horizon: SimTime, buckets: usize) -> String {
@@ -205,6 +227,23 @@ mod tests {
         t.record(g, SimTime::ZERO, SimTime::from_ns(250));
         let strip = t.ascii_strip(g, SimTime::from_ns(1000), 4);
         assert_eq!(strip, "#...");
+    }
+
+    #[test]
+    fn to_trace_preserves_tracks_and_intervals() {
+        let mut t = Timeline::new();
+        let g = t.track("gpu0");
+        let u = t.track("uplink0");
+        t.record(g, SimTime::from_ns(10), SimTime::from_ns(40));
+        t.record(u, SimTime::from_ns(40), SimTime::from_ns(90));
+        let trace = t.to_trace("sim");
+        assert_eq!(trace.process, "sim");
+        let names: Vec<_> = trace.tracks().iter().map(|tr| tr.name.as_str()).collect();
+        assert_eq!(names, vec!["gpu0", "uplink0"]);
+        let spans: Vec<_> = trace.events_of("busy").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].ts_ns, spans[0].dur_ns), (10, 30));
+        assert_eq!((spans[1].ts_ns, spans[1].dur_ns), (40, 50));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Chrome trace-event JSON export and import.
+//!
+//! Writes the subset of the [trace-event format] that
+//! `chrome://tracing` and Perfetto load: complete spans (`ph:"X"`),
+//! instants (`ph:"i"`), counters (`ph:"C"`), and `thread_name` /
+//! `process_name` metadata (`ph:"M"`). Timestamps and durations are
+//! microseconds in the format, so nanosecond values are written as
+//! `ns / 1000` with three decimals — exact — and the reader multiplies
+//! back and rounds, making export → import lossless for every `ts_ns`
+//! / `dur_ns` in a [`Trace`].
+//!
+//! Layout conventions: everything lives in `pid` 1; thread and counter
+//! tracks map to `tid = index + 1` in registration order; event `args`
+//! carry the numeric arguments plus a `"cat"`-mirroring `category`
+//! field implicitly via the top-level `cat` key.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{self, Json};
+use crate::model::Trace;
+use hipress_util::{Error, Result};
+use std::fmt::Write as _;
+
+/// The fixed process id used for all tracks.
+const PID: u64 = 1;
+
+fn tid_of(index: usize) -> u64 {
+    index as u64 + 1
+}
+
+/// Writes `ns` as a microsecond JSON number with exact ns precision.
+fn push_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+/// Serializes a trace to Chrome trace-event JSON.
+///
+/// The output is a single object `{"traceEvents": [...]}`, loadable in
+/// `chrome://tracing` and Perfetto, and parseable back into an
+/// identical [`Trace`] by [`import`].
+pub fn export(trace: &Trace) -> String {
+    let mut out = String::with_capacity(4096 + trace.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    // Process metadata, then one thread_name record per track.
+    {
+        let mut line = String::new();
+        line.push_str(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\"args\":{\"name\":",
+        );
+        json::write_str(&mut line, &trace.process);
+        line.push_str("}}");
+        emit(line, &mut out);
+    }
+    for (i, track) in trace.tracks().iter().enumerate() {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{PID},\"tid\":{},\"args\":{{\"name\":",
+            tid_of(i)
+        );
+        json::write_str(&mut line, &track.name);
+        line.push_str("}}");
+        emit(line, &mut out);
+    }
+
+    for (i, track) in trace.tracks().iter().enumerate() {
+        let tid = tid_of(i);
+        for e in &track.events {
+            let mut line = String::new();
+            line.push('{');
+            line.push_str("\"ph\":");
+            line.push_str(if e.instant { "\"i\"" } else { "\"X\"" });
+            line.push_str(",\"name\":");
+            json::write_str(&mut line, &e.name);
+            line.push_str(",\"cat\":");
+            json::write_str(&mut line, &e.category);
+            let _ = write!(line, ",\"pid\":{PID},\"tid\":{tid},\"ts\":");
+            push_us(&mut line, e.ts_ns);
+            if e.instant {
+                // Thread-scoped instant.
+                line.push_str(",\"s\":\"t\"");
+            } else {
+                line.push_str(",\"dur\":");
+                push_us(&mut line, e.dur_ns);
+            }
+            line.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    line.push(',');
+                }
+                json::write_str(&mut line, k);
+                let _ = write!(line, ":{v}");
+            }
+            line.push_str("}}");
+            emit(line, &mut out);
+        }
+        for &(ts, value) in &track.samples {
+            let mut line = String::new();
+            line.push_str("{\"ph\":\"C\",\"name\":");
+            json::write_str(&mut line, &track.name);
+            let _ = write!(line, ",\"pid\":{PID},\"tid\":{tid},\"ts\":");
+            push_us(&mut line, ts);
+            line.push_str(",\"args\":{\"value\":");
+            json::write_num(&mut line, value);
+            line.push_str("}}");
+            emit(line, &mut out);
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Converts a microsecond JSON number back to exact nanoseconds.
+fn us_to_ns(us: f64) -> u64 {
+    (us * 1000.0).round() as u64
+}
+
+/// Parses Chrome trace-event JSON produced by [`export`] back into a
+/// [`Trace`].
+///
+/// Tracks are reconstructed from `thread_name` metadata in `tid`
+/// order; a track is a counter track exactly when `ph:"C"` events
+/// reference its `tid`. Unknown phases are skipped, so traces written
+/// by other tools load too (best effort).
+///
+/// # Errors
+///
+/// Returns a configuration error when the document is not valid JSON,
+/// lacks a `traceEvents` array, or references a `tid` with no
+/// `thread_name` record.
+pub fn import(src: &str) -> Result<Trace> {
+    let doc = json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::config("chrome trace: missing traceEvents array"))?;
+
+    let str_field = |e: &Json, k: &str| -> Option<String> {
+        e.get(k).and_then(Json::as_str).map(str::to_string)
+    };
+    let num_field = |e: &Json, k: &str| -> Option<f64> { e.get(k).and_then(Json::as_f64) };
+
+    // Pass 1: process name, track names by tid, counter tids.
+    let mut process = String::from("trace");
+    let mut names: Vec<(u64, String)> = Vec::new();
+    let mut counter_tids: Vec<u64> = Vec::new();
+    for e in events {
+        let ph = str_field(e, "ph").unwrap_or_default();
+        match ph.as_str() {
+            "M" => {
+                let meta = str_field(e, "name").unwrap_or_default();
+                let arg_name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                if meta == "process_name" {
+                    process = arg_name;
+                } else if meta == "thread_name" {
+                    let tid = num_field(e, "tid").unwrap_or(0.0) as u64;
+                    names.push((tid, arg_name));
+                }
+            }
+            "C" => {
+                let tid = num_field(e, "tid").unwrap_or(0.0) as u64;
+                if !counter_tids.contains(&tid) {
+                    counter_tids.push(tid);
+                }
+            }
+            _ => {}
+        }
+    }
+    names.sort_by_key(|&(tid, _)| tid);
+
+    let mut trace = Trace::new(&process);
+    for (tid, name) in &names {
+        if counter_tids.contains(tid) {
+            trace.counter_track(name);
+        } else {
+            trace.thread_track(name);
+        }
+    }
+
+    let track_for = |trace: &Trace, tid: u64| {
+        names
+            .iter()
+            .position(|&(t, _)| t == tid)
+            .and_then(|i| trace.find_track(&names[i].1))
+    };
+
+    // Pass 2: events and samples.
+    for e in events {
+        let ph = str_field(e, "ph").unwrap_or_default();
+        if !matches!(ph.as_str(), "X" | "i" | "C") {
+            continue;
+        }
+        let tid = num_field(e, "tid").unwrap_or(0.0) as u64;
+        let id = track_for(&trace, tid).ok_or_else(|| {
+            Error::config(format!("chrome trace: event references unknown tid {tid}"))
+        })?;
+        let ts_ns = us_to_ns(num_field(e, "ts").unwrap_or(0.0));
+        match ph.as_str() {
+            "C" => {
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                trace.push_sample(id, ts_ns, value);
+            }
+            _ => {
+                let name = str_field(e, "name").unwrap_or_default();
+                let cat = str_field(e, "cat").unwrap_or_default();
+                let mut args: Vec<(String, u64)> = Vec::new();
+                if let Some(Json::Obj(m)) = e.get("args") {
+                    for (k, v) in m {
+                        if let Some(n) = v.as_f64() {
+                            args.push((k.clone(), n as u64));
+                        }
+                    }
+                }
+                let arg_refs: Vec<(&str, u64)> =
+                    args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                if ph == "i" {
+                    trace.push_instant(id, &name, &cat, ts_ns, &arg_refs);
+                } else {
+                    let dur_ns = us_to_ns(num_field(e, "dur").unwrap_or(0.0));
+                    trace.push_span(id, &name, &cat, ts_ns, dur_ns, &arg_refs);
+                }
+            }
+        }
+    }
+
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrackKind;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("casync-rt");
+        let n0 = t.thread_track("node0");
+        let n1 = t.thread_track("node1");
+        let q = t.counter_track("node0/Q_comp");
+        t.push_span(
+            n0,
+            "encode",
+            "encode",
+            1_234_567,
+            89_012,
+            &[("bytes_raw", 4096), ("grad", 2)],
+        );
+        t.push_span(n1, "send", "send", 2_000_001, 500, &[("bytes_wire", 640)]);
+        t.push_instant(n0, "msg", "fabric", 2_000_501, &[("bytes", 640)]);
+        t.push_sample(q, 1_000, 1.0);
+        t.push_sample(q, 2_000, 0.0);
+        t
+    }
+
+    #[test]
+    fn export_emits_expected_phases() {
+        let s = export(&sample_trace());
+        assert!(s.contains("\"ph\":\"M\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"name\":\"process_name\""));
+        assert!(s.contains("\"name\":\"thread_name\""));
+        // ns 1_234_567 -> 1234.567 us, exact.
+        assert!(s.contains("\"ts\":1234.567"));
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let original = sample_trace();
+        let back = import(&export(&original)).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn round_trip_preserves_awkward_timestamps() {
+        let mut t = Trace::new("sim");
+        let n = t.thread_track("node0");
+        // Timestamps that don't divide evenly into microseconds.
+        for (i, ts) in [0u64, 1, 999, 1000, 1001, 123_456_789_123]
+            .iter()
+            .enumerate()
+        {
+            t.push_span(n, &format!("e{i}"), "encode", *ts, *ts % 997, &[]);
+        }
+        assert_eq!(import(&export(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn import_rejects_non_trace_json() {
+        assert!(import("[1,2,3]").is_err());
+        assert!(import("{\"foo\": 1}").is_err());
+        assert!(import("not json").is_err());
+    }
+
+    #[test]
+    fn import_rejects_unknown_tid() {
+        let src = r#"{"traceEvents":[
+            {"ph":"X","name":"x","cat":"c","pid":1,"tid":9,"ts":0,"dur":1,"args":{}}
+        ]}"#;
+        assert!(import(src).is_err());
+    }
+
+    #[test]
+    fn counter_tracks_survive_round_trip_as_counters() {
+        let back = import(&export(&sample_trace())).unwrap();
+        let q = back.find_track("node0/Q_comp").unwrap();
+        assert_eq!(back.track(q).kind, TrackKind::Counter);
+        assert_eq!(back.track(q).samples, vec![(1_000, 1.0), (2_000, 0.0)]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-category comparison of two traces.
+//!
+//! Backs `hipress trace-diff`: load a simulated trace and a measured
+//! CaSync-RT trace of the same plan and see, category by category,
+//! where the engines disagree — span counts (a structural mismatch)
+//! and latency totals/quantiles (a cost-model mismatch).
+
+use crate::hist::LatencyHistogram;
+use crate::model::Trace;
+use hipress_util::units::fmt_duration_ns;
+use std::fmt;
+
+/// One category's distributions in the two traces being compared.
+#[derive(Debug, Clone)]
+pub struct CategoryDiff {
+    /// The span category ("encode", "send", …).
+    pub category: String,
+    /// Distribution in the first trace.
+    pub a: LatencyHistogram,
+    /// Distribution in the second trace.
+    pub b: LatencyHistogram,
+}
+
+impl CategoryDiff {
+    /// True when both traces hold the same number of spans in this
+    /// category — the structural (plan-level) agreement check.
+    pub fn counts_match(&self) -> bool {
+        self.a.count() == self.b.count()
+    }
+}
+
+/// The result of comparing two traces category by category.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// Process name of the first trace.
+    pub process_a: String,
+    /// Process name of the second trace.
+    pub process_b: String,
+    /// Wall span (last end − first start) of the first trace.
+    pub wall_a_ns: u64,
+    /// Wall span of the second trace.
+    pub wall_b_ns: u64,
+    /// Union of span categories, in first-appearance order
+    /// (first trace's order, then categories only the second has).
+    pub categories: Vec<CategoryDiff>,
+}
+
+impl TraceDiff {
+    /// Compares two traces.
+    pub fn compare(a: &Trace, b: &Trace) -> Self {
+        let mut names: Vec<String> = a.categories().iter().map(|s| s.to_string()).collect();
+        for c in b.categories() {
+            if !names.iter().any(|n| n == c) {
+                names.push(c.to_string());
+            }
+        }
+        let categories = names
+            .into_iter()
+            .map(|category| CategoryDiff {
+                a: a.latency_histogram(&category),
+                b: b.latency_histogram(&category),
+                category,
+            })
+            .collect();
+        Self {
+            process_a: a.process.clone(),
+            process_b: b.process.clone(),
+            wall_a_ns: a.end_ns().saturating_sub(a.origin_ns()),
+            wall_b_ns: b.end_ns().saturating_sub(b.origin_ns()),
+            categories,
+        }
+    }
+
+    /// True when every category has the same span count in both
+    /// traces — the two engines executed structurally identical plans.
+    pub fn structurally_equal(&self) -> bool {
+        self.categories.iter().all(CategoryDiff::counts_match)
+    }
+
+    /// Wall-time ratio `b / a` (1.0 when `a` is zero).
+    pub fn wall_ratio(&self) -> f64 {
+        if self.wall_a_ns == 0 {
+            1.0
+        } else {
+            self.wall_b_ns as f64 / self.wall_a_ns as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace-diff: A={} ({})  B={} ({})  wall B/A = {:.2}x",
+            self.process_a,
+            fmt_duration_ns(self.wall_a_ns),
+            self.process_b,
+            fmt_duration_ns(self.wall_b_ns),
+            self.wall_ratio()
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}  {}",
+            "category", "n(A)", "n(B)", "p50(A)", "p50(B)", "p99(A)", "p99(B)", "match"
+        )?;
+        for c in &self.categories {
+            writeln!(
+                f,
+                "{:<10} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}  {}",
+                c.category,
+                c.a.count(),
+                c.b.count(),
+                fmt_duration_ns(c.a.p50()),
+                fmt_duration_ns(c.b.p50()),
+                fmt_duration_ns(c.a.p99()),
+                fmt_duration_ns(c.b.p99()),
+                if c.counts_match() { "yes" } else { "NO" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(process: &str, encode_durs: &[u64], sends: usize) -> Trace {
+        let mut t = Trace::new(process);
+        let n = t.thread_track("node0");
+        let mut ts = 0u64;
+        for &d in encode_durs {
+            t.push_span(n, "encode", "encode", ts, d, &[]);
+            ts += d;
+        }
+        for _ in 0..sends {
+            t.push_span(n, "send", "send", ts, 10, &[]);
+            ts += 10;
+        }
+        t
+    }
+
+    #[test]
+    fn matching_structure_is_detected() {
+        let a = trace_with("sim", &[100, 200], 3);
+        let b = trace_with("casync-rt", &[150, 250], 3);
+        let d = TraceDiff::compare(&a, &b);
+        assert!(d.structurally_equal());
+        assert_eq!(d.categories.len(), 2);
+    }
+
+    #[test]
+    fn count_mismatch_is_flagged() {
+        let a = trace_with("sim", &[100], 2);
+        let b = trace_with("rt", &[100], 3);
+        let d = TraceDiff::compare(&a, &b);
+        assert!(!d.structurally_equal());
+        let send = d.categories.iter().find(|c| c.category == "send").unwrap();
+        assert!(!send.counts_match());
+        let enc = d
+            .categories
+            .iter()
+            .find(|c| c.category == "encode")
+            .unwrap();
+        assert!(enc.counts_match());
+    }
+
+    #[test]
+    fn categories_union_covers_both_sides() {
+        let a = trace_with("sim", &[100], 0);
+        let b = trace_with("rt", &[], 2);
+        let d = TraceDiff::compare(&a, &b);
+        let names: Vec<&str> = d.categories.iter().map(|c| c.category.as_str()).collect();
+        assert_eq!(names, vec!["encode", "send"]);
+    }
+
+    #[test]
+    fn wall_ratio_and_display() {
+        let a = trace_with("sim", &[1000], 0);
+        let b = trace_with("rt", &[2000], 0);
+        let d = TraceDiff::compare(&a, &b);
+        assert!((d.wall_ratio() - 2.0).abs() < 1e-9);
+        let text = d.to_string();
+        assert!(text.contains("trace-diff"));
+        assert!(text.contains("encode"));
+        // Empty traces: ratio degrades gracefully.
+        let e = Trace::new("x");
+        assert!((TraceDiff::compare(&e, &e).wall_ratio() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! Thread-safe recording handles: [`Tracer`], [`Span`], [`Counter`].
+//!
+//! A [`Tracer`] is a cheap-to-clone handle over one shared [`Trace`]
+//! guarded by a `std::sync::Mutex`. CaSync-RT hands one clone to each
+//! node thread; the simulator records from a single thread. Timestamps
+//! come from the tracer's epoch (`Instant` captured at construction)
+//! via [`Tracer::now_ns`], or are supplied explicitly by callers that
+//! carry their own clock (the simulator's virtual time).
+//!
+//! The tracer is *opt-in*: engines hold an `Option<Tracer>` and skip
+//! every recording call when it is `None`, so the disabled hot path
+//! stays allocation-free.
+
+use crate::model::{Trace, TrackId};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Inner {
+    epoch: Instant,
+    mx: Mutex<Trace>,
+}
+
+/// A cloneable, thread-safe handle recording into one shared [`Trace`].
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let len = self.inner.mx.lock().map(|t| t.len()).unwrap_or(0);
+        f.debug_struct("Tracer").field("events", &len).finish()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer for the named process; wall-clock timestamps
+    /// are measured from this moment.
+    pub fn new(process: &str) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                mx: Mutex::new(Trace::new(process)),
+            }),
+        }
+    }
+
+    /// Nanoseconds elapsed since the tracer was created.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn with_trace<R>(&self, f: impl FnOnce(&mut Trace) -> R) -> R {
+        let mut guard = self
+            .inner
+            .mx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Registers (or finds) a thread track by name.
+    pub fn thread_track(&self, name: &str) -> TrackId {
+        self.with_trace(|t| t.thread_track(name))
+    }
+
+    /// Registers (or finds) a counter track by name.
+    pub fn counter_track(&self, name: &str) -> TrackId {
+        self.with_trace(|t| t.counter_track(name))
+    }
+
+    /// Records a completed span with explicit timestamps.
+    pub fn record_span(
+        &self,
+        track: TrackId,
+        name: &str,
+        category: &str,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: &[(&str, u64)],
+    ) {
+        self.with_trace(|t| t.push_span(track, name, category, ts_ns, dur_ns, args));
+    }
+
+    /// Records an instant event with an explicit timestamp.
+    pub fn instant(
+        &self,
+        track: TrackId,
+        name: &str,
+        category: &str,
+        ts_ns: u64,
+        args: &[(&str, u64)],
+    ) {
+        self.with_trace(|t| t.push_instant(track, name, category, ts_ns, args));
+    }
+
+    /// Records one counter sample with an explicit timestamp.
+    pub fn sample(&self, track: TrackId, ts_ns: u64, value: f64) {
+        self.with_trace(|t| t.push_sample(track, ts_ns, value));
+    }
+
+    /// Starts a wall-clock span on `track`; the span records itself
+    /// when dropped (or explicitly via [`Span::finish`]).
+    pub fn span(&self, track: TrackId, name: &str, category: &str) -> Span {
+        Span {
+            tracer: self.clone(),
+            track,
+            name: name.to_string(),
+            category: category.to_string(),
+            start_ns: self.now_ns(),
+            args: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Creates an atomic counter that samples onto `track` at the
+    /// wall-clock time of each update.
+    pub fn counter(&self, track: TrackId) -> Counter {
+        Counter {
+            tracer: self.clone(),
+            track,
+            value: Arc::new(AtomicI64::new(0)),
+        }
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        self.with_trace(|t| t.clone())
+    }
+
+    /// Consumes the handle and returns the trace; clones of this
+    /// tracer held elsewhere keep recording into the shared state, so
+    /// call this after worker threads are joined.
+    pub fn finish(self) -> Trace {
+        self.snapshot()
+    }
+}
+
+/// An in-flight wall-clock span; records itself on drop.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    track: TrackId,
+    name: String,
+    category: String,
+    start_ns: u64,
+    args: Vec<(String, u64)>,
+    done: bool,
+}
+
+impl Span {
+    /// Attaches a numeric argument to the span.
+    pub fn arg(&mut self, name: &str, value: u64) {
+        self.args.push((name.to_string(), value));
+    }
+
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let end = self.tracer.now_ns();
+        let dur = end.saturating_sub(self.start_ns);
+        let args: Vec<(&str, u64)> = self.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        self.tracer.record_span(
+            self.track,
+            &self.name,
+            &self.category,
+            self.start_ns,
+            dur,
+            &args,
+        );
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// An atomic gauge (queue depth) that emits a counter sample on every
+/// update.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    tracer: Tracer,
+    track: TrackId,
+    value: Arc<AtomicI64>,
+}
+
+impl Counter {
+    /// Adds `delta` (may be negative) and samples the new value.
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.tracer
+            .sample(self.track, self.tracer.now_ns(), now as f64);
+    }
+
+    /// Sets the gauge and samples the new value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.tracer
+            .sample(self.track, self.tracer.now_ns(), value as f64);
+    }
+
+    /// The current gauge value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_timestamps_record_verbatim() {
+        let tr = Tracer::new("test");
+        let t0 = tr.thread_track("node0");
+        tr.record_span(t0, "encode", "encode", 100, 50, &[("bytes", 7)]);
+        tr.instant(t0, "msg", "fabric", 160, &[]);
+        let trace = tr.finish();
+        let e = trace.events_of("encode").next().unwrap();
+        assert_eq!((e.ts_ns, e.dur_ns, e.arg("bytes")), (100, 50, Some(7)));
+        assert_eq!(trace.events_of("fabric").next().unwrap().ts_ns, 160);
+    }
+
+    #[test]
+    fn raii_span_records_on_drop() {
+        let tr = Tracer::new("test");
+        let t0 = tr.thread_track("node0");
+        {
+            let mut s = tr.span(t0, "work", "compute");
+            s.arg("grad", 3);
+        }
+        let trace = tr.snapshot();
+        let e = trace.events_of("compute").next().unwrap();
+        assert_eq!(e.name, "work");
+        assert_eq!(e.arg("grad"), Some(3));
+        assert!(!e.instant);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let tr = Tracer::new("test");
+        let t0 = tr.thread_track("node0");
+        let s = tr.span(t0, "w", "c");
+        s.finish(); // drop after finish must not double-record
+        assert_eq!(tr.snapshot().events_of("c").count(), 1);
+    }
+
+    #[test]
+    fn counter_tracks_depth() {
+        let tr = Tracer::new("test");
+        let q = tr.counter_track("node0/Q_comp");
+        let c = tr.counter(q);
+        c.add(1);
+        c.add(1);
+        c.add(-1);
+        assert_eq!(c.get(), 1);
+        let trace = tr.finish();
+        let samples = &trace
+            .track(trace.find_track("node0/Q_comp").unwrap())
+            .samples;
+        let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn clones_share_one_trace_across_threads() {
+        let tr = Tracer::new("test");
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let tr = tr.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = tr.thread_track(&format!("node{i}"));
+                for _ in 0..100 {
+                    tr.record_span(t, "w", "compute", 0, 1, &[]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = tr.finish();
+        assert_eq!(trace.tracks().len(), 4);
+        assert_eq!(trace.events_of("compute").count(), 400);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let tr = Tracer::new("test");
+        let a = tr.now_ns();
+        let b = tr.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,263 @@
+//! Textual rendering: Figure-9-style utilization bars, side-by-side
+//! engine comparison, per-category latency summaries.
+//!
+//! The paper's Figure 9 contrasts GPU-utilization timelines of
+//! compression-aware vs. baseline synchronization. These renderers
+//! produce the terminal equivalent: one shaded bar per track, where
+//! each cell's shade is the fraction of that time slice the track
+//! spent inside a span.
+
+use crate::model::{Trace, Track, TrackKind};
+use hipress_util::units::fmt_duration_ns;
+use std::fmt::Write as _;
+
+/// Shade for a busy fraction in `[0, 1]`.
+fn shade(frac: f64) -> char {
+    match frac {
+        f if f <= 0.0 => ' ',
+        f if f < 0.25 => '░',
+        f if f < 0.5 => '▒',
+        f if f < 0.75 => '▓',
+        _ => '█',
+    }
+}
+
+/// Merges a track's span intervals (relative to `origin`) into a
+/// sorted, non-overlapping list. Nested spans (a `local_agg` inside
+/// its `source`) coalesce instead of double-counting.
+fn merged_intervals(track: &Track, origin: u64) -> Vec<(u64, u64)> {
+    let mut iv: Vec<(u64, u64)> = track
+        .events
+        .iter()
+        .filter(|e| !e.instant && e.dur_ns > 0)
+        .map(|e| {
+            (
+                e.ts_ns.saturating_sub(origin),
+                e.end_ns().saturating_sub(origin),
+            )
+        })
+        .collect();
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Busy nanoseconds of one track (union of its span intervals).
+fn busy_ns(track: &Track, origin: u64) -> u64 {
+    merged_intervals(track, origin)
+        .iter()
+        .map(|&(s, e)| e - s)
+        .sum()
+}
+
+/// Renders one shaded bar of `width` cells for a track over
+/// `[0, wall_ns]` (origin-relative).
+fn bar(track: &Track, origin: u64, wall_ns: u64, width: usize) -> String {
+    let mut cells = vec![0u64; width.max(1)];
+    if wall_ns > 0 {
+        for (s, e) in merged_intervals(track, origin) {
+            // Distribute the interval's nanoseconds over the slices
+            // it spans.
+            let lo = (s.min(wall_ns) as u128 * width as u128 / wall_ns as u128) as usize;
+            let hi = (e.min(wall_ns) as u128 * width as u128 / wall_ns as u128) as usize;
+            for (c, cell) in cells
+                .iter_mut()
+                .enumerate()
+                .take((hi + 1).min(width))
+                .skip(lo)
+            {
+                let cell_lo = c as u128 * wall_ns as u128 / width as u128;
+                let cell_hi = (c as u128 + 1) * wall_ns as u128 / width as u128;
+                let ov_lo = (s as u128).max(cell_lo);
+                let ov_hi = (e as u128).min(cell_hi);
+                if ov_hi > ov_lo {
+                    *cell += (ov_hi - ov_lo) as u64;
+                }
+            }
+        }
+    }
+    let slice = (wall_ns as f64 / width.max(1) as f64).max(1.0);
+    cells.iter().map(|&b| shade(b as f64 / slice)).collect()
+}
+
+/// Renders Figure-9-style utilization bars for every thread track.
+///
+/// One line per track: name, shaded timeline, busy time and busy
+/// fraction of the trace's wall span. Counter tracks are skipped.
+pub fn utilization_bars(trace: &Trace, width: usize) -> String {
+    let origin = trace.origin_ns();
+    let wall = trace.end_ns().saturating_sub(origin);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — wall {}", trace.process, fmt_duration_ns(wall));
+    let name_w = trace
+        .tracks()
+        .iter()
+        .filter(|t| t.kind == TrackKind::Thread)
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(4);
+    for track in trace.tracks() {
+        if track.kind != TrackKind::Thread {
+            continue;
+        }
+        let busy = busy_ns(track, origin);
+        let frac = if wall > 0 {
+            busy as f64 / wall as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>name_w$} |{}| {} ({:.0}%)",
+            track.name,
+            bar(track, origin, wall, width),
+            fmt_duration_ns(busy),
+            frac
+        );
+    }
+    out
+}
+
+/// Renders two traces' utilization bars on one shared time scale (the
+/// longer wall), so a simulated and a measured run of the same plan
+/// compare cell for cell.
+pub fn side_by_side(a: &Trace, b: &Trace, width: usize) -> String {
+    let wall_a = a.end_ns().saturating_sub(a.origin_ns());
+    let wall_b = b.end_ns().saturating_sub(b.origin_ns());
+    let scale = wall_a.max(wall_b);
+    let mut out = String::new();
+    let name_w = a
+        .tracks()
+        .iter()
+        .chain(b.tracks())
+        .filter(|t| t.kind == TrackKind::Thread)
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(4);
+    for (label, trace, wall) in [(&a.process, a, wall_a), (&b.process, b, wall_b)] {
+        let _ = writeln!(
+            out,
+            "{label} — wall {} (scale {})",
+            fmt_duration_ns(wall),
+            fmt_duration_ns(scale)
+        );
+        let origin = trace.origin_ns();
+        for track in trace.tracks() {
+            if track.kind != TrackKind::Thread {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:>name_w$} |{}|",
+                track.name,
+                bar(track, origin, scale, width)
+            );
+        }
+    }
+    out
+}
+
+/// Renders a per-category latency table (count, p50/p90/p99, max,
+/// total), in first-appearance order.
+pub fn latency_summary(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "category", "n", "p50", "p90", "p99", "max", "total"
+    );
+    for cat in trace.categories() {
+        let h = trace.latency_histogram(cat);
+        if h.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            cat,
+            h.count(),
+            fmt_duration_ns(h.p50()),
+            fmt_duration_ns(h.p90()),
+            fmt_duration_ns(h.p99()),
+            fmt_duration_ns(h.max_ns()),
+            fmt_duration_ns(h.total_ns())
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_trace() -> Trace {
+        let mut t = Trace::new("casync-rt");
+        let n0 = t.thread_track("node0");
+        let n1 = t.thread_track("node1");
+        let q = t.counter_track("node0/Q_comp");
+        // node0 busy the first half, node1 the second half.
+        t.push_span(n0, "encode", "encode", 0, 500, &[]);
+        t.push_span(n1, "decode", "decode", 500, 500, &[]);
+        t.push_sample(q, 0, 1.0);
+        t
+    }
+
+    #[test]
+    fn bars_reflect_busy_halves() {
+        let text = utilization_bars(&two_node_trace(), 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 thread tracks, no counter
+        assert!(lines[1].starts_with("node0"));
+        let cells = |line: &str| line.split('|').nth(1).unwrap().to_string();
+        // node0 busy the first half, node1 the second half.
+        assert_eq!(cells(lines[1]), "█████     ");
+        assert_eq!(cells(lines[2]), "     █████");
+        assert!(lines[1].contains("(50%)"));
+    }
+
+    #[test]
+    fn nested_spans_do_not_double_count() {
+        let mut t = Trace::new("x");
+        let n = t.thread_track("node0");
+        t.push_span(n, "source", "source", 0, 1000, &[]);
+        t.push_span(n, "local_agg", "local_agg", 100, 200, &[]); // nested
+        let text = utilization_bars(&t, 8);
+        assert!(text.contains("(100%)"));
+        assert!(text.contains("1.0us"));
+    }
+
+    #[test]
+    fn side_by_side_uses_common_scale() {
+        let a = two_node_trace();
+        let mut b = Trace::new("sim");
+        let n = b.thread_track("node0");
+        b.push_span(n, "encode", "encode", 0, 2000, &[]); // 2x longer
+        let text = side_by_side(&a, &b, 10);
+        assert!(text.contains("casync-rt"));
+        assert!(text.contains("sim"));
+        // Both sections report the same scale (the longer wall).
+        assert_eq!(text.matches("scale 2.0us").count(), 2);
+    }
+
+    #[test]
+    fn latency_summary_lists_categories() {
+        let text = latency_summary(&two_node_trace());
+        assert!(text.contains("encode"));
+        assert!(text.contains("decode"));
+        assert!(text.starts_with("category"));
+    }
+
+    #[test]
+    fn empty_trace_renders_quietly() {
+        let t = Trace::new("empty");
+        let text = utilization_bars(&t, 10);
+        assert!(text.contains("wall 0ns"));
+        assert_eq!(latency_summary(&t).lines().count(), 1);
+    }
+}

@@ -21,4 +21,4 @@ pub mod nn;
 pub mod sim;
 
 pub use convergence::{ConvergenceConfig, ConvergenceResult};
-pub use sim::{simulate, sync_only_ns, SimResult, TrainingJob};
+pub use sim::{simulate, simulate_with_tracer, sync_only_ns, SimResult, TrainingJob};

@@ -25,6 +25,7 @@ use hipress_core::{
 use hipress_models::{DnnModel, GpuClass};
 use hipress_planner::Planner;
 use hipress_simgpu::intra_node_allreduce_ns;
+use hipress_trace::Tracer;
 use hipress_util::Result;
 
 /// A complete experimental configuration.
@@ -219,11 +220,31 @@ pub fn sync_only_ns(job: &TrainingJob) -> Result<u64> {
 ///
 /// Propagates configuration and simulation errors.
 pub fn simulate(job: &TrainingJob) -> Result<SimResult> {
+    simulate_inner(job, None)
+}
+
+/// Runs [`simulate`] while recording the executor's simulated task
+/// timeline into `tracer` (see [`Executor::run_traced`]): one span per
+/// synchronization task on `node{i}` tracks, timestamps in simulated
+/// nanoseconds from backward start.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors.
+pub fn simulate_with_tracer(job: &TrainingJob, tracer: &Tracer) -> Result<SimResult> {
+    simulate_inner(job, Some(tracer))
+}
+
+fn simulate_inner(job: &TrainingJob, tracer: Option<&Tracer>) -> Result<SimResult> {
     let spec = job.model.spec();
     let compute = spec.compute(job.gpu_class);
     let iter = build_iteration(job)?;
     let graph = job.strategy.build(&job.cluster, &iter)?;
-    let stats = Executor::new(job.cluster, job.exec).run(&graph, &iter)?;
+    let executor = Executor::new(job.cluster, job.exec);
+    let stats = match tracer {
+        Some(tr) => executor.run_traced(&graph, &iter, tr)?,
+        None => executor.run(&graph, &iter)?,
+    };
     let sync_finish = stats
         .grad_finish_ns
         .iter()

@@ -88,6 +88,26 @@ pub fn fmt_bytes(bytes: u64) -> String {
     }
 }
 
+/// Formats a duration in nanoseconds compactly, with an adaptive unit
+/// and no space ("3.21ms", "14.2us", "500ns", "1.25s").
+///
+/// Precision scales with the unit: seconds and milliseconds carry two
+/// decimals, microseconds one, nanoseconds none — enough to compare
+/// latencies at a glance without drowning reports in digits. Tables
+/// (`RuntimeReport`, the CLI, trace summaries) share this one helper
+/// so durations format identically everywhere.
+pub fn fmt_duration_ns(ns: u64) -> String {
+    if ns >= NS_PER_SEC {
+        format!("{:.2}s", ns as f64 / NS_PER_SEC as f64)
+    } else if ns >= NS_PER_MS {
+        format!("{:.2}ms", ns as f64 / NS_PER_MS as f64)
+    } else if ns >= NS_PER_US {
+        format!("{:.1}us", ns as f64 / NS_PER_US as f64)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 /// Formats a duration in nanoseconds with an adaptive unit ("3.21 ms").
 pub fn fmt_ns(ns: u64) -> String {
     if ns >= NS_PER_SEC {
@@ -141,5 +161,15 @@ mod tests {
         assert_eq!(fmt_ns(500), "500 ns");
         assert_eq!(fmt_ns(2_500), "2.500 us");
         assert_eq!(fmt_ns(NS_PER_SEC * 2), "2.000 s");
+    }
+
+    #[test]
+    fn compact_duration_formatting() {
+        assert_eq!(fmt_duration_ns(0), "0ns");
+        assert_eq!(fmt_duration_ns(999), "999ns");
+        assert_eq!(fmt_duration_ns(1_000), "1.0us");
+        assert_eq!(fmt_duration_ns(14_230), "14.2us");
+        assert_eq!(fmt_duration_ns(3_210_000), "3.21ms");
+        assert_eq!(fmt_duration_ns(1_250_000_000), "1.25s");
     }
 }

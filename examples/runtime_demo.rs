@@ -1,5 +1,7 @@
 //! CaSync-RT demo: synchronize real gradients across OS threads with
-//! and without compression, and print measured wall-clock reports.
+//! and without compression, print measured wall-clock reports, and
+//! render each run's per-node utilization timeline (Figure-9 style)
+//! from its trace.
 //!
 //! ```sh
 //! cargo run --release --example runtime_demo
@@ -8,6 +10,7 @@
 use hipress::prelude::*;
 use hipress::tensor::synth::{generate, GradientShape};
 use hipress::tensor::Tensor;
+use hipress::trace::view;
 
 fn main() {
     let nodes = 4;
@@ -31,15 +34,19 @@ fn main() {
     println!("CaSync-RT: {nodes} node threads syncing {mib:.1} MiB of gradients each\n");
 
     let run = |label: &str, alg: Algorithm| -> RuntimeReport {
+        let tracer = Tracer::new("casync-rt");
         let out = HiPress::new(Strategy::CaSyncRing)
             .algorithm(alg)
             .partitions(4)
             .backend(Backend::Threads(nodes))
+            .trace(&tracer)
             .sync(&workers)
             .expect("sync succeeds");
         assert!(out.replicas_consistent(), "replicas must be identical");
         let report = out.report.expect("thread backend reports");
         println!("=== {label} ===\n{report}");
+        // Where the time went, per node thread, from the same run.
+        println!("{}", view::utilization_bars(&tracer.finish(), 56));
         report
     };
 

@@ -5,14 +5,18 @@
 //! ```text
 //! hipress models
 //! hipress sim --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
+//! hipress run --nodes 4 --algorithm onebit --trace rt.json
 //! hipress compare --model Bert-large --nodes 16
 //! hipress plan --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
 //! hipress compile path/to/algorithm.dsl
+//! hipress trace-diff sim.json rt.json
 //! ```
 
 use hipress::compll::{param_values, CompiledAlgorithm};
 use hipress::prelude::*;
-use hipress::util::units::fmt_bytes;
+use hipress::trace::view;
+use hipress::trace::Trace;
+use hipress::util::units::{fmt_bytes, fmt_duration_ns};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -26,9 +30,18 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "models" => cmd_models(),
         "sim" => cmd_sim(&flags),
+        "run" => cmd_run(&flags),
         "compare" => cmd_compare(&flags),
         "plan" => cmd_plan(&flags),
         "compile" => cmd_compile(args.get(1).map(String::as_str)),
+        "trace-diff" => cmd_trace_diff(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            args.get(2)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+        ),
         "lint" => cmd_lint(
             &flags,
             args.get(1)
@@ -57,8 +70,11 @@ fn usage() {
 USAGE:
   hipress models
       List the Table 6 model zoo.
-  hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline]
+  hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline] [--trace out.json]
       Simulate one training configuration.
+  hipress run [--nodes N] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--trace out.json]
+      Synchronize synthetic gradients for real on CaSync-RT (one OS
+      thread per node) and print the measured runtime report.
   hipress compare --model <name> [--nodes N] [--local]
       Simulate HiPress against all baselines.
   hipress plan --model <name> [--nodes N] [--strategy S] [--algorithm A]
@@ -69,14 +85,23 @@ USAGE:
       Statically verify CaSync task graphs across the strategy x
       algorithm x cluster matrix and dataflow-check the shipped CompLL
       programs; with a file, dataflow-check that program instead.
+  hipress trace-diff <a.json> <b.json>
+      Compare two exported traces (e.g. a simulated vs a measured run
+      of one plan): per-category latency table plus side-by-side
+      utilization bars.
 
 FLAGS:
   --model      VGG19 | ResNet50 | UGATIT | UGATIT-light | Bert-base | Bert-large | LSTM | Transformer
-  --nodes      cluster size (default 16)
+  --nodes      cluster size (default 16; `run` defaults to 4)
   --local      use the 1080Ti/56Gbps local-cluster preset (default: EC2 V100/100Gbps)
   --strategy   casync-ps | casync-ring | byteps | ring (default casync-ps)
   --algorithm  none | onebit | tbq | terngrad[:bits] | dgc[:rate] | graddrop[:rate] (default onebit)
-  --baseline   run the strategy with its baseline runtime (no CaSync optimizations)"
+  --baseline   run the strategy with its baseline runtime (no CaSync optimizations)
+  --trace      export a Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
+               and print utilization bars + per-category latencies
+  --partitions gradient partition count for `run` (default 2)
+  --elems      comma-separated gradient element counts for `run` (default 65536,4096,512)
+  --seed       stochastic-codec seed for `run` (default 1)"
     );
 }
 
@@ -214,7 +239,12 @@ fn job_from_flags(flags: &HashMap<String, String>) -> Result<TrainingJob, String
 
 fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     let job = job_from_flags(flags)?;
-    let r = simulate(&job).map_err(|e| e.to_string())?;
+    let tracer = flags.get("trace").map(|_| Tracer::new("sim"));
+    let r = match &tracer {
+        Some(tr) => simulate_with_tracer(&job, tr),
+        None => simulate(&job),
+    }
+    .map_err(|e| e.to_string())?;
     println!("model:              {}", job.model.name());
     println!(
         "cluster:            {} nodes x {} {} ({:.0} Gbps)",
@@ -225,11 +255,11 @@ fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("strategy:           {}", job.strategy.label());
     println!("algorithm:          {}", job.algorithm.label());
-    println!("iteration:          {:.2} ms", r.iteration_ns as f64 / 1e6);
-    println!("  compute:          {:.2} ms", r.compute_ns as f64 / 1e6);
+    println!("iteration:          {}", fmt_duration_ns(r.iteration_ns));
+    println!("  compute:          {}", fmt_duration_ns(r.compute_ns));
     println!(
-        "  sync finish:      {:.2} ms (from backward start)",
-        r.sync_finish_ns as f64 / 1e6
+        "  sync finish:      {} (from backward start)",
+        fmt_duration_ns(r.sync_finish_ns)
     );
     println!("throughput:         {:.0} samples/s", r.throughput);
     println!("scaling efficiency: {:.3}", r.scaling_efficiency);
@@ -241,6 +271,125 @@ fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
         "coordinator:        {} link batches, {} batched kernel launches",
         r.stats.link_flushes, r.stats.comp_batch_launches
     );
+    if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
+        export_trace(&tr.finish(), path)?;
+    }
+    Ok(())
+}
+
+/// Synchronizes synthetic gradients on the thread engine and prints
+/// the measured report (plus, with `--trace`, the exported timeline).
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hipress::tensor::synth::{generate, GradientShape};
+    use hipress::tensor::Tensor;
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|n| n.parse().map_err(|_| format!("bad --nodes '{n}'")))
+        .transpose()?
+        .unwrap_or(4);
+    let strategy = parse_strategy(flags)?;
+    let algorithm = parse_algorithm(flags)?;
+    let partitions: usize = flags
+        .get("partitions")
+        .map(|k| k.parse().map_err(|_| format!("bad --partitions '{k}'")))
+        .transpose()?
+        .unwrap_or(2);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(1);
+    let elems: Vec<usize> = match flags.get("elems") {
+        Some(spec) => spec
+            .split(',')
+            .map(|e| e.trim().parse().map_err(|_| format!("bad --elems '{e}'")))
+            .collect::<Result<_, _>>()?,
+        None => vec![65536, 4096, 512],
+    };
+    let grads: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            elems
+                .iter()
+                .enumerate()
+                .map(|(g, &n)| {
+                    generate(
+                        n,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        (w * 1000 + g) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
+    let mut builder = HiPress::new(strategy)
+        .algorithm(algorithm)
+        .partitions(partitions)
+        .seed(seed)
+        .backend(Backend::Threads(nodes));
+    if let Some(tr) = &tracer {
+        builder = builder.trace(tr);
+    }
+    let out = builder.sync(&grads).map_err(|e| e.to_string())?;
+    println!(
+        "synchronized {} gradients x {nodes} nodes on CaSync-RT ({} / {})",
+        elems.len(),
+        strategy.label(),
+        algorithm.label()
+    );
+    println!("replicas consistent: {}", out.replicas_consistent());
+    let report = out.report.expect("thread backend always reports");
+    println!("{report}");
+    if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
+        let trace = tr.finish();
+        // The trace is a second bookkeeping of the same run; deriving
+        // the report from it must reproduce the measured one exactly.
+        if RuntimeReport::from_trace(&trace) != report {
+            return Err("trace-derived report diverged from the measured one".into());
+        }
+        export_trace(&trace, path)?;
+    }
+    Ok(())
+}
+
+/// Validates, writes, and read-backs a trace; prints the textual
+/// utilization and latency views.
+fn export_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    trace
+        .validate()
+        .map_err(|empty| format!("trace has empty tracks: {}", empty.join(", ")))?;
+    let json = hipress::trace::chrome::export(trace);
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    // Read back through the crate's own parser: what was written is
+    // exactly what a viewer will load.
+    let back = hipress::trace::chrome::import(&json).map_err(|e| e.to_string())?;
+    if &back != trace {
+        return Err(format!("{path}: export/import round trip lost data"));
+    }
+    println!(
+        "\ntrace: {} events on {} tracks -> {path} (load in chrome://tracing or ui.perfetto.dev)",
+        trace.len(),
+        trace.tracks().len()
+    );
+    println!("\n{}", view::utilization_bars(trace, 60));
+    println!("{}", view::latency_summary(trace));
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    hipress::trace::chrome::import(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compares two exported traces: per-category latency diff plus
+/// side-by-side utilization bars on a common time scale.
+fn cmd_trace_diff(a: Option<&str>, b: Option<&str>) -> Result<(), String> {
+    let usage = "usage: hipress trace-diff <a.json> <b.json>";
+    let (pa, pb) = (a.ok_or(usage)?, b.ok_or(usage)?);
+    let (ta, tb) = (load_trace(pa)?, load_trace(pb)?);
+    let diff = TraceDiff::compare(&ta, &tb);
+    println!("{diff}");
+    println!("{}", view::side_by_side(&ta, &tb, 60));
     Ok(())
 }
 

@@ -59,6 +59,7 @@ pub use hipress_simevent as simevent;
 pub use hipress_simgpu as simgpu;
 pub use hipress_simnet as simnet;
 pub use hipress_tensor as tensor;
+pub use hipress_trace as trace;
 pub use hipress_train as train;
 pub use hipress_util as util;
 
@@ -70,7 +71,8 @@ pub mod prelude {
     pub use hipress_planner::Planner;
     pub use hipress_runtime::{RuntimeConfig, RuntimeReport};
     pub use hipress_simnet::LinkSpec;
-    pub use hipress_train::{simulate, SimResult, TrainingJob};
+    pub use hipress_trace::{chrome, TraceDiff, Tracer};
+    pub use hipress_train::{simulate, simulate_with_tracer, SimResult, TrainingJob};
 
     pub use crate::sync::{Backend, HiPress, SyncOutcome};
 }

@@ -15,6 +15,7 @@ use hipress_core::{
 };
 use hipress_runtime::{RunOutcome, RuntimeConfig, RuntimeReport};
 use hipress_tensor::Tensor;
+use hipress_trace::Tracer;
 use hipress_util::{Error, Result};
 
 pub use hipress_runtime::Backend;
@@ -62,6 +63,7 @@ pub struct HiPress {
     seed: u64,
     backend: Backend,
     batch_compression: bool,
+    tracer: Option<Tracer>,
 }
 
 impl HiPress {
@@ -74,6 +76,7 @@ impl HiPress {
             seed: 0,
             backend: Backend::Simulator,
             batch_compression: true,
+            tracer: None,
         }
     }
 
@@ -111,6 +114,22 @@ impl HiPress {
     #[must_use]
     pub fn batch_compression(mut self, on: bool) -> Self {
         self.batch_compression = on;
+        self
+    }
+
+    /// Records the synchronization into `tracer` (a cheap clone of
+    /// the handle is stored; tracing stays opt-in and the untraced
+    /// hot path allocation-free). Only [`Backend::Threads`] has a
+    /// clock worth recording: it adds per-node task spans, queue-depth
+    /// counter tracks, and fabric events, and its
+    /// [`SyncOutcome::report`] can be re-derived from the trace via
+    /// [`RuntimeReport::from_trace`]. The reference interpreter behind
+    /// [`Backend::Simulator`] is untimed, so it leaves the tracer
+    /// untouched — simulated timelines come from the discrete-event
+    /// executor (`hipress sim --trace`, `Executor::run_traced`).
+    #[must_use]
+    pub fn trace(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
         self
     }
 
@@ -179,14 +198,25 @@ impl HiPress {
                     batch_compression: self.batch_compression,
                     ..RuntimeConfig::default()
                 };
-                let RunOutcome { flows, report } = hipress_runtime::run(
-                    &graph,
-                    nodes,
-                    &flows,
-                    compressor.as_deref(),
-                    self.seed,
-                    &config,
-                )?;
+                let RunOutcome { flows, report } = match &self.tracer {
+                    Some(tr) => hipress_runtime::run_traced(
+                        &graph,
+                        nodes,
+                        &flows,
+                        compressor.as_deref(),
+                        self.seed,
+                        &config,
+                        tr,
+                    )?,
+                    None => hipress_runtime::run(
+                        &graph,
+                        nodes,
+                        &flows,
+                        compressor.as_deref(),
+                        self.seed,
+                        &config,
+                    )?,
+                };
                 Ok(SyncOutcome {
                     flows,
                     report: Some(report),

@@ -241,3 +241,91 @@ fn full_compatibility_matrix() {
         }
     }
 }
+
+/// Tracing through the facade: a traced `HiPress::sync` on the thread
+/// backend yields a trace whose derived report matches the returned
+/// one exactly, and a traced simulator run of the same plan exports a
+/// comparable timeline that `TraceDiff` lines up category for
+/// category.
+#[test]
+fn facade_tracing_spans_both_engines() {
+    use hipress::trace::chrome;
+
+    let nodes = 3;
+    let workers: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            vec![
+                generate(2048, GradientShape::Gaussian { std_dev: 1.0 }, w as u64),
+                generate(256, GradientShape::Gaussian { std_dev: 0.5 }, 7 + w as u64),
+            ]
+        })
+        .collect();
+
+    // Measured: CaSync-RT through the builder's .trace() hook.
+    let rt_tracer = Tracer::new("casync-rt");
+    let out = HiPress::new(Strategy::CaSyncRing)
+        .algorithm(Algorithm::OneBit)
+        .partitions(2)
+        .seed(9)
+        .backend(Backend::Threads(nodes))
+        .trace(&rt_tracer)
+        .sync(&workers)
+        .unwrap();
+    let report = out.report.expect("thread backend measures");
+    let rt_trace = rt_tracer.finish();
+    assert!(rt_trace.validate().is_ok());
+    assert_eq!(RuntimeReport::from_trace(&rt_trace), report);
+
+    // Simulated: the discrete-event executor over an equivalent plan.
+    let sim_tracer = Tracer::new("sim");
+    let iter = {
+        use hipress::casync::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
+        let c = Algorithm::OneBit.build().unwrap();
+        IterationSpec {
+            gradients: workers[0]
+                .iter()
+                .enumerate()
+                .map(|(g, t)| SyncGradient {
+                    name: format!("g{g}"),
+                    bytes: t.byte_size(),
+                    ready_offset_ns: 0,
+                    plan: GradPlan {
+                        compress: true,
+                        partitions: 2,
+                    },
+                })
+                .collect(),
+            compression: Some(CompressionSpec::of(c.as_ref())),
+        }
+    };
+    let cluster = ClusterConfig::ec2(nodes);
+    let graph = Strategy::CaSyncRing.build(&cluster, &iter).unwrap();
+    Executor::new(cluster, ExecConfig::hipress())
+        .run_traced(&graph, &iter, &sim_tracer)
+        .unwrap();
+    let sim_trace = sim_tracer.finish();
+    assert!(sim_trace.validate().is_ok());
+
+    // Same protocol, same task graph: the per-primitive task counts
+    // line up between the simulated and the measured timeline.
+    let diff = TraceDiff::compare(&sim_trace, &rt_trace);
+    for cat in ["encode", "decode", "merge", "update", "send", "recv"] {
+        let d = diff
+            .categories
+            .iter()
+            .find(|c| c.category == cat)
+            .unwrap_or_else(|| panic!("category {cat} missing from diff"));
+        assert!(
+            d.counts_match(),
+            "{cat}: {} vs {}",
+            d.a.count(),
+            d.b.count()
+        );
+    }
+
+    // Both traces round-trip through the Chrome exporter.
+    for trace in [&sim_trace, &rt_trace] {
+        let back = chrome::import(&chrome::export(trace)).unwrap();
+        assert_eq!(&back, trace);
+    }
+}
