@@ -7,7 +7,7 @@
 //! up to 133.1% / 53.3%.
 
 use hipress::prelude::*;
-use hipress_bench::{banner, pct};
+use hipress_bench::{banner, pct, Recorder};
 
 fn main() {
     banner(
@@ -15,6 +15,7 @@ fn main() {
         "local-cluster speedups normalized to BytePS (16 nodes x 2 GTX 1080 Ti, 56 Gbps)",
     );
     let cluster = ClusterConfig::local(16);
+    let rec = Recorder::new("fig10");
     for model in [DnnModel::BertBase, DnnModel::Vgg19] {
         let run = |j: TrainingJob| simulate(&j).expect("simulation runs").throughput;
         let byteps = run(TrainingJob::baseline(model, cluster, Strategy::BytePs));
@@ -32,6 +33,12 @@ fn main() {
             ("HiPress-CaSync-Ring(CompLL-onebit)", hip_ring),
         ] {
             println!("{label:<36} {:.2}x", v / byteps);
+            rec.record(
+                "normalized_throughput",
+                &[("model", model.name()), ("system", label)],
+                v / byteps,
+                None,
+            );
         }
         let hip = hip_ps.max(hip_ring);
         println!(
@@ -44,5 +51,12 @@ fn main() {
         );
         assert!(hip > byteps.max(ring), "HiPress must win on {model:?}");
         assert!(hip >= byteps_onebit, "HiPress must beat the OSS baseline");
+        rec.record(
+            "hipress_gain_pct",
+            &[("model", model.name()), ("over", "no-compression")],
+            pct(hip, byteps.max(ring)),
+            None,
+        );
     }
+    rec.finish();
 }

@@ -8,7 +8,7 @@
 
 use hipress::casync::ExecConfig;
 use hipress::prelude::*;
-use hipress_bench::{banner, pct};
+use hipress_bench::{banner, pct, Recorder};
 
 struct Rung {
     label: &'static str,
@@ -71,7 +71,7 @@ fn ladder(model: DnnModel, casync: Strategy, baseline: Strategy) -> Vec<Rung> {
     rungs
 }
 
-fn run_ladder(model: DnnModel, casync: Strategy, baseline: Strategy) {
+fn run_ladder(rec: &Recorder, model: DnnModel, casync: Strategy, baseline: Strategy) {
     println!("\n--- {} via {} ---", model.name(), casync.label());
     println!(
         "{:<42} {:>12} {:>12} {:>10}",
@@ -96,6 +96,9 @@ fn run_ladder(model: DnnModel, casync: Strategy, baseline: Strategy) {
             delta,
             r.scaling_efficiency
         );
+        let labels = [("model", model.name()), ("config", rung.label)];
+        rec.record("sync_only_ns", &labels, sync_ms * 1e6, None);
+        rec.record("scaling_efficiency", &labels, r.scaling_efficiency, None);
         prev_sync = Some(sync_ms);
         stack.push((rung.label, r));
     }
@@ -123,10 +126,13 @@ fn main() {
         "Figure 11",
         "optimization ablation on the local cluster (each rung stacks one optimization)",
     );
-    run_ladder(DnnModel::Vgg19, Strategy::CaSyncPs, Strategy::BytePs);
+    let rec = Recorder::new("fig11");
+    run_ladder(&rec, DnnModel::Vgg19, Strategy::CaSyncPs, Strategy::BytePs);
     run_ladder(
+        &rec,
         DnnModel::BertBase,
         Strategy::CaSyncRing,
         Strategy::HorovodRing,
     );
+    rec.finish();
 }

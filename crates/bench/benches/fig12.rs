@@ -9,13 +9,14 @@
 //!   some throughput but CaSync stays fast.
 
 use hipress::prelude::*;
-use hipress_bench::{banner, pct};
+use hipress_bench::{banner, pct, Recorder};
 
 fn main() {
     banner(
         "Figure 12a",
         "impact of network bandwidth (Bert-base, HiPress-CaSync-PS onebit)",
     );
+    let rec = Recorder::new("fig12");
     let mut ratios = Vec::new();
     for (name, cluster, slow_link) in [
         ("EC2 V100", ClusterConfig::ec2(16), LinkSpec::gbps25()),
@@ -39,6 +40,7 @@ fn main() {
             "{name:<14} fast {:>9.0} samples/s, slow {:>9.0} samples/s -> slow/fast = {:.2}",
             fast.throughput, slow.throughput, ratio
         );
+        rec.record("slow_fast_ratio", &[("cluster", name)], ratio, None);
     }
     // Paper: similar speedups on both networks — the slow fabric
     // loses little because compression removes the bandwidth
@@ -88,4 +90,15 @@ fn main() {
     // Shape: weaker compression costs synchronization time.
     assert!(tern8 > tern4 && tern4 > tern2, "{tern2} {tern4} {tern8}");
     assert!(dgc5 > dgc1 && dgc1 > dgc01, "{dgc01} {dgc1} {dgc5}");
+    for (alg, ms) in [
+        ("terngrad-2bit", tern2),
+        ("terngrad-4bit", tern4),
+        ("terngrad-8bit", tern8),
+        ("dgc-0.1pct", dgc01),
+        ("dgc-1pct", dgc1),
+        ("dgc-5pct", dgc5),
+    ] {
+        rec.record("sync_only_ns", &[("algorithm", alg)], ms * 1e6, None);
+    }
+    rec.finish();
 }

@@ -13,7 +13,7 @@ use hipress::prelude::*;
 use hipress::train::convergence::{run_data_parallel, ConvergenceConfig};
 use hipress::train::nn::data::{Classification, MarkovText};
 use hipress::train::nn::{LstmLm, Mlp};
-use hipress_bench::banner;
+use hipress_bench::{banner, Recorder};
 
 /// Per-iteration wall-clock cost of the synchronization pattern this
 /// algorithm would produce on the local cluster, from the simulator.
@@ -26,7 +26,7 @@ fn iter_ms(alg: Algorithm) -> f64 {
     simulate(&job).expect("simulation runs").iteration_ns as f64 / 1e6
 }
 
-fn lstm_panel() {
+fn lstm_panel(rec: &Recorder) {
     println!("\n--- LSTM language model: time to target perplexity ---");
     let workers = 4;
     let text = MarkovText::generate(40_000, 16, 8.0, 31);
@@ -82,6 +82,12 @@ fn lstm_panel() {
             tti.map(|t| format!("{t:.0} ms"))
                 .unwrap_or_else(|| "-".into()),
         );
+        let alg_label = alg.label();
+        let labels = [("panel", "lstm"), ("algorithm", &alg_label)];
+        rec.record("final_perplexity", &labels, r.final_metric, None);
+        if let Some(t) = tti {
+            rec.record("time_to_target_ns", &labels, t * 1e6, None);
+        }
         times.push((alg.label(), r.final_metric, tti));
     }
     let baseline_ppl = times[0].1;
@@ -93,7 +99,7 @@ fn lstm_panel() {
     }
 }
 
-fn classifier_panel() {
+fn classifier_panel(rec: &Recorder) {
     println!("\n--- classifier: time to target accuracy ---");
     let workers = 4;
     let full = Classification::gaussian_mixture(600 * workers + 800, 16, 10, 2.2, 77);
@@ -152,6 +158,12 @@ fn classifier_panel() {
             tti.map(|t| format!("{t:.0} ms"))
                 .unwrap_or_else(|| "-".into()),
         );
+        let alg_label = alg.label();
+        let labels = [("panel", "classifier"), ("algorithm", &alg_label)];
+        rec.record("final_accuracy", &labels, r.final_metric, None);
+        if let Some(t) = tti {
+            rec.record("time_to_target_ns", &labels, t * 1e6, None);
+        }
         rows.push((alg.label(), r.final_metric));
     }
     let baseline_acc = rows[0].1;
@@ -168,6 +180,8 @@ fn main() {
         "Figure 13",
         "convergence validation: same quality, less time (paper: up to 28.6% less)",
     );
-    lstm_panel();
-    classifier_panel();
+    let rec = Recorder::new("fig13");
+    lstm_panel(&rec);
+    classifier_panel(&rec);
+    rec.finish();
 }

@@ -3,9 +3,9 @@
 //! the EC2 cluster scales from 8 to 128 GPUs.
 
 use hipress::prelude::*;
-use hipress_bench::{banner, pct};
+use hipress_bench::{banner, pct, Recorder};
 
-fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
+fn sweep(rec: &Recorder, model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
     println!("\n--- {} ({}) ---", model.name(), alg.label());
     println!(
         "{:>5} {:>12} {:>12} {:>14} {:>14} {:>14}",
@@ -44,6 +44,25 @@ fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
         println!(
             "{gpus:>5} {byteps:>12.0} {ring:>12.0} {oss:>14.0} {hip_ps:>14.0} {hip_ring:>14.0}"
         );
+        let gpus_str = gpus.to_string();
+        for (system, v) in [
+            ("BytePS", byteps),
+            ("Ring", ring),
+            ("OSS-coupled", oss),
+            ("HiPress-PS", hip_ps),
+            ("HiPress-Ring", hip_ring),
+        ] {
+            rec.record(
+                "throughput_samples_per_sec",
+                &[
+                    ("model", model.name()),
+                    ("system", system),
+                    ("gpus", &gpus_str),
+                ],
+                v,
+                None,
+            );
+        }
         if nodes == 16 {
             last = Some((hip_ps.max(hip_ring), byteps.min(ring)));
             let best_base = byteps.max(ring).max(oss);
@@ -51,6 +70,12 @@ fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
                 "      HiPress at 128 GPUs: +{:.1}% over the best baseline, +{:.1}% over the worst",
                 pct(hip_ps.max(hip_ring), best_base),
                 pct(hip_ps.max(hip_ring), byteps.min(ring))
+            );
+            rec.record(
+                "hipress_gain_pct",
+                &[("model", model.name()), ("over", "best-baseline")],
+                pct(hip_ps.max(hip_ring), best_base),
+                None,
             );
         }
     }
@@ -63,7 +88,19 @@ fn main() {
         "Figure 7",
         "computer vision model throughput vs GPU count (paper: HiPress wins by 17.3%-110.5%)",
     );
-    sweep(DnnModel::Vgg19, Algorithm::OneBit, false); // Fig 7a (MXNet).
-    sweep(DnnModel::ResNet50, Algorithm::Dgc { rate: 0.001 }, true); // Fig 7b (TF).
-    sweep(DnnModel::Ugatit, Algorithm::TernGrad { bitwidth: 2 }, false); // Fig 7c (PyTorch).
+    let rec = Recorder::new("fig7");
+    sweep(&rec, DnnModel::Vgg19, Algorithm::OneBit, false); // Fig 7a (MXNet).
+    sweep(
+        &rec,
+        DnnModel::ResNet50,
+        Algorithm::Dgc { rate: 0.001 },
+        true,
+    ); // Fig 7b (TF).
+    sweep(
+        &rec,
+        DnnModel::Ugatit,
+        Algorithm::TernGrad { bitwidth: 2 },
+        false,
+    ); // Fig 7c (PyTorch).
+    rec.finish();
 }

@@ -3,9 +3,9 @@
 //! cluster scales from 8 to 128 GPUs.
 
 use hipress::prelude::*;
-use hipress_bench::{banner, pct};
+use hipress_bench::{banner, pct, Recorder};
 
-fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
+fn sweep(rec: &Recorder, model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
     println!("\n--- {} ({}) ---", model.name(), alg.label());
     println!(
         "{:>5} {:>12} {:>12} {:>14} {:>14} {:>14}",
@@ -36,11 +36,36 @@ fn sweep(model: DnnModel, alg: Algorithm, ring_for_oss: bool) {
         println!(
             "{gpus:>5} {byteps:>12.0} {ring:>12.0} {oss:>14.0} {hip_ps:>14.0} {hip_ring:>14.0}"
         );
+        let gpus_str = gpus.to_string();
+        for (system, v) in [
+            ("BytePS", byteps),
+            ("Ring", ring),
+            ("OSS-coupled", oss),
+            ("HiPress-PS", hip_ps),
+            ("HiPress-Ring", hip_ring),
+        ] {
+            rec.record(
+                "throughput_samples_per_sec",
+                &[
+                    ("model", model.name()),
+                    ("system", system),
+                    ("gpus", &gpus_str),
+                ],
+                v,
+                None,
+            );
+        }
         if nodes == 16 {
             let hip = hip_ps.max(hip_ring);
             println!(
                 "      HiPress at 128 GPUs: +{:.1}% over the no-compression baselines",
                 pct(hip, byteps.max(ring))
+            );
+            rec.record(
+                "hipress_gain_pct",
+                &[("model", model.name()), ("over", "no-compression")],
+                pct(hip, byteps.max(ring)),
+                None,
             );
             assert!(
                 hip >= byteps.max(ring).max(oss) * 0.99,
@@ -55,7 +80,19 @@ fn main() {
         "Figure 8",
         "NLP model throughput vs GPU count (paper: HiPress over baselines, growing with scale)",
     );
-    sweep(DnnModel::BertLarge, Algorithm::OneBit, false); // Fig 8a (MXNet).
-    sweep(DnnModel::Transformer, Algorithm::Dgc { rate: 0.001 }, true); // Fig 8b (TF).
-    sweep(DnnModel::Lstm, Algorithm::TernGrad { bitwidth: 2 }, false); // Fig 8c (PyTorch).
+    let rec = Recorder::new("fig8");
+    sweep(&rec, DnnModel::BertLarge, Algorithm::OneBit, false); // Fig 8a (MXNet).
+    sweep(
+        &rec,
+        DnnModel::Transformer,
+        Algorithm::Dgc { rate: 0.001 },
+        true,
+    ); // Fig 8b (TF).
+    sweep(
+        &rec,
+        DnnModel::Lstm,
+        Algorithm::TernGrad { bitwidth: 2 },
+        false,
+    ); // Fig 8c (PyTorch).
+    rec.finish();
 }

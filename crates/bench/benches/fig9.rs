@@ -8,7 +8,7 @@
 
 use hipress::prelude::*;
 use hipress::simevent::{SimTime, Timeline};
-use hipress_bench::banner;
+use hipress_bench::{banner, Recorder};
 
 /// Renders `iters` iterations of a configuration as an ASCII strip
 /// ('#' = GPU busy with DNN compute) and returns the utilization.
@@ -36,7 +36,7 @@ fn strip(job: &TrainingJob, iters: usize) -> (String, f64) {
     )
 }
 
-fn compare(model: DnnModel, alg: Algorithm, strategy: Strategy) {
+fn compare(rec: &Recorder, model: DnnModel, alg: Algorithm, strategy: Strategy) {
     let cluster = ClusterConfig::ec2(16);
     let ring = TrainingJob::baseline(model, cluster, Strategy::HorovodRing);
     let hipress = TrainingJob::hipress(model, cluster, strategy).with_algorithm(alg);
@@ -45,6 +45,14 @@ fn compare(model: DnnModel, alg: Algorithm, strategy: Strategy) {
     println!("\n--- {} ---", model.name());
     println!("Ring     [{ring_strip}] {:.0}% util", ring_util * 100.0);
     println!("HiPress  [{hip_strip}] {:.0}% util", hip_util * 100.0);
+    for (system, util) in [("Ring", ring_util), ("HiPress", hip_util)] {
+        rec.record(
+            "gpu_utilization",
+            &[("model", model.name()), ("system", system)],
+            util,
+            None,
+        );
+    }
     assert!(
         hip_util >= ring_util,
         "HiPress must keep the GPU at least as busy"
@@ -56,8 +64,15 @@ fn main() {
         "Figure 9",
         "GPU utilization over 4 iterations, Ring vs HiPress ('#'=busy, '.'=idle)",
     );
-    compare(DnnModel::BertLarge, Algorithm::OneBit, Strategy::CaSyncRing);
+    let rec = Recorder::new("fig9");
     compare(
+        &rec,
+        DnnModel::BertLarge,
+        Algorithm::OneBit,
+        Strategy::CaSyncRing,
+    );
+    compare(
+        &rec,
         DnnModel::Ugatit,
         Algorithm::TernGrad { bitwidth: 2 },
         Strategy::CaSyncPs,
@@ -65,4 +80,5 @@ fn main() {
     println!(
         "\n(paper: Ring's utilization drops to zero during transmissions; HiPress stays busy)"
     );
+    rec.finish();
 }

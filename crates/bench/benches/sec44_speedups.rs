@@ -10,7 +10,7 @@
 
 use hipress::compress::{Algorithm, Compressor};
 use hipress::tensor::synth::{generate, GradientShape};
-use hipress_bench::banner;
+use hipress_bench::{banner, Recorder};
 use std::time::Instant;
 
 fn time_encode(c: &dyn Compressor, grad: &[f32], reps: usize) -> f64 {
@@ -39,6 +39,7 @@ fn main() {
         Algorithm::TernGrad { bitwidth: 2 },
         Algorithm::Dgc { rate: 0.001 },
     ];
+    let rec = Recorder::new("sec44");
     for alg in pairs {
         let opt = alg.build().expect("builds");
         let oss = alg.build_oss().expect("OSS exists for these four");
@@ -55,6 +56,12 @@ fn main() {
             t_opt * 1e3,
             t_oss * 1e3,
             t_oss / t_opt
+        );
+        rec.record(
+            "encode_wallclock_speedup",
+            &[("algorithm", opt.name())],
+            t_oss / t_opt,
+            None,
         );
     }
     // The authoritative gap is the GPU-kernel cost ratio the cluster
@@ -80,6 +87,14 @@ fn main() {
             oss.encode_passes,
             oss.encode_passes / opt.encode_passes
         );
+        let alg_label = alg.label();
+        rec.record(
+            "kernel_cost_ratio",
+            &[("algorithm", &alg_label)],
+            oss.encode_passes / opt.encode_passes,
+            None,
+        );
     }
     println!("(paper factors: TBQ >12x, DGC up to 5.1x, onebit-on-CPU 35.6x)");
+    rec.finish();
 }

@@ -3,7 +3,7 @@
 //! Ring±DGC) at 16 nodes × 8 V100, 100 Gbps.
 
 use hipress::prelude::*;
-use hipress_bench::{banner, row};
+use hipress_bench::{banner, row, Recorder};
 
 fn main() {
     banner(
@@ -44,11 +44,20 @@ fn main() {
         "{:<46} {:>22} {:>24}",
         "system configuration", "scaling eff (paper)", "comm ratio (paper)"
     );
+    let rec = Recorder::new("table1");
     let mut shapes_ok = true;
     let mut measured = Vec::new();
     for (label, job, p_eff, p_comm) in rows {
         let r = simulate(&job).expect("simulation runs");
         measured.push((r.scaling_efficiency, r.comm_ratio));
+        let labels = [("system", label)];
+        rec.record(
+            "scaling_efficiency",
+            &labels,
+            r.scaling_efficiency,
+            Some(p_eff),
+        );
+        rec.record("comm_ratio", &labels, r.comm_ratio, Some(p_comm));
         row(
             &[
                 format!("{label:<46}"),
@@ -70,4 +79,5 @@ fn main() {
         if shapes_ok { "PASS" } else { "FAIL" }
     );
     assert!(shapes_ok, "Table 1 shape must hold");
+    rec.finish();
 }

@@ -3,7 +3,7 @@
 //! the paper tabulates.
 
 use hipress::compll::algorithms;
-use hipress_bench::banner;
+use hipress_bench::{banner, Recorder};
 
 fn main() {
     banner(
@@ -28,8 +28,23 @@ fn main() {
         "udf (paper)",
         "#ops (paper)"
     );
+    let rec = Recorder::new("table5");
     for (alg, (name, oss, (p_logic, p_udf, p_ops))) in algs.iter().zip(paper_oss) {
         let r = alg.loc_report();
+        let labels = [("algorithm", name)];
+        rec.record(
+            "compll_logic_loc",
+            &labels,
+            r.logic as f64,
+            Some(p_logic as f64),
+        );
+        rec.record("compll_udf_loc", &labels, r.udf as f64, Some(p_udf as f64));
+        rec.record(
+            "compll_operators",
+            &labels,
+            r.operators.len() as f64,
+            Some(p_ops as f64),
+        );
         let oss_str = match oss {
             Some((logic, integ)) => (logic.to_string(), integ.to_string()),
             None => ("N/A".into(), "N/A".into()),
@@ -59,4 +74,5 @@ fn main() {
     println!(
         "\nintegration column: 0 lines for every CompLL algorithm (automatic), as in the paper"
     );
+    rec.finish();
 }

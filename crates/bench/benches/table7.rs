@@ -3,7 +3,7 @@
 //! sizes, two strategies, and two cluster scales.
 
 use hipress::prelude::*;
-use hipress_bench::banner;
+use hipress_bench::{banner, Recorder};
 
 fn plan_str(p: GradPlan) -> String {
     format!(
@@ -46,10 +46,27 @@ fn main() {
         "{:<8} {:>18} {:>18} {:>18} {:>18}",
         "size", "PS 4n (paper)", "PS 16n (paper)", "Ring 4n (paper)", "Ring 16n (paper)"
     );
+    let rec = Recorder::new("table7");
     for (label, bytes, p_ps4, p_ps16, p_r4, p_r16) in paper {
         let cells: Vec<String> = planners
             .iter()
-            .map(|(_, _, pl)| plan_str(pl.plan_gradient(bytes)))
+            .map(|(strategy, nodes, pl)| {
+                let plan = pl.plan_gradient(bytes);
+                let nodes_str = nodes.to_string();
+                let labels = [
+                    ("size", label),
+                    ("strategy", strategy.label()),
+                    ("nodes", &nodes_str),
+                ];
+                rec.record("plan_partitions", &labels, plan.partitions as f64, None);
+                rec.record(
+                    "plan_compress",
+                    &labels,
+                    if plan.compress { 1.0 } else { 0.0 },
+                    None,
+                );
+                plan_str(plan)
+            })
             .collect();
         println!(
             "{:<8} {:>9} {:>8} {:>9} {:>8} {:>9} {:>8} {:>9} {:>8}",
@@ -70,16 +87,22 @@ fn main() {
         );
     }
     println!("\nshape check (compress large gradients, K grows with size): PASS");
+    let threshold = Planner::profile(
+        &ClusterConfig::ec2(16),
+        Strategy::CaSyncPs,
+        Algorithm::OneBit,
+    )
+    .unwrap()
+    .compression_threshold();
     println!(
         "selective threshold at 16 nodes (paper: compress gradients larger than 4MB): {}",
-        hipress::util::units::fmt_bytes(
-            Planner::profile(
-                &ClusterConfig::ec2(16),
-                Strategy::CaSyncPs,
-                Algorithm::OneBit
-            )
-            .unwrap()
-            .compression_threshold()
-        )
+        hipress::util::units::fmt_bytes(threshold)
     );
+    rec.record(
+        "compression_threshold_bytes",
+        &[("strategy", Strategy::CaSyncPs.label()), ("nodes", "16")],
+        threshold as f64,
+        Some((4 << 20) as f64),
+    );
+    rec.finish();
 }

@@ -1,0 +1,212 @@
+//! Lowering a recorded [`Trace`] into the metric catalogue.
+//!
+//! Both execution backends already lower into one trace model (PR 3);
+//! this bridge closes the loop on the metrics side: any trace —
+//! simulated nanoseconds from `hipress_core::Executor::run_traced` or
+//! wall-clock nanoseconds from CaSync-RT — lands in the same metric
+//! names ([`crate::names`]) the live engine records, with the same
+//! `node` labels derived from the `node{i}` track convention. A
+//! simulated and a measured snapshot of one plan therefore share keys,
+//! and comparing them is a [`crate::MetricsDiff`].
+//!
+//! The mapping mirrors `RuntimeReport::from_trace` exactly: primitive
+//! buckets from span categories, wire volume from `send` span
+//! arguments, messages from `fabric` instants, batch launches from
+//! `batch` instants, wall time and node count from the `run` span, and
+//! queue occupancy from the `node{i}/Q_comp` / `Q_commu` counter
+//! tracks.
+
+use crate::names;
+use crate::registry::Scope;
+use hipress_trace::Trace;
+
+/// The eight primitive span categories, paired with their metric
+/// names (same order as `RuntimeReport`'s buckets).
+const PRIM_CATEGORIES: [(&str, &str); 8] = [
+    ("source", names::PRIM_NS[0]),
+    ("encode", names::PRIM_NS[1]),
+    ("decode", names::PRIM_NS[2]),
+    ("merge", names::PRIM_NS[3]),
+    ("send", names::PRIM_NS[4]),
+    ("recv", names::PRIM_NS[5]),
+    ("update", names::PRIM_NS[6]),
+    ("barrier", names::PRIM_NS[7]),
+];
+
+/// The `node` label for a track named `node{i}` or `node{i}/...`,
+/// if it follows the convention.
+fn node_label(track_name: &str) -> Option<&str> {
+    let rest = track_name.strip_prefix("node")?;
+    let digits = rest.split('/').next()?;
+    (!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())).then_some(digits)
+}
+
+/// Records every metric the catalogue derives from `trace` into
+/// `scope`. The scope supplies run-level labels (`algorithm`,
+/// `strategy`, …); per-node quantities additionally carry the `node`
+/// label taken from the track name.
+pub fn record_trace(trace: &Trace, scope: &Scope) {
+    let mut bytes_wire_total = 0u64;
+    let mut bytes_raw_total = 0u64;
+    for track in trace.tracks() {
+        let node = node_label(&track.name);
+        let labels: Vec<(&str, &str)> = node.map(|n| ("node", n)).into_iter().collect();
+        // Queue occupancy comes from the counter tracks.
+        if let Some(q) = track.name.split('/').nth(1) {
+            let name = match q {
+                "Q_comp" => Some(names::Q_COMP_DEPTH),
+                "Q_commu" => Some(names::Q_COMMU_DEPTH),
+                _ => None,
+            };
+            if let Some(name) = name {
+                let h = scope.histogram(name, &labels);
+                for &(_, v) in &track.samples {
+                    h.record(v.max(0.0) as u64);
+                }
+            }
+            continue;
+        }
+        for e in &track.events {
+            if let Some(&(_, metric)) = PRIM_CATEGORIES.iter().find(|(c, _)| *c == e.category) {
+                scope.histogram(metric, &labels).record(e.dur_ns);
+                if e.category == "send" {
+                    let wire = e.arg("bytes_wire").unwrap_or(0);
+                    let raw = e.arg("bytes_raw").unwrap_or(0);
+                    scope.counter(names::BYTES_WIRE, &labels).add(wire);
+                    scope.counter(names::BYTES_RAW, &labels).add(raw);
+                    bytes_wire_total += wire;
+                    bytes_raw_total += raw;
+                }
+            } else {
+                match e.category.as_str() {
+                    "local_agg" => {
+                        scope
+                            .histogram(names::LOCAL_AGG_NS, &labels)
+                            .record(e.dur_ns);
+                    }
+                    "fabric" => scope.counter(names::MESSAGES, &labels).inc(),
+                    "batch" => scope.counter(names::COMP_BATCH_LAUNCHES, &labels).inc(),
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let Some(run) = trace.events_of("run").next() {
+        let wall_ns = run.dur_ns;
+        scope.gauge(names::WALL_NS, &[]).set(wall_ns as f64);
+        if let Some(nodes) = run.arg("nodes") {
+            scope.gauge(names::NODES, &[]).set(nodes as f64);
+        }
+        scope
+            .timeseries(names::ITERATION_NS, &[])
+            .push(wall_ns as f64);
+        if wall_ns > 0 {
+            scope
+                .gauge(names::THROUGHPUT, &[])
+                .set(bytes_raw_total as f64 / (wall_ns as f64 / 1e9));
+        }
+    }
+    scope
+        .gauge(names::COMPRESSION_SAVINGS, &[])
+        .set(if bytes_wire_total == 0 {
+            1.0
+        } else {
+            bytes_raw_total as f64 / bytes_wire_total as f64
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::snapshot::MetricValue;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("casync-rt");
+        let engine = t.thread_track("engine");
+        let n0 = t.thread_track("node0");
+        let n1 = t.thread_track("node1");
+        let q0 = t.counter_track("node0/Q_comp");
+        t.push_span(engine, "run", "run", 0, 2_000_000_000, &[("nodes", 2)]);
+        t.push_span(n0, "encode", "encode", 10, 100, &[]);
+        t.push_span(n0, "local_agg", "local_agg", 20, 30, &[]);
+        t.push_span(
+            n0,
+            "send",
+            "send",
+            200,
+            50,
+            &[("bytes_wire", 64), ("bytes_raw", 512)],
+        );
+        t.push_span(n1, "recv", "recv", 300, 5, &[]);
+        t.push_instant(n1, "msg", "fabric", 250, &[]);
+        t.push_instant(n0, "batch", "batch", 50, &[("size", 3)]);
+        t.push_sample(q0, 0, 1.0);
+        t.push_sample(q0, 10, 2.0);
+        t
+    }
+
+    #[test]
+    fn lowers_every_catalogue_entry() {
+        let reg = Registry::new();
+        record_trace(&sample_trace(), &reg.scope(&[("algorithm", "onebit")]));
+        let snap = reg.snapshot();
+        assert_eq!(snap.hist_totals("encode_ns"), (1, 100));
+        assert_eq!(snap.hist_totals("recv_ns"), (1, 5));
+        assert_eq!(snap.hist_totals("send_ns"), (1, 50));
+        assert_eq!(snap.hist_totals("local_agg_ns"), (1, 30));
+        assert_eq!(snap.total_counter("bytes_wire"), 64);
+        assert_eq!(snap.total_counter("bytes_raw"), 512);
+        assert_eq!(snap.total_counter("messages"), 1);
+        assert_eq!(snap.total_counter("comp_batch_launches"), 1);
+        assert_eq!(snap.hist_totals("q_comp_depth"), (2, 3));
+        // Run-level gauges: wall 2s, 512 raw bytes -> 256 B/s.
+        let wall = snap
+            .iter()
+            .find(|(k, _)| k.name == "wall_ns")
+            .map(|(_, v)| v.scalar())
+            .unwrap();
+        assert_eq!(wall, 2e9);
+        let tput = snap
+            .iter()
+            .find(|(k, _)| k.name == "throughput_bytes_per_sec")
+            .map(|(_, v)| v.scalar())
+            .unwrap();
+        assert!((tput - 256.0).abs() < 1e-9);
+        let savings = snap
+            .iter()
+            .find(|(k, _)| k.name == "compression_savings")
+            .map(|(_, v)| v.scalar())
+            .unwrap();
+        assert!((savings - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_labels_follow_track_names() {
+        let reg = Registry::new();
+        record_trace(&sample_trace(), &reg.root());
+        let snap = reg.snapshot();
+        let encode_key = snap.keys().find(|k| k.name == "encode_ns").unwrap();
+        assert_eq!(encode_key.labels.get("node"), Some("0"));
+        let recv_key = snap.keys().find(|k| k.name == "recv_ns").unwrap();
+        assert_eq!(recv_key.labels.get("node"), Some("1"));
+        // The run-level gauges are unlabelled.
+        let wall_key = snap.keys().find(|k| k.name == "wall_ns").unwrap();
+        assert!(wall_key.labels.is_empty());
+        // Series captured the run wall time.
+        let iter = snap.keys().find(|k| k.name == "iteration_ns").unwrap();
+        match snap.get(iter).unwrap() {
+            MetricValue::Series(pts) => assert_eq!(pts[0].1, 2e9),
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_label_parser() {
+        assert_eq!(node_label("node0"), Some("0"));
+        assert_eq!(node_label("node12/Q_comp"), Some("12"));
+        assert_eq!(node_label("engine"), None);
+        assert_eq!(node_label("nodex"), None);
+        assert_eq!(node_label("node"), None);
+    }
+}

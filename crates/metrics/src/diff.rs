@@ -1,0 +1,311 @@
+//! Snapshot comparison and the perf-regression gate.
+//!
+//! A [`MetricsDiff`] lines two snapshots up key by key and reduces
+//! each pair to one scalar delta. Whether a delta is *bad* depends on
+//! the metric: latencies regress upward, throughputs regress
+//! downward, and plenty of metrics (node counts, message totals) are
+//! purely informational. Rather than carrying per-metric
+//! configuration, the gate derives [`Polarity`] from the metric name —
+//! the workspace-wide naming convention (`*_ns` durations,
+//! `*throughput*`/`*_per_sec`/`*efficiency*`/`*savings*` rates) makes
+//! the name authoritative.
+//!
+//! Sign conventions, fixed by test:
+//! * `delta = current - baseline` (positive means the number went up),
+//! * `pct = 100 * delta / baseline` (positive means the number went up),
+//! * a row **regresses** at tolerance `t` when the number moved in its
+//!   bad direction by strictly more than `t` percent: `pct > t` for
+//!   lower-is-better metrics, `pct < -t` for higher-is-better ones.
+
+use crate::registry::Key;
+use crate::snapshot::MetricsSnapshot;
+use hipress_util::units::fmt_duration_ns;
+use std::fmt;
+
+/// Which direction of change is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Latencies, wall times: up is worse (`*_ns`).
+    LowerIsBetter,
+    /// Throughputs, efficiencies, compression savings: down is worse.
+    HigherIsBetter,
+    /// Counts and sizes with no inherent good direction; never gated.
+    Informational,
+}
+
+impl Polarity {
+    /// Derives the polarity from a metric name per the workspace
+    /// naming convention.
+    pub fn of_name(name: &str) -> Polarity {
+        if name.ends_with("_ns") {
+            return Polarity::LowerIsBetter;
+        }
+        if name.ends_with("_per_sec")
+            || name.contains("throughput")
+            || name.contains("efficiency")
+            || name.contains("savings")
+        {
+            return Polarity::HigherIsBetter;
+        }
+        Polarity::Informational
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// The metric identity shared by both snapshots.
+    pub key: Key,
+    /// The baseline scalar ([`crate::MetricValue::scalar`]).
+    pub baseline: f64,
+    /// The current scalar.
+    pub current: f64,
+    /// `current - baseline`.
+    pub delta: f64,
+    /// `100 * delta / baseline` (0 when the baseline is 0).
+    pub pct: f64,
+    /// Good direction, derived from the metric name.
+    pub polarity: Polarity,
+}
+
+impl DiffRow {
+    /// True when this row moved in its bad direction by strictly more
+    /// than `tolerance_pct` percent. Informational rows never regress.
+    pub fn regressed(&self, tolerance_pct: f64) -> bool {
+        match self.polarity {
+            Polarity::LowerIsBetter => self.pct > tolerance_pct,
+            Polarity::HigherIsBetter => self.pct < -tolerance_pct,
+            Polarity::Informational => false,
+        }
+    }
+
+    /// True when this row moved in its *good* direction by strictly
+    /// more than `tolerance_pct` percent.
+    pub fn improved(&self, tolerance_pct: f64) -> bool {
+        match self.polarity {
+            Polarity::LowerIsBetter => self.pct < -tolerance_pct,
+            Polarity::HigherIsBetter => self.pct > tolerance_pct,
+            Polarity::Informational => false,
+        }
+    }
+}
+
+/// The comparison of two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsDiff {
+    /// Metrics present in both snapshots, in key order.
+    pub rows: Vec<DiffRow>,
+    /// Keys only the baseline has.
+    pub only_baseline: Vec<Key>,
+    /// Keys only the current snapshot has.
+    pub only_current: Vec<Key>,
+}
+
+impl MetricsDiff {
+    /// Compares `current` against `baseline`, key by key.
+    pub fn between(baseline: &MetricsSnapshot, current: &MetricsSnapshot) -> MetricsDiff {
+        let mut diff = MetricsDiff::default();
+        for (key, b) in baseline.iter() {
+            match current.get(key) {
+                None => diff.only_baseline.push(key.clone()),
+                Some(c) => {
+                    let (b, c) = (b.scalar(), c.scalar());
+                    let delta = c - b;
+                    diff.rows.push(DiffRow {
+                        key: key.clone(),
+                        baseline: b,
+                        current: c,
+                        delta,
+                        pct: if b == 0.0 { 0.0 } else { 100.0 * delta / b },
+                        polarity: Polarity::of_name(&key.name),
+                    });
+                }
+            }
+        }
+        for (key, _) in current.iter() {
+            if baseline.get(key).is_none() {
+                diff.only_current.push(key.clone());
+            }
+        }
+        diff
+    }
+
+    /// The rows that regressed at `tolerance_pct`, worst first.
+    pub fn regressions(&self, tolerance_pct: f64) -> Vec<&DiffRow> {
+        let mut out: Vec<&DiffRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.regressed(tolerance_pct))
+            .collect();
+        out.sort_by(|a, b| {
+            b.pct
+                .abs()
+                .partial_cmp(&a.pct.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// True when no gated row regressed at `tolerance_pct`.
+    pub fn passes(&self, tolerance_pct: f64) -> bool {
+        self.rows.iter().all(|r| !r.regressed(tolerance_pct))
+    }
+}
+
+fn fmt_scalar(key: &Key, v: f64) -> String {
+    if key.name.ends_with("_ns") && v >= 0.0 {
+        fmt_duration_ns(v.round() as u64)
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl fmt::Display for DiffRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.polarity {
+            Polarity::LowerIsBetter => "↓good",
+            Polarity::HigherIsBetter => "↑good",
+            Polarity::Informational => "info",
+        };
+        write!(
+            f,
+            "{:<48} {:>12} -> {:>12}  {:>+8.2}%  [{dir}]",
+            self.key.to_string(),
+            fmt_scalar(&self.key, self.baseline),
+            fmt_scalar(&self.key, self.current),
+            self.pct,
+        )
+    }
+}
+
+impl fmt::Display for MetricsDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rows {
+            writeln!(f, "{r}")?;
+        }
+        for k in &self.only_baseline {
+            writeln!(f, "{k:<48} only in baseline")?;
+        }
+        for k in &self.only_current {
+            writeln!(f, "{k:<48} only in current")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::LabelSet;
+    use crate::snapshot::MetricValue;
+
+    fn snap(entries: &[(&str, f64)]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        for &(name, v) in entries {
+            s.insert(Key::new(name, LabelSet::default()), MetricValue::Gauge(v));
+        }
+        s
+    }
+
+    #[test]
+    fn polarity_from_names() {
+        assert_eq!(Polarity::of_name("encode_ns"), Polarity::LowerIsBetter);
+        assert_eq!(Polarity::of_name("wall_ns"), Polarity::LowerIsBetter);
+        assert_eq!(
+            Polarity::of_name("throughput_bytes_per_sec"),
+            Polarity::HigherIsBetter
+        );
+        assert_eq!(
+            Polarity::of_name("scaling_efficiency"),
+            Polarity::HigherIsBetter
+        );
+        assert_eq!(
+            Polarity::of_name("compression_savings"),
+            Polarity::HigherIsBetter
+        );
+        assert_eq!(Polarity::of_name("bytes_wire"), Polarity::Informational);
+        assert_eq!(Polarity::of_name("messages"), Polarity::Informational);
+        // comm_ratio is lower-is-better semantically but carries no
+        // suffix the gate trusts; it stays informational by design.
+        assert_eq!(Polarity::of_name("comm_ratio"), Polarity::Informational);
+    }
+
+    #[test]
+    fn sign_conventions() {
+        // Baseline 100, current 110: delta +10, pct +10.
+        let d = MetricsDiff::between(&snap(&[("wall_ns", 100.0)]), &snap(&[("wall_ns", 110.0)]));
+        let r = &d.rows[0];
+        assert_eq!(r.delta, 10.0);
+        assert_eq!(r.pct, 10.0);
+        // Latency up = regression once past tolerance.
+        assert!(r.regressed(5.0));
+        assert!(!r.regressed(10.0), "tolerance boundary is exclusive");
+        assert!(!r.improved(5.0));
+
+        // Throughput down = regression; throughput up = improvement.
+        let down = MetricsDiff::between(
+            &snap(&[("throughput_bytes_per_sec", 200.0)]),
+            &snap(&[("throughput_bytes_per_sec", 150.0)]),
+        );
+        assert_eq!(down.rows[0].pct, -25.0);
+        assert!(down.rows[0].regressed(10.0));
+        let up = MetricsDiff::between(
+            &snap(&[("throughput_bytes_per_sec", 200.0)]),
+            &snap(&[("throughput_bytes_per_sec", 300.0)]),
+        );
+        assert!(up.rows[0].improved(10.0));
+        assert!(!up.rows[0].regressed(0.0));
+    }
+
+    #[test]
+    fn identical_snapshots_pass_at_zero_tolerance() {
+        let s = snap(&[("wall_ns", 123.0), ("throughput_bytes_per_sec", 9.0)]);
+        let d = MetricsDiff::between(&s, &s.clone());
+        assert!(d.passes(0.0));
+        assert!(d.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let d = MetricsDiff::between(&snap(&[("messages", 10.0)]), &snap(&[("messages", 1000.0)]));
+        assert!(d.passes(0.0));
+    }
+
+    #[test]
+    fn disjoint_keys_are_reported_not_gated() {
+        let d = MetricsDiff::between(&snap(&[("a_ns", 1.0)]), &snap(&[("b_ns", 1.0)]));
+        assert!(d.rows.is_empty());
+        assert_eq!(d.only_baseline.len(), 1);
+        assert_eq!(d.only_current.len(), 1);
+        assert!(d.passes(0.0));
+    }
+
+    #[test]
+    fn regressions_sorted_worst_first() {
+        let d = MetricsDiff::between(
+            &snap(&[("a_ns", 100.0), ("b_ns", 100.0)]),
+            &snap(&[("a_ns", 120.0), ("b_ns", 200.0)]),
+        );
+        let regs = d.regressions(0.0);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].key.name, "b_ns");
+        assert_eq!(regs[1].key.name, "a_ns");
+    }
+
+    #[test]
+    fn zero_baseline_is_not_a_regression() {
+        let d = MetricsDiff::between(&snap(&[("x_ns", 0.0)]), &snap(&[("x_ns", 50.0)]));
+        assert_eq!(d.rows[0].pct, 0.0);
+        assert!(d.passes(0.0));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let d = MetricsDiff::between(&snap(&[("wall_ns", 100.0)]), &snap(&[("wall_ns", 150.0)]));
+        let s = d.to_string();
+        assert!(s.contains("wall_ns"));
+        assert!(s.contains("+50.00%"));
+    }
+}

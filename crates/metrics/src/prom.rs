@@ -1,0 +1,173 @@
+//! Prometheus-style text exposition of a snapshot.
+//!
+//! For eyeballing and for scraping by standard tooling: counters and
+//! gauges render as single samples, histograms as the conventional
+//! summary triplet (`_count`, `_sum`, `{quantile="…"}`), and time
+//! series as their most recent value. The output follows the
+//! Prometheus text format conventions (one `# TYPE` line per metric
+//! family, label sets in `{k="v"}` form) without claiming full
+//! exposition-format compliance — it is a debugging surface, not a
+//! scrape endpoint.
+
+use crate::registry::LabelSet;
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else
+/// becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn labels_with(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v.replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders `snap` in Prometheus text form. Run metadata becomes
+/// leading `# META` comment lines.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (k, v) in &snap.meta {
+        let _ = writeln!(out, "# META {k} {v}");
+    }
+    let mut last_family = String::new();
+    for (key, value) in snap.iter() {
+        let name = sanitize(&key.name);
+        if name != last_family {
+            let _ = writeln!(
+                out,
+                "# TYPE {name} {}",
+                match value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) | MetricValue::Series(_) => "gauge",
+                    MetricValue::Histogram(_) => "summary",
+                }
+            );
+            last_family = name.clone();
+        }
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "{name}{} {c}", labels_with(&key.labels, None));
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "{name}{} {g}", labels_with(&key.labels, None));
+            }
+            MetricValue::Histogram(h) => {
+                for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {v}",
+                        labels_with(&key.labels, Some(("quantile", q)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{} {}",
+                    labels_with(&key.labels, None),
+                    h.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_count{} {}",
+                    labels_with(&key.labels, None),
+                    h.count
+                );
+            }
+            MetricValue::Series(points) => {
+                let last = points.last().map_or(0.0, |&(_, v)| v);
+                let _ = writeln!(out, "{name}{} {last}", labels_with(&key.labels, None));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Key;
+    use crate::snapshot::HistSummary;
+
+    #[test]
+    fn renders_all_kinds() {
+        let mut snap = MetricsSnapshot::new().with_meta("tool", "hipress bench");
+        snap.insert(
+            Key::new("bytes_wire", LabelSet::new(&[("node", "0")])),
+            MetricValue::Counter(64),
+        );
+        snap.insert(
+            Key::new("throughput_bytes_per_sec", LabelSet::default()),
+            MetricValue::Gauge(2.5),
+        );
+        snap.insert(
+            Key::new("encode_ns", LabelSet::default()),
+            MetricValue::Histogram(HistSummary {
+                count: 2,
+                sum: 30,
+                min: 10,
+                max: 20,
+                buckets: vec![(4, 1), (5, 1)],
+            }),
+        );
+        snap.insert(
+            Key::new("iteration_ns", LabelSet::default()),
+            MetricValue::Series(vec![(0, 5.0), (1, 7.0)]),
+        );
+        let text = render(&snap);
+        assert!(text.contains("# META tool hipress bench"));
+        assert!(text.contains("# TYPE bytes_wire counter"));
+        assert!(text.contains("bytes_wire{node=\"0\"} 64"));
+        assert!(text.contains("# TYPE throughput_bytes_per_sec gauge"));
+        assert!(text.contains("throughput_bytes_per_sec 2.5"));
+        assert!(text.contains("# TYPE encode_ns summary"));
+        assert!(text.contains("encode_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("encode_ns_count 2"));
+        assert!(text.contains("encode_ns_sum 30"));
+        // Series expose their latest value.
+        assert!(text.contains("iteration_ns 7"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_family() {
+        let mut snap = MetricsSnapshot::new();
+        for node in 0..3 {
+            snap.insert(
+                Key::new("messages", LabelSet::new(&[("node", &node.to_string())])),
+                MetricValue::Counter(node),
+            );
+        }
+        let text = render(&snap);
+        assert_eq!(text.matches("# TYPE messages counter").count(), 1);
+        assert_eq!(text.matches("messages{node=").count(), 3);
+    }
+
+    #[test]
+    fn bad_characters_sanitized() {
+        let mut snap = MetricsSnapshot::new();
+        snap.insert(
+            Key::new("enc.ns-total", LabelSet::new(&[("strategy", "casync-ps")])),
+            MetricValue::Counter(1),
+        );
+        let text = render(&snap);
+        assert!(text.contains("enc_ns_total{strategy=\"casync-ps\"} 1"));
+    }
+}

@@ -1,0 +1,597 @@
+//! The typed metric registry and its recording handles.
+//!
+//! A [`Registry`] owns every metric created through it, keyed by
+//! *name + label set*. Creation takes a lock (once, at setup time);
+//! recording is lock-free — every handle writes straight into shared
+//! atomics, so instrumented hot paths (CaSync-RT's per-task loop) pay
+//! a handful of relaxed atomic ops, and uninstrumented ones pay
+//! nothing at all (engines hold an `Option` and skip every call).
+//!
+//! [`Scope`] carries a base label set (`algorithm`, `strategy`,
+//! `node`, `phase`, …) so a subsystem can mint metrics without
+//! repeating its context on every call; scopes of one registry all
+//! feed the same store.
+
+use crate::snapshot::{HistSummary, MetricValue, MetricsSnapshot};
+use hipress_trace::hist::{bucket_of, BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A sorted, deduplicated `key=value` label set. Two metrics with the
+/// same name but different labels are distinct series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct LabelSet(Vec<(String, String)>);
+
+impl LabelSet {
+    /// Builds a label set from pairs; later duplicates of a key win.
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut set = LabelSet::default();
+        for &(k, v) in pairs {
+            set.insert(k, v);
+        }
+        set
+    }
+
+    /// Inserts or replaces one label.
+    pub fn insert(&mut self, key: &str, value: &str) {
+        match self.0.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.0[i].1 = value.to_string(),
+            Err(i) => self.0.insert(i, (key.to_string(), value.to_string())),
+        }
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.0[i].1.as_str())
+    }
+
+    /// The labels in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// True when no labels are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Renders as `{k="v",k2="v2"}` (empty string when unlabelled).
+    pub fn render(&self) -> String {
+        if self.0.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = self.0.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// The identity of one metric series: name plus labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    /// Metric name (dotted lowercase, e.g. `encode_ns`).
+    pub name: String,
+    /// Distinguishing labels.
+    pub labels: LabelSet,
+}
+
+impl Key {
+    /// Builds a key.
+    pub fn new(name: &str, labels: LabelSet) -> Self {
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.name, self.labels.render())
+    }
+}
+
+/// A monotonically increasing event/byte count.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value instrument holding an `f64` (throughput, ratios,
+/// wall times).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (atomic read-modify-write).
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some((f64::from_bits(b) + delta).to_bits())
+            });
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The shared storage of a lock-free log-bucketed histogram over
+/// `u64` observations (nanoseconds, bytes, queue depths).
+///
+/// The bucket geometry is exactly [`hipress_trace::hist`]'s: bucket 0
+/// holds `0`, bucket `k ≥ 1` holds `[2^(k-1), 2^k)` — so a live
+/// histogram and a trace-derived [`hipress_trace::LatencyHistogram`]
+/// report comparable quantiles.
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn summary(&self) -> HistSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter_map(|(b, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((b, c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A lock-free log-bucketed histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistCell>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.cell.record(v);
+    }
+
+    /// A point-in-time summary (buckets + exact count/sum/min/max).
+    pub fn summary(&self) -> HistSummary {
+        self.cell.summary()
+    }
+}
+
+/// Default capacity of a [`TimeSeries`] sampler.
+pub const SERIES_CAPACITY: usize = 512;
+
+#[derive(Debug)]
+pub(crate) struct SeriesBuf {
+    /// Every retained sample covers `stride` pushes.
+    stride: u64,
+    samples: Vec<(u64, f64)>,
+    pushed: u64,
+    capacity: usize,
+}
+
+impl SeriesBuf {
+    fn push(&mut self, v: f64) {
+        if self.pushed % self.stride == 0 {
+            if self.samples.len() == self.capacity {
+                // Halve resolution, keep full-run coverage: retain
+                // every other sample and double the stride.
+                let mut keep = Vec::with_capacity(self.capacity / 2 + 1);
+                for (i, s) in self.samples.drain(..).enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(s);
+                    }
+                }
+                self.samples = keep;
+                self.stride *= 2;
+            }
+            if self.pushed % self.stride == 0 {
+                self.samples.push((self.pushed, v));
+            }
+        }
+        self.pushed += 1;
+    }
+}
+
+/// A fixed-capacity sampler over an unbounded stream (per-iteration
+/// throughput, wall times). When full it halves its resolution, so
+/// the retained points always span the whole run.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    buf: Arc<Mutex<SeriesBuf>>,
+}
+
+impl TimeSeries {
+    /// Appends one sample.
+    pub fn push(&self, v: f64) {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(v);
+    }
+
+    /// The retained `(sequence, value)` points, in push order.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .samples
+            .clone()
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCell>),
+    Series(Arc<Mutex<SeriesBuf>>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+            Slot::Series(_) => "series",
+        }
+    }
+}
+
+/// The shared metric store. Cheap to clone; all clones and all
+/// [`Scope`]s derived from them feed one store.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<Key, Slot>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scope with no base labels.
+    pub fn root(&self) -> Scope {
+        Scope {
+            registry: self.clone(),
+            base: LabelSet::default(),
+        }
+    }
+
+    /// A scope whose metrics all carry `labels` in addition to
+    /// whatever the call site supplies.
+    pub fn scope(&self, labels: &[(&str, &str)]) -> Scope {
+        Scope {
+            registry: self.clone(),
+            base: LabelSet::new(labels),
+        }
+    }
+
+    fn with_slot<R>(
+        &self,
+        key: Key,
+        make: impl FnOnce() -> Slot,
+        use_: impl FnOnce(&Slot) -> R,
+    ) -> R {
+        let mut map = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = map.entry(key).or_insert_with(make);
+        use_(slot)
+    }
+
+    fn counter_at(&self, key: Key) -> Counter {
+        self.with_slot(
+            key,
+            || Slot::Counter(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Slot::Counter(c) => Counter { cell: c.clone() },
+                other => panic!(
+                    "metric registered as {}, requested as counter",
+                    other.kind()
+                ),
+            },
+        )
+    }
+
+    fn gauge_at(&self, key: Key) -> Gauge {
+        self.with_slot(
+            key,
+            || Slot::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+            |s| match s {
+                Slot::Gauge(g) => Gauge { bits: g.clone() },
+                other => panic!("metric registered as {}, requested as gauge", other.kind()),
+            },
+        )
+    }
+
+    fn histogram_at(&self, key: Key) -> Histogram {
+        self.with_slot(
+            key,
+            || Slot::Histogram(Arc::new(HistCell::new())),
+            |s| match s {
+                Slot::Histogram(h) => Histogram { cell: h.clone() },
+                other => panic!(
+                    "metric registered as {}, requested as histogram",
+                    other.kind()
+                ),
+            },
+        )
+    }
+
+    fn series_at(&self, key: Key) -> TimeSeries {
+        self.with_slot(
+            key,
+            || {
+                Slot::Series(Arc::new(Mutex::new(SeriesBuf {
+                    stride: 1,
+                    samples: Vec::new(),
+                    pushed: 0,
+                    capacity: SERIES_CAPACITY,
+                })))
+            },
+            |s| match s {
+                Slot::Series(b) => TimeSeries { buf: b.clone() },
+                other => panic!("metric registered as {}, requested as series", other.kind()),
+            },
+        )
+    }
+
+    /// Snapshots every metric into an immutable, serializable value
+    /// map. Recording may continue concurrently; each metric is read
+    /// atomically but the snapshot as a whole is not a global barrier.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut snap = MetricsSnapshot::new();
+        for (key, slot) in map.iter() {
+            let value = match slot {
+                Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                Slot::Gauge(g) => MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
+                Slot::Histogram(h) => MetricValue::Histogram(h.summary()),
+                Slot::Series(b) => MetricValue::Series(
+                    b.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .samples
+                        .clone(),
+                ),
+            };
+            snap.insert(key.clone(), value);
+        }
+        snap
+    }
+}
+
+/// A label-carrying view over a [`Registry`]. All creation calls merge
+/// the scope's base labels with the call-site labels (call site wins
+/// on conflicts).
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: Registry,
+    base: LabelSet,
+}
+
+impl Scope {
+    /// A child scope with extra base labels.
+    pub fn with(&self, labels: &[(&str, &str)]) -> Scope {
+        let mut base = self.base.clone();
+        for &(k, v) in labels {
+            base.insert(k, v);
+        }
+        Scope {
+            registry: self.registry.clone(),
+            base,
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn key(&self, name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut set = self.base.clone();
+        for &(k, v) in labels {
+            set.insert(k, v);
+        }
+        Key::new(name, set)
+    }
+
+    /// Creates (or finds) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.registry.counter_at(self.key(name, labels))
+    }
+
+    /// Creates (or finds) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.registry.gauge_at(self.key(name, labels))
+    }
+
+    /// Creates (or finds) a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.registry.histogram_at(self.key(name, labels))
+    }
+
+    /// Creates (or finds) a time series.
+    pub fn timeseries(&self, name: &str, labels: &[(&str, &str)]) -> TimeSeries {
+        self.registry.series_at(self.key(name, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_override() {
+        let mut l = LabelSet::new(&[("b", "2"), ("a", "1")]);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![("a", "1"), ("b", "2")]);
+        l.insert("a", "9");
+        assert_eq!(l.get("a"), Some("9"));
+        assert_eq!(l.render(), "{a=\"9\",b=\"2\"}");
+        assert_eq!(LabelSet::default().render(), "");
+    }
+
+    #[test]
+    fn handles_share_storage_by_key() {
+        let reg = Registry::new();
+        let a = reg.root().counter("x", &[("node", "0")]);
+        let b = reg.root().counter("x", &[("node", "0")]);
+        let other = reg.root().counter("x", &[("node", "1")]);
+        a.add(2);
+        b.add(3);
+        other.inc();
+        assert_eq!(a.get(), 5);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.root().counter("x", &[]);
+        let _ = reg.root().gauge("x", &[]);
+    }
+
+    #[test]
+    fn scope_labels_merge_call_site_wins() {
+        let reg = Registry::new();
+        let scope = reg.scope(&[("strategy", "casync-ps"), ("node", "X")]);
+        let _ = scope.counter("c", &[("node", "3")]);
+        let snap = reg.snapshot();
+        let key = snap.keys().next().unwrap();
+        assert_eq!(key.labels.get("strategy"), Some("casync-ps"));
+        assert_eq!(key.labels.get("node"), Some("3"));
+    }
+
+    #[test]
+    fn gauge_roundtrips_f64() {
+        let reg = Registry::new();
+        let g = reg.root().gauge("g", &[]);
+        g.set(1.5);
+        g.add(-0.25);
+        assert!((g.get() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_extremes() {
+        let reg = Registry::new();
+        let h = reg.root().histogram("h", &[]);
+        for v in [3u64, 0, 700, 700, 12] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1415);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 700);
+    }
+
+    #[test]
+    fn series_decimates_but_spans_run() {
+        let reg = Registry::new();
+        let ts = reg.root().timeseries("t", &[]);
+        for i in 0..(SERIES_CAPACITY as u64 * 4) {
+            ts.push(i as f64);
+        }
+        let pts = ts.points();
+        assert!(pts.len() <= SERIES_CAPACITY);
+        assert!(pts.len() >= SERIES_CAPACITY / 4);
+        // First sample retained; last retained sample is near the end.
+        assert_eq!(pts[0].0, 0);
+        assert!(pts.last().unwrap().0 >= SERIES_CAPACITY as u64 * 3);
+        // Sequence numbers strictly increase.
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Registry::new();
+        let mut handles = Vec::new();
+        for node in 0..4 {
+            let scope = reg.scope(&[("node", &node.to_string())]);
+            handles.push(std::thread::spawn(move || {
+                let c = scope.counter("events", &[]);
+                let h = scope.histogram("lat_ns", &[]);
+                for i in 0..1000 {
+                    c.inc();
+                    h.record(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.total_counter("events"), 4000);
+        let (count, sum) = snap.hist_totals("lat_ns");
+        assert_eq!(count, 4000);
+        assert_eq!(sum, 4 * (999 * 1000 / 2));
+    }
+}

@@ -1,0 +1,170 @@
+//! The text dashboard: sparklines and a per-metric summary table.
+//!
+//! `hipress report` renders a snapshot through this module — the
+//! metrics counterpart of `hipress-trace::view`'s Figure-9 bars. Each
+//! metric gets one line: counters and gauges show their value,
+//! histograms show count and p50/p90/p99, time series render as a
+//! Unicode sparkline so the per-iteration trajectory is visible
+//! without leaving the terminal.
+
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+use hipress_util::units::{fmt_bytes, fmt_duration_ns};
+use std::fmt::Write as _;
+
+/// The eight block glyphs a sparkline is drawn with.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a fixed-height Unicode sparkline, scaled to the
+/// observed min..max range (a flat series renders as a low bar).
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 || !span.is_finite() {
+                BLOCKS[0]
+            } else {
+                let i = ((v - min) / span * (BLOCKS.len() - 1) as f64).round() as usize;
+                BLOCKS[i.min(BLOCKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples `values` to at most `width` points by bucket-averaging,
+/// so long series still fit one terminal line.
+pub fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 || values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * values.len() / width;
+            let hi = (((i + 1) * values.len()) / width).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+fn fmt_value(name: &str, v: f64) -> String {
+    if name.ends_with("_ns") && v >= 0.0 {
+        fmt_duration_ns(v.round() as u64)
+    } else if name.starts_with("bytes") && v >= 0.0 && v.fract() == 0.0 {
+        fmt_bytes(v as u64)
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders the dashboard: one line per metric, grouped in key order
+/// (which clusters label variants of one name together).
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    if !snap.meta.is_empty() {
+        let meta: Vec<String> = snap.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "# {}", meta.join(" "));
+    }
+    let width = snap
+        .keys()
+        .map(|k| k.to_string().len())
+        .max()
+        .unwrap_or(0)
+        .min(64);
+    for (key, value) in snap.iter() {
+        let label = key.to_string();
+        let body = match value {
+            MetricValue::Counter(c) => fmt_value(&key.name, *c as f64),
+            MetricValue::Gauge(g) => fmt_value(&key.name, *g),
+            MetricValue::Histogram(h) => format!(
+                "n={} p50={} p90={} p99={} max={}",
+                h.count,
+                fmt_value(&key.name, h.p50() as f64),
+                fmt_value(&key.name, h.p90() as f64),
+                fmt_value(&key.name, h.p99() as f64),
+                fmt_value(&key.name, h.max as f64),
+            ),
+            MetricValue::Series(points) => {
+                let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+                let last = values.last().copied().unwrap_or(0.0);
+                format!(
+                    "{} n={} last={}",
+                    sparkline(&resample(&values, 40)),
+                    values.len(),
+                    fmt_value(&key.name, last)
+                )
+            }
+        };
+        let _ = writeln!(out, "{label:<width$}  {body}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Key, LabelSet};
+    use crate::snapshot::HistSummary;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        let ramp = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(ramp, "▁▂▃▄▅▆▇█");
+        // Extremes map to extreme glyphs.
+        let updown = sparkline(&[0.0, 10.0, 0.0]);
+        assert_eq!(updown.chars().count(), 3);
+        assert!(updown.starts_with('▁') && updown.ends_with('▁'));
+        assert!(updown.contains('█'));
+    }
+
+    #[test]
+    fn resample_preserves_short_and_shrinks_long() {
+        assert_eq!(resample(&[1.0, 2.0], 40), vec![1.0, 2.0]);
+        let long: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let r = resample(&long, 40);
+        assert_eq!(r.len(), 40);
+        // Averaged buckets stay monotone for a monotone input.
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn render_covers_all_kinds() {
+        let mut snap = MetricsSnapshot::new().with_meta("model", "resnet50");
+        snap.insert(
+            Key::new("bytes_wire", LabelSet::default()),
+            MetricValue::Counter(2048),
+        );
+        snap.insert(
+            Key::new("wall_ns", LabelSet::default()),
+            MetricValue::Gauge(1_500_000.0),
+        );
+        snap.insert(
+            Key::new("encode_ns", LabelSet::new(&[("node", "0")])),
+            MetricValue::Histogram(HistSummary {
+                count: 3,
+                sum: 30,
+                min: 10,
+                max: 10,
+                buckets: vec![(4, 3)],
+            }),
+        );
+        snap.insert(
+            Key::new("iteration_ns", LabelSet::default()),
+            MetricValue::Series(vec![(0, 100.0), (1, 200.0), (2, 150.0)]),
+        );
+        let text = render(&snap);
+        assert!(text.contains("# model=resnet50"));
+        assert!(text.contains("2.00 KiB"));
+        assert!(text.contains("1.50ms"));
+        assert!(text.contains("n=3 p50=10ns"));
+        assert!(text.contains('█'));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the metrics crate: histogram quantile error
+//! bounds over seeded random distributions, and snapshot merge
+//! associativity across every metric kind.
+
+use hipress_metrics::{Key, LabelSet, MetricValue, MetricsDiff, MetricsSnapshot, Registry};
+use hipress_trace::hist::bucket_of;
+use hipress_util::{Rng64, SplitMix64};
+
+/// Exact `q`-quantile by sorting: linear interpolation between order
+/// statistics at fractional rank `q * (n - 1)`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    (sorted[lo] as f64 + frac * (sorted[hi] as f64 - sorted[lo] as f64)).round() as u64
+}
+
+fn assert_within_one_bucket(name: &str, q: f64, est: u64, exact: u64) {
+    let (be, bx) = (bucket_of(est) as i64, bucket_of(exact) as i64);
+    assert!(
+        (be - bx).abs() <= 1,
+        "{name} q={q}: estimate {est} (bucket {be}) vs exact {exact} (bucket {bx})"
+    );
+}
+
+/// p50/p90/p99 of the log-bucketed histogram land within one bucket of
+/// the exact quantile for uniform, heavy-tailed, and clustered seeded
+/// distributions.
+#[test]
+fn quantiles_within_one_log_bucket_of_exact() {
+    let distributions: Vec<(&str, Box<dyn Fn(&mut SplitMix64) -> u64>)> = vec![
+        (
+            "uniform",
+            Box::new(|r: &mut SplitMix64| r.next_below(1_000_000)),
+        ),
+        (
+            "exponential",
+            Box::new(|r: &mut SplitMix64| (-(1.0 - r.next_f64()).ln() * 50_000.0) as u64),
+        ),
+        (
+            "bimodal",
+            Box::new(|r: &mut SplitMix64| {
+                if r.next_f64() < 0.8 {
+                    100 + r.next_below(50)
+                } else {
+                    3_000_000 + r.next_below(1_000_000)
+                }
+            }),
+        ),
+        (
+            "log-spread",
+            Box::new(|r: &mut SplitMix64| 1u64 << r.next_below(40)),
+        ),
+    ];
+    for (name, sample) in distributions {
+        for seed in [1u64, 42, 2024] {
+            let mut rng = SplitMix64::new(seed);
+            let reg = Registry::new();
+            let h = reg.root().histogram("lat_ns", &[]);
+            let mut values: Vec<u64> = (0..5000).map(|_| sample(&mut rng)).collect();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            let s = h.summary();
+            for q in [0.5, 0.9, 0.99] {
+                let est = s.quantile(q).unwrap();
+                let exact = exact_quantile(&values, q);
+                assert_within_one_bucket(name, q, est, exact);
+            }
+            // The extremes are exact, not bucketed.
+            assert_eq!(s.quantile(0.0), Some(values[0]), "{name} min");
+            assert_eq!(s.quantile(1.0), Some(*values.last().unwrap()), "{name} max");
+        }
+    }
+}
+
+/// Builds a snapshot exercising all four metric kinds, parameterized
+/// so the three merge operands differ.
+fn build_snapshot(salt: u64) -> MetricsSnapshot {
+    let reg = Registry::new();
+    let root = reg.root();
+    let c = root.counter("messages", &[("node", "0")]);
+    c.add(10 + salt);
+    let g = root.gauge("throughput_bytes_per_sec", &[]);
+    g.set(100.0 + salt as f64);
+    let h = root.histogram("encode_ns", &[("node", "0")]);
+    let mut rng = SplitMix64::new(salt);
+    for _ in 0..200 {
+        h.record(rng.next_below(1 << 20));
+    }
+    let ts = root.timeseries("iteration_ns", &[]);
+    for i in 0..5 {
+        ts.push((salt * 100 + i) as f64);
+    }
+    reg.snapshot().with_meta("salt", &salt.to_string())
+}
+
+#[test]
+fn merge_is_associative_across_all_kinds() {
+    let (a, b, c) = (build_snapshot(1), build_snapshot(2), build_snapshot(3));
+
+    // (a + b) + c
+    let mut left = a.clone();
+    left.merge(&b).unwrap();
+    left.merge(&c).unwrap();
+
+    // a + (b + c)
+    let mut bc = b.clone();
+    bc.merge(&c).unwrap();
+    let mut right = a.clone();
+    right.merge(&bc).unwrap();
+
+    assert_eq!(left, right);
+
+    // And merging is observable: counters added across operands.
+    assert_eq!(
+        left.total_counter("messages"),
+        (10 + 1) + (10 + 2) + (10 + 3)
+    );
+    let (count, _) = left.hist_totals("encode_ns");
+    assert_eq!(count, 600);
+
+    // The merged snapshot still round-trips through JSON.
+    let back = MetricsSnapshot::from_json(&left.to_json()).unwrap();
+    assert_eq!(back, left);
+}
+
+#[test]
+fn merge_identity_is_the_empty_snapshot() {
+    let a = build_snapshot(7);
+    let mut left = MetricsSnapshot::new();
+    left.merge(&a).unwrap();
+    let mut right = a.clone();
+    right.merge(&MetricsSnapshot::new()).unwrap();
+    // meta from the empty side adds nothing; both equal `a`.
+    assert_eq!(left, a);
+    assert_eq!(right, a);
+}
+
+#[test]
+fn diff_of_merged_halves_matches_whole() {
+    // Two per-node snapshots merged equal one snapshot that recorded
+    // both nodes — the shape the engine relies on.
+    let reg_whole = Registry::new();
+    let reg_parts: Vec<Registry> = vec![Registry::new(), Registry::new()];
+    for node in 0..2usize {
+        let label = node.to_string();
+        for (reg, salt) in [(&reg_whole, 0u64), (&reg_parts[node], 0)] {
+            let scope = reg.scope(&[("node", &label)]);
+            let h = scope.histogram("decode_ns", &[]);
+            let mut rng = SplitMix64::new(salt + node as u64);
+            for _ in 0..100 {
+                h.record(rng.next_below(10_000));
+            }
+        }
+    }
+    let mut merged = reg_parts[0].snapshot();
+    merged.merge(&reg_parts[1].snapshot()).unwrap();
+    let whole = reg_whole.snapshot();
+    assert_eq!(merged, whole);
+    let d = MetricsDiff::between(&whole, &merged);
+    assert!(d.passes(0.0));
+    assert!(d.only_baseline.is_empty() && d.only_current.is_empty());
+}
+
+#[test]
+fn snapshot_insert_and_get_round_trip() {
+    let mut s = MetricsSnapshot::new();
+    let key = Key::new("wall_ns", LabelSet::new(&[("strategy", "casync-ring")]));
+    s.insert(key.clone(), MetricValue::Gauge(5.0));
+    assert_eq!(s.get(&key), Some(&MetricValue::Gauge(5.0)));
+    assert_eq!(s.len(), 1);
+    assert!(!s.is_empty());
+}

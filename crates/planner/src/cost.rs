@@ -20,6 +20,9 @@ pub struct PlanChoice {
     /// Predicted synchronization time with compression at the best
     /// compressed K, in ns.
     pub t_cpr_ns: f64,
+    /// Cost-model evaluations spent on this decision (both equations
+    /// across the whole K sweep).
+    pub evals: u64,
 }
 
 /// The profiled §3.3 cost model for one (cluster, strategy,
@@ -151,6 +154,7 @@ impl CostModel {
             },
             t_orig_ns: best_orig.0,
             t_cpr_ns: best_cpr.0,
+            evals: 2 * max_k as u64,
         }
     }
 }

@@ -42,6 +42,7 @@ use hipress_util::Result;
 pub struct Planner {
     model: CostModel,
     nodes: usize,
+    metrics: Option<hipress_metrics::Scope>,
 }
 
 impl Planner {
@@ -60,7 +61,18 @@ impl Planner {
         Ok(Planner {
             model,
             nodes: cluster.nodes,
+            metrics: None,
         })
+    }
+
+    /// Records planning activity into `scope`: every decision adds its
+    /// cost-model evaluation count to the `planner_cost_evals` counter
+    /// and the winning predicted synchronization time to the
+    /// `planner_predicted_sync_ns` histogram.
+    #[must_use]
+    pub fn with_metrics(mut self, scope: &hipress_metrics::Scope) -> Self {
+        self.metrics = Some(scope.clone());
+        self
     }
 
     /// The underlying cost model.
@@ -71,7 +83,20 @@ impl Planner {
     /// Plans one gradient of `bytes` bytes: whether to compress and
     /// into how many partitions to split.
     pub fn plan_gradient(&self, bytes: u64) -> GradPlan {
-        self.model.best_plan(bytes, self.nodes).plan
+        let choice = self.model.best_plan(bytes, self.nodes);
+        if let Some(scope) = &self.metrics {
+            use hipress_metrics::names;
+            scope.counter(names::PLANNER_EVALS, &[]).add(choice.evals);
+            let predicted = if choice.plan.compress {
+                choice.t_cpr_ns
+            } else {
+                choice.t_orig_ns
+            };
+            scope
+                .histogram(names::PLANNER_PREDICTED_SYNC_NS, &[])
+                .record(predicted.max(0.0) as u64);
+        }
+        choice.plan
     }
 
     /// Plans every gradient of a model (sizes in bytes).
@@ -161,6 +186,24 @@ mod tests {
         let plans = p.plan_model(&[4096, 1 << 20, 392 << 20]);
         assert_eq!(plans.len(), 3);
         assert!(plans.iter().all(|pl| pl.partitions >= 1));
+    }
+
+    #[test]
+    fn metrics_count_cost_evaluations() {
+        use hipress_metrics::{names, Registry};
+        let registry = Registry::new();
+        let p = planner(4, Strategy::CaSyncPs).with_metrics(&registry.root());
+        p.plan_model(&[4096, 1 << 20, 392 << 20]);
+        let snap = registry.snapshot();
+        // Each gradient sweeps K for both equations; every decision
+        // contributes at least one evaluation pair.
+        assert!(snap.total_counter(names::PLANNER_EVALS) >= 3 * 2);
+        let (count, _) = snap.hist_totals(names::PLANNER_PREDICTED_SYNC_NS);
+        assert_eq!(count, 3, "one predicted time per planned gradient");
+        // Without metrics installed nothing is recorded.
+        let silent = Registry::new();
+        planner(4, Strategy::CaSyncPs).plan_gradient(1 << 20);
+        assert!(silent.snapshot().is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::report::RuntimeReport;
 use hipress_compress::Compressor;
 use hipress_core::graph::{Primitive, SendSrc, TaskGraph, TaskId};
 use hipress_core::interp::FlowOutcome;
+use hipress_metrics::names;
 use hipress_tensor::Tensor;
 use hipress_trace::{Counter, Tracer, TrackId};
 use hipress_util::{Error, Result};
@@ -62,6 +63,67 @@ struct NodeTrace {
     track: TrackId,
     q_comp: Counter,
     q_commu: Counter,
+}
+
+/// Optional observers for one run. Both are borrowed: the engine
+/// records into them but owns neither, and a `None` field keeps the
+/// corresponding hot path free of any recording work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Instruments<'a> {
+    /// Structured timeline recording (`hipress-trace`).
+    pub tracer: Option<&'a Tracer>,
+    /// Live metric recording (`hipress-metrics`); run-level labels
+    /// such as `algorithm`/`strategy` come from the scope, the engine
+    /// adds `node`.
+    pub metrics: Option<&'a hipress_metrics::Scope>,
+}
+
+/// One node thread's metric handles, all pre-resolved on the main
+/// thread so the hot path is pure atomic recording. Every handle
+/// carries the `node` label; names come from the shared catalogue
+/// ([`hipress_metrics::names`]) so snapshots line up with
+/// trace-lowered and simulated runs.
+struct NodeMetrics {
+    /// Per-primitive latency histograms, indexed by [`prim_index`].
+    prims: [hipress_metrics::Histogram; 8],
+    local_agg: hipress_metrics::Histogram,
+    bytes_wire: hipress_metrics::Counter,
+    bytes_raw: hipress_metrics::Counter,
+    messages: hipress_metrics::Counter,
+    batch_launches: hipress_metrics::Counter,
+    q_comp_depth: hipress_metrics::Histogram,
+    q_commu_depth: hipress_metrics::Histogram,
+}
+
+impl NodeMetrics {
+    fn new(scope: &hipress_metrics::Scope, node: usize) -> Self {
+        let s = scope.with(&[("node", &node.to_string())]);
+        Self {
+            prims: std::array::from_fn(|i| s.histogram(names::PRIM_NS[i], &[])),
+            local_agg: s.histogram(names::LOCAL_AGG_NS, &[]),
+            bytes_wire: s.counter(names::BYTES_WIRE, &[]),
+            bytes_raw: s.counter(names::BYTES_RAW, &[]),
+            messages: s.counter(names::MESSAGES, &[]),
+            batch_launches: s.counter(names::COMP_BATCH_LAUNCHES, &[]),
+            q_comp_depth: s.histogram(names::Q_COMP_DEPTH, &[]),
+            q_commu_depth: s.histogram(names::Q_COMMU_DEPTH, &[]),
+        }
+    }
+}
+
+/// The index of a primitive's histogram in [`NodeMetrics::prims`]
+/// (same order as [`names::PRIM_NS`] and the report's buckets).
+fn prim_index(p: Primitive) -> usize {
+    match p {
+        Primitive::Source => 0,
+        Primitive::Encode => 1,
+        Primitive::Decode => 2,
+        Primitive::Merge => 3,
+        Primitive::Send => 4,
+        Primitive::Recv => 5,
+        Primitive::Update => 6,
+        Primitive::Barrier => 7,
+    }
 }
 
 /// The span category used for each primitive (also the span name).
@@ -202,6 +264,36 @@ pub fn run_traced(
     run_replicated_traced(graph, nodes, &replicated, compressor, seed, config, tracer)
 }
 
+/// As [`run`], recording into whatever observers `instruments`
+/// carries: a trace, a live metrics scope, either, or both.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_instrumented(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &Flows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    instruments: Instruments<'_>,
+) -> Result<RunOutcome> {
+    let replicated: ReplicaFlows = flows
+        .iter()
+        .map(|(&f, per_node)| (f, per_node.iter().map(|t| vec![t.clone()]).collect()))
+        .collect();
+    run_replicated_inner(
+        graph,
+        nodes,
+        &replicated,
+        compressor,
+        seed,
+        config,
+        instruments,
+    )
+}
+
 /// Executes `graph` on `nodes` OS threads, locally aggregating each
 /// node's replica gradients at `Source` time.
 ///
@@ -216,7 +308,15 @@ pub fn run_replicated(
     seed: u64,
     config: &RuntimeConfig,
 ) -> Result<RunOutcome> {
-    run_replicated_inner(graph, nodes, flows, compressor, seed, config, None)
+    run_replicated_inner(
+        graph,
+        nodes,
+        flows,
+        compressor,
+        seed,
+        config,
+        Instruments::default(),
+    )
 }
 
 /// As [`run_replicated`], recording into `tracer`: one `node{i}`
@@ -240,7 +340,36 @@ pub fn run_replicated_traced(
     config: &RuntimeConfig,
     tracer: &Tracer,
 ) -> Result<RunOutcome> {
-    run_replicated_inner(graph, nodes, flows, compressor, seed, config, Some(tracer))
+    run_replicated_inner(
+        graph,
+        nodes,
+        flows,
+        compressor,
+        seed,
+        config,
+        Instruments {
+            tracer: Some(tracer),
+            metrics: None,
+        },
+    )
+}
+
+/// As [`run_replicated`], recording into whatever observers
+/// `instruments` carries.
+///
+/// # Errors
+///
+/// As [`run_replicated`].
+pub fn run_replicated_instrumented(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &ReplicaFlows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    instruments: Instruments<'_>,
+) -> Result<RunOutcome> {
+    run_replicated_inner(graph, nodes, flows, compressor, seed, config, instruments)
 }
 
 fn run_replicated_inner(
@@ -250,8 +379,9 @@ fn run_replicated_inner(
     compressor: Option<&dyn Compressor>,
     seed: u64,
     config: &RuntimeConfig,
-    tracer: Option<&Tracer>,
+    instruments: Instruments<'_>,
 ) -> Result<RunOutcome> {
+    let tracer = instruments.tracer;
     // Debug builds statically verify the plan before spawning
     // threads: a racy or deadlocking graph aborts here with a
     // diagnostic instead of corrupting replicas or wedging.
@@ -289,6 +419,16 @@ fn run_replicated_inner(
     } else {
         node_traces.resize_with(nodes, || None);
     }
+    // Metric handles are resolved up front for the same reason: the
+    // worker hot path then touches only atomics.
+    let mut node_metrics: Vec<Option<NodeMetrics>> = Vec::with_capacity(nodes);
+    if let Some(scope) = instruments.metrics {
+        for node in 0..nodes {
+            node_metrics.push(Some(NodeMetrics::new(scope, node)));
+        }
+    } else {
+        node_metrics.resize_with(nodes, || None);
+    }
 
     let run_start_ns = tracer.map(Tracer::now_ns);
     let started = Instant::now();
@@ -298,7 +438,12 @@ fn run_replicated_inner(
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nodes);
-        for ((node, rx), trace) in rxs.into_iter().enumerate().zip(node_traces) {
+        for (((node, rx), trace), metrics) in rxs
+            .into_iter()
+            .enumerate()
+            .zip(node_traces)
+            .zip(node_metrics)
+        {
             let txs: Vec<Sender<Msg>> = txs.clone();
             let layout = &layout;
             let plan = &plan;
@@ -327,6 +472,7 @@ fn run_replicated_inner(
                     done: 0,
                     report: RuntimeReport::default(),
                     trace,
+                    metrics,
                 };
                 worker.run()
             }));
@@ -379,6 +525,26 @@ fn run_replicated_inner(
     }
     if let Some(e) = aborted {
         return Err(e);
+    }
+
+    if let Some(scope) = instruments.metrics {
+        // Run-level figures derived from the assembled report, at the
+        // scope's own labels (no `node`): wall time, throughput in raw
+        // gradient bytes synchronized per second, and the wire-volume
+        // reduction factor.
+        scope.gauge(names::WALL_NS, &[]).set(report.wall_ns as f64);
+        scope.gauge(names::NODES, &[]).set(nodes as f64);
+        if report.wall_ns > 0 {
+            scope
+                .gauge(names::THROUGHPUT, &[])
+                .set(report.bytes_raw as f64 / (report.wall_ns as f64 / 1e9));
+        }
+        scope
+            .gauge(names::COMPRESSION_SAVINGS, &[])
+            .set(report.compression_savings());
+        scope
+            .timeseries(names::ITERATION_NS, &[])
+            .push(report.wall_ns as f64);
     }
 
     let flows_out = layout.assemble(&cells_per_node)?;
@@ -567,6 +733,8 @@ struct NodeWorker<'a> {
     report: RuntimeReport,
     /// Tracing handles; `None` keeps the hot path allocation-free.
     trace: Option<NodeTrace>,
+    /// Live metric handles; `None` keeps the hot path recording-free.
+    metrics: Option<NodeMetrics>,
 }
 
 impl NodeWorker<'_> {
@@ -646,6 +814,9 @@ impl NodeWorker<'_> {
                     self.inbound.insert(task.0, p);
                 }
                 self.report.messages += 1;
+                if let Some(m) = &self.metrics {
+                    m.messages.inc();
+                }
                 if let Some(tr) = &self.trace {
                     let mut args = vec![("task", task.0 as u64)];
                     if let Some(b) = wire_bytes {
@@ -684,10 +855,16 @@ impl NodeWorker<'_> {
             if let Some(tr) = &self.trace {
                 tr.q_commu.add(1);
             }
+            if let Some(m) = &self.metrics {
+                m.q_commu_depth.record(self.q_commu.len() as u64);
+            }
         } else {
             self.q_comp.push_back(t);
             if let Some(tr) = &self.trace {
                 tr.q_comp.add(1);
+            }
+            if let Some(m) = &self.metrics {
+                m.q_comp_depth.record(self.q_comp.len() as u64);
             }
         }
     }
@@ -753,6 +930,9 @@ impl NodeWorker<'_> {
             }
             self.q_comp = rest;
             self.report.comp_batch_launches += 1;
+            if let Some(m) = &self.metrics {
+                m.batch_launches.inc();
+            }
             if let Some(tr) = &self.trace {
                 // The gathered encodes left Q_comp without individual
                 // pops; resync the gauge to the rebuilt queue.
@@ -798,6 +978,9 @@ impl NodeWorker<'_> {
                     }
                     let agg_ns = agg_started.elapsed().as_nanos() as u64;
                     self.report.local_agg_ns += agg_ns;
+                    if let Some(m) = &self.metrics {
+                        m.local_agg.record(agg_ns);
+                    }
                     if let Some(tr) = &self.trace {
                         // Nested inside the enclosing source span.
                         tr.tracer.record_span(
@@ -961,6 +1144,15 @@ impl NodeWorker<'_> {
         }
         let ns = started.elapsed().as_nanos() as u64;
         self.report.prim_mut(t.prim).record(ns);
+        if let Some(m) = &self.metrics {
+            // Same single measurement the report just recorded, so
+            // metrics-vs-report parity holds by construction.
+            m.prims[prim_index(t.prim)].record(ns);
+            if let Some((wire, raw)) = sent_bytes {
+                m.bytes_wire.add(wire);
+                m.bytes_raw.add(raw);
+            }
+        }
         if let Some(tr) = &self.trace {
             // The span duration is the very `ns` the report recorded
             // above — one measurement, two consumers — so a report

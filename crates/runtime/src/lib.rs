@@ -25,8 +25,8 @@ pub mod engine;
 pub mod report;
 
 pub use engine::{
-    run, run_replicated, run_replicated_traced, run_traced, sum_replicas, Flows, ReplicaFlows,
-    RunOutcome, RuntimeConfig,
+    run, run_instrumented, run_replicated, run_replicated_instrumented, run_replicated_traced,
+    run_traced, sum_replicas, Flows, Instruments, ReplicaFlows, RunOutcome, RuntimeConfig,
 };
 pub use report::{PrimStat, RuntimeReport};
 

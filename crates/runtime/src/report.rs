@@ -16,6 +16,7 @@
 
 use hipress_core::Primitive;
 use hipress_trace::Trace;
+use hipress_util::table::{Align, Table};
 use hipress_util::units::fmt_duration_ns;
 use std::fmt;
 
@@ -235,19 +236,22 @@ impl fmt::Display for RuntimeReport {
             self.nodes,
             fmt_duration_ns(self.wall_ns)
         )?;
-        writeln!(f, "  {:<10} {:>8} {:>12}", "primitive", "count", "busy")?;
+        let mut table = Table::new(&[
+            ("primitive", Align::Left),
+            ("count", Align::Right),
+            ("busy", Align::Right),
+        ]);
         for (p, name) in PRIMS {
             let s = self.prim(p);
             if s.count > 0 {
-                writeln!(
-                    f,
-                    "  {:<10} {:>8} {:>12}",
-                    name,
-                    s.count,
-                    fmt_duration_ns(s.busy_ns)
-                )?;
+                table.row(vec![
+                    name.to_string(),
+                    s.count.to_string(),
+                    fmt_duration_ns(s.busy_ns),
+                ]);
             }
         }
+        f.write_str(&table.render_indented("  "))?;
         if self.local_agg_ns > 0 {
             writeln!(
                 f,
@@ -346,6 +350,9 @@ mod tests {
         assert!(s.contains("wall 1.50ms"));
         assert!(s.contains("encode"));
         assert!(s.contains("barrier"));
+        for line in s.lines() {
+            assert_eq!(line, line.trim_end(), "trailing whitespace in {line:?}");
+        }
     }
 
     #[test]

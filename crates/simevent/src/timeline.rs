@@ -150,6 +150,25 @@ impl Timeline {
         trace
     }
 
+    /// Lowers the timeline into a metrics scope: every busy interval
+    /// on every track lands in a `busy_ns` histogram labelled
+    /// `track=<name>`, and each track's merged total goes to a
+    /// `busy_ns_total{track=...}` gauge. The names follow the shared
+    /// catalogue in `hipress-metrics::names`, so a simulated
+    /// utilization profile diffs directly against any other snapshot.
+    pub fn record_metrics(&self, scope: &hipress_metrics::Scope) {
+        for (id, name) in self.tracks() {
+            let labels = [("track", name)];
+            let hist = scope.histogram(hipress_metrics::names::BUSY_NS, &labels);
+            for iv in self.intervals(id) {
+                hist.record(iv.end.as_ns() - iv.start.as_ns());
+            }
+            scope
+                .gauge("busy_ns_total", &labels)
+                .set(self.busy_ns(id) as f64);
+        }
+    }
+
     /// Renders `track` as an ASCII strip (`#` busy, `.` idle), one
     /// character per bucket — a quick-look Figure 9.
     pub fn ascii_strip(&self, track: TrackId, horizon: SimTime, buckets: usize) -> String {
@@ -244,6 +263,30 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!((spans[0].ts_ns, spans[0].dur_ns), (10, 30));
         assert_eq!((spans[1].ts_ns, spans[1].dur_ns), (40, 50));
+    }
+
+    #[test]
+    fn record_metrics_matches_busy_totals() {
+        let mut t = Timeline::new();
+        let g = t.track("gpu0");
+        let u = t.track("uplink0");
+        t.record(g, SimTime::from_ns(0), SimTime::from_ns(100));
+        t.record(g, SimTime::from_ns(50), SimTime::from_ns(150));
+        t.record(u, SimTime::from_ns(200), SimTime::from_ns(260));
+        let registry = hipress_metrics::Registry::new();
+        t.record_metrics(&registry.root());
+        let snap = registry.snapshot();
+        // Histogram sums count raw interval durations; the gauge
+        // carries the overlap-merged busy total.
+        let (count, sum) = snap.hist_totals(hipress_metrics::names::BUSY_NS);
+        assert_eq!(count, 3);
+        assert_eq!(sum, 100 + 100 + 60);
+        let gauges: Vec<f64> = snap
+            .iter()
+            .filter(|(k, _)| k.name == "busy_ns_total")
+            .map(|(_, v)| v.scalar())
+            .collect();
+        assert_eq!(gauges, vec![150.0, 60.0]);
     }
 
     #[test]

@@ -13,7 +13,11 @@ use hipress_util::stats::OnlineStats;
 use std::fmt;
 
 /// Number of buckets: one zero bucket plus one per bit of `u64`.
-const BUCKETS: usize = 65;
+///
+/// Public because `hipress-metrics` builds its lock-free histogram on
+/// the same bucket geometry, keeping trace-derived and live-recorded
+/// distributions directly comparable.
+pub const BUCKETS: usize = 65;
 
 /// A mergeable latency distribution over `u64` nanoseconds.
 #[derive(Debug, Clone)]
@@ -28,13 +32,15 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// The bucket index holding `ns`.
-fn bucket_of(ns: u64) -> usize {
+/// The bucket index holding `ns`: 0 for `0 ns`, otherwise one plus
+/// the position of the highest set bit (shared with `hipress-metrics`).
+pub fn bucket_of(ns: u64) -> usize {
     (u64::BITS - ns.leading_zeros()) as usize
 }
 
-/// The half-open range `[lo, hi)` of bucket `b`.
-fn bucket_bounds(b: usize) -> (u64, u64) {
+/// The half-open range `[lo, hi)` of bucket `b` (shared with
+/// `hipress-metrics`).
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
     if b == 0 {
         (0, 1)
     } else {

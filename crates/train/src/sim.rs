@@ -142,6 +142,42 @@ pub struct SimResult {
     pub stats: ExecStats,
 }
 
+impl SimResult {
+    /// Lowers this result into a metrics scope under the shared name
+    /// catalogue (`hipress-metrics::names`), so a simulated run
+    /// snapshots, serializes, and diffs exactly like a measured one:
+    /// `iteration_ns` lands on the same series the thread engine
+    /// pushes, durations on `*_ns` gauges, rates on `throughput_*`/
+    /// `scaling_efficiency` gauges, and the executor's batching
+    /// counters on plain counters.
+    pub fn record_metrics(&self, scope: &hipress_metrics::Scope) {
+        use hipress_metrics::names;
+        scope
+            .timeseries(names::ITERATION_NS, &[])
+            .push(self.iteration_ns as f64);
+        scope
+            .gauge(names::COMPUTE_NS, &[])
+            .set(self.compute_ns as f64);
+        scope
+            .gauge(names::SYNC_FINISH_NS, &[])
+            .set(self.sync_finish_ns as f64);
+        scope
+            .gauge(names::SAMPLES_PER_SEC, &[])
+            .set(self.throughput);
+        scope
+            .gauge(names::SCALING_EFFICIENCY, &[])
+            .set(self.scaling_efficiency);
+        scope.gauge(names::COMM_RATIO, &[]).set(self.comm_ratio);
+        scope
+            .counter(names::LINK_FLUSHES, &[])
+            .add(self.stats.link_flushes);
+        scope
+            .counter(names::COMP_BATCH_LAUNCHES, &[])
+            .add(self.stats.comp_batch_launches);
+        scope.counter(names::SIM_EVENTS, &[]).add(self.stats.events);
+    }
+}
+
 /// Builds the iteration spec for a job (exposed for tests and the
 /// Figure 11 ablations).
 pub fn build_iteration(job: &TrainingJob) -> Result<IterationSpec> {
@@ -389,6 +425,47 @@ mod tests {
         // an effect and the result stays valid.
         let without = simulate(&job).unwrap();
         assert_ne!(with.iteration_ns, without.iteration_ns);
+    }
+
+    #[test]
+    fn record_metrics_mirrors_sim_result() {
+        use hipress_metrics::{names, MetricValue, Registry};
+        let r = simulate(&TrainingJob::hipress(
+            DnnModel::ResNet50,
+            ec2(4),
+            Strategy::CaSyncPs,
+        ))
+        .unwrap();
+        let registry = Registry::new();
+        r.record_metrics(&registry.scope(&[("model", "resnet50")]));
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|(k, _)| k.name == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(get(names::SAMPLES_PER_SEC).scalar(), r.throughput);
+        assert_eq!(
+            get(names::SCALING_EFFICIENCY).scalar(),
+            r.scaling_efficiency
+        );
+        assert_eq!(get(names::COMPUTE_NS).scalar(), r.compute_ns as f64);
+        assert_eq!(get(names::SYNC_FINISH_NS).scalar(), r.sync_finish_ns as f64);
+        match get(names::ITERATION_NS) {
+            MetricValue::Series(pts) => {
+                assert_eq!(pts.len(), 1);
+                assert_eq!(pts[0].1, r.iteration_ns as f64);
+            }
+            other => panic!("iteration_ns should be a series, got {other:?}"),
+        }
+        match get(names::SIM_EVENTS) {
+            MetricValue::Counter(n) => assert_eq!(n, r.stats.events),
+            other => panic!("sim_events should be a counter, got {other:?}"),
+        }
+        for key in snap.keys() {
+            assert_eq!(key.labels.get("model"), Some("resnet50"), "{key}");
+        }
     }
 
     #[test]

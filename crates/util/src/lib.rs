@@ -14,6 +14,8 @@
 //!   network and GPU cost models.
 //! * [`fit`] — least-squares affine curve fitting used by the selective
 //!   compression planner to model `T(m) = a + b*m` cost curves.
+//! * [`table`] — the aligned-column text table shared by every report
+//!   printer (runtime report, CLI summaries, bench tables).
 //! * [`error`] — the common error type.
 
 #![forbid(unsafe_code)]
@@ -23,6 +25,7 @@ pub mod error;
 pub mod fit;
 pub mod rng;
 pub mod stats;
+pub mod table;
 pub mod units;
 
 pub use error::{Error, Result};

@@ -1,0 +1,183 @@
+//! A minimal aligned-column text table.
+//!
+//! Several crates print tabular reports — the runtime report display,
+//! the CLI's run/sim summaries, the bench harness's figure tables —
+//! and each used to pad columns its own way. This renderer is the
+//! single shared implementation: fixed column definitions with
+//! per-column alignment, automatic width computation from the widest
+//! cell, and no trailing whitespace on any emitted line.
+
+use std::fmt;
+
+/// Horizontal alignment of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (text).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// An aligned-column table under construction.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers and alignments.
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        Table {
+            header: columns.iter().map(|(h, _)| h.to_string()).collect(),
+            aligns: columns.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Missing trailing cells render empty; extra
+    /// cells are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` has more entries than the table has columns.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows appended so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    fn render_line(line: &mut String, cells: &[String], aligns: &[Align], widths: &[usize]) {
+        for (i, width) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                line.push_str("  ");
+            }
+            match aligns[i] {
+                Align::Left => {
+                    line.push_str(cell);
+                    // Left-aligned padding is only needed before a
+                    // following column.
+                    if i + 1 < widths.len() {
+                        for _ in cell.chars().count()..*width {
+                            line.push(' ');
+                        }
+                    }
+                }
+                Align::Right => {
+                    for _ in cell.chars().count()..*width {
+                        line.push(' ');
+                    }
+                    line.push_str(cell);
+                }
+            }
+        }
+        while line.ends_with(' ') {
+            line.pop();
+        }
+    }
+
+    /// Renders header plus rows, one line each, `\n`-terminated, with
+    /// no trailing whitespace on any line. `indent` is prepended to
+    /// every line.
+    pub fn render_indented(&self, indent: &str) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let mut all = Vec::with_capacity(self.rows.len() + 1);
+        all.push(&self.header);
+        all.extend(self.rows.iter());
+        for cells in all {
+            let mut line = String::from(indent);
+            Self::render_line(&mut line, cells, &self.aligns, &widths);
+            while line.ends_with(' ') {
+                line.pop();
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders with no indent.
+    pub fn render(&self) -> String {
+        self.render_indented("")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_and_trims() {
+        let mut t = Table::new(&[("name", Align::Left), ("count", Align::Right)]);
+        t.row(vec!["encode", "12"]);
+        t.row(vec!["x", "3"]);
+        let out = t.render();
+        assert_eq!(out, "name    count\nencode     12\nx           3\n");
+        for line in out.lines() {
+            assert_eq!(line, line.trim_end(), "trailing whitespace in {line:?}");
+        }
+    }
+
+    #[test]
+    fn short_rows_render_empty_cells() {
+        let mut t = Table::new(&[("a", Align::Left), ("b", Align::Right)]);
+        t.row(vec!["only"]);
+        let out = t.render();
+        assert_eq!(out, "a     b\nonly\n");
+    }
+
+    #[test]
+    fn indent_applies_to_every_line() {
+        let mut t = Table::new(&[("k", Align::Left)]);
+        t.row(vec!["v"]);
+        assert_eq!(t.render_indented("  "), "  k\n  v\n");
+    }
+
+    #[test]
+    fn widths_follow_widest_cell() {
+        let mut t = Table::new(&[("h", Align::Right)]);
+        t.row(vec!["123456"]);
+        assert_eq!(t.render(), "     h\n123456\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn extra_cells_rejected() {
+        let mut t = Table::new(&[("a", Align::Left)]);
+        t.row(vec!["1", "2"]);
+    }
+}

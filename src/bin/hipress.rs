@@ -6,6 +6,8 @@
 //! hipress models
 //! hipress sim --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
 //! hipress run --nodes 4 --algorithm onebit --trace rt.json
+//! hipress bench --baseline BENCH_runtime.json --tolerance 25
+//! hipress report BENCH_runtime.json
 //! hipress compare --model Bert-large --nodes 16
 //! hipress plan --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
 //! hipress compile path/to/algorithm.dsl
@@ -13,9 +15,11 @@
 //! ```
 
 use hipress::compll::{param_values, CompiledAlgorithm};
+use hipress::metrics::{names, view as metrics_view, MetricValue, Polarity};
 use hipress::prelude::*;
 use hipress::trace::view;
 use hipress::trace::Trace;
+use hipress::util::table::{Align, Table};
 use hipress::util::units::{fmt_bytes, fmt_duration_ns};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -26,11 +30,18 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(&args[1..]);
+    let flags = parse_flags(cmd, &args[1..]);
     let result = match cmd.as_str() {
         "models" => cmd_models(),
         "sim" => cmd_sim(&flags),
         "run" => cmd_run(&flags),
+        "bench" => cmd_bench(&flags),
+        "report" => cmd_report(
+            &flags,
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+        ),
         "compare" => cmd_compare(&flags),
         "plan" => cmd_plan(&flags),
         "compile" => cmd_compile(args.get(1).map(String::as_str)),
@@ -72,9 +83,21 @@ USAGE:
       List the Table 6 model zoo.
   hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline] [--trace out.json]
       Simulate one training configuration.
-  hipress run [--nodes N] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--trace out.json]
+  hipress run [--nodes N] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--trace out.json] [--json]
       Synchronize synthetic gradients for real on CaSync-RT (one OS
       thread per node) and print the measured runtime report.
+  hipress bench [--nodes N] [--dir D] [--snapshot cur.json] [--baseline base.json] [--tolerance PCT]
+      Run the model x algorithm x strategy bench matrix on both the
+      thread engine and the simulator; write schema-versioned
+      BENCH_runtime.json and BENCH_sim.json snapshots to --dir
+      (default .). With --baseline, diff the matching current snapshot
+      (a kind=sim baseline gates the deterministic simulator numbers,
+      any other the measured wall clocks) and exit non-zero on any
+      metric regressed beyond --tolerance percent (default 25); with
+      --snapshot, gate that file instead of re-running the matrix.
+  hipress report <BENCH.json> [--json | --prom]
+      Render a metrics snapshot as a sparkline/table dashboard, or
+      re-emit it as canonical JSON / Prometheus text exposition.
   hipress compare --model <name> [--nodes N] [--local]
       Simulate HiPress against all baselines.
   hipress plan --model <name> [--nodes N] [--strategy S] [--algorithm A]
@@ -92,7 +115,13 @@ USAGE:
 
 FLAGS:
   --model      VGG19 | ResNet50 | UGATIT | UGATIT-light | Bert-base | Bert-large | LSTM | Transformer
-  --nodes      cluster size (default 16; `run` defaults to 4)
+  --nodes      cluster size (default 16; `run` defaults to 4, `bench` to 3)
+  --json       (`sim`/`run`) dump the report as a metrics snapshot JSON
+               instead of the human-readable summary
+  --dir        (`bench`) directory for BENCH_*.json snapshots (default .)
+  --snapshot   (`bench`) gate an existing snapshot file instead of re-running
+  --baseline   (`bench`) baseline BENCH_*.json for the perf-regression gate
+  --tolerance  (`bench`) regression tolerance in percent (default 25)
   --local      use the 1080Ti/56Gbps local-cluster preset (default: EC2 V100/100Gbps)
   --strategy   casync-ps | casync-ring | byteps | ring (default casync-ps)
   --algorithm  none | onebit | tbq | terngrad[:bits] | dgc[:rate] | graddrop[:rate] (default onebit)
@@ -105,13 +134,17 @@ FLAGS:
     );
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+fn parse_flags(cmd: &str, args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "local" | "baseline" | "no-selective");
+            // `--baseline` is a boolean runtime toggle for `sim` but
+            // takes a snapshot path for `bench`.
+            let boolean = matches!(name, "local" | "no-selective" | "json" | "prom")
+                || (name == "baseline" && cmd != "bench");
+            let takes_value = !boolean;
             if takes_value && i + 1 < args.len() {
                 flags.insert(name.to_string(), args[i + 1].clone());
                 i += 2;
@@ -197,21 +230,27 @@ fn parse_algorithm(flags: &HashMap<String, String>) -> Result<Algorithm, String>
 }
 
 fn cmd_models() -> Result<(), String> {
-    println!(
-        "{:<14} {:>12} {:>14} {:>11} {:>16}",
-        "model", "total", "max gradient", "#gradients", "V100 samples/s"
-    );
+    let mut table = Table::new(&[
+        ("model", Align::Left),
+        ("total", Align::Right),
+        ("max gradient", Align::Right),
+        ("#gradients", Align::Right),
+        ("V100 samples/s", Align::Right),
+    ]);
     for m in DnnModel::all() {
         let spec = m.spec();
-        println!(
-            "{:<14} {:>12} {:>14} {:>11} {:>16.1}",
-            m.name(),
+        table.row(vec![
+            m.name().to_string(),
             fmt_bytes(spec.total_bytes()),
             fmt_bytes(spec.max_gradient_bytes()),
-            spec.num_gradients(),
-            spec.compute(GpuClass::V100).single_gpu_throughput()
-        );
+            spec.num_gradients().to_string(),
+            format!(
+                "{:.1}",
+                spec.compute(GpuClass::V100).single_gpu_throughput()
+            ),
+        ]);
     }
+    print!("{table}");
     Ok(())
 }
 
@@ -245,6 +284,23 @@ fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
         None => simulate(&job),
     }
     .map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        let registry = Registry::new();
+        r.record_metrics(&registry.scope(&[
+            ("model", job.model.name()),
+            ("algorithm", &job.algorithm.label()),
+            ("strategy", job.strategy.label()),
+        ]));
+        let snap = registry
+            .snapshot()
+            .with_meta("kind", "sim")
+            .with_meta("nodes", &job.cluster.nodes.to_string());
+        println!("{}", snap.to_json());
+        if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
+            export_trace(&tr.finish(), path)?;
+        }
+        return Ok(());
+    }
     println!("model:              {}", job.model.name());
     println!(
         "cluster:            {} nodes x {} {} ({:.0} Gbps)",
@@ -322,6 +378,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         })
         .collect();
     let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
+    let registry = flags.contains_key("json").then(Registry::new);
     let mut builder = HiPress::new(strategy)
         .algorithm(algorithm)
         .partitions(partitions)
@@ -330,21 +387,33 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(tr) = &tracer {
         builder = builder.trace(tr);
     }
+    if let Some(reg) = &registry {
+        builder = builder.metrics(&reg.root());
+    }
     let out = builder.sync(&grads).map_err(|e| e.to_string())?;
-    println!(
-        "synchronized {} gradients x {nodes} nodes on CaSync-RT ({} / {})",
-        elems.len(),
-        strategy.label(),
-        algorithm.label()
-    );
-    println!("replicas consistent: {}", out.replicas_consistent());
-    let report = out.report.expect("thread backend always reports");
-    println!("{report}");
+    let report = out.report.as_ref().expect("thread backend always reports");
+    if let Some(reg) = &registry {
+        let snap = reg
+            .snapshot()
+            .with_meta("kind", "runtime")
+            .with_meta("nodes", &nodes.to_string())
+            .with_meta("seed", &seed.to_string());
+        println!("{}", snap.to_json());
+    } else {
+        println!(
+            "synchronized {} gradients x {nodes} nodes on CaSync-RT ({} / {})",
+            elems.len(),
+            strategy.label(),
+            algorithm.label()
+        );
+        println!("replicas consistent: {}", out.replicas_consistent());
+        println!("{report}");
+    }
     if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
         let trace = tr.finish();
         // The trace is a second bookkeeping of the same run; deriving
         // the report from it must reproduce the measured one exactly.
-        if RuntimeReport::from_trace(&trace) != report {
+        if &RuntimeReport::from_trace(&trace) != report {
             return Err("trace-derived report diverged from the measured one".into());
         }
         export_trace(&trace, path)?;
@@ -381,6 +450,258 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     hipress::trace::chrome::import(&json).map_err(|e| format!("{path}: {e}"))
 }
 
+fn load_snapshot(path: &str) -> Result<MetricsSnapshot, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    MetricsSnapshot::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The bench matrix: two models spanning compute-heavy (ResNet50) and
+/// communication-heavy (Bert-base) regimes, all five compression
+/// algorithms, both CaSync strategies.
+const BENCH_MODELS: [&str; 2] = ["ResNet50", "Bert-base"];
+
+fn bench_algorithms() -> [Algorithm; 5] {
+    [
+        Algorithm::OneBit,
+        Algorithm::Tbq { tau: 0.05 },
+        Algorithm::TernGrad { bitwidth: 2 },
+        Algorithm::Dgc { rate: 0.05 },
+        Algorithm::GradDrop { rate: 0.05 },
+    ]
+}
+
+/// Scaled-down per-model gradient sizes for the thread-engine side of
+/// the matrix: the model's largest gradient shrunk to a tractable
+/// element count (so the bench finishes in seconds) plus a small
+/// companion, keeping per-model differences visible.
+fn bench_elems(model: DnnModel) -> Vec<usize> {
+    let spec = model.spec();
+    let max_elems = (spec.max_gradient_bytes() / 4) as usize;
+    vec![(max_elems / 1024).clamp(1024, 16384), 768]
+}
+
+/// Runs the full matrix on both engines and returns the two
+/// registries' snapshots `(runtime, sim)`.
+fn run_bench_matrix(nodes: usize, seed: u64) -> Result<(MetricsSnapshot, MetricsSnapshot), String> {
+    use hipress::tensor::synth::{generate, GradientShape};
+    use hipress::tensor::Tensor;
+    let runtime = Registry::new();
+    let sim = Registry::new();
+    for name in BENCH_MODELS {
+        let model = DnnModel::by_name(name).expect("bench model exists");
+        let elems = bench_elems(model);
+        let grads: Vec<Vec<Tensor>> = (0..nodes)
+            .map(|w| {
+                elems
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &n)| {
+                        generate(
+                            n,
+                            GradientShape::Gaussian { std_dev: 1.0 },
+                            (w * 1000 + g) as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            for alg in bench_algorithms() {
+                HiPress::new(strat)
+                    .algorithm(alg)
+                    .partitions(2)
+                    .seed(seed)
+                    .backend(Backend::Threads(nodes))
+                    .metrics(&runtime.scope(&[("model", model.name())]))
+                    .sync(&grads)
+                    .map_err(|e| format!("{} x {} x {name}: {e}", strat.label(), alg.label()))?;
+                let job = TrainingJob::hipress(model, ClusterConfig::ec2(nodes.max(2)), strat)
+                    .with_algorithm(alg);
+                let r = simulate(&job).map_err(|e| {
+                    format!("sim {} x {} x {name}: {e}", strat.label(), alg.label())
+                })?;
+                r.record_metrics(&sim.scope(&[
+                    ("model", model.name()),
+                    ("algorithm", &alg.label()),
+                    ("strategy", strat.label()),
+                ]));
+            }
+        }
+    }
+    let rev = git_rev();
+    let stamp = |snap: MetricsSnapshot, kind: &str| {
+        snap.with_meta("kind", kind)
+            .with_meta("nodes", &nodes.to_string())
+            .with_meta("seed", &seed.to_string())
+            .with_meta("git_rev", &rev)
+            .with_meta("created_by", "hipress bench")
+    };
+    Ok((
+        stamp(runtime.snapshot(), "runtime"),
+        stamp(sim.snapshot(), "sim"),
+    ))
+}
+
+/// Test knob for the regression gate: `HIPRESS_BENCH_SLOWDOWN_PCT=p`
+/// inflates every lower-is-better metric of the *current* snapshot by
+/// `p` percent before the baseline comparison, so CI can prove the
+/// gate trips without an actual slowdown.
+fn apply_slowdown_knob(mut snap: MetricsSnapshot) -> Result<MetricsSnapshot, String> {
+    let Ok(spec) = std::env::var("HIPRESS_BENCH_SLOWDOWN_PCT") else {
+        return Ok(snap);
+    };
+    let pct: f64 = spec
+        .parse()
+        .map_err(|_| format!("bad HIPRESS_BENCH_SLOWDOWN_PCT '{spec}'"))?;
+    let factor = 1.0 + pct / 100.0;
+    let keys: Vec<_> = snap.keys().cloned().collect();
+    for key in keys {
+        if Polarity::of_name(&key.name) != Polarity::LowerIsBetter {
+            continue;
+        }
+        let scaled = match snap.get(&key).cloned().expect("key just listed") {
+            MetricValue::Counter(c) => MetricValue::Counter((c as f64 * factor) as u64),
+            MetricValue::Gauge(g) => MetricValue::Gauge(g * factor),
+            MetricValue::Histogram(mut h) => {
+                h.sum = (h.sum as f64 * factor) as u64;
+                MetricValue::Histogram(h)
+            }
+            MetricValue::Series(pts) => {
+                MetricValue::Series(pts.into_iter().map(|(i, v)| (i, v * factor)).collect())
+            }
+        };
+        snap.insert(key, scaled);
+    }
+    Ok(snap)
+}
+
+/// One summary row per (model, strategy, algorithm) in the snapshot.
+fn bench_summary(snap: &MetricsSnapshot) -> Table {
+    let mut table = Table::new(&[
+        ("model", Align::Left),
+        ("strategy", Align::Left),
+        ("algorithm", Align::Left),
+        ("wall", Align::Right),
+        ("savings", Align::Right),
+    ]);
+    for (key, value) in snap.iter().filter(|(k, _)| k.name == names::WALL_NS) {
+        let label = |name: &str| key.labels.get(name).unwrap_or("?").to_string();
+        let savings = snap
+            .get(&hipress::metrics::Key::new(
+                names::COMPRESSION_SAVINGS,
+                key.labels.clone(),
+            ))
+            .map(|v| format!("{:.1}x", v.scalar()))
+            .unwrap_or_else(|| "-".into());
+        table.row(vec![
+            label("model"),
+            label("strategy"),
+            label("algorithm"),
+            fmt_duration_ns(value.scalar() as u64),
+            savings,
+        ]);
+    }
+    table
+}
+
+/// Runs the bench matrix, writes `BENCH_runtime.json`/`BENCH_sim.json`
+/// (verified through the crate's own parser), and optionally gates
+/// against a baseline. The baseline's `kind` meta picks which side is
+/// compared: a `kind=sim` baseline gates the deterministic simulator
+/// snapshot (reproducible on any host), anything else gates the
+/// measured runtime snapshot (wall clock — compare on the same host).
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|n| n.parse().map_err(|_| format!("bad --nodes '{n}'")))
+        .transpose()?
+        .unwrap_or(3);
+    let tolerance: f64 = flags
+        .get("tolerance")
+        .map(|t| t.parse().map_err(|_| format!("bad --tolerance '{t}'")))
+        .transpose()?
+        .unwrap_or(25.0);
+    let dir = flags.get("dir").map(String::as_str).unwrap_or(".");
+    let baseline = flags
+        .get("baseline")
+        .map(|p| load_snapshot(p).map(|s| (p, s)))
+        .transpose()?;
+    let want_sim = baseline
+        .as_ref()
+        .is_some_and(|(_, b)| b.meta.get("kind").map(String::as_str) == Some("sim"));
+    let current = match flags.get("snapshot") {
+        // Gate a previously written snapshot without re-running.
+        Some(path) => load_snapshot(path)?,
+        None => {
+            let (rt_snap, sim_snap) = run_bench_matrix(nodes, 7)?;
+            let rt_path = format!("{dir}/BENCH_runtime.json");
+            let sim_path = format!("{dir}/BENCH_sim.json");
+            for (path, snap) in [(&rt_path, &rt_snap), (&sim_path, &sim_snap)] {
+                std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                // Read back through the crate's own parser: what was
+                // written is exactly what the gate will load.
+                if &load_snapshot(path)? != snap {
+                    return Err(format!("{path}: write/read round trip lost data"));
+                }
+                println!("wrote {path} ({} metrics)", snap.len());
+            }
+            print!("{}", bench_summary(&rt_snap).render_indented("  "));
+            if want_sim {
+                sim_snap
+            } else {
+                rt_snap
+            }
+        }
+    };
+    let Some((baseline_path, baseline)) = baseline else {
+        return Ok(());
+    };
+    let current = apply_slowdown_knob(current)?;
+    let diff = MetricsDiff::between(&baseline, &current);
+    let regressions = diff.regressions(tolerance);
+    if regressions.is_empty() {
+        println!(
+            "perf gate: {} shared metric(s) within {tolerance}% of {baseline_path}",
+            diff.rows.len()
+        );
+        Ok(())
+    } else {
+        for row in &regressions {
+            println!("REGRESSED {row}");
+        }
+        Err(format!(
+            "{} metric(s) regressed beyond {tolerance}% vs {baseline_path}",
+            regressions.len()
+        ))
+    }
+}
+
+/// Renders a snapshot file as a dashboard, canonical JSON, or
+/// Prometheus text.
+fn cmd_report(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), String> {
+    let path = file.ok_or("usage: hipress report <BENCH.json> [--json | --prom]")?;
+    let snap = load_snapshot(path)?;
+    if flags.contains_key("json") {
+        println!("{}", snap.to_json());
+    } else if flags.contains_key("prom") {
+        print!("{}", hipress::metrics::prom::render(&snap));
+    } else {
+        print!("{}", metrics_view::render(&snap));
+    }
+    Ok(())
+}
+
 /// Compares two exported traces: per-category latency diff plus
 /// side-by-side utilization bars on a common time scale.
 fn cmd_trace_diff(a: Option<&str>, b: Option<&str>) -> Result<(), String> {
@@ -396,7 +717,6 @@ fn cmd_trace_diff(a: Option<&str>, b: Option<&str>) -> Result<(), String> {
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
-    println!("{:<36} {:>13} {:>9}", "system", "samples/s", "scaling");
     let alg = parse_algorithm(flags)?;
     let alg = if alg == Algorithm::None {
         Algorithm::OneBit
@@ -430,13 +750,20 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
             TrainingJob::hipress(model, cluster, Strategy::CaSyncRing).with_algorithm(alg),
         ),
     ];
+    let mut table = Table::new(&[
+        ("system", Align::Left),
+        ("samples/s", Align::Right),
+        ("scaling", Align::Right),
+    ]);
     for (label, job) in jobs {
         let r = simulate(&job).map_err(|e| e.to_string())?;
-        println!(
-            "{label:<36} {:>13.0} {:>9.2}",
-            r.throughput, r.scaling_efficiency
-        );
+        table.row(vec![
+            label,
+            format!("{:.0}", r.throughput),
+            format!("{:.2}", r.scaling_efficiency),
+        ]);
     }
+    print!("{table}");
     Ok(())
 }
 
@@ -448,26 +775,35 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     if algorithm == Algorithm::None {
         return Err("planning needs a compression algorithm".into());
     }
-    let planner = Planner::profile(&cluster, strategy, algorithm).map_err(|e| e.to_string())?;
+    let registry = Registry::new();
+    let planner = Planner::profile(&cluster, strategy, algorithm)
+        .map_err(|e| e.to_string())?
+        .with_metrics(&registry.scope(&[("model", model.name())]));
     println!(
         "selective compression threshold: {}",
         fmt_bytes(planner.compression_threshold())
     );
-    println!(
-        "{:<28} {:>12} {:>10} {:>6}",
-        "gradient", "size", "compress", "K"
-    );
+    let mut table = Table::new(&[
+        ("gradient", Align::Left),
+        ("size", Align::Right),
+        ("compress", Align::Right),
+        ("K", Align::Right),
+    ]);
     let spec = model.spec();
     for layer in &spec.layers {
         let plan = planner.plan_gradient(layer.bytes);
-        println!(
-            "{:<28} {:>12} {:>10} {:>6}",
-            layer.name,
+        table.row(vec![
+            layer.name.clone(),
             fmt_bytes(layer.bytes),
-            if plan.compress { "yes" } else { "no" },
-            plan.partitions
-        );
+            (if plan.compress { "yes" } else { "no" }).to_string(),
+            plan.partitions.to_string(),
+        ]);
     }
+    print!("{table}");
+    println!(
+        "cost-model evaluations: {}",
+        registry.snapshot().total_counter(names::PLANNER_EVALS)
+    );
     Ok(())
 }
 

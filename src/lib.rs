@@ -16,6 +16,7 @@
 //! | [`planner`] | `hipress-planner` | selective compression & partitioning (§3.3 cost model, Table 7) |
 //! | [`runtime`] | `hipress-runtime` | CaSync-RT: the protocol on real OS threads, cross-validated against the interpreter |
 //! | [`lint`] | `hipress-lint` | static plan verification for CaSync task graphs + dataflow analysis for CompLL programs |
+//! | [`metrics`] | `hipress-metrics` | live metric registry, machine-readable snapshots, regression diffs |
 //! | [`train`] | `hipress-train` | cluster throughput simulation + real MLP/LSTM data-parallel training |
 //! | [`models`] | `hipress-models` | the Table 6 model zoo |
 //! | [`sim`](mod@simevent) / [`simnet`] / [`simgpu`] | substrates | discrete-event engine, network fabric, GPU cost models |
@@ -52,6 +53,7 @@ pub use hipress_compll as compll;
 pub use hipress_compress as compress;
 pub use hipress_core as casync;
 pub use hipress_lint as lint;
+pub use hipress_metrics as metrics;
 pub use hipress_models as models;
 pub use hipress_planner as planner;
 pub use hipress_runtime as runtime;
@@ -67,6 +69,7 @@ pub use hipress_util as util;
 pub mod prelude {
     pub use hipress_compress::{Algorithm, Compressor, ErrorFeedback};
     pub use hipress_core::{ClusterConfig, ExecConfig, Executor, GradPlan, Strategy};
+    pub use hipress_metrics::{MetricsDiff, MetricsSnapshot, Registry, Scope};
     pub use hipress_models::{DnnModel, GpuClass};
     pub use hipress_planner::Planner;
     pub use hipress_runtime::{RuntimeConfig, RuntimeReport};

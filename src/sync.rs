@@ -13,7 +13,8 @@ use hipress_core::interp::{gradient_flows, interpret, FlowOutcome};
 use hipress_core::{
     ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
 };
-use hipress_runtime::{RunOutcome, RuntimeConfig, RuntimeReport};
+use hipress_metrics::Scope;
+use hipress_runtime::{Instruments, RunOutcome, RuntimeConfig, RuntimeReport};
 use hipress_tensor::Tensor;
 use hipress_trace::Tracer;
 use hipress_util::{Error, Result};
@@ -64,6 +65,7 @@ pub struct HiPress {
     backend: Backend,
     batch_compression: bool,
     tracer: Option<Tracer>,
+    metrics: Option<Scope>,
 }
 
 impl HiPress {
@@ -77,6 +79,7 @@ impl HiPress {
             backend: Backend::Simulator,
             batch_compression: true,
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -130,6 +133,22 @@ impl HiPress {
     #[must_use]
     pub fn trace(mut self, tracer: &Tracer) -> Self {
         self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Records live metrics into `scope` (a cheap clone of the handle
+    /// is stored; recording stays opt-in and the uninstrumented hot
+    /// path untouched). Like tracing, only [`Backend::Threads`] has a
+    /// clock worth measuring. Every metric the run records carries
+    /// `algorithm` and `strategy` labels derived from this builder on
+    /// top of the scope's own labels, so one registry can absorb a
+    /// whole experiment matrix (e.g. scopes labelled per model) and
+    /// still keep the runs apart. Snapshot the scope's registry
+    /// afterwards with
+    /// [`Registry::snapshot`][hipress_metrics::Registry::snapshot].
+    #[must_use]
+    pub fn metrics(mut self, scope: &Scope) -> Self {
+        self.metrics = Some(scope.clone());
         self
     }
 
@@ -198,25 +217,25 @@ impl HiPress {
                     batch_compression: self.batch_compression,
                     ..RuntimeConfig::default()
                 };
-                let RunOutcome { flows, report } = match &self.tracer {
-                    Some(tr) => hipress_runtime::run_traced(
-                        &graph,
-                        nodes,
-                        &flows,
-                        compressor.as_deref(),
-                        self.seed,
-                        &config,
-                        tr,
-                    )?,
-                    None => hipress_runtime::run(
-                        &graph,
-                        nodes,
-                        &flows,
-                        compressor.as_deref(),
-                        self.seed,
-                        &config,
-                    )?,
+                let scope = self.metrics.as_ref().map(|s| {
+                    s.with(&[
+                        ("algorithm", &self.algorithm.label()),
+                        ("strategy", self.strategy.label()),
+                    ])
+                });
+                let instruments = Instruments {
+                    tracer: self.tracer.as_ref(),
+                    metrics: scope.as_ref(),
                 };
+                let RunOutcome { flows, report } = hipress_runtime::run_instrumented(
+                    &graph,
+                    nodes,
+                    &flows,
+                    compressor.as_deref(),
+                    self.seed,
+                    &config,
+                    instruments,
+                )?;
                 Ok(SyncOutcome {
                     flows,
                     report: Some(report),

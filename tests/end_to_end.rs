@@ -242,6 +242,53 @@ fn full_compatibility_matrix() {
     }
 }
 
+/// Metrics through the facade: a `.metrics()`-instrumented sync on the
+/// thread backend fills the registry with totals that agree with the
+/// returned report, and every key carries the builder's `algorithm`
+/// and `strategy` labels — so one registry can hold a whole matrix.
+#[test]
+fn facade_metrics_match_report() {
+    use hipress::metrics::names;
+
+    let nodes = 3;
+    let workers: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            vec![generate(
+                1024,
+                GradientShape::Gaussian { std_dev: 1.0 },
+                w as u64,
+            )]
+        })
+        .collect();
+    let registry = Registry::new();
+    let out = HiPress::new(Strategy::CaSyncPs)
+        .algorithm(Algorithm::OneBit)
+        .partitions(2)
+        .seed(11)
+        .backend(Backend::Threads(nodes))
+        .metrics(&registry.root())
+        .sync(&workers)
+        .unwrap();
+    let report = out.report.expect("thread backend measures");
+    let snap = registry.snapshot();
+    assert!(!snap.is_empty());
+    assert_eq!(snap.total_counter(names::BYTES_WIRE), report.bytes_wire);
+    assert_eq!(snap.total_counter(names::BYTES_RAW), report.bytes_raw);
+    assert_eq!(snap.total_counter(names::MESSAGES), report.messages);
+    for key in snap.keys() {
+        assert_eq!(key.labels.get("algorithm"), Some("onebit"), "{key}");
+        assert_eq!(key.labels.get("strategy"), Some("CaSync-PS"), "{key}");
+    }
+    // The simulator backend leaves the registry untouched.
+    let untouched = Registry::new();
+    HiPress::new(Strategy::CaSyncPs)
+        .algorithm(Algorithm::OneBit)
+        .metrics(&untouched.root())
+        .sync(&workers)
+        .unwrap();
+    assert!(untouched.snapshot().is_empty());
+}
+
 /// Tracing through the facade: a traced `HiPress::sync` on the thread
 /// backend yields a trace whose derived report matches the returned
 /// one exactly, and a traced simulator run of the same plan exports a
