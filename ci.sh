@@ -36,6 +36,28 @@ cargo run --release -q --bin hipress -- trace-diff \
   /tmp/hipress-ci-sim.json /tmp/hipress-ci-rt.json >/dev/null
 rm -f /tmp/hipress-ci-sim.json /tmp/hipress-ci-rt.json
 
+echo "== chaos smoke (recoverable plan reproduces, crash plan fails structurally) =="
+# A fixed-seed recoverable fault plan must complete bit-identical to
+# the fault-free run (the CLI itself enforces the bitstream match and
+# exits non-zero otherwise). A fixed-seed unrecoverable plan (victim
+# crash) must exit non-zero with a structured error naming a node.
+cargo run --release -q --bin hipress -- chaos --single --plan recoverable \
+  --seed 7 >/dev/null
+CHAOS_ERR=$(mktemp)
+if cargo run --release -q --bin hipress -- chaos --single --plan crash \
+    --victim 1 --deadline-ms 1500 >/dev/null 2>"$CHAOS_ERR"; then
+  echo "chaos crash plan unexpectedly succeeded" >&2
+  rm -f "$CHAOS_ERR"
+  exit 1
+fi
+if ! grep -q "node" "$CHAOS_ERR"; then
+  echo "chaos crash error did not name a node:" >&2
+  cat "$CHAOS_ERR" >&2
+  rm -f "$CHAOS_ERR"
+  exit 1
+fi
+rm -f "$CHAOS_ERR"
+
 echo "== bench snapshot + perf gate =="
 # Emit a machine-readable benchmark snapshot, re-read it with the
 # crate's own parser (report --json), and run the --baseline gate as a

@@ -6,6 +6,7 @@
 //! mutated graph (100% defect detection) and pass every unmutated
 //! graph with zero diagnostics (zero false positives).
 
+use hipress_chaos::Wire;
 use hipress_compress::Algorithm;
 use hipress_core::graph::{Primitive, SendSrc};
 use hipress_core::{
@@ -13,7 +14,11 @@ use hipress_core::{
     TaskId,
 };
 use hipress_lint::verify_graph;
+use hipress_runtime::protocol::{Envelope, LinkRx, LinkTx, RxVerdict};
+use hipress_runtime::Payload;
 use hipress_util::rng::{Rng64, Xoshiro256};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const ALGORITHMS: [Option<Algorithm>; 6] = [
     None,
@@ -183,4 +188,154 @@ fn every_seeded_defect_is_detected() {
         2 * 6 * 3 * 2 * 4 * 3,
         "matrix not fully covered"
     );
+}
+
+// -------------------------------------------------------------------
+// Fault-envelope mutations: the wire-integrity analogue of the plan
+// mutations above. Instead of seeding defects into task graphs and
+// asking the verifier to flag them, these seed defects into the
+// runtime's fault-tolerant envelopes and ask the protocol layer
+// (checksum verify, sequence dedup, retry budget) to catch them.
+// -------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum EnvMutation {
+    /// Flip one bit of the carried checksum; the envelope must fail
+    /// verification and be nacked, never delivered.
+    CorruptChecksum,
+    /// Flip one bit of the payload (raw f32 words or compressed
+    /// bytes); the digest must no longer match.
+    CorruptPayloadBit,
+    /// Deliver the same sequence number twice (a late
+    /// retransmission); the second arrival must be classified as a
+    /// duplicate, not re-delivered.
+    ReplaySeq,
+    /// Suppress every acknowledgement; the sender must retransmit
+    /// with backoff and then declare the link dead, naming the task.
+    DropAck,
+}
+
+const ENV_MUTATIONS: [EnvMutation; 4] = [
+    EnvMutation::CorruptChecksum,
+    EnvMutation::CorruptPayloadBit,
+    EnvMutation::ReplaySeq,
+    EnvMutation::DropAck,
+];
+
+/// The payload shapes an envelope can carry: plain completions, raw
+/// gradients (odd element count), compressed bitstreams (length not a
+/// multiple of the 8-byte digest word), and degradation holes.
+fn payload_variants(rng: &mut Xoshiro256) -> [Option<Arc<Payload>>; 4] {
+    let raw: Vec<f32> = (0..97).map(|_| rng.next_f32() * 8.0 - 4.0).collect();
+    let compressed: Vec<u8> = (0..61).map(|_| rng.next_u32() as u8).collect();
+    [
+        None,
+        Some(Arc::new(Payload::Raw(raw))),
+        Some(Arc::new(Payload::Compressed(compressed))),
+        Some(Arc::new(Payload::Skipped)),
+    ]
+}
+
+/// Unmutated envelopes are clean across every payload shape: they
+/// verify, deliver exactly once, and an acknowledged link goes idle
+/// with nothing left to retransmit — zero false positives.
+#[test]
+fn unmutated_envelopes_are_clean() {
+    let mut rng = Xoshiro256::new(0xC1EA);
+    for (seq, payload) in payload_variants(&mut rng).into_iter().enumerate() {
+        let now = Instant::now();
+        let mut tx = LinkTx::new(3, Duration::from_millis(1), Duration::from_millis(8));
+        let mut rx = LinkRx::new();
+        let env = tx.prepare(1, TaskId(40 + seq as u32), payload, now);
+        assert!(env.verify(), "sealed envelope must verify");
+        assert_eq!(rx.accept(&env), RxVerdict::Deliver);
+        assert!(tx.on_ack(env.seq), "ack must retire the envelope");
+        assert!(tx.idle(), "acked link must hold no in-flight state");
+        assert!(
+            tx.due(now + Duration::from_secs(60)).unwrap().is_empty(),
+            "nothing to retransmit after the ack"
+        );
+    }
+}
+
+/// Every seeded envelope defect across payload shapes and seeds is
+/// caught by the integrity layer: corruption is detected (and the
+/// clean retransmission still delivers), replays dedup, and dropped
+/// acks end in a dead link naming the task.
+#[test]
+fn every_seeded_envelope_mutation_is_caught() {
+    let mut rng = Xoshiro256::new(0xE77E10);
+    let mut injections = 0usize;
+    for round in 0..4u64 {
+        for (pi, payload) in payload_variants(&mut rng).into_iter().enumerate() {
+            for mutation in ENV_MUTATIONS {
+                let task = TaskId((round * 10 + pi as u64) as u32);
+                let env = Envelope::data(pi, round, task, payload.clone());
+                let mut rx = LinkRx::new();
+                match mutation {
+                    EnvMutation::CorruptChecksum => {
+                        let mut bad = env.clone();
+                        bad.checksum ^= 1u64 << rng.index(64);
+                        assert!(!bad.verify(), "corrupt checksum went undetected");
+                        assert_eq!(rx.accept(&bad), RxVerdict::Corrupt);
+                        // The clean retransmission must still deliver:
+                        // corrupt arrivals are not marked seen.
+                        assert_eq!(rx.accept(&env), RxVerdict::Deliver);
+                    }
+                    EnvMutation::CorruptPayloadBit => {
+                        let bits = env.payload_bits();
+                        if bits == 0 {
+                            // No corruptible bits (no payload, or a
+                            // degradation hole): not eligible.
+                            continue;
+                        }
+                        let mut bad = env.clone();
+                        bad.flip_bit(rng.next_below(bits));
+                        assert!(!bad.verify(), "payload bitflip went undetected");
+                        assert_eq!(rx.accept(&bad), RxVerdict::Corrupt);
+                        assert_eq!(rx.accept(&env), RxVerdict::Deliver);
+                    }
+                    EnvMutation::ReplaySeq => {
+                        assert_eq!(rx.accept(&env), RxVerdict::Deliver);
+                        // A late retransmission carries a bumped
+                        // attempt but the original digest.
+                        let mut replay = env.clone();
+                        replay.attempt += 1;
+                        assert!(replay.verify(), "retransmission digest must hold");
+                        assert_eq!(
+                            rx.accept(&replay),
+                            RxVerdict::Duplicate,
+                            "replayed seq was delivered twice"
+                        );
+                    }
+                    EnvMutation::DropAck => {
+                        let base = Duration::from_millis(1);
+                        let budget = 3u32;
+                        let mut tx = LinkTx::new(budget, base, Duration::from_millis(8));
+                        let now = Instant::now();
+                        let sent = tx.prepare(pi, task, payload.clone(), now);
+                        // With every ack dropped, each expiry bumps
+                        // the attempt until the budget is exhausted.
+                        let mut clock = now;
+                        for expected in 1..=budget {
+                            clock += Duration::from_millis(20);
+                            let resent = tx.due(clock).expect("within the retry budget");
+                            assert_eq!(resent.len(), 1);
+                            assert_eq!(resent[0].attempt, expected);
+                            assert!(resent[0].verify());
+                        }
+                        clock += Duration::from_millis(20);
+                        let dead = tx.due(clock).expect_err("budget exhausted");
+                        assert_eq!(dead.seq, sent.seq);
+                        assert_eq!(dead.task, Some(task), "dead link must name the task");
+                        assert_eq!(dead.attempts, budget + 1);
+                    }
+                }
+                injections += 1;
+            }
+        }
+    }
+    // 4 rounds x 4 payload shapes x 4 mutations, minus the
+    // payload-bitflip cells with nothing to flip (None and Skipped).
+    assert_eq!(injections, 4 * 4 * 4 - 4 * 2, "matrix not fully covered");
 }

@@ -100,3 +100,29 @@ pub const LINK_FLUSHES: &str = "link_flushes";
 
 /// Counter: discrete events processed by the simulator.
 pub const SIM_EVENTS: &str = "sim_events";
+
+/// Counter: faults injected by a chaos plan, labelled `kind`
+/// (`drop`, `dup`, `reorder`, `delay`, `corrupt`, `stall`).
+/// Informational — a chaos run injecting more faults is not a
+/// regression, it is the plan doing its job.
+pub const CHAOS_INJECTED: &str = "chaos_injected";
+
+/// Counter: timer-driven retransmissions by the fault-tolerant
+/// protocol.
+pub const FT_RETRIES: &str = "ft_retries";
+
+/// Counter: nacks sent for corrupt arrivals.
+pub const FT_NACKS: &str = "ft_nacks";
+
+/// Counter: intact arrivals discarded by receiver-side dedup.
+pub const FT_DUPLICATES_IGNORED: &str = "ft_duplicates_ignored";
+
+/// Counter: corrupt arrivals caught by checksum verification.
+pub const FT_CORRUPTIONS_DETECTED: &str = "ft_corruptions_detected";
+
+/// Counter: chunk contributions skipped by the degradation policy.
+pub const FT_DEGRADED_CHUNKS: &str = "ft_degraded_chunks";
+
+/// Counter: straggler diagnoses, labelled `action`
+/// (`waited`, `skipped`, `aborted`).
+pub const FT_STRAGGLER_VERDICTS: &str = "ft_straggler_verdicts";

@@ -17,6 +17,12 @@
 //! discrete-event interpreter produces bit-identical installed
 //! parameters — that cross-validation is what lets the simulator and
 //! the runtime vouch for each other.
+//!
+//! Primitive execution lives in [`NodeCore`], shared between this
+//! fast-path worker (which trusts the fabric) and the fault-tolerant
+//! worker in [`crate::ft`] (which does not): both run the same
+//! dataflow, so surviving an unreliable fabric cannot change what
+//! gets computed — only whether it completes.
 
 use crate::report::RuntimeReport;
 use hipress_compress::Compressor;
@@ -26,14 +32,11 @@ use hipress_metrics::names;
 use hipress_tensor::Tensor;
 use hipress_trace::{Counter, Tracer, TrackId};
 use hipress_util::{Error, Result};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// How long a node thread waits on its inbox before declaring the
-/// protocol wedged (a malformed graph, not ordinary slowness).
-const INBOX_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Tuning knobs for the thread engine.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +47,11 @@ pub struct RuntimeConfig {
     pub batch_compression: bool,
     /// Encodes at or below this raw size are eligible for batching.
     pub comp_batch_max_task_bytes: u64,
+    /// How long a node thread waits on a silent inbox before
+    /// declaring the protocol wedged and unwinding with an error
+    /// instead of hanging (a lost peer or malformed graph, not
+    /// ordinary slowness).
+    pub inbox_timeout: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -51,6 +59,7 @@ impl Default for RuntimeConfig {
         Self {
             batch_compression: true,
             comp_batch_max_task_bytes: 256 * 1024,
+            inbox_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -58,11 +67,11 @@ impl Default for RuntimeConfig {
 /// One node thread's tracing handles: its timeline track plus the
 /// queue-depth gauges. `None` on the worker means tracing is off and
 /// the hot path records nothing (and allocates nothing).
-struct NodeTrace {
-    tracer: Tracer,
-    track: TrackId,
-    q_comp: Counter,
-    q_commu: Counter,
+pub(crate) struct NodeTrace {
+    pub(crate) tracer: Tracer,
+    pub(crate) track: TrackId,
+    pub(crate) q_comp: Counter,
+    pub(crate) q_commu: Counter,
 }
 
 /// Optional observers for one run. Both are borrowed: the engine
@@ -83,20 +92,20 @@ pub struct Instruments<'a> {
 /// carries the `node` label; names come from the shared catalogue
 /// ([`hipress_metrics::names`]) so snapshots line up with
 /// trace-lowered and simulated runs.
-struct NodeMetrics {
+pub(crate) struct NodeMetrics {
     /// Per-primitive latency histograms, indexed by [`prim_index`].
     prims: [hipress_metrics::Histogram; 8],
     local_agg: hipress_metrics::Histogram,
     bytes_wire: hipress_metrics::Counter,
     bytes_raw: hipress_metrics::Counter,
-    messages: hipress_metrics::Counter,
+    pub(crate) messages: hipress_metrics::Counter,
     batch_launches: hipress_metrics::Counter,
     q_comp_depth: hipress_metrics::Histogram,
     q_commu_depth: hipress_metrics::Histogram,
 }
 
 impl NodeMetrics {
-    fn new(scope: &hipress_metrics::Scope, node: usize) -> Self {
+    pub(crate) fn new(scope: &hipress_metrics::Scope, node: usize) -> Self {
         let s = scope.with(&[("node", &node.to_string())]);
         Self {
             prims: std::array::from_fn(|i| s.histogram(names::PRIM_NS[i], &[])),
@@ -109,6 +118,89 @@ impl NodeMetrics {
             q_commu_depth: s.histogram(names::Q_COMMU_DEPTH, &[]),
         }
     }
+}
+
+/// Builds the per-node tracing handles (and registers every track up
+/// front on the main thread, so the layout is deterministic: engine
+/// first, then each node's timeline and queue gauges in node order).
+pub(crate) fn build_node_traces(tracer: Option<&Tracer>, nodes: usize) -> Vec<Option<NodeTrace>> {
+    let mut node_traces: Vec<Option<NodeTrace>> = Vec::with_capacity(nodes);
+    if let Some(tr) = tracer {
+        tr.thread_track("engine");
+        for node in 0..nodes {
+            let track = tr.thread_track(&format!("node{node}"));
+            let q_comp = tr.counter(tr.counter_track(&format!("node{node}/Q_comp")));
+            let q_commu = tr.counter(tr.counter_track(&format!("node{node}/Q_commu")));
+            node_traces.push(Some(NodeTrace {
+                tracer: tr.clone(),
+                track,
+                q_comp,
+                q_commu,
+            }));
+        }
+    } else {
+        node_traces.resize_with(nodes, || None);
+    }
+    node_traces
+}
+
+/// Builds the per-node metric handles (resolved up front for the same
+/// reason: the worker hot path then touches only atomics).
+pub(crate) fn build_node_metrics(
+    scope: Option<&hipress_metrics::Scope>,
+    nodes: usize,
+) -> Vec<Option<NodeMetrics>> {
+    let mut node_metrics: Vec<Option<NodeMetrics>> = Vec::with_capacity(nodes);
+    if let Some(scope) = scope {
+        for node in 0..nodes {
+            node_metrics.push(Some(NodeMetrics::new(scope, node)));
+        }
+    } else {
+        node_metrics.resize_with(nodes, || None);
+    }
+    node_metrics
+}
+
+/// Records the run-wall span on the engine track (carrying the same
+/// wall measurement the report stores, keeping trace-derived reports
+/// exact).
+pub(crate) fn record_run_span(
+    tracer: Option<&Tracer>,
+    run_start_ns: Option<u64>,
+    wall_ns: u64,
+    nodes: usize,
+) {
+    if let Some(tr) = tracer {
+        let engine = tr.thread_track("engine");
+        tr.record_span(
+            engine,
+            "run",
+            "run",
+            run_start_ns.unwrap_or(0),
+            wall_ns,
+            &[("nodes", nodes as u64)],
+        );
+    }
+}
+
+/// Records the run-level metric gauges derived from the assembled
+/// report, at the scope's own labels (no `node`): wall time,
+/// throughput in raw gradient bytes synchronized per second, and the
+/// wire-volume reduction factor.
+pub(crate) fn record_run_metrics(scope: &hipress_metrics::Scope, report: &RuntimeReport) {
+    scope.gauge(names::WALL_NS, &[]).set(report.wall_ns as f64);
+    scope.gauge(names::NODES, &[]).set(report.nodes as f64);
+    if report.wall_ns > 0 {
+        scope
+            .gauge(names::THROUGHPUT, &[])
+            .set(report.bytes_raw as f64 / (report.wall_ns as f64 / 1e9));
+    }
+    scope
+        .gauge(names::COMPRESSION_SAVINGS, &[])
+        .set(report.compression_savings());
+    scope
+        .timeseries(names::ITERATION_NS, &[])
+        .push(report.wall_ns as f64);
 }
 
 /// The index of a primitive's histogram in [`NodeMetrics::prims`]
@@ -142,39 +234,59 @@ fn prim_category(p: Primitive) -> &'static str {
 }
 
 /// A value on the wire: raw tensor data or a compressed stream.
-#[derive(Debug, Clone)]
-enum Payload {
+///
+/// Public because the fault-tolerant protocol layer
+/// ([`crate::protocol`]) checksums and corrupts it; the fast path
+/// keeps it an implementation detail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Uncompressed `f32` data.
     Raw(Vec<f32>),
+    /// A codec-encoded stream.
     Compressed(Vec<u8>),
+    /// A hole: the degradation policy skipped a straggler's chunk
+    /// (bounded-staleness partial aggregation). Carries no bytes;
+    /// consumers account for the missing contribution by scaling.
+    Skipped,
 }
 
 impl Payload {
-    fn wire_bytes(&self) -> u64 {
+    /// Bytes this payload occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
         match self {
             Payload::Raw(v) => (v.len() * 4) as u64,
             Payload::Compressed(b) => b.len() as u64,
+            Payload::Skipped => 0,
         }
     }
 }
 
-/// Inter-node messages: the entire network fabric.
+/// Inter-node messages: the entire fast-path network fabric.
 enum Msg {
     /// `task` (on some other node) completed. For `Send` tasks the
     /// payload rides along — the message is the transfer.
     Done {
         task: TaskId,
-        payload: Option<Payload>,
+        payload: Option<Arc<Payload>>,
     },
     /// A peer hit an error; unwind.
     Abort,
 }
 
 /// Per-chunk node state: the local accumulator and the installed
-/// aggregate.
+/// aggregate, plus degradation bookkeeping (how many contributions
+/// merged in, how many were skipped).
 #[derive(Debug, Default, Clone)]
-struct Cell {
-    acc: Vec<f32>,
-    updated: Option<Vec<f32>>,
+pub(crate) struct Cell {
+    pub(crate) acc: Vec<f32>,
+    pub(crate) updated: Option<Vec<f32>>,
+    /// Contributions successfully merged into `acc`.
+    pub(crate) merged: u32,
+    /// Contributions lost to a degradation skip.
+    pub(crate) missing: u32,
+    /// Whether `acc` has already been rescaled for missing
+    /// contributions (the scaling must apply exactly once).
+    pub(crate) scaled: bool,
 }
 
 /// Per-flow input tensors, one replica per node — the shape the
@@ -235,11 +347,16 @@ pub fn run(
     seed: u64,
     config: &RuntimeConfig,
 ) -> Result<RunOutcome> {
-    let replicated: ReplicaFlows = flows
+    let replicated = replicate(flows);
+    run_replicated(graph, nodes, &replicated, compressor, seed, config)
+}
+
+/// Wraps single-replica flows in the replicated shape.
+pub(crate) fn replicate(flows: &Flows) -> ReplicaFlows {
+    flows
         .iter()
         .map(|(&f, per_node)| (f, per_node.iter().map(|t| vec![t.clone()]).collect()))
-        .collect();
-    run_replicated(graph, nodes, &replicated, compressor, seed, config)
+        .collect()
 }
 
 /// As [`run`], recording every task execution, queue-depth change,
@@ -257,10 +374,7 @@ pub fn run_traced(
     config: &RuntimeConfig,
     tracer: &Tracer,
 ) -> Result<RunOutcome> {
-    let replicated: ReplicaFlows = flows
-        .iter()
-        .map(|(&f, per_node)| (f, per_node.iter().map(|t| vec![t.clone()]).collect()))
-        .collect();
+    let replicated = replicate(flows);
     run_replicated_traced(graph, nodes, &replicated, compressor, seed, config, tracer)
 }
 
@@ -279,10 +393,7 @@ pub fn run_instrumented(
     config: &RuntimeConfig,
     instruments: Instruments<'_>,
 ) -> Result<RunOutcome> {
-    let replicated: ReplicaFlows = flows
-        .iter()
-        .map(|(&f, per_node)| (f, per_node.iter().map(|t| vec![t.clone()]).collect()))
-        .collect();
+    let replicated = replicate(flows);
     run_replicated_inner(
         graph,
         nodes,
@@ -399,36 +510,8 @@ fn run_replicated_inner(
         rxs.push(rx);
     }
 
-    // Track registration happens up front on the main thread so the
-    // layout is deterministic: engine first, then each node's
-    // timeline and queue gauges in node order.
-    let mut node_traces: Vec<Option<NodeTrace>> = Vec::with_capacity(nodes);
-    if let Some(tr) = tracer {
-        tr.thread_track("engine");
-        for node in 0..nodes {
-            let track = tr.thread_track(&format!("node{node}"));
-            let q_comp = tr.counter(tr.counter_track(&format!("node{node}/Q_comp")));
-            let q_commu = tr.counter(tr.counter_track(&format!("node{node}/Q_commu")));
-            node_traces.push(Some(NodeTrace {
-                tracer: tr.clone(),
-                track,
-                q_comp,
-                q_commu,
-            }));
-        }
-    } else {
-        node_traces.resize_with(nodes, || None);
-    }
-    // Metric handles are resolved up front for the same reason: the
-    // worker hot path then touches only atomics.
-    let mut node_metrics: Vec<Option<NodeMetrics>> = Vec::with_capacity(nodes);
-    if let Some(scope) = instruments.metrics {
-        for node in 0..nodes {
-            node_metrics.push(Some(NodeMetrics::new(scope, node)));
-        }
-    } else {
-        node_metrics.resize_with(nodes, || None);
-    }
+    let node_traces = build_node_traces(tracer, nodes);
+    let node_metrics = build_node_metrics(instruments.metrics, nodes);
 
     let run_start_ns = tracer.map(Tracer::now_ns);
     let started = Instant::now();
@@ -450,13 +533,10 @@ fn run_replicated_inner(
             let poison = &poison;
             handles.push(scope.spawn(move || {
                 let mut worker = NodeWorker {
-                    node,
-                    graph,
-                    flows,
-                    layout,
+                    core: NodeCore::new(
+                        node, graph, flows, layout, compressor, seed, trace, metrics,
+                    ),
                     plan,
-                    compressor,
-                    seed,
                     config: *config,
                     rx,
                     txs,
@@ -464,15 +544,7 @@ fn run_replicated_inner(
                     pending: plan.pending[node].clone(),
                     q_comp: VecDeque::new(),
                     q_commu: VecDeque::new(),
-                    cells: HashMap::new(),
-                    enc_out: HashMap::new(),
-                    dec_out: HashMap::new(),
-                    recv_payload: HashMap::new(),
-                    inbound: HashMap::new(),
                     done: 0,
-                    report: RuntimeReport::default(),
-                    trace,
-                    metrics,
                 };
                 worker.run()
             }));
@@ -484,19 +556,7 @@ fn run_replicated_inner(
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
-    if let Some(tr) = tracer {
-        // The run span carries the same wall measurement the report
-        // stores, keeping trace-derived reports exact.
-        let engine = tr.thread_track("engine");
-        tr.record_span(
-            engine,
-            "run",
-            "run",
-            run_start_ns.unwrap_or(0),
-            wall_ns,
-            &[("nodes", nodes as u64)],
-        );
-    }
+    record_run_span(tracer, run_start_ns, wall_ns, nodes);
 
     // Prefer a root-cause error over the "aborted" echoes it causes.
     let mut aborted = None;
@@ -528,23 +588,7 @@ fn run_replicated_inner(
     }
 
     if let Some(scope) = instruments.metrics {
-        // Run-level figures derived from the assembled report, at the
-        // scope's own labels (no `node`): wall time, throughput in raw
-        // gradient bytes synchronized per second, and the wire-volume
-        // reduction factor.
-        scope.gauge(names::WALL_NS, &[]).set(report.wall_ns as f64);
-        scope.gauge(names::NODES, &[]).set(nodes as f64);
-        if report.wall_ns > 0 {
-            scope
-                .gauge(names::THROUGHPUT, &[])
-                .set(report.bytes_raw as f64 / (report.wall_ns as f64 / 1e9));
-        }
-        scope
-            .gauge(names::COMPRESSION_SAVINGS, &[])
-            .set(report.compression_savings());
-        scope
-            .timeseries(names::ITERATION_NS, &[])
-            .push(report.wall_ns as f64);
+        record_run_metrics(scope, &report);
     }
 
     let flows_out = layout.assemble(&cells_per_node)?;
@@ -555,8 +599,8 @@ fn run_replicated_inner(
 }
 
 /// Chunk geometry shared by the workers and the result assembly.
-struct FlowLayout {
-    nodes: usize,
+pub(crate) struct FlowLayout {
+    pub(crate) nodes: usize,
     /// (flow, part) → element count.
     chunk_elems: HashMap<(u32, u32), usize>,
     /// (flow, part) → start element within the flow.
@@ -568,7 +612,7 @@ struct FlowLayout {
 }
 
 impl FlowLayout {
-    fn derive(graph: &TaskGraph, nodes: usize, flows: &ReplicaFlows) -> Result<Self> {
+    pub(crate) fn derive(graph: &TaskGraph, nodes: usize, flows: &ReplicaFlows) -> Result<Self> {
         let mut chunk_elems: HashMap<(u32, u32), usize> = HashMap::new();
         for t in graph.tasks() {
             if t.prim == Primitive::Source {
@@ -626,7 +670,10 @@ impl FlowLayout {
     }
 
     /// Reassembles dense per-flow, per-node tensors from worker cells.
-    fn assemble(&self, cells_per_node: &[HashMap<(u32, u32), Cell>]) -> Result<Vec<FlowOutcome>> {
+    pub(crate) fn assemble(
+        &self,
+        cells_per_node: &[HashMap<(u32, u32), Cell>],
+    ) -> Result<Vec<FlowOutcome>> {
         let mut outcomes = Vec::with_capacity(self.flow_ids.len());
         for &f in &self.flow_ids {
             let elems = self.flow_len[&f];
@@ -656,22 +703,22 @@ impl FlowLayout {
 
 /// The static execution plan: per-node dependency counts and edge
 /// maps, computed once on the main thread.
-struct NodePlan {
+pub(crate) struct NodePlan {
     /// pending[node][task.0] = unresolved dependency count (only
     /// meaningful for tasks owned by `node`).
-    pending: Vec<HashMap<u32, usize>>,
+    pub(crate) pending: Vec<HashMap<u32, usize>>,
     /// local_dependents[task.0] = same-node tasks depending on it.
-    local_dependents: HashMap<u32, Vec<u32>>,
+    pub(crate) local_dependents: HashMap<u32, Vec<u32>>,
     /// remote_notify[task.0] = distinct other nodes hosting dependents.
-    remote_notify: HashMap<u32, Vec<usize>>,
+    pub(crate) remote_notify: HashMap<u32, Vec<usize>>,
     /// remote_edges_in[node][remote_task.0] = local dependents.
-    remote_edges_in: Vec<HashMap<u32, Vec<u32>>>,
+    pub(crate) remote_edges_in: Vec<HashMap<u32, Vec<u32>>>,
     /// Number of tasks each node owns.
-    local_counts: Vec<usize>,
+    pub(crate) local_counts: Vec<usize>,
 }
 
 impl NodePlan {
-    fn derive(graph: &TaskGraph, nodes: usize) -> Self {
+    pub(crate) fn derive(graph: &TaskGraph, nodes: usize) -> Self {
         let mut pending: Vec<HashMap<u32, usize>> = vec![HashMap::new(); nodes];
         let mut local_dependents: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut remote_notify: HashMap<u32, Vec<usize>> = HashMap::new();
@@ -703,193 +750,73 @@ impl NodePlan {
     }
 }
 
-/// One node's execution state: the per-node task manager.
-struct NodeWorker<'a> {
-    node: usize,
-    graph: &'a TaskGraph,
-    flows: &'a ReplicaFlows,
-    layout: &'a FlowLayout,
-    plan: &'a NodePlan,
-    compressor: Option<&'a dyn Compressor>,
-    seed: u64,
-    config: RuntimeConfig,
-    rx: Receiver<Msg>,
-    txs: Vec<Sender<Msg>>,
-    poison: &'a AtomicBool,
-    /// Remaining dependency counts for local tasks.
-    pending: HashMap<u32, usize>,
-    /// Ready computing tasks (encode/decode/merge/update + source).
-    q_comp: VecDeque<TaskId>,
-    /// Ready communication tasks (send/recv).
-    q_commu: VecDeque<TaskId>,
-    cells: HashMap<(u32, u32), Cell>,
+/// One node's dataflow state and primitive execution: cells,
+/// codec outputs, received payloads, measurements. Shared verbatim
+/// between the fast-path [`NodeWorker`] and the fault-tolerant worker
+/// ([`crate::ft`]) — the fabrics differ, the computation cannot.
+pub(crate) struct NodeCore<'a> {
+    pub(crate) node: usize,
+    pub(crate) graph: &'a TaskGraph,
+    pub(crate) flows: &'a ReplicaFlows,
+    pub(crate) layout: &'a FlowLayout,
+    pub(crate) compressor: Option<&'a dyn Compressor>,
+    pub(crate) seed: u64,
+    pub(crate) cells: HashMap<(u32, u32), Cell>,
     enc_out: HashMap<u32, Vec<u8>>,
     dec_out: HashMap<u32, Vec<f32>>,
-    recv_payload: HashMap<u32, Payload>,
+    recv_payload: HashMap<u32, Arc<Payload>>,
     /// Payloads delivered by remote `Send` completions, keyed by the
     /// sending task.
-    inbound: HashMap<u32, Payload>,
-    done: usize,
-    report: RuntimeReport,
+    pub(crate) inbound: HashMap<u32, Arc<Payload>>,
+    /// Recv/Decode tasks whose output is a degradation hole.
+    skipped_out: HashSet<u32>,
+    pub(crate) report: RuntimeReport,
     /// Tracing handles; `None` keeps the hot path allocation-free.
-    trace: Option<NodeTrace>,
+    pub(crate) trace: Option<NodeTrace>,
     /// Live metric handles; `None` keeps the hot path recording-free.
-    metrics: Option<NodeMetrics>,
+    pub(crate) metrics: Option<NodeMetrics>,
 }
 
-impl NodeWorker<'_> {
-    fn run(&mut self) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
-        // Seed the queues with dependency-free local tasks (Sources).
-        let ready: Vec<u32> = self
-            .pending
-            .iter()
-            .filter(|&(_, &n)| n == 0)
-            .map(|(&t, _)| t)
-            .collect();
-        let mut ready = ready;
-        ready.sort_unstable(); // Deterministic initial order.
-        for t in ready {
-            self.enqueue(TaskId(t));
+impl<'a> NodeCore<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node: usize,
+        graph: &'a TaskGraph,
+        flows: &'a ReplicaFlows,
+        layout: &'a FlowLayout,
+        compressor: Option<&'a dyn Compressor>,
+        seed: u64,
+        trace: Option<NodeTrace>,
+        metrics: Option<NodeMetrics>,
+    ) -> Self {
+        Self {
+            node,
+            graph,
+            flows,
+            layout,
+            compressor,
+            seed,
+            cells: HashMap::new(),
+            enc_out: HashMap::new(),
+            dec_out: HashMap::new(),
+            recv_payload: HashMap::new(),
+            inbound: HashMap::new(),
+            skipped_out: HashSet::new(),
+            report: RuntimeReport::default(),
+            trace: None,
+            metrics,
         }
-
-        let total = self.plan.local_counts[self.node];
-        while self.done < total {
-            if self.poison.load(Ordering::Relaxed) {
-                return Err(Error::sim("aborted"));
-            }
-            // Drain the inbox without blocking: completion events
-            // promote tasks into the queues.
-            loop {
-                match self.rx.try_recv() {
-                    Ok(msg) => self.handle(msg)?,
-                    Err(_) => break,
-                }
-            }
-            if let Some(t) = self.next_ready() {
-                if let Err(e) = self.execute(t) {
-                    self.broadcast_abort();
-                    return Err(e);
-                }
-            } else if self.done < total {
-                match self.rx.recv_timeout(INBOX_TIMEOUT) {
-                    Ok(msg) => self.handle(msg)?,
-                    Err(RecvTimeoutError::Timeout) => {
-                        self.broadcast_abort();
-                        return Err(Error::sim(format!(
-                            "node {} wedged: {} of {total} tasks done, inbox silent",
-                            self.node, self.done
-                        )));
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        self.broadcast_abort();
-                        return Err(Error::sim(format!(
-                            "node {}: fabric disconnected with {} of {total} tasks done",
-                            self.node, self.done
-                        )));
-                    }
-                }
-            }
-        }
-        Ok((
-            std::mem::take(&mut self.cells),
-            std::mem::take(&mut self.report),
-        ))
+        .with_trace(trace)
     }
 
-    fn broadcast_abort(&self) {
-        self.poison.store(true, Ordering::Relaxed);
-        for (n, tx) in self.txs.iter().enumerate() {
-            if n != self.node {
-                let _ = tx.send(Msg::Abort);
-            }
-        }
-    }
-
-    fn handle(&mut self, msg: Msg) -> Result<()> {
-        match msg {
-            Msg::Abort => Err(Error::sim("aborted")),
-            Msg::Done { task, payload } => {
-                let wire_bytes = payload.as_ref().map(Payload::wire_bytes);
-                if let Some(p) = payload {
-                    self.inbound.insert(task.0, p);
-                }
-                self.report.messages += 1;
-                if let Some(m) = &self.metrics {
-                    m.messages.inc();
-                }
-                if let Some(tr) = &self.trace {
-                    let mut args = vec![("task", task.0 as u64)];
-                    if let Some(b) = wire_bytes {
-                        args.push(("bytes", b));
-                    }
-                    tr.tracer
-                        .instant(tr.track, "msg", "fabric", tr.tracer.now_ns(), &args);
-                }
-                if let Some(deps) = self.plan.remote_edges_in[self.node].get(&task.0) {
-                    for &d in deps.clone().iter() {
-                        self.resolve_dep(d);
-                    }
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Clears one dependency edge of local task `t`, promoting it into
-    /// its queue when the count reaches zero (Figure 2's promotion).
-    fn resolve_dep(&mut self, t: u32) {
-        let n = self
-            .pending
-            .get_mut(&t)
-            .expect("resolve_dep on a task this node does not own");
-        *n -= 1;
-        if *n == 0 {
-            self.enqueue(TaskId(t));
-        }
-    }
-
-    fn enqueue(&mut self, t: TaskId) {
-        let prim = self.graph.task(t).prim;
-        if prim == Primitive::Send || prim == Primitive::Recv {
-            self.q_commu.push_back(t);
-            if let Some(tr) = &self.trace {
-                tr.q_commu.add(1);
-            }
-            if let Some(m) = &self.metrics {
-                m.q_commu_depth.record(self.q_commu.len() as u64);
-            }
-        } else {
-            self.q_comp.push_back(t);
-            if let Some(tr) = &self.trace {
-                tr.q_comp.add(1);
-            }
-            if let Some(m) = &self.metrics {
-                m.q_comp_depth.record(self.q_comp.len() as u64);
-            }
-        }
-    }
-
-    /// Communication first: a completed send unblocks another node,
-    /// which is what keeps the pipeline full.
-    fn next_ready(&mut self) -> Option<TaskId> {
-        if let Some(t) = self.q_commu.pop_front() {
-            if let Some(tr) = &self.trace {
-                tr.q_commu.add(-1);
-            }
-            return Some(t);
-        }
-        if let Some(t) = self.q_comp.pop_front() {
-            if let Some(tr) = &self.trace {
-                tr.q_comp.add(-1);
-            }
-            return Some(t);
-        }
-        None
+    fn with_trace(mut self, trace: Option<NodeTrace>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Finds the transitive dependency of `id` matching `pred`,
     /// looking through zero-cost barriers (mirrors the interpreter).
-    fn find_dep(&self, id: TaskId, pred: impl Fn(Primitive) -> bool) -> Option<TaskId> {
+    pub(crate) fn find_dep(&self, id: TaskId, pred: impl Fn(Primitive) -> bool) -> Option<TaskId> {
         let mut stack: Vec<TaskId> = self.graph.task(id).deps.clone();
         while let Some(d) = stack.pop() {
             let dt = self.graph.task(d);
@@ -908,58 +835,45 @@ impl NodeWorker<'_> {
             .ok_or_else(|| Error::sim("codec task without a compressor"))
     }
 
-    fn execute(&mut self, id: TaskId) -> Result<()> {
-        let prim = self.graph.task(id).prim;
-        // Batch compression: gather other ready small encodes so the
-        // group runs as one launch.
-        if prim == Primitive::Encode
-            && self.config.batch_compression
-            && self.graph.task(id).bytes_raw <= self.config.comp_batch_max_task_bytes
-        {
-            let mut batch = vec![id];
-            let mut rest = VecDeque::new();
-            while let Some(t) = self.q_comp.pop_front() {
-                let n = self.graph.task(t);
-                if n.prim == Primitive::Encode
-                    && n.bytes_raw <= self.config.comp_batch_max_task_bytes
-                {
-                    batch.push(t);
-                } else {
-                    rest.push_back(t);
+    /// Rescales a degraded accumulator exactly once, approximating the
+    /// lost contributions: the cell holds `1 + merged` of the `nodes`
+    /// expected contributions, so scale by their ratio (bounded
+    /// staleness: the hole is filled with the survivors' mean).
+    fn settle_degraded(&mut self, key: (u32, u32)) {
+        let nodes = self.layout.nodes;
+        if let Some(cell) = self.cells.get_mut(&key) {
+            if cell.missing > 0 && !cell.scaled {
+                let f = nodes as f32 / (1 + cell.merged) as f32;
+                for a in &mut cell.acc {
+                    *a *= f;
                 }
+                cell.scaled = true;
             }
-            self.q_comp = rest;
-            self.report.comp_batch_launches += 1;
-            if let Some(m) = &self.metrics {
-                m.batch_launches.inc();
-            }
-            if let Some(tr) = &self.trace {
-                // The gathered encodes left Q_comp without individual
-                // pops; resync the gauge to the rebuilt queue.
-                tr.q_comp.set(self.q_comp.len() as i64);
-                tr.tracer.instant(
-                    tr.track,
-                    "batch",
-                    "batch",
-                    tr.tracer.now_ns(),
-                    &[("size", batch.len() as u64)],
-                );
-            }
-            for t in batch {
-                self.execute_one(t)?;
-            }
-            return Ok(());
         }
-        self.execute_one(id)
     }
 
-    fn execute_one(&mut self, id: TaskId) -> Result<()> {
+    /// The degraded stand-in for a skipped incoming aggregate: the
+    /// local accumulator scaled up to the expected contribution count.
+    fn degraded_aggregate(&self, key: (u32, u32)) -> Result<Vec<f32>> {
+        let cell = self
+            .cells
+            .get(&key)
+            .ok_or_else(|| Error::sim("update with no state"))?;
+        let f = self.layout.nodes as f32 / (1 + cell.merged) as f32;
+        Ok(cell.acc.iter().map(|x| x * f).collect())
+    }
+
+    /// Executes one primitive, recording its measurement into the
+    /// report (and trace/metrics when enabled). Returns the outbound
+    /// payload for `Send` tasks; the caller owns completion
+    /// bookkeeping (dependency resolution and fabric messaging).
+    pub(crate) fn execute_one(&mut self, id: TaskId) -> Result<Option<Arc<Payload>>> {
         let start_ns = self.trace.as_ref().map(|tr| tr.tracer.now_ns());
         let started = Instant::now();
         let t = self.graph.task(id);
         debug_assert_eq!(t.node, self.node, "task scheduled on the wrong node");
         let key = (t.chunk.grad, t.chunk.part);
-        let mut outbound: Option<Payload> = None;
+        let mut outbound: Option<Arc<Payload>> = None;
         let mut sent_bytes: Option<(u64, u64)> = None;
         match t.prim {
             Primitive::Source => {
@@ -996,6 +910,7 @@ impl NodeWorker<'_> {
                 self.cells.entry(key).or_default().acc = acc;
             }
             Primitive::Encode => {
+                self.settle_degraded(key);
                 let c = self.compressor()?;
                 let cell = self
                     .cells
@@ -1008,53 +923,79 @@ impl NodeWorker<'_> {
                 self.enc_out.insert(id.0, bytes);
             }
             Primitive::Decode => {
-                let c = self.compressor()?;
                 let recv = self
                     .find_dep(id, |p| p == Primitive::Recv)
                     .ok_or_else(|| Error::sim("decode without a recv dependency"))?;
-                match self.recv_payload.get(&recv.0) {
+                match self.recv_payload.get(&recv.0).map(|p| p.as_ref()) {
                     Some(Payload::Compressed(bytes)) => {
-                        let out = c.decode(bytes)?;
+                        let out = self.compressor()?.decode(bytes)?;
                         self.dec_out.insert(id.0, out);
                     }
                     Some(Payload::Raw(_)) => {
                         return Err(Error::sim("decode of a raw payload"));
                     }
+                    Some(Payload::Skipped) => {
+                        // The hole flows through: downstream consumers
+                        // handle it by scaling, not by decoding.
+                        self.skipped_out.insert(id.0);
+                    }
                     None => return Err(Error::sim("decode before recv delivered")),
                 }
             }
             Primitive::Merge => {
-                let contribution: Vec<f32> =
-                    if let Some(d) = self.find_dep(id, |p| p == Primitive::Decode) {
-                        self.dec_out
-                            .get(&d.0)
-                            .cloned()
-                            .ok_or_else(|| Error::sim("merge before decode"))?
-                    } else if let Some(r) = self.find_dep(id, |p| p == Primitive::Recv) {
-                        match self.recv_payload.get(&r.0) {
-                            Some(Payload::Raw(v)) => v.clone(),
-                            Some(Payload::Compressed(_)) => {
-                                return Err(Error::sim("raw merge of compressed payload"));
-                            }
-                            None => return Err(Error::sim("merge before recv delivered")),
-                        }
+                enum Contribution {
+                    Data(Vec<f32>),
+                    Hole,
+                }
+                let contribution = if let Some(d) = self.find_dep(id, |p| p == Primitive::Decode) {
+                    if self.skipped_out.contains(&d.0) {
+                        Contribution::Hole
                     } else {
-                        return Err(Error::sim("merge with nothing to merge"));
-                    };
+                        Contribution::Data(
+                            self.dec_out
+                                .get(&d.0)
+                                .cloned()
+                                .ok_or_else(|| Error::sim("merge before decode"))?,
+                        )
+                    }
+                } else if let Some(r) = self.find_dep(id, |p| p == Primitive::Recv) {
+                    match self.recv_payload.get(&r.0).map(|p| p.as_ref()) {
+                        Some(Payload::Raw(v)) => Contribution::Data(v.clone()),
+                        Some(Payload::Compressed(_)) => {
+                            return Err(Error::sim("raw merge of compressed payload"));
+                        }
+                        Some(Payload::Skipped) => Contribution::Hole,
+                        None => return Err(Error::sim("merge before recv delivered")),
+                    }
+                } else {
+                    return Err(Error::sim("merge with nothing to merge"));
+                };
                 let cell = self
                     .cells
                     .get_mut(&key)
                     .ok_or_else(|| Error::sim("merge with no accumulator"))?;
-                if contribution.len() != cell.acc.len() {
-                    return Err(Error::sim("merge length mismatch"));
-                }
-                for (a, b) in cell.acc.iter_mut().zip(contribution) {
-                    *a += b;
+                match contribution {
+                    Contribution::Data(contribution) => {
+                        if contribution.len() != cell.acc.len() {
+                            return Err(Error::sim("merge length mismatch"));
+                        }
+                        for (a, b) in cell.acc.iter_mut().zip(contribution) {
+                            *a += b;
+                        }
+                        cell.merged += 1;
+                    }
+                    Contribution::Hole => {
+                        // The contribution was skipped by degradation:
+                        // nothing to add; remember the gap so the acc
+                        // is rescaled before anyone consumes it.
+                        cell.missing += 1;
+                    }
                 }
             }
             Primitive::Send => {
                 let payload = match t.send_src {
                     SendSrc::Raw => {
+                        self.settle_degraded(key);
                         let cell = self
                             .cells
                             .get(&key)
@@ -1076,16 +1017,17 @@ impl NodeWorker<'_> {
                         let r = self
                             .find_dep(id, |p| p == Primitive::Recv)
                             .ok_or_else(|| Error::sim("forward without recv"))?;
-                        self.recv_payload
+                        let p = self
+                            .recv_payload
                             .get(&r.0)
-                            .cloned()
-                            .ok_or_else(|| Error::sim("forward before recv delivered"))?
+                            .ok_or_else(|| Error::sim("forward before recv delivered"))?;
+                        p.as_ref().clone()
                     }
                 };
                 self.report.bytes_wire += payload.wire_bytes();
                 self.report.bytes_raw += t.bytes_raw;
                 sent_bytes = Some((payload.wire_bytes(), t.bytes_raw));
-                outbound = Some(payload);
+                outbound = Some(Arc::new(payload));
             }
             Primitive::Recv => {
                 let send = self
@@ -1095,22 +1037,32 @@ impl NodeWorker<'_> {
                     .inbound
                     .remove(&send.0)
                     .ok_or_else(|| Error::sim("recv promoted before its payload arrived"))?;
+                if matches!(payload.as_ref(), Payload::Skipped) {
+                    self.skipped_out.insert(id.0);
+                }
                 self.recv_payload.insert(id.0, payload);
             }
             Primitive::Barrier => {}
             Primitive::Update => {
                 let value: Vec<f32> = if let Some(d) = self.find_dep(id, |p| p == Primitive::Decode)
                 {
-                    self.dec_out
-                        .get(&d.0)
-                        .cloned()
-                        .ok_or_else(|| Error::sim("update before decode"))?
+                    if self.skipped_out.contains(&d.0) {
+                        // The disseminated aggregate never arrived:
+                        // install the best local approximation.
+                        self.degraded_aggregate(key)?
+                    } else {
+                        self.dec_out
+                            .get(&d.0)
+                            .cloned()
+                            .ok_or_else(|| Error::sim("update before decode"))?
+                    }
                 } else if let Some(r) = self.find_dep(id, |p| p == Primitive::Recv) {
-                    match self.recv_payload.get(&r.0) {
+                    match self.recv_payload.get(&r.0).map(|p| p.as_ref()) {
                         Some(Payload::Raw(v)) => v.clone(),
                         Some(Payload::Compressed(_)) => {
                             return Err(Error::sim("raw update of compressed payload"));
                         }
+                        Some(Payload::Skipped) => self.degraded_aggregate(key)?,
                         None => return Err(Error::sim("update before recv delivered")),
                     }
                 } else if let Some(e) = self.find_dep(id, |p| p == Primitive::Encode) {
@@ -1125,6 +1077,7 @@ impl NodeWorker<'_> {
                         .ok_or_else(|| Error::sim("update before encode ran"))?;
                     c.decode(bytes)?
                 } else {
+                    self.settle_degraded(key);
                     self.cells
                         .get(&key)
                         .ok_or_else(|| Error::sim("update with no state"))?
@@ -1170,13 +1123,234 @@ impl NodeWorker<'_> {
             tr.tracer
                 .record_span(tr.track, name, name, start_ns.unwrap_or(0), ns, &args);
         }
+        Ok(outbound)
+    }
+
+    /// Records a fabric-message instant and the message counter (one
+    /// delivered inter-node message).
+    pub(crate) fn note_message(&mut self, task: TaskId, wire_bytes: Option<u64>) {
+        self.report.messages += 1;
+        if let Some(m) = &self.metrics {
+            m.messages.inc();
+        }
+        if let Some(tr) = &self.trace {
+            let mut args = vec![("task", task.0 as u64)];
+            if let Some(b) = wire_bytes {
+                args.push(("bytes", b));
+            }
+            tr.tracer
+                .instant(tr.track, "msg", "fabric", tr.tracer.now_ns(), &args);
+        }
+    }
+}
+
+/// One node's execution state: the per-node task manager.
+struct NodeWorker<'a> {
+    core: NodeCore<'a>,
+    plan: &'a NodePlan,
+    config: RuntimeConfig,
+    rx: Receiver<Msg>,
+    txs: Vec<Sender<Msg>>,
+    poison: &'a AtomicBool,
+    /// Remaining dependency counts for local tasks.
+    pending: HashMap<u32, usize>,
+    /// Ready computing tasks (encode/decode/merge/update + source).
+    q_comp: VecDeque<TaskId>,
+    /// Ready communication tasks (send/recv).
+    q_commu: VecDeque<TaskId>,
+    done: usize,
+}
+
+impl NodeWorker<'_> {
+    fn run(&mut self) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
+        // Seed the queues with dependency-free local tasks (Sources).
+        let ready: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|&(_, &n)| n == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut ready = ready;
+        ready.sort_unstable(); // Deterministic initial order.
+        for t in ready {
+            self.enqueue(TaskId(t));
+        }
+
+        let total = self.plan.local_counts[self.core.node];
+        while self.done < total {
+            if self.poison.load(Ordering::Relaxed) {
+                return Err(Error::sim("aborted"));
+            }
+            // Drain the inbox without blocking: completion events
+            // promote tasks into the queues.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(msg) => self.handle(msg)?,
+                    Err(_) => break,
+                }
+            }
+            if let Some(t) = self.next_ready() {
+                if let Err(e) = self.execute(t) {
+                    self.broadcast_abort();
+                    return Err(e);
+                }
+            } else if self.done < total {
+                match self.rx.recv_timeout(self.config.inbox_timeout) {
+                    Ok(msg) => self.handle(msg)?,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.broadcast_abort();
+                        return Err(Error::sim(format!(
+                            "node {} wedged: {} of {total} tasks done, inbox silent",
+                            self.core.node, self.done
+                        )));
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.broadcast_abort();
+                        return Err(Error::sim(format!(
+                            "node {}: fabric disconnected with {} of {total} tasks done",
+                            self.core.node, self.done
+                        )));
+                    }
+                }
+            }
+        }
+        Ok((
+            std::mem::take(&mut self.core.cells),
+            std::mem::take(&mut self.core.report),
+        ))
+    }
+
+    fn broadcast_abort(&self) {
+        self.poison.store(true, Ordering::Relaxed);
+        for (n, tx) in self.txs.iter().enumerate() {
+            if n != self.core.node {
+                let _ = tx.send(Msg::Abort);
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: Msg) -> Result<()> {
+        match msg {
+            Msg::Abort => Err(Error::sim("aborted")),
+            Msg::Done { task, payload } => {
+                let wire_bytes = payload.as_deref().map(Payload::wire_bytes);
+                if let Some(p) = payload {
+                    self.core.inbound.insert(task.0, p);
+                }
+                self.core.note_message(task, wire_bytes);
+                if let Some(deps) = self.plan.remote_edges_in[self.core.node].get(&task.0) {
+                    for &d in deps.clone().iter() {
+                        self.resolve_dep(d);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Clears one dependency edge of local task `t`, promoting it into
+    /// its queue when the count reaches zero (Figure 2's promotion).
+    fn resolve_dep(&mut self, t: u32) {
+        let n = self
+            .pending
+            .get_mut(&t)
+            .expect("resolve_dep on a task this node does not own");
+        *n -= 1;
+        if *n == 0 {
+            self.enqueue(TaskId(t));
+        }
+    }
+
+    fn enqueue(&mut self, t: TaskId) {
+        let prim = self.core.graph.task(t).prim;
+        if prim == Primitive::Send || prim == Primitive::Recv {
+            self.q_commu.push_back(t);
+            if let Some(tr) = &self.core.trace {
+                tr.q_commu.add(1);
+            }
+            if let Some(m) = &self.core.metrics {
+                m.q_commu_depth.record(self.q_commu.len() as u64);
+            }
+        } else {
+            self.q_comp.push_back(t);
+            if let Some(tr) = &self.core.trace {
+                tr.q_comp.add(1);
+            }
+            if let Some(m) = &self.core.metrics {
+                m.q_comp_depth.record(self.q_comp.len() as u64);
+            }
+        }
+    }
+
+    /// Communication first: a completed send unblocks another node,
+    /// which is what keeps the pipeline full.
+    fn next_ready(&mut self) -> Option<TaskId> {
+        if let Some(t) = self.q_commu.pop_front() {
+            if let Some(tr) = &self.core.trace {
+                tr.q_commu.add(-1);
+            }
+            return Some(t);
+        }
+        if let Some(t) = self.q_comp.pop_front() {
+            if let Some(tr) = &self.core.trace {
+                tr.q_comp.add(-1);
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    fn execute(&mut self, id: TaskId) -> Result<()> {
+        let prim = self.core.graph.task(id).prim;
+        // Batch compression: gather other ready small encodes so the
+        // group runs as one launch.
+        if prim == Primitive::Encode
+            && self.config.batch_compression
+            && self.core.graph.task(id).bytes_raw <= self.config.comp_batch_max_task_bytes
+        {
+            let mut batch = vec![id];
+            let mut rest = VecDeque::new();
+            while let Some(t) = self.q_comp.pop_front() {
+                let n = self.core.graph.task(t);
+                if n.prim == Primitive::Encode
+                    && n.bytes_raw <= self.config.comp_batch_max_task_bytes
+                {
+                    batch.push(t);
+                } else {
+                    rest.push_back(t);
+                }
+            }
+            self.q_comp = rest;
+            self.core.report.comp_batch_launches += 1;
+            if let Some(m) = &self.core.metrics {
+                m.batch_launches.inc();
+            }
+            if let Some(tr) = &self.core.trace {
+                // The gathered encodes left Q_comp without individual
+                // pops; resync the gauge to the rebuilt queue.
+                tr.q_comp.set(self.q_comp.len() as i64);
+                tr.tracer.instant(
+                    tr.track,
+                    "batch",
+                    "batch",
+                    tr.tracer.now_ns(),
+                    &[("size", batch.len() as u64)],
+                );
+            }
+            for t in batch {
+                let outbound = self.core.execute_one(t)?;
+                self.finish(t, outbound);
+            }
+            return Ok(());
+        }
+        let outbound = self.core.execute_one(id)?;
         self.finish(id, outbound);
         Ok(())
     }
 
     /// Marks `id` complete: clears local dependents' edges and ships
     /// completion events (with payloads for sends) to remote nodes.
-    fn finish(&mut self, id: TaskId, payload: Option<Payload>) {
+    fn finish(&mut self, id: TaskId, payload: Option<Arc<Payload>>) {
         self.done += 1;
         if let Some(deps) = self.plan.local_dependents.get(&id.0) {
             for &d in deps.clone().iter() {
@@ -1442,5 +1616,26 @@ mod tests {
         // deadlock.
         let err = run(&graph, nodes, &flows, None, 0, &RuntimeConfig::default());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn inbox_timeout_is_configurable() {
+        // A shortened deadline still completes healthy runs; the knob
+        // exists so a lost peer surfaces as an error, not a hang (the
+        // fault-tolerant path in crate::ft exercises the failure
+        // side with per-recv deadlines).
+        let nodes = 2;
+        let sizes = [128usize];
+        let grads = worker_grads(nodes, &sizes);
+        let iter = iter_spec(&sizes, None, 1);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncPs.build(&cluster, &iter).unwrap();
+        let flows = gradient_flows(&grads);
+        let config = RuntimeConfig {
+            inbox_timeout: Duration::from_millis(250),
+            ..RuntimeConfig::default()
+        };
+        let out = run(&graph, nodes, &flows, None, 7, &config).unwrap();
+        assert!(out.flows[0].replicas_consistent());
     }
 }

@@ -18,17 +18,33 @@
 //! equivalence is what licenses trusting the simulator's timing
 //! studies and the runtime's wall-clock measurements as two views of
 //! one system.
+//!
+//! The engine comes in two flavours sharing one dataflow core. The
+//! fast path ([`run`] and friends) trusts the fabric — channels never
+//! lose messages — and adds zero per-message overhead. The
+//! fault-tolerant path ([`run_chaos`]) trusts nothing: payloads
+//! travel in sequence-numbered, checksummed envelopes
+//! ([`protocol`]) over a fabric that may be wrapped in a
+//! deterministic fault injector ([`hipress_chaos`]), with per-link
+//! retransmission, receiver-side dedup, straggler detection, and
+//! configurable degradation ([`ft`]). Recoverable fault plans yield
+//! bit-for-bit the fault-free result; unrecoverable ones produce a
+//! structured [`hipress_util::SyncFailure`] naming the node, peer,
+//! and task — never a hang.
 
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod ft;
+pub mod protocol;
 pub mod report;
 
 pub use engine::{
     run, run_instrumented, run_replicated, run_replicated_instrumented, run_replicated_traced,
-    run_traced, sum_replicas, Flows, Instruments, ReplicaFlows, RunOutcome, RuntimeConfig,
+    run_traced, sum_replicas, Flows, Instruments, Payload, ReplicaFlows, RunOutcome, RuntimeConfig,
 };
-pub use report::{PrimStat, RuntimeReport};
+pub use ft::{run_chaos, DegradePolicy, FaultTolerance};
+pub use report::{DegradeAction, FaultReport, PrimStat, RuntimeReport, StragglerVerdict};
 
 /// Which machinery executes a synchronization graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,525 @@
+//! The fault-tolerant wire protocol for CaSync-RT.
+//!
+//! The fast path trusts its `mpsc` fabric the way the paper trusts
+//! NCCL: messages arrive, once, intact. This module is what the
+//! engine speaks when that trust is revoked (`run_chaos`): every
+//! inter-node message becomes a sequence-numbered, checksummed
+//! [`Envelope`]; receivers verify and deduplicate ([`LinkRx`]),
+//! acknowledge good data, and nack corrupt data; senders keep
+//! unacknowledged envelopes in a retransmission buffer with
+//! exponential backoff and a bounded retry budget ([`LinkTx`]).
+//!
+//! The checksum covers everything delivery-relevant — source,
+//! sequence number, task, payload bytes — but *not* the attempt
+//! counter, so a retransmission carries the original digest and the
+//! receiver cannot be confused by which attempt got through.
+
+use crate::engine::Payload;
+use hipress_core::graph::TaskId;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What an envelope carries.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// A remote task completed; for `Send` tasks the payload rides
+    /// along (the message *is* the transfer).
+    Data {
+        /// The completed task.
+        task: TaskId,
+        /// The payload, for `Send` completions.
+        payload: Option<Arc<Payload>>,
+    },
+    /// Data `seq` arrived intact; the sender may drop it from its
+    /// retransmission buffer.
+    Ack {
+        /// The acknowledged data sequence number.
+        seq: u64,
+    },
+    /// Data `seq` arrived corrupt; the sender should retransmit now.
+    Nack {
+        /// The rejected data sequence number.
+        seq: u64,
+    },
+    /// A peer hit an error; unwind. (Control-plane: never injected
+    /// with faults, so an abort always gets through.)
+    Abort,
+    /// Every node has finished and drained its links; lingering peers
+    /// may exit now instead of on their next poll. (Control-plane,
+    /// like [`Body::Abort`]: purely a wake-up, carries no state.)
+    Done,
+    /// Periodic liveness probe. A node that is alive but busy (or
+    /// simply has nothing to send) keeps pinging; a stalled or
+    /// crashed node cannot, which is exactly the distinction the
+    /// straggler detector needs — silence then means *stuck*, not
+    /// *slow*. Control-plane: the fault model stalls nodes, not
+    /// probes.
+    Ping,
+}
+
+/// One message on the fault-tolerant fabric.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// The sending node.
+    pub src: usize,
+    /// Per-link sequence number (data envelopes; 0 for control).
+    pub seq: u64,
+    /// Which attempt this is (0 = first transmission). Excluded from
+    /// the checksum; fault injection uses it for its decision hash.
+    pub attempt: u32,
+    /// The message itself.
+    pub body: Body,
+    /// FNV-1a digest of `src`, `seq`, and the body content.
+    pub checksum: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01B3;
+
+/// FNV-1a folded a whole 64-bit word at a time (not per byte): one
+/// xor-multiply per 8 payload bytes keeps checksumming multi-megabyte
+/// raw gradients off the critical path. Single-bit flips anywhere in
+/// a word still change the digest — the multiply diffuses them.
+fn fnv(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+impl Envelope {
+    /// Builds a sealed data envelope for `task` (attempt 0).
+    pub fn data(src: usize, seq: u64, task: TaskId, payload: Option<Arc<Payload>>) -> Self {
+        let mut e = Self {
+            src,
+            seq,
+            attempt: 0,
+            body: Body::Data { task, payload },
+            checksum: 0,
+        };
+        e.checksum = e.digest();
+        e
+    }
+
+    /// Builds a sealed control envelope (ack/nack/abort).
+    pub fn control(src: usize, body: Body) -> Self {
+        let mut e = Self {
+            src,
+            seq: 0,
+            attempt: 0,
+            body,
+            checksum: 0,
+        };
+        e.checksum = e.digest();
+        e
+    }
+
+    /// The checksum the envelope *should* carry: an FNV-1a fold over
+    /// `src`, `seq`, a body tag, and the body's content (payload
+    /// words included bit-exactly). The attempt counter is excluded —
+    /// retransmissions carry the original digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv(h, self.src as u64);
+        h = fnv(h, self.seq);
+        match &self.body {
+            Body::Data { task, payload } => {
+                h = fnv(h, 1);
+                h = fnv(h, u64::from(task.0));
+                match payload.as_deref() {
+                    None => h = fnv(h, 0),
+                    Some(Payload::Raw(v)) => {
+                        h = fnv(h, 1);
+                        h = fnv(h, v.len() as u64);
+                        for x in v {
+                            h = fnv(h, u64::from(x.to_bits()));
+                        }
+                    }
+                    Some(Payload::Compressed(b)) => {
+                        h = fnv(h, 2);
+                        h = fnv(h, b.len() as u64);
+                        for chunk in b.chunks(8) {
+                            let mut word = [0u8; 8];
+                            word[..chunk.len()].copy_from_slice(chunk);
+                            h = fnv(h, u64::from_le_bytes(word));
+                        }
+                    }
+                    Some(Payload::Skipped) => h = fnv(h, 3),
+                }
+            }
+            Body::Ack { seq } => {
+                h = fnv(h, 2);
+                h = fnv(h, *seq);
+            }
+            Body::Nack { seq } => {
+                h = fnv(h, 3);
+                h = fnv(h, *seq);
+            }
+            Body::Abort => h = fnv(h, 4),
+            Body::Done => h = fnv(h, 5),
+            Body::Ping => h = fnv(h, 6),
+        }
+        h
+    }
+
+    /// True when the carried checksum matches the content.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.digest()
+    }
+
+    /// The task a data envelope announces, if it is one.
+    pub fn data_task(&self) -> Option<TaskId> {
+        match &self.body {
+            Body::Data { task, .. } => Some(*task),
+            _ => None,
+        }
+    }
+}
+
+impl hipress_chaos::Wire for Envelope {
+    /// Only data payloads are corruptible: flipping gradient bits is
+    /// the fault the checksum must catch. Control messages are
+    /// loss-faulted but never mangled.
+    fn payload_bits(&self) -> u64 {
+        match &self.body {
+            Body::Data {
+                payload: Some(p), ..
+            } => match p.as_ref() {
+                Payload::Raw(v) => (v.len() * 32) as u64,
+                Payload::Compressed(b) => (b.len() * 8) as u64,
+                Payload::Skipped => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    fn flip_bit(&mut self, bit: u64) {
+        if let Body::Data {
+            payload: Some(p), ..
+        } = &mut self.body
+        {
+            match Arc::make_mut(p) {
+                Payload::Raw(v) => {
+                    let i = (bit / 32) as usize;
+                    v[i] = f32::from_bits(v[i].to_bits() ^ (1 << (bit % 32)));
+                }
+                Payload::Compressed(b) => {
+                    b[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                Payload::Skipped => {}
+            }
+        }
+    }
+}
+
+/// Why a sender-side link gave up: the peer never acknowledged
+/// `seq` (announcing `task`) within the retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadLink {
+    /// The unacknowledged sequence number.
+    pub seq: u64,
+    /// The task that data envelope announced.
+    pub task: Option<TaskId>,
+    /// How many transmissions were attempted (1 + retries).
+    pub attempts: u32,
+}
+
+/// One in-flight (unacknowledged) data envelope.
+#[derive(Debug)]
+struct Inflight {
+    env: Envelope,
+    due: Instant,
+}
+
+/// Sender-side reliability state for one directed link.
+///
+/// Every data envelope enters the in-flight buffer with a
+/// retransmission timer; [`LinkTx::due`] returns envelopes whose
+/// timer expired (with exponentially backed-off next deadlines), and
+/// [`LinkTx::on_ack`] / [`LinkTx::on_nack`] retire or fast-path
+/// retransmit them. When one envelope exceeds the retry budget the
+/// link is declared dead.
+#[derive(Debug)]
+pub struct LinkTx {
+    next_seq: u64,
+    inflight: BTreeMap<u64, Inflight>,
+    retry_budget: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+}
+
+impl LinkTx {
+    /// A fresh link with the given retry budget and backoff range.
+    pub fn new(retry_budget: u32, base_backoff: Duration, max_backoff: Duration) -> Self {
+        Self {
+            next_seq: 0,
+            inflight: BTreeMap::new(),
+            retry_budget,
+            base_backoff,
+            max_backoff,
+        }
+    }
+
+    /// The retransmission timeout for attempt `attempt`:
+    /// `base × 2^attempt`, capped.
+    fn rto(base: Duration, max: Duration, attempt: u32) -> Duration {
+        base.saturating_mul(1u32 << attempt.min(16)).min(max)
+    }
+
+    /// Assigns the next sequence number to a data envelope for
+    /// `task`, arms its retransmission timer, and returns the sealed
+    /// envelope (attempt 0) ready to send.
+    pub fn prepare(
+        &mut self,
+        src: usize,
+        task: TaskId,
+        payload: Option<Arc<Payload>>,
+        now: Instant,
+    ) -> Envelope {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let env = Envelope::data(src, seq, task, payload);
+        self.inflight.insert(
+            seq,
+            Inflight {
+                env: env.clone(),
+                due: now + Self::rto(self.base_backoff, self.max_backoff, 0),
+            },
+        );
+        env
+    }
+
+    /// Retires an acknowledged envelope. Returns false for unknown
+    /// (already-retired or forged) sequence numbers.
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        self.inflight.remove(&seq).is_some()
+    }
+
+    /// Handles a nack: bumps the attempt, re-arms the timer, and
+    /// returns the envelope to retransmit immediately. `None` when
+    /// the envelope is no longer in flight, or `Err` when the nack
+    /// pushed it past the retry budget.
+    pub fn on_nack(&mut self, seq: u64, now: Instant) -> Result<Option<Envelope>, DeadLink> {
+        let (base, max) = (self.base_backoff, self.max_backoff);
+        let Some(inf) = self.inflight.get_mut(&seq) else {
+            return Ok(None);
+        };
+        inf.env.attempt += 1;
+        if inf.env.attempt > self.retry_budget {
+            return Err(DeadLink {
+                seq,
+                task: inf.env.data_task(),
+                attempts: inf.env.attempt,
+            });
+        }
+        inf.due = now + Self::rto(base, max, inf.env.attempt);
+        Ok(Some(inf.env.clone()))
+    }
+
+    /// Collects every envelope whose retransmission timer expired,
+    /// bumping attempts and re-arming timers. `Err` when any envelope
+    /// exceeds the retry budget — the link is dead.
+    pub fn due(&mut self, now: Instant) -> Result<Vec<Envelope>, DeadLink> {
+        let (base, max) = (self.base_backoff, self.max_backoff);
+        let mut out = Vec::new();
+        for (seq, inf) in self.inflight.iter_mut() {
+            if inf.due > now {
+                continue;
+            }
+            inf.env.attempt += 1;
+            if inf.env.attempt > self.retry_budget {
+                return Err(DeadLink {
+                    seq: *seq,
+                    task: inf.env.data_task(),
+                    attempts: inf.env.attempt,
+                });
+            }
+            inf.due = now + Self::rto(base, max, inf.env.attempt);
+            out.push(inf.env.clone());
+        }
+        Ok(out)
+    }
+
+    /// True when nothing is awaiting acknowledgement.
+    pub fn idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Earliest retransmission deadline among in-flight envelopes, if
+    /// any — lets the owner sleep until a timer can actually fire
+    /// instead of polling on a fixed tick.
+    pub fn next_due(&self) -> Option<Instant> {
+        self.inflight.values().map(|inf| inf.due).min()
+    }
+
+    /// Drops all in-flight state (the peer is known to be gone and
+    /// no longer needs anything from us).
+    pub fn peer_gone(&mut self) {
+        self.inflight.clear();
+    }
+}
+
+/// The receiver's verdict on one data envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxVerdict {
+    /// Intact and new: deliver to the protocol layer and ack.
+    Deliver,
+    /// Intact but already seen (duplicate or late retransmission):
+    /// re-ack and otherwise ignore.
+    Duplicate,
+    /// Checksum mismatch: nack, never deliver.
+    Corrupt,
+}
+
+/// Receiver-side integrity + dedup state for one directed link.
+#[derive(Debug, Default)]
+pub struct LinkRx {
+    seen: HashSet<u64>,
+}
+
+impl LinkRx {
+    /// A fresh receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies a data envelope: verify the checksum, then dedup by
+    /// sequence number. Verification comes first so *every* corrupt
+    /// arrival is detected and counted — including a corrupted
+    /// retransmission of a sequence that already delivered, which
+    /// dedup-first would silently discard as a duplicate. Corrupt
+    /// envelopes are *not* marked seen: the clean retransmission must
+    /// still deliver.
+    pub fn accept(&mut self, env: &Envelope) -> RxVerdict {
+        if !env.verify() {
+            return RxVerdict::Corrupt;
+        }
+        if self.seen.contains(&env.seq) {
+            return RxVerdict::Duplicate;
+        }
+        self.seen.insert(env.seq);
+        RxVerdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipress_chaos::Wire;
+
+    fn raw(v: Vec<f32>) -> Option<Arc<Payload>> {
+        Some(Arc::new(Payload::Raw(v)))
+    }
+
+    #[test]
+    fn sealed_envelopes_verify() {
+        let e = Envelope::data(1, 7, TaskId(3), raw(vec![1.0, -2.5, 0.0]));
+        assert!(e.verify());
+        let c = Envelope::control(0, Body::Ack { seq: 7 });
+        assert!(c.verify());
+    }
+
+    #[test]
+    fn any_single_payload_bitflip_is_detected() {
+        let e = Envelope::data(0, 1, TaskId(9), raw(vec![0.5, 1.5, -3.25, 8.0]));
+        for bit in 0..e.payload_bits() {
+            let mut m = e.clone();
+            m.flip_bit(bit);
+            assert!(!m.verify(), "flip of payload bit {bit} went undetected");
+        }
+        let e = Envelope::data(
+            0,
+            2,
+            TaskId(9),
+            Some(Arc::new(Payload::Compressed(vec![
+                0xAB, 0x00, 0xFF, 0x17, 0x80,
+            ]))),
+        );
+        for bit in 0..e.payload_bits() {
+            let mut m = e.clone();
+            m.flip_bit(bit);
+            assert!(!m.verify(), "flip of compressed bit {bit} went undetected");
+        }
+    }
+
+    #[test]
+    fn attempt_is_outside_the_checksum() {
+        let mut e = Envelope::data(0, 1, TaskId(2), raw(vec![1.0]));
+        e.attempt = 5;
+        assert!(e.verify(), "retransmissions must carry a valid digest");
+    }
+
+    #[test]
+    fn rx_dedups_but_never_delivers_corrupt() {
+        let mut rx = LinkRx::new();
+        let e = Envelope::data(0, 0, TaskId(1), raw(vec![2.0]));
+        assert_eq!(rx.accept(&e), RxVerdict::Deliver);
+        assert_eq!(rx.accept(&e), RxVerdict::Duplicate);
+        let mut bad = Envelope::data(0, 1, TaskId(2), raw(vec![3.0]));
+        bad.flip_bit(7);
+        assert_eq!(rx.accept(&bad), RxVerdict::Corrupt);
+        // The clean retransmission of seq 1 still delivers.
+        let good = Envelope::data(0, 1, TaskId(2), raw(vec![3.0]));
+        assert_eq!(rx.accept(&good), RxVerdict::Deliver);
+    }
+
+    #[test]
+    fn tx_retransmits_with_backoff_until_dead() {
+        let base = Duration::from_millis(5);
+        let mut tx = LinkTx::new(2, base, Duration::from_millis(100));
+        let now = Instant::now();
+        let e = tx.prepare(0, TaskId(4), raw(vec![1.0]), now);
+        assert_eq!(e.seq, 0);
+        assert_eq!(e.attempt, 0);
+        assert!(!tx.idle());
+        // Before the timer: nothing due.
+        assert!(tx.due(now).unwrap().is_empty());
+        // First expiry: attempt 1.
+        let r = tx.due(now + base).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].attempt, 1);
+        // Second expiry (backoff doubled): attempt 2 = the budget.
+        let r = tx.due(now + base * 4).unwrap();
+        assert_eq!(r[0].attempt, 2);
+        // Third expiry exceeds the budget: dead link, naming the task.
+        let dead = tx.due(now + base * 20).unwrap_err();
+        assert_eq!(dead.task, Some(TaskId(4)));
+        assert_eq!(dead.attempts, 3);
+    }
+
+    #[test]
+    fn ack_retires_and_nack_fast_retransmits() {
+        let mut tx = LinkTx::new(3, Duration::from_millis(5), Duration::from_millis(100));
+        let now = Instant::now();
+        let a = tx.prepare(1, TaskId(10), None, now);
+        let b = tx.prepare(1, TaskId(11), raw(vec![4.0]), now);
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert!(tx.on_ack(0));
+        assert!(!tx.on_ack(0), "double-ack must be inert");
+        let r = tx.on_nack(1, now).unwrap().expect("nack retransmits");
+        assert_eq!(r.attempt, 1);
+        assert!(r.verify(), "retransmission must still verify");
+        assert!(tx.on_nack(99, now).unwrap().is_none(), "unknown seq");
+        assert!(tx.on_ack(1));
+        assert!(tx.idle());
+    }
+
+    #[test]
+    fn nacks_exhaust_the_budget_too() {
+        let mut tx = LinkTx::new(1, Duration::from_millis(5), Duration::from_millis(100));
+        let now = Instant::now();
+        tx.prepare(0, TaskId(5), raw(vec![1.0]), now);
+        assert!(tx.on_nack(0, now).unwrap().is_some());
+        let dead = tx.on_nack(0, now).unwrap_err();
+        assert_eq!(dead.seq, 0);
+        assert_eq!(dead.task, Some(TaskId(5)));
+    }
+
+    #[test]
+    fn skipped_payload_checksums_and_carries_no_bits() {
+        let e = Envelope::data(2, 3, TaskId(8), Some(Arc::new(Payload::Skipped)));
+        assert!(e.verify());
+        assert_eq!(e.payload_bits(), 0);
+        // Distinct from an empty payload.
+        let none = Envelope::data(2, 3, TaskId(8), None);
+        assert_ne!(e.checksum, none.checksum);
+    }
+}

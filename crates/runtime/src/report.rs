@@ -56,6 +56,111 @@ const PRIMS: [(Primitive, &str); 8] = [
     (Primitive::Barrier, "barrier"),
 ];
 
+/// What a degradation policy did about one diagnosed straggler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// The policy kept waiting (the verdict is informational).
+    Waited,
+    /// The peer's outstanding contributions were skipped and the
+    /// aggregates rescaled (bounded-staleness partial aggregation).
+    Skipped,
+    /// The run was aborted with a structured straggler error.
+    Aborted,
+}
+
+impl fmt::Display for DegradeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeAction::Waited => "waited",
+            DegradeAction::Skipped => "skipped",
+            DegradeAction::Aborted => "aborted",
+        })
+    }
+}
+
+/// One straggler diagnosis: `node` waited `waited_ns` on `peer`
+/// before the policy acted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StragglerVerdict {
+    /// The node that diagnosed the straggler.
+    pub node: usize,
+    /// The peer diagnosed as straggling.
+    pub peer: usize,
+    /// How long `node` had been waiting when the detector tripped.
+    pub waited_ns: u64,
+    /// What the degradation policy did.
+    pub action: DegradeAction,
+}
+
+/// Fault-injection and recovery accounting for one run: what the
+/// chaos layer injected, what the protocol detected and repaired, and
+/// what the degradation policy decided. All-zero (and displayed as
+/// nothing) for fast-path runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages the fault plan silently dropped.
+    pub injected_drops: u64,
+    /// Messages the fault plan delivered twice.
+    pub injected_dups: u64,
+    /// Messages the fault plan held back for reordering.
+    pub injected_reorders: u64,
+    /// Messages the fault plan delayed.
+    pub injected_delays: u64,
+    /// Payloads the fault plan flipped a bit in.
+    pub injected_corruptions: u64,
+    /// Node stalls the fault plan triggered.
+    pub injected_stalls: u64,
+    /// Timer-driven retransmissions (dropped data or dropped acks).
+    pub retries: u64,
+    /// Nacks sent for corrupt arrivals (each triggers a fast
+    /// retransmission at the sender).
+    pub nacks: u64,
+    /// Intact arrivals discarded by receiver-side dedup (injected
+    /// duplicates, redundant retransmissions, late post-skip data).
+    pub duplicates_ignored: u64,
+    /// Corrupt arrivals caught by checksum verification. Every
+    /// injected corruption that reaches a receiver lands here.
+    pub corruptions_detected: u64,
+    /// Chunk contributions skipped by the degradation policy.
+    pub degraded_chunks: u64,
+    /// Per-node straggler diagnoses and what was done about them.
+    pub verdicts: Vec<StragglerVerdict>,
+}
+
+impl FaultReport {
+    /// True when nothing was injected, detected, or degraded — the
+    /// report of every fast-path run.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Merges a per-node fault report into this aggregate.
+    pub fn absorb(&mut self, other: &FaultReport) {
+        self.injected_drops += other.injected_drops;
+        self.injected_dups += other.injected_dups;
+        self.injected_reorders += other.injected_reorders;
+        self.injected_delays += other.injected_delays;
+        self.injected_corruptions += other.injected_corruptions;
+        self.injected_stalls += other.injected_stalls;
+        self.retries += other.retries;
+        self.nacks += other.nacks;
+        self.duplicates_ignored += other.duplicates_ignored;
+        self.corruptions_detected += other.corruptions_detected;
+        self.degraded_chunks += other.degraded_chunks;
+        self.verdicts.extend(other.verdicts.iter().copied());
+    }
+
+    /// Total faults the plan injected on this run's links and nodes.
+    pub fn total_injected(&self) -> u64 {
+        self.injected_drops
+            + self.injected_dups
+            + self.injected_reorders
+            + self.injected_delays
+            + self.injected_corruptions
+            + self.injected_stalls
+    }
+}
+
 /// Measured wall-clock statistics for one runtime execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeReport {
@@ -93,6 +198,9 @@ pub struct RuntimeReport {
     pub comp_batch_launches: u64,
     /// Per-node total busy ns (all primitives).
     pub per_node_busy_ns: Vec<u64>,
+    /// Fault injection and recovery accounting; all-zero on the fast
+    /// path (no plan, no envelopes, nothing to report).
+    pub faults: FaultReport,
 }
 
 impl RuntimeReport {
@@ -134,6 +242,7 @@ impl RuntimeReport {
         self.bytes_raw += other.bytes_raw;
         self.messages += other.messages;
         self.comp_batch_launches += other.comp_batch_launches;
+        self.faults.absorb(&other.faults);
     }
 
     /// Re-derives a full report from a trace recorded by the engine.
@@ -163,6 +272,41 @@ impl RuntimeReport {
         }
         r.messages = trace.events_of("fabric").count() as u64;
         r.comp_batch_launches = trace.events_of("batch").count() as u64;
+        for e in trace.events_of("chaos") {
+            match e.name.as_str() {
+                "drop" => r.faults.injected_drops += 1,
+                "dup" => r.faults.injected_dups += 1,
+                "reorder" => r.faults.injected_reorders += 1,
+                "delay" => r.faults.injected_delays += 1,
+                "corrupt" => r.faults.injected_corruptions += 1,
+                "stall" => r.faults.injected_stalls += 1,
+                _ => {}
+            }
+        }
+        for e in trace.events_of("ft") {
+            match e.name.as_str() {
+                "retry" => r.faults.retries += 1,
+                "nack" => r.faults.nacks += 1,
+                "dup_ignored" => r.faults.duplicates_ignored += 1,
+                "corrupt_detected" => r.faults.corruptions_detected += 1,
+                "skip" => r.faults.degraded_chunks += 1,
+                _ => {}
+            }
+        }
+        for e in trace.events_of("straggler") {
+            let action = match e.name.as_str() {
+                "waited" => DegradeAction::Waited,
+                "skipped" => DegradeAction::Skipped,
+                "aborted" => DegradeAction::Aborted,
+                _ => continue,
+            };
+            r.faults.verdicts.push(StragglerVerdict {
+                node: e.arg("node").unwrap_or(0) as usize,
+                peer: e.arg("peer").unwrap_or(0) as usize,
+                waited_ns: e.arg("waited_ns").unwrap_or(0),
+                action,
+            });
+        }
         if let Some(run) = trace.events_of("run").next() {
             r.wall_ns = run.dur_ns;
             r.nodes = run.arg("nodes").unwrap_or(0) as usize;
@@ -269,6 +413,46 @@ impl fmt::Display for RuntimeReport {
         )?;
         if self.comp_batch_launches > 0 {
             writeln!(f, "  batched codec launches: {}", self.comp_batch_launches)?;
+        }
+        if !self.faults.is_empty() {
+            let fr = &self.faults;
+            writeln!(f, "  faults:")?;
+            let mut table = Table::new(&[("event", Align::Left), ("count", Align::Right)]);
+            for (name, count) in [
+                ("injected drops", fr.injected_drops),
+                ("injected duplicates", fr.injected_dups),
+                ("injected reorders", fr.injected_reorders),
+                ("injected delays", fr.injected_delays),
+                ("injected corruptions", fr.injected_corruptions),
+                ("injected stalls", fr.injected_stalls),
+                ("retransmissions", fr.retries),
+                ("nacks sent", fr.nacks),
+                ("duplicates ignored", fr.duplicates_ignored),
+                ("corruptions detected", fr.corruptions_detected),
+                ("chunks degraded", fr.degraded_chunks),
+            ] {
+                if count > 0 {
+                    table.row(vec![name.to_string(), count.to_string()]);
+                }
+            }
+            f.write_str(&table.render_indented("    "))?;
+            if !fr.verdicts.is_empty() {
+                let mut table = Table::new(&[
+                    ("node", Align::Right),
+                    ("straggler", Align::Right),
+                    ("waited", Align::Right),
+                    ("action", Align::Left),
+                ]);
+                for v in &fr.verdicts {
+                    table.row(vec![
+                        v.node.to_string(),
+                        v.peer.to_string(),
+                        fmt_duration_ns(v.waited_ns),
+                        v.action.to_string(),
+                    ]);
+                }
+                f.write_str(&table.render_indented("    "))?;
+            }
         }
         Ok(())
     }
@@ -414,5 +598,80 @@ mod tests {
         assert_eq!(r.comp_batch_launches, 1);
         // local_agg is nested inside source and excluded from busy.
         assert_eq!(r.per_node_busy_ns, vec![150, 7]);
+        assert!(r.faults.is_empty(), "no fault events, no fault report");
+    }
+
+    #[test]
+    fn fault_report_absorbs_and_displays() {
+        let mut a = RuntimeReport::default();
+        let mut b = RuntimeReport::default();
+        b.faults.injected_drops = 3;
+        b.faults.injected_corruptions = 2;
+        b.faults.retries = 4;
+        b.faults.corruptions_detected = 2;
+        b.faults.degraded_chunks = 1;
+        b.faults.verdicts.push(StragglerVerdict {
+            node: 0,
+            peer: 2,
+            waited_ns: 250_000_000,
+            action: DegradeAction::Skipped,
+        });
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.faults.injected_drops, 6);
+        assert_eq!(a.faults.total_injected(), 10);
+        assert_eq!(a.faults.verdicts.len(), 2);
+        assert!(!a.faults.is_empty());
+        let s = a.to_string();
+        assert!(s.contains("faults:"), "{s}");
+        assert!(s.contains("injected drops"));
+        assert!(s.contains("corruptions detected"));
+        assert!(s.contains("straggler"));
+        assert!(s.contains("skipped"));
+        for line in s.lines() {
+            assert_eq!(line, line.trim_end(), "trailing whitespace in {line:?}");
+        }
+        // Fast-path reports show no fault section at all.
+        assert!(!RuntimeReport::default().to_string().contains("faults:"));
+    }
+
+    #[test]
+    fn from_trace_rebuilds_fault_events() {
+        let mut t = Trace::new("casync-rt");
+        let n0 = t.thread_track("node0");
+        t.push_instant(n0, "drop", "chaos", 10, &[]);
+        t.push_instant(n0, "drop", "chaos", 11, &[]);
+        t.push_instant(n0, "corrupt", "chaos", 12, &[]);
+        t.push_instant(n0, "stall", "chaos", 13, &[]);
+        t.push_instant(n0, "retry", "ft", 20, &[]);
+        t.push_instant(n0, "nack", "ft", 21, &[]);
+        t.push_instant(n0, "dup_ignored", "ft", 22, &[]);
+        t.push_instant(n0, "corrupt_detected", "ft", 23, &[]);
+        t.push_instant(n0, "skip", "ft", 24, &[]);
+        t.push_instant(
+            n0,
+            "skipped",
+            "straggler",
+            30,
+            &[("node", 0), ("peer", 1), ("waited_ns", 5_000)],
+        );
+        let r = RuntimeReport::from_trace(&t);
+        assert_eq!(r.faults.injected_drops, 2);
+        assert_eq!(r.faults.injected_corruptions, 1);
+        assert_eq!(r.faults.injected_stalls, 1);
+        assert_eq!(r.faults.retries, 1);
+        assert_eq!(r.faults.nacks, 1);
+        assert_eq!(r.faults.duplicates_ignored, 1);
+        assert_eq!(r.faults.corruptions_detected, 1);
+        assert_eq!(r.faults.degraded_chunks, 1);
+        assert_eq!(
+            r.faults.verdicts,
+            vec![StragglerVerdict {
+                node: 0,
+                peer: 1,
+                waited_ns: 5_000,
+                action: DegradeAction::Skipped,
+            }]
+        );
     }
 }

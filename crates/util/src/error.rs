@@ -26,6 +26,87 @@ pub enum Error {
     /// Static analysis rejected a task graph or CompLL program
     /// (`hipress-lint` diagnostics rendered into one message).
     Lint(String),
+    /// The fault-tolerant runtime diagnosed a protocol failure — a
+    /// dead link, a silent peer, a straggler the policy would not
+    /// wait for — and unwound cleanly instead of hanging. Structured:
+    /// it names the node that diagnosed it, the peer/link, and the
+    /// task involved, so callers can act on *where*, not just *that*.
+    Sync(SyncFailure),
+}
+
+/// What kind of synchronization failure was diagnosed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncFailureKind {
+    /// No progress within the receive deadline: some peer went silent.
+    RecvTimeout,
+    /// A link exhausted its retransmission budget without an ack.
+    LinkDead,
+    /// A straggling peer tripped the detector under an abort policy.
+    Straggler,
+    /// A node stopped mid-protocol on an injected crash trigger.
+    InjectedCrash,
+    /// The node unwound because a peer broadcast an abort.
+    Aborted,
+}
+
+impl SyncFailureKind {
+    /// Severity rank for picking the root cause among several node
+    /// errors: detections outrank the injected crash that caused
+    /// them (the crashed node "knows" it crashed, but the *diagnosis*
+    /// is what the protocol is being tested on), and both outrank the
+    /// abort echoes they trigger.
+    pub fn rank(self) -> u8 {
+        match self {
+            SyncFailureKind::RecvTimeout
+            | SyncFailureKind::LinkDead
+            | SyncFailureKind::Straggler => 0,
+            SyncFailureKind::InjectedCrash => 1,
+            SyncFailureKind::Aborted => 2,
+        }
+    }
+}
+
+/// A structured synchronization failure: what went wrong, observed by
+/// whom, about which peer/link, at which task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncFailure {
+    /// The failure class.
+    pub kind: SyncFailureKind,
+    /// The node that diagnosed (or suffered) the failure.
+    pub node: usize,
+    /// The peer / far end of the link involved, when known.
+    pub peer: Option<usize>,
+    /// The task id involved, when known.
+    pub task: Option<u32>,
+    /// Free-form detail (timings, budgets).
+    pub detail: String,
+}
+
+impl fmt::Display for SyncFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            SyncFailureKind::RecvTimeout => write!(f, "node {} timed out", self.node)?,
+            SyncFailureKind::LinkDead => write!(f, "node {}: link dead", self.node)?,
+            SyncFailureKind::Straggler => write!(f, "node {}: straggler", self.node)?,
+            SyncFailureKind::InjectedCrash => {
+                write!(f, "node {} crashed mid-protocol", self.node)?;
+            }
+            SyncFailureKind::Aborted => write!(f, "node {} aborted", self.node)?,
+        }
+        if let Some(p) = self.peer {
+            write!(f, " (peer node {p}")?;
+            if let Some(t) = self.task {
+                write!(f, ", task {t}")?;
+            }
+            write!(f, ")")?;
+        } else if let Some(t) = self.task {
+            write!(f, " (task {t})")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
 }
 
 impl Error {
@@ -58,6 +139,19 @@ impl Error {
     pub fn lint(msg: impl Into<String>) -> Self {
         Self::Lint(msg.into())
     }
+
+    /// Creates a [`Error::Sync`] from a structured failure.
+    pub fn sync(failure: SyncFailure) -> Self {
+        Self::Sync(failure)
+    }
+
+    /// The structured synchronization failure, if this is one.
+    pub fn as_sync(&self) -> Option<&SyncFailure> {
+        match self {
+            Error::Sync(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -69,6 +163,7 @@ impl fmt::Display for Error {
             Error::Sim(m) => write!(f, "simulation error: {m}"),
             Error::Plan(m) => write!(f, "planner error: {m}"),
             Error::Lint(m) => write!(f, "lint error: {m}"),
+            Error::Sync(s) => write!(f, "sync error: {s}"),
         }
     }
 }
@@ -99,6 +194,41 @@ mod tests {
             "planner error: no profile"
         );
         assert_eq!(Error::lint("race").to_string(), "lint error: race");
+    }
+
+    #[test]
+    fn sync_failure_names_node_link_task() {
+        let f = SyncFailure {
+            kind: SyncFailureKind::LinkDead,
+            node: 0,
+            peer: Some(1),
+            task: Some(42),
+            detail: "8 retransmissions unacknowledged".into(),
+        };
+        let s = Error::sync(f.clone()).to_string();
+        assert_eq!(
+            s,
+            "sync error: node 0: link dead (peer node 1, task 42): \
+             8 retransmissions unacknowledged"
+        );
+        assert_eq!(Error::sync(f.clone()).as_sync(), Some(&f));
+        assert_eq!(Error::codec("x").as_sync(), None);
+        let t = SyncFailure {
+            kind: SyncFailureKind::InjectedCrash,
+            node: 2,
+            peer: None,
+            task: None,
+            detail: String::new(),
+        };
+        assert_eq!(t.to_string(), "node 2 crashed mid-protocol");
+    }
+
+    #[test]
+    fn sync_failure_ranks_detections_first() {
+        assert!(SyncFailureKind::RecvTimeout.rank() < SyncFailureKind::InjectedCrash.rank());
+        assert!(SyncFailureKind::LinkDead.rank() < SyncFailureKind::Aborted.rank());
+        assert!(SyncFailureKind::Straggler.rank() < SyncFailureKind::InjectedCrash.rank());
+        assert!(SyncFailureKind::InjectedCrash.rank() < SyncFailureKind::Aborted.rank());
     }
 
     #[test]

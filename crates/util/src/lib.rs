@@ -28,5 +28,5 @@ pub mod stats;
 pub mod table;
 pub mod units;
 
-pub use error::{Error, Result};
+pub use error::{Error, Result, SyncFailure, SyncFailureKind};
 pub use rng::{Rng64, SplitMix64, Xoshiro256};

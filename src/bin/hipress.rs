@@ -6,6 +6,8 @@
 //! hipress models
 //! hipress sim --model VGG19 --nodes 16 --strategy casync-ps --algorithm onebit
 //! hipress run --nodes 4 --algorithm onebit --trace rt.json
+//! hipress chaos --plan recoverable --seeds 4
+//! hipress chaos --single --plan crash --victim 1
 //! hipress bench --baseline BENCH_runtime.json --tolerance 25
 //! hipress report BENCH_runtime.json
 //! hipress compare --model Bert-large --nodes 16
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "models" => cmd_models(),
         "sim" => cmd_sim(&flags),
         "run" => cmd_run(&flags),
+        "chaos" => cmd_chaos(&flags),
         "bench" => cmd_bench(&flags),
         "report" => cmd_report(
             &flags,
@@ -86,6 +89,14 @@ USAGE:
   hipress run [--nodes N] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--trace out.json] [--json]
       Synchronize synthetic gradients for real on CaSync-RT (one OS
       thread per node) and print the measured runtime report.
+  hipress chaos [--nodes N] [--plan P] [--seeds K] [--policy wait|partial|abort] [--victim V] [--deadline-ms D] [--single] [--trace out.json]
+      Synchronize on CaSync-RT over a fault-injecting fabric. By
+      default, runs a survival matrix (plans x fault seeds) and checks
+      every recoverable plan reproduces the fault-free bits exactly;
+      exits non-zero on any violated expectation. With --single, runs
+      one plan once: recoverable plans must come back bit-identical,
+      unrecoverable ones (crash, blackhole) exit non-zero with a
+      structured error naming the failed node.
   hipress bench [--nodes N] [--dir D] [--snapshot cur.json] [--baseline base.json] [--tolerance PCT]
       Run the model x algorithm x strategy bench matrix on both the
       thread engine and the simulator; write schema-versioned
@@ -130,7 +141,15 @@ FLAGS:
                and print utilization bars + per-category latencies
   --partitions gradient partition count for `run` (default 2)
   --elems      comma-separated gradient element counts for `run` (default 65536,4096,512)
-  --seed       stochastic-codec seed for `run` (default 1)"
+  --seed       stochastic-codec seed for `run` (default 1)
+  --plan       (`chaos`) none | recoverable | drop-storm | corrupt-storm |
+               stall[:ms] | crash[:at-task] | blackhole
+               (default: the three survivable storm plans)
+  --seeds      (`chaos`) fault-plan seeds per plan in matrix mode (default 4)
+  --policy     (`chaos`) straggler degradation: wait | partial | abort (default wait)
+  --victim     (`chaos`) node the stall/crash/blackhole plans target (default 1)
+  --deadline-ms (`chaos`) hard receive deadline per node (default 8000)
+  --single     (`chaos`) run one plan once and propagate its outcome"
     );
 }
 
@@ -142,7 +161,7 @@ fn parse_flags(cmd: &str, args: &[String]) -> HashMap<String, String> {
         if let Some(name) = a.strip_prefix("--") {
             // `--baseline` is a boolean runtime toggle for `sim` but
             // takes a snapshot path for `bench`.
-            let boolean = matches!(name, "local" | "no-selective" | "json" | "prom")
+            let boolean = matches!(name, "local" | "no-selective" | "json" | "prom" | "single")
                 || (name == "baseline" && cmd != "bench");
             let takes_value = !boolean;
             if takes_value && i + 1 < args.len() {
@@ -418,6 +437,260 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         export_trace(&trace, path)?;
     }
+    Ok(())
+}
+
+/// One chaos run's classification for the survival table.
+enum ChaosOutcome {
+    /// Completed bit-identical to the fault-free run.
+    Exact,
+    /// Completed, but degradation rescaled some aggregates.
+    Degraded,
+    /// Completed yet silently diverged — always a violation.
+    Diverged,
+    /// Unwound with a structured failure.
+    Failed(String),
+}
+
+fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hipress::chaos::FaultPlan;
+    use hipress::tensor::synth::{generate, GradientShape};
+    use hipress::tensor::Tensor;
+    use std::time::Duration;
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|n| n.parse().map_err(|_| format!("bad --nodes '{n}'")))
+        .transpose()?
+        .unwrap_or(3);
+    let strategy = parse_strategy(flags)?;
+    let algorithm = parse_algorithm(flags)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(1);
+    let victim: usize = flags
+        .get("victim")
+        .map(|v| v.parse().map_err(|_| format!("bad --victim '{v}'")))
+        .transpose()?
+        .unwrap_or(1);
+    if victim >= nodes {
+        return Err(format!("--victim {victim} out of range for {nodes} nodes"));
+    }
+    let deadline_ms: u64 = flags
+        .get("deadline-ms")
+        .map(|d| d.parse().map_err(|_| format!("bad --deadline-ms '{d}'")))
+        .transpose()?
+        .unwrap_or(8000);
+    let policy = match flags.get("policy").map(String::as_str) {
+        None | Some("wait") => DegradePolicy::Wait,
+        Some("partial") => DegradePolicy::Partial,
+        Some("abort") => DegradePolicy::Abort,
+        Some(other) => Err(format!("unknown policy '{other}'"))?,
+    };
+    let ft = FaultTolerance {
+        recv_deadline: Duration::from_millis(deadline_ms),
+        retry_budget: 8,
+        base_backoff: Duration::from_millis(3),
+        max_backoff: Duration::from_millis(100),
+        straggler_factor: 4.0,
+        straggler_floor: Duration::from_millis(100),
+        policy,
+    };
+    let elems: Vec<usize> = match flags.get("elems") {
+        Some(spec) => spec
+            .split(',')
+            .map(|e| e.trim().parse().map_err(|_| format!("bad --elems '{e}'")))
+            .collect::<Result<_, _>>()?,
+        None => vec![4096, 512],
+    };
+    let grads: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            elems
+                .iter()
+                .enumerate()
+                .map(|(g, &n)| {
+                    generate(
+                        n,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        (w * 1000 + g) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let builder = HiPress::new(strategy)
+        .algorithm(algorithm)
+        .partitions(2)
+        .seed(seed)
+        .backend(Backend::Threads(nodes));
+    let clean = builder.sync(&grads).map_err(|e| e.to_string())?;
+    let build_plan = |kind: &str, plan_seed: u64| -> Result<FaultPlan, String> {
+        let (name, param) = match kind.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (kind, None),
+        };
+        Ok(match name {
+            "none" => FaultPlan::none(plan_seed),
+            "recoverable" => FaultPlan::recoverable(plan_seed),
+            "drop-storm" => FaultPlan::drop_storm(plan_seed),
+            "corrupt-storm" => FaultPlan::corruption_storm(plan_seed),
+            "stall" => {
+                let ms: u64 = param
+                    .map(|p| p.parse().map_err(|_| format!("bad stall ms '{p}'")))
+                    .transpose()?
+                    .unwrap_or(400);
+                FaultPlan::stall(plan_seed, victim, Duration::from_millis(ms))
+            }
+            "crash" => {
+                let at: usize = param
+                    .map(|p| p.parse().map_err(|_| format!("bad crash task '{p}'")))
+                    .transpose()?
+                    .unwrap_or(1);
+                FaultPlan::crash(plan_seed, victim, at)
+            }
+            "blackhole" => FaultPlan::blackhole(plan_seed, victim, (victim + 1) % nodes),
+            other => Err(format!("unknown plan '{other}'"))?,
+        })
+    };
+    let run_one = |plan: &FaultPlan| -> (ChaosOutcome, RuntimeReport) {
+        match builder.clone().chaos(plan).fault_tolerance(ft).sync(&grads) {
+            Err(e) => (
+                ChaosOutcome::Failed(e.to_string()),
+                RuntimeReport::default(),
+            ),
+            Ok(out) => {
+                let report = out.report.expect("thread backend always reports");
+                let identical = clean
+                    .flows
+                    .iter()
+                    .zip(&out.flows)
+                    .all(|(a, b)| a.per_node == b.per_node);
+                let outcome = if identical {
+                    ChaosOutcome::Exact
+                } else if report.faults.degraded_chunks > 0 {
+                    ChaosOutcome::Degraded
+                } else {
+                    ChaosOutcome::Diverged
+                };
+                (outcome, report)
+            }
+        }
+    };
+
+    if flags.contains_key("single") {
+        let kind = flags
+            .get("plan")
+            .map(String::as_str)
+            .unwrap_or("recoverable");
+        let plan = build_plan(kind, seed)?;
+        let recoverable = plan.is_recoverable(ft.retry_budget);
+        // Propagate protocol failures to the exit code: the
+        // structured error (naming node/peer/task) goes to stderr.
+        let out = builder
+            .clone()
+            .chaos(&plan)
+            .fault_tolerance(ft)
+            .sync(&grads)
+            .map_err(|e| e.to_string())?;
+        let report = out.report.expect("thread backend always reports");
+        let identical = clean
+            .flows
+            .iter()
+            .zip(&out.flows)
+            .all(|(a, b)| a.per_node == b.per_node);
+        println!(
+            "chaos plan '{kind}' (fault seed {seed}) survived on {nodes} nodes ({} / {})",
+            strategy.label(),
+            algorithm.label()
+        );
+        println!("bit-identical to fault-free: {identical}");
+        println!("{report}");
+        if recoverable && policy != DegradePolicy::Partial && !identical {
+            return Err("recoverable plan did not reproduce the fault-free bits".into());
+        }
+        if let Some(path) = flags.get("trace") {
+            // Re-run traced so the timeline carries the same plan.
+            let tracer = Tracer::new("casync-chaos");
+            builder
+                .clone()
+                .chaos(&plan)
+                .fault_tolerance(ft)
+                .trace(&tracer)
+                .sync(&grads)
+                .map_err(|e| e.to_string())?;
+            export_trace(&tracer.finish(), path)?;
+        }
+        return Ok(());
+    }
+
+    let seeds: u64 = flags
+        .get("seeds")
+        .map(|s| s.parse().map_err(|_| format!("bad --seeds '{s}'")))
+        .transpose()?
+        .unwrap_or(4);
+    let kinds: Vec<String> = match flags.get("plan") {
+        Some(k) => vec![k.clone()],
+        None => ["recoverable", "drop-storm", "corrupt-storm"]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    };
+    let mut table = Table::new(&[
+        ("plan", Align::Left),
+        ("fault seed", Align::Right),
+        ("injected", Align::Right),
+        ("retries", Align::Right),
+        ("corrupt caught", Align::Right),
+        ("degraded", Align::Right),
+        ("outcome", Align::Left),
+    ]);
+    let mut violations = 0u32;
+    for kind in &kinds {
+        for plan_seed in 0..seeds {
+            let plan = build_plan(kind, plan_seed)?;
+            let recoverable = plan.is_recoverable(ft.retry_budget);
+            let (outcome, report) = run_one(&plan);
+            let violated = match &outcome {
+                ChaosOutcome::Exact => false,
+                ChaosOutcome::Degraded => policy != DegradePolicy::Partial,
+                ChaosOutcome::Diverged => true,
+                ChaosOutcome::Failed(_) => recoverable && policy != DegradePolicy::Abort,
+            };
+            violations += u32::from(violated);
+            let label = match &outcome {
+                ChaosOutcome::Exact => "exact".to_string(),
+                ChaosOutcome::Degraded => "degraded".to_string(),
+                ChaosOutcome::Diverged => "DIVERGED".to_string(),
+                ChaosOutcome::Failed(e) => {
+                    format!("failed: {}", e.lines().next().unwrap_or_default())
+                }
+            };
+            table.row(vec![
+                kind.clone(),
+                plan_seed.to_string(),
+                report.faults.total_injected().to_string(),
+                report.faults.retries.to_string(),
+                report.faults.corruptions_detected.to_string(),
+                report.faults.degraded_chunks.to_string(),
+                if violated {
+                    format!("{label} (VIOLATION)")
+                } else {
+                    label
+                },
+            ]);
+        }
+    }
+    println!(
+        "chaos survival matrix: {nodes} nodes, {} / {}, policy {policy:?}",
+        strategy.label(),
+        algorithm.label()
+    );
+    println!("{}", table.render());
+    if violations > 0 {
+        return Err(format!("{violations} chaos expectation(s) violated"));
+    }
+    println!("all expectations held: recoverable plans reproduced the fault-free bits");
     Ok(())
 }
 

@@ -49,6 +49,7 @@
 
 pub mod sync;
 
+pub use hipress_chaos as chaos;
 pub use hipress_compll as compll;
 pub use hipress_compress as compress;
 pub use hipress_core as casync;
@@ -67,12 +68,13 @@ pub use hipress_util as util;
 
 /// The most common imports for experiments.
 pub mod prelude {
+    pub use hipress_chaos::FaultPlan;
     pub use hipress_compress::{Algorithm, Compressor, ErrorFeedback};
     pub use hipress_core::{ClusterConfig, ExecConfig, Executor, GradPlan, Strategy};
     pub use hipress_metrics::{MetricsDiff, MetricsSnapshot, Registry, Scope};
     pub use hipress_models::{DnnModel, GpuClass};
     pub use hipress_planner::Planner;
-    pub use hipress_runtime::{RuntimeConfig, RuntimeReport};
+    pub use hipress_runtime::{DegradePolicy, FaultTolerance, RuntimeConfig, RuntimeReport};
     pub use hipress_simnet::LinkSpec;
     pub use hipress_trace::{chrome, TraceDiff, Tracer};
     pub use hipress_train::{simulate, simulate_with_tracer, SimResult, TrainingJob};

@@ -8,13 +8,14 @@
 //! parameters; the thread backend additionally returns a measured
 //! [`RuntimeReport`].
 
+use hipress_chaos::FaultPlan;
 use hipress_compress::Algorithm;
 use hipress_core::interp::{gradient_flows, interpret, FlowOutcome};
 use hipress_core::{
     ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
 };
 use hipress_metrics::Scope;
-use hipress_runtime::{Instruments, RunOutcome, RuntimeConfig, RuntimeReport};
+use hipress_runtime::{FaultTolerance, Instruments, RunOutcome, RuntimeConfig, RuntimeReport};
 use hipress_tensor::Tensor;
 use hipress_trace::Tracer;
 use hipress_util::{Error, Result};
@@ -66,6 +67,8 @@ pub struct HiPress {
     batch_compression: bool,
     tracer: Option<Tracer>,
     metrics: Option<Scope>,
+    chaos: Option<FaultPlan>,
+    fault_tolerance: Option<FaultTolerance>,
 }
 
 impl HiPress {
@@ -80,6 +83,8 @@ impl HiPress {
             batch_compression: true,
             tracer: None,
             metrics: None,
+            chaos: None,
+            fault_tolerance: None,
         }
     }
 
@@ -152,6 +157,32 @@ impl HiPress {
         self
     }
 
+    /// Runs the synchronization over a fault-injecting fabric
+    /// ([`hipress_chaos`]): every inter-node message is subject to
+    /// the plan's deterministic drop/duplicate/reorder/delay/corrupt
+    /// verdicts, and per-node stall/crash triggers apply. Setting a
+    /// plan switches [`Backend::Threads`] onto the fault-tolerant
+    /// envelope protocol (as does [`Self::fault_tolerance`]);
+    /// recoverable plans still install bit-identical parameters.
+    /// Only the thread backend has a fabric to break — combining a
+    /// plan with [`Backend::Simulator`] is a config error.
+    #[must_use]
+    pub fn chaos(mut self, plan: &FaultPlan) -> Self {
+        self.chaos = Some(plan.clone());
+        self
+    }
+
+    /// Tunes the fault-tolerant protocol (timeouts, retry budget,
+    /// backoff, straggler policy) and switches [`Backend::Threads`]
+    /// onto the envelope path even without a fault plan — useful for
+    /// measuring the protocol's overhead or surviving a genuinely
+    /// unreliable environment.
+    #[must_use]
+    pub fn fault_tolerance(mut self, ft: FaultTolerance) -> Self {
+        self.fault_tolerance = Some(ft);
+        self
+    }
+
     /// Synchronizes one gradient set per worker: `worker_grads[w][g]`
     /// is worker `w`'s gradient `g`. All workers must hold the same
     /// gradient shapes.
@@ -206,6 +237,11 @@ impl HiPress {
         let flows = gradient_flows(worker_grads);
         match self.backend {
             Backend::Simulator => {
+                if self.chaos.is_some() || self.fault_tolerance.is_some() {
+                    return Err(Error::config(
+                        "chaos/fault tolerance need a real fabric: use Backend::Threads",
+                    ));
+                }
                 let outcomes = interpret(&graph, nodes, &flows, compressor.as_deref(), self.seed)?;
                 Ok(SyncOutcome {
                     flows: outcomes,
@@ -227,15 +263,34 @@ impl HiPress {
                     tracer: self.tracer.as_ref(),
                     metrics: scope.as_ref(),
                 };
-                let RunOutcome { flows, report } = hipress_runtime::run_instrumented(
-                    &graph,
-                    nodes,
-                    &flows,
-                    compressor.as_deref(),
-                    self.seed,
-                    &config,
-                    instruments,
-                )?;
+                let RunOutcome { flows, report } =
+                    if self.chaos.is_some() || self.fault_tolerance.is_some() {
+                        let plan = self
+                            .chaos
+                            .clone()
+                            .unwrap_or_else(|| FaultPlan::none(self.seed));
+                        hipress_runtime::run_chaos(
+                            &graph,
+                            nodes,
+                            &flows,
+                            compressor.as_deref(),
+                            self.seed,
+                            &config,
+                            &self.fault_tolerance.unwrap_or_default(),
+                            &plan,
+                            instruments,
+                        )?
+                    } else {
+                        hipress_runtime::run_instrumented(
+                            &graph,
+                            nodes,
+                            &flows,
+                            compressor.as_deref(),
+                            self.seed,
+                            &config,
+                            instruments,
+                        )?
+                    };
                 Ok(SyncOutcome {
                     flows,
                     report: Some(report),
