@@ -58,6 +58,36 @@ if ! grep -q "node" "$CHAOS_ERR"; then
 fi
 rm -f "$CHAOS_ERR"
 
+echo "== multi-process smoke (loopback TCP reproduces the thread bitstream) =="
+# Three real OS processes over a loopback TCP mesh must install bytes
+# identical to the in-process thread engine (the CLI enforces the
+# cross-check and exits non-zero otherwise). Then a run with an
+# injected worker kill must fail with a structured error naming the
+# dead node — never hang.
+cargo run --release -q --bin hipress -- run --nodes 3 --algorithm onebit \
+  --backend processes --iters 3 --window 2 --cross-check >/dev/null
+PROC_ERR=$(mktemp)
+if cargo run --release -q --bin hipress -- run --nodes 3 --algorithm onebit \
+    --backend processes --kill-node 1 >/dev/null 2>"$PROC_ERR"; then
+  echo "killed-worker run unexpectedly succeeded" >&2
+  rm -f "$PROC_ERR"
+  exit 1
+fi
+if ! grep -q "node 1" "$PROC_ERR"; then
+  echo "killed-worker error did not name node 1:" >&2
+  cat "$PROC_ERR" >&2
+  rm -f "$PROC_ERR"
+  exit 1
+fi
+rm -f "$PROC_ERR"
+
+echo "== pipelining gate (pipelined must beat serial over the real fabric) =="
+# Four processes, uncompressed ring, latency-bound shape: a window-16
+# pipelined run must finish faster than the same work serialized
+# (median of five interleaved pairs; the CLI exits non-zero if the
+# pipeline loses).
+cargo run --release -q --bin hipress -- bench --require-overlap
+
 echo "== bench snapshot + perf gate =="
 # Emit a machine-readable benchmark snapshot, re-read it with the
 # crate's own parser (report --json), and run the --baseline gate as a

@@ -1,0 +1,127 @@
+//! The in-process channel fabric: `std::sync::mpsc` moving messages
+//! by value, exactly as the thread engine's original fabric did. No
+//! serialization, no framing, no copies beyond the send itself — the
+//! zero-overhead baseline the framed TCP fabric is measured against.
+
+use crate::{Fabric, FabricError, Link, LinkCounters};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+/// One node's endpoint on the channel fabric.
+#[derive(Debug)]
+pub struct ChannelLink<M> {
+    me: usize,
+    txs: Vec<Sender<M>>,
+    rx: Receiver<M>,
+    counters: LinkCounters,
+}
+
+impl<M: Send> Link for ChannelLink<M> {
+    type Msg = M;
+
+    fn me(&self) -> usize {
+        self.me
+    }
+
+    fn nodes(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&mut self, to: usize, msg: M) -> Result<(), FabricError> {
+        self.counters.frames += 1;
+        self.txs[to].send(msg).map_err(|_| FabricError::PeerLost {
+            peer: to,
+            detail: "channel receiver dropped".into(),
+        })
+    }
+
+    fn try_recv(&mut self) -> Result<Option<M>, FabricError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(FabricError::Closed),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<M>, FabricError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(FabricError::Closed),
+        }
+    }
+
+    fn counters(&self) -> LinkCounters {
+        self.counters
+    }
+}
+
+/// An in-process fabric: all `n` links minted up front, each holding
+/// senders to every peer (including itself, for symmetry — the
+/// runtime never self-sends).
+#[derive(Debug)]
+pub struct ChannelFabric<M> {
+    links: Vec<Option<ChannelLink<M>>>,
+}
+
+impl<M: Send> ChannelFabric<M> {
+    /// A fabric connecting `nodes` endpoints.
+    pub fn new(nodes: usize) -> Self {
+        let mut txs = Vec::with_capacity(nodes);
+        let mut rxs = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let links = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(me, rx)| {
+                Some(ChannelLink {
+                    me,
+                    txs: txs.clone(),
+                    rx,
+                    counters: LinkCounters::default(),
+                })
+            })
+            .collect();
+        Self { links }
+    }
+}
+
+impl<M: Send> Fabric for ChannelFabric<M> {
+    type Msg = M;
+    type Link = ChannelLink<M>;
+
+    fn nodes(&self) -> usize {
+        self.links.len()
+    }
+
+    fn link(&mut self, rank: usize) -> Option<ChannelLink<M>> {
+        self.links.get_mut(rank)?.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fabric_moves_values() {
+        let mut fabric: ChannelFabric<(usize, u64)> = ChannelFabric::new(3);
+        let mut a = fabric.link(0).unwrap();
+        let mut b = fabric.link(1).unwrap();
+        assert!(fabric.link(0).is_none());
+        a.send(1, (0, 42)).unwrap();
+        a.send(1, (0, 43)).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some((0, 42)));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(100)).unwrap(),
+            Some((0, 43))
+        );
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(a.counters().frames, 2);
+        assert_eq!(a.counters().bytes_framed, 0);
+    }
+}

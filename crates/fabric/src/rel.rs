@@ -1,0 +1,296 @@
+//! Per-link reliability over frames: bounded retransmission with
+//! exponential backoff on the send side, verify-then-dedup on the
+//! receive side, heartbeats on idle links.
+//!
+//! This is the chaos envelope protocol promoted to the framing layer:
+//! the same seq/ack/nack/retry discipline the in-process
+//! fault-tolerant runtime runs over channels, restated over
+//! [`Frame`]s so the socket fabric (and anything else that moves
+//! frames) gets it for free. TCP already retransmits lost segments,
+//! but it cannot detect payload corruption above the transport or
+//! survive a deliberately faulty link in tests — the frame layer's
+//! checksums and nacks can, and the discipline is what the chaos
+//! fabric exercises deterministically.
+
+use crate::frame::{Frame, FrameKind};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Retry, backoff, and heartbeat knobs for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTuning {
+    /// Retransmissions allowed per frame before the link is declared
+    /// dead.
+    pub retry_budget: u32,
+    /// First retransmission timeout; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on the per-attempt backoff.
+    pub max_backoff: Duration,
+    /// Idle interval after which a ping is sent.
+    pub heartbeat: Duration,
+}
+
+impl Default for LinkTuning {
+    fn default() -> Self {
+        Self {
+            retry_budget: 8,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            heartbeat: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A link whose retry budget ran out: `seq` went unacknowledged for
+/// `attempts` sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDead {
+    /// The sequence number that exhausted the budget.
+    pub seq: u64,
+    /// Total send attempts made.
+    pub attempts: u32,
+}
+
+/// Send-side reliability state for one directed link.
+#[derive(Debug)]
+pub struct RelTx {
+    src: u32,
+    next_seq: u64,
+    tuning: LinkTuning,
+    /// seq → (frame, next retransmission deadline).
+    pending: HashMap<u64, (Frame, Instant)>,
+    /// Retransmissions performed (for fabric counters).
+    retransmits: u64,
+    last_sent: Instant,
+}
+
+fn rto(tuning: &LinkTuning, attempt: u32) -> Duration {
+    tuning
+        .base_backoff
+        .saturating_mul(1 << attempt.min(16))
+        .min(tuning.max_backoff)
+}
+
+impl RelTx {
+    /// Send state for frames originating at rank `src`.
+    pub fn new(src: u32, tuning: LinkTuning, now: Instant) -> Self {
+        Self {
+            src,
+            next_seq: 0,
+            tuning,
+            pending: HashMap::new(),
+            retransmits: 0,
+            last_sent: now,
+        }
+    }
+
+    /// Wraps `payload` in the next data frame and retains it for
+    /// retransmission until acknowledged.
+    pub fn prepare(&mut self, payload: Vec<u8>, now: Instant) -> Frame {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Frame::new(FrameKind::Data, self.src, seq, payload);
+        self.pending
+            .insert(seq, (frame.clone(), now + rto(&self.tuning, 0)));
+        self.last_sent = now;
+        frame
+    }
+
+    /// Clears `seq` from the retransmission set. Returns whether the
+    /// ack matched an outstanding frame.
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq).is_some()
+    }
+
+    /// Answers a nack: an immediate retransmission of `seq` (attempt
+    /// bumped), or `Ok(None)` when the seq is no longer outstanding.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDead`] when the retry budget is exhausted.
+    pub fn on_nack(&mut self, seq: u64, now: Instant) -> Result<Option<Frame>, LinkDead> {
+        let Some((frame, deadline)) = self.pending.get_mut(&seq) else {
+            return Ok(None);
+        };
+        if frame.attempt >= self.tuning.retry_budget {
+            return Err(LinkDead {
+                seq,
+                attempts: frame.attempt + 1,
+            });
+        }
+        frame.attempt += 1;
+        let attempt = frame.attempt;
+        *deadline = now + rto(&self.tuning, attempt);
+        self.retransmits += 1;
+        self.last_sent = now;
+        Ok(Some(frame.clone()))
+    }
+
+    /// Collects timer-driven retransmissions due at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkDead`] when any frame exhausts the retry budget.
+    pub fn due(&mut self, now: Instant) -> Result<Vec<Frame>, LinkDead> {
+        let mut out = Vec::new();
+        let mut dead: Option<LinkDead> = None;
+        for (&seq, (frame, deadline)) in self.pending.iter_mut() {
+            if *deadline > now {
+                continue;
+            }
+            if frame.attempt >= self.tuning.retry_budget {
+                dead = Some(LinkDead {
+                    seq,
+                    attempts: frame.attempt + 1,
+                });
+                break;
+            }
+            frame.attempt += 1;
+            *deadline = now + rto(&self.tuning, frame.attempt);
+            out.push(frame.clone());
+        }
+        if let Some(d) = dead {
+            return Err(d);
+        }
+        if !out.is_empty() {
+            self.retransmits += out.len() as u64;
+            self.last_sent = now;
+        }
+        Ok(out)
+    }
+
+    /// A heartbeat ping when the link has been idle past the tuning's
+    /// heartbeat interval; `None` otherwise.
+    pub fn heartbeat(&mut self, now: Instant) -> Option<Frame> {
+        if now.duration_since(self.last_sent) >= self.tuning.heartbeat {
+            self.last_sent = now;
+            return Some(Frame::control(FrameKind::Ping, self.src, 0));
+        }
+        None
+    }
+
+    /// True when nothing awaits acknowledgement.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Retransmissions performed so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+}
+
+/// What the receive side decided about an arriving data frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxVerdict {
+    /// Intact and new: deliver the payload, send an ack.
+    Deliver,
+    /// Intact but already seen (a retransmission raced its ack):
+    /// re-ack, do not re-deliver.
+    Duplicate,
+    /// The checksum does not match: request a retransmission.
+    Corrupt,
+}
+
+/// Receive-side reliability state for one directed link:
+/// verify-then-dedup, in that order — a corrupt frame is *not* marked
+/// seen, so its clean retransmission still delivers.
+#[derive(Debug, Default)]
+pub struct RelRx {
+    seen: HashSet<u64>,
+}
+
+impl RelRx {
+    /// Fresh receive state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Judges one arriving data frame.
+    pub fn accept(&mut self, frame: &Frame) -> RxVerdict {
+        if !frame.verify() {
+            return RxVerdict::Corrupt;
+        }
+        if !self.seen.insert(frame.seq) {
+            return RxVerdict::Duplicate;
+        }
+        RxVerdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuning() -> LinkTuning {
+        LinkTuning {
+            retry_budget: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            heartbeat: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn ack_clears_pending() {
+        let now = Instant::now();
+        let mut tx = RelTx::new(0, tuning(), now);
+        let f = tx.prepare(vec![1, 2, 3], now);
+        assert!(!tx.idle());
+        assert!(tx.on_ack(f.seq));
+        assert!(tx.idle());
+        assert!(!tx.on_ack(f.seq));
+    }
+
+    #[test]
+    fn nack_resends_until_budget_then_dead() {
+        let now = Instant::now();
+        let mut tx = RelTx::new(0, tuning(), now);
+        let f = tx.prepare(vec![9], now);
+        let r1 = tx.on_nack(f.seq, now).unwrap().unwrap();
+        assert_eq!(r1.attempt, 1);
+        let r2 = tx.on_nack(f.seq, now).unwrap().unwrap();
+        assert_eq!(r2.attempt, 2);
+        assert!(tx.on_nack(f.seq, now).is_err());
+        assert_eq!(tx.retransmits(), 2);
+    }
+
+    #[test]
+    fn timer_retransmits_when_due() {
+        let now = Instant::now();
+        let mut tx = RelTx::new(0, tuning(), now);
+        let f = tx.prepare(vec![7], now);
+        assert!(tx.due(now).unwrap().is_empty());
+        let later = now + Duration::from_millis(2);
+        let resent = tx.due(later).unwrap();
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].seq, f.seq);
+        assert_eq!(resent[0].attempt, 1);
+    }
+
+    #[test]
+    fn rx_verifies_then_dedups() {
+        let now = Instant::now();
+        let mut tx = RelTx::new(0, tuning(), now);
+        let mut rx = RelRx::new();
+        let mut f = tx.prepare(vec![1, 2, 3, 4], now);
+        let clean = f.clone();
+        use hipress_chaos::Wire;
+        f.flip_bit(3);
+        // Corrupt first: nacked, and *not* marked seen.
+        assert_eq!(rx.accept(&f), RxVerdict::Corrupt);
+        // Clean retransmission still delivers.
+        assert_eq!(rx.accept(&clean), RxVerdict::Deliver);
+        assert_eq!(rx.accept(&clean), RxVerdict::Duplicate);
+    }
+
+    #[test]
+    fn heartbeat_fires_on_idle_only() {
+        let now = Instant::now();
+        let mut tx = RelTx::new(3, tuning(), now);
+        assert!(tx.heartbeat(now).is_none());
+        let ping = tx.heartbeat(now + Duration::from_millis(6)).unwrap();
+        assert_eq!(ping.kind, FrameKind::Ping);
+        assert_eq!(ping.src, 3);
+    }
+}

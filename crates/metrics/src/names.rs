@@ -126,3 +126,21 @@ pub const FT_DEGRADED_CHUNKS: &str = "ft_degraded_chunks";
 /// Counter: straggler diagnoses, labelled `action`
 /// (`waited`, `skipped`, `aborted`).
 pub const FT_STRAGGLER_VERDICTS: &str = "ft_straggler_verdicts";
+
+/// Counter: data frames the transport fabric sent. Informational —
+/// frame counts track graph shape, not performance.
+pub const FABRIC_FRAMES: &str = "fabric_frames";
+
+/// Counter: bytes of encoded frames the fabric sent, headers
+/// included. Informational; compare against `bytes_wire` to see the
+/// framing overhead.
+pub const FABRIC_BYTES_FRAMED: &str = "fabric_bytes_framed";
+
+/// Counter: frame retransmissions performed by the fabric's
+/// reliability layer. Informational — loopback runs keep it at zero,
+/// chaos runs drive it on purpose.
+pub const FABRIC_RETRANSMITS: &str = "fabric_retransmits";
+
+/// Gauge: fraction of iteration time the pipelined runtime hid by
+/// overlapping iterations, in `[0, 1)`. Higher is better.
+pub const PIPELINE_OVERLAP: &str = "pipeline_overlap_efficiency";

@@ -52,6 +52,15 @@ pub struct RuntimeConfig {
     /// instead of hanging (a lost peer or malformed graph, not
     /// ordinary slowness).
     pub inbox_timeout: Duration,
+    /// Shortest inbox poll the fault-tolerant worker uses between
+    /// protocol timer checks (the floor of its adaptive wait).
+    pub ft_min_wait: Duration,
+    /// Longest inbox poll the fault-tolerant worker allows before
+    /// re-checking its retransmission and straggler timers.
+    pub ft_max_wait: Duration,
+    /// Idle interval after which a fault-tolerant link emits a
+    /// heartbeat (also the TCP fabric's link heartbeat).
+    pub ft_heartbeat: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +69,9 @@ impl Default for RuntimeConfig {
             batch_compression: true,
             comp_batch_max_task_bytes: 256 * 1024,
             inbox_timeout: Duration::from_secs(30),
+            ft_min_wait: Duration::from_micros(200),
+            ft_max_wait: Duration::from_millis(10),
+            ft_heartbeat: Duration::from_millis(25),
         }
     }
 }
@@ -201,6 +213,22 @@ pub(crate) fn record_run_metrics(scope: &hipress_metrics::Scope, report: &Runtim
     scope
         .timeseries(names::ITERATION_NS, &[])
         .push(report.wall_ns as f64);
+    if report.fabric_frames > 0 {
+        scope
+            .counter(names::FABRIC_FRAMES, &[])
+            .add(report.fabric_frames);
+        scope
+            .counter(names::FABRIC_BYTES_FRAMED, &[])
+            .add(report.fabric_bytes_framed);
+        scope
+            .counter(names::FABRIC_RETRANSMITS, &[])
+            .add(report.fabric_retransmits);
+    }
+    if report.iterations > 1 {
+        scope
+            .gauge(names::PIPELINE_OVERLAP, &[])
+            .set(report.pipeline_overlap());
+    }
 }
 
 /// The index of a primitive's histogram in [`NodeMetrics::prims`]
@@ -261,13 +289,22 @@ impl Payload {
     }
 }
 
-/// Inter-node messages: the entire fast-path network fabric.
-enum Msg {
+/// Inter-node messages: the entire fast-path network fabric. Public
+/// so transport fabrics (`hipress-fabric`) can move it between
+/// processes; the in-process engine moves it by value and never
+/// serializes.
+#[derive(Debug, Clone)]
+pub enum Msg {
     /// `task` (on some other node) completed. For `Send` tasks the
     /// payload rides along — the message is the transfer.
     Done {
+        /// The remote task that finished.
         task: TaskId,
+        /// The transferred bytes, present for `Send` tasks.
         payload: Option<Arc<Payload>>,
+        /// Which pipelined iteration the completion belongs to
+        /// (always 0 on the single-iteration fast path).
+        iter: u32,
     },
     /// A peer hit an error; unwind.
     Abort,
@@ -1232,7 +1269,7 @@ impl NodeWorker<'_> {
     fn handle(&mut self, msg: Msg) -> Result<()> {
         match msg {
             Msg::Abort => Err(Error::sim("aborted")),
-            Msg::Done { task, payload } => {
+            Msg::Done { task, payload, .. } => {
                 let wire_bytes = payload.as_deref().map(Payload::wire_bytes);
                 if let Some(p) = payload {
                     self.core.inbound.insert(task.0, p);
@@ -1364,6 +1401,7 @@ impl NodeWorker<'_> {
                 let _ = self.txs[n].send(Msg::Done {
                     task: id,
                     payload: payload.clone(),
+                    iter: 0,
                 });
             }
         }

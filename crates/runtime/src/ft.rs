@@ -45,29 +45,18 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Floor on any blocking wait: when a retransmission or chaos-release
-/// timer is imminent (or just expired) the node still yields briefly
-/// instead of spinning.
-const MIN_WAIT: Duration = Duration::from_micros(200);
-
-/// Ceiling on any blocking wait. Incoming envelopes wake the receiver
-/// immediately and timer deadlines are computed exactly, so this only
-/// bounds the latency of straggler detection and deadline checks,
-/// which run between waits. Kept coarse on purpose: fine-grained
-/// polling here steals cycles from peers still computing on small
-/// machines.
-const MAX_WAIT: Duration = Duration::from_millis(10);
-
-/// Liveness heartbeat period. Heartbeats are what let the straggler
-/// detector tell *stuck* from *slow*: a busy or blocked node keeps
-/// pinging on every timer pass, while an injected stall (or a crash)
-/// silences the node entirely. They also pin each peer's inter-arrival
-/// EWMA near this period, so straggler thresholds converge to
-/// `straggler_factor × HEARTBEAT` regardless of how chatty the
-/// algorithm itself is. Tasks that block the executor longer than
-/// that product can be misflagged — raise `straggler_floor` when
-/// driving very coarse workloads.
-const HEARTBEAT: Duration = Duration::from_millis(25);
+// The worker's wait floor/ceiling and heartbeat period live on
+// `RuntimeConfig` (`ft_min_wait` / `ft_max_wait` / `ft_heartbeat`) so
+// callers — and the socket fabric, which shares the same discipline —
+// tune one set of knobs. Heartbeats are what let the straggler
+// detector tell *stuck* from *slow*: a busy or blocked node keeps
+// pinging on every timer pass, while an injected stall (or a crash)
+// silences the node entirely. They also pin each peer's inter-arrival
+// EWMA near the heartbeat period, so straggler thresholds converge to
+// `straggler_factor × ft_heartbeat` regardless of how chatty the
+// algorithm itself is. Tasks that block the executor longer than that
+// product can be misflagged — raise `straggler_floor` when driving
+// very coarse workloads.
 
 /// What to do about a diagnosed straggler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -203,7 +192,6 @@ pub fn run_chaos(
     plan: &FaultPlan,
     instruments: Instruments<'_>,
 ) -> Result<RunOutcome> {
-    let _ = config;
     let tracer = instruments.tracer;
     #[cfg(debug_assertions)]
     hipress_lint::plan::verify(graph, nodes).into_result()?;
@@ -280,6 +268,7 @@ pub fn run_chaos(
                     plan: nplan,
                     fplan: plan,
                     ft: *ft,
+                    config: *config,
                     nodes,
                     rx,
                     links,
@@ -367,6 +356,7 @@ struct FtWorker<'a> {
     plan: &'a NodePlan,
     fplan: &'a FaultPlan,
     ft: FaultTolerance,
+    config: RuntimeConfig,
     nodes: usize,
     rx: Receiver<Envelope>,
     links: Vec<PeerLink>,
@@ -637,7 +627,7 @@ impl FtWorker<'_> {
     /// timers expired.
     fn tick(&mut self) -> Result<()> {
         let now = Instant::now();
-        if now.duration_since(self.last_beat) >= HEARTBEAT {
+        if now.duration_since(self.last_beat) >= self.config.ft_heartbeat {
             self.last_beat = now;
             for (n, tx) in self.direct.iter().enumerate() {
                 if n != self.core.node {
@@ -879,9 +869,9 @@ impl FtWorker<'_> {
 
     /// How long the next blocking receive may sleep: until the
     /// earliest retransmission or chaos-release deadline across all
-    /// links, clamped to `[MIN_WAIT, MAX_WAIT]`. Incoming envelopes
-    /// cut the wait short regardless, so a long budget costs nothing
-    /// on the fault-free path.
+    /// links, clamped to `[ft_min_wait, ft_max_wait]`. Incoming
+    /// envelopes cut the wait short regardless, so a long budget costs
+    /// nothing on the fault-free path.
     fn wait_budget(&self) -> Duration {
         let mut next: Option<Instant> = None;
         for l in &self.links {
@@ -892,8 +882,8 @@ impl FtWorker<'_> {
         match next {
             Some(d) => d
                 .saturating_duration_since(Instant::now())
-                .clamp(MIN_WAIT, MAX_WAIT),
-            None => MAX_WAIT,
+                .clamp(self.config.ft_min_wait, self.config.ft_max_wait),
+            None => self.config.ft_max_wait,
         }
     }
 

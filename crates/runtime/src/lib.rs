@@ -36,14 +36,20 @@
 
 pub mod engine;
 pub mod ft;
+pub mod pipeline;
+pub mod process;
 pub mod protocol;
 pub mod report;
+pub mod wire;
 
 pub use engine::{
     run, run_instrumented, run_replicated, run_replicated_instrumented, run_replicated_traced,
-    run_traced, sum_replicas, Flows, Instruments, Payload, ReplicaFlows, RunOutcome, RuntimeConfig,
+    run_traced, sum_replicas, Flows, Instruments, Msg, Payload, ReplicaFlows, RunOutcome,
+    RuntimeConfig,
 };
 pub use ft::{run_chaos, DegradePolicy, FaultTolerance};
+pub use pipeline::{run_pipelined, PipelineConfig};
+pub use process::{node_main, run_processes, ProcessConfig};
 pub use report::{DegradeAction, FaultReport, PrimStat, RuntimeReport, StragglerVerdict};
 
 /// Which machinery executes a synchronization graph.
@@ -55,4 +61,8 @@ pub enum Backend {
     /// The thread engine with one OS thread per node; the value is
     /// the node count and must match the number of workers.
     Threads(usize),
+    /// Real OS processes — one per node — synchronizing over a
+    /// loopback TCP mesh ([`hipress_fabric`]); the value is the node
+    /// count and must match the number of workers.
+    Processes(usize),
 }

@@ -1,0 +1,751 @@
+//! Multi-iteration pipelined execution of CaSync-RT over any
+//! transport fabric.
+//!
+//! Training synchronizes gradients every iteration, and the next
+//! iteration's compression work does not have to wait for the last
+//! straggling chunk of the previous one: each node may hold up to
+//! `window` iterations in flight, scheduling ready tasks
+//! lowest-iteration-first (so older iterations drain ahead of newer
+//! ones) and communication-first within an iteration (the engine's
+//! discipline — a completed send unblocks a peer). With `window = 1`
+//! the loop degenerates to serial back-to-back iterations, which is
+//! exactly the baseline `hipress bench` compares the overlap against.
+//!
+//! The driver ([`drive_node`]) is generic over [`Link`], so the same
+//! loop runs in-process over the channel fabric
+//! ([`run_pipelined`]) and inside each OS process of the TCP mesh
+//! ([`crate::process`]). Messages carry their iteration index;
+//! arrivals for not-yet-admitted iterations are stashed and replayed
+//! at admission, so a fast peer racing ahead never wedges a slow one.
+//!
+//! Bit-for-bit: every iteration runs the same graph on the same
+//! inputs with the same seed, so each iteration's installed
+//! parameters equal the single-iteration result — pipelining
+//! reorders work across iterations but never inside one chunk's
+//! dependency chain. The returned flows are the final iteration's.
+
+use crate::engine::{
+    record_run_metrics, replicate, Cell, FlowLayout, Flows, Instruments, Msg, NodeCore, NodePlan,
+    Payload, RunOutcome, RuntimeConfig,
+};
+use crate::report::RuntimeReport;
+use hipress_compress::Compressor;
+use hipress_core::graph::{TaskGraph, TaskId};
+use hipress_core::Primitive;
+use hipress_fabric::{ChannelFabric, Fabric, FabricError, Link};
+use hipress_util::{Error, Result, SyncFailure, SyncFailureKind};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many iterations to run and how many may overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Total synchronization iterations to execute (≥ 1).
+    pub iterations: u32,
+    /// Bound on concurrently in-flight iterations (≥ 1; 1 = serial).
+    pub window: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 1,
+            window: 1,
+        }
+    }
+}
+
+/// Converts a transport failure into the workspace error type,
+/// naming the dead peer as the failing node (that is the rank a CI
+/// smoke test greps for) and the observer as the peer.
+pub(crate) fn fabric_err(me: usize, e: FabricError) -> Error {
+    match e {
+        FabricError::PeerLost { peer, detail } => Error::sync(SyncFailure {
+            kind: SyncFailureKind::LinkDead,
+            node: peer,
+            peer: Some(me),
+            task: None,
+            detail,
+        }),
+        FabricError::DeadLink {
+            peer,
+            seq,
+            attempts,
+        } => Error::sync(SyncFailure {
+            kind: SyncFailureKind::LinkDead,
+            node: peer,
+            peer: Some(me),
+            task: None,
+            detail: format!("seq {seq} unacknowledged after {attempts} attempts"),
+        }),
+        other => Error::sim(format!("node {me}: fabric failure: {other}")),
+    }
+}
+
+/// One admitted iteration's private dataflow state: its own cells,
+/// queues, and dependency counts — iterations share nothing but the
+/// link.
+struct IterState<'a> {
+    core: NodeCore<'a>,
+    pending: HashMap<u32, usize>,
+    q_comp: VecDeque<TaskId>,
+    q_commu: VecDeque<TaskId>,
+    done: usize,
+    admitted: Instant,
+}
+
+impl IterState<'_> {
+    fn enqueue(&mut self, graph: &TaskGraph, t: TaskId) {
+        if matches!(graph.task(t).prim, Primitive::Send | Primitive::Recv) {
+            self.q_commu.push_back(t);
+        } else {
+            self.q_comp.push_back(t);
+        }
+    }
+
+    fn resolve_dep(&mut self, graph: &TaskGraph, t: u32) {
+        let n = self
+            .pending
+            .get_mut(&t)
+            .expect("resolve_dep on a task this node does not own");
+        *n -= 1;
+        if *n == 0 {
+            self.enqueue(graph, TaskId(t));
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        plan: &NodePlan,
+        graph: &TaskGraph,
+        task: TaskId,
+        payload: Option<Arc<Payload>>,
+    ) {
+        let wire_bytes = payload.as_deref().map(Payload::wire_bytes);
+        if let Some(p) = payload {
+            self.core.inbound.insert(task.0, p);
+        }
+        self.core.note_message(task, wire_bytes);
+        if let Some(deps) = plan.remote_edges_in[self.core.node].get(&task.0) {
+            for &d in deps.clone().iter() {
+                self.resolve_dep(graph, d);
+            }
+        }
+    }
+}
+
+/// One node's pipelined task manager, generic over the transport.
+/// Borrows the link rather than owning it: a process-fabric child
+/// must keep its `TcpLink` (and its ack-servicing reader threads)
+/// alive after the protocol completes, until the coordinator calls
+/// time — dropping it early would tear the sockets down under peers
+/// still finishing.
+struct PipeWorker<'a, L: Link<Msg = Msg>> {
+    link: &'a mut L,
+    graph: &'a TaskGraph,
+    flows: &'a crate::engine::ReplicaFlows,
+    layout: &'a FlowLayout,
+    plan: &'a NodePlan,
+    compressor: Option<&'a dyn Compressor>,
+    seed: u64,
+    config: RuntimeConfig,
+    pcfg: PipelineConfig,
+    /// Admitted, incomplete iterations in ascending order.
+    iters: BTreeMap<u32, IterState<'a>>,
+    /// Arrivals for iterations not yet admitted, replayed at
+    /// admission.
+    stash: HashMap<u32, Vec<(TaskId, Option<Arc<Payload>>)>>,
+    next_admit: u32,
+    completed: u32,
+    report: RuntimeReport,
+    final_cells: Option<HashMap<(u32, u32), Cell>>,
+}
+
+impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
+    fn me(&self) -> usize {
+        self.link.me()
+    }
+
+    /// Admits iterations while the window has room, seeding each with
+    /// its dependency-free tasks and replaying any stashed arrivals.
+    fn admit_ready(&mut self) {
+        loop {
+            let lowest_incomplete = self.iters.keys().next().copied().unwrap_or(self.next_admit);
+            if self.next_admit >= self.pcfg.iterations
+                || self.next_admit >= lowest_incomplete + self.pcfg.window
+            {
+                return;
+            }
+            let iter = self.next_admit;
+            self.next_admit += 1;
+            let mut st = IterState {
+                core: NodeCore::new(
+                    self.link.me(),
+                    self.graph,
+                    self.flows,
+                    self.layout,
+                    self.compressor,
+                    self.seed,
+                    None,
+                    None,
+                ),
+                pending: self.plan.pending[self.link.me()].clone(),
+                q_comp: VecDeque::new(),
+                q_commu: VecDeque::new(),
+                done: 0,
+                admitted: Instant::now(),
+            };
+            let mut ready: Vec<u32> = st
+                .pending
+                .iter()
+                .filter(|&(_, &n)| n == 0)
+                .map(|(&t, _)| t)
+                .collect();
+            ready.sort_unstable(); // Deterministic initial order.
+            for t in ready {
+                st.enqueue(self.graph, TaskId(t));
+            }
+            if let Some(msgs) = self.stash.remove(&iter) {
+                for (task, payload) in msgs {
+                    st.deliver(self.plan, self.graph, task, payload);
+                }
+            }
+            self.iters.insert(iter, st);
+        }
+    }
+
+    fn broadcast_abort(&mut self) {
+        for n in 0..self.link.nodes() {
+            if n != self.link.me() {
+                // A vanished peer already failed; nothing to tell it.
+                let _ = self.link.send(n, Msg::Abort);
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: Msg) -> Result<()> {
+        match msg {
+            Msg::Abort => Err(Error::sim("aborted")),
+            Msg::Done {
+                task,
+                payload,
+                iter,
+            } => {
+                if let Some(st) = self.iters.get_mut(&iter) {
+                    st.deliver(self.plan, self.graph, task, payload);
+                } else if iter >= self.next_admit {
+                    self.stash.entry(iter).or_default().push((task, payload));
+                }
+                // A message for a completed iteration cannot occur on
+                // a deduplicating fabric (completion requires every
+                // remote edge consumed); tolerate and drop it anyway.
+                Ok(())
+            }
+        }
+    }
+
+    /// Pops the next ready task, oldest iteration first and
+    /// communication before computing within it.
+    fn next_ready(&mut self) -> Option<(u32, TaskId)> {
+        for (&iter, st) in self.iters.iter_mut() {
+            if let Some(t) = st.q_commu.pop_front() {
+                return Some((iter, t));
+            }
+            if let Some(t) = st.q_comp.pop_front() {
+                return Some((iter, t));
+            }
+        }
+        None
+    }
+
+    fn execute(&mut self, iter: u32, id: TaskId) -> Result<()> {
+        let task = self.graph.task(id);
+        // Batch compression across the whole window: gather ready
+        // small encodes from *every* admitted iteration so one launch
+        // covers work the pipeline made concurrently ready (§3.2
+        // batching, extended across overlapping iterations).
+        if task.prim == Primitive::Encode
+            && self.config.batch_compression
+            && task.bytes_raw <= self.config.comp_batch_max_task_bytes
+        {
+            let mut batch = vec![(iter, id)];
+            let keys: Vec<u32> = self.iters.keys().copied().collect();
+            for k in keys {
+                let st = self.iters.get_mut(&k).expect("admitted iteration");
+                let mut rest = VecDeque::new();
+                while let Some(t) = st.q_comp.pop_front() {
+                    let n = self.graph.task(t);
+                    if n.prim == Primitive::Encode
+                        && n.bytes_raw <= self.config.comp_batch_max_task_bytes
+                    {
+                        batch.push((k, t));
+                    } else {
+                        rest.push_back(t);
+                    }
+                }
+                st.q_comp = rest;
+            }
+            self.iters
+                .get_mut(&iter)
+                .expect("initiating iteration")
+                .core
+                .report
+                .comp_batch_launches += 1;
+            for (k, t) in batch {
+                let outbound = self
+                    .iters
+                    .get_mut(&k)
+                    .expect("batched iteration")
+                    .core
+                    .execute_one(t)?;
+                self.finish(k, t, outbound);
+            }
+            return Ok(());
+        }
+        let outbound = self
+            .iters
+            .get_mut(&iter)
+            .expect("scheduled iteration")
+            .core
+            .execute_one(id)?;
+        self.finish(iter, id, outbound);
+        Ok(())
+    }
+
+    /// Marks `id` of iteration `iter` complete: resolves local
+    /// dependents, ships completion events to remote nodes, and — when
+    /// the iteration's last local task lands — retires the iteration
+    /// and admits the next.
+    fn finish(&mut self, iter: u32, id: TaskId, payload: Option<Arc<Payload>>) {
+        let graph = self.graph;
+        let plan = self.plan;
+        let st = self.iters.get_mut(&iter).expect("finishing iteration");
+        st.done += 1;
+        if let Some(deps) = plan.local_dependents.get(&id.0) {
+            for &d in deps.clone().iter() {
+                st.resolve_dep(graph, d);
+            }
+        }
+        let done = st.done;
+        if let Some(nodes) = plan.remote_notify.get(&id.0) {
+            for &n in nodes {
+                // A lost peer surfaces on the receive path with its
+                // rank; completion only needs the sends attempted.
+                let _ = self.link.send(
+                    n,
+                    Msg::Done {
+                        task: id,
+                        payload: payload.clone(),
+                        iter,
+                    },
+                );
+            }
+        }
+        if done == plan.local_counts[self.link.me()] {
+            let mut st = self.iters.remove(&iter).expect("retiring iteration");
+            self.report.iter_span_ns_total += st.admitted.elapsed().as_nanos() as u64;
+            self.report.absorb(&std::mem::take(&mut st.core.report));
+            if iter + 1 == self.pcfg.iterations {
+                self.final_cells = Some(std::mem::take(&mut st.core.cells));
+            }
+            self.completed += 1;
+            self.admit_ready();
+        }
+    }
+
+    fn run(&mut self) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
+        self.admit_ready();
+        while self.completed < self.pcfg.iterations {
+            // Drain the inbox without blocking: completion events
+            // promote tasks into the queues.
+            while let Some(msg) = self.link.try_recv().map_err(|e| fabric_err(self.me(), e))? {
+                self.handle(msg)?;
+            }
+            if let Some((iter, id)) = self.next_ready() {
+                if let Err(e) = self.execute(iter, id) {
+                    self.broadcast_abort();
+                    return Err(e);
+                }
+            } else if self.completed < self.pcfg.iterations {
+                match self
+                    .link
+                    .recv_timeout(self.config.inbox_timeout)
+                    .map_err(|e| fabric_err(self.me(), e))?
+                {
+                    Some(msg) => self.handle(msg)?,
+                    None => {
+                        self.broadcast_abort();
+                        let (lowest, done) = self
+                            .iters
+                            .iter()
+                            .next()
+                            .map(|(&k, s)| (k, s.done))
+                            .unwrap_or((self.next_admit, 0));
+                        return Err(Error::sim(format!(
+                            "node {} wedged: iteration {lowest} at {done} of {} tasks done, \
+                             inbox silent",
+                            self.me(),
+                            self.plan.local_counts[self.me()]
+                        )));
+                    }
+                }
+            }
+        }
+        let c = self.link.counters();
+        self.report.fabric_frames += c.frames;
+        self.report.fabric_bytes_framed += c.bytes_framed;
+        self.report.fabric_bytes_payload += c.bytes_payload;
+        self.report.fabric_retransmits += c.retransmits;
+        let cells = self
+            .final_cells
+            .take()
+            .ok_or_else(|| Error::sim("pipelined run retired no final iteration"))?;
+        Ok((cells, std::mem::take(&mut self.report)))
+    }
+}
+
+/// Drives one node's full pipelined execution over `link`, returning
+/// its final-iteration cells and its accumulated (all-iterations)
+/// report. The loop the channel fabric threads and the TCP mesh
+/// processes both run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
+    link: &'a mut L,
+    graph: &'a TaskGraph,
+    flows: &'a crate::engine::ReplicaFlows,
+    layout: &'a FlowLayout,
+    plan: &'a NodePlan,
+    compressor: Option<&'a dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    pcfg: &PipelineConfig,
+) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
+    let mut worker = PipeWorker {
+        link,
+        graph,
+        flows,
+        layout,
+        plan,
+        compressor,
+        seed,
+        config: *config,
+        pcfg: *pcfg,
+        iters: BTreeMap::new(),
+        stash: HashMap::new(),
+        next_admit: 0,
+        completed: 0,
+        report: RuntimeReport::default(),
+        final_cells: None,
+    };
+    worker.run()
+}
+
+/// Validates a pipeline configuration against what the driver
+/// supports.
+pub(crate) fn validate(pcfg: &PipelineConfig) -> Result<()> {
+    if pcfg.iterations == 0 {
+        return Err(Error::config("pipelined run needs at least one iteration"));
+    }
+    if pcfg.window == 0 {
+        return Err(Error::config("pipeline window must be at least 1"));
+    }
+    Ok(())
+}
+
+/// Executes `graph` for `pcfg.iterations` iterations on `nodes` OS
+/// threads over the in-process channel fabric, overlapping up to
+/// `pcfg.window` iterations per node. Returns the final iteration's
+/// flows; the report accumulates all iterations and records the
+/// window, iteration count, and per-iteration spans
+/// ([`RuntimeReport::pipeline_overlap`]).
+///
+/// Tracing is not supported on this path (spans from overlapping
+/// iterations would interleave on one track and break the
+/// trace-report parity contract); a tracer in `instruments` is a
+/// configuration error. Metrics record run-level aggregates only.
+///
+/// # Errors
+///
+/// As [`crate::run`], plus configuration errors for a zero iteration
+/// count, a zero window, or a tracer.
+pub fn run_pipelined(
+    graph: &TaskGraph,
+    nodes: usize,
+    flows: &Flows,
+    compressor: Option<&dyn Compressor>,
+    seed: u64,
+    config: &RuntimeConfig,
+    pcfg: &PipelineConfig,
+    instruments: Instruments<'_>,
+) -> Result<RunOutcome> {
+    if instruments.tracer.is_some() {
+        return Err(Error::config(
+            "tracing is not supported on the pipelined path",
+        ));
+    }
+    validate(pcfg)?;
+    #[cfg(debug_assertions)]
+    hipress_lint::plan::verify(graph, nodes).into_result()?;
+    let replicated = replicate(flows);
+    let layout = FlowLayout::derive(graph, nodes, &replicated)?;
+    let plan = NodePlan::derive(graph, nodes);
+
+    let mut fabric: ChannelFabric<Msg> = ChannelFabric::new(nodes);
+    let links: Vec<_> = (0..nodes)
+        .map(|r| fabric.link(r).expect("fresh fabric link"))
+        .collect();
+
+    let started = Instant::now();
+    let mut results: Vec<Result<(HashMap<(u32, u32), Cell>, RuntimeReport)>> = (0..nodes)
+        .map(|_| Err(Error::sim("node never ran")))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nodes);
+        for mut link in links {
+            let replicated = &replicated;
+            let layout = &layout;
+            let plan = &plan;
+            handles.push(scope.spawn(move || {
+                drive_node(
+                    &mut link, graph, replicated, layout, plan, compressor, seed, config, pcfg,
+                )
+            }));
+        }
+        for (node, h) in handles.into_iter().enumerate() {
+            results[node] = h
+                .join()
+                .unwrap_or_else(|_| Err(Error::sim(format!("node {node} thread panicked"))));
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    // Prefer a root-cause error over the "aborted" echoes it causes.
+    let mut aborted = None;
+    let mut cells_per_node = Vec::with_capacity(nodes);
+    let mut report = RuntimeReport {
+        nodes,
+        wall_ns,
+        per_node_busy_ns: vec![0; nodes],
+        iterations: u64::from(pcfg.iterations),
+        pipeline_window: u64::from(pcfg.window),
+        ..Default::default()
+    };
+    for (node, r) in results.into_iter().enumerate() {
+        match r {
+            Ok((cells, node_report)) => {
+                report.absorb(&node_report);
+                report.per_node_busy_ns[node] = node_report.total_busy_ns();
+                cells_per_node.push(cells);
+            }
+            Err(e) => {
+                if matches!(&e, Error::Sim(m) if m == "aborted") {
+                    aborted = Some(e);
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = aborted {
+        return Err(e);
+    }
+
+    if let Some(scope) = instruments.metrics {
+        record_run_metrics(scope, &report);
+    }
+
+    let flows_out = layout.assemble(&cells_per_node)?;
+    Ok(RunOutcome {
+        flows: flows_out,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use hipress_compress::Algorithm;
+    use hipress_core::interp::gradient_flows;
+    use hipress_core::plan::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
+    use hipress_core::{ClusterConfig, Strategy};
+    use hipress_tensor::synth::{generate, GradientShape};
+    use hipress_tensor::Tensor;
+
+    fn worker_grads(nodes: usize, sizes: &[usize]) -> Vec<Vec<Tensor>> {
+        (0..nodes)
+            .map(|w| {
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &n)| {
+                        generate(
+                            n,
+                            GradientShape::Gaussian { std_dev: 1.0 },
+                            (w * 1000 + g) as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn iter_spec(sizes: &[usize], alg: Option<Algorithm>, k: usize) -> IterationSpec {
+        IterationSpec {
+            gradients: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| SyncGradient {
+                    name: format!("g{i}"),
+                    bytes: (n * 4) as u64,
+                    ready_offset_ns: 0,
+                    plan: GradPlan {
+                        compress: true,
+                        partitions: k,
+                    },
+                })
+                .collect(),
+            compression: alg.map(|a| CompressionSpec::of(a.build().unwrap().as_ref())),
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_single_iteration_bit_for_bit() {
+        let nodes = 3;
+        let sizes = [512usize, 96];
+        let grads = worker_grads(nodes, &sizes);
+        let flows = gradient_flows(&grads);
+        let alg = Algorithm::OneBit;
+        let c = alg.build().unwrap();
+        let cluster = ClusterConfig::ec2(nodes);
+        for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let graph = strat
+                .build(&cluster, &iter_spec(&sizes, Some(alg), 2))
+                .unwrap();
+            let single = run(
+                &graph,
+                nodes,
+                &flows,
+                Some(c.as_ref()),
+                9,
+                &RuntimeConfig::default(),
+            )
+            .unwrap();
+            for (iterations, window) in [(1, 1), (4, 1), (4, 3), (6, 8)] {
+                let piped = run_pipelined(
+                    &graph,
+                    nodes,
+                    &flows,
+                    Some(c.as_ref()),
+                    9,
+                    &RuntimeConfig::default(),
+                    &PipelineConfig { iterations, window },
+                    Instruments::default(),
+                )
+                .unwrap();
+                assert_eq!(single.flows.len(), piped.flows.len());
+                for (a, b) in single.flows.iter().zip(&piped.flows) {
+                    assert_eq!(a.flow, b.flow);
+                    assert_eq!(
+                        a.per_node, b.per_node,
+                        "{strat:?} diverged at {iterations}x window {window}"
+                    );
+                }
+                assert_eq!(piped.report.iterations, u64::from(iterations));
+                assert_eq!(piped.report.pipeline_window, u64::from(window));
+                assert!(piped.report.iter_span_ns_total > 0);
+                // Every iteration runs the full graph: primitive
+                // counts scale linearly.
+                assert_eq!(
+                    piped.report.update.count,
+                    single.report.update.count * u64::from(iterations)
+                );
+                // The channel fabric counts frames (one per delivered
+                // message).
+                assert_eq!(piped.report.fabric_frames, piped.report.messages);
+            }
+        }
+    }
+
+    #[test]
+    fn uncompressed_pipeline_works_too() {
+        let nodes = 2;
+        let sizes = [128usize];
+        let grads = worker_grads(nodes, &sizes);
+        let flows = gradient_flows(&grads);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncRing
+            .build(&cluster, &iter_spec(&sizes, None, 2))
+            .unwrap();
+        let single = run(&graph, nodes, &flows, None, 5, &RuntimeConfig::default()).unwrap();
+        let piped = run_pipelined(
+            &graph,
+            nodes,
+            &flows,
+            None,
+            5,
+            &RuntimeConfig::default(),
+            &PipelineConfig {
+                iterations: 3,
+                window: 2,
+            },
+            Instruments::default(),
+        )
+        .unwrap();
+        for (a, b) in single.flows.iter().zip(&piped.flows) {
+            assert_eq!(a.per_node, b.per_node);
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let nodes = 2;
+        let sizes = [64usize];
+        let grads = worker_grads(nodes, &sizes);
+        let flows = gradient_flows(&grads);
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncPs
+            .build(&cluster, &iter_spec(&sizes, None, 1))
+            .unwrap();
+        for pcfg in [
+            PipelineConfig {
+                iterations: 0,
+                window: 1,
+            },
+            PipelineConfig {
+                iterations: 1,
+                window: 0,
+            },
+        ] {
+            let err = run_pipelined(
+                &graph,
+                nodes,
+                &flows,
+                None,
+                1,
+                &RuntimeConfig::default(),
+                &pcfg,
+                Instruments::default(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{err}");
+        }
+        let tracer = hipress_trace::Tracer::new("t");
+        let err = run_pipelined(
+            &graph,
+            nodes,
+            &flows,
+            None,
+            1,
+            &RuntimeConfig::default(),
+            &PipelineConfig::default(),
+            Instruments {
+                tracer: Some(&tracer),
+                metrics: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+}

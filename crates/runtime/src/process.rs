@@ -1,0 +1,1258 @@
+//! Multi-process CaSync-RT: one OS process per node over a loopback
+//! TCP mesh.
+//!
+//! [`run_processes`] is the coordinator. It binds a rendezvous
+//! socket, spawns one worker process per node (`hipress node
+//! --connect ADDR --rank R --nodes N` — the binary re-executes
+//! itself), and speaks a small length-prefixed control protocol with
+//! each child:
+//!
+//! 1. Child binds its mesh listener, dials the coordinator, and sends
+//!    [`Ctl::Hello`] with its rank and mesh port.
+//! 2. Once every rank has checked in, the coordinator sends each a
+//!    [`Ctl::Job`]: the full synchronization spec (strategy,
+//!    algorithm, partitions, seed, runtime knobs, pipeline shape),
+//!    every rank's mesh port, and *that rank's* gradient tensors
+//!    only — each worker owns its own data, exactly as real data
+//!    parallel training does.
+//! 3. Children build the identical task graph from the spec, connect
+//!    the full TCP mesh ([`hipress_fabric::tcp::connect_mesh`]), and
+//!    run the pipelined driver ([`crate::pipeline`]) over it.
+//! 4. Each child reports [`Ctl::Outcome`] (its updated chunks and
+//!    measured report) or [`Ctl::Failed`], then *holds its mesh link
+//!    open* until the coordinator's [`Ctl::Shutdown`] — reader
+//!    threads keep servicing peers' acks, so a fast finisher never
+//!    tears the sockets down under a slow one.
+//!
+//! The child rebuilds its graph from the same inputs the in-process
+//! backends use, and every node's flow lengths are known from the
+//! spec (ranks zero-fill the tensors they do not own; the dataflow
+//! only ever reads a node's own flows at `Source`). Together with the
+//! per-task codec seeding this makes the process backend bit-for-bit
+//! identical to [`Backend::Threads`][crate::Backend::Threads] and the
+//! interpreter.
+//!
+//! A worker that dies mid-protocol (crash, kill, [`ProcessConfig::
+//! kill_node`] fault injection) surfaces twice: survivors diagnose
+//! the dead mesh link and report a structured failure naming the dead
+//! rank, and the coordinator sees the child's control stream close
+//! without an outcome. Either way [`run_processes`] returns a
+//! [`SyncFailure`] naming the dead node — never a hang.
+
+use crate::engine::{replicate, Cell, FlowLayout, Msg, NodePlan, RunOutcome, RuntimeConfig};
+use crate::pipeline::{drive_node, fabric_err, validate, PipelineConfig};
+use crate::report::{PrimStat, RuntimeReport};
+use hipress_compress::Algorithm;
+use hipress_core::{
+    ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
+};
+use hipress_fabric::tcp::{connect_mesh, MeshConfig};
+use hipress_fabric::{DecodeError, LinkTuning, Reader, WireMsg, Writer};
+use hipress_tensor::Tensor;
+use hipress_util::{Error, Result, SyncFailure, SyncFailureKind};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Inherited marker that a process *is* a spawned worker. A worker
+/// binary that fails to dispatch the `node` subcommand re-runs its
+/// caller's `main` instead; if that path reaches [`run_processes`]
+/// again, the guard turns what would be a process fork-bomb into an
+/// immediate configuration error.
+const SPAWN_GUARD_ENV: &str = "HIPRESS_SPAWNED_WORKER";
+
+/// How the coordinator launches and supervises worker processes.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessConfig {
+    /// The worker binary to execute with `node --connect ...`. When
+    /// unset, `HIPRESS_NODE_BIN` is consulted, then the current
+    /// executable (the `hipress` CLI re-executes itself).
+    pub binary: Option<PathBuf>,
+    /// Fault injection: this rank exits mid-protocol right after mesh
+    /// setup, exercising the dead-link diagnosis end to end.
+    pub kill_node: Option<usize>,
+    /// How long workers may take to check in at rendezvous.
+    /// `Duration::ZERO` means the 10 s default.
+    pub connect_timeout: Duration,
+    /// How long each worker may take to report its outcome.
+    /// `Duration::ZERO` means the 60 s default.
+    pub run_timeout: Duration,
+}
+
+impl ProcessConfig {
+    fn connect_deadline(&self) -> Duration {
+        if self.connect_timeout.is_zero() {
+            Duration::from_secs(10)
+        } else {
+            self.connect_timeout
+        }
+    }
+
+    fn run_deadline(&self) -> Duration {
+        if self.run_timeout.is_zero() {
+            Duration::from_secs(60)
+        } else {
+            self.run_timeout
+        }
+    }
+}
+
+/// Everything a worker needs to run its share of one synchronization
+/// job: the spec to rebuild the graph from, the runtime knobs, the
+/// mesh topology, and this rank's own gradients.
+struct Job {
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: u32,
+    seed: u64,
+    nodes: u32,
+    rank: u32,
+    config: RuntimeConfig,
+    iterations: u32,
+    window: u32,
+    /// Exit mid-protocol after mesh setup (fault injection).
+    kill: bool,
+    /// Element count of every gradient (identical across ranks).
+    grad_lens: Vec<u32>,
+    /// This rank's gradient values, parallel to `grad_lens`.
+    grads: Vec<Vec<f32>>,
+    /// Every rank's mesh listener port, indexed by rank.
+    mesh_ports: Vec<u16>,
+}
+
+/// The coordinator-worker control protocol.
+enum Ctl {
+    /// Worker → coordinator: `rank` is listening for mesh peers on
+    /// `mesh_port`.
+    Hello { rank: u32, mesh_port: u16 },
+    /// Coordinator → worker: the job to run.
+    Job(Box<Job>),
+    /// Worker → coordinator: the protocol completed; here are the
+    /// updated chunk values `(flow, part, elements)` and the measured
+    /// report.
+    Outcome {
+        cells: Vec<(u32, u32, Vec<f32>)>,
+        report: RuntimeReport,
+    },
+    /// Worker → coordinator: the protocol failed.
+    Failed(Error),
+    /// Coordinator → worker: all outcomes collected; tear the mesh
+    /// down and exit.
+    Shutdown,
+}
+
+const CTL_HELLO: u8 = 1;
+const CTL_JOB: u8 = 2;
+const CTL_OUTCOME: u8 = 3;
+const CTL_FAILED: u8 = 4;
+const CTL_SHUTDOWN: u8 = 5;
+
+fn put_strategy(w: &mut Writer, s: Strategy) {
+    w.put_u8(match s {
+        Strategy::CaSyncPs => 1,
+        Strategy::CaSyncRing => 2,
+        Strategy::BytePs => 3,
+        Strategy::HorovodRing => 4,
+    });
+}
+
+fn get_strategy(r: &mut Reader<'_>) -> std::result::Result<Strategy, DecodeError> {
+    match r.u8()? {
+        1 => Ok(Strategy::CaSyncPs),
+        2 => Ok(Strategy::CaSyncRing),
+        3 => Ok(Strategy::BytePs),
+        4 => Ok(Strategy::HorovodRing),
+        t => Err(DecodeError::BadTag {
+            what: "strategy",
+            tag: u64::from(t),
+        }),
+    }
+}
+
+fn put_algorithm(w: &mut Writer, a: Algorithm) {
+    match a {
+        Algorithm::None => w.put_u8(0),
+        Algorithm::OneBit => w.put_u8(1),
+        Algorithm::Tbq { tau } => {
+            w.put_u8(2);
+            w.put_f32(tau);
+        }
+        Algorithm::TernGrad { bitwidth } => {
+            w.put_u8(3);
+            w.put_u8(bitwidth);
+        }
+        Algorithm::Dgc { rate } => {
+            w.put_u8(4);
+            w.put_f64(rate);
+        }
+        Algorithm::GradDrop { rate } => {
+            w.put_u8(5);
+            w.put_f64(rate);
+        }
+    }
+}
+
+fn get_algorithm(r: &mut Reader<'_>) -> std::result::Result<Algorithm, DecodeError> {
+    match r.u8()? {
+        0 => Ok(Algorithm::None),
+        1 => Ok(Algorithm::OneBit),
+        2 => Ok(Algorithm::Tbq { tau: r.f32()? }),
+        3 => Ok(Algorithm::TernGrad { bitwidth: r.u8()? }),
+        4 => Ok(Algorithm::Dgc { rate: r.f64()? }),
+        5 => Ok(Algorithm::GradDrop { rate: r.f64()? }),
+        t => Err(DecodeError::BadTag {
+            what: "algorithm",
+            tag: u64::from(t),
+        }),
+    }
+}
+
+fn put_prim(w: &mut Writer, s: PrimStat) {
+    w.put_u64(s.count);
+    w.put_u64(s.busy_ns);
+}
+
+fn get_prim(r: &mut Reader<'_>) -> std::result::Result<PrimStat, DecodeError> {
+    Ok(PrimStat {
+        count: r.u64()?,
+        busy_ns: r.u64()?,
+    })
+}
+
+/// Encodes the scalar measurements a worker accumulates. Run-level
+/// fields the coordinator owns (`nodes`, `wall_ns`,
+/// `per_node_busy_ns`, `iterations`, `pipeline_window`) and the fault
+/// report (always empty on the pipelined path — the process fabric's
+/// reliability stats ride in the `fabric_*` counters) are not
+/// transferred.
+fn put_report(w: &mut Writer, rep: &RuntimeReport) {
+    for s in [
+        rep.source,
+        rep.encode,
+        rep.decode,
+        rep.merge,
+        rep.send,
+        rep.recv,
+        rep.update,
+        rep.barrier,
+    ] {
+        put_prim(w, s);
+    }
+    w.put_u64(rep.local_agg_ns);
+    w.put_u64(rep.bytes_wire);
+    w.put_u64(rep.bytes_raw);
+    w.put_u64(rep.messages);
+    w.put_u64(rep.comp_batch_launches);
+    w.put_u64(rep.fabric_frames);
+    w.put_u64(rep.fabric_bytes_framed);
+    w.put_u64(rep.fabric_bytes_payload);
+    w.put_u64(rep.fabric_retransmits);
+    w.put_u64(rep.iter_span_ns_total);
+}
+
+fn get_report(r: &mut Reader<'_>) -> std::result::Result<RuntimeReport, DecodeError> {
+    let mut rep = RuntimeReport::default();
+    for s in [
+        &mut rep.source,
+        &mut rep.encode,
+        &mut rep.decode,
+        &mut rep.merge,
+        &mut rep.send,
+        &mut rep.recv,
+        &mut rep.update,
+        &mut rep.barrier,
+    ] {
+        *s = get_prim(r)?;
+    }
+    rep.local_agg_ns = r.u64()?;
+    rep.bytes_wire = r.u64()?;
+    rep.bytes_raw = r.u64()?;
+    rep.messages = r.u64()?;
+    rep.comp_batch_launches = r.u64()?;
+    rep.fabric_frames = r.u64()?;
+    rep.fabric_bytes_framed = r.u64()?;
+    rep.fabric_bytes_payload = r.u64()?;
+    rep.fabric_retransmits = r.u64()?;
+    rep.iter_span_ns_total = r.u64()?;
+    Ok(rep)
+}
+
+fn put_error(w: &mut Writer, e: &Error) {
+    if let Error::Sync(f) = e {
+        w.put_u8(1);
+        w.put_u8(match f.kind {
+            SyncFailureKind::RecvTimeout => 0,
+            SyncFailureKind::LinkDead => 1,
+            SyncFailureKind::Straggler => 2,
+            SyncFailureKind::InjectedCrash => 3,
+            SyncFailureKind::Aborted => 4,
+        });
+        w.put_u64(f.node as u64);
+        match f.peer {
+            Some(p) => {
+                w.put_u8(1);
+                w.put_u64(p as u64);
+            }
+            None => w.put_u8(0),
+        }
+        match f.task {
+            Some(t) => {
+                w.put_u8(1);
+                w.put_u32(t);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_str(&f.detail);
+    } else {
+        // Other categories travel as their message; "aborted" echoes
+        // keep their exact text so root-cause preference still works.
+        w.put_u8(0);
+        w.put_str(&e.to_string());
+        w.put_u8(matches!(e, Error::Sim(m) if m == "aborted") as u8);
+    }
+}
+
+fn get_error(r: &mut Reader<'_>) -> std::result::Result<Error, DecodeError> {
+    if r.u8()? == 1 {
+        let kind = match r.u8()? {
+            0 => SyncFailureKind::RecvTimeout,
+            1 => SyncFailureKind::LinkDead,
+            2 => SyncFailureKind::Straggler,
+            3 => SyncFailureKind::InjectedCrash,
+            4 => SyncFailureKind::Aborted,
+            t => {
+                return Err(DecodeError::BadTag {
+                    what: "failure kind",
+                    tag: u64::from(t),
+                })
+            }
+        };
+        let node = r.u64()? as usize;
+        let peer = if r.u8()? == 1 {
+            Some(r.u64()? as usize)
+        } else {
+            None
+        };
+        let task = if r.u8()? == 1 { Some(r.u32()?) } else { None };
+        let detail = r.str()?.to_string();
+        Ok(Error::sync(SyncFailure {
+            kind,
+            node,
+            peer,
+            task,
+            detail,
+        }))
+    } else {
+        let msg = r.str()?.to_string();
+        let aborted = r.u8()? == 1;
+        Ok(if aborted {
+            Error::sim("aborted")
+        } else {
+            Error::sim(msg)
+        })
+    }
+}
+
+impl WireMsg for Ctl {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Ctl::Hello { rank, mesh_port } => {
+                w.put_u8(CTL_HELLO);
+                w.put_u32(*rank);
+                w.put_u16(*mesh_port);
+            }
+            Ctl::Job(j) => {
+                w.put_u8(CTL_JOB);
+                put_strategy(w, j.strategy);
+                put_algorithm(w, j.algorithm);
+                w.put_u32(j.partitions);
+                w.put_u64(j.seed);
+                w.put_u32(j.nodes);
+                w.put_u32(j.rank);
+                w.put_u8(u8::from(j.config.batch_compression));
+                w.put_u64(j.config.comp_batch_max_task_bytes);
+                w.put_u64(j.config.inbox_timeout.as_nanos() as u64);
+                w.put_u64(j.config.ft_min_wait.as_nanos() as u64);
+                w.put_u64(j.config.ft_max_wait.as_nanos() as u64);
+                w.put_u64(j.config.ft_heartbeat.as_nanos() as u64);
+                w.put_u32(j.iterations);
+                w.put_u32(j.window);
+                w.put_u8(u8::from(j.kill));
+                w.put_u32(j.grad_lens.len() as u32);
+                for &n in &j.grad_lens {
+                    w.put_u32(n);
+                }
+                w.put_u32(j.grads.len() as u32);
+                for g in &j.grads {
+                    w.put_f32s(g);
+                }
+                w.put_u32(j.mesh_ports.len() as u32);
+                for &p in &j.mesh_ports {
+                    w.put_u16(p);
+                }
+            }
+            Ctl::Outcome { cells, report } => {
+                w.put_u8(CTL_OUTCOME);
+                w.put_u32(cells.len() as u32);
+                for (f, p, v) in cells {
+                    w.put_u32(*f);
+                    w.put_u32(*p);
+                    w.put_f32s(v);
+                }
+                put_report(w, report);
+            }
+            Ctl::Failed(e) => {
+                w.put_u8(CTL_FAILED);
+                put_error(w, e);
+            }
+            Ctl::Shutdown => w.put_u8(CTL_SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, DecodeError> {
+        match r.u8()? {
+            CTL_HELLO => Ok(Ctl::Hello {
+                rank: r.u32()?,
+                mesh_port: r.u16()?,
+            }),
+            CTL_JOB => {
+                let strategy = get_strategy(r)?;
+                let algorithm = get_algorithm(r)?;
+                let partitions = r.u32()?;
+                let seed = r.u64()?;
+                let nodes = r.u32()?;
+                let rank = r.u32()?;
+                let config = RuntimeConfig {
+                    batch_compression: r.u8()? != 0,
+                    comp_batch_max_task_bytes: r.u64()?,
+                    inbox_timeout: Duration::from_nanos(r.u64()?),
+                    ft_min_wait: Duration::from_nanos(r.u64()?),
+                    ft_max_wait: Duration::from_nanos(r.u64()?),
+                    ft_heartbeat: Duration::from_nanos(r.u64()?),
+                };
+                let iterations = r.u32()?;
+                let window = r.u32()?;
+                let kill = r.u8()? != 0;
+                let mut grad_lens = Vec::new();
+                for _ in 0..r.u32()? {
+                    grad_lens.push(r.u32()?);
+                }
+                let mut grads = Vec::new();
+                for _ in 0..r.u32()? {
+                    grads.push(r.f32s()?);
+                }
+                let mut mesh_ports = Vec::new();
+                for _ in 0..r.u32()? {
+                    mesh_ports.push(r.u16()?);
+                }
+                Ok(Ctl::Job(Box::new(Job {
+                    strategy,
+                    algorithm,
+                    partitions,
+                    seed,
+                    nodes,
+                    rank,
+                    config,
+                    iterations,
+                    window,
+                    kill,
+                    grad_lens,
+                    grads,
+                    mesh_ports,
+                })))
+            }
+            CTL_OUTCOME => {
+                let mut cells = Vec::new();
+                for _ in 0..r.u32()? {
+                    cells.push((r.u32()?, r.u32()?, r.f32s()?));
+                }
+                Ok(Ctl::Outcome {
+                    cells,
+                    report: get_report(r)?,
+                })
+            }
+            CTL_FAILED => Ok(Ctl::Failed(get_error(r)?)),
+            CTL_SHUTDOWN => Ok(Ctl::Shutdown),
+            t => Err(DecodeError::BadTag {
+                what: "ctl",
+                tag: u64::from(t),
+            }),
+        }
+    }
+}
+
+/// Control frames are a plain u32 length prefix + [`WireMsg`] body —
+/// the rendezvous channel is point-to-point and short-lived, so the
+/// mesh's checksummed reliability discipline would be dead weight.
+const CTL_MAX_BYTES: u32 = 1 << 30;
+
+fn ctl_io(detail: impl std::fmt::Display) -> Error {
+    Error::sim(format!("process control channel: {detail}"))
+}
+
+fn write_ctl(stream: &mut TcpStream, msg: &Ctl) -> Result<()> {
+    let body = msg.to_bytes();
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&body);
+    stream.write_all(&buf).map_err(ctl_io)
+}
+
+fn read_ctl(stream: &mut TcpStream) -> Result<Ctl> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).map_err(ctl_io)?;
+    let len = u32::from_le_bytes(len);
+    if len > CTL_MAX_BYTES {
+        return Err(ctl_io(format!("oversized control frame ({len} bytes)")));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body).map_err(ctl_io)?;
+    Ctl::from_bytes(&body).map_err(|e| ctl_io(format!("bad control frame: {e}")))
+}
+
+/// Rebuilds the synchronization graph every backend agrees on from a
+/// job spec — byte counts and plan flags exactly as the facade derives
+/// them from the tensors themselves.
+fn build_graph(
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: usize,
+    grad_lens: &[u32],
+    nodes: usize,
+) -> Result<hipress_core::graph::TaskGraph> {
+    let compressor = algorithm.build();
+    let spec = IterationSpec {
+        gradients: grad_lens
+            .iter()
+            .enumerate()
+            .map(|(g, &n)| SyncGradient {
+                name: format!("g{g}"),
+                bytes: u64::from(n) * 4,
+                ready_offset_ns: 0,
+                plan: GradPlan {
+                    compress: compressor.is_some(),
+                    partitions,
+                },
+            })
+            .collect(),
+        compression: compressor.as_deref().map(CompressionSpec::of),
+    };
+    strategy.build(&ClusterConfig::ec2(nodes), &spec)
+}
+
+/// How root-cause-like an error is, for picking which of several
+/// worker failures to surface: structured diagnoses first (by their
+/// own severity rank), then other errors, then "aborted" echoes.
+fn error_rank(e: &Error) -> u8 {
+    match e {
+        Error::Sync(f) => f.kind.rank(),
+        Error::Sim(m) if m == "aborted" => u8::MAX,
+        _ => 3,
+    }
+}
+
+/// Executes the job as `nodes` real OS processes synchronizing over a
+/// loopback TCP mesh, returning the same [`RunOutcome`] shape as the
+/// in-process backends — and bit-identical flows.
+///
+/// `worker_grads[w][g]` is worker `w`'s gradient `g`, as in the
+/// facade. The report aggregates every worker's measurements and the
+/// fabric's framing counters; `wall_ns` covers rendezvous through the
+/// last outcome (process spawn cost excluded, mesh setup included).
+///
+/// # Errors
+///
+/// Configuration errors for bad shapes or an unresolvable worker
+/// binary; a structured [`SyncFailure`] naming the dead node when a
+/// worker dies mid-protocol; transport errors from the control
+/// channel.
+#[allow(clippy::too_many_arguments)]
+pub fn run_processes(
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: usize,
+    worker_grads: &[Vec<Tensor>],
+    seed: u64,
+    config: &RuntimeConfig,
+    pcfg: &PipelineConfig,
+    pconf: &ProcessConfig,
+) -> Result<RunOutcome> {
+    let nodes = worker_grads.len();
+    validate_grads(worker_grads)?;
+    validate(pcfg)?;
+    if let Some(k) = pconf.kill_node {
+        if k >= nodes {
+            return Err(Error::config(format!(
+                "kill_node {k} out of range for {nodes} workers"
+            )));
+        }
+    }
+
+    // Recursion guard: if the resolved worker binary does not handle
+    // the `node` subcommand (a library consumer's own executable, via
+    // current_exe), each spawned child would re-run its caller's main
+    // and fork-bomb. Workers inherit this marker; a worker that winds
+    // up back here is such a re-run and must die, not spawn.
+    if std::env::var_os(SPAWN_GUARD_ENV).is_some() {
+        return Err(Error::config(
+            "recursive worker spawn: the worker binary re-entered run_processes instead of \
+             handling the `node` subcommand — point ProcessConfig.binary (or HIPRESS_NODE_BIN) \
+             at a binary that dispatches `node` to node_main",
+        ));
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(ctl_io)?;
+    let addr = listener.local_addr().map_err(ctl_io)?;
+    let binary = resolve_binary(pconf)?;
+
+    let mut children = Vec::with_capacity(nodes);
+    for rank in 0..nodes {
+        let child = std::process::Command::new(&binary)
+            .env(SPAWN_GUARD_ENV, "1")
+            .arg("node")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--nodes")
+            .arg(nodes.to_string())
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| {
+                Error::config(format!(
+                    "failed to spawn worker {rank} ({}): {e}",
+                    binary.display()
+                ))
+            })?;
+        children.push(child);
+    }
+
+    let result = coordinate(
+        &listener,
+        strategy,
+        algorithm,
+        partitions,
+        worker_grads,
+        seed,
+        config,
+        pcfg,
+        pconf,
+        &mut children,
+    );
+    reap(&mut children);
+    result
+}
+
+fn validate_grads(worker_grads: &[Vec<Tensor>]) -> Result<()> {
+    if worker_grads.len() < 2 {
+        return Err(Error::config("synchronization needs at least 2 workers"));
+    }
+    let first = &worker_grads[0];
+    for (w, g) in worker_grads.iter().enumerate() {
+        if g.len() != first.len() || g.iter().zip(first).any(|(a, b)| a.len() != b.len()) {
+            return Err(Error::config(format!(
+                "worker {w} gradient shapes differ from worker 0"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn resolve_binary(pconf: &ProcessConfig) -> Result<PathBuf> {
+    if let Some(b) = &pconf.binary {
+        return Ok(b.clone());
+    }
+    if let Ok(b) = std::env::var("HIPRESS_NODE_BIN") {
+        return Ok(PathBuf::from(b));
+    }
+    std::env::current_exe().map_err(|e| Error::config(format!("cannot resolve worker binary: {e}")))
+}
+
+/// The coordinator's post-spawn protocol: rendezvous, job dispatch,
+/// outcome collection, shutdown, assembly. Factored from
+/// [`run_processes`] so tests can drive it with in-process worker
+/// threads (`children` may be empty — liveness checks then skip).
+#[allow(clippy::too_many_arguments)]
+fn coordinate(
+    listener: &TcpListener,
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: usize,
+    worker_grads: &[Vec<Tensor>],
+    seed: u64,
+    config: &RuntimeConfig,
+    pcfg: &PipelineConfig,
+    pconf: &ProcessConfig,
+    children: &mut [std::process::Child],
+) -> Result<RunOutcome> {
+    let nodes = worker_grads.len();
+    let grad_lens: Vec<u32> = worker_grads[0].iter().map(|t| t.len() as u32).collect();
+    let graph = build_graph(strategy, algorithm, partitions, &grad_lens, nodes)?;
+    let flows = hipress_core::interp::gradient_flows(worker_grads);
+    let replicated = replicate(&flows);
+    let layout = FlowLayout::derive(&graph, nodes, &replicated)?;
+
+    let started = Instant::now();
+
+    // Rendezvous: every rank dials in and names its mesh port.
+    listener.set_nonblocking(true).map_err(ctl_io)?;
+    let deadline = Instant::now() + pconf.connect_deadline();
+    let mut streams: Vec<Option<(TcpStream, u16)>> = (0..nodes).map(|_| None).collect();
+    let mut checked_in = 0;
+    while checked_in < nodes {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nonblocking(false).map_err(ctl_io)?;
+                stream.set_nodelay(true).map_err(ctl_io)?;
+                stream
+                    .set_read_timeout(Some(pconf.connect_deadline()))
+                    .map_err(ctl_io)?;
+                let Ctl::Hello { rank, mesh_port } = read_ctl(&mut stream)? else {
+                    return Err(ctl_io("worker spoke before saying Hello"));
+                };
+                let slot = streams
+                    .get_mut(rank as usize)
+                    .ok_or_else(|| ctl_io(format!("Hello from out-of-range rank {rank}")))?;
+                if slot.is_some() {
+                    return Err(ctl_io(format!("two workers claimed rank {rank}")));
+                }
+                *slot = Some((stream, mesh_port));
+                checked_in += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                for (rank, child) in children.iter_mut().enumerate() {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        if streams[rank].is_none() {
+                            return Err(Error::sim(format!(
+                                "worker {rank} exited during rendezvous ({status})"
+                            )));
+                        }
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(ctl_io(format!(
+                        "rendezvous timed out with {checked_in} of {nodes} workers"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(ctl_io(e)),
+        }
+    }
+    let mut streams: Vec<(TcpStream, u16)> = streams
+        .into_iter()
+        .map(|s| s.expect("all ranks in"))
+        .collect();
+    let mesh_ports: Vec<u16> = streams.iter().map(|&(_, p)| p).collect();
+
+    // Dispatch: each rank gets the spec plus its own tensors only.
+    for (rank, (stream, _)) in streams.iter_mut().enumerate() {
+        let job = Job {
+            strategy,
+            algorithm,
+            partitions: partitions as u32,
+            seed,
+            nodes: nodes as u32,
+            rank: rank as u32,
+            config: *config,
+            iterations: pcfg.iterations,
+            window: pcfg.window,
+            kill: pconf.kill_node == Some(rank),
+            grad_lens: grad_lens.clone(),
+            grads: worker_grads[rank]
+                .iter()
+                .map(|t| t.as_slice().to_vec())
+                .collect(),
+            mesh_ports: mesh_ports.clone(),
+        };
+        write_ctl(stream, &Ctl::Job(Box::new(job)))?;
+    }
+
+    // Collect one outcome per rank. Sequential reads are safe: every
+    // worker reports independently (nobody waits on the coordinator
+    // between outcome and shutdown), and each stream carries its own
+    // read deadline so a dead worker costs a timeout, not a hang.
+    let mut per_rank: Vec<Result<(HashMap<(u32, u32), Cell>, RuntimeReport)>> =
+        Vec::with_capacity(nodes);
+    for (rank, (stream, _)) in streams.iter_mut().enumerate() {
+        stream
+            .set_read_timeout(Some(pconf.run_deadline()))
+            .map_err(ctl_io)?;
+        per_rank.push(match read_ctl(stream) {
+            Ok(Ctl::Outcome { cells, report }) => Ok((
+                cells
+                    .into_iter()
+                    .map(|(f, p, v)| {
+                        (
+                            (f, p),
+                            Cell {
+                                updated: Some(v),
+                                ..Cell::default()
+                            },
+                        )
+                    })
+                    .collect(),
+                report,
+            )),
+            Ok(Ctl::Failed(e)) => Err(e),
+            Ok(_) => Err(ctl_io(format!("worker {rank} sent an unexpected message"))),
+            // EOF or timeout without an outcome: the worker died
+            // mid-protocol. Name it.
+            Err(_) => Err(Error::sync(SyncFailure {
+                kind: SyncFailureKind::LinkDead,
+                node: rank,
+                peer: None,
+                task: None,
+                detail: "worker process exited without reporting an outcome".into(),
+            })),
+        });
+    }
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    // Release the mesh: only now may workers drop their links.
+    for (stream, _) in &mut streams {
+        let _ = write_ctl(stream, &Ctl::Shutdown);
+    }
+
+    // Surface the most root-cause-like failure, if any.
+    if per_rank.iter().any(Result::is_err) {
+        let worst = per_rank
+            .into_iter()
+            .filter_map(Result::err)
+            .min_by_key(error_rank)
+            .expect("at least one error");
+        return Err(worst);
+    }
+
+    let mut report = RuntimeReport {
+        nodes,
+        wall_ns,
+        per_node_busy_ns: vec![0; nodes],
+        iterations: u64::from(pcfg.iterations),
+        pipeline_window: u64::from(pcfg.window),
+        ..Default::default()
+    };
+    let mut cells_per_node = Vec::with_capacity(nodes);
+    for (rank, r) in per_rank.into_iter().enumerate() {
+        let (cells, node_report) = r.expect("errors handled above");
+        report.absorb(&node_report);
+        report.per_node_busy_ns[rank] = node_report.total_busy_ns();
+        cells_per_node.push(cells);
+    }
+    let flows_out = layout.assemble(&cells_per_node)?;
+    Ok(RunOutcome {
+        flows: flows_out,
+        report,
+    })
+}
+
+/// Waits briefly for children to exit on their own (they just got
+/// Shutdown), then kills stragglers — the coordinator never leaks
+/// processes, even on error paths.
+fn reap(children: &mut [std::process::Child]) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for child in children.iter_mut() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// What one worker's protocol run concluded.
+enum NodeRun {
+    /// Protocol complete, outcome reported, shutdown received.
+    Completed,
+    /// The injected kill fired; the process should exit nonzero.
+    Killed,
+}
+
+/// Entry point for the `hipress node` subcommand: dial the
+/// coordinator at `connect`, run rank `rank` of `nodes`, exit.
+/// Re-executed by [`run_processes`]; never useful interactively.
+///
+/// # Errors
+///
+/// Transport or protocol failures talking to the coordinator or the
+/// mesh. Exits the process with code 13 when the job injects a kill.
+pub fn node_main(connect: &str, rank: usize, nodes: usize) -> Result<()> {
+    let ctl = TcpStream::connect(connect)
+        .map_err(|e| ctl_io(format!("node {rank}: dial coordinator {connect}: {e}")))?;
+    match run_node(ctl, rank, nodes)? {
+        NodeRun::Completed => Ok(()),
+        NodeRun::Killed => {
+            eprintln!("node {rank}: injected kill after mesh setup");
+            std::process::exit(13);
+        }
+    }
+}
+
+/// One worker's full protocol over an established control stream.
+/// Factored from [`node_main`] so tests can run workers as threads.
+fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
+    ctl.set_nodelay(true).map_err(ctl_io)?;
+    let mesh_listener = TcpListener::bind("127.0.0.1:0").map_err(ctl_io)?;
+    let mesh_port = mesh_listener.local_addr().map_err(ctl_io)?.port();
+    write_ctl(
+        &mut ctl,
+        &Ctl::Hello {
+            rank: rank as u32,
+            mesh_port,
+        },
+    )?;
+    ctl.set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(ctl_io)?;
+    let Ctl::Job(job) = read_ctl(&mut ctl)? else {
+        return Err(ctl_io(format!("node {rank}: expected a Job")));
+    };
+    if job.rank as usize != rank || job.nodes as usize != nodes {
+        return Err(ctl_io(format!(
+            "node {rank}: job addressed to rank {} of {}",
+            job.rank, job.nodes
+        )));
+    }
+
+    let compressor = job.algorithm.build();
+    let graph = build_graph(
+        job.strategy,
+        job.algorithm,
+        job.partitions as usize,
+        &job.grad_lens,
+        nodes,
+    )?;
+    #[cfg(debug_assertions)]
+    hipress_lint::plan::verify(&graph, nodes).into_result()?;
+
+    // This rank holds only its own gradients; every other rank's slot
+    // is zero-filled at the spec'd length. The dataflow only reads a
+    // node's own flows (at `Source`), so the zeros are never observed —
+    // they exist to satisfy the layout's shape validation.
+    let mut flows: crate::engine::Flows = HashMap::new();
+    for (g, &len) in job.grad_lens.iter().enumerate() {
+        let per_node = (0..nodes)
+            .map(|w| {
+                if w == rank {
+                    Tensor::from_vec(job.grads[g].clone())
+                } else {
+                    Tensor::zeros(len as usize)
+                }
+            })
+            .collect();
+        flows.insert(g as u32, per_node);
+    }
+    let replicated = replicate(&flows);
+    let layout = FlowLayout::derive(&graph, nodes, &replicated)?;
+    let plan = NodePlan::derive(&graph, nodes);
+
+    let mesh = MeshConfig {
+        tuning: LinkTuning {
+            heartbeat: job.config.ft_heartbeat,
+            ..LinkTuning::default()
+        },
+        connect_timeout: Duration::from_secs(10),
+        poll_floor: job.config.ft_min_wait,
+        poll_ceiling: job.config.ft_max_wait,
+    };
+    let peers: Vec<SocketAddr> = job
+        .mesh_ports
+        .iter()
+        .map(|&p| SocketAddr::from(([127, 0, 0, 1], p)))
+        .collect();
+    let mut link = connect_mesh::<Msg>(rank, nodes, mesh_listener, &peers, &mesh)
+        .map_err(|e| fabric_err(rank, e))?;
+
+    if job.kill {
+        // Dropping the link shuts the mesh sockets down; peers
+        // diagnose the dead rank on their receive paths.
+        return Ok(NodeRun::Killed);
+    }
+
+    let pcfg = PipelineConfig {
+        iterations: job.iterations,
+        window: job.window,
+    };
+    let outcome = drive_node(
+        &mut link,
+        &graph,
+        &replicated,
+        &layout,
+        &plan,
+        compressor.as_deref(),
+        job.seed,
+        &job.config,
+        &pcfg,
+    );
+    match outcome {
+        Ok((cells, report)) => {
+            let cells = cells
+                .into_iter()
+                .filter_map(|((f, p), c)| c.updated.map(|v| (f, p, v)))
+                .collect();
+            write_ctl(&mut ctl, &Ctl::Outcome { cells, report })?;
+        }
+        Err(e) => {
+            write_ctl(&mut ctl, &Ctl::Failed(e))?;
+        }
+    }
+    // Hold the mesh link until the coordinator has everyone's
+    // outcome: our reader threads keep acking peers that are still
+    // draining. EOF or timeout counts as permission to leave.
+    let _ = read_ctl(&mut ctl);
+    drop(link);
+    Ok(NodeRun::Completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use hipress_core::interp::gradient_flows;
+    use hipress_tensor::synth::{generate, GradientShape};
+
+    fn worker_grads(nodes: usize, sizes: &[usize]) -> Vec<Vec<Tensor>> {
+        (0..nodes)
+            .map(|w| {
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &n)| {
+                        generate(
+                            n,
+                            GradientShape::Gaussian { std_dev: 1.0 },
+                            (w * 1000 + g) as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs the full coordinator protocol with worker *threads*
+    /// standing in for worker processes — same control channel, same
+    /// TCP mesh, same pipelined driver; only `fork/exec` is skipped.
+    fn run_threaded(
+        strategy: Strategy,
+        algorithm: Algorithm,
+        grads: &[Vec<Tensor>],
+        seed: u64,
+        pcfg: PipelineConfig,
+        kill_node: Option<usize>,
+    ) -> Result<RunOutcome> {
+        let nodes = grads.len();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let workers: Vec<_> = (0..nodes)
+            .map(|rank| {
+                std::thread::spawn(move || {
+                    let ctl = TcpStream::connect(addr).unwrap();
+                    run_node(ctl, rank, nodes)
+                })
+            })
+            .collect();
+        let pconf = ProcessConfig {
+            kill_node,
+            ..ProcessConfig::default()
+        };
+        let out = coordinate(
+            &listener,
+            strategy,
+            algorithm,
+            2,
+            grads,
+            seed,
+            &RuntimeConfig::default(),
+            &pcfg,
+            &pconf,
+            &mut [],
+        );
+        for w in workers {
+            // Worker errors already surfaced through the coordinator.
+            let _ = w.join().expect("worker thread panicked");
+        }
+        out
+    }
+
+    /// A worker binary that re-enters `run_processes` (its main
+    /// ignores the `node` subcommand) must die with a config error on
+    /// the spot — not recursively spawn its own workers.
+    #[test]
+    fn spawn_guard_stops_recursive_workers() {
+        let grads = worker_grads(2, &[16]);
+        std::env::set_var(SPAWN_GUARD_ENV, "1");
+        let err = run_processes(
+            Strategy::CaSyncPs,
+            Algorithm::None,
+            1,
+            &grads,
+            1,
+            &RuntimeConfig::default(),
+            &PipelineConfig::default(),
+            &ProcessConfig::default(),
+        )
+        .expect_err("guard must trip");
+        std::env::remove_var(SPAWN_GUARD_ENV);
+        assert!(err.to_string().contains("recursive worker spawn"), "{err}");
+    }
+
+    #[test]
+    fn socket_mesh_matches_threads_bit_for_bit() {
+        let nodes = 3;
+        let grads = worker_grads(nodes, &[256, 64]);
+        let flows = gradient_flows(&grads);
+        let algorithm = Algorithm::OneBit;
+        let c = algorithm.build().unwrap();
+        let grad_lens: Vec<u32> = grads[0].iter().map(|t| t.len() as u32).collect();
+        for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let graph = build_graph(strategy, algorithm, 2, &grad_lens, nodes).unwrap();
+            let threads = run(
+                &graph,
+                nodes,
+                &flows,
+                Some(c.as_ref()),
+                7,
+                &RuntimeConfig::default(),
+            )
+            .unwrap();
+            let sockets = run_threaded(
+                strategy,
+                algorithm,
+                &grads,
+                7,
+                PipelineConfig {
+                    iterations: 2,
+                    window: 2,
+                },
+                None,
+            )
+            .unwrap();
+            assert_eq!(threads.flows.len(), sockets.flows.len());
+            for (a, b) in threads.flows.iter().zip(&sockets.flows) {
+                assert_eq!(a.flow, b.flow);
+                assert_eq!(a.per_node, b.per_node, "{strategy:?} diverged over TCP");
+            }
+            // A serializing fabric measures real framed traffic.
+            assert!(sockets.report.fabric_frames > 0);
+            assert!(sockets.report.fabric_bytes_framed > sockets.report.fabric_bytes_payload);
+            assert_eq!(sockets.report.iterations, 2);
+        }
+    }
+
+    #[test]
+    fn killed_worker_yields_a_failure_naming_it() {
+        let nodes = 3;
+        let grads = worker_grads(nodes, &[128]);
+        let err = run_threaded(
+            Strategy::CaSyncPs,
+            Algorithm::OneBit,
+            &grads,
+            3,
+            PipelineConfig {
+                iterations: 2,
+                window: 2,
+            },
+            Some(1),
+        )
+        .unwrap_err();
+        let f = err.as_sync().expect("structured failure");
+        assert_eq!(f.node, 1, "failure must name the dead rank: {err}");
+        assert!(err.to_string().contains("node 1"), "{err}");
+    }
+
+    #[test]
+    fn ctl_messages_round_trip() {
+        let job = Job {
+            strategy: Strategy::CaSyncRing,
+            algorithm: Algorithm::Tbq { tau: 0.25 },
+            partitions: 3,
+            seed: 99,
+            nodes: 4,
+            rank: 2,
+            config: RuntimeConfig::default(),
+            iterations: 8,
+            window: 4,
+            kill: true,
+            grad_lens: vec![16, 32],
+            grads: vec![vec![1.0, -2.5], vec![f32::NAN]],
+            mesh_ports: vec![4000, 4001, 4002, 4003],
+        };
+        let bytes = Ctl::Job(Box::new(job)).to_bytes();
+        let Ctl::Job(back) = Ctl::from_bytes(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back.strategy, Strategy::CaSyncRing);
+        assert_eq!(back.algorithm, Algorithm::Tbq { tau: 0.25 });
+        assert_eq!(back.partitions, 3);
+        assert_eq!(back.rank, 2);
+        assert!(back.kill);
+        assert_eq!(back.grad_lens, vec![16, 32]);
+        assert_eq!(back.grads[0], vec![1.0, -2.5]);
+        assert!(back.grads[1][0].is_nan());
+        assert_eq!(back.mesh_ports.len(), 4);
+        assert_eq!(
+            back.config.ft_heartbeat,
+            RuntimeConfig::default().ft_heartbeat
+        );
+
+        let mut rep = RuntimeReport::default();
+        rep.update.record(123);
+        rep.fabric_frames = 7;
+        rep.iter_span_ns_total = 5555;
+        let out = Ctl::Outcome {
+            cells: vec![(0, 1, vec![3.5, -0.0])],
+            report: rep.clone(),
+        };
+        let Ctl::Outcome { cells, report } = Ctl::from_bytes(&out.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(cells[0].0, 0);
+        assert_eq!(cells[0].2[0], 3.5);
+        assert_eq!(report, rep);
+
+        let fail = Ctl::Failed(Error::sync(SyncFailure {
+            kind: SyncFailureKind::LinkDead,
+            node: 1,
+            peer: Some(0),
+            task: Some(42),
+            detail: "seq 9 unacknowledged".into(),
+        }));
+        let Ctl::Failed(e) = Ctl::from_bytes(&fail.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(e.as_sync().unwrap().node, 1);
+        assert_eq!(e.as_sync().unwrap().task, Some(42));
+
+        let echo = Ctl::Failed(Error::sim("aborted"));
+        let Ctl::Failed(e) = Ctl::from_bytes(&echo.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert!(matches!(&e, Error::Sim(m) if m == "aborted"));
+    }
+
+    #[test]
+    fn error_rank_prefers_diagnoses_over_echoes() {
+        let dead = Error::sync(SyncFailure {
+            kind: SyncFailureKind::LinkDead,
+            node: 1,
+            peer: Some(0),
+            task: None,
+            detail: String::new(),
+        });
+        let echo = Error::sim("aborted");
+        let other = Error::sim("node 2 wedged");
+        assert!(error_rank(&dead) < error_rank(&other));
+        assert!(error_rank(&other) < error_rank(&echo));
+    }
+}

@@ -201,6 +201,28 @@ pub struct RuntimeReport {
     /// Fault injection and recovery accounting; all-zero on the fast
     /// path (no plan, no envelopes, nothing to report).
     pub faults: FaultReport,
+    /// Data frames the transport fabric sent. Zero when the run moved
+    /// messages by value (the in-process channel fabric).
+    pub fabric_frames: u64,
+    /// Bytes of encoded frames the fabric sent, headers included.
+    pub fabric_bytes_framed: u64,
+    /// Bytes of application payload inside those frames (the framing
+    /// overhead is the difference to `fabric_bytes_framed`).
+    pub fabric_bytes_payload: u64,
+    /// Frame retransmissions the fabric's reliability layer performed.
+    pub fabric_retransmits: u64,
+    /// Synchronization iterations this run executed; zero outside the
+    /// pipelined path (the fast path is always one iteration and does
+    /// not count it).
+    pub iterations: u64,
+    /// Bound on concurrently in-flight iterations (1 = serial).
+    pub pipeline_window: u64,
+    /// Summed per-node spans from each node's first task of any
+    /// iteration to its last, ns. With pipelining, overlapping
+    /// iterations make this exceed `nodes × wall_ns` — see
+    /// [`RuntimeReport::pipeline_overlap`]. Zero outside the
+    /// pipelined path.
+    pub iter_span_ns_total: u64,
 }
 
 impl RuntimeReport {
@@ -243,6 +265,11 @@ impl RuntimeReport {
         self.messages += other.messages;
         self.comp_batch_launches += other.comp_batch_launches;
         self.faults.absorb(&other.faults);
+        self.fabric_frames += other.fabric_frames;
+        self.fabric_bytes_framed += other.fabric_bytes_framed;
+        self.fabric_bytes_payload += other.fabric_bytes_payload;
+        self.fabric_retransmits += other.fabric_retransmits;
+        self.iter_span_ns_total += other.iter_span_ns_total;
     }
 
     /// Re-derives a full report from a trace recorded by the engine.
@@ -360,6 +387,20 @@ impl RuntimeReport {
     pub fn total_busy_ns(&self) -> u64 {
         PRIMS.iter().map(|&(p, _)| self.prim(p).busy_ns).sum()
     }
+
+    /// How much iteration time the pipeline hid, in `[0, 1)`: the
+    /// fraction by which the summed per-node iteration spans exceed
+    /// the elapsed node-time `nodes × wall_ns`. Serial execution
+    /// (window 1, or no pipelining at all) yields ~0 because
+    /// iteration spans tile the wall clock; an overlapping window
+    /// stacks spans on top of each other and pushes the ratio up.
+    pub fn pipeline_overlap(&self) -> f64 {
+        if self.iter_span_ns_total == 0 {
+            return 0.0;
+        }
+        let elapsed = self.nodes as f64 * self.wall_ns as f64;
+        (1.0 - elapsed / self.iter_span_ns_total as f64).max(0.0)
+    }
 }
 
 fn fmt_bytes(b: u64) -> String {
@@ -413,6 +454,37 @@ impl fmt::Display for RuntimeReport {
         )?;
         if self.comp_batch_launches > 0 {
             writeln!(f, "  batched codec launches: {}", self.comp_batch_launches)?;
+        }
+        if self.fabric_frames > 0 {
+            writeln!(f, "  fabric:")?;
+            let mut table = Table::new(&[("counter", Align::Left), ("value", Align::Right)]);
+            table.row(vec!["frames sent".into(), self.fabric_frames.to_string()]);
+            if self.fabric_bytes_framed > 0 {
+                table.row(vec![
+                    "bytes framed".into(),
+                    fmt_bytes(self.fabric_bytes_framed),
+                ]);
+                table.row(vec![
+                    "bytes payload".into(),
+                    fmt_bytes(self.fabric_bytes_payload),
+                ]);
+            }
+            if self.fabric_retransmits > 0 {
+                table.row(vec![
+                    "retransmissions".into(),
+                    self.fabric_retransmits.to_string(),
+                ]);
+            }
+            f.write_str(&table.render_indented("    "))?;
+        }
+        if self.iterations > 1 {
+            writeln!(
+                f,
+                "  pipeline: {} iterations, window {}, overlap {:.0}%",
+                self.iterations,
+                self.pipeline_window,
+                self.pipeline_overlap() * 100.0
+            )?;
         }
         if !self.faults.is_empty() {
             let fr = &self.faults;
@@ -633,6 +705,45 @@ mod tests {
         }
         // Fast-path reports show no fault section at all.
         assert!(!RuntimeReport::default().to_string().contains("faults:"));
+    }
+
+    #[test]
+    fn fabric_and_pipeline_sections_render_when_present() {
+        // Fast-path reports show neither section.
+        let plain = RuntimeReport::default().to_string();
+        assert!(!plain.contains("fabric:"));
+        assert!(!plain.contains("pipeline:"));
+        let mut r = RuntimeReport {
+            nodes: 2,
+            wall_ns: 1_000,
+            fabric_frames: 10,
+            fabric_bytes_framed: 2048,
+            fabric_bytes_payload: 1500,
+            fabric_retransmits: 1,
+            iterations: 4,
+            pipeline_window: 2,
+            iter_span_ns_total: 4_000,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("fabric:"), "{s}");
+        assert!(s.contains("frames sent"));
+        assert!(s.contains("retransmissions"));
+        assert!(s.contains("pipeline: 4 iterations, window 2"));
+        // Spans 4000 vs elapsed 2×1000 → half the span time was
+        // hidden by overlap.
+        assert!((r.pipeline_overlap() - 0.5).abs() < 1e-9);
+        // Serial-ish spans (≤ nodes × wall) clamp to zero overlap.
+        r.iter_span_ns_total = 1_900;
+        assert_eq!(r.pipeline_overlap(), 0.0);
+        // Absorb accumulates the fabric counters and spans.
+        let mut a = RuntimeReport::default();
+        a.absorb(&r);
+        a.absorb(&r);
+        assert_eq!(a.fabric_frames, 20);
+        assert_eq!(a.fabric_bytes_framed, 4096);
+        assert_eq!(a.fabric_retransmits, 2);
+        assert_eq!(a.iter_span_ns_total, 3_800);
     }
 
     #[test]

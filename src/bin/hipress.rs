@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "models" => cmd_models(),
         "sim" => cmd_sim(&flags),
         "run" => cmd_run(&flags),
+        "node" => cmd_node(&flags),
         "chaos" => cmd_chaos(&flags),
         "bench" => cmd_bench(&flags),
         "report" => cmd_report(
@@ -86,9 +87,18 @@ USAGE:
       List the Table 6 model zoo.
   hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline] [--trace out.json]
       Simulate one training configuration.
-  hipress run [--nodes N] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--trace out.json] [--json]
-      Synchronize synthetic gradients for real on CaSync-RT (one OS
-      thread per node) and print the measured runtime report.
+  hipress run [--nodes N] [--backend threads|processes|sim] [--iters I] [--window W] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--cross-check] [--kill-node V] [--trace out.json] [--json]
+      Synchronize synthetic gradients for real on CaSync-RT — one OS
+      thread per node, or with --backend processes one OS *process*
+      per node over a loopback TCP mesh — and print the measured
+      runtime report. --iters/--window run multiple pipelined
+      iterations; --cross-check requires the process backend
+      bit-identical to threads (and the interpreter when unpipelined);
+      --kill-node V kills worker V mid-protocol to prove the failure
+      is diagnosed, not hung.
+  hipress node --connect <addr> --rank R --nodes N
+      (internal) One worker of a `--backend processes` run; spawned by
+      the coordinator, never useful interactively.
   hipress chaos [--nodes N] [--plan P] [--seeds K] [--policy wait|partial|abort] [--victim V] [--deadline-ms D] [--single] [--trace out.json]
       Synchronize on CaSync-RT over a fault-injecting fabric. By
       default, runs a survival matrix (plans x fault seeds) and checks
@@ -97,7 +107,7 @@ USAGE:
       one plan once: recoverable plans must come back bit-identical,
       unrecoverable ones (crash, blackhole) exit non-zero with a
       structured error naming the failed node.
-  hipress bench [--nodes N] [--dir D] [--snapshot cur.json] [--baseline base.json] [--tolerance PCT]
+  hipress bench [--nodes N] [--dir D] [--snapshot cur.json] [--baseline base.json] [--tolerance PCT] [--require-overlap]
       Run the model x algorithm x strategy bench matrix on both the
       thread engine and the simulator; write schema-versioned
       BENCH_runtime.json and BENCH_sim.json snapshots to --dir
@@ -106,6 +116,9 @@ USAGE:
       any other the measured wall clocks) and exit non-zero on any
       metric regressed beyond --tolerance percent (default 25); with
       --snapshot, gate that file instead of re-running the matrix.
+      With --require-overlap, instead gate that pipelined iterations
+      (window 16) beat serial ones (window 1) on median wall time,
+      running real OS processes over the loopback TCP mesh.
   hipress report <BENCH.json> [--json | --prom]
       Render a metrics snapshot as a sparkline/table dashboard, or
       re-emit it as canonical JSON / Prometheus text exposition.
@@ -142,6 +155,11 @@ FLAGS:
   --partitions gradient partition count for `run` (default 2)
   --elems      comma-separated gradient element counts for `run` (default 65536,4096,512)
   --seed       stochastic-codec seed for `run` (default 1)
+  --backend    (`run`) threads | processes | sim (default threads)
+  --iters      (`run`) iterations to run back to back (default 1)
+  --window     (`run`) max iterations in flight at once (default 1)
+  --cross-check (`run`) require processes bit-identical to threads
+  --kill-node  (`run`) kill this worker mid-protocol (processes only)
   --plan       (`chaos`) none | recoverable | drop-storm | corrupt-storm |
                stall[:ms] | crash[:at-task] | blackhole
                (default: the three survivable storm plans)
@@ -161,8 +179,16 @@ fn parse_flags(cmd: &str, args: &[String]) -> HashMap<String, String> {
         if let Some(name) = a.strip_prefix("--") {
             // `--baseline` is a boolean runtime toggle for `sim` but
             // takes a snapshot path for `bench`.
-            let boolean = matches!(name, "local" | "no-selective" | "json" | "prom" | "single")
-                || (name == "baseline" && cmd != "bench");
+            let boolean = matches!(
+                name,
+                "local"
+                    | "no-selective"
+                    | "json"
+                    | "prom"
+                    | "single"
+                    | "cross-check"
+                    | "require-overlap"
+            ) || (name == "baseline" && cmd != "bench");
             let takes_value = !boolean;
             if takes_value && i + 1 < args.len() {
                 flags.insert(name.to_string(), args[i + 1].clone());
@@ -396,13 +422,105 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
                 .collect()
         })
         .collect();
-    let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
-    let registry = flags.contains_key("json").then(Registry::new);
-    let mut builder = HiPress::new(strategy)
+    let iters: u32 = flags
+        .get("iters")
+        .map(|v| v.parse().map_err(|_| format!("bad --iters '{v}'")))
+        .transpose()?
+        .unwrap_or(1);
+    let window: u32 = flags
+        .get("window")
+        .map(|v| v.parse().map_err(|_| format!("bad --window '{v}'")))
+        .transpose()?
+        .unwrap_or(1);
+    let backend = match flags.get("backend").map(String::as_str) {
+        None | Some("threads") => Backend::Threads(nodes),
+        Some("processes") => Backend::Processes(nodes),
+        Some("sim") | Some("simulator") => Backend::Simulator,
+        Some(other) => return Err(format!("unknown backend '{other}'")),
+    };
+    let kill_node: Option<usize> = flags
+        .get("kill-node")
+        .map(|v| v.parse().map_err(|_| format!("bad --kill-node '{v}'")))
+        .transpose()?;
+    let mut base = HiPress::new(strategy)
         .algorithm(algorithm)
         .partitions(partitions)
         .seed(seed)
-        .backend(Backend::Threads(nodes));
+        .iterations(iters)
+        .pipeline_window(window);
+    if let Some(k) = kill_node {
+        base = base.process_config(ProcessConfig {
+            kill_node: Some(k),
+            ..ProcessConfig::default()
+        });
+    }
+
+    // `--cross-check`: run the same job on real OS processes over the
+    // loopback TCP mesh and on in-process threads, and require
+    // bit-identical flows (plus the interpreter when unpipelined).
+    if flags.contains_key("cross-check") {
+        let procs = base
+            .clone()
+            .backend(Backend::Processes(nodes))
+            .sync(&grads)
+            .map_err(|e| format!("processes backend: {e}"))?;
+        let threads = base
+            .clone()
+            .backend(Backend::Threads(nodes))
+            .sync(&grads)
+            .map_err(|e| format!("threads backend: {e}"))?;
+        for (a, b) in threads.flows.iter().zip(&procs.flows) {
+            if a.flow != b.flow || a.per_node != b.per_node {
+                return Err(format!(
+                    "flow {} diverged between threads and processes",
+                    a.flow
+                ));
+            }
+        }
+        let mut against = "threads".to_string();
+        if iters == 1 && window == 1 {
+            let sim = base
+                .clone()
+                .backend(Backend::Simulator)
+                .sync(&grads)
+                .map_err(|e| format!("simulator backend: {e}"))?;
+            for (a, b) in sim.flows.iter().zip(&procs.flows) {
+                if a.flow != b.flow || a.per_node != b.per_node {
+                    return Err(format!(
+                        "flow {} diverged between interpreter and processes",
+                        a.flow
+                    ));
+                }
+            }
+            against = "threads and the interpreter".into();
+        }
+        let report = procs.report.expect("process backend always reports");
+        println!(
+            "cross-check OK: {} process(es) over loopback TCP bit-identical to {against} \
+             ({} / {}, {} gradients, {iters} iteration(s), window {window})",
+            nodes,
+            strategy.label(),
+            algorithm.label(),
+            elems.len(),
+        );
+        println!(
+            "fabric: {} frames, {} framed bytes ({} payload), {} retransmits",
+            report.fabric_frames,
+            report.fabric_bytes_framed,
+            report.fabric_bytes_payload,
+            report.fabric_retransmits
+        );
+        return Ok(());
+    }
+
+    if backend != Backend::Threads(nodes)
+        && (flags.contains_key("trace") || flags.contains_key("json"))
+    {
+        return Err("--trace/--json need the threads backend".into());
+    }
+    let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
+    let registry = flags.contains_key("json").then(Registry::new);
+    let mut builder = base.backend(backend);
     if let Some(tr) = &tracer {
         builder = builder.trace(tr);
     }
@@ -410,7 +528,6 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         builder = builder.metrics(&reg.root());
     }
     let out = builder.sync(&grads).map_err(|e| e.to_string())?;
-    let report = out.report.as_ref().expect("thread backend always reports");
     if let Some(reg) = &registry {
         let snap = reg
             .snapshot()
@@ -419,16 +536,24 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             .with_meta("seed", &seed.to_string());
         println!("{}", snap.to_json());
     } else {
+        let engine = match backend {
+            Backend::Simulator => "the interpreter",
+            Backend::Threads(_) => "CaSync-RT (threads)",
+            Backend::Processes(_) => "CaSync-RT (processes over loopback TCP)",
+        };
         println!(
-            "synchronized {} gradients x {nodes} nodes on CaSync-RT ({} / {})",
+            "synchronized {} gradients x {nodes} nodes on {engine} ({} / {})",
             elems.len(),
             strategy.label(),
             algorithm.label()
         );
         println!("replicas consistent: {}", out.replicas_consistent());
-        println!("{report}");
+        if let Some(report) = &out.report {
+            println!("{report}");
+        }
     }
     if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
+        let report = out.report.as_ref().expect("threads backend reports");
         let trace = tr.finish();
         // The trace is a second bookkeeping of the same run; deriving
         // the report from it must reproduce the measured one exactly.
@@ -438,6 +563,26 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         export_trace(&trace, path)?;
     }
     Ok(())
+}
+
+/// The `hipress node` worker entry point: dialed back into the
+/// coordinator that spawned us ([`Backend::Processes`] re-executes the
+/// current binary). Never useful interactively.
+fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
+    let connect = flags
+        .get("connect")
+        .ok_or("node: --connect <addr> is required")?;
+    let rank: usize = flags
+        .get("rank")
+        .ok_or("node: --rank is required")?
+        .parse()
+        .map_err(|_| "bad --rank".to_string())?;
+    let nodes: usize = flags
+        .get("nodes")
+        .ok_or("node: --nodes is required")?
+        .parse()
+        .map_err(|_| "bad --nodes".to_string())?;
+    hipress::runtime::node_main(connect, rank, nodes).map_err(|e| e.to_string())
 }
 
 /// One chaos run's classification for the survival table.
@@ -900,6 +1045,17 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|n| n.parse().map_err(|_| format!("bad --nodes '{n}'")))
         .transpose()?
         .unwrap_or(3);
+    if flags.contains_key("require-overlap") {
+        // The gate has its own default cluster size: the 4-node ring
+        // chain leaves enough per-node idle time for pipelining to
+        // reclaim; 3 nodes keep everyone too busy to show a margin.
+        let gate_nodes = flags
+            .get("nodes")
+            .map(|n| n.parse().map_err(|_| format!("bad --nodes '{n}'")))
+            .transpose()?
+            .unwrap_or(4);
+        return overlap_gate(gate_nodes);
+    }
     let tolerance: f64 = flags
         .get("tolerance")
         .map(|t| t.parse().map_err(|_| format!("bad --tolerance '{t}'")))
@@ -957,6 +1113,92 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             "{} metric(s) regressed beyond {tolerance}% vs {baseline_path}",
             regressions.len()
         ))
+    }
+}
+
+/// The pipelining gate (`bench --require-overlap`): the same 128
+/// iterations of an uncompressed CaSync-Ring pass, run serially
+/// (window 1) and pipelined (window 16) as real OS processes over the
+/// loopback TCP mesh; median-of-5 pipelined wall time must beat
+/// serial, or the gate fails. The result flows are bit-identical
+/// either way (per-task codec seeding), so the speedup is pure
+/// overlap, not skipped work.
+///
+/// The shape is chosen for where pipelining genuinely pays on a
+/// small host: one tiny unpartitioned gradient makes each ring pass a
+/// single dependency chain whose TCP hops park every process at once,
+/// and cross-iteration work is the only way to keep the cores busy.
+/// Compute-heavy shapes (large gradients, codecs) are CPU-bound here
+/// and show no wall-clock margin on single-core machines even though
+/// their span overlap is just as real.
+fn overlap_gate(nodes: usize) -> Result<(), String> {
+    use hipress::tensor::synth::{generate, GradientShape};
+    use hipress::tensor::Tensor;
+    let elems = [512usize];
+    let iters = 128u32;
+    let grads: Vec<Vec<Tensor>> = (0..nodes)
+        .map(|w| {
+            elems
+                .iter()
+                .enumerate()
+                .map(|(g, &n)| {
+                    generate(
+                        n,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        (w * 1000 + g) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let run_once = |window: u32| -> Result<RuntimeReport, String> {
+        let out = HiPress::new(Strategy::CaSyncRing)
+            .algorithm(Algorithm::None)
+            .partitions(1)
+            .seed(7)
+            .backend(Backend::Processes(nodes))
+            .iterations(iters)
+            .pipeline_window(window)
+            .sync(&grads)
+            .map_err(|e| e.to_string())?;
+        Ok(out.report.expect("process backend always reports"))
+    };
+    // Warm up both shapes, then interleave the measured runs so
+    // machine drift hits serial and pipelined alike.
+    run_once(1)?;
+    run_once(16)?;
+    let mut serial = Vec::new();
+    let mut piped = Vec::new();
+    let mut overlap = 0.0f64;
+    for _ in 0..5 {
+        serial.push(run_once(1)?.wall_ns);
+        let r = run_once(16)?;
+        overlap = overlap.max(r.pipeline_overlap());
+        piped.push(r.wall_ns);
+    }
+    serial.sort_unstable();
+    piped.sort_unstable();
+    let (ms, mp) = (serial[2], piped[2]);
+    println!(
+        "pipelining gate: {nodes} processes over loopback TCP, {iters} iterations, \
+         casync-ring / uncompressed, {} elems",
+        elems.map(|e| e.to_string()).join(","),
+    );
+    println!(
+        "  serial (window 1):     median {} over 5 runs",
+        fmt_duration_ns(ms)
+    );
+    println!(
+        "  pipelined (window 16): median {} over 5 runs ({:.2}x, overlap efficiency {:.2})",
+        fmt_duration_ns(mp),
+        ms as f64 / mp as f64,
+        overlap
+    );
+    if mp < ms {
+        println!("pipelined beats serial: gate holds");
+        Ok(())
+    } else {
+        Err("pipelined run did not beat the serial run".into())
     }
 }
 

@@ -53,6 +53,7 @@ pub use hipress_chaos as chaos;
 pub use hipress_compll as compll;
 pub use hipress_compress as compress;
 pub use hipress_core as casync;
+pub use hipress_fabric as fabric;
 pub use hipress_lint as lint;
 pub use hipress_metrics as metrics;
 pub use hipress_models as models;
@@ -74,7 +75,9 @@ pub mod prelude {
     pub use hipress_metrics::{MetricsDiff, MetricsSnapshot, Registry, Scope};
     pub use hipress_models::{DnnModel, GpuClass};
     pub use hipress_planner::Planner;
-    pub use hipress_runtime::{DegradePolicy, FaultTolerance, RuntimeConfig, RuntimeReport};
+    pub use hipress_runtime::{
+        DegradePolicy, FaultTolerance, PipelineConfig, ProcessConfig, RuntimeConfig, RuntimeReport,
+    };
     pub use hipress_simnet::LinkSpec;
     pub use hipress_trace::{chrome, TraceDiff, Tracer};
     pub use hipress_train::{simulate, simulate_with_tracer, SimResult, TrainingJob};

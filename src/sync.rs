@@ -2,11 +2,12 @@
 //!
 //! [`HiPress`] is a builder over the whole stack: pick a strategy and
 //! a compression algorithm, hand it one gradient set per worker, and
-//! it builds the CaSync task graph and executes it — either on the
-//! reference interpreter ([`Backend::Simulator`]) or for real on OS
-//! threads ([`Backend::Threads`]). Both backends install bit-identical
-//! parameters; the thread backend additionally returns a measured
-//! [`RuntimeReport`].
+//! it builds the CaSync task graph and executes it — on the reference
+//! interpreter ([`Backend::Simulator`]), for real on OS threads
+//! ([`Backend::Threads`]), or as separate OS processes synchronizing
+//! over a loopback TCP mesh ([`Backend::Processes`]). All backends
+//! install bit-identical parameters; the real backends additionally
+//! return a measured [`RuntimeReport`].
 
 use hipress_chaos::FaultPlan;
 use hipress_compress::Algorithm;
@@ -15,7 +16,10 @@ use hipress_core::{
     ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
 };
 use hipress_metrics::Scope;
-use hipress_runtime::{FaultTolerance, Instruments, RunOutcome, RuntimeConfig, RuntimeReport};
+use hipress_runtime::{
+    FaultTolerance, Instruments, PipelineConfig, ProcessConfig, RunOutcome, RuntimeConfig,
+    RuntimeReport,
+};
 use hipress_tensor::Tensor;
 use hipress_trace::Tracer;
 use hipress_util::{Error, Result};
@@ -69,6 +73,9 @@ pub struct HiPress {
     metrics: Option<Scope>,
     chaos: Option<FaultPlan>,
     fault_tolerance: Option<FaultTolerance>,
+    iterations: u32,
+    window: u32,
+    process: ProcessConfig,
 }
 
 impl HiPress {
@@ -85,6 +92,9 @@ impl HiPress {
             metrics: None,
             chaos: None,
             fault_tolerance: None,
+            iterations: 1,
+            window: 1,
+            process: ProcessConfig::default(),
         }
     }
 
@@ -183,6 +193,36 @@ impl HiPress {
         self
     }
 
+    /// Runs this many training iterations back to back over the same
+    /// gradients. With [`Self::pipeline_window`] above 1 the real
+    /// backends overlap adjacent iterations; results stay bit-for-bit
+    /// identical to running them one at a time (per-task codec
+    /// seeding), so the reported flows are always the final
+    /// iteration's.
+    #[must_use]
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Bounds how many iterations may be in flight at once on the
+    /// pipelined path (§3.2 pipelining across iterations). `1` runs
+    /// iterations serially.
+    #[must_use]
+    pub fn pipeline_window(mut self, w: u32) -> Self {
+        self.window = w;
+        self
+    }
+
+    /// Tunes how [`Backend::Processes`] launches its workers: which
+    /// binary to execute (defaults to the current executable),
+    /// rendezvous/run deadlines, and the kill-a-node fault injection.
+    #[must_use]
+    pub fn process_config(mut self, p: ProcessConfig) -> Self {
+        self.process = p;
+        self
+    }
+
     /// Synchronizes one gradient set per worker: `worker_grads[w][g]`
     /// is worker `w`'s gradient `g`. All workers must hold the same
     /// gradient shapes.
@@ -200,12 +240,18 @@ impl HiPress {
         if nodes < 2 {
             return Err(Error::config("synchronization needs at least 2 workers"));
         }
-        if let Backend::Threads(n) = self.backend {
-            if n != nodes {
+        match self.backend {
+            Backend::Threads(n) if n != nodes => {
                 return Err(Error::config(format!(
                     "Backend::Threads({n}) but {nodes} workers supplied"
                 )));
             }
+            Backend::Processes(n) if n != nodes => {
+                return Err(Error::config(format!(
+                    "Backend::Processes({n}) but {nodes} workers supplied"
+                )));
+            }
+            _ => {}
         }
         let first = &worker_grads[0];
         for (w, g) in worker_grads.iter().enumerate() {
@@ -235,11 +281,17 @@ impl HiPress {
         let cluster = ClusterConfig::ec2(nodes);
         let graph = self.strategy.build(&cluster, &iter)?;
         let flows = gradient_flows(worker_grads);
+        let pipelined = self.iterations > 1 || self.window > 1;
         match self.backend {
             Backend::Simulator => {
                 if self.chaos.is_some() || self.fault_tolerance.is_some() {
                     return Err(Error::config(
                         "chaos/fault tolerance need a real fabric: use Backend::Threads",
+                    ));
+                }
+                if pipelined {
+                    return Err(Error::config(
+                        "pipelined iterations need a real runtime: use Backend::Threads or Backend::Processes",
                     ));
                 }
                 let outcomes = interpret(&graph, nodes, &flows, compressor.as_deref(), self.seed)?;
@@ -263,34 +315,87 @@ impl HiPress {
                     tracer: self.tracer.as_ref(),
                     metrics: scope.as_ref(),
                 };
-                let RunOutcome { flows, report } =
+                let RunOutcome { flows, report } = if pipelined {
                     if self.chaos.is_some() || self.fault_tolerance.is_some() {
-                        let plan = self
-                            .chaos
-                            .clone()
-                            .unwrap_or_else(|| FaultPlan::none(self.seed));
-                        hipress_runtime::run_chaos(
-                            &graph,
-                            nodes,
-                            &flows,
-                            compressor.as_deref(),
-                            self.seed,
-                            &config,
-                            &self.fault_tolerance.unwrap_or_default(),
-                            &plan,
-                            instruments,
-                        )?
-                    } else {
-                        hipress_runtime::run_instrumented(
-                            &graph,
-                            nodes,
-                            &flows,
-                            compressor.as_deref(),
-                            self.seed,
-                            &config,
-                            instruments,
-                        )?
+                        return Err(Error::config(
+                            "chaos/fault tolerance and pipelined iterations cannot combine yet",
+                        ));
+                    }
+                    let pcfg = PipelineConfig {
+                        iterations: self.iterations,
+                        window: self.window,
                     };
+                    hipress_runtime::run_pipelined(
+                        &graph,
+                        nodes,
+                        &flows,
+                        compressor.as_deref(),
+                        self.seed,
+                        &config,
+                        &pcfg,
+                        instruments,
+                    )?
+                } else if self.chaos.is_some() || self.fault_tolerance.is_some() {
+                    let plan = self
+                        .chaos
+                        .clone()
+                        .unwrap_or_else(|| FaultPlan::none(self.seed));
+                    hipress_runtime::run_chaos(
+                        &graph,
+                        nodes,
+                        &flows,
+                        compressor.as_deref(),
+                        self.seed,
+                        &config,
+                        &self.fault_tolerance.unwrap_or_default(),
+                        &plan,
+                        instruments,
+                    )?
+                } else {
+                    hipress_runtime::run_instrumented(
+                        &graph,
+                        nodes,
+                        &flows,
+                        compressor.as_deref(),
+                        self.seed,
+                        &config,
+                        instruments,
+                    )?
+                };
+                Ok(SyncOutcome {
+                    flows,
+                    report: Some(report),
+                })
+            }
+            Backend::Processes(_) => {
+                if self.chaos.is_some() || self.fault_tolerance.is_some() {
+                    return Err(Error::config(
+                        "chaos/fault tolerance run in-process: use Backend::Threads (the process backend has its own kill_node injection)",
+                    ));
+                }
+                if self.tracer.is_some() || self.metrics.is_some() {
+                    return Err(Error::config(
+                        "tracing/metrics cannot cross process boundaries: use Backend::Threads",
+                    ));
+                }
+                let config = RuntimeConfig {
+                    batch_compression: self.batch_compression,
+                    ..RuntimeConfig::default()
+                };
+                let pcfg = PipelineConfig {
+                    iterations: self.iterations,
+                    window: self.window,
+                };
+                let RunOutcome { flows, report } = hipress_runtime::run_processes(
+                    self.strategy,
+                    self.algorithm,
+                    self.partitions,
+                    worker_grads,
+                    self.seed,
+                    &config,
+                    &pcfg,
+                    &self.process,
+                )?;
                 Ok(SyncOutcome {
                     flows,
                     report: Some(report),
