@@ -23,6 +23,30 @@ echo "== lint (plan verifier + CompLL dataflow, full matrix) =="
 # task graph plus all shipped CompLL programs; any diagnostic fails.
 cargo run --release -q --bin hipress -- lint
 
+echo "== verify (bounded model checking of the wire/FT protocol) =="
+# Exhaust the small-scope scenario matrix over the runtime's real
+# protocol state machines: every scenario must terminate violation
+# free (the CLI exits non-zero otherwise and prints per-scenario
+# exploration stats, including the sleep-set reduction's pruning).
+# Then a seeded protocol defect must be refuted with a counterexample
+# trace — the mutant run exiting non-zero proves the checker has
+# teeth, not just green lights.
+cargo run --release -q --bin hipress -- verify
+VERIFY_ERR=$(mktemp)
+if cargo run --release -q --bin hipress -- verify --mutant skip-dedup \
+    >/dev/null 2>"$VERIFY_ERR"; then
+  echo "seeded protocol defect went undetected" >&2
+  rm -f "$VERIFY_ERR"
+  exit 1
+fi
+if ! grep -q "refute" "$VERIFY_ERR"; then
+  echo "mutant run failed for the wrong reason:" >&2
+  cat "$VERIFY_ERR" >&2
+  rm -f "$VERIFY_ERR"
+  exit 1
+fi
+rm -f "$VERIFY_ERR"
+
 echo "== trace smoke (sim + runtime export, read back by the crate's own parser) =="
 # Both engines must export a Chrome trace that validates (every
 # registered track non-empty) and survives the crate's import; the

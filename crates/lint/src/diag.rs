@@ -80,6 +80,19 @@ pub enum Code {
     /// P016 — the graph exceeds the deep-analysis size bound; only
     /// structural checks ran.
     AnalysisSkipped,
+    /// P017 — two overlapping pipeline iterations touch one chunk
+    /// buffer slot with no happens-before ordering; only possible
+    /// when the window admits the reusing iteration while the owner
+    /// is still in flight.
+    CrossIterRace,
+    /// P018 — a channel's sends can run more than `window` iterations
+    /// ahead of their consumption: the receive queue grows without
+    /// bound as iterations stream.
+    QueueGrowth,
+    /// P019 — pipeline iterations are not admitted in order on some
+    /// node: a later iteration's admission precedes (or is unordered
+    /// with) an earlier one's.
+    AdmissionInversion,
     /// D001 — a local or global is read before any assignment.
     UseBeforeDef,
     /// D002 — a pure store whose value is overwritten or never read.
@@ -95,6 +108,35 @@ pub enum Code {
 }
 
 impl Code {
+    /// Every diagnostic code, in catalogue order. `DESIGN.md` §8.3 is
+    /// generated from this list (a test keeps them in lockstep).
+    pub const ALL: [Code; 24] = [
+        Code::UnknownNode,
+        Code::OrphanDep,
+        Code::DependencyCycle,
+        Code::BadPeer,
+        Code::UnpairedRecv,
+        Code::PayloadMismatch,
+        Code::UnconsumedSend,
+        Code::MissingValueSource,
+        Code::PayloadKindMismatch,
+        Code::DataRace,
+        Code::DoubleWrite,
+        Code::FifoInversion,
+        Code::MissingCompletion,
+        Code::IncompleteAggregation,
+        Code::ChunkSizeMismatch,
+        Code::AnalysisSkipped,
+        Code::CrossIterRace,
+        Code::QueueGrowth,
+        Code::AdmissionInversion,
+        Code::UseBeforeDef,
+        Code::DeadStore,
+        Code::IndexOutOfBounds,
+        Code::UintOverflow,
+        Code::ImpureLambda,
+    ];
+
     /// The stable short code (`P010`, `D003`, …).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -114,6 +156,9 @@ impl Code {
             Code::IncompleteAggregation => "P014",
             Code::ChunkSizeMismatch => "P015",
             Code::AnalysisSkipped => "P016",
+            Code::CrossIterRace => "P017",
+            Code::QueueGrowth => "P018",
+            Code::AdmissionInversion => "P019",
             Code::UseBeforeDef => "D001",
             Code::DeadStore => "D002",
             Code::IndexOutOfBounds => "D003",
@@ -130,6 +175,47 @@ impl Code {
             | Code::AnalysisSkipped
             | Code::DeadStore => Severity::Warning,
             _ => Severity::Error,
+        }
+    }
+
+    /// The one-line meaning shown in the `DESIGN.md` §8.3 catalogue
+    /// table — kept here so the document is derived from the enum
+    /// rather than drifting beside it.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::UnknownNode => "task placed on a node outside the cluster",
+            Code::OrphanDep => "dependency edge points at a missing task or at itself",
+            Code::DependencyCycle => "dependency cycle — the plan can never complete",
+            Code::BadPeer => "Send/Recv peer missing, out of range, or self",
+            Code::UnpairedRecv => "Recv not paired with exactly one matching Send",
+            Code::PayloadMismatch => "paired Send/Recv disagree on chunk or wire bytes",
+            Code::UnconsumedSend => "Send whose payload no Recv consumes",
+            Code::MissingValueSource => {
+                "value source missing (decode without recv, merge with nothing to merge, \
+                 read of an uninitialized chunk, …)"
+            }
+            Code::PayloadKindMismatch => "payload of the wrong kind flows into a task",
+            Code::DataRace => "read/write of one chunk replica unordered by happens-before",
+            Code::DoubleWrite => "two writes of one chunk replica unordered",
+            Code::FifoInversion => "FIFO inversion: send order contradicts consumption order",
+            Code::MissingCompletion => "replica initialized but never committed by an Update",
+            Code::IncompleteAggregation => {
+                "Update commits an aggregate missing some node's contribution"
+            }
+            Code::ChunkSizeMismatch => "tasks disagree on a chunk's raw size",
+            Code::AnalysisSkipped => "graph too large, deep analysis skipped",
+            Code::CrossIterRace => {
+                "overlapping pipeline iterations share a chunk buffer slot unordered"
+            }
+            Code::QueueGrowth => {
+                "a channel's sends outrun consumption by more than the pipeline window"
+            }
+            Code::AdmissionInversion => "pipeline iterations admitted out of order on a node",
+            Code::UseBeforeDef => "variable or global read before assignment",
+            Code::DeadStore => "pure store never read or overwritten before a read",
+            Code::IndexOutOfBounds => "index provably outside its array",
+            Code::UintOverflow => "value provably too large (or negative) packed into `uintN`",
+            Code::ImpureLambda => "lambda in a data-parallel operator writes a global",
         }
     }
 }
@@ -296,33 +382,50 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            Code::UnknownNode,
-            Code::OrphanDep,
-            Code::DependencyCycle,
-            Code::BadPeer,
-            Code::UnpairedRecv,
-            Code::PayloadMismatch,
-            Code::UnconsumedSend,
-            Code::MissingValueSource,
-            Code::PayloadKindMismatch,
-            Code::DataRace,
-            Code::DoubleWrite,
-            Code::FifoInversion,
-            Code::MissingCompletion,
-            Code::IncompleteAggregation,
-            Code::ChunkSizeMismatch,
-            Code::AnalysisSkipped,
-            Code::UseBeforeDef,
-            Code::DeadStore,
-            Code::IndexOutOfBounds,
-            Code::UintOverflow,
-            Code::ImpureLambda,
-        ];
         let mut seen = std::collections::HashSet::new();
-        for c in all {
+        for c in Code::ALL {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
         }
+        // P-codes then D-codes, each numbered densely from 1.
+        let (p, d): (Vec<_>, Vec<_>) = Code::ALL
+            .iter()
+            .map(|c| c.as_str())
+            .partition(|s| s.starts_with('P'));
+        for (i, s) in p.iter().enumerate() {
+            assert_eq!(*s, format!("P{:03}", i + 1));
+        }
+        for (i, s) in d.iter().enumerate() {
+            assert_eq!(*s, format!("D{:03}", i + 1));
+        }
+    }
+
+    /// `DESIGN.md` §8.3 must contain exactly one catalogue row per
+    /// code, with the severity and meaning the enum declares — the
+    /// drift this test forbids is how stale docs happen.
+    #[test]
+    fn design_md_catalogue_matches_enum() {
+        let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+            .expect("DESIGN.md at the workspace root");
+        for c in Code::ALL {
+            let sev = match c.severity() {
+                Severity::Warning => "warn",
+                Severity::Error => "error",
+            };
+            let row = format!("| {} | {} | {} |", c.as_str(), sev, c.summary());
+            assert!(
+                doc.contains(&row),
+                "DESIGN.md §8.3 is missing or has drifted for {c}: expected row\n{row}"
+            );
+        }
+        // No phantom rows for codes the enum does not define.
+        let rows = doc
+            .lines()
+            .filter(|l| {
+                let l = l.trim_start();
+                l.starts_with("| P0") || l.starts_with("| D0")
+            })
+            .count();
+        assert_eq!(rows, Code::ALL.len(), "DESIGN.md §8.3 row count drifted");
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //!   before anything executes it: structural sanity, dependency
 //!   cycles, Send/Recv pairing and FIFO ordering on the fabric,
 //!   happens-before races on chunk replicas, and completion /
-//!   aggregation coverage.
+//!   aggregation coverage. [`plan::verify_pipelined`] additionally
+//!   unrolls the plan into overlapping pipeline iterations and
+//!   checks the cross-iteration properties (buffer-slot reuse races,
+//!   queue growth, admission order).
 //! * [`dataflow::analyze`] checks a type-checked CompLL program:
 //!   def-before-use, dead stores, interval-based index bounds, packed
 //!   `uintN` overflow, and lambda purity.
@@ -26,6 +29,7 @@ pub mod diag;
 pub mod plan;
 
 pub use diag::{Code, Diagnostic, Report, Severity, Site};
+pub use plan::{compose, verify_composed, verify_pipelined, Composed, PipelineSpec};
 
 use hipress_compll::ast::Program;
 use hipress_core::TaskGraph;

@@ -9,12 +9,21 @@
 //! may still be writing — becomes a [`Diagnostic`] here, before any
 //! engine runs.
 //!
-//! The diagnostic catalogue (`P001`–`P016`) is documented on
+//! Beyond single-iteration verification, [`compose`] unrolls a plan
+//! into `min(window + 2, iterations)` overlapping pipeline instances
+//! joined by per-(node, instance) admission barriers — the static
+//! mirror of the runtime's window-`k` admission rule — and
+//! [`verify_pipelined`] checks the properties that only exist across
+//! iterations: chunk-buffer slot reuse races (`P017`), unbounded
+//! channel queue growth (`P018`), and out-of-order admission
+//! (`P019`).
+//!
+//! The diagnostic catalogue (`P001`–`P019`) is documented on
 //! [`Code`] and in `DESIGN.md`.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
-use hipress_core::graph::{Primitive, SendSrc, TaskGraph, TaskId, TaskNode};
+use hipress_core::graph::{task, ChunkId, Primitive, SendSrc, TaskGraph, TaskId, TaskNode};
 
 use crate::diag::{Code, Diagnostic, Report, Site};
 
@@ -677,6 +686,316 @@ fn chunk_sizes(graph: &TaskGraph, report: &mut Report) {
     }
 }
 
+/// How a plan is pipelined: how many iterations stream through, how
+/// many may overlap, and how many buffer generations each chunk
+/// replica cycles through. The runtime allocates fresh per-iteration
+/// state (`slots` effectively unbounded); an engine that pools
+/// buffers sets `slots` to its pool depth, and the composition then
+/// proves the window never lets a reusing iteration overlap the
+/// owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Total iterations the plan will stream (≥ 1).
+    pub iterations: u32,
+    /// Bound on concurrently in-flight iterations (≥ 1; 1 = serial).
+    pub window: u32,
+    /// Buffer generations per chunk replica (≥ 1): iteration `j`
+    /// reuses iteration `j - slots`'s buffers.
+    pub slots: u32,
+}
+
+impl PipelineSpec {
+    /// A spec that cannot race on buffers: one more generation than
+    /// the window ever holds in flight.
+    pub fn unshared(iterations: u32, window: u32) -> Self {
+        Self {
+            iterations,
+            window,
+            slots: window + 1,
+        }
+    }
+}
+
+/// A pipelined unrolling of a base plan: `instances` copies of the
+/// graph plus admission barriers, with enough provenance to check
+/// cross-iteration properties.
+#[derive(Debug, Clone)]
+pub struct Composed {
+    /// The unrolled graph (instance copies, then admission barriers
+    /// interleaved per instance).
+    pub graph: TaskGraph,
+    /// The spec this was composed under.
+    pub spec: PipelineSpec,
+    /// How many instances were materialized:
+    /// `min(window + 2, iterations)` — `window + 1` exhibits every
+    /// overlap the admission rule permits, and one more instance
+    /// materializes two consecutive barriers per node so the
+    /// admission *chain* (and its ordering properties) is visible.
+    pub instances: u32,
+    /// Each task's iteration index, parallel to the graph.
+    pub instance: Vec<u32>,
+    /// `(instance, node)` → that instance's admission barrier on that
+    /// node (instances below `window` start unconditionally and have
+    /// none).
+    pub admissions: BTreeMap<(u32, usize), TaskId>,
+}
+
+/// Unrolls `base` into overlapping pipeline instances.
+///
+/// Mirrors the runtime's admission rule (`runtime::pipeline`):
+/// iteration `j` is admitted on a node once iteration `j - window`
+/// has completed *locally* — modelled as a `Barrier` depending on
+/// every task of instance `j - window` on that node, gating every
+/// instance-`j` task on the node that has no same-node dependency
+/// (tasks with local deps are gated transitively; tasks fed only by
+/// remote sends model the runtime's stash-until-admission). Barriers
+/// chain per node, because the runtime admits in order.
+///
+/// # Panics
+///
+/// When any spec field is zero — the runtime rejects those configs
+/// before building anything.
+pub fn compose(base: &TaskGraph, spec: &PipelineSpec) -> Composed {
+    assert!(
+        spec.iterations >= 1 && spec.window >= 1 && spec.slots >= 1,
+        "pipeline spec fields must all be >= 1, got {spec:?}"
+    );
+    let instances = spec.window.saturating_add(2).min(spec.iterations);
+    let nodes: BTreeSet<usize> = base.tasks().iter().map(|t| t.node).collect();
+    let mut graph = TaskGraph::new();
+    let mut instance = Vec::new();
+    let mut admissions: BTreeMap<(u32, usize), TaskId> = BTreeMap::new();
+    // Start ids of each instance's copies, so deps can be remapped.
+    let mut offsets = Vec::with_capacity(instances as usize);
+    for j in 0..instances {
+        // Admission barriers first (they gate this instance's tasks,
+        // and only reference earlier instances — no forward edges).
+        if j >= spec.window {
+            let prev = j - spec.window;
+            for &p in &nodes {
+                let mut deps: Vec<TaskId> = base
+                    .tasks()
+                    .iter()
+                    .filter(|t| t.node == p)
+                    .map(|t| TaskId(offsets[prev as usize] + t.id.0))
+                    .collect();
+                if let Some(&chain) = admissions.get(&(j - 1, p)) {
+                    deps.push(chain);
+                }
+                let id = graph.add(TaskNode {
+                    deps,
+                    ..task(p, Primitive::Barrier, ChunkId { grad: 0, part: 0 })
+                });
+                instance.push(j);
+                admissions.insert((j, p), id);
+            }
+        }
+        let offset = graph.len() as u32;
+        offsets.push(offset);
+        for t in base.tasks() {
+            let mut copy = t.clone();
+            copy.deps = t.deps.iter().map(|d| TaskId(offset + d.0)).collect();
+            let local_dep = t.deps.iter().any(|d| base.task(*d).node == t.node);
+            if !local_dep {
+                if let Some(&adm) = admissions.get(&(j, t.node)) {
+                    copy.deps.push(adm);
+                }
+            }
+            graph.add(copy);
+            instance.push(j);
+        }
+    }
+    Composed {
+        graph,
+        spec: *spec,
+        instances,
+        instance,
+        admissions,
+    }
+}
+
+/// Verifies a plan under pipelined execution: the single-iteration
+/// checks on the base graph, then — if the base is error-free — the
+/// cross-iteration checks on its [`compose`]d unrolling (`P017`,
+/// `P018`, `P019`). A broken base short-circuits: composing it would
+/// only repeat each defect `window + 1` times.
+pub fn verify_pipelined(base: &TaskGraph, cluster_nodes: usize, spec: &PipelineSpec) -> Report {
+    let mut report = verify(base, cluster_nodes);
+    if report.error_count() > 0 {
+        return report;
+    }
+    let composed = compose(base, spec);
+    verify_composed_into(&composed, &mut report);
+    report
+}
+
+/// The cross-iteration checks alone, on an already-composed (and
+/// possibly deliberately tampered) unrolling.
+pub fn verify_composed(composed: &Composed) -> Report {
+    let mut report = Report::new();
+    verify_composed_into(composed, &mut report);
+    report
+}
+
+fn verify_composed_into(c: &Composed, report: &mut Report) {
+    let Some(topo) = topo_or_cycle(&c.graph, report) else {
+        return;
+    };
+    if c.graph.len() > DEEP_ANALYSIS_LIMIT {
+        report.push(Diagnostic::new(
+            Code::AnalysisSkipped,
+            Site::Graph,
+            format!(
+                "composed pipeline has {} tasks (> {DEEP_ANALYSIS_LIMIT}); \
+                 cross-iteration analysis skipped",
+                c.graph.len()
+            ),
+        ));
+        return;
+    }
+    let hb = Closure::build(&c.graph, &topo);
+    let pairing = Pairing::build(&c.graph);
+    cross_iter_races(c, &hb, report);
+    queue_growth(c, &hb, &pairing, report);
+    admission_order(c, &hb, report);
+}
+
+/// `P017`: instances `j` and `j + slots` write the same physical
+/// chunk buffer; unless every access pair across them is ordered,
+/// the reusing iteration scribbles over one still in flight. With
+/// `slots > window` the admission chain orders them by construction;
+/// the race class only opens up when `slots <= window` — i.e. never
+/// at `window = 1` with per-window buffers, which is why it is a
+/// genuinely pipelined defect.
+fn cross_iter_races(c: &Composed, hb: &Closure, report: &mut Report) {
+    let mut cells: BTreeMap<Cell, Vec<(u32, TaskId, Access)>> = BTreeMap::new();
+    for t in c.graph.tasks() {
+        if let Some(a) = access_of(&c.graph, t) {
+            cells
+                .entry((t.node, t.chunk.grad, t.chunk.part))
+                .or_default()
+                .push((c.instance[t.id.0 as usize], t.id, a));
+        }
+    }
+    for ((node, grad, part), accs) in cells {
+        'pair: for (i, &(j1, a, ka)) in accs.iter().enumerate() {
+            for &(j2, b, kb) in &accs[i + 1..] {
+                if j1 == j2 || (j2.abs_diff(j1)) % c.spec.slots != 0 {
+                    continue;
+                }
+                if ka == Access::Read && kb == Access::Read {
+                    continue;
+                }
+                if hb.ordered(a, b) {
+                    continue;
+                }
+                report.push(Diagnostic::new(
+                    Code::CrossIterRace,
+                    Site::Tasks(a, b),
+                    format!(
+                        "iterations {j1} and {j2} share buffer slot {} of node \
+                         {node}'s g{grad}.p{part} ({} and {}) with no \
+                         happens-before edge — window {} admits both at once",
+                        j1 % c.spec.slots,
+                        describe(c.graph.task(a)),
+                        describe(c.graph.task(b)),
+                        c.spec.window,
+                    ),
+                ));
+                break 'pair; // One witness per cell.
+            }
+        }
+    }
+}
+
+/// `P018`: every channel's sends must be gated — at *some* lag — by
+/// the consumption of their older counterparts, or the receive queue
+/// (the runtime's admission stash) grows with the iteration count,
+/// not the window.
+///
+/// Admission is per-node-local, so consumption may legitimately lag
+/// production by more than `window` across multi-hop graphs (a PS
+/// worker's next push is ordered after the aggregator consumed its
+/// reply only two admissions later). The sound bound the unrolling
+/// can witness is its own horizon: the oldest and newest instances
+/// sit `window + 1` apart — one more than admission ever holds in
+/// flight — so a send still not ordered after the consumption that
+/// far back is not gated at any lag. Unrollings shorter than the
+/// window (`iterations <= window + 1`) cannot outrun their own
+/// horizon and are vacuously bounded.
+fn queue_growth(c: &Composed, hb: &Closure, pairing: &Pairing, report: &mut Report) {
+    let lag = c.instances - 1;
+    if lag <= c.spec.window {
+        return;
+    }
+    let mut channels: BTreeMap<(usize, usize), BTreeMap<u32, Vec<TaskId>>> = BTreeMap::new();
+    for t in c.graph.tasks() {
+        if t.prim == Primitive::Send {
+            if let Some(p) = t.peer {
+                channels
+                    .entry((t.node, p))
+                    .or_default()
+                    .entry(c.instance[t.id.0 as usize])
+                    .or_default()
+                    .push(t.id);
+            }
+        }
+    }
+    for ((from, to), by_instance) in channels {
+        // Instance copies preserve task order, so the k-th send of the
+        // first and last instances are the same logical transfer.
+        let (Some(first), Some(last)) = (by_instance.get(&0), by_instance.get(&lag)) else {
+            continue;
+        };
+        for (&s1, &s2) in first.iter().zip(last) {
+            let Some(r1) = pairing.recv_of(s1) else {
+                continue;
+            };
+            if !hb.before(r1, s2) {
+                report.push(Diagnostic::new(
+                    Code::QueueGrowth,
+                    Site::Tasks(s1, s2),
+                    format!(
+                        "channel {from} -> {to}: iteration {lag}'s {} can \
+                         transmit before iteration 0's payload is consumed \
+                         — no admission lag bounds this channel, so the \
+                         receive queue grows with the iteration count",
+                        describe(c.graph.task(s2)),
+                    ),
+                ));
+                break; // One witness per channel.
+            }
+        }
+    }
+}
+
+/// `P019`: each node must admit iterations in ascending order — the
+/// runtime increments `next_admit` monotonically, so a composed plan
+/// whose admission barriers are inverted or unordered on some node
+/// does not model any execution the runtime can produce.
+fn admission_order(c: &Composed, hb: &Closure, report: &mut Report) {
+    let mut per_node: BTreeMap<usize, Vec<(u32, TaskId)>> = BTreeMap::new();
+    for (&(j, p), &id) in &c.admissions {
+        per_node.entry(p).or_default().push((j, id));
+    }
+    for (node, mut adms) in per_node {
+        adms.sort_unstable();
+        for w in adms.windows(2) {
+            let ((j1, a), (j2, b)) = (w[0], w[1]);
+            if !hb.before(a, b) {
+                report.push(Diagnostic::new(
+                    Code::AdmissionInversion,
+                    Site::Tasks(a, b),
+                    format!(
+                        "node {node} does not admit iteration {j1} before \
+                         iteration {j2}; the runtime admits strictly in order"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -964,5 +1283,193 @@ mod tests {
         });
         let r = verify(&g, 2);
         assert!(r.has(Code::FifoInversion), "{}", r.render());
+    }
+
+    /// A one-directional producer: node 0 streams sends node 1
+    /// merges, and node 0's completion never waits for node 1 — the
+    /// shape whose pipelining outruns its consumer. Zero raw bytes
+    /// keeps the aggregation-coverage check out of the picture (a
+    /// telemetry stream, not a gradient): the single iteration is
+    /// clean, the defect only exists pipelined.
+    fn one_way_stream() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let s0 = g.add(TaskNode {
+            bytes_wire: 8,
+            ..task(0, Primitive::Source, chunk())
+        });
+        let s1 = g.add(TaskNode {
+            bytes_wire: 8,
+            ..task(1, Primitive::Source, chunk())
+        });
+        let send = g.add(TaskNode {
+            peer: Some(1),
+            bytes_wire: 8,
+            deps: vec![s0],
+            ..task(0, Primitive::Send, chunk())
+        });
+        let recv = g.add(TaskNode {
+            peer: Some(0),
+            bytes_wire: 8,
+            deps: vec![send],
+            ..task(1, Primitive::Recv, chunk())
+        });
+        let merge = g.add(TaskNode {
+            bytes_wire: 8,
+            deps: vec![recv, s1],
+            ..task(1, Primitive::Merge, chunk())
+        });
+        g.add(TaskNode {
+            bytes_wire: 8,
+            deps: vec![merge],
+            ..task(1, Primitive::Update, chunk())
+        });
+        g.add(TaskNode {
+            bytes_wire: 8,
+            deps: vec![send],
+            ..task(0, Primitive::Update, chunk())
+        });
+        g
+    }
+
+    #[test]
+    fn composition_shape_matches_spec() {
+        let base = clean_pair();
+        let spec = PipelineSpec::unshared(6, 2);
+        let c = compose(&base, &spec);
+        assert_eq!(c.instances, 4);
+        // One barrier per node for each instance past the window.
+        assert_eq!(c.admissions.len(), 4);
+        assert_eq!(c.graph.len(), base.len() * 4 + 4);
+        assert_eq!(c.instance.len(), c.graph.len());
+        // Composition never invents forward dependencies.
+        for t in c.graph.tasks() {
+            for d in &t.deps {
+                assert!(d.0 < t.id.0, "forward dep {d:?} in composed graph");
+            }
+        }
+        // More iterations than window+2 adds nothing new.
+        let deep = compose(&base, &PipelineSpec::unshared(100, 2));
+        assert_eq!(deep.graph.len(), c.graph.len());
+    }
+
+    #[test]
+    fn clean_pipelines_verify_clean() {
+        let base = clean_pair();
+        for (iterations, window) in [(1, 1), (4, 1), (4, 3), (6, 8)] {
+            let r = verify_pipelined(&base, 2, &PipelineSpec::unshared(iterations, window));
+            assert!(r.is_clean(), "{iterations}x w{window}: {}", r.render());
+        }
+        // Single-slot buffers are fine at window 1: the admission
+        // barrier orders the reusing iteration after the owner.
+        let r = verify_pipelined(
+            &base,
+            2,
+            &PipelineSpec {
+                iterations: 4,
+                window: 1,
+                slots: 1,
+            },
+        );
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn buffer_reuse_races_only_past_window_one() {
+        // The same slots=1 plan that is clean at window 1 races at
+        // window 2: iterations j and j+1 are both in flight on one
+        // buffer generation.
+        let r = verify_pipelined(
+            &clean_pair(),
+            2,
+            &PipelineSpec {
+                iterations: 4,
+                window: 2,
+                slots: 1,
+            },
+        );
+        assert!(r.has(Code::CrossIterRace), "{}", r.render());
+    }
+
+    #[test]
+    fn one_way_stream_grows_queues() {
+        // Clean as a single iteration...
+        let base = one_way_stream();
+        assert!(verify(&base, 2).is_clean());
+        // ...but pipelined, the producer node completes locally
+        // without ever waiting for the consumer, so its sends outrun
+        // the window.
+        let r = verify_pipelined(&base, 2, &PipelineSpec::unshared(4, 2));
+        assert!(r.has(Code::QueueGrowth), "{}", r.render());
+        // The request-reply pair is bounded: the producer's next
+        // round transitively waits on the consumer's recv.
+        let r = verify_pipelined(&clean_pair(), 2, &PipelineSpec::unshared(4, 2));
+        assert!(!r.has(Code::QueueGrowth), "{}", r.render());
+    }
+
+    #[test]
+    fn dropped_admission_edges_flagged_as_queue_growth() {
+        let base = clean_pair();
+        let mut c = compose(&base, &PipelineSpec::unshared(4, 2));
+        // Seed the defect: instance 2's admission barriers forget
+        // their cross-iteration completion deps (keep only the
+        // barrier chain), so iteration 2 no longer waits for 0.
+        for (&(_, _), &adm) in c.admissions.clone().iter() {
+            let keep: Vec<TaskId> = c
+                .graph
+                .task(adm)
+                .deps
+                .iter()
+                .copied()
+                .filter(|d| c.graph.task(*d).prim == Primitive::Barrier)
+                .collect();
+            c.graph.task_mut(adm).deps = keep;
+        }
+        let r = verify_composed(&c);
+        assert!(r.has(Code::QueueGrowth), "{}", r.render());
+    }
+
+    #[test]
+    fn inverted_admission_flagged() {
+        // Window 1, 3 instances: barriers for iterations 1 and 2 on
+        // each node. Cut everything that orders node 0's second
+        // barrier after its first — the node no longer admits in
+        // order, an execution the runtime cannot produce.
+        let mut c = compose(&clean_pair(), &PipelineSpec::unshared(3, 1));
+        assert!(verify_composed(&c).is_clean());
+        let a2 = c.admissions[&(2, 0)];
+        c.graph.task_mut(a2).deps.clear();
+        let r = verify_composed(&c);
+        assert!(r.has(Code::AdmissionInversion), "{}", r.render());
+    }
+
+    #[test]
+    fn strategy_graphs_pipeline_clean() {
+        use hipress_core::plan::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
+        use hipress_core::{ClusterConfig, Strategy};
+        let spec = IterationSpec {
+            gradients: vec![SyncGradient {
+                name: "g0".into(),
+                bytes: 4096,
+                ready_offset_ns: 0,
+                plan: GradPlan {
+                    compress: true,
+                    partitions: 2,
+                },
+            }],
+            compression: Some(CompressionSpec {
+                ratio: 1.0 / 32.0,
+                metadata_bytes: 8,
+                encode_passes: 1.0,
+                decode_passes: 1.0,
+            }),
+        };
+        let cluster = ClusterConfig::ec2(3);
+        for strat in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let graph = strat.build(&cluster, &spec).unwrap();
+            for window in [1, 2, 4] {
+                let r = verify_pipelined(&graph, 3, &PipelineSpec::unshared(8, window));
+                assert!(r.error_count() == 0, "{strat:?} w{window}: {}", r.render());
+            }
+        }
     }
 }

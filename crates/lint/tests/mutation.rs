@@ -13,7 +13,7 @@ use hipress_core::{
     ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient, TaskGraph,
     TaskId,
 };
-use hipress_lint::verify_graph;
+use hipress_lint::{compose, verify_composed, verify_graph, verify_pipelined, Code, PipelineSpec};
 use hipress_runtime::protocol::{Envelope, LinkRx, LinkTx, RxVerdict};
 use hipress_runtime::Payload;
 use hipress_util::rng::{Rng64, Xoshiro256};
@@ -188,6 +188,142 @@ fn every_seeded_defect_is_detected() {
         2 * 6 * 3 * 2 * 4 * 3,
         "matrix not fully covered"
     );
+}
+
+// -------------------------------------------------------------------
+// Pipelined-plan mutations: defects that only exist when iterations
+// overlap. Each class is injected into the pipelined composition of a
+// real strategy graph — either by declaring an unsafe buffer pool
+// (slots <= window) or by tampering with the admission barriers the
+// composition synthesizes — and the cross-iteration checks (P017,
+// P018, P019) must flag every injection while the untampered
+// composition stays clean at every window.
+// -------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum PipelineMutation {
+    /// Reuse one buffer generation per chunk under window 2: two
+    /// in-flight iterations share every slot. Must race (P017) — and
+    /// the *same* single-slot pool must stay clean at window 1, where
+    /// admission orders the reuse; the defect exists only pipelined.
+    ReuseBufferSlot,
+    /// Strip the cross-iteration completion deps from every admission
+    /// barrier (keep only the barrier chain): iteration j no longer
+    /// waits for j - window, so sends outrun consumption (P018).
+    DropAdmissionEdges,
+    /// Disconnect one node's later admission barrier entirely: the
+    /// node no longer admits iterations in order (P019).
+    ScrambleAdmission,
+}
+
+const PIPELINE_MUTATIONS: [PipelineMutation; 3] = [
+    PipelineMutation::ReuseBufferSlot,
+    PipelineMutation::DropAdmissionEdges,
+    PipelineMutation::ScrambleAdmission,
+];
+
+/// The compact strategy matrix the pipelined checks sweep; smaller
+/// than the single-iteration matrix because each cell composes and
+/// re-verifies several unrollings.
+fn pipeline_matrix() -> Vec<(Strategy, usize, TaskGraph)> {
+    let mut out = Vec::new();
+    for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+        for algorithm in [None, Some(Algorithm::OneBit)] {
+            for nodes in [2usize, 3] {
+                for partitions in PARTITIONS {
+                    let graph = build(strategy, nodes, &spec(algorithm, partitions));
+                    out.push((strategy, nodes, graph));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every strategy graph pipelines clean at windows 1, 2, and 4 with
+/// per-window buffering — zero false positives from the
+/// cross-iteration checks across the matrix.
+#[test]
+fn unmutated_pipelines_are_clean_across_windows() {
+    for (strategy, nodes, graph) in pipeline_matrix() {
+        for window in [1u32, 2, 4] {
+            let report = verify_pipelined(&graph, nodes, &PipelineSpec::unshared(8, window));
+            assert!(
+                report.is_clean(),
+                "{strategy:?} x {nodes} nodes x window {window}:\n{}",
+                report.render()
+            );
+        }
+    }
+}
+
+/// Every pipelined defect class is detected on every matrix cell with
+/// the diagnostic code that names it.
+#[test]
+fn every_pipelined_defect_is_detected() {
+    let mut rng = Xoshiro256::new(0x9199_11E5);
+    let mut injections = 0usize;
+    for (strategy, nodes, graph) in pipeline_matrix() {
+        for mutation in PIPELINE_MUTATIONS {
+            let (report, code) = match mutation {
+                PipelineMutation::ReuseBufferSlot => {
+                    let serial = PipelineSpec {
+                        iterations: 4,
+                        window: 1,
+                        slots: 1,
+                    };
+                    let clean = verify_pipelined(&graph, nodes, &serial);
+                    assert!(
+                        !clean.has(Code::CrossIterRace),
+                        "{strategy:?} x {nodes}: single-slot pool raced at window 1\n{}",
+                        clean.render()
+                    );
+                    let shared = PipelineSpec {
+                        iterations: 4,
+                        window: 2,
+                        slots: 1,
+                    };
+                    (
+                        verify_pipelined(&graph, nodes, &shared),
+                        Code::CrossIterRace,
+                    )
+                }
+                PipelineMutation::DropAdmissionEdges => {
+                    let mut c = compose(&graph, &PipelineSpec::unshared(4, 2));
+                    for &adm in c.admissions.clone().values() {
+                        let keep: Vec<TaskId> = c
+                            .graph
+                            .task(adm)
+                            .deps
+                            .iter()
+                            .copied()
+                            .filter(|d| c.graph.task(*d).prim == Primitive::Barrier)
+                            .collect();
+                        c.graph.task_mut(adm).deps = keep;
+                    }
+                    (verify_composed(&c), Code::QueueGrowth)
+                }
+                PipelineMutation::ScrambleAdmission => {
+                    let mut c = compose(&graph, &PipelineSpec::unshared(3, 1));
+                    // A random node's second barrier loses every
+                    // ordering edge.
+                    let victim = rng.index(nodes);
+                    let adm = c.admissions[&(2, victim)];
+                    c.graph.task_mut(adm).deps.clear();
+                    (verify_composed(&c), Code::AdmissionInversion)
+                }
+            };
+            assert!(
+                report.has(code),
+                "{strategy:?} x {nodes} nodes: {mutation:?} undetected (want {code:?})\n{}",
+                report.render()
+            );
+            injections += 1;
+        }
+    }
+    // 2 strategies x 2 algorithm settings x 2 node counts x
+    // 2 partitionings x 3 mutation classes.
+    assert_eq!(injections, 2 * 2 * 2 * 2 * 3, "matrix not fully covered");
 }
 
 // -------------------------------------------------------------------

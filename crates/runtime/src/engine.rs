@@ -880,7 +880,7 @@ impl<'a> NodeCore<'a> {
         let nodes = self.layout.nodes;
         if let Some(cell) = self.cells.get_mut(&key) {
             if cell.missing > 0 && !cell.scaled {
-                let f = nodes as f32 / (1 + cell.merged) as f32;
+                let f = crate::protocol::degrade_rescale(nodes, cell.merged as usize);
                 for a in &mut cell.acc {
                     *a *= f;
                 }
@@ -896,7 +896,7 @@ impl<'a> NodeCore<'a> {
             .cells
             .get(&key)
             .ok_or_else(|| Error::sim("update with no state"))?;
-        let f = self.layout.nodes as f32 / (1 + cell.merged) as f32;
+        let f = crate::protocol::degrade_rescale(self.layout.nodes, cell.merged as usize);
         Ok(cell.acc.iter().map(|x| x * f).collect())
     }
 

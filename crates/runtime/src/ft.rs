@@ -32,7 +32,7 @@ use crate::engine::{
     build_node_metrics, build_node_traces, record_run_metrics, record_run_span, replicate, Cell,
     FlowLayout, Flows, Instruments, NodeCore, NodePlan, Payload, RunOutcome, RuntimeConfig,
 };
-use crate::protocol::{Body, DeadLink, Envelope, LinkRx, LinkTx, RxVerdict};
+use crate::protocol::{self, Body, DeadLink, Envelope, LinkRx, LinkTx, RxVerdict};
 use crate::report::{DegradeAction, RuntimeReport, StragglerVerdict};
 use hipress_chaos::{ChaosLink, FaultPlan, SendEffects};
 use hipress_compress::Compressor;
@@ -591,7 +591,7 @@ impl FtWorker<'_> {
     fn heard(&mut self, peer: usize) {
         let now = Instant::now();
         let gap = now.duration_since(self.last_heard[peer]).as_nanos() as f64;
-        self.ewma_gap_ns[peer] = 0.2 * gap + 0.8 * self.ewma_gap_ns[peer];
+        self.ewma_gap_ns[peer] = protocol::ewma_update(self.ewma_gap_ns[peer], gap);
         self.last_heard[peer] = now;
     }
 
@@ -627,7 +627,7 @@ impl FtWorker<'_> {
     /// timers expired.
     fn tick(&mut self) -> Result<()> {
         let now = Instant::now();
-        if now.duration_since(self.last_beat) >= self.config.ft_heartbeat {
+        if protocol::heartbeat_due(now.duration_since(self.last_beat), self.config.ft_heartbeat) {
             self.last_beat = now;
             for (n, tx) in self.direct.iter().enumerate() {
                 if n != self.core.node {
@@ -670,7 +670,11 @@ impl FtWorker<'_> {
             .filter(|&p| !self.skipped_peers.contains(&p) && !self.flagged[p])
             .map(|p| {
                 let idle_ns = now.duration_since(self.last_heard[p]).as_nanos() as u64;
-                let threshold = floor.max((self.ft.straggler_factor * self.ewma_gap_ns[p]) as u64);
+                let threshold = protocol::straggler_threshold_ns(
+                    floor,
+                    self.ft.straggler_factor,
+                    self.ewma_gap_ns[p],
+                );
                 (idle_ns, threshold, p)
             })
             .filter(|&(idle_ns, threshold, _)| idle_ns > threshold)

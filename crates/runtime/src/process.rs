@@ -1241,6 +1241,87 @@ mod tests {
         assert!(matches!(&e, Error::Sim(m) if m == "aborted"));
     }
 
+    /// The pipeline edge configs — a single iteration, a serial
+    /// window, and a window wider than the whole run — produce the
+    /// same bitstream over the TCP mesh as the single-iteration
+    /// thread engine. `window = 1` degenerates to serial execution;
+    /// `window > iterations` admits everything up front; both must be
+    /// behavioral no-ops for the result.
+    #[test]
+    fn edge_pipeline_configs_match_serial_over_tcp() {
+        let nodes = 2;
+        let grads = worker_grads(nodes, &[96]);
+        let flows = gradient_flows(&grads);
+        let algorithm = Algorithm::OneBit;
+        let c = algorithm.build().unwrap();
+        let grad_lens: Vec<u32> = grads[0].iter().map(|t| t.len() as u32).collect();
+        let graph = build_graph(Strategy::CaSyncPs, algorithm, 2, &grad_lens, nodes).unwrap();
+        let serial = run(
+            &graph,
+            nodes,
+            &flows,
+            Some(c.as_ref()),
+            5,
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        for (iterations, window) in [(1, 1), (3, 1), (2, 5)] {
+            let sockets = run_threaded(
+                Strategy::CaSyncPs,
+                algorithm,
+                &grads,
+                5,
+                PipelineConfig { iterations, window },
+                None,
+            )
+            .unwrap();
+            assert_eq!(serial.flows.len(), sockets.flows.len());
+            for (a, b) in serial.flows.iter().zip(&sockets.flows) {
+                assert_eq!(a.flow, b.flow);
+                assert_eq!(
+                    a.per_node, b.per_node,
+                    "TCP diverged at {iterations}x window {window}"
+                );
+            }
+            assert_eq!(sockets.report.iterations, u64::from(iterations));
+            assert_eq!(sockets.report.pipeline_window, u64::from(window));
+        }
+    }
+
+    /// Degenerate pipeline configs are rejected by the coordinator
+    /// before any worker is spawned — the same `validate` gate the
+    /// thread path applies.
+    #[test]
+    fn bad_pipeline_configs_rejected_before_spawn() {
+        let grads = worker_grads(2, &[16]);
+        for pcfg in [
+            PipelineConfig {
+                iterations: 0,
+                window: 1,
+            },
+            PipelineConfig {
+                iterations: 1,
+                window: 0,
+            },
+        ] {
+            let err = run_processes(
+                Strategy::CaSyncPs,
+                Algorithm::None,
+                1,
+                &grads,
+                1,
+                &RuntimeConfig::default(),
+                &pcfg,
+                &ProcessConfig::default(),
+            )
+            .expect_err("validation must reject the config");
+            assert!(
+                matches!(err, Error::Config(_)),
+                "want a config error, got {err}"
+            );
+        }
+    }
+
     #[test]
     fn error_rank_prefers_diagnoses_over_echoes() {
         let dead = Error::sync(SyncFailure {

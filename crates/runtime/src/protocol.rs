@@ -210,6 +210,89 @@ impl hipress_chaos::Wire for Envelope {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pure transition functions.
+//
+// Every protocol *decision* — when to retransmit, when to give up,
+// how to classify an arrival, when a peer counts as a straggler, how
+// a degraded merge rescales — lives here as a side-effect-free
+// function of its inputs. The runtime state machines ([`LinkTx`],
+// [`LinkRx`], the FT worker, the engine's degraded merge) delegate to
+// these, and `hipress-verify`'s bounded model checker drives the very
+// same functions, so there is exactly one implementation of the
+// protocol logic to trust.
+// ---------------------------------------------------------------------------
+
+/// EWMA smoothing factor for peer inter-arrival gaps: the straggler
+/// detector weighs the newest gap at 20%.
+pub const EWMA_ALPHA: f64 = 0.2;
+
+/// The retransmission timeout for attempt `attempt`:
+/// `base × 2^attempt`, capped at `max` (exponent itself clamped so
+/// the shift cannot overflow).
+pub fn rto(base: Duration, max: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(16)).min(max)
+}
+
+/// What a sender does about an in-flight envelope that needs another
+/// transmission (timer expiry or nack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Still within budget: retransmit with backed-off timer.
+    Retransmit,
+    /// The bumped attempt exceeds the retry budget: the link is dead.
+    Dead,
+}
+
+/// The bounded-retry rule: `attempt` is the transmission count
+/// *after* the bump (1 = first retransmission). The link survives
+/// while `attempt <= retry_budget`.
+pub fn retry_decision(attempt: u32, retry_budget: u32) -> RetryDecision {
+    if attempt > retry_budget {
+        RetryDecision::Dead
+    } else {
+        RetryDecision::Retransmit
+    }
+}
+
+/// The receiver classification rule: verify *then* dedup. Integrity
+/// comes first so every corrupt arrival is detected — including a
+/// corrupted retransmission of an already-delivered sequence, which
+/// dedup-first would silently swallow as a duplicate.
+pub fn classify(intact: bool, already_seen: bool) -> RxVerdict {
+    if !intact {
+        RxVerdict::Corrupt
+    } else if already_seen {
+        RxVerdict::Duplicate
+    } else {
+        RxVerdict::Deliver
+    }
+}
+
+/// One EWMA step over a peer's inter-arrival gap (nanoseconds).
+pub fn ewma_update(prev_ns: f64, gap_ns: f64) -> f64 {
+    EWMA_ALPHA * gap_ns + (1.0 - EWMA_ALPHA) * prev_ns
+}
+
+/// The straggler silence threshold: a configured floor, or `factor`
+/// times the observed EWMA gap, whichever is larger.
+pub fn straggler_threshold_ns(floor_ns: u64, factor: f64, ewma_ns: f64) -> u64 {
+    floor_ns.max((factor * ewma_ns) as u64)
+}
+
+/// True when a liveness probe is owed: `since_last` silence has
+/// reached the heartbeat period.
+pub fn heartbeat_due(since_last: Duration, period: Duration) -> bool {
+    since_last >= period
+}
+
+/// The Partial-degrade rescale factor: a merge that gathered
+/// `merged` remote contributions (plus the local one) instead of the
+/// full `nodes` stands in for the missing peers by scaling up.
+pub fn degrade_rescale(nodes: usize, merged: usize) -> f32 {
+    nodes as f32 / (1 + merged) as f32
+}
+
 /// Why a sender-side link gave up: the peer never acknowledged
 /// `seq` (announcing `task`) within the retry budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,7 +306,7 @@ pub struct DeadLink {
 }
 
 /// One in-flight (unacknowledged) data envelope.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inflight {
     env: Envelope,
     due: Instant,
@@ -237,7 +320,10 @@ struct Inflight {
 /// [`LinkTx::on_ack`] / [`LinkTx::on_nack`] retire or fast-path
 /// retransmit them. When one envelope exceeds the retry budget the
 /// link is declared dead.
-#[derive(Debug)]
+///
+/// `Clone` so the model checker can fork a link mid-protocol and
+/// explore both branches of a nondeterministic choice.
+#[derive(Debug, Clone)]
 pub struct LinkTx {
     next_seq: u64,
     inflight: BTreeMap<u64, Inflight>,
@@ -258,12 +344,6 @@ impl LinkTx {
         }
     }
 
-    /// The retransmission timeout for attempt `attempt`:
-    /// `base × 2^attempt`, capped.
-    fn rto(base: Duration, max: Duration, attempt: u32) -> Duration {
-        base.saturating_mul(1u32 << attempt.min(16)).min(max)
-    }
-
     /// Assigns the next sequence number to a data envelope for
     /// `task`, arms its retransmission timer, and returns the sealed
     /// envelope (attempt 0) ready to send.
@@ -281,7 +361,7 @@ impl LinkTx {
             seq,
             Inflight {
                 env: env.clone(),
-                due: now + Self::rto(self.base_backoff, self.max_backoff, 0),
+                due: now + rto(self.base_backoff, self.max_backoff, 0),
             },
         );
         env
@@ -303,14 +383,14 @@ impl LinkTx {
             return Ok(None);
         };
         inf.env.attempt += 1;
-        if inf.env.attempt > self.retry_budget {
+        if retry_decision(inf.env.attempt, self.retry_budget) == RetryDecision::Dead {
             return Err(DeadLink {
                 seq,
                 task: inf.env.data_task(),
                 attempts: inf.env.attempt,
             });
         }
-        inf.due = now + Self::rto(base, max, inf.env.attempt);
+        inf.due = now + rto(base, max, inf.env.attempt);
         Ok(Some(inf.env.clone()))
     }
 
@@ -325,14 +405,14 @@ impl LinkTx {
                 continue;
             }
             inf.env.attempt += 1;
-            if inf.env.attempt > self.retry_budget {
+            if retry_decision(inf.env.attempt, self.retry_budget) == RetryDecision::Dead {
                 return Err(DeadLink {
                     seq: *seq,
                     task: inf.env.data_task(),
                     attempts: inf.env.attempt,
                 });
             }
-            inf.due = now + Self::rto(base, max, inf.env.attempt);
+            inf.due = now + rto(base, max, inf.env.attempt);
             out.push(inf.env.clone());
         }
         Ok(out)
@@ -355,6 +435,27 @@ impl LinkTx {
     pub fn peer_gone(&mut self) {
         self.inflight.clear();
     }
+
+    /// `(seq, attempt)` for every in-flight envelope, ascending seq.
+    /// The model checker fingerprints link state through this (timer
+    /// deadlines deliberately excluded — the checker is untimed).
+    pub fn inflight_meta(&self) -> Vec<(u64, u32)> {
+        self.inflight
+            .iter()
+            .map(|(seq, inf)| (*seq, inf.env.attempt))
+            .collect()
+    }
+
+    /// The configured retry budget (transmissions allowed past the
+    /// first before the link is declared dead).
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// The sequence number the next [`LinkTx::prepare`] will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
 }
 
 /// The receiver's verdict on one data envelope.
@@ -370,7 +471,7 @@ pub enum RxVerdict {
 }
 
 /// Receiver-side integrity + dedup state for one directed link.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LinkRx {
     seen: HashSet<u64>,
 }
@@ -381,22 +482,25 @@ impl LinkRx {
         Self::default()
     }
 
-    /// Classifies a data envelope: verify the checksum, then dedup by
-    /// sequence number. Verification comes first so *every* corrupt
-    /// arrival is detected and counted — including a corrupted
-    /// retransmission of a sequence that already delivered, which
-    /// dedup-first would silently discard as a duplicate. Corrupt
+    /// Classifies a data envelope by delegating to the pure
+    /// [`classify`] rule (verify the checksum, *then* dedup by
+    /// sequence number), and marks delivered sequences seen. Corrupt
     /// envelopes are *not* marked seen: the clean retransmission must
     /// still deliver.
     pub fn accept(&mut self, env: &Envelope) -> RxVerdict {
-        if !env.verify() {
-            return RxVerdict::Corrupt;
+        let verdict = classify(env.verify(), self.seen.contains(&env.seq));
+        if verdict == RxVerdict::Deliver {
+            self.seen.insert(env.seq);
         }
-        if self.seen.contains(&env.seq) {
-            return RxVerdict::Duplicate;
-        }
-        self.seen.insert(env.seq);
-        RxVerdict::Deliver
+        verdict
+    }
+
+    /// Every sequence number delivered so far, ascending — the model
+    /// checker fingerprints receiver state through this.
+    pub fn seen_seqs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.seen.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -511,6 +615,113 @@ mod tests {
         let dead = tx.on_nack(0, now).unwrap_err();
         assert_eq!(dead.seq, 0);
         assert_eq!(dead.task, Some(TaskId(5)));
+    }
+
+    /// The runtime path must *provably* delegate to the pure
+    /// transition functions: sweep the sender through every attempt
+    /// and assert the observable behaviour (timer deadlines, the
+    /// exact attempt at which the link dies) matches what the pure
+    /// `rto`/`retry_decision` rules predict for the same inputs.
+    #[test]
+    fn link_tx_delegates_to_pure_rto_and_retry_decision() {
+        for budget in [0u32, 1, 2, 5, 8] {
+            let base = Duration::from_millis(3);
+            let max = Duration::from_millis(200);
+            let mut tx = LinkTx::new(budget, base, max);
+            let now = Instant::now();
+            tx.prepare(0, TaskId(1), raw(vec![1.0]), now);
+            let mut fired = now;
+            let mut attempt = 0u32;
+            loop {
+                // The armed deadline is exactly the pure rule's rto
+                // for the current attempt.
+                let due = tx.next_due().expect("envelope in flight");
+                assert_eq!(due, fired + rto(base, max, attempt));
+                attempt += 1;
+                match (retry_decision(attempt, budget), tx.due(due)) {
+                    (RetryDecision::Retransmit, Ok(r)) => {
+                        assert_eq!(r.len(), 1);
+                        assert_eq!(r[0].attempt, attempt);
+                        fired = due;
+                    }
+                    (RetryDecision::Dead, Err(dead)) => {
+                        assert_eq!(dead.attempts, attempt);
+                        break;
+                    }
+                    (want, got) => {
+                        panic!("budget {budget} attempt {attempt}: pure rule says {want:?}, runtime did {got:?}")
+                    }
+                }
+            }
+        }
+        // The rto curve itself: doubling, then capped; shift-safe at
+        // absurd attempts.
+        let base = Duration::from_millis(5);
+        let max = Duration::from_millis(60);
+        assert_eq!(rto(base, max, 0), Duration::from_millis(5));
+        assert_eq!(rto(base, max, 1), Duration::from_millis(10));
+        assert_eq!(rto(base, max, 3), Duration::from_millis(40));
+        assert_eq!(rto(base, max, 4), max);
+        assert_eq!(rto(base, max, 1000), max);
+    }
+
+    /// [`LinkRx::accept`] must agree with the pure [`classify`] rule
+    /// on every (intact, seen) combination, in every order.
+    #[test]
+    fn link_rx_delegates_to_pure_classify() {
+        let mut rx = LinkRx::new();
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mk = |seq: u64, corrupt: bool| {
+            let mut e = Envelope::data(0, seq, TaskId(seq as u32), raw(vec![seq as f32 + 0.5]));
+            if corrupt {
+                e.flip_bit(3);
+            }
+            e
+        };
+        // Arrivals chosen to hit: fresh, duplicate, corrupt-fresh,
+        // corrupt-of-seen, clean retransmit after corrupt.
+        for (seq, corrupt) in [
+            (0, false),
+            (0, false),
+            (1, true),
+            (1, false),
+            (1, true),
+            (2, true),
+            (2, false),
+            (0, true),
+        ] {
+            let env = mk(seq, corrupt);
+            let want = classify(env.verify(), seen.contains(&seq));
+            assert_eq!(rx.accept(&env), want, "seq {seq} corrupt {corrupt}");
+            if want == RxVerdict::Deliver {
+                seen.insert(seq);
+            }
+            let mut mirror: Vec<u64> = seen.iter().copied().collect();
+            mirror.sort_unstable();
+            assert_eq!(rx.seen_seqs(), mirror);
+        }
+    }
+
+    /// Pin the pure FT decision rules the worker and engine delegate
+    /// to (their delegation is by direct call — see `ft.rs` /
+    /// `engine.rs` — so pinning the functions pins the runtime).
+    #[test]
+    fn pure_ft_decisions_are_pinned() {
+        // EWMA: 0.2 × new + 0.8 × old.
+        assert_eq!(ewma_update(1000.0, 2000.0), 1200.0);
+        assert_eq!(ewma_update(0.0, 500.0), 100.0);
+        // Straggler threshold: floor wins until factor × ewma passes it.
+        assert_eq!(straggler_threshold_ns(1_000, 8.0, 50.0), 1_000);
+        assert_eq!(straggler_threshold_ns(1_000, 8.0, 200.0), 1_600);
+        // Heartbeat: due exactly at the period boundary.
+        let period = Duration::from_millis(50);
+        assert!(!heartbeat_due(Duration::from_millis(49), period));
+        assert!(heartbeat_due(period, period));
+        // Degrade rescale: 4 nodes, merged 2 remote + 1 local = 3
+        // contributions standing in for 4.
+        let f = degrade_rescale(4, 2);
+        assert!((f - 4.0 / 3.0).abs() < 1e-6);
+        assert_eq!(degrade_rescale(3, 2), 1.0, "no holes, no scaling");
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! The bounded explicit-state explorer: depth-first search over
+//! [`Model`](crate::model::Model) states with hash-compacted visited
+//! tracking and sleep-set partial-order reduction.
+//!
+//! # Reduction
+//!
+//! Two transitions are *independent* when their resource footprints
+//! are disjoint: each action touches a set of nodes (both endpoints
+//! for link actions) and fault-injecting actions additionally share
+//! a global budget token. Independent actions commute and never
+//! enable or disable one another, so of the two orders `a·b` and
+//! `b·a` only one needs exploring. Sleep sets implement exactly
+//! that: after exploring `a` from a state, `a` enters the sleep set
+//! of its siblings' subtrees and stays there until some dependent
+//! action wakes it. Sleep sets prune *transitions*, never states, so
+//! every reachable state (and every property violation) is still
+//! visited — the savings show up in the `pruned` statistic, which
+//! `hipress verify` prints per scenario.
+//!
+//! # Visited states
+//!
+//! States are fingerprinted to 64 bits ([`Model::fingerprint`]) —
+//! classic hash compaction. A state is re-explored only when it is
+//! reached with a sleep set that is not a superset of one it was
+//! already explored under (a smaller sleep set means more outgoing
+//! transitions would be considered).
+
+use crate::model::{Action, Model, Policy, State, Violation};
+use std::collections::HashMap;
+
+/// Exploration budgets: tripping either is reported as a violation
+/// (the scenario must be tuned, never silently truncated).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Max distinct state fingerprints.
+    pub max_states: usize,
+    /// Max DFS depth (trace length).
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_states: 2_000_000,
+            max_depth: 100_000,
+        }
+    }
+}
+
+/// Exploration statistics — the evidence that the scope was actually
+/// exhausted and the reduction actually reduced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: usize,
+    /// Transitions pruned by the sleep-set reduction.
+    pub pruned: usize,
+    /// Arrivals at an already-explored state.
+    pub revisits: usize,
+    /// Deepest trace explored.
+    pub max_depth: usize,
+    /// Terminal states reached.
+    pub terminals: usize,
+}
+
+/// The result of exhausting (or refuting) one scenario.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Exploration statistics.
+    pub stats: Stats,
+    /// The first property violation, with the action trace that
+    /// reaches it. `None` means the scope was exhausted violation
+    /// free.
+    pub violation: Option<(Violation, Vec<String>)>,
+}
+
+impl Outcome {
+    /// True when the scope was exhausted with no violation.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// An action's reduction identity: a stable key plus a resource
+/// bitmask. Resources distinguish a node's *local* protocol state
+/// `N(i)` (bits 0–3: remaining/tx/rx/ledger/holes) from the *channel
+/// pair* `C{a,b}` (bits from 4: both directed queues between `a` and
+/// `b` — one resource, because replies travel the reverse path and
+/// the timeout guard reads both). Bit 31 is the global fault-budget
+/// token every injecting action consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Footprint {
+    key: u64,
+    mask: u32,
+}
+
+const FAULT_TOKEN: u32 = 1 << 31;
+
+fn node_bit(i: usize) -> u32 {
+    1 << i
+}
+
+fn chan_bit(a: usize, b: usize) -> u32 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    1 << (4 + lo * 4 + hi)
+}
+
+/// Every channel pair touching node `i` — the resources a
+/// structured failure's abort broadcast writes to.
+fn all_chans(i: usize, n: usize) -> u32 {
+    (0..n)
+        .filter(|&o| o != i)
+        .fold(0, |m, o| m | chan_bit(i, o))
+}
+
+/// The footprint is state-aware: an in-flight message's body decides
+/// what delivering it *can* do (a nack can kill the link, and a dead
+/// link broadcasts aborts onto every channel of the failing node).
+/// Bodies never change while queued and index-addressed messages are
+/// only disturbed by channel-sharing (dependent) actions, so a
+/// footprint computed where the action was first seen stays valid.
+fn footprint(model: &Model, state: &State, action: &Action) -> Footprint {
+    use hipress_runtime::protocol::Body;
+    let n = model.config().nodes;
+    let (tag, mask, detail): (u64, u32, u64) = match *action {
+        // Originating touches the sender's local state and the pair.
+        Action::Send { src, dst } => (
+            1,
+            node_bit(src) | chan_bit(src, dst),
+            (src as u64) << 8 | dst as u64,
+        ),
+        // Delivery touches the *receiver's* local state and the pair
+        // (replies travel the reverse queue of the same pair); a
+        // nack additionally reaches the retry bookkeeping, whose
+        // dead-link path aborts every channel of the receiver.
+        Action::Deliver { src, dst, idx } => {
+            let body = &state.net[src * n + dst][idx].env.body;
+            let extra = match body {
+                Body::Nack { .. } => all_chans(dst, n),
+                _ => 0,
+            };
+            (
+                2,
+                node_bit(dst) | chan_bit(src, dst) | extra,
+                (src as u64) << 24 | (dst as u64) << 16 | idx as u64,
+            )
+        }
+        // Timer fire touches the sender's tx, its guard reads both
+        // directed queues of the pair, and budget exhaustion aborts
+        // every channel of the sender.
+        Action::Timeout { src, dst, seq } => (
+            3,
+            node_bit(src) | chan_bit(src, dst) | all_chans(src, n),
+            (src as u64) << 24 | (dst as u64) << 16 | seq,
+        ),
+        Action::Drop { src, dst, idx } => (
+            4,
+            chan_bit(src, dst) | FAULT_TOKEN,
+            (src as u64) << 24 | (dst as u64) << 16 | idx as u64,
+        ),
+        Action::Duplicate { src, dst, idx } => (
+            5,
+            chan_bit(src, dst) | FAULT_TOKEN,
+            (src as u64) << 24 | (dst as u64) << 16 | idx as u64,
+        ),
+        Action::Corrupt { src, dst, idx } => (
+            6,
+            chan_bit(src, dst) | FAULT_TOKEN,
+            (src as u64) << 24 | (dst as u64) << 16 | idx as u64,
+        ),
+        // Crashing changes the victim's behaviour (and delivery
+        // drains at it): its node resource, plus the fault token.
+        Action::Crash { node } => (7, node_bit(node) | FAULT_TOKEN, node as u64),
+        // Silence detection reads the peer's crashed flag and writes
+        // the observer's ledger; under Wait it fails the observer,
+        // which aborts every channel the observer touches.
+        Action::DetectSilence { node, peer } => {
+            let extra = match model.config().policy {
+                Policy::Wait => all_chans(node, n),
+                Policy::Partial => 0,
+            };
+            (
+                8,
+                node_bit(node) | node_bit(peer) | extra,
+                (node as u64) << 8 | peer as u64,
+            )
+        }
+    };
+    Footprint {
+        key: tag << 56 | detail,
+        mask,
+    }
+}
+
+/// Disjoint resource masks commute and cannot enable/disable each
+/// other — only one interleaving order needs exploring.
+fn independent(a: &Footprint, b: &Footprint) -> bool {
+    a.mask & b.mask == 0
+}
+
+struct Explorer<'m> {
+    model: &'m Model,
+    por: bool,
+    limits: Limits,
+    /// fingerprint → the sleep-set keys the state has been explored
+    /// under (intersected across visits: the stored set shrinks as
+    /// more of the state's transitions get explored).
+    visited: HashMap<u64, Vec<u64>>,
+    stats: Stats,
+    violation: Option<(Violation, Vec<String>)>,
+    trail: Vec<String>,
+}
+
+impl Explorer<'_> {
+    fn fail(&mut self, v: Violation) {
+        let mut trace = self.trail.clone();
+        trace.push(format!("=> {v}"));
+        self.violation = Some((v, trace));
+    }
+
+    /// Returns false to abort the whole search (violation recorded).
+    ///
+    /// State caching with sleep sets follows the classic revisit
+    /// rule: a state stored with sleep set `T` has had every
+    /// transition outside `T` explored. Arriving again with sleep
+    /// `S ⊇ T` there is nothing new to do; arriving with a smaller
+    /// `S` re-awakens exactly `T \ S` — those transitions run with
+    /// everything else treated as already explored, and the stored
+    /// set shrinks to `T ∩ S`.
+    fn dfs(&mut self, state: &State, sleep: &[Footprint], depth: usize) -> bool {
+        if depth > self.limits.max_depth {
+            self.fail(Violation::DepthExceeded { depth });
+            return false;
+        }
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        let h = self.model.fingerprint(state);
+        let sleep_keys: Vec<u64> = sleep.iter().map(|f| f.key).collect();
+        // Keys whose transitions are newly awake on a revisit; None
+        // on a first visit (everything outside `sleep` runs).
+        let mut awaken: Option<Vec<u64>> = None;
+        match self.visited.get_mut(&h) {
+            None => {
+                self.visited.insert(h, sleep_keys);
+            }
+            Some(stored) => {
+                if stored.iter().all(|k| sleep_keys.contains(k)) {
+                    self.stats.revisits += 1;
+                    return true;
+                }
+                let wake: Vec<u64> = stored
+                    .iter()
+                    .copied()
+                    .filter(|k| !sleep_keys.contains(k))
+                    .collect();
+                stored.retain(|k| sleep_keys.contains(k));
+                awaken = Some(wake);
+            }
+        }
+        self.stats.states = self.visited.len();
+        if self.stats.states > self.limits.max_states {
+            self.fail(Violation::StateSpaceExceeded {
+                states: self.stats.states,
+            });
+            return false;
+        }
+
+        let enabled = self.model.enabled(state);
+        if enabled.is_empty() {
+            self.stats.terminals += 1;
+            if let Some(v) = self.model.terminal_violation(state) {
+                self.fail(v);
+                return false;
+            }
+            return true;
+        }
+
+        // The working sleep set: the inherited one, plus — on a
+        // revisit — every transition already explored on an earlier
+        // visit (anything not newly awakened).
+        let mut working: Vec<Footprint> = sleep.to_vec();
+        let feet: Vec<Footprint> = enabled
+            .iter()
+            .map(|a| footprint(self.model, state, a))
+            .collect();
+        if let Some(wake) = &awaken {
+            for f in &feet {
+                if !wake.contains(&f.key) && !working.iter().any(|w| w.key == f.key) {
+                    working.push(*f);
+                }
+            }
+        }
+
+        // Sleep-set DFS: siblings already explored join the sleep
+        // set of later subtrees until a dependent action wakes them.
+        for (action, foot) in enabled.iter().zip(&feet) {
+            if self.por && working.iter().any(|s| s.key == foot.key) {
+                self.stats.pruned += 1;
+                continue;
+            }
+            self.stats.transitions += 1;
+            let next = match self.model.step(state, action) {
+                Ok(next) => next,
+                Err(v) => {
+                    self.trail.push(action.to_string());
+                    self.fail(v);
+                    return false;
+                }
+            };
+            let child_sleep: Vec<Footprint> = if self.por {
+                working
+                    .iter()
+                    .filter(|s| independent(s, foot))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.trail.push(action.to_string());
+            let go_on = self.dfs(&next, &child_sleep, depth + 1);
+            self.trail.pop();
+            if !go_on {
+                return false;
+            }
+            working.push(*foot);
+        }
+        true
+    }
+}
+
+/// Exhausts `model`'s state space (or refutes a property). `por`
+/// toggles the sleep-set reduction — exploration is exhaustive
+/// either way; the toggle exists so tests can demonstrate the
+/// reduction reduces.
+pub fn explore(model: &Model, por: bool, limits: Limits) -> Outcome {
+    let mut ex = Explorer {
+        model,
+        por,
+        limits,
+        visited: HashMap::new(),
+        stats: Stats::default(),
+        violation: None,
+        trail: Vec::new(),
+    };
+    let initial = model.initial();
+    ex.dfs(&initial, &[], 0);
+    Outcome {
+        stats: ex.stats,
+        violation: ex.violation,
+    }
+}

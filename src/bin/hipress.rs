@@ -63,6 +63,7 @@ fn main() -> ExitCode {
                 .filter(|a| !a.starts_with("--"))
                 .map(String::as_str),
         ),
+        "verify" => cmd_verify(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -130,8 +131,16 @@ USAGE:
       Compile a CompLL DSL program; print its LoC report and CUDA output.
   hipress lint [file.dsl] [--strategy S] [--algorithm A] [--nodes N]
       Statically verify CaSync task graphs across the strategy x
-      algorithm x cluster matrix and dataflow-check the shipped CompLL
-      programs; with a file, dataflow-check that program instead.
+      algorithm x cluster matrix — each CaSync graph additionally as a
+      pipelined composition at windows 1, 2, and 4 — and dataflow-check
+      the shipped CompLL programs; with a file, dataflow-check that
+      program instead.
+  hipress verify [--mutant M]
+      Exhaust the small-scope model-checking matrix over the CaSync-RT
+      wire/FT protocol (the runtime's real state machines) and print
+      per-scenario exploration statistics. With --mutant, seed a
+      protocol defect; the checker must refute it with a
+      counterexample trace, and the command exits non-zero.
   hipress trace-diff <a.json> <b.json>
       Compare two exported traces (e.g. a simulated vs a measured run
       of one plan): per-category latency table plus side-by-side
@@ -167,7 +176,10 @@ FLAGS:
   --policy     (`chaos`) straggler degradation: wait | partial | abort (default wait)
   --victim     (`chaos`) node the stall/crash/blackhole plans target (default 1)
   --deadline-ms (`chaos`) hard receive deadline per node (default 8000)
-  --single     (`chaos`) run one plan once and propagate its outcome"
+  --single     (`chaos`) run one plan once and propagate its outcome
+  --mutant     (`verify`) seed a protocol defect: skip-dedup | dedup-before-verify |
+               apply-before-verify | retry-without-bound | drop-heartbeat |
+               forget-rescale"
     );
 }
 
@@ -1369,6 +1381,7 @@ fn cmd_lint(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), S
     };
     let sizes: [u64; 3] = [4096, 65536, 260];
     let mut graphs = 0usize;
+    let mut compositions = 0usize;
     let mut errors = 0usize;
     let mut warnings = 0usize;
     for &strat in &strategies {
@@ -1408,6 +1421,31 @@ fn cmd_lint(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), S
                             graph.len()
                         );
                         println!("{}", report.render());
+                    }
+                    // CaSync graphs additionally run pipelined on
+                    // CaSync-RT: compose each into overlapping
+                    // iterations and check the cross-iteration
+                    // properties (P017-P019) at several windows.
+                    // Baseline strategies never pipeline.
+                    if strat.is_casync() {
+                        for window in [1u32, 2, 4] {
+                            let r = hipress::lint::verify_pipelined(
+                                &graph,
+                                nodes,
+                                &hipress::lint::PipelineSpec::unshared(8, window),
+                            );
+                            compositions += 1;
+                            errors += r.error_count();
+                            warnings += r.warning_count();
+                            if !r.is_clean() {
+                                println!(
+                                    "{} x {} x {nodes} nodes x K={partitions} pipelined w{window}:",
+                                    strat.label(),
+                                    algorithm.label(),
+                                );
+                                println!("{}", r.render());
+                            }
+                        }
                     }
                 }
             }
@@ -1450,7 +1488,8 @@ fn cmd_lint(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), S
     }
 
     println!(
-        "linted {graphs} task graphs and {} CompLL programs: {errors} error(s), {warnings} warning(s)",
+        "linted {graphs} task graphs ({compositions} pipelined compositions) and {} CompLL \
+         programs: {errors} error(s), {warnings} warning(s)",
         programs.len()
     );
     // The builder matrix and shipped programs must be warning-clean,
@@ -1459,6 +1498,94 @@ fn cmd_lint(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), S
         return Err(format!("{errors} lint error(s), {warnings} warning(s)"));
     }
     Ok(())
+}
+
+fn cmd_verify(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hipress::verify::{check_config, matrix, Mutation};
+
+    let mutation = flags
+        .get("mutant")
+        .map(|name| {
+            Mutation::from_name(name).ok_or_else(|| {
+                format!(
+                    "unknown mutant '{name}' (known: {})",
+                    Mutation::ALL
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+        })
+        .transpose()?;
+
+    let mut table = Table::new(&[
+        ("scenario", Align::Left),
+        ("states", Align::Right),
+        ("transitions", Align::Right),
+        ("pruned", Align::Right),
+        ("terminals", Align::Right),
+        ("verdict", Align::Left),
+    ]);
+    let mut violated = 0usize;
+    let mut states = 0usize;
+    let mut transitions = 0usize;
+    let mut pruned = 0usize;
+    let mut first_trace: Option<(String, Vec<String>)> = None;
+    for s in matrix() {
+        let out = check_config(&s.cfg, mutation, true);
+        states += out.stats.states;
+        transitions += out.stats.transitions;
+        pruned += out.stats.pruned;
+        let verdict = match &out.violation {
+            None => "exhausted clean".to_string(),
+            Some((v, trace)) => {
+                violated += 1;
+                if first_trace.is_none() {
+                    first_trace = Some((s.name.to_string(), trace.clone()));
+                }
+                format!("VIOLATED: {v}")
+            }
+        };
+        table.row(vec![
+            s.name.to_string(),
+            out.stats.states.to_string(),
+            out.stats.transitions.to_string(),
+            out.stats.pruned.to_string(),
+            out.stats.terminals.to_string(),
+            verdict,
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "explored {states} states / {transitions} transitions; sleep-set reduction pruned \
+         {pruned} ({:.0}% of the unreduced frontier)",
+        100.0 * pruned as f64 / (transitions + pruned).max(1) as f64
+    );
+
+    match (mutation, violated) {
+        (None, 0) => {
+            println!("protocol verified: every scenario exhausted violation-free");
+            Ok(())
+        }
+        (None, n) => Err(format!("{n} scenario(s) violated the protocol properties")),
+        (Some(m), 0) => Err(format!(
+            "seeded defect '{}' went undetected — the checker lost its teeth",
+            m.name()
+        )),
+        (Some(m), n) => {
+            if let Some((name, trace)) = &first_trace {
+                println!("\ncounterexample ({name}):");
+                for line in trace {
+                    println!("  {line}");
+                }
+            }
+            Err(format!(
+                "{n} scenario(s) refute seeded defect '{}'",
+                m.name()
+            ))
+        }
+    }
 }
 
 fn cmd_compile(path: Option<&str>) -> Result<(), String> {

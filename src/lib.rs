@@ -15,7 +15,8 @@
 //! | [`casync`] | `hipress-core` | five-primitive task graphs, strategies (CaSync-PS/Ring, BytePS, Horovod-Ring), coordinator, executor, protocol interpreter |
 //! | [`planner`] | `hipress-planner` | selective compression & partitioning (§3.3 cost model, Table 7) |
 //! | [`runtime`] | `hipress-runtime` | CaSync-RT: the protocol on real OS threads, cross-validated against the interpreter |
-//! | [`lint`] | `hipress-lint` | static plan verification for CaSync task graphs + dataflow analysis for CompLL programs |
+//! | [`lint`] | `hipress-lint` | static plan verification for CaSync task graphs (single-iteration and pipelined) + dataflow analysis for CompLL programs |
+//! | [`verify`] | `hipress-verify` | bounded model checking of the CaSync-RT wire/fault-tolerance protocol |
 //! | [`metrics`] | `hipress-metrics` | live metric registry, machine-readable snapshots, regression diffs |
 //! | [`train`] | `hipress-train` | cluster throughput simulation + real MLP/LSTM data-parallel training |
 //! | [`models`] | `hipress-models` | the Table 6 model zoo |
@@ -66,6 +67,7 @@ pub use hipress_tensor as tensor;
 pub use hipress_trace as trace;
 pub use hipress_train as train;
 pub use hipress_util as util;
+pub use hipress_verify as verify;
 
 /// The most common imports for experiments.
 pub mod prelude {

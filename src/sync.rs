@@ -240,6 +240,13 @@ impl HiPress {
         if nodes < 2 {
             return Err(Error::config("synchronization needs at least 2 workers"));
         }
+        if self.iterations == 0 || self.window == 0 {
+            return Err(Error::config(format!(
+                "pipeline needs at least 1 iteration and a window of at least 1 \
+                 (got iterations {}, window {})",
+                self.iterations, self.window
+            )));
+        }
         match self.backend {
             Backend::Threads(n) if n != nodes => {
                 return Err(Error::config(format!(

@@ -448,3 +448,39 @@ fn facade_tracing_spans_both_engines() {
         assert_eq!(&back, trace);
     }
 }
+
+/// Degenerate pipeline configs are rejected at the facade boundary
+/// with a structured `Error::Config` — on every backend, before any
+/// thread or process spawns. A zero iteration count must not silently
+/// run one iteration (the Threads backend's non-pipelined path would
+/// otherwise do exactly that).
+#[test]
+fn facade_rejects_degenerate_pipeline_configs() {
+    let workers: Vec<Vec<Tensor>> = (0..2)
+        .map(|w| {
+            vec![generate(
+                256,
+                GradientShape::Gaussian { std_dev: 1.0 },
+                w as u64,
+            )]
+        })
+        .collect();
+    for backend in [
+        Backend::Simulator,
+        Backend::Threads(2),
+        Backend::Processes(2),
+    ] {
+        for (iterations, window) in [(0, 1), (1, 0), (0, 0)] {
+            let err = HiPress::new(Strategy::CaSyncRing)
+                .backend(backend)
+                .iterations(iterations)
+                .pipeline_window(window)
+                .sync(&workers)
+                .expect_err("zero iterations/window must be rejected");
+            assert!(
+                matches!(err, hipress::util::Error::Config(_)),
+                "want Error::Config, got {err:?}"
+            );
+        }
+    }
+}
