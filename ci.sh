@@ -105,6 +105,43 @@ if ! grep -q "node 1" "$PROC_ERR"; then
 fi
 rm -f "$PROC_ERR"
 
+echo "== distributed trace smoke (per-rank traces stitch into one aligned timeline) =="
+# A traced 4-process run must merge every rank's shipped trace into a
+# single clock-aligned Chrome trace: the CLI validates cross-rank
+# send->recv causality and trace->report parity itself (exiting
+# non-zero otherwise), and trace-diff must re-import the merged file.
+PROC_OUT=$(mktemp)
+cargo run --release -q --bin hipress -- run --nodes 4 --algorithm onebit \
+  --backend processes --iters 2 --window 2 \
+  --trace /tmp/hipress-ci-proc.json >"$PROC_OUT"
+grep -q "clock alignment OK" "$PROC_OUT"
+rm -f "$PROC_OUT"
+test -s /tmp/hipress-ci-proc.json
+cargo run --release -q --bin hipress -- trace-diff \
+  /tmp/hipress-ci-proc.json /tmp/hipress-ci-proc.json >/dev/null
+rm -f /tmp/hipress-ci-proc.json
+
+echo "== postmortem smoke (flight recorder survives a worker crash) =="
+# Kill a worker mid-protocol with the flight dump armed: the run must
+# fail, the surviving ranks' recorder rings must land in the dump, and
+# `hipress postmortem` must render a cross-rank timeline whose root
+# cause names the dead rank.
+PM_DUMP=$(mktemp)
+if cargo run --release -q --bin hipress -- run --nodes 3 --algorithm onebit \
+    --backend processes --kill-node 1 \
+    --flight-dump "$PM_DUMP" >/dev/null 2>&1; then
+  echo "killed-worker run with --flight-dump unexpectedly succeeded" >&2
+  rm -f "$PM_DUMP"
+  exit 1
+fi
+if ! cargo run --release -q --bin hipress -- postmortem "$PM_DUMP" \
+    | grep -q "root cause: node 1"; then
+  echo "postmortem did not name node 1 as root cause" >&2
+  rm -f "$PM_DUMP"
+  exit 1
+fi
+rm -f "$PM_DUMP"
+
 echo "== pipelining gate (pipelined must beat serial over the real fabric) =="
 # Four processes, uncompressed ring, latency-bound shape: a window-16
 # pipelined run must finish faster than the same work serialized

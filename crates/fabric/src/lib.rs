@@ -26,6 +26,7 @@
 
 pub mod codec;
 pub mod frame;
+pub mod recorder;
 pub mod rel;
 pub mod tcp;
 
@@ -33,6 +34,7 @@ mod channel;
 
 pub use channel::{ChannelFabric, ChannelLink};
 pub use codec::{DecodeError, Reader, Writer};
+pub use recorder::{FlightEvent, FlightKind, FlightRecorder};
 pub use rel::{LinkDead, LinkTuning, RelRx, RelTx, RxVerdict};
 pub use tcp::TcpLink;
 

@@ -19,6 +19,7 @@
 //! construction cannot deadlock and needs no global lock step.
 
 use crate::frame::{Frame, FrameKind};
+use crate::recorder::{FlightKind, FlightRecorder};
 use crate::rel::{LinkTuning, RelRx, RelTx, RxVerdict};
 use crate::{FabricError, Link, LinkCounters, WireMsg};
 use std::io::Write;
@@ -29,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Construction and polling knobs for one mesh endpoint.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MeshConfig {
     /// Frame-layer retry/backoff/heartbeat tuning.
     pub tuning: LinkTuning,
@@ -41,6 +42,9 @@ pub struct MeshConfig {
     /// Largest slice a blocking receive waits between protocol-timer
     /// polls.
     pub poll_ceiling: Duration,
+    /// Flight recorder every protocol event is noted into (shared
+    /// with the link's reader threads). `None` disables recording.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for MeshConfig {
@@ -50,7 +54,22 @@ impl Default for MeshConfig {
             connect_timeout: Duration::from_secs(10),
             poll_floor: Duration::from_micros(200),
             poll_ceiling: Duration::from_millis(10),
+            recorder: None,
         }
+    }
+}
+
+/// Notes one event into the optional recorder — a no-op when
+/// recording is off, so call sites stay unconditional.
+fn note(
+    recorder: &Option<Arc<FlightRecorder>>,
+    kind: FlightKind,
+    peer: usize,
+    seq: u64,
+    bytes: u64,
+) {
+    if let Some(rec) = recorder {
+        rec.record(kind, peer as u32, seq, bytes);
     }
 }
 
@@ -124,6 +143,13 @@ impl<M> TcpLink<M> {
                 (resend, ping)
             };
             for f in &resend {
+                note(
+                    &self.config.recorder,
+                    FlightKind::Retransmit,
+                    peer,
+                    f.seq,
+                    f.payload.len() as u64,
+                );
                 let _ = write_frame(&h.stream, &self.counters, f);
             }
             if !resend.is_empty() {
@@ -131,6 +157,7 @@ impl<M> TcpLink<M> {
                 c.retransmits += resend.len() as u64;
             }
             if let Some(p) = ping {
+                note(&self.config.recorder, FlightKind::HeartbeatSent, peer, 0, 0);
                 let _ = write_frame(&h.stream, &self.counters, &p);
             }
         }
@@ -206,6 +233,13 @@ impl<M: WireMsg> Link for TcpLink<M> {
             let mut tx = h.tx.lock().expect("rel-tx lock poisoned");
             tx.prepare(payload, Instant::now())
         };
+        note(
+            &self.config.recorder,
+            FlightKind::SendData,
+            to,
+            frame.seq,
+            frame.payload.len() as u64,
+        );
         write_frame(&h.stream, &self.counters, &frame).map_err(|e| FabricError::Io {
             peer: to,
             detail: e.to_string(),
@@ -267,6 +301,7 @@ fn reader_loop(
     tx: Arc<Mutex<RelTx>>,
     counters: Arc<Mutex<LinkCounters>>,
     events: Sender<Event>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) {
     let mut rx = RelRx::new();
     loop {
@@ -274,7 +309,15 @@ fn reader_loop(
             Ok(Some(frame)) => match frame.kind {
                 FrameKind::Data => match rx.accept(&frame) {
                     RxVerdict::Deliver => {
+                        note(
+                            &recorder,
+                            FlightKind::RecvData,
+                            peer,
+                            frame.seq,
+                            frame.payload.len() as u64,
+                        );
                         let ack = Frame::control(FrameKind::Ack, me as u32, frame.seq);
+                        note(&recorder, FlightKind::AckSent, peer, frame.seq, 0);
                         let _ = write_frame(&writer, &counters, &ack);
                         if events
                             .send(Event::Deliver {
@@ -286,18 +329,24 @@ fn reader_loop(
                         }
                     }
                     RxVerdict::Duplicate => {
+                        note(&recorder, FlightKind::DupData, peer, frame.seq, 0);
                         let ack = Frame::control(FrameKind::Ack, me as u32, frame.seq);
+                        note(&recorder, FlightKind::AckSent, peer, frame.seq, 0);
                         let _ = write_frame(&writer, &counters, &ack);
                     }
                     RxVerdict::Corrupt => {
+                        note(&recorder, FlightKind::CorruptData, peer, frame.seq, 0);
                         let nack = Frame::control(FrameKind::Nack, me as u32, frame.seq);
+                        note(&recorder, FlightKind::NackSent, peer, frame.seq, 0);
                         let _ = write_frame(&writer, &counters, &nack);
                     }
                 },
                 FrameKind::Ack => {
+                    note(&recorder, FlightKind::AckRecv, peer, frame.seq, 0);
                     tx.lock().expect("rel-tx lock poisoned").on_ack(frame.seq);
                 }
                 FrameKind::Nack => {
+                    note(&recorder, FlightKind::NackRecv, peer, frame.seq, 0);
                     let resend = {
                         let mut t = tx.lock().expect("rel-tx lock poisoned");
                         t.on_nack(frame.seq, Instant::now())
@@ -308,6 +357,13 @@ fn reader_loop(
                                 let mut c = counters.lock().expect("counter lock poisoned");
                                 c.retransmits += 1;
                             }
+                            note(
+                                &recorder,
+                                FlightKind::Retransmit,
+                                peer,
+                                f.seq,
+                                f.payload.len() as u64,
+                            );
                             let _ = write_frame(&writer, &counters, &f);
                         }
                         Ok(None) => {}
@@ -321,9 +377,13 @@ fn reader_loop(
                         }
                     }
                 }
-                FrameKind::Ping | FrameKind::Hello => {}
+                FrameKind::Ping => {
+                    note(&recorder, FlightKind::HeartbeatRecv, peer, 0, 0);
+                }
+                FrameKind::Hello => {}
             },
             Ok(None) => {
+                note(&recorder, FlightKind::PeerLost, peer, 0, 0);
                 let _ = events.send(Event::PeerLost {
                     peer,
                     detail: "stream closed".into(),
@@ -331,6 +391,7 @@ fn reader_loop(
                 return;
             }
             Err(e) => {
+                note(&recorder, FlightKind::PeerLost, peer, 0, 0);
                 let _ = events.send(Event::PeerLost {
                     peer,
                     detail: e.to_string(),
@@ -392,6 +453,7 @@ pub fn connect_mesh<M: WireMsg>(
         let hello = Frame::control(FrameKind::Hello, rank as u32, 0);
         let mut s = stream.try_clone().map_err(|e| io_err(p, e))?;
         hello.write_to(&mut s).map_err(|e| io_err(p, e))?;
+        note(&config.recorder, FlightKind::Hello, p, 0, 0);
         streams[p] = Some(stream);
     }
 
@@ -416,6 +478,7 @@ pub fn connect_mesh<M: WireMsg>(
                 if p <= rank || p >= nodes {
                     return Err(io_err(rank, format!("Hello from unexpected rank {p}")));
                 }
+                note(&config.recorder, FlightKind::Hello, p, 0, 0);
                 streams[p] = Some(stream);
                 accepted += 1;
             }
@@ -451,6 +514,7 @@ pub fn connect_mesh<M: WireMsg>(
         let thread_tx = Arc::clone(&tx);
         let thread_counters = Arc::clone(&counters);
         let thread_events = events_tx.clone();
+        let thread_recorder = config.recorder.clone();
         std::thread::Builder::new()
             .name(format!("fabric-rx-{rank}-{p}"))
             .spawn(move || {
@@ -462,6 +526,7 @@ pub fn connect_mesh<M: WireMsg>(
                     thread_tx,
                     thread_counters,
                     thread_events,
+                    thread_recorder,
                 )
             })
             .map_err(|e| io_err(p, e))?;
@@ -473,7 +538,7 @@ pub fn connect_mesh<M: WireMsg>(
         nodes,
         peers: handles,
         inbox: events_rx,
-        config: *config,
+        config: config.clone(),
         counters,
         _msg: PhantomData,
     })
@@ -516,6 +581,7 @@ mod tests {
         let mut joins = Vec::new();
         for (rank, listener) in listeners.into_iter().enumerate() {
             let addrs = addrs.clone();
+            let config = config.clone();
             let done = std::sync::Arc::clone(&done);
             joins.push(std::thread::spawn(move || {
                 let mut link: TcpLink<Probe> =
@@ -552,6 +618,60 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_captures_the_exchange() {
+        use crate::recorder::{FlightKind, FlightRecorder};
+        let nodes = 2;
+        let (listeners, addrs): (Vec<_>, Vec<_>) = (0..nodes).map(|_| local_listener()).unzip();
+        let recorders: Vec<_> = (0..nodes)
+            .map(|_| Arc::new(FlightRecorder::new(Instant::now())))
+            .collect();
+        let done = std::sync::Arc::new(std::sync::Barrier::new(nodes));
+        let mut joins = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let config = MeshConfig {
+                recorder: Some(Arc::clone(&recorders[rank])),
+                ..MeshConfig::default()
+            };
+            let done = std::sync::Arc::clone(&done);
+            let rec = Arc::clone(&recorders[rank]);
+            joins.push(std::thread::spawn(move || {
+                let mut link: TcpLink<Probe> =
+                    connect_mesh(rank, nodes, listener, &addrs, &config).unwrap();
+                link.send(1 - rank, Probe(rank as u64, vec![0; 32]))
+                    .unwrap();
+                let got = link.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+                assert_eq!(got.0, (1 - rank) as u64);
+                // The ack for our own send races the probe delivery;
+                // hold the link open until it lands in the ring.
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while !rec
+                    .dump()
+                    .iter()
+                    .any(|e| e.kind == crate::recorder::FlightKind::AckRecv)
+                {
+                    assert!(Instant::now() < deadline, "ack never arrived");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                done.wait();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        for rec in &recorders {
+            let kinds: Vec<FlightKind> = rec.dump().iter().map(|e| e.kind).collect();
+            // Every rank said hello, sent one data frame, delivered
+            // one, and acked in both directions.
+            assert!(kinds.contains(&FlightKind::Hello));
+            assert!(kinds.contains(&FlightKind::SendData));
+            assert!(kinds.contains(&FlightKind::RecvData));
+            assert!(kinds.contains(&FlightKind::AckSent));
+            assert!(kinds.contains(&FlightKind::AckRecv));
+        }
+    }
+
+    #[test]
     fn dead_peer_is_reported_with_its_rank() {
         let nodes = 2;
         let (listeners, addrs): (Vec<_>, Vec<_>) = (0..nodes).map(|_| local_listener()).unzip();
@@ -560,6 +680,7 @@ mod tests {
         let l0 = it.next().unwrap();
         let l1 = it.next().unwrap();
         let addrs1 = addrs.clone();
+        let config1 = config.clone();
         let survivor = std::thread::spawn(move || {
             let mut link: TcpLink<Probe> = connect_mesh(0, nodes, l0, &addrs, &config).unwrap();
             // The peer vanishes without a word; the receive path must
@@ -570,7 +691,7 @@ mod tests {
             }
         });
         let vanisher = std::thread::spawn(move || {
-            let link: TcpLink<Probe> = connect_mesh(1, nodes, l1, &addrs1, &config).unwrap();
+            let link: TcpLink<Probe> = connect_mesh(1, nodes, l1, &addrs1, &config1).unwrap();
             drop(link); // Streams close; rank 0 sees EOF.
         });
         vanisher.join().unwrap();

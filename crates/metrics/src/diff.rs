@@ -6,9 +6,10 @@
 //! downward, and plenty of metrics (node counts, message totals) are
 //! purely informational. Rather than carrying per-metric
 //! configuration, the gate derives [`Polarity`] from the metric name —
-//! the workspace-wide naming convention (`*_ns` durations,
-//! `*throughput*`/`*_per_sec`/`*efficiency*`/`*savings*` rates) makes
-//! the name authoritative.
+//! the workspace-wide naming convention (`*_ns` durations and
+//! `*retransmit*` counters regress upward,
+//! `*throughput*`/`*_per_sec`/`*efficiency*`/`*savings*` rates
+//! regress downward) makes the name authoritative.
 //!
 //! Sign conventions, fixed by test:
 //! * `delta = current - baseline` (positive means the number went up),
@@ -37,7 +38,7 @@ impl Polarity {
     /// Derives the polarity from a metric name per the workspace
     /// naming convention.
     pub fn of_name(name: &str) -> Polarity {
-        if name.ends_with("_ns") {
+        if name.ends_with("_ns") || name.contains("retransmit") {
             return Polarity::LowerIsBetter;
         }
         if name.ends_with("_per_sec")
@@ -227,6 +228,21 @@ mod tests {
         );
         assert_eq!(Polarity::of_name("bytes_wire"), Polarity::Informational);
         assert_eq!(Polarity::of_name("messages"), Polarity::Informational);
+        // Retransmissions are resent work: growth is a regression even
+        // though the metric is a counter, not a duration.
+        assert_eq!(
+            Polarity::of_name("fabric_retransmits"),
+            Polarity::LowerIsBetter
+        );
+        assert_eq!(Polarity::of_name("fabric_frames"), Polarity::Informational);
+        assert_eq!(
+            Polarity::of_name("fabric_bytes_framed"),
+            Polarity::Informational
+        );
+        assert_eq!(
+            Polarity::of_name("pipeline_overlap_efficiency"),
+            Polarity::HigherIsBetter
+        );
         // comm_ratio is lower-is-better semantically but carries no
         // suffix the gate trusts; it stays informational by design.
         assert_eq!(Polarity::of_name("comm_ratio"), Polarity::Informational);

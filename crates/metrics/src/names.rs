@@ -6,9 +6,9 @@
 //! measured run of one plan differ only in values, and sim-vs-measured
 //! is a plain [`crate::MetricsDiff`]. Names follow the polarity
 //! convention [`crate::Polarity::of_name`] gates on: `*_ns` durations
-//! regress upward, `*throughput*`/`*savings*`/`*efficiency*`/
-//! `*_per_sec` rates regress downward, everything else is
-//! informational.
+//! and `*retransmit*` counters regress upward,
+//! `*throughput*`/`*savings*`/`*efficiency*`/`*_per_sec` rates
+//! regress downward, everything else is informational.
 
 /// Per-primitive latency histograms: `source_ns`, `encode_ns`,
 /// `decode_ns`, `merge_ns`, `send_ns`, `recv_ns`, `update_ns`,
@@ -136,9 +136,14 @@ pub const FABRIC_FRAMES: &str = "fabric_frames";
 /// framing overhead.
 pub const FABRIC_BYTES_FRAMED: &str = "fabric_bytes_framed";
 
+/// Counter: payload bytes inside those frames, before framing.
+/// Informational; `fabric_bytes_framed − fabric_bytes_payload` is the
+/// header tax.
+pub const FABRIC_BYTES_PAYLOAD: &str = "fabric_bytes_payload";
+
 /// Counter: frame retransmissions performed by the fabric's
-/// reliability layer. Informational — loopback runs keep it at zero,
-/// chaos runs drive it on purpose.
+/// reliability layer. Lower is better — loopback runs keep it at
+/// zero, and growth means the reliability layer is resending work.
 pub const FABRIC_RETRANSMITS: &str = "fabric_retransmits";
 
 /// Gauge: fraction of iteration time the pipelined runtime hid by

@@ -160,6 +160,42 @@ mod tests {
         assert_eq!(text.matches("messages{node=").count(), 3);
     }
 
+    /// The fabric counters a multi-process run ships home keep their
+    /// per-rank `node` labels through exposition: one `# TYPE` line
+    /// per family, one sample line per rank.
+    #[test]
+    fn fabric_counters_expose_per_rank_series() {
+        let reg = crate::Registry::new();
+        for node in 0..2u64 {
+            let scope = reg.scope(&[("node", &node.to_string())]);
+            for (name, v) in [
+                (crate::names::FABRIC_FRAMES, 10 + node),
+                (crate::names::FABRIC_BYTES_FRAMED, 1000 + node),
+                (crate::names::FABRIC_BYTES_PAYLOAD, 900 + node),
+                (crate::names::FABRIC_RETRANSMITS, node),
+            ] {
+                scope.counter(name, &[]).add(v);
+            }
+        }
+        let text = render(&reg.snapshot());
+        for family in [
+            "fabric_frames",
+            "fabric_bytes_framed",
+            "fabric_bytes_payload",
+            "fabric_retransmits",
+        ] {
+            assert_eq!(
+                text.matches(&format!("# TYPE {family} counter")).count(),
+                1,
+                "{family} family line"
+            );
+        }
+        assert!(text.contains("fabric_frames{node=\"0\"} 10"));
+        assert!(text.contains("fabric_frames{node=\"1\"} 11"));
+        assert!(text.contains("fabric_bytes_payload{node=\"1\"} 901"));
+        assert!(text.contains("fabric_retransmits{node=\"0\"} 0"));
+    }
+
     #[test]
     fn bad_characters_sanitized() {
         let mut snap = MetricsSnapshot::new();

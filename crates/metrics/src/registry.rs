@@ -180,6 +180,24 @@ impl HistCell {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Folds an already-summarized histogram into this one: bucket
+    /// counts and totals accumulate, extremes widen. Exact because
+    /// both sides share one bucket geometry.
+    fn absorb(&self, h: &HistSummary) {
+        if h.count == 0 {
+            return;
+        }
+        for &(b, c) in &h.buckets {
+            if let Some(cell) = self.counts.get(b) {
+                cell.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(h.count, Ordering::Relaxed);
+        self.sum.fetch_add(h.sum, Ordering::Relaxed);
+        self.min.fetch_min(h.min, Ordering::Relaxed);
+        self.max.fetch_max(h.max, Ordering::Relaxed);
+    }
+
     fn summary(&self) -> HistSummary {
         let count = self.count.load(Ordering::Relaxed);
         let min = self.min.load(Ordering::Relaxed);
@@ -482,6 +500,35 @@ impl Scope {
     pub fn timeseries(&self, name: &str, labels: &[(&str, &str)]) -> TimeSeries {
         self.registry.series_at(self.key(name, labels))
     }
+
+    /// Folds a snapshot (e.g. one a worker process shipped home over
+    /// the control channel) into this scope's registry. Every
+    /// absorbed key gains the scope's base labels, with the
+    /// snapshot's own labels winning conflicts. Counters and
+    /// histograms accumulate, gauges take the snapshot's value, and
+    /// series points are re-appended in arrival order (sequence
+    /// numbers are re-derived locally, so cross-process sequences
+    /// are renumbered rather than interleaved).
+    pub fn absorb_snapshot(&self, snap: &MetricsSnapshot) {
+        for (key, value) in snap.iter() {
+            let mut labels = self.base.clone();
+            for (k, v) in key.labels.iter() {
+                labels.insert(k, v);
+            }
+            let key = Key::new(&key.name, labels);
+            match value {
+                MetricValue::Counter(c) => self.registry.counter_at(key).add(*c),
+                MetricValue::Gauge(g) => self.registry.gauge_at(key).set(*g),
+                MetricValue::Histogram(h) => self.registry.histogram_at(key).cell.absorb(h),
+                MetricValue::Series(points) => {
+                    let ts = self.registry.series_at(key);
+                    for &(_, v) in points {
+                        ts.push(v);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +615,45 @@ mod tests {
         assert!(pts.last().unwrap().0 >= SERIES_CAPACITY as u64 * 3);
         // Sequence numbers strictly increase.
         assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn absorb_snapshot_merges_labels_and_accumulates() {
+        // A "worker" registry records under its own labels…
+        let worker = Registry::new();
+        let wscope = worker.scope(&[("node", "1")]);
+        wscope.counter("events", &[]).add(5);
+        wscope.gauge("wall_ns", &[]).set(2.5);
+        let h = wscope.histogram("lat_ns", &[]);
+        h.record(7);
+        h.record(700);
+        wscope.timeseries("iter_ns", &[]).push(9.0);
+        let json = worker.snapshot().to_json();
+        let snap = MetricsSnapshot::from_json(&json).unwrap();
+
+        // …and the coordinator folds it in under its base labels,
+        // twice, to prove counters/histograms accumulate.
+        let coord = Registry::new();
+        let scope = coord.scope(&[("strategy", "casync-ring"), ("node", "X")]);
+        scope.absorb_snapshot(&snap);
+        scope.absorb_snapshot(&snap);
+
+        let merged = coord.snapshot();
+        let key = merged
+            .keys()
+            .find(|k| k.name == "events")
+            .expect("absorbed counter");
+        assert_eq!(key.labels.get("strategy"), Some("casync-ring"));
+        assert_eq!(key.labels.get("node"), Some("1"), "snapshot label wins");
+        assert_eq!(merged.total_counter("events"), 10);
+        let (count, sum) = merged.hist_totals("lat_ns");
+        assert_eq!(count, 4);
+        assert_eq!(sum, 2 * 707);
+        let hist = scope.histogram("lat_ns", &[("node", "1")]).summary();
+        assert_eq!((hist.min, hist.max), (7, 700));
+        let pts = scope.timeseries("iter_ns", &[("node", "1")]).points();
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|&(_, v)| (v - 9.0).abs() < 1e-12));
     }
 
     #[test]

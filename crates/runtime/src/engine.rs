@@ -78,7 +78,10 @@ impl Default for RuntimeConfig {
 
 /// One node thread's tracing handles: its timeline track plus the
 /// queue-depth gauges. `None` on the worker means tracing is off and
-/// the hot path records nothing (and allocates nothing).
+/// the hot path records nothing (and allocates nothing). Cloneable so
+/// the pipelined driver can hand every in-flight iteration's core the
+/// same shared handles.
+#[derive(Clone)]
 pub(crate) struct NodeTrace {
     pub(crate) tracer: Tracer,
     pub(crate) track: TrackId,
@@ -104,6 +107,7 @@ pub struct Instruments<'a> {
 /// carries the `node` label; names come from the shared catalogue
 /// ([`hipress_metrics::names`]) so snapshots line up with
 /// trace-lowered and simulated runs.
+#[derive(Clone)]
 pub(crate) struct NodeMetrics {
     /// Per-primitive latency histograms, indexed by [`prim_index`].
     prims: [hipress_metrics::Histogram; 8],
@@ -111,9 +115,16 @@ pub(crate) struct NodeMetrics {
     bytes_wire: hipress_metrics::Counter,
     bytes_raw: hipress_metrics::Counter,
     pub(crate) messages: hipress_metrics::Counter,
-    batch_launches: hipress_metrics::Counter,
-    q_comp_depth: hipress_metrics::Histogram,
-    q_commu_depth: hipress_metrics::Histogram,
+    pub(crate) batch_launches: hipress_metrics::Counter,
+    pub(crate) q_comp_depth: hipress_metrics::Histogram,
+    pub(crate) q_commu_depth: hipress_metrics::Histogram,
+    /// Per-node link traffic, filled by workers that run on a
+    /// counting fabric (the pipelined and process drivers). Zero on
+    /// the channel fast path, which never frames.
+    pub(crate) fabric_frames: hipress_metrics::Counter,
+    pub(crate) fabric_bytes_framed: hipress_metrics::Counter,
+    pub(crate) fabric_bytes_payload: hipress_metrics::Counter,
+    pub(crate) fabric_retransmits: hipress_metrics::Counter,
 }
 
 impl NodeMetrics {
@@ -128,6 +139,10 @@ impl NodeMetrics {
             batch_launches: s.counter(names::COMP_BATCH_LAUNCHES, &[]),
             q_comp_depth: s.histogram(names::Q_COMP_DEPTH, &[]),
             q_commu_depth: s.histogram(names::Q_COMMU_DEPTH, &[]),
+            fabric_frames: s.counter(names::FABRIC_FRAMES, &[]),
+            fabric_bytes_framed: s.counter(names::FABRIC_BYTES_FRAMED, &[]),
+            fabric_bytes_payload: s.counter(names::FABRIC_BYTES_PAYLOAD, &[]),
+            fabric_retransmits: s.counter(names::FABRIC_RETRANSMITS, &[]),
         }
     }
 }
@@ -156,6 +171,22 @@ pub(crate) fn build_node_traces(tracer: Option<&Tracer>, nodes: usize) -> Vec<Op
     node_traces
 }
 
+/// Builds one rank's tracing handles for a worker process that only
+/// hosts that rank (no `engine` track — the coordinator owns the run
+/// span, and an empty track would fail trace validation). Track names
+/// carry the *global* rank, so merged traces never collide.
+pub(crate) fn single_node_trace(tracer: &Tracer, node: usize) -> NodeTrace {
+    let track = tracer.thread_track(&format!("node{node}"));
+    let q_comp = tracer.counter(tracer.counter_track(&format!("node{node}/Q_comp")));
+    let q_commu = tracer.counter(tracer.counter_track(&format!("node{node}/Q_commu")));
+    NodeTrace {
+        tracer: tracer.clone(),
+        track,
+        q_comp,
+        q_commu,
+    }
+}
+
 /// Builds the per-node metric handles (resolved up front for the same
 /// reason: the worker hot path then touches only atomics).
 pub(crate) fn build_node_metrics(
@@ -181,16 +212,26 @@ pub(crate) fn record_run_span(
     run_start_ns: Option<u64>,
     wall_ns: u64,
     nodes: usize,
+    iterations: u64,
+    pipeline_window: u64,
 ) {
     if let Some(tr) = tracer {
         let engine = tr.thread_track("engine");
+        let mut args = vec![("nodes", nodes as u64)];
+        if iterations > 0 {
+            // Pipelined drivers only; the single-iteration fast path
+            // reports zero and records nothing, keeping old traces
+            // and trace-derived reports unchanged.
+            args.push(("iterations", iterations));
+            args.push(("window", pipeline_window));
+        }
         tr.record_span(
             engine,
             "run",
             "run",
             run_start_ns.unwrap_or(0),
             wall_ns,
-            &[("nodes", nodes as u64)],
+            &args,
         );
     }
 }
@@ -220,6 +261,9 @@ pub(crate) fn record_run_metrics(scope: &hipress_metrics::Scope, report: &Runtim
         scope
             .counter(names::FABRIC_BYTES_FRAMED, &[])
             .add(report.fabric_bytes_framed);
+        scope
+            .counter(names::FABRIC_BYTES_PAYLOAD, &[])
+            .add(report.fabric_bytes_payload);
         scope
             .counter(names::FABRIC_RETRANSMITS, &[])
             .add(report.fabric_retransmits);
@@ -593,7 +637,7 @@ fn run_replicated_inner(
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
-    record_run_span(tracer, run_start_ns, wall_ns, nodes);
+    record_run_span(tracer, run_start_ns, wall_ns, nodes, 0, 0);
 
     // Prefer a root-cause error over the "aborted" echoes it causes.
     let mut aborted = None;
@@ -812,6 +856,10 @@ pub(crate) struct NodeCore<'a> {
     pub(crate) trace: Option<NodeTrace>,
     /// Live metric handles; `None` keeps the hot path recording-free.
     pub(crate) metrics: Option<NodeMetrics>,
+    /// Which pipelined iteration this core executes (0 on the
+    /// single-iteration fast path). Stamped onto traced spans so
+    /// cross-rank Send→Recv pairs match unambiguously.
+    pub(crate) iter: u32,
 }
 
 impl<'a> NodeCore<'a> {
@@ -842,6 +890,7 @@ impl<'a> NodeCore<'a> {
             report: RuntimeReport::default(),
             trace: None,
             metrics,
+            iter: 0,
         }
         .with_trace(trace)
     }
@@ -912,6 +961,7 @@ impl<'a> NodeCore<'a> {
         let key = (t.chunk.grad, t.chunk.part);
         let mut outbound: Option<Arc<Payload>> = None;
         let mut sent_bytes: Option<(u64, u64)> = None;
+        let mut recv_from: Option<u64> = None;
         match t.prim {
             Primitive::Source => {
                 let start = self.layout.chunk_start[&key];
@@ -1070,6 +1120,7 @@ impl<'a> NodeCore<'a> {
                 let send = self
                     .find_dep(id, |p| p == Primitive::Send)
                     .ok_or_else(|| Error::sim("recv without its send"))?;
+                recv_from = Some(send.0 as u64);
                 let payload = self
                     .inbound
                     .remove(&send.0)
@@ -1152,10 +1203,17 @@ impl<'a> NodeCore<'a> {
                 ("grad", t.chunk.grad as u64),
                 ("part", t.chunk.part as u64),
                 ("task", id.0 as u64),
+                ("iter", u64::from(self.iter)),
             ];
             if let Some((wire, raw)) = sent_bytes {
                 args.push(("bytes_wire", wire));
                 args.push(("bytes_raw", raw));
+            }
+            if let Some(s) = recv_from {
+                // The matching Send task: merged multi-process traces
+                // pair Send→Recv spans across ranks on this link for
+                // the clock-monotonicity check.
+                args.push(("send_task", s));
             }
             tr.tracer
                 .record_span(tr.track, name, name, start_ns.unwrap_or(0), ns, &args);

@@ -36,6 +36,7 @@
 
 pub mod engine;
 pub mod ft;
+pub mod observe;
 pub mod pipeline;
 pub mod process;
 pub mod protocol;
@@ -48,8 +49,9 @@ pub use engine::{
     RuntimeConfig,
 };
 pub use ft::{run_chaos, DegradePolicy, FaultTolerance};
+pub use observe::{validate_clock_monotonicity, ClockSync, PostmortemDump, RankFlight};
 pub use pipeline::{run_pipelined, PipelineConfig};
-pub use process::{node_main, run_processes, ProcessConfig};
+pub use process::{node_main, run_processes, run_threaded_workers, ProcessConfig};
 pub use report::{DegradeAction, FaultReport, PrimStat, RuntimeReport, StragglerVerdict};
 
 /// Which machinery executes a synchronization graph.

@@ -25,14 +25,16 @@
 //! dependency chain. The returned flows are the final iteration's.
 
 use crate::engine::{
-    record_run_metrics, replicate, Cell, FlowLayout, Flows, Instruments, Msg, NodeCore, NodePlan,
-    Payload, RunOutcome, RuntimeConfig,
+    build_node_metrics, build_node_traces, record_run_metrics, record_run_span, replicate, Cell,
+    FlowLayout, Flows, Instruments, Msg, NodeCore, NodeMetrics, NodePlan, NodeTrace, Payload,
+    RunOutcome, RuntimeConfig,
 };
 use crate::report::RuntimeReport;
 use hipress_compress::Compressor;
 use hipress_core::graph::{TaskGraph, TaskId};
 use hipress_core::Primitive;
 use hipress_fabric::{ChannelFabric, Fabric, FabricError, Link};
+use hipress_trace::Tracer;
 use hipress_util::{Error, Result, SyncFailure, SyncFailureKind};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -93,14 +95,31 @@ struct IterState<'a> {
     q_commu: VecDeque<TaskId>,
     done: usize,
     admitted: Instant,
+    /// Trace-clock admission time, for the retired `iter_span` span.
+    admitted_ns: Option<u64>,
 }
 
 impl IterState<'_> {
     fn enqueue(&mut self, graph: &TaskGraph, t: TaskId) {
         if matches!(graph.task(t).prim, Primitive::Send | Primitive::Recv) {
             self.q_commu.push_back(t);
+            // The gauges are shared across admitted iterations (the
+            // handles are clones of one counter), so they read as the
+            // node's total in-flight depth across the window.
+            if let Some(tr) = &self.core.trace {
+                tr.q_commu.add(1);
+            }
+            if let Some(m) = &self.core.metrics {
+                m.q_commu_depth.record(self.q_commu.len() as u64);
+            }
         } else {
             self.q_comp.push_back(t);
+            if let Some(tr) = &self.core.trace {
+                tr.q_comp.add(1);
+            }
+            if let Some(m) = &self.core.metrics {
+                m.q_comp_depth.record(self.q_comp.len() as u64);
+            }
         }
     }
 
@@ -160,6 +179,11 @@ struct PipeWorker<'a, L: Link<Msg = Msg>> {
     completed: u32,
     report: RuntimeReport,
     final_cells: Option<HashMap<(u32, u32), Cell>>,
+    /// Shared tracing handles cloned into every admitted iteration's
+    /// core; `None` keeps the hot path recording-free.
+    trace: Option<NodeTrace>,
+    /// Shared metric handles, likewise cloned per iteration.
+    metrics: Option<NodeMetrics>,
 }
 
 impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
@@ -179,22 +203,25 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
             }
             let iter = self.next_admit;
             self.next_admit += 1;
+            let mut core = NodeCore::new(
+                self.link.me(),
+                self.graph,
+                self.flows,
+                self.layout,
+                self.compressor,
+                self.seed,
+                self.trace.clone(),
+                self.metrics.clone(),
+            );
+            core.iter = iter;
             let mut st = IterState {
-                core: NodeCore::new(
-                    self.link.me(),
-                    self.graph,
-                    self.flows,
-                    self.layout,
-                    self.compressor,
-                    self.seed,
-                    None,
-                    None,
-                ),
+                core,
                 pending: self.plan.pending[self.link.me()].clone(),
                 q_comp: VecDeque::new(),
                 q_commu: VecDeque::new(),
                 done: 0,
                 admitted: Instant::now(),
+                admitted_ns: self.trace.as_ref().map(|tr| tr.tracer.now_ns()),
             };
             let mut ready: Vec<u32> = st
                 .pending
@@ -250,9 +277,15 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
     fn next_ready(&mut self) -> Option<(u32, TaskId)> {
         for (&iter, st) in self.iters.iter_mut() {
             if let Some(t) = st.q_commu.pop_front() {
+                if let Some(tr) = &st.core.trace {
+                    tr.q_commu.add(-1);
+                }
                 return Some((iter, t));
             }
             if let Some(t) = st.q_comp.pop_front() {
+                if let Some(tr) = &st.core.trace {
+                    tr.q_comp.add(-1);
+                }
                 return Some((iter, t));
             }
         }
@@ -292,6 +325,23 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
                 .core
                 .report
                 .comp_batch_launches += 1;
+            if let Some(m) = &self.metrics {
+                m.batch_launches.inc();
+            }
+            if let Some(tr) = &self.trace {
+                // The gathered encodes (all but the initiating one,
+                // which next_ready already counted) left their queues
+                // without individual pops; the shared gauge absorbs
+                // them in one step.
+                tr.q_comp.add(-(batch.len() as i64 - 1));
+                tr.tracer.instant(
+                    tr.track,
+                    "batch",
+                    "batch",
+                    tr.tracer.now_ns(),
+                    &[("size", batch.len() as u64)],
+                );
+            }
             for (k, t) in batch {
                 let outbound = self
                     .iters
@@ -344,7 +394,20 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
         }
         if done == plan.local_counts[self.link.me()] {
             let mut st = self.iters.remove(&iter).expect("retiring iteration");
-            self.report.iter_span_ns_total += st.admitted.elapsed().as_nanos() as u64;
+            let span_ns = st.admitted.elapsed().as_nanos() as u64;
+            self.report.iter_span_ns_total += span_ns;
+            if let Some(tr) = &self.trace {
+                // The single measured span feeds both the report and
+                // the trace, so trace-derived reports stay exact.
+                tr.tracer.record_span(
+                    tr.track,
+                    "iter_span",
+                    "iter_span",
+                    st.admitted_ns.unwrap_or(0),
+                    span_ns,
+                    &[("iter", u64::from(iter))],
+                );
+            }
             self.report.absorb(&std::mem::take(&mut st.core.report));
             if iter + 1 == self.pcfg.iterations {
                 self.final_cells = Some(std::mem::take(&mut st.core.cells));
@@ -397,6 +460,28 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
         self.report.fabric_bytes_framed += c.bytes_framed;
         self.report.fabric_bytes_payload += c.bytes_payload;
         self.report.fabric_retransmits += c.retransmits;
+        if let Some(tr) = &self.trace {
+            // One `link` instant per node carrying the folded
+            // counters; trace-derived reports sum them back.
+            tr.tracer.instant(
+                tr.track,
+                "link",
+                "link",
+                tr.tracer.now_ns(),
+                &[
+                    ("frames", c.frames),
+                    ("bytes_framed", c.bytes_framed),
+                    ("bytes_payload", c.bytes_payload),
+                    ("retransmits", c.retransmits),
+                ],
+            );
+        }
+        if let Some(m) = &self.metrics {
+            m.fabric_frames.add(c.frames);
+            m.fabric_bytes_framed.add(c.bytes_framed);
+            m.fabric_bytes_payload.add(c.bytes_payload);
+            m.fabric_retransmits.add(c.retransmits);
+        }
         let cells = self
             .final_cells
             .take()
@@ -420,6 +505,8 @@ pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
     seed: u64,
     config: &RuntimeConfig,
     pcfg: &PipelineConfig,
+    trace: Option<NodeTrace>,
+    metrics: Option<NodeMetrics>,
 ) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
     let mut worker = PipeWorker {
         link,
@@ -437,6 +524,8 @@ pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
         completed: 0,
         report: RuntimeReport::default(),
         final_cells: None,
+        trace,
+        metrics,
     };
     worker.run()
 }
@@ -460,15 +549,17 @@ pub(crate) fn validate(pcfg: &PipelineConfig) -> Result<()> {
 /// window, iteration count, and per-iteration spans
 /// ([`RuntimeReport::pipeline_overlap`]).
 ///
-/// Tracing is not supported on this path (spans from overlapping
-/// iterations would interleave on one track and break the
-/// trace-report parity contract); a tracer in `instruments` is a
-/// configuration error. Metrics record run-level aggregates only.
+/// Tracing stamps every span with its iteration (spans from
+/// overlapping iterations interleave on one per-node track but stay
+/// distinguishable), records per-iteration `iter_span` spans and a
+/// per-node `link` instant carrying the fabric counters, and keeps
+/// the trace-report parity contract: the trace re-derives this
+/// report exactly.
 ///
 /// # Errors
 ///
 /// As [`crate::run`], plus configuration errors for a zero iteration
-/// count, a zero window, or a tracer.
+/// count or a zero window.
 pub fn run_pipelined(
     graph: &TaskGraph,
     nodes: usize,
@@ -479,11 +570,6 @@ pub fn run_pipelined(
     pcfg: &PipelineConfig,
     instruments: Instruments<'_>,
 ) -> Result<RunOutcome> {
-    if instruments.tracer.is_some() {
-        return Err(Error::config(
-            "tracing is not supported on the pipelined path",
-        ));
-    }
     validate(pcfg)?;
     #[cfg(debug_assertions)]
     hipress_lint::plan::verify(graph, nodes).into_result()?;
@@ -495,20 +581,27 @@ pub fn run_pipelined(
     let links: Vec<_> = (0..nodes)
         .map(|r| fabric.link(r).expect("fresh fabric link"))
         .collect();
+    let node_traces = build_node_traces(instruments.tracer, nodes);
+    let node_metrics = build_node_metrics(instruments.metrics, nodes);
 
+    let run_start_ns = instruments.tracer.map(Tracer::now_ns);
     let started = Instant::now();
     let mut results: Vec<Result<(HashMap<(u32, u32), Cell>, RuntimeReport)>> = (0..nodes)
         .map(|_| Err(Error::sim("node never ran")))
         .collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nodes);
-        for mut link in links {
+        for (mut link, (trace, metrics)) in links
+            .into_iter()
+            .zip(node_traces.into_iter().zip(node_metrics))
+        {
             let replicated = &replicated;
             let layout = &layout;
             let plan = &plan;
             handles.push(scope.spawn(move || {
                 drive_node(
                     &mut link, graph, replicated, layout, plan, compressor, seed, config, pcfg,
+                    trace, metrics,
                 )
             }));
         }
@@ -519,6 +612,14 @@ pub fn run_pipelined(
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
+    record_run_span(
+        instruments.tracer,
+        run_start_ns,
+        wall_ns,
+        nodes,
+        u64::from(pcfg.iterations),
+        u64::from(pcfg.window),
+    );
 
     // Prefer a root-cause error over the "aborted" echoes it causes.
     let mut aborted = None;
@@ -731,21 +832,44 @@ mod tests {
             .unwrap_err();
             assert!(matches!(err, Error::Config(_)), "{err}");
         }
-        let tracer = hipress_trace::Tracer::new("t");
-        let err = run_pipelined(
+    }
+
+    #[test]
+    fn traced_pipelined_run_derives_its_report_from_the_trace() {
+        let nodes = 2;
+        let sizes = [256usize, 64];
+        let grads = worker_grads(nodes, &sizes);
+        let flows = gradient_flows(&grads);
+        let alg = Algorithm::OneBit;
+        let c = alg.build().unwrap();
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncRing
+            .build(&cluster, &iter_spec(&sizes, Some(alg), 2))
+            .unwrap();
+        let tracer = hipress_trace::Tracer::new("casync-rt");
+        let piped = run_pipelined(
             &graph,
             nodes,
             &flows,
-            None,
-            1,
+            Some(c.as_ref()),
+            7,
             &RuntimeConfig::default(),
-            &PipelineConfig::default(),
+            &PipelineConfig {
+                iterations: 4,
+                window: 2,
+            },
             Instruments {
                 tracer: Some(&tracer),
                 metrics: None,
             },
         )
-        .unwrap_err();
-        assert!(matches!(err, Error::Config(_)), "{err}");
+        .unwrap();
+        let trace = tracer.finish();
+        trace.validate().unwrap();
+        assert_eq!(
+            RuntimeReport::from_trace(&trace),
+            piped.report,
+            "pipelined trace must re-derive the pipelined report exactly"
+        );
     }
 }

@@ -39,21 +39,33 @@
 //! without an outcome. Either way [`run_processes`] returns a
 //! [`SyncFailure`] naming the dead node — never a hang.
 
-use crate::engine::{replicate, Cell, FlowLayout, Msg, NodePlan, RunOutcome, RuntimeConfig};
+use crate::engine::{
+    record_run_metrics, record_run_span, replicate, single_node_trace, Cell, FlowLayout,
+    Instruments, Msg, NodeMetrics, NodePlan, RunOutcome, RuntimeConfig,
+};
+use crate::observe::{
+    get_trace, put_trace, record_clock_meta, replay_into, ClockSync, PostmortemDump, RankFlight,
+    UNKNOWN_NODE,
+};
 use crate::pipeline::{drive_node, fabric_err, validate, PipelineConfig};
-use crate::report::{PrimStat, RuntimeReport};
+use crate::report::{DegradeAction, FaultReport, PrimStat, RuntimeReport, StragglerVerdict};
 use hipress_compress::Algorithm;
 use hipress_core::{
     ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
 };
 use hipress_fabric::tcp::{connect_mesh, MeshConfig};
-use hipress_fabric::{DecodeError, LinkTuning, Reader, WireMsg, Writer};
+use hipress_fabric::{
+    DecodeError, FlightEvent, FlightRecorder, LinkTuning, Reader, WireMsg, Writer,
+};
+use hipress_metrics::MetricsSnapshot;
 use hipress_tensor::Tensor;
+use hipress_trace::{Trace, Tracer};
 use hipress_util::{Error, Result, SyncFailure, SyncFailureKind};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Inherited marker that a process *is* a spawned worker. A worker
@@ -79,6 +91,11 @@ pub struct ProcessConfig {
     /// How long each worker may take to report its outcome.
     /// `Duration::ZERO` means the 60 s default.
     pub run_timeout: Duration,
+    /// Where to write a serialized [`PostmortemDump`] when the run
+    /// fails: every surviving rank's flight-recorder ring plus the
+    /// diagnosed root cause, rendered later by `hipress postmortem`.
+    /// `None` skips the dump.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl ProcessConfig {
@@ -114,6 +131,10 @@ struct Job {
     window: u32,
     /// Exit mid-protocol after mesh setup (fault injection).
     kill: bool,
+    /// Record a per-rank trace and ship it with the outcome.
+    want_trace: bool,
+    /// Record per-rank metrics and ship a snapshot with the outcome.
+    want_metrics: bool,
     /// Element count of every gradient (identical across ranks).
     grad_lens: Vec<u32>,
     /// This rank's gradient values, parallel to `grad_lens`.
@@ -130,17 +151,32 @@ enum Ctl {
     /// Coordinator → worker: the job to run.
     Job(Box<Job>),
     /// Worker → coordinator: the protocol completed; here are the
-    /// updated chunk values `(flow, part, elements)` and the measured
-    /// report.
+    /// updated chunk values `(flow, part, elements)`, the measured
+    /// report, the optional per-rank trace and metrics snapshot
+    /// (JSON), and the flight-recorder ring.
     Outcome {
         cells: Vec<(u32, u32, Vec<f32>)>,
         report: RuntimeReport,
+        trace: Option<Trace>,
+        metrics: Option<String>,
+        flight: Vec<FlightEvent>,
     },
-    /// Worker → coordinator: the protocol failed.
-    Failed(Error),
+    /// Worker → coordinator: the protocol failed; the flight ring
+    /// rides along so the postmortem sees the failing rank's view.
+    Failed {
+        error: Error,
+        flight: Vec<FlightEvent>,
+    },
     /// Coordinator → worker: all outcomes collected; tear the mesh
     /// down and exit.
     Shutdown,
+    /// Coordinator → worker: clock probe carrying the coordinator's
+    /// clock reading `t1` (NTP-style offset estimation during
+    /// rendezvous).
+    ClockPing { t1: u64 },
+    /// Worker → coordinator: `t1` echoed back plus the worker's own
+    /// clock reading `t2` at the moment of the answer.
+    ClockPong { t1: u64, t2: u64 },
 }
 
 const CTL_HELLO: u8 = 1;
@@ -148,6 +184,8 @@ const CTL_JOB: u8 = 2;
 const CTL_OUTCOME: u8 = 3;
 const CTL_FAILED: u8 = 4;
 const CTL_SHUTDOWN: u8 = 5;
+const CTL_CLOCK_PING: u8 = 6;
+const CTL_CLOCK_PONG: u8 = 7;
 
 fn put_strategy(w: &mut Writer, s: Strategy) {
     w.put_u8(match s {
@@ -221,39 +259,175 @@ fn get_prim(r: &mut Reader<'_>) -> std::result::Result<PrimStat, DecodeError> {
     })
 }
 
-/// Encodes the scalar measurements a worker accumulates. Run-level
-/// fields the coordinator owns (`nodes`, `wall_ns`,
-/// `per_node_busy_ns`, `iterations`, `pipeline_window`) and the fault
-/// report (always empty on the pipelined path — the process fabric's
-/// reliability stats ride in the `fabric_*` counters) are not
-/// transferred.
-fn put_report(w: &mut Writer, rep: &RuntimeReport) {
-    for s in [
-        rep.source,
-        rep.encode,
-        rep.decode,
-        rep.merge,
-        rep.send,
-        rep.recv,
-        rep.update,
-        rep.barrier,
+fn put_verdict(w: &mut Writer, v: &StragglerVerdict) {
+    let StragglerVerdict {
+        node,
+        peer,
+        waited_ns,
+        action,
+    } = v;
+    w.put_u64(*node as u64);
+    w.put_u64(*peer as u64);
+    w.put_u64(*waited_ns);
+    w.put_u8(match action {
+        DegradeAction::Waited => 1,
+        DegradeAction::Skipped => 2,
+        DegradeAction::Aborted => 3,
+    });
+}
+
+fn get_verdict(r: &mut Reader<'_>) -> std::result::Result<StragglerVerdict, DecodeError> {
+    Ok(StragglerVerdict {
+        node: r.u64()? as usize,
+        peer: r.u64()? as usize,
+        waited_ns: r.u64()?,
+        action: match r.u8()? {
+            1 => DegradeAction::Waited,
+            2 => DegradeAction::Skipped,
+            3 => DegradeAction::Aborted,
+            t => {
+                return Err(DecodeError::BadTag {
+                    what: "degrade action",
+                    tag: u64::from(t),
+                })
+            }
+        },
+    })
+}
+
+fn put_faults(w: &mut Writer, f: &FaultReport) {
+    // Exhaustive destructuring: adding a FaultReport field without
+    // extending this codec is a compile error, not a silent drop.
+    let FaultReport {
+        injected_drops,
+        injected_dups,
+        injected_reorders,
+        injected_delays,
+        injected_corruptions,
+        injected_stalls,
+        retries,
+        nacks,
+        duplicates_ignored,
+        corruptions_detected,
+        degraded_chunks,
+        verdicts,
+    } = f;
+    for v in [
+        injected_drops,
+        injected_dups,
+        injected_reorders,
+        injected_delays,
+        injected_corruptions,
+        injected_stalls,
+        retries,
+        nacks,
+        duplicates_ignored,
+        corruptions_detected,
+        degraded_chunks,
     ] {
-        put_prim(w, s);
+        w.put_u64(*v);
     }
-    w.put_u64(rep.local_agg_ns);
-    w.put_u64(rep.bytes_wire);
-    w.put_u64(rep.bytes_raw);
-    w.put_u64(rep.messages);
-    w.put_u64(rep.comp_batch_launches);
-    w.put_u64(rep.fabric_frames);
-    w.put_u64(rep.fabric_bytes_framed);
-    w.put_u64(rep.fabric_bytes_payload);
-    w.put_u64(rep.fabric_retransmits);
-    w.put_u64(rep.iter_span_ns_total);
+    w.put_u32(verdicts.len() as u32);
+    for v in verdicts {
+        put_verdict(w, v);
+    }
+}
+
+fn get_faults(r: &mut Reader<'_>) -> std::result::Result<FaultReport, DecodeError> {
+    let mut f = FaultReport::default();
+    for v in [
+        &mut f.injected_drops,
+        &mut f.injected_dups,
+        &mut f.injected_reorders,
+        &mut f.injected_delays,
+        &mut f.injected_corruptions,
+        &mut f.injected_stalls,
+        &mut f.retries,
+        &mut f.nacks,
+        &mut f.duplicates_ignored,
+        &mut f.corruptions_detected,
+        &mut f.degraded_chunks,
+    ] {
+        *v = r.u64()?;
+    }
+    for _ in 0..r.u32()? {
+        f.verdicts.push(get_verdict(r)?);
+    }
+    Ok(f)
+}
+
+/// Encodes every field of a [`RuntimeReport`]. The exhaustive
+/// destructuring (no `..`) makes adding a report field without
+/// extending this codec a *compile* error — a field can never
+/// silently vanish crossing the process boundary. Run-level fields
+/// the coordinator owns (`nodes`, `wall_ns`, `iterations`,
+/// `pipeline_window`, `per_node_busy_ns`) still travel; the
+/// coordinator's `absorb` simply ignores them.
+fn put_report(w: &mut Writer, rep: &RuntimeReport) {
+    let RuntimeReport {
+        nodes,
+        wall_ns,
+        source,
+        encode,
+        decode,
+        merge,
+        send,
+        recv,
+        update,
+        barrier,
+        local_agg_ns,
+        bytes_wire,
+        bytes_raw,
+        messages,
+        comp_batch_launches,
+        per_node_busy_ns,
+        faults,
+        fabric_frames,
+        fabric_bytes_framed,
+        fabric_bytes_payload,
+        fabric_retransmits,
+        iterations,
+        pipeline_window,
+        iter_span_ns_total,
+    } = rep;
+    w.put_u64(*nodes as u64);
+    w.put_u64(*wall_ns);
+    for s in [source, encode, decode, merge, send, recv, update, barrier] {
+        put_prim(w, *s);
+    }
+    for v in [
+        local_agg_ns,
+        bytes_wire,
+        bytes_raw,
+        messages,
+        comp_batch_launches,
+    ] {
+        w.put_u64(*v);
+    }
+    w.put_u32(per_node_busy_ns.len() as u32);
+    for &b in per_node_busy_ns {
+        w.put_u64(b);
+    }
+    put_faults(w, faults);
+    for v in [
+        fabric_frames,
+        fabric_bytes_framed,
+        fabric_bytes_payload,
+        fabric_retransmits,
+        iterations,
+        pipeline_window,
+        iter_span_ns_total,
+    ] {
+        w.put_u64(*v);
+    }
 }
 
 fn get_report(r: &mut Reader<'_>) -> std::result::Result<RuntimeReport, DecodeError> {
-    let mut rep = RuntimeReport::default();
+    let mut rep = RuntimeReport {
+        nodes: r.u64()? as usize,
+        wall_ns: r.u64()?,
+        ..RuntimeReport::default()
+    };
     for s in [
         &mut rep.source,
         &mut rep.encode,
@@ -271,10 +445,16 @@ fn get_report(r: &mut Reader<'_>) -> std::result::Result<RuntimeReport, DecodeEr
     rep.bytes_raw = r.u64()?;
     rep.messages = r.u64()?;
     rep.comp_batch_launches = r.u64()?;
+    for _ in 0..r.u32()? {
+        rep.per_node_busy_ns.push(r.u64()?);
+    }
+    rep.faults = get_faults(r)?;
     rep.fabric_frames = r.u64()?;
     rep.fabric_bytes_framed = r.u64()?;
     rep.fabric_bytes_payload = r.u64()?;
     rep.fabric_retransmits = r.u64()?;
+    rep.iterations = r.u64()?;
+    rep.pipeline_window = r.u64()?;
     rep.iter_span_ns_total = r.u64()?;
     Ok(rep)
 }
@@ -380,6 +560,8 @@ impl WireMsg for Ctl {
                 w.put_u32(j.iterations);
                 w.put_u32(j.window);
                 w.put_u8(u8::from(j.kill));
+                w.put_u8(u8::from(j.want_trace));
+                w.put_u8(u8::from(j.want_metrics));
                 w.put_u32(j.grad_lens.len() as u32);
                 for &n in &j.grad_lens {
                     w.put_u32(n);
@@ -393,7 +575,13 @@ impl WireMsg for Ctl {
                     w.put_u16(p);
                 }
             }
-            Ctl::Outcome { cells, report } => {
+            Ctl::Outcome {
+                cells,
+                report,
+                trace,
+                metrics,
+                flight,
+            } => {
                 w.put_u8(CTL_OUTCOME);
                 w.put_u32(cells.len() as u32);
                 for (f, p, v) in cells {
@@ -402,12 +590,43 @@ impl WireMsg for Ctl {
                     w.put_f32s(v);
                 }
                 put_report(w, report);
+                match trace {
+                    Some(t) => {
+                        w.put_u8(1);
+                        put_trace(w, t);
+                    }
+                    None => w.put_u8(0),
+                }
+                match metrics {
+                    Some(m) => {
+                        w.put_u8(1);
+                        w.put_str(m);
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_u32(flight.len() as u32);
+                for e in flight {
+                    e.encode(w);
+                }
             }
-            Ctl::Failed(e) => {
+            Ctl::Failed { error, flight } => {
                 w.put_u8(CTL_FAILED);
-                put_error(w, e);
+                put_error(w, error);
+                w.put_u32(flight.len() as u32);
+                for e in flight {
+                    e.encode(w);
+                }
             }
             Ctl::Shutdown => w.put_u8(CTL_SHUTDOWN),
+            Ctl::ClockPing { t1 } => {
+                w.put_u8(CTL_CLOCK_PING);
+                w.put_u64(*t1);
+            }
+            Ctl::ClockPong { t1, t2 } => {
+                w.put_u8(CTL_CLOCK_PONG);
+                w.put_u64(*t1);
+                w.put_u64(*t2);
+            }
         }
     }
 
@@ -435,6 +654,8 @@ impl WireMsg for Ctl {
                 let iterations = r.u32()?;
                 let window = r.u32()?;
                 let kill = r.u8()? != 0;
+                let want_trace = r.u8()? != 0;
+                let want_metrics = r.u8()? != 0;
                 let mut grad_lens = Vec::new();
                 for _ in 0..r.u32()? {
                     grad_lens.push(r.u32()?);
@@ -458,6 +679,8 @@ impl WireMsg for Ctl {
                     iterations,
                     window,
                     kill,
+                    want_trace,
+                    want_metrics,
                     grad_lens,
                     grads,
                     mesh_ports,
@@ -468,13 +691,43 @@ impl WireMsg for Ctl {
                 for _ in 0..r.u32()? {
                     cells.push((r.u32()?, r.u32()?, r.f32s()?));
                 }
+                let report = get_report(r)?;
+                let trace = if r.u8()? == 1 {
+                    Some(get_trace(r)?)
+                } else {
+                    None
+                };
+                let metrics = if r.u8()? == 1 {
+                    Some(r.str()?.to_string())
+                } else {
+                    None
+                };
+                let mut flight = Vec::new();
+                for _ in 0..r.u32()? {
+                    flight.push(FlightEvent::decode(r)?);
+                }
                 Ok(Ctl::Outcome {
                     cells,
-                    report: get_report(r)?,
+                    report,
+                    trace,
+                    metrics,
+                    flight,
                 })
             }
-            CTL_FAILED => Ok(Ctl::Failed(get_error(r)?)),
+            CTL_FAILED => {
+                let error = get_error(r)?;
+                let mut flight = Vec::new();
+                for _ in 0..r.u32()? {
+                    flight.push(FlightEvent::decode(r)?);
+                }
+                Ok(Ctl::Failed { error, flight })
+            }
             CTL_SHUTDOWN => Ok(Ctl::Shutdown),
+            CTL_CLOCK_PING => Ok(Ctl::ClockPing { t1: r.u64()? }),
+            CTL_CLOCK_PONG => Ok(Ctl::ClockPong {
+                t1: r.u64()?,
+                t2: r.u64()?,
+            }),
             t => Err(DecodeError::BadTag {
                 what: "ctl",
                 tag: u64::from(t),
@@ -562,6 +815,14 @@ fn error_rank(e: &Error) -> u8 {
 /// fabric's framing counters; `wall_ns` covers rendezvous through the
 /// last outcome (process spawn cost excluded, mesh setup included).
 ///
+/// With a tracer in `instruments`, every worker records its own
+/// timeline against its private monotonic epoch, ships it back over
+/// the control channel, and the coordinator merges all of them —
+/// clock-corrected by the rendezvous ping exchange — into one global
+/// trace (one track per rank, plus per-rank offset metadata on the
+/// `clock` track). With a metrics scope, per-rank snapshots are
+/// absorbed into the coordinator's registry under the scope's labels.
+///
 /// # Errors
 ///
 /// Configuration errors for bad shapes or an unresolvable worker
@@ -578,6 +839,7 @@ pub fn run_processes(
     config: &RuntimeConfig,
     pcfg: &PipelineConfig,
     pconf: &ProcessConfig,
+    instruments: Instruments<'_>,
 ) -> Result<RunOutcome> {
     let nodes = worker_grads.len();
     validate_grads(worker_grads)?;
@@ -642,6 +904,7 @@ pub fn run_processes(
         pcfg,
         pconf,
         &mut children,
+        instruments,
     );
     reap(&mut children);
     result
@@ -672,6 +935,34 @@ fn resolve_binary(pconf: &ProcessConfig) -> Result<PathBuf> {
     std::env::current_exe().map_err(|e| Error::config(format!("cannot resolve worker binary: {e}")))
 }
 
+/// How many ping probes the coordinator sends each rank at
+/// rendezvous. The minimum-RTT sample wins, so a handful of probes
+/// suffices to dodge scheduler noise on loopback.
+const CLOCK_PROBES: usize = 8;
+
+/// Runs the NTP-style offset exchange with one checked-in worker:
+/// `CLOCK_PROBES` ping/pong round trips, each stamped `t1` (send) and
+/// `t3` (receive) on the coordinator's `clock_epoch` clock with the
+/// worker's own reading `t2` in between.
+fn probe_clock(stream: &mut TcpStream, clock_epoch: Instant) -> Result<ClockSync> {
+    let mut samples = Vec::with_capacity(CLOCK_PROBES);
+    for _ in 0..CLOCK_PROBES {
+        let t1 = clock_epoch.elapsed().as_nanos() as u64;
+        write_ctl(stream, &Ctl::ClockPing { t1 })?;
+        let Ctl::ClockPong { t1: echoed, t2 } = read_ctl(stream)? else {
+            return Err(ctl_io("worker answered a clock probe with a non-pong"));
+        };
+        let t3 = clock_epoch.elapsed().as_nanos() as u64;
+        if echoed != t1 {
+            return Err(ctl_io(format!(
+                "clock pong echoed t1 {echoed}, expected {t1}"
+            )));
+        }
+        samples.push((t1, t2, t3));
+    }
+    Ok(ClockSync::estimate(&samples))
+}
+
 /// The coordinator's post-spawn protocol: rendezvous, job dispatch,
 /// outcome collection, shutdown, assembly. Factored from
 /// [`run_processes`] so tests can drive it with in-process worker
@@ -688,6 +979,7 @@ fn coordinate(
     pcfg: &PipelineConfig,
     pconf: &ProcessConfig,
     children: &mut [std::process::Child],
+    instruments: Instruments<'_>,
 ) -> Result<RunOutcome> {
     let nodes = worker_grads.len();
     let grad_lens: Vec<u32> = worker_grads[0].iter().map(|t| t.len() as u32).collect();
@@ -696,12 +988,22 @@ fn coordinate(
     let replicated = replicate(&flows);
     let layout = FlowLayout::derive(&graph, nodes, &replicated)?;
 
+    // The coordinator's clock for offset probes. With a tracer it is
+    // the tracer's epoch, so corrected worker timestamps land
+    // directly on the merged trace's timeline.
+    let clock_epoch = instruments
+        .tracer
+        .map(Tracer::epoch)
+        .unwrap_or_else(Instant::now);
+    let run_start_ns = instruments.tracer.map(Tracer::now_ns);
     let started = Instant::now();
 
-    // Rendezvous: every rank dials in and names its mesh port.
+    // Rendezvous: every rank dials in and names its mesh port, then
+    // answers a burst of clock probes so its epoch offset is known.
     listener.set_nonblocking(true).map_err(ctl_io)?;
     let deadline = Instant::now() + pconf.connect_deadline();
     let mut streams: Vec<Option<(TcpStream, u16)>> = (0..nodes).map(|_| None).collect();
+    let mut syncs: Vec<ClockSync> = vec![ClockSync::default(); nodes];
     let mut checked_in = 0;
     while checked_in < nodes {
         match listener.accept() {
@@ -720,6 +1022,7 @@ fn coordinate(
                 if slot.is_some() {
                     return Err(ctl_io(format!("two workers claimed rank {rank}")));
                 }
+                syncs[rank as usize] = probe_clock(&mut stream, clock_epoch)?;
                 *slot = Some((stream, mesh_port));
                 checked_in += 1;
             }
@@ -762,6 +1065,8 @@ fn coordinate(
             iterations: pcfg.iterations,
             window: pcfg.window,
             kill: pconf.kill_node == Some(rank),
+            want_trace: instruments.tracer.is_some(),
+            want_metrics: instruments.metrics.is_some(),
             grad_lens: grad_lens.clone(),
             grads: worker_grads[rank]
                 .iter()
@@ -776,32 +1081,61 @@ fn coordinate(
     // worker reports independently (nobody waits on the coordinator
     // between outcome and shutdown), and each stream carries its own
     // read deadline so a dead worker costs a timeout, not a hang.
-    let mut per_rank: Vec<Result<(HashMap<(u32, u32), Cell>, RuntimeReport)>> =
-        Vec::with_capacity(nodes);
+    type RankOutcome = (
+        HashMap<(u32, u32), Cell>,
+        RuntimeReport,
+        Option<Trace>,
+        Option<String>,
+    );
+    let mut per_rank: Vec<Result<RankOutcome>> = Vec::with_capacity(nodes);
+    let mut flights: Vec<RankFlight> = Vec::new();
     for (rank, (stream, _)) in streams.iter_mut().enumerate() {
         stream
             .set_read_timeout(Some(pconf.run_deadline()))
             .map_err(ctl_io)?;
         per_rank.push(match read_ctl(stream) {
-            Ok(Ctl::Outcome { cells, report }) => Ok((
-                cells
-                    .into_iter()
-                    .map(|(f, p, v)| {
-                        (
-                            (f, p),
-                            Cell {
-                                updated: Some(v),
-                                ..Cell::default()
-                            },
-                        )
-                    })
-                    .collect(),
+            Ok(Ctl::Outcome {
+                cells,
                 report,
-            )),
-            Ok(Ctl::Failed(e)) => Err(e),
+                trace,
+                metrics,
+                flight,
+            }) => {
+                flights.push(RankFlight {
+                    rank: rank as u32,
+                    sync: syncs[rank],
+                    events: flight,
+                });
+                Ok((
+                    cells
+                        .into_iter()
+                        .map(|(f, p, v)| {
+                            (
+                                (f, p),
+                                Cell {
+                                    updated: Some(v),
+                                    ..Cell::default()
+                                },
+                            )
+                        })
+                        .collect(),
+                    report,
+                    trace,
+                    metrics,
+                ))
+            }
+            Ok(Ctl::Failed { error, flight }) => {
+                flights.push(RankFlight {
+                    rank: rank as u32,
+                    sync: syncs[rank],
+                    events: flight,
+                });
+                Err(error)
+            }
             Ok(_) => Err(ctl_io(format!("worker {rank} sent an unexpected message"))),
             // EOF or timeout without an outcome: the worker died
-            // mid-protocol. Name it.
+            // mid-protocol — its ring died with it. Name it; the
+            // survivors' rings will show its silence.
             Err(_) => Err(Error::sync(SyncFailure {
                 kind: SyncFailureKind::LinkDead,
                 node: rank,
@@ -818,13 +1152,31 @@ fn coordinate(
         let _ = write_ctl(stream, &Ctl::Shutdown);
     }
 
-    // Surface the most root-cause-like failure, if any.
+    // Surface the most root-cause-like failure, if any — after
+    // writing the flight dump, which wants exactly that diagnosis.
     if per_rank.iter().any(Result::is_err) {
         let worst = per_rank
             .into_iter()
             .filter_map(Result::err)
             .min_by_key(error_rank)
             .expect("at least one error");
+        if let Some(path) = &pconf.flight_dump {
+            let dump = PostmortemDump {
+                nodes: nodes as u32,
+                failed_node: worst
+                    .as_sync()
+                    .map(|f| f.node as u32)
+                    .unwrap_or(UNKNOWN_NODE),
+                detail: worst.to_string(),
+                ranks: flights,
+            };
+            if let Err(e) = std::fs::write(path, dump.to_bytes()) {
+                eprintln!(
+                    "hipress: could not write flight dump {}: {e}",
+                    path.display()
+                );
+            }
+        }
         return Err(worst);
     }
 
@@ -838,10 +1190,38 @@ fn coordinate(
     };
     let mut cells_per_node = Vec::with_capacity(nodes);
     for (rank, r) in per_rank.into_iter().enumerate() {
-        let (cells, node_report) = r.expect("errors handled above");
+        let (cells, node_report, wtrace, wmetrics) = r.expect("errors handled above");
         report.absorb(&node_report);
         report.per_node_busy_ns[rank] = node_report.total_busy_ns();
         cells_per_node.push(cells);
+        if let Some(tracer) = instruments.tracer {
+            if let Some(t) = &wtrace {
+                // Stitch this rank's timeline into the global trace,
+                // shifted by its measured epoch offset, and record
+                // the alignment so validators can honor its
+                // uncertainty.
+                replay_into(tracer, t, &syncs[rank]);
+                record_clock_meta(tracer, rank, &syncs[rank]);
+            }
+        }
+        if let Some(scope) = instruments.metrics {
+            if let Some(json) = &wmetrics {
+                let snap = MetricsSnapshot::from_json(json)
+                    .map_err(|e| ctl_io(format!("worker {rank} metrics snapshot: {e}")))?;
+                scope.absorb_snapshot(&snap);
+            }
+        }
+    }
+    record_run_span(
+        instruments.tracer,
+        run_start_ns,
+        wall_ns,
+        nodes,
+        u64::from(pcfg.iterations),
+        u64::from(pcfg.window),
+    );
+    if let Some(scope) = instruments.metrics {
+        record_run_metrics(scope, &report);
     }
     let flows_out = layout.assemble(&cells_per_node)?;
     Ok(RunOutcome {
@@ -903,6 +1283,12 @@ pub fn node_main(connect: &str, rank: usize, nodes: usize) -> Result<()> {
 /// One worker's full protocol over an established control stream.
 /// Factored from [`node_main`] so tests can run workers as threads.
 fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
+    // One epoch anchors everything this worker timestamps: the
+    // tracer, the flight recorder, and the clock-probe pongs. The
+    // coordinator's measured offset therefore aligns all three at
+    // once.
+    let epoch = Instant::now();
+    let recorder = Arc::new(FlightRecorder::new(epoch));
     ctl.set_nodelay(true).map_err(ctl_io)?;
     let mesh_listener = TcpListener::bind("127.0.0.1:0").map_err(ctl_io)?;
     let mesh_port = mesh_listener.local_addr().map_err(ctl_io)?.port();
@@ -915,8 +1301,20 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     )?;
     ctl.set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(ctl_io)?;
-    let Ctl::Job(job) = read_ctl(&mut ctl)? else {
-        return Err(ctl_io(format!("node {rank}: expected a Job")));
+    // The coordinator interleaves clock probes between Hello and Job;
+    // answer each with our epoch-relative receive time.
+    let job = loop {
+        match read_ctl(&mut ctl)? {
+            Ctl::ClockPing { t1 } => write_ctl(
+                &mut ctl,
+                &Ctl::ClockPong {
+                    t1,
+                    t2: epoch.elapsed().as_nanos() as u64,
+                },
+            )?,
+            Ctl::Job(job) => break job,
+            _ => return Err(ctl_io(format!("node {rank}: expected a Job"))),
+        }
     };
     if job.rank as usize != rank || job.nodes as usize != nodes {
         return Err(ctl_io(format!(
@@ -957,6 +1355,18 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     let layout = FlowLayout::derive(&graph, nodes, &replicated)?;
     let plan = NodePlan::derive(&graph, nodes);
 
+    // Per-worker instrumentation, built only when the coordinator
+    // asked: the trace rides home inside `Outcome`, the metrics as a
+    // JSON snapshot. Both share `epoch` so clock alignment is uniform.
+    let tracer = job
+        .want_trace
+        .then(|| Tracer::at_epoch(&format!("casync-rt/node{rank}"), epoch));
+    let trace = tracer.as_ref().map(|t| single_node_trace(t, rank));
+    let registry = job.want_metrics.then(hipress_metrics::Registry::new);
+    let metrics = registry
+        .as_ref()
+        .map(|reg| NodeMetrics::new(&reg.root(), rank));
+
     let mesh = MeshConfig {
         tuning: LinkTuning {
             heartbeat: job.config.ft_heartbeat,
@@ -965,6 +1375,7 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
         connect_timeout: Duration::from_secs(10),
         poll_floor: job.config.ft_min_wait,
         poll_ceiling: job.config.ft_max_wait,
+        recorder: Some(Arc::clone(&recorder)),
     };
     let peers: Vec<SocketAddr> = job
         .mesh_ports
@@ -994,6 +1405,8 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
         job.seed,
         &job.config,
         &pcfg,
+        trace,
+        metrics,
     );
     match outcome {
         Ok((cells, report)) => {
@@ -1001,10 +1414,25 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
                 .into_iter()
                 .filter_map(|((f, p), c)| c.updated.map(|v| (f, p, v)))
                 .collect();
-            write_ctl(&mut ctl, &Ctl::Outcome { cells, report })?;
+            write_ctl(
+                &mut ctl,
+                &Ctl::Outcome {
+                    cells,
+                    report,
+                    trace: tracer.map(Tracer::finish),
+                    metrics: registry.map(|r| r.snapshot().to_json()),
+                    flight: recorder.dump(),
+                },
+            )?;
         }
         Err(e) => {
-            write_ctl(&mut ctl, &Ctl::Failed(e))?;
+            write_ctl(
+                &mut ctl,
+                &Ctl::Failed {
+                    error: e,
+                    flight: recorder.dump(),
+                },
+            )?;
         }
     }
     // Hold the mesh link until the coordinator has everyone's
@@ -1013,6 +1441,59 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     let _ = read_ctl(&mut ctl);
     drop(link);
     Ok(NodeRun::Completed)
+}
+
+/// Runs the full coordinator protocol with worker *threads* standing
+/// in for worker processes — same control channel, same TCP mesh,
+/// same clock probes, same pipelined driver; only `fork/exec` is
+/// skipped. Deterministic like [`run_processes`], minus process
+/// isolation, so tests and benches can exercise the distributed
+/// observability path without spawn overhead.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_workers(
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: usize,
+    worker_grads: &[Vec<Tensor>],
+    seed: u64,
+    config: &RuntimeConfig,
+    pcfg: &PipelineConfig,
+    pconf: &ProcessConfig,
+    instruments: Instruments<'_>,
+) -> Result<RunOutcome> {
+    let nodes = worker_grads.len();
+    validate_grads(worker_grads)?;
+    validate(pcfg)?;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(ctl_io)?;
+    let addr = listener.local_addr().map_err(ctl_io)?;
+    let workers: Vec<_> = (0..nodes)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let ctl = TcpStream::connect(addr)
+                    .map_err(|e| ctl_io(format!("node {rank}: dial coordinator {addr}: {e}")))?;
+                run_node(ctl, rank, nodes)
+            })
+        })
+        .collect();
+    let out = coordinate(
+        &listener,
+        strategy,
+        algorithm,
+        partitions,
+        worker_grads,
+        seed,
+        config,
+        pcfg,
+        pconf,
+        &mut [],
+        instruments,
+    );
+    for w in workers {
+        // Worker errors already surfaced through the coordinator.
+        let _ = w.join().expect("worker thread panicked");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1040,9 +1521,8 @@ mod tests {
             .collect()
     }
 
-    /// Runs the full coordinator protocol with worker *threads*
-    /// standing in for worker processes — same control channel, same
-    /// TCP mesh, same pipelined driver; only `fork/exec` is skipped.
+    /// Thin wrapper over [`run_threaded_workers`] with the defaults
+    /// most tests want: two partitions, no instrumentation.
     fn run_threaded(
         strategy: Strategy,
         algorithm: Algorithm,
@@ -1051,23 +1531,11 @@ mod tests {
         pcfg: PipelineConfig,
         kill_node: Option<usize>,
     ) -> Result<RunOutcome> {
-        let nodes = grads.len();
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let workers: Vec<_> = (0..nodes)
-            .map(|rank| {
-                std::thread::spawn(move || {
-                    let ctl = TcpStream::connect(addr).unwrap();
-                    run_node(ctl, rank, nodes)
-                })
-            })
-            .collect();
         let pconf = ProcessConfig {
             kill_node,
             ..ProcessConfig::default()
         };
-        let out = coordinate(
-            &listener,
+        run_threaded_workers(
             strategy,
             algorithm,
             2,
@@ -1076,13 +1544,8 @@ mod tests {
             &RuntimeConfig::default(),
             &pcfg,
             &pconf,
-            &mut [],
-        );
-        for w in workers {
-            // Worker errors already surfaced through the coordinator.
-            let _ = w.join().expect("worker thread panicked");
-        }
-        out
+            Instruments::default(),
+        )
     }
 
     /// A worker binary that re-enters `run_processes` (its main
@@ -1101,6 +1564,7 @@ mod tests {
             &RuntimeConfig::default(),
             &PipelineConfig::default(),
             &ProcessConfig::default(),
+            Instruments::default(),
         )
         .expect_err("guard must trip");
         std::env::remove_var(SPAWN_GUARD_ENV);
@@ -1184,6 +1648,8 @@ mod tests {
             iterations: 8,
             window: 4,
             kill: true,
+            want_trace: true,
+            want_metrics: false,
             grad_lens: vec![16, 32],
             grads: vec![vec![1.0, -2.5], vec![f32::NAN]],
             mesh_ports: vec![4000, 4001, 4002, 4003],
@@ -1197,6 +1663,8 @@ mod tests {
         assert_eq!(back.partitions, 3);
         assert_eq!(back.rank, 2);
         assert!(back.kill);
+        assert!(back.want_trace);
+        assert!(!back.want_metrics);
         assert_eq!(back.grad_lens, vec![16, 32]);
         assert_eq!(back.grads[0], vec![1.0, -2.5]);
         assert!(back.grads[1][0].is_nan());
@@ -1210,35 +1678,141 @@ mod tests {
         rep.update.record(123);
         rep.fabric_frames = 7;
         rep.iter_span_ns_total = 5555;
+        let mut trace_in = Trace::new("casync-rt/node0");
+        let t = trace_in.thread_track("node0");
+        trace_in.push_span(t, "send", "send", 10, 5, &[("task", 3)]);
+        let epoch = Instant::now();
+        let rec = FlightRecorder::new(epoch);
+        rec.record(hipress_fabric::FlightKind::SendData, 1, 9, 64);
         let out = Ctl::Outcome {
             cells: vec![(0, 1, vec![3.5, -0.0])],
             report: rep.clone(),
+            trace: Some(trace_in.clone()),
+            metrics: Some("{}".into()),
+            flight: rec.dump(),
         };
-        let Ctl::Outcome { cells, report } = Ctl::from_bytes(&out.to_bytes()).unwrap() else {
+        let Ctl::Outcome {
+            cells,
+            report,
+            trace,
+            metrics,
+            flight,
+        } = Ctl::from_bytes(&out.to_bytes()).unwrap()
+        else {
             panic!("wrong variant");
         };
         assert_eq!(cells[0].0, 0);
         assert_eq!(cells[0].2[0], 3.5);
         assert_eq!(report, rep);
+        assert_eq!(trace.unwrap(), trace_in);
+        assert_eq!(metrics.as_deref(), Some("{}"));
+        assert_eq!(flight.len(), 1);
+        assert_eq!(flight[0].peer, 1);
+        assert_eq!(flight[0].seq, 9);
 
-        let fail = Ctl::Failed(Error::sync(SyncFailure {
-            kind: SyncFailureKind::LinkDead,
-            node: 1,
-            peer: Some(0),
-            task: Some(42),
-            detail: "seq 9 unacknowledged".into(),
-        }));
-        let Ctl::Failed(e) = Ctl::from_bytes(&fail.to_bytes()).unwrap() else {
+        let fail = Ctl::Failed {
+            error: Error::sync(SyncFailure {
+                kind: SyncFailureKind::LinkDead,
+                node: 1,
+                peer: Some(0),
+                task: Some(42),
+                detail: "seq 9 unacknowledged".into(),
+            }),
+            flight: rec.dump(),
+        };
+        let Ctl::Failed { error: e, flight } = Ctl::from_bytes(&fail.to_bytes()).unwrap() else {
             panic!("wrong variant");
         };
         assert_eq!(e.as_sync().unwrap().node, 1);
         assert_eq!(e.as_sync().unwrap().task, Some(42));
+        assert_eq!(flight.len(), 1);
 
-        let echo = Ctl::Failed(Error::sim("aborted"));
-        let Ctl::Failed(e) = Ctl::from_bytes(&echo.to_bytes()).unwrap() else {
+        let echo = Ctl::Failed {
+            error: Error::sim("aborted"),
+            flight: Vec::new(),
+        };
+        let Ctl::Failed { error: e, .. } = Ctl::from_bytes(&echo.to_bytes()).unwrap() else {
             panic!("wrong variant");
         };
         assert!(matches!(&e, Error::Sim(m) if m == "aborted"));
+
+        let ping = Ctl::ClockPing { t1: 77 };
+        let Ctl::ClockPing { t1 } = Ctl::from_bytes(&ping.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(t1, 77);
+        let pong = Ctl::ClockPong { t1: 77, t2: 99 };
+        let Ctl::ClockPong { t1, t2 } = Ctl::from_bytes(&pong.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!((t1, t2), (77, 99));
+    }
+
+    /// Every [`RuntimeReport`] field must survive the control-channel
+    /// codec. Each field carries a distinct value and is asserted via
+    /// whole-struct equality, so a new field that the codec forgets
+    /// shows up here (and the exhaustive destructuring in
+    /// `put_report` makes forgetting a compile error first).
+    #[test]
+    fn report_codec_covers_every_field() {
+        let mut prims = Vec::new();
+        for i in 0..8u64 {
+            let mut p = PrimStat::default();
+            p.count = 10 + i;
+            p.busy_ns = 1000 + i;
+            prims.push(p);
+        }
+        let rep = RuntimeReport {
+            nodes: 3,
+            wall_ns: 123_456,
+            source: prims[0],
+            encode: prims[1],
+            decode: prims[2],
+            merge: prims[3],
+            send: prims[4],
+            recv: prims[5],
+            update: prims[6],
+            barrier: prims[7],
+            local_agg_ns: 777,
+            bytes_wire: 2048,
+            bytes_raw: 8192,
+            messages: 55,
+            comp_batch_launches: 4,
+            per_node_busy_ns: vec![11, 22, 33],
+            faults: FaultReport {
+                injected_drops: 1,
+                injected_dups: 2,
+                injected_reorders: 3,
+                injected_delays: 4,
+                injected_corruptions: 5,
+                injected_stalls: 6,
+                retries: 7,
+                nacks: 8,
+                duplicates_ignored: 9,
+                corruptions_detected: 10,
+                degraded_chunks: 11,
+                verdicts: vec![StragglerVerdict {
+                    node: 1,
+                    peer: 2,
+                    waited_ns: 999,
+                    action: DegradeAction::Skipped,
+                }],
+            },
+            fabric_frames: 60,
+            fabric_bytes_framed: 61,
+            fabric_bytes_payload: 62,
+            fabric_retransmits: 63,
+            iterations: 16,
+            pipeline_window: 5,
+            iter_span_ns_total: 424_242,
+        };
+        let mut w = Writer::new();
+        put_report(&mut w, &rep);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let back = get_report(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, rep);
     }
 
     /// The pipeline edge configs — a single iteration, a serial
@@ -1313,6 +1887,7 @@ mod tests {
                 &RuntimeConfig::default(),
                 &pcfg,
                 &ProcessConfig::default(),
+                Instruments::default(),
             )
             .expect_err("validation must reject the config");
             assert!(

@@ -299,6 +299,15 @@ impl RuntimeReport {
         }
         r.messages = trace.events_of("fabric").count() as u64;
         r.comp_batch_launches = trace.events_of("batch").count() as u64;
+        for e in trace.events_of("link") {
+            r.fabric_frames += e.arg("frames").unwrap_or(0);
+            r.fabric_bytes_framed += e.arg("bytes_framed").unwrap_or(0);
+            r.fabric_bytes_payload += e.arg("bytes_payload").unwrap_or(0);
+            r.fabric_retransmits += e.arg("retransmits").unwrap_or(0);
+        }
+        for e in trace.events_of("iter_span") {
+            r.iter_span_ns_total += e.dur_ns;
+        }
         for e in trace.events_of("chaos") {
             match e.name.as_str() {
                 "drop" => r.faults.injected_drops += 1,
@@ -337,6 +346,8 @@ impl RuntimeReport {
         if let Some(run) = trace.events_of("run").next() {
             r.wall_ns = run.dur_ns;
             r.nodes = run.arg("nodes").unwrap_or(0) as usize;
+            r.iterations = run.arg("iterations").unwrap_or(0);
+            r.pipeline_window = run.arg("window").unwrap_or(0);
         }
         if r.nodes == 0 {
             // No run span (foreign trace): count node tracks instead.
@@ -617,7 +628,14 @@ mod tests {
         let engine = t.thread_track("engine");
         let n0 = t.thread_track("node0");
         let n1 = t.thread_track("node1");
-        t.push_span(engine, "run", "run", 0, 10_000, &[("nodes", 2)]);
+        t.push_span(
+            engine,
+            "run",
+            "run",
+            0,
+            10_000,
+            &[("nodes", 2), ("iterations", 3), ("window", 2)],
+        );
         t.push_span(n0, "source", "source", 10, 100, &[("grad", 0), ("part", 0)]);
         t.push_span(n0, "local_agg", "local_agg", 20, 30, &[]);
         t.push_span(
@@ -632,9 +650,42 @@ mod tests {
         t.push_span(n1, "barrier", "barrier", 400, 2, &[]);
         t.push_instant(n1, "msg", "fabric", 250, &[("bytes", 64)]);
         t.push_instant(n0, "batch", "batch", 50, &[("size", 3)]);
+        t.push_instant(
+            n0,
+            "link",
+            "link",
+            9_000,
+            &[
+                ("frames", 6),
+                ("bytes_framed", 900),
+                ("bytes_payload", 640),
+                ("retransmits", 1),
+            ],
+        );
+        t.push_instant(
+            n1,
+            "link",
+            "link",
+            9_100,
+            &[
+                ("frames", 4),
+                ("bytes_framed", 500),
+                ("bytes_payload", 320),
+                ("retransmits", 0),
+            ],
+        );
+        t.push_span(n0, "iter_span", "iter_span", 10, 4_000, &[("iter", 0)]);
+        t.push_span(n0, "iter_span", "iter_span", 3_000, 2_500, &[("iter", 1)]);
         let r = RuntimeReport::from_trace(&t);
         assert_eq!(r.nodes, 2);
         assert_eq!(r.wall_ns, 10_000);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.pipeline_window, 2);
+        assert_eq!(r.fabric_frames, 10);
+        assert_eq!(r.fabric_bytes_framed, 1_400);
+        assert_eq!(r.fabric_bytes_payload, 960);
+        assert_eq!(r.fabric_retransmits, 1);
+        assert_eq!(r.iter_span_ns_total, 6_500);
         assert_eq!(
             r.source,
             PrimStat {

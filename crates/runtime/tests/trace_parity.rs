@@ -11,7 +11,10 @@ use hipress_compress::Algorithm;
 use hipress_core::interp::gradient_flows;
 use hipress_core::plan::{CompressionSpec, GradPlan, IterationSpec, SyncGradient};
 use hipress_core::{ClusterConfig, Strategy};
-use hipress_runtime::{run_traced, RuntimeConfig, RuntimeReport};
+use hipress_runtime::{
+    run_threaded_workers, run_traced, validate_clock_monotonicity, Instruments, PipelineConfig,
+    ProcessConfig, RuntimeConfig, RuntimeReport,
+};
 use hipress_tensor::synth::{generate, GradientShape};
 use hipress_tensor::Tensor;
 use hipress_trace::{chrome, Tracer};
@@ -146,6 +149,66 @@ fn traced_and_untraced_runs_agree_on_results() {
     assert_eq!(traced.report.encode.count, plain.report.encode.count);
     assert_eq!(traced.report.messages, plain.report.messages);
     assert_eq!(traced.report.bytes_wire, plain.report.bytes_wire);
+}
+
+/// The distributed path keeps the same parity guarantee: a traced
+/// multi-worker run (real control protocol, TCP mesh, clock probes —
+/// only `fork/exec` elided) ships every rank's trace home, the
+/// coordinator stitches them into one clock-aligned timeline, and
+/// that merged timeline re-derives the merged [`RuntimeReport`]
+/// exactly. Two seeds guard against a lucky alignment.
+#[test]
+fn processes_merged_trace_report_parity() {
+    let sizes = [512usize, 64];
+    for (seed, strat) in [(13u64, Strategy::CaSyncPs), (29, Strategy::CaSyncRing)] {
+        let grads = worker_grads(3, &sizes);
+        let tracer = Tracer::new("casync-rt");
+        let out = run_threaded_workers(
+            strat,
+            Algorithm::OneBit,
+            2,
+            &grads,
+            seed,
+            &RuntimeConfig::default(),
+            &PipelineConfig::default(),
+            &ProcessConfig::default(),
+            Instruments {
+                tracer: Some(&tracer),
+                metrics: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{strat:?} seed {seed}: {e}"));
+        let trace = tracer.finish();
+
+        // One node track per rank made it into the merged timeline.
+        for node in 0..3 {
+            assert!(
+                trace.find_track(&format!("node{node}")).is_some(),
+                "{strat:?} seed {seed}: rank {node} missing from merged trace"
+            );
+        }
+
+        // Clock alignment did its job: every cross-rank send lands
+        // before its matching receive on the merged timeline.
+        match validate_clock_monotonicity(&trace) {
+            Ok(checked) => assert!(
+                checked > 0,
+                "{strat:?} seed {seed}: no cross-rank pairs checked"
+            ),
+            Err(violations) => panic!("{strat:?} seed {seed}: clock skew {violations:?}"),
+        }
+
+        // The merged trace re-derives the merged report exactly.
+        assert_eq!(
+            RuntimeReport::from_trace(&trace),
+            out.report,
+            "{strat:?} seed {seed}: distributed parity broke"
+        );
+
+        // And survives the Chrome JSON round trip untouched.
+        let back = chrome::import(&chrome::export(&trace)).unwrap();
+        assert_eq!(RuntimeReport::from_trace(&back), out.report);
+    }
 }
 
 #[test]

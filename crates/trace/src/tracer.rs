@@ -39,15 +39,28 @@ impl Tracer {
     /// Creates a tracer for the named process; wall-clock timestamps
     /// are measured from this moment.
     pub fn new(process: &str) -> Self {
+        Self::at_epoch(process, Instant::now())
+    }
+
+    /// Creates a tracer whose timestamps count from an explicit
+    /// `epoch`. Distributed runs pass one shared epoch to the tracer,
+    /// the flight recorder, and the clock-offset exchange so all
+    /// three speak the same per-process clock.
+    pub fn at_epoch(process: &str, epoch: Instant) -> Self {
         Self {
             inner: Arc::new(Inner {
-                epoch: Instant::now(),
+                epoch,
                 mx: Mutex::new(Trace::new(process)),
             }),
         }
     }
 
-    /// Nanoseconds elapsed since the tracer was created.
+    /// The instant timestamps count from.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Nanoseconds elapsed since the tracer's epoch.
     pub fn now_ns(&self) -> u64 {
         self.inner.epoch.elapsed().as_nanos() as u64
     }

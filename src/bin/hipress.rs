@@ -46,6 +46,11 @@ fn main() -> ExitCode {
                 .filter(|a| !a.starts_with("--"))
                 .map(String::as_str),
         ),
+        "postmortem" => cmd_postmortem(
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+        ),
         "compare" => cmd_compare(&flags),
         "plan" => cmd_plan(&flags),
         "compile" => cmd_compile(args.get(1).map(String::as_str)),
@@ -88,7 +93,7 @@ USAGE:
       List the Table 6 model zoo.
   hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline] [--trace out.json]
       Simulate one training configuration.
-  hipress run [--nodes N] [--backend threads|processes|sim] [--iters I] [--window W] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--cross-check] [--kill-node V] [--trace out.json] [--json]
+  hipress run [--nodes N] [--backend threads|processes|sim] [--iters I] [--window W] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--cross-check] [--kill-node V] [--flight-dump FILE] [--trace out.json] [--json]
       Synchronize synthetic gradients for real on CaSync-RT — one OS
       thread per node, or with --backend processes one OS *process*
       per node over a loopback TCP mesh — and print the measured
@@ -96,7 +101,15 @@ USAGE:
       iterations; --cross-check requires the process backend
       bit-identical to threads (and the interpreter when unpipelined);
       --kill-node V kills worker V mid-protocol to prove the failure
-      is diagnosed, not hung.
+      is diagnosed, not hung. On the process backend, --trace merges
+      every worker's timeline into one clock-aligned trace (validated
+      for cross-rank causality), --json folds every worker's metrics
+      into one snapshot, and --flight-dump names a file that receives
+      each rank's last protocol events if the run fails.
+  hipress postmortem <dump>
+      Render a flight-recorder dump written by a failed process run:
+      every rank's final protocol events interleaved on one
+      clock-aligned timeline, ending at the diagnosed root cause.
   hipress node --connect <addr> --rank R --nodes N
       (internal) One worker of a `--backend processes` run; spawned by
       the coordinator, never useful interactively.
@@ -169,6 +182,8 @@ FLAGS:
   --window     (`run`) max iterations in flight at once (default 1)
   --cross-check (`run`) require processes bit-identical to threads
   --kill-node  (`run`) kill this worker mid-protocol (processes only)
+  --flight-dump (`run`) write every rank's flight-recorder ring here on
+               failure (processes only); render with `hipress postmortem`
   --plan       (`chaos`) none | recoverable | drop-storm | corrupt-storm |
                stall[:ms] | crash[:at-task] | blackhole
                (default: the three survivable storm plans)
@@ -454,15 +469,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("kill-node")
         .map(|v| v.parse().map_err(|_| format!("bad --kill-node '{v}'")))
         .transpose()?;
+    let flight_dump = flags.get("flight-dump").map(std::path::PathBuf::from);
     let mut base = HiPress::new(strategy)
         .algorithm(algorithm)
         .partitions(partitions)
         .seed(seed)
         .iterations(iters)
         .pipeline_window(window);
-    if let Some(k) = kill_node {
+    if kill_node.is_some() || flight_dump.is_some() {
         base = base.process_config(ProcessConfig {
-            kill_node: Some(k),
+            kill_node,
+            flight_dump,
             ..ProcessConfig::default()
         });
     }
@@ -525,10 +542,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
 
-    if backend != Backend::Threads(nodes)
-        && (flags.contains_key("trace") || flags.contains_key("json"))
+    if backend == Backend::Simulator && (flags.contains_key("trace") || flags.contains_key("json"))
     {
-        return Err("--trace/--json need the threads backend".into());
+        return Err("--trace/--json need a real backend: threads or processes".into());
     }
     let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
     let registry = flags.contains_key("json").then(Registry::new);
@@ -565,15 +581,51 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
-        let report = out.report.as_ref().expect("threads backend reports");
+        let report = out.report.as_ref().expect("real backends report");
         let trace = tr.finish();
         // The trace is a second bookkeeping of the same run; deriving
         // the report from it must reproduce the measured one exactly.
         if &RuntimeReport::from_trace(&trace) != report {
             return Err("trace-derived report diverged from the measured one".into());
         }
+        if matches!(backend, Backend::Processes(_)) {
+            // The merged timeline stitched worker clocks together;
+            // prove the alignment by checking causality: no message
+            // may arrive before (its uncertainty window says) it was
+            // sent.
+            match hipress::runtime::validate_clock_monotonicity(&trace) {
+                Ok(checked) => println!(
+                    "clock alignment OK: {checked} cross-rank send\u{2192}recv pair(s) causally ordered"
+                ),
+                Err(violations) => {
+                    for v in &violations {
+                        eprintln!("clock violation: {v}");
+                    }
+                    return Err(format!(
+                        "{} cross-rank event(s) violate the clock-aligned ordering",
+                        violations.len()
+                    ));
+                }
+            }
+        }
         export_trace(&trace, path)?;
     }
+    Ok(())
+}
+
+/// Renders a flight-recorder dump written by a failed
+/// `--backend processes` run: every rank's last protocol events on
+/// one clock-aligned timeline, ending at the diagnosed root cause.
+fn cmd_postmortem(file: Option<&str>) -> Result<(), String> {
+    use hipress::fabric::WireMsg as _;
+    let path = file.ok_or(
+        "postmortem: a dump file is required (a failed `hipress run --backend processes \
+         --flight-dump FILE` writes one)",
+    )?;
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let dump = hipress::runtime::PostmortemDump::from_bytes(&bytes)
+        .map_err(|e| format!("parse {path}: {e:?}"))?;
+    print!("{}", dump.render());
     Ok(())
 }
 

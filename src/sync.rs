@@ -137,14 +137,18 @@ impl HiPress {
 
     /// Records the synchronization into `tracer` (a cheap clone of
     /// the handle is stored; tracing stays opt-in and the untraced
-    /// hot path allocation-free). Only [`Backend::Threads`] has a
-    /// clock worth recording: it adds per-node task spans, queue-depth
-    /// counter tracks, and fabric events, and its
-    /// [`SyncOutcome::report`] can be re-derived from the trace via
-    /// [`RuntimeReport::from_trace`]. The reference interpreter behind
-    /// [`Backend::Simulator`] is untimed, so it leaves the tracer
-    /// untouched — simulated timelines come from the discrete-event
-    /// executor (`hipress sim --trace`, `Executor::run_traced`).
+    /// hot path allocation-free). Both real backends record: they add
+    /// per-node task spans, queue-depth counter tracks, and fabric
+    /// events, and their [`SyncOutcome::report`] can be re-derived
+    /// from the trace via [`RuntimeReport::from_trace`]. On
+    /// [`Backend::Processes`] each worker traces against its own
+    /// clock and the coordinator stitches the timelines together,
+    /// shifting every rank by the clock offset it measured during
+    /// rendezvous (recorded on the trace's `clock` track). The
+    /// reference interpreter behind [`Backend::Simulator`] is
+    /// untimed, so it leaves the tracer untouched — simulated
+    /// timelines come from the discrete-event executor
+    /// (`hipress sim --trace`, `Executor::run_traced`).
     #[must_use]
     pub fn trace(mut self, tracer: &Tracer) -> Self {
         self.tracer = Some(tracer.clone());
@@ -153,8 +157,10 @@ impl HiPress {
 
     /// Records live metrics into `scope` (a cheap clone of the handle
     /// is stored; recording stays opt-in and the uninstrumented hot
-    /// path untouched). Like tracing, only [`Backend::Threads`] has a
-    /// clock worth measuring. Every metric the run records carries
+    /// path untouched). Like tracing, both real backends measure —
+    /// [`Backend::Processes`] workers snapshot their own registries
+    /// and the coordinator folds them into this scope, per-rank
+    /// labels intact. Every metric the run records carries
     /// `algorithm` and `strategy` labels derived from this builder on
     /// top of the scope's own labels, so one registry can absorb a
     /// whole experiment matrix (e.g. scopes labelled per model) and
@@ -380,14 +386,19 @@ impl HiPress {
                         "chaos/fault tolerance run in-process: use Backend::Threads (the process backend has its own kill_node injection)",
                     ));
                 }
-                if self.tracer.is_some() || self.metrics.is_some() {
-                    return Err(Error::config(
-                        "tracing/metrics cannot cross process boundaries: use Backend::Threads",
-                    ));
-                }
                 let config = RuntimeConfig {
                     batch_compression: self.batch_compression,
                     ..RuntimeConfig::default()
+                };
+                let scope = self.metrics.as_ref().map(|s| {
+                    s.with(&[
+                        ("algorithm", &self.algorithm.label()),
+                        ("strategy", self.strategy.label()),
+                    ])
+                });
+                let instruments = Instruments {
+                    tracer: self.tracer.as_ref(),
+                    metrics: scope.as_ref(),
                 };
                 let pcfg = PipelineConfig {
                     iterations: self.iterations,
@@ -402,6 +413,7 @@ impl HiPress {
                     &config,
                     &pcfg,
                     &self.process,
+                    instruments,
                 )?;
                 Ok(SyncOutcome {
                     flows,
