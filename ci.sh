@@ -168,6 +168,70 @@ if HIPRESS_BENCH_SLOWDOWN_PCT=50 cargo run --release -q --bin hipress -- bench \
 fi
 rm -rf "$BENCH_DIR"
 
+echo "== telemetry smoke (live scrape/stream server + SLO watchdog) =="
+# A fault-free process run with the embedded telemetry server attached
+# must serve /healthz, Prometheus /metrics, and at least one /events
+# NDJSON progress record while it lingers — and raise no watchdog
+# alerts. A second run with an injected per-iteration slowdown
+# (HIPRESS_TELEMETRY_SLOWDOWN_MS, the watchdog's analogue of
+# HIPRESS_BENCH_SLOWDOWN_PCT) must deterministically raise
+# alerts_total{kind="iteration_latency_regression"}. Scrapes use the
+# binary's own std-TCP client (`hipress scrape`), no curl needed.
+HIPRESS_BIN=target/release/hipress
+TELE_OUT=$(mktemp)
+"$HIPRESS_BIN" run --nodes 3 --algorithm onebit --backend processes \
+  --iters 8 --window 2 --listen 127.0.0.1:0 --linger-ms 5000 >"$TELE_OUT" &
+TELE_PID=$!
+TELE_ADDR=""
+for _ in $(seq 1 100); do
+  TELE_ADDR=$(grep "telemetry: listening on" "$TELE_OUT" 2>/dev/null \
+    | awk '{print $4}') || true
+  [ -n "$TELE_ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$TELE_ADDR" ]; then
+  echo "telemetry server never announced its address" >&2
+  exit 1
+fi
+# Wait for retirement so /metrics holds the folded worker metrics and
+# the record count is final (3 ranks x 8 iterations = 24).
+for _ in $(seq 1 100); do
+  grep -q "replicas consistent: true" "$TELE_OUT" 2>/dev/null && break
+  sleep 0.1
+done
+"$HIPRESS_BIN" scrape "$TELE_ADDR" /healthz | grep -q '"records":24'
+"$HIPRESS_BIN" scrape "$TELE_ADDR" /events --lines 1 | grep -q '"iter":'
+"$HIPRESS_BIN" scrape "$TELE_ADDR" /report.json | grep -q '"pipeline_window":2'
+TELE_METRICS=$(mktemp)
+"$HIPRESS_BIN" scrape "$TELE_ADDR" /metrics >"$TELE_METRICS"
+grep -q "^bytes_wire" "$TELE_METRICS"
+if grep -q "alerts_total" "$TELE_METRICS"; then
+  echo "fault-free run raised watchdog alerts:" >&2
+  grep "alerts_total" "$TELE_METRICS" >&2
+  exit 1
+fi
+wait "$TELE_PID"
+rm -f "$TELE_OUT" "$TELE_METRICS"
+TELE_OUT=$(mktemp)
+HIPRESS_TELEMETRY_SLOWDOWN_MS=200 "$HIPRESS_BIN" run --nodes 3 \
+  --algorithm onebit --backend processes --iters 8 --window 2 \
+  --listen 127.0.0.1:0 --linger-ms 5000 >"$TELE_OUT" &
+TELE_PID=$!
+for _ in $(seq 1 200); do
+  grep -q "replicas consistent: true" "$TELE_OUT" 2>/dev/null && break
+  sleep 0.1
+done
+TELE_ADDR=$(grep "telemetry: listening on" "$TELE_OUT" | awk '{print $4}')
+TELE_ALERTS=$("$HIPRESS_BIN" scrape "$TELE_ADDR" /metrics \
+  | grep 'alerts_total{kind="iteration_latency_regression"}' \
+  | awk '{print $NF}') || true
+if [ "${TELE_ALERTS:-0}" -le 0 ]; then
+  echo "injected slowdown did not raise the latency-regression alert" >&2
+  exit 1
+fi
+wait "$TELE_PID"
+rm -f "$TELE_OUT"
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -1,0 +1,174 @@
+//! Overhead of the live telemetry plane on the pipelined thread
+//! engine: the same multi-iteration CaSync-Ring sync, with and without
+//! a [`Telemetry`] hub attached — and, when attached, a bound
+//! [`Server`] with a live `/events` NDJSON subscriber streaming every
+//! record out over loopback TCP. The progress hook fires once per
+//! retired iteration and must stay cheap enough to leave on for any
+//! job an operator might want to watch, so the gate requires the whole
+//! plane (hook + watchdog + ring + server + streaming client) to cost
+//! under 5% extra CPU.
+//!
+//! Like `recorder_overhead`, the gate compares process CPU time, not
+//! wall clock: identical runs on a shared host vary multi-x in wall
+//! time with background load, while CPU time measures the work the
+//! telemetry plane actually adds. Runs are interleaved in pairs and
+//! the *paired* delta is taken, which cancels ambient drift; the
+//! median over pairs discards the reps a load burst still splits.
+
+use hipress::obs::{serve, Server, Telemetry, WatchConfig};
+use hipress::prelude::*;
+use hipress::tensor::synth::{generate, GradientShape};
+use hipress::tensor::Tensor;
+use hipress_bench::{banner, Recorder};
+
+const REPS: usize = 7;
+const BUDGET_PCT: f64 = 5.0;
+const MAX_ATTEMPTS: usize = 3;
+const NODES: usize = 2;
+/// Iterations per run; with [`ELEMS`] sized so one run costs a good
+/// fraction of a second of CPU, making a single 10ms tick of the CPU
+/// clock the gate reads fine enough to resolve the 5% budget — while
+/// still retiring enough iterations that the per-retirement hook cost
+/// is what dominates the telemetry side of the delta.
+const ITERS: u32 = 96;
+const WINDOW: u32 = 2;
+const ELEMS: [usize; 2] = [131072, 16384];
+
+/// User+system CPU time this process has consumed so far, in clock
+/// ticks, from `/proc/self/stat`. Includes reaped worker, server, and
+/// client threads, so a delta around a run captures the whole plane.
+fn cpu_ticks() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("/proc/self/stat");
+    let rest = stat.rsplit(')').next().expect("stat format");
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields[11].parse().expect("utime");
+    let stime: u64 = fields[12].parse().expect("stime");
+    utime + stime
+}
+
+/// One full sync on the pipelined thread engine. With `telemetry`,
+/// the run publishes every retired iteration into a hub served over
+/// a real socket, with an `/events` subscriber consuming the stream
+/// end to end; returns the records published (0 when detached).
+fn run_sync(grads: &[Vec<Tensor>], telemetry: bool) -> u64 {
+    let builder = HiPress::new(Strategy::CaSyncRing)
+        .algorithm(Algorithm::OneBit)
+        .partitions(2)
+        .seed(3)
+        .backend(Backend::Threads(NODES))
+        .iterations(ITERS)
+        .pipeline_window(WINDOW);
+    if !telemetry {
+        builder.sync(grads).expect("bare sync");
+        return 0;
+    }
+    let hub = Telemetry::new(Registry::new(), WatchConfig::default());
+    let server = Server::bind("127.0.0.1:0", hub.clone()).expect("bind telemetry");
+    let addr = server.addr().to_string();
+    let client = std::thread::spawn(move || serve::fetch(&addr, "/events", None));
+    builder.telemetry(&hub).sync(grads).expect("telemetry sync");
+    hub.mark_done();
+    let (status, body) = client
+        .join()
+        .expect("events client")
+        .expect("events stream");
+    assert_eq!(status, 200);
+    let streamed = body.lines().count() as u64;
+    server.stop();
+    let published = hub.records_published();
+    assert_eq!(
+        streamed, published,
+        "the /events subscriber must see every published record"
+    );
+    published
+}
+
+fn median(mut v: Vec<i64>) -> i64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn main() {
+    banner(
+        "telemetry_overhead",
+        "cost of the live telemetry plane on the pipelined engine",
+    );
+    let rec = Recorder::new("telemetry_overhead");
+    let grads: Vec<Vec<Tensor>> = (0..NODES)
+        .map(|w| {
+            ELEMS
+                .iter()
+                .enumerate()
+                .map(|(g, &n)| {
+                    generate(
+                        n,
+                        GradientShape::Gaussian { std_dev: 1.0 },
+                        (w * 1000 + g) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    println!(
+        "\n{NODES} threads x {ITERS} iterations (window {WINDOW}), {} gradients, {REPS} \
+         interleaved pairs per attempt; gate: telemetry plane < {BUDGET_PCT}% extra CPU\n",
+        ELEMS.len()
+    );
+    let mut aggregate = f64::MAX;
+    for attempt in 1..=MAX_ATTEMPTS {
+        let mut bare = Vec::new();
+        let mut deltas = Vec::new();
+        let mut records = 0u64;
+        for rep in 0..REPS {
+            // Alternate which path goes first so warmup and frequency
+            // drift cannot systematically favor one side.
+            let mut order = [(false, 0usize), (true, 1usize)];
+            if rep % 2 == 1 {
+                order.swap(0, 1);
+            }
+            let mut spent = [0i64; 2];
+            for (telemetry, slot) in order {
+                let before = cpu_ticks();
+                let published = run_sync(&grads, telemetry);
+                spent[slot] = (cpu_ticks() - before) as i64;
+                if telemetry {
+                    assert_eq!(
+                        published,
+                        u64::from(ITERS) * NODES as u64,
+                        "every retired iteration must publish one record"
+                    );
+                    records = published;
+                }
+            }
+            bare.push(spent[0]);
+            deltas.push(spent[1] - spent[0]);
+        }
+        let base = median(bare).max(1);
+        let delta = median(deltas);
+        aggregate = 100.0 * delta as f64 / base as f64;
+        let att = attempt.to_string();
+        rec.record(
+            "telemetry_overhead_pct",
+            &[("attempt", att.as_str())],
+            aggregate,
+            None,
+        );
+        println!(
+            "attempt {attempt}: median CPU bare {base} ticks, telemetry delta {delta:+} \
+             ticks ({aggregate:+.1}%), {records} records streamed per run"
+        );
+        if aggregate < BUDGET_PCT {
+            break;
+        }
+        if attempt < MAX_ATTEMPTS {
+            println!("  over budget — remeasuring");
+        }
+    }
+    assert!(
+        aggregate < BUDGET_PCT,
+        "telemetry plane CPU overhead {aggregate:.1}% blows the {BUDGET_PCT}% budget \
+         on every attempt"
+    );
+    println!("telemetry CPU overhead: {aggregate:+.1}% (< {BUDGET_PCT}% budget)");
+    rec.finish();
+}

@@ -149,3 +149,10 @@ pub const FABRIC_RETRANSMITS: &str = "fabric_retransmits";
 /// Gauge: fraction of iteration time the pipelined runtime hid by
 /// overlapping iterations, in `[0, 1)`. Higher is better.
 pub const PIPELINE_OVERLAP: &str = "pipeline_overlap_efficiency";
+
+/// Counter: SLO watchdog alerts fired by the live telemetry plane,
+/// labelled `kind` (`iteration_latency_regression`, `retransmit_storm`,
+/// `overlap_collapse`, `straggler_rank`, `heartbeat_gap`).
+/// Informational for the perf gate — alert *presence* is asserted
+/// directly by the telemetry smoke test, not by the diff.
+pub const ALERTS_TOTAL: &str = "alerts_total";

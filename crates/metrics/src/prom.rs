@@ -1,16 +1,23 @@
-//! Prometheus-style text exposition of a snapshot.
+//! Prometheus text exposition (format 0.0.4) of a snapshot.
 //!
-//! For eyeballing and for scraping by standard tooling: counters and
-//! gauges render as single samples, histograms as the conventional
-//! summary triplet (`_count`, `_sum`, `{quantile="…"}`), and time
-//! series as their most recent value. The output follows the
-//! Prometheus text format conventions (one `# TYPE` line per metric
-//! family, label sets in `{k="v"}` form) without claiming full
-//! exposition-format compliance — it is a debugging surface, not a
-//! scrape endpoint.
+//! This is a real scrape surface — `hipress run --listen` serves it at
+//! `GET /metrics` — so it follows the text-format spec: one `# TYPE`
+//! line per metric family, label values escaped (`\\`, `\"`, `\n`),
+//! and histograms exposed as cumulative `_bucket{le="…"}` samples with
+//! the mandatory `+Inf` bucket plus `_sum` and `_count`. Counters and
+//! gauges render as single samples; time series render as a gauge
+//! carrying their most recent value. Run metadata becomes leading
+//! `# META` comment lines (comments are free-form under the spec).
+//!
+//! Bucket upper bounds come from the workspace-wide log-bucket
+//! geometry (`hipress-trace`): bucket `b` holds the half-open range
+//! `[lo, hi)`, so its inclusive Prometheus bound is `hi - 1` — exact
+//! for the integer nanosecond observations the registry records. The
+//! top bucket (values ≥ 2^63) is covered by `+Inf` alone.
 
 use crate::registry::LabelSet;
-use crate::snapshot::{MetricValue, MetricsSnapshot};
+use crate::snapshot::{HistSummary, MetricValue, MetricsSnapshot};
+use hipress_trace::hist::bucket_bounds;
 use std::fmt::Write as _;
 
 /// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else
@@ -27,13 +34,28 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label value per the text-format spec: backslash, double
+/// quote, and line feed.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn labels_with(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v.replace('"', "\\\"")))
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if parts.is_empty() {
         String::new()
@@ -42,8 +64,39 @@ fn labels_with(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
     }
 }
 
-/// Renders `snap` in Prometheus text form. Run metadata becomes
-/// leading `# META` comment lines.
+/// Emit one histogram family member: cumulative `_bucket` samples
+/// (exact inclusive bounds from the shared log-bucket geometry), the
+/// `+Inf` bucket, `_sum`, and `_count`.
+fn render_histogram(out: &mut String, name: &str, labels: &LabelSet, h: &HistSummary) {
+    let mut buckets = h.buckets.clone();
+    buckets.sort_unstable_by_key(|&(b, _)| b);
+    let mut cum = 0u64;
+    for (b, c) in buckets {
+        cum += c;
+        // Bucket 64 has no finite inclusive bound (it ends at
+        // u64::MAX); the +Inf sample below covers it.
+        if b >= 64 {
+            continue;
+        }
+        let le = bucket_bounds(b).1 - 1;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cum}",
+            labels_with(labels, Some(("le", &le.to_string())))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        labels_with(labels, Some(("le", "+Inf"))),
+        h.count
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", labels_with(labels, None), h.sum);
+    let _ = writeln!(out, "{name}_count{} {}", labels_with(labels, None), h.count);
+}
+
+/// Renders `snap` in Prometheus text exposition format. Run metadata
+/// becomes leading `# META` comment lines.
 pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(2048);
     for (k, v) in &snap.meta {
@@ -59,7 +112,7 @@ pub fn render(snap: &MetricsSnapshot) -> String {
                 match value {
                     MetricValue::Counter(_) => "counter",
                     MetricValue::Gauge(_) | MetricValue::Series(_) => "gauge",
-                    MetricValue::Histogram(_) => "summary",
+                    MetricValue::Histogram(_) => "histogram",
                 }
             );
             last_family = name.clone();
@@ -71,27 +124,7 @@ pub fn render(snap: &MetricsSnapshot) -> String {
             MetricValue::Gauge(g) => {
                 let _ = writeln!(out, "{name}{} {g}", labels_with(&key.labels, None));
             }
-            MetricValue::Histogram(h) => {
-                for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
-                    let _ = writeln!(
-                        out,
-                        "{name}{} {v}",
-                        labels_with(&key.labels, Some(("quantile", q)))
-                    );
-                }
-                let _ = writeln!(
-                    out,
-                    "{name}_sum{} {}",
-                    labels_with(&key.labels, None),
-                    h.sum
-                );
-                let _ = writeln!(
-                    out,
-                    "{name}_count{} {}",
-                    labels_with(&key.labels, None),
-                    h.count
-                );
-            }
+            MetricValue::Histogram(h) => render_histogram(&mut out, &name, &key.labels, h),
             MetricValue::Series(points) => {
                 let last = points.last().map_or(0.0, |&(_, v)| v);
                 let _ = writeln!(out, "{name}{} {last}", labels_with(&key.labels, None));
@@ -138,12 +171,108 @@ mod tests {
         assert!(text.contains("bytes_wire{node=\"0\"} 64"));
         assert!(text.contains("# TYPE throughput_bytes_per_sec gauge"));
         assert!(text.contains("throughput_bytes_per_sec 2.5"));
-        assert!(text.contains("# TYPE encode_ns summary"));
-        assert!(text.contains("encode_ns{quantile=\"0.5\"}"));
+        // Histograms are real spec histograms now: cumulative buckets
+        // with exact inclusive bounds ([8,16) -> le=15, [16,32) ->
+        // le=31), the mandatory +Inf bucket, _sum, and _count.
+        assert!(text.contains("# TYPE encode_ns histogram"));
+        assert!(text.contains("encode_ns_bucket{le=\"15\"} 1"));
+        assert!(text.contains("encode_ns_bucket{le=\"31\"} 2"));
+        assert!(text.contains("encode_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("encode_ns_count 2"));
         assert!(text.contains("encode_ns_sum 30"));
         // Series expose their latest value.
         assert!(text.contains("iteration_ns 7"));
+    }
+
+    /// Byte-exact golden output: pins family ordering, `# TYPE` lines,
+    /// label rendering, escaping, and the full histogram exposition in
+    /// one place so any conformance drift is caught verbatim.
+    #[test]
+    fn golden_exposition_output() {
+        let mut snap = MetricsSnapshot::new().with_meta("schema", "hipress-metrics/v1");
+        snap.insert(
+            Key::new(
+                "alerts_total",
+                LabelSet::new(&[("kind", "retransmit_storm")]),
+            ),
+            MetricValue::Counter(3),
+        );
+        snap.insert(
+            Key::new("barrier_ns", LabelSet::new(&[("node", "0")])),
+            MetricValue::Histogram(HistSummary {
+                count: 4,
+                sum: 19,
+                min: 1,
+                max: 9,
+                buckets: vec![(1, 1), (2, 2), (4, 1)],
+            }),
+        );
+        snap.insert(
+            Key::new("pipeline_overlap_efficiency", LabelSet::default()),
+            MetricValue::Gauge(0.75),
+        );
+        snap.insert(
+            Key::new("weird", LabelSet::new(&[("path", "a\\b\"c\nd")])),
+            MetricValue::Counter(1),
+        );
+        let text = render(&snap);
+        let expected = "\
+# META schema hipress-metrics/v1
+# TYPE alerts_total counter
+alerts_total{kind=\"retransmit_storm\"} 3
+# TYPE barrier_ns histogram
+barrier_ns_bucket{node=\"0\",le=\"1\"} 1
+barrier_ns_bucket{node=\"0\",le=\"3\"} 3
+barrier_ns_bucket{node=\"0\",le=\"15\"} 4
+barrier_ns_bucket{node=\"0\",le=\"+Inf\"} 4
+barrier_ns_sum{node=\"0\"} 19
+barrier_ns_count{node=\"0\"} 4
+# TYPE pipeline_overlap_efficiency gauge
+pipeline_overlap_efficiency 0.75
+# TYPE weird counter
+weird{path=\"a\\\\b\\\"c\\nd\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = MetricsSnapshot::new();
+        snap.insert(
+            Key::new(
+                "m",
+                LabelSet::new(&[("v", "back\\slash \"quote\" new\nline")]),
+            ),
+            MetricValue::Counter(7),
+        );
+        let text = render(&snap);
+        assert!(
+            text.contains("m{v=\"back\\\\slash \\\"quote\\\" new\\nline\"} 7"),
+            "{text}"
+        );
+        // The escaped body stays on one physical line.
+        assert_eq!(text.lines().count(), 2, "{text}");
+    }
+
+    #[test]
+    fn histogram_top_bucket_is_covered_by_inf_alone() {
+        let mut snap = MetricsSnapshot::new();
+        snap.insert(
+            Key::new("huge_ns", LabelSet::default()),
+            MetricValue::Histogram(HistSummary {
+                count: 2,
+                sum: u64::MAX,
+                min: 1,
+                max: u64::MAX,
+                buckets: vec![(1, 1), (64, 1)],
+            }),
+        );
+        let text = render(&snap);
+        // No finite bound can hold values in [2^63, u64::MAX]; only
+        // +Inf reports the full count.
+        assert!(text.contains("huge_ns_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("huge_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(!text.contains("le=\"18446744073709551614\""), "{text}");
     }
 
     #[test]
@@ -205,5 +334,22 @@ mod tests {
         );
         let text = render(&snap);
         assert!(text.contains("enc_ns_total{strategy=\"casync-ps\"} 1"));
+    }
+
+    /// Live registry -> snapshot -> exposition keeps the histogram
+    /// invariant `+Inf == _count == sum(bucket deltas)`.
+    #[test]
+    fn live_histogram_exposes_consistent_cumulative_counts() {
+        let reg = crate::Registry::new();
+        let h = reg.root().histogram("encode_ns", &[]);
+        for v in [3u64, 0, 700, 700, 12] {
+            h.record(v);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE encode_ns histogram"), "{text}");
+        assert!(text.contains("encode_ns_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("encode_ns_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("encode_ns_count 5"), "{text}");
+        assert!(text.contains("encode_ns_sum 1415"), "{text}");
     }
 }

@@ -152,10 +152,20 @@ impl Gauge {
 /// holds `0`, bucket `k ≥ 1` holds `[2^(k-1), 2^k)` — so a live
 /// histogram and a trace-derived [`hipress_trace::LatencyHistogram`]
 /// report comparable quantiles.
+///
+/// The cell stays consistent under snapshot-while-recording: there is
+/// no separate observation counter to race with the buckets — the
+/// count *is* the bucket sum. Writers publish the bucket increment
+/// *last* with `Release`, after `sum`/`min`/`max`; readers load the
+/// buckets *first* with `Acquire`. A reader that counts an
+/// observation therefore also sees that observation's contribution to
+/// `sum` and the extremes (`sum` may transiently run ahead of the
+/// counted observations — a record caught between its `sum` add and
+/// its bucket publish — but it never lags them, so `count == Σ
+/// buckets` holds in every snapshot and totals stay monotone).
 #[derive(Debug)]
 pub(crate) struct HistCell {
     counts: [AtomicU64; BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
@@ -165,7 +175,6 @@ impl HistCell {
     fn new() -> Self {
         Self {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
@@ -173,48 +182,50 @@ impl HistCell {
     }
 
     fn record(&self, v: u64) {
-        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Release);
     }
 
     /// Folds an already-summarized histogram into this one: bucket
     /// counts and totals accumulate, extremes widen. Exact because
-    /// both sides share one bucket geometry.
+    /// both sides share one bucket geometry. Same publication order as
+    /// [`HistCell::record`]: totals first, buckets last.
     fn absorb(&self, h: &HistSummary) {
         if h.count == 0 {
             return;
         }
-        for &(b, c) in &h.buckets {
-            if let Some(cell) = self.counts.get(b) {
-                cell.fetch_add(c, Ordering::Relaxed);
-            }
-        }
-        self.count.fetch_add(h.count, Ordering::Relaxed);
         self.sum.fetch_add(h.sum, Ordering::Relaxed);
         self.min.fetch_min(h.min, Ordering::Relaxed);
         self.max.fetch_max(h.max, Ordering::Relaxed);
+        for &(b, c) in &h.buckets {
+            if let Some(cell) = self.counts.get(b) {
+                cell.fetch_add(c, Ordering::Release);
+            }
+        }
     }
 
     fn summary(&self) -> HistSummary {
-        let count = self.count.load(Ordering::Relaxed);
+        // Buckets first (Acquire): everything a counted observation
+        // wrote before its bucket publish is visible below.
+        let buckets: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Acquire);
+                (c > 0).then_some((b, c))
+            })
+            .collect();
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
         let min = self.min.load(Ordering::Relaxed);
         HistSummary {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { min },
             max: self.max.load(Ordering::Relaxed),
-            buckets: self
-                .counts
-                .iter()
-                .enumerate()
-                .filter_map(|(b, c)| {
-                    let c = c.load(Ordering::Relaxed);
-                    (c > 0).then_some((b, c))
-                })
-                .collect(),
+            buckets,
         }
     }
 }

@@ -89,8 +89,8 @@ pub(crate) struct NodeTrace {
     pub(crate) q_commu: Counter,
 }
 
-/// Optional observers for one run. Both are borrowed: the engine
-/// records into them but owns neither, and a `None` field keeps the
+/// Optional observers for one run. All are borrowed: the engine
+/// records into them but owns none, and a `None` field keeps the
 /// corresponding hot path free of any recording work.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Instruments<'a> {
@@ -100,6 +100,10 @@ pub struct Instruments<'a> {
     /// such as `algorithm`/`strategy` come from the scope, the engine
     /// adds `node`.
     pub metrics: Option<&'a hipress_metrics::Scope>,
+    /// Live telemetry hub (`hipress-obs`): per-iteration progress
+    /// records, heartbeats, and the SLO watchdog. Costs one ring
+    /// publish per *retired iteration*, never per task.
+    pub progress: Option<&'a hipress_obs::Telemetry>,
 }
 
 /// One node thread's metric handles, all pre-resolved on the main
@@ -542,6 +546,7 @@ pub fn run_replicated_traced(
         Instruments {
             tracer: Some(tracer),
             metrics: None,
+            progress: None,
         },
     )
 }

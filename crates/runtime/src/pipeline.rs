@@ -33,11 +33,12 @@ use crate::report::RuntimeReport;
 use hipress_compress::Compressor;
 use hipress_core::graph::{TaskGraph, TaskId};
 use hipress_core::Primitive;
-use hipress_fabric::{ChannelFabric, Fabric, FabricError, Link};
+use hipress_fabric::{ChannelFabric, Fabric, FabricError, Link, LinkCounters};
+use hipress_obs::{IterRecord, ProgressSink};
 use hipress_trace::Tracer;
 use hipress_util::{Error, Result, SyncFailure, SyncFailureKind};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// How many iterations to run and how many may overlap.
@@ -83,6 +84,22 @@ pub(crate) fn fabric_err(me: usize, e: FabricError) -> Error {
         }),
         other => Error::sim(format!("node {me}: fabric failure: {other}")),
     }
+}
+
+/// Test-only injected slowdown, for exercising the SLO watchdog end to
+/// end: `HIPRESS_TELEMETRY_SLOWDOWN_MS` stretches every retired
+/// iteration in the second half of a run by this many milliseconds,
+/// which the latency-regression detector must flag. Zero (the default,
+/// and any unparsable value) is free; the knob is only consulted when a
+/// progress sink is attached, so ordinary runs never read it.
+fn telemetry_slowdown_ms() -> u64 {
+    static KNOB: OnceLock<u64> = OnceLock::new();
+    *KNOB.get_or_init(|| {
+        std::env::var("HIPRESS_TELEMETRY_SLOWDOWN_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 /// One admitted iteration's private dataflow state: its own cells,
@@ -184,6 +201,14 @@ struct PipeWorker<'a, L: Link<Msg = Msg>> {
     trace: Option<NodeTrace>,
     /// Shared metric handles, likewise cloned per iteration.
     metrics: Option<NodeMetrics>,
+    /// Live-telemetry progress sink; one [`IterRecord`] is published
+    /// per *retired iteration* (never per task), so `None` keeps the
+    /// hot path publication-free.
+    progress: Option<&'a dyn ProgressSink>,
+    /// Fabric counters at the previous retirement, so each published
+    /// record carries this iteration's retransmission delta rather
+    /// than a running total.
+    last_counters: LinkCounters,
 }
 
 impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
@@ -394,6 +419,15 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
         }
         if done == plan.local_counts[self.link.me()] {
             let mut st = self.iters.remove(&iter).expect("retiring iteration");
+            if self.progress.is_some() {
+                let ms = telemetry_slowdown_ms();
+                if ms > 0 && iter >= self.pcfg.iterations / 2 {
+                    // Injected before the span is measured, so the
+                    // stretch lands inside `span_ns` and the watchdog
+                    // sees it as a genuine iteration slowdown.
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
             let span_ns = st.admitted.elapsed().as_nanos() as u64;
             self.report.iter_span_ns_total += span_ns;
             if let Some(tr) = &self.trace {
@@ -407,6 +441,37 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
                     span_ns,
                     &[("iter", u64::from(iter))],
                 );
+            }
+            if let Some(sink) = self.progress {
+                // The per-iteration delta is exactly the retiring
+                // iteration's private report, read before it is folded
+                // into the node aggregate below.
+                let r = &st.core.report;
+                let c = self.link.counters();
+                sink.publish(IterRecord {
+                    node: self.link.me() as u32,
+                    iter,
+                    ts_ns: 0, // stamped by the hub on publication
+                    span_ns,
+                    comp_ns: r.source.busy_ns
+                        + r.encode.busy_ns
+                        + r.decode.busy_ns
+                        + r.merge.busy_ns
+                        + r.update.busy_ns
+                        + r.barrier.busy_ns
+                        + r.local_agg_ns,
+                    commu_ns: r.send.busy_ns + r.recv.busy_ns,
+                    bytes_wire: r.bytes_wire,
+                    messages: r.messages,
+                    retransmits: c.retransmits - self.last_counters.retransmits,
+                    faults: r.faults.retries
+                        + r.faults.nacks
+                        + r.faults.duplicates_ignored
+                        + r.faults.corruptions_detected
+                        + r.faults.degraded_chunks,
+                    window: self.pcfg.window,
+                });
+                self.last_counters = c;
             }
             self.report.absorb(&std::mem::take(&mut st.core.report));
             if iter + 1 == self.pcfg.iterations {
@@ -507,6 +572,7 @@ pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
     pcfg: &PipelineConfig,
     trace: Option<NodeTrace>,
     metrics: Option<NodeMetrics>,
+    progress: Option<&'a dyn ProgressSink>,
 ) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
     let mut worker = PipeWorker {
         link,
@@ -526,6 +592,8 @@ pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
         final_cells: None,
         trace,
         metrics,
+        progress,
+        last_counters: LinkCounters::default(),
     };
     worker.run()
 }
@@ -583,6 +651,7 @@ pub fn run_pipelined(
         .collect();
     let node_traces = build_node_traces(instruments.tracer, nodes);
     let node_metrics = build_node_metrics(instruments.metrics, nodes);
+    let progress = instruments.progress.map(|t| t as &dyn ProgressSink);
 
     let run_start_ns = instruments.tracer.map(Tracer::now_ns);
     let started = Instant::now();
@@ -601,7 +670,7 @@ pub fn run_pipelined(
             handles.push(scope.spawn(move || {
                 drive_node(
                     &mut link, graph, replicated, layout, plan, compressor, seed, config, pcfg,
-                    trace, metrics,
+                    trace, metrics, progress,
                 )
             }));
         }
@@ -834,6 +903,67 @@ mod tests {
         }
     }
 
+    /// With a telemetry hub attached, every node publishes exactly one
+    /// progress record per iteration, records carry real measurements,
+    /// and a clean run trips no watchdog alert.
+    #[test]
+    fn progress_hook_publishes_one_record_per_retired_iteration() {
+        let nodes = 2;
+        let sizes = [128usize, 32];
+        let grads = worker_grads(nodes, &sizes);
+        let flows = gradient_flows(&grads);
+        let alg = Algorithm::OneBit;
+        let c = alg.build().unwrap();
+        let cluster = ClusterConfig::ec2(nodes);
+        let graph = Strategy::CaSyncRing
+            .build(&cluster, &iter_spec(&sizes, Some(alg), 2))
+            .unwrap();
+        let hub = hipress_obs::Telemetry::new(
+            hipress_metrics::Registry::new(),
+            hipress_obs::WatchConfig::default(),
+        );
+        let iterations = 5u32;
+        run_pipelined(
+            &graph,
+            nodes,
+            &flows,
+            Some(c.as_ref()),
+            11,
+            &RuntimeConfig::default(),
+            &PipelineConfig {
+                iterations,
+                window: 2,
+            },
+            Instruments {
+                tracer: None,
+                metrics: None,
+                progress: Some(&hub),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            hub.records_published(),
+            u64::from(iterations) * nodes as u64
+        );
+        let (recs, _) = hub.read_events(0);
+        for node in 0..nodes as u32 {
+            let mut iters: Vec<u32> = recs
+                .iter()
+                .filter(|r| r.node == node)
+                .map(|r| r.iter)
+                .collect();
+            iters.sort_unstable();
+            assert_eq!(iters, (0..iterations).collect::<Vec<_>>());
+        }
+        for r in &recs {
+            assert!(r.span_ns > 0, "span must be measured");
+            assert!(r.comp_ns > 0, "compute busy time must be measured");
+            assert!(r.messages > 0, "gradient messages flow every iteration");
+            assert_eq!(r.window, 2);
+        }
+        assert_eq!(hub.alert_count(), 0, "clean run must stay alert-free");
+    }
+
     #[test]
     fn traced_pipelined_run_derives_its_report_from_the_trace() {
         let nodes = 2;
@@ -861,6 +991,7 @@ mod tests {
             Instruments {
                 tracer: Some(&tracer),
                 metrics: None,
+                progress: None,
             },
         )
         .unwrap();

@@ -58,6 +58,7 @@ use hipress_fabric::{
     DecodeError, FlightEvent, FlightRecorder, LinkTuning, Reader, WireMsg, Writer,
 };
 use hipress_metrics::MetricsSnapshot;
+use hipress_obs::{IterRecord, ProgressSink};
 use hipress_tensor::Tensor;
 use hipress_trace::{Trace, Tracer};
 use hipress_util::{Error, Result, SyncFailure, SyncFailureKind};
@@ -65,7 +66,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Inherited marker that a process *is* a spawned worker. A worker
@@ -135,6 +136,9 @@ struct Job {
     want_trace: bool,
     /// Record per-rank metrics and ship a snapshot with the outcome.
     want_metrics: bool,
+    /// Stream per-iteration [`Ctl::Progress`] frames back over the
+    /// control channel as iterations retire (live telemetry).
+    want_progress: bool,
     /// Element count of every gradient (identical across ranks).
     grad_lens: Vec<u32>,
     /// This rank's gradient values, parallel to `grad_lens`.
@@ -177,6 +181,11 @@ enum Ctl {
     /// Worker → coordinator: `t1` echoed back plus the worker's own
     /// clock reading `t2` at the moment of the answer.
     ClockPong { t1: u64, t2: u64 },
+    /// Worker → coordinator: one iteration retired (live telemetry).
+    /// Sent between `Job` and `Outcome`/`Failed` when the job asked
+    /// for progress; the coordinator restamps `ts_ns` on arrival so
+    /// every rank's records share its one clock.
+    Progress { rec: IterRecord },
 }
 
 const CTL_HELLO: u8 = 1;
@@ -186,6 +195,7 @@ const CTL_FAILED: u8 = 4;
 const CTL_SHUTDOWN: u8 = 5;
 const CTL_CLOCK_PING: u8 = 6;
 const CTL_CLOCK_PONG: u8 = 7;
+const CTL_PROGRESS: u8 = 8;
 
 fn put_strategy(w: &mut Writer, s: Strategy) {
     w.put_u8(match s {
@@ -459,6 +469,61 @@ fn get_report(r: &mut Reader<'_>) -> std::result::Result<RuntimeReport, DecodeEr
     Ok(rep)
 }
 
+/// Encodes every field of an [`IterRecord`]; exhaustive destructuring
+/// keeps the codec honest the same way [`put_report`] does.
+fn put_iter_record(w: &mut Writer, rec: &IterRecord) {
+    let IterRecord {
+        node,
+        iter,
+        ts_ns,
+        span_ns,
+        comp_ns,
+        commu_ns,
+        bytes_wire,
+        messages,
+        retransmits,
+        faults,
+        window,
+    } = rec;
+    w.put_u32(*node);
+    w.put_u32(*iter);
+    for v in [
+        ts_ns,
+        span_ns,
+        comp_ns,
+        commu_ns,
+        bytes_wire,
+        messages,
+        retransmits,
+        faults,
+    ] {
+        w.put_u64(*v);
+    }
+    w.put_u32(*window);
+}
+
+fn get_iter_record(r: &mut Reader<'_>) -> std::result::Result<IterRecord, DecodeError> {
+    let mut rec = IterRecord {
+        node: r.u32()?,
+        iter: r.u32()?,
+        ..IterRecord::default()
+    };
+    for v in [
+        &mut rec.ts_ns,
+        &mut rec.span_ns,
+        &mut rec.comp_ns,
+        &mut rec.commu_ns,
+        &mut rec.bytes_wire,
+        &mut rec.messages,
+        &mut rec.retransmits,
+        &mut rec.faults,
+    ] {
+        *v = r.u64()?;
+    }
+    rec.window = r.u32()?;
+    Ok(rec)
+}
+
 fn put_error(w: &mut Writer, e: &Error) {
     if let Error::Sync(f) = e {
         w.put_u8(1);
@@ -562,6 +627,7 @@ impl WireMsg for Ctl {
                 w.put_u8(u8::from(j.kill));
                 w.put_u8(u8::from(j.want_trace));
                 w.put_u8(u8::from(j.want_metrics));
+                w.put_u8(u8::from(j.want_progress));
                 w.put_u32(j.grad_lens.len() as u32);
                 for &n in &j.grad_lens {
                     w.put_u32(n);
@@ -627,6 +693,10 @@ impl WireMsg for Ctl {
                 w.put_u64(*t1);
                 w.put_u64(*t2);
             }
+            Ctl::Progress { rec } => {
+                w.put_u8(CTL_PROGRESS);
+                put_iter_record(w, rec);
+            }
         }
     }
 
@@ -656,6 +726,7 @@ impl WireMsg for Ctl {
                 let kill = r.u8()? != 0;
                 let want_trace = r.u8()? != 0;
                 let want_metrics = r.u8()? != 0;
+                let want_progress = r.u8()? != 0;
                 let mut grad_lens = Vec::new();
                 for _ in 0..r.u32()? {
                     grad_lens.push(r.u32()?);
@@ -681,6 +752,7 @@ impl WireMsg for Ctl {
                     kill,
                     want_trace,
                     want_metrics,
+                    want_progress,
                     grad_lens,
                     grads,
                     mesh_ports,
@@ -727,6 +799,9 @@ impl WireMsg for Ctl {
             CTL_CLOCK_PONG => Ok(Ctl::ClockPong {
                 t1: r.u64()?,
                 t2: r.u64()?,
+            }),
+            CTL_PROGRESS => Ok(Ctl::Progress {
+                rec: get_iter_record(r)?,
             }),
             t => Err(DecodeError::BadTag {
                 what: "ctl",
@@ -1067,6 +1142,7 @@ fn coordinate(
             kill: pconf.kill_node == Some(rank),
             want_trace: instruments.tracer.is_some(),
             want_metrics: instruments.metrics.is_some(),
+            want_progress: instruments.progress.is_some(),
             grad_lens: grad_lens.clone(),
             grads: worker_grads[rank]
                 .iter()
@@ -1076,74 +1152,134 @@ fn coordinate(
         };
         write_ctl(stream, &Ctl::Job(Box::new(job)))?;
     }
+    if let Some(t) = instruments.progress {
+        // Every rank just took a job; seed its heartbeat so /healthz
+        // shows it before its first iteration retires.
+        for rank in 0..nodes {
+            t.beat(rank as u32);
+        }
+    }
 
-    // Collect one outcome per rank. Sequential reads are safe: every
-    // worker reports independently (nobody waits on the coordinator
-    // between outcome and shutdown), and each stream carries its own
-    // read deadline so a dead worker costs a timeout, not a hang.
+    // Collect one outcome per rank, draining any interleaved
+    // Progress frames (live telemetry, republished into the hub under
+    // the coordinator's clock) along the way.
     type RankOutcome = (
         HashMap<(u32, u32), Cell>,
         RuntimeReport,
         Option<Trace>,
         Option<String>,
     );
-    let mut per_rank: Vec<Result<RankOutcome>> = Vec::with_capacity(nodes);
-    let mut flights: Vec<RankFlight> = Vec::new();
-    for (rank, (stream, _)) in streams.iter_mut().enumerate() {
-        stream
-            .set_read_timeout(Some(pconf.run_deadline()))
-            .map_err(ctl_io)?;
-        per_rank.push(match read_ctl(stream) {
-            Ok(Ctl::Outcome {
-                cells,
-                report,
-                trace,
-                metrics,
-                flight,
-            }) => {
-                flights.push(RankFlight {
-                    rank: rank as u32,
-                    sync: syncs[rank],
-                    events: flight,
-                });
-                Ok((
-                    cells
-                        .into_iter()
-                        .map(|(f, p, v)| {
+    let collect_one =
+        |rank: usize, stream: &mut TcpStream| -> (Result<RankOutcome>, Option<Vec<FlightEvent>>) {
+            if let Err(e) = stream.set_read_timeout(Some(pconf.run_deadline())) {
+                return (Err(ctl_io(e)), None);
+            }
+            loop {
+                match read_ctl(stream) {
+                    Ok(Ctl::Progress { rec }) => {
+                        if let Some(t) = instruments.progress {
+                            t.publish(rec);
+                        }
+                    }
+                    Ok(Ctl::Outcome {
+                        cells,
+                        report,
+                        trace,
+                        metrics,
+                        flight,
+                    }) => {
+                        return (
+                            Ok((
+                                cells
+                                    .into_iter()
+                                    .map(|(f, p, v)| {
+                                        (
+                                            (f, p),
+                                            Cell {
+                                                updated: Some(v),
+                                                ..Cell::default()
+                                            },
+                                        )
+                                    })
+                                    .collect(),
+                                report,
+                                trace,
+                                metrics,
+                            )),
+                            Some(flight),
+                        )
+                    }
+                    Ok(Ctl::Failed { error, flight }) => return (Err(error), Some(flight)),
+                    Ok(_) => {
+                        return (
+                            Err(ctl_io(format!("worker {rank} sent an unexpected message"))),
+                            None,
+                        )
+                    }
+                    // EOF or timeout without an outcome: the worker died
+                    // mid-protocol — its ring died with it. Name it; the
+                    // survivors' rings will show its silence.
+                    Err(_) => {
+                        return (
+                            Err(Error::sync(SyncFailure {
+                                kind: SyncFailureKind::LinkDead,
+                                node: rank,
+                                peer: None,
+                                task: None,
+                                detail: "worker process exited without reporting an outcome".into(),
+                            })),
+                            None,
+                        )
+                    }
+                }
+            }
+        };
+    let collected: Vec<(Result<RankOutcome>, Option<Vec<FlightEvent>>)> =
+        if instruments.progress.is_some() {
+            // One collector thread per rank: progress frames must keep
+            // draining while slower ranks still run — a sequential
+            // reader would let a fast rank's frames back up in kernel
+            // buffers. Without a progress sink (no frames before the
+            // outcome) the sequential path below stays byte-identical
+            // to the pre-telemetry protocol.
+            let collect_one = &collect_one;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = streams
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(rank, (stream, _))| s.spawn(move || collect_one(rank, stream)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, h)| {
+                        h.join().unwrap_or_else(|_| {
                             (
-                                (f, p),
-                                Cell {
-                                    updated: Some(v),
-                                    ..Cell::default()
-                                },
+                                Err(Error::sim(format!("rank {rank} collector panicked"))),
+                                None,
                             )
                         })
-                        .collect(),
-                    report,
-                    trace,
-                    metrics,
-                ))
-            }
-            Ok(Ctl::Failed { error, flight }) => {
-                flights.push(RankFlight {
-                    rank: rank as u32,
-                    sync: syncs[rank],
-                    events: flight,
-                });
-                Err(error)
-            }
-            Ok(_) => Err(ctl_io(format!("worker {rank} sent an unexpected message"))),
-            // EOF or timeout without an outcome: the worker died
-            // mid-protocol — its ring died with it. Name it; the
-            // survivors' rings will show its silence.
-            Err(_) => Err(Error::sync(SyncFailure {
-                kind: SyncFailureKind::LinkDead,
-                node: rank,
-                peer: None,
-                task: None,
-                detail: "worker process exited without reporting an outcome".into(),
-            })),
-        });
+                    })
+                    .collect()
+            })
+        } else {
+            streams
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, (stream, _))| collect_one(rank, stream))
+                .collect()
+        };
+    let mut per_rank: Vec<Result<RankOutcome>> = Vec::with_capacity(nodes);
+    let mut flights: Vec<RankFlight> = Vec::new();
+    for (rank, (res, flight)) in collected.into_iter().enumerate() {
+        if let Some(events) = flight {
+            flights.push(RankFlight {
+                rank: rank as u32,
+                sync: syncs[rank],
+                events,
+            });
+        }
+        per_rank.push(res);
     }
     let wall_ns = started.elapsed().as_nanos() as u64;
 
@@ -1280,6 +1416,26 @@ pub fn node_main(connect: &str, rank: usize, nodes: usize) -> Result<()> {
     }
 }
 
+/// Worker-side progress forwarder: ships each retired iteration as a
+/// [`Ctl::Progress`] frame on a clone of the control stream. The
+/// worker writes nothing else on the control channel between `Job`
+/// and `Outcome`, so the frames never interleave with another
+/// message; the mutex only serializes the (single) driver thread
+/// against itself and satisfies the sink's `Sync` bound. Send errors
+/// are swallowed — a torn control stream surfaces on the outcome
+/// write, and losing live progress must never fail the job.
+#[derive(Debug)]
+struct CtlSink {
+    stream: Mutex<TcpStream>,
+}
+
+impl ProgressSink for CtlSink {
+    fn publish(&self, rec: IterRecord) {
+        let mut s = self.stream.lock().expect("ctl sink lock");
+        let _ = write_ctl(&mut s, &Ctl::Progress { rec });
+    }
+}
+
 /// One worker's full protocol over an established control stream.
 /// Factored from [`node_main`] so tests can run workers as threads.
 fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
@@ -1395,6 +1551,13 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
         iterations: job.iterations,
         window: job.window,
     };
+    let progress_sink = if job.want_progress {
+        Some(CtlSink {
+            stream: Mutex::new(ctl.try_clone().map_err(ctl_io)?),
+        })
+    } else {
+        None
+    };
     let outcome = drive_node(
         &mut link,
         &graph,
@@ -1407,6 +1570,7 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
         &pcfg,
         trace,
         metrics,
+        progress_sink.as_ref().map(|s| s as &dyn ProgressSink),
     );
     match outcome {
         Ok((cells, report)) => {
@@ -1650,6 +1814,7 @@ mod tests {
             kill: true,
             want_trace: true,
             want_metrics: false,
+            want_progress: true,
             grad_lens: vec![16, 32],
             grads: vec![vec![1.0, -2.5], vec![f32::NAN]],
             mesh_ports: vec![4000, 4001, 4002, 4003],
@@ -1665,6 +1830,7 @@ mod tests {
         assert!(back.kill);
         assert!(back.want_trace);
         assert!(!back.want_metrics);
+        assert!(back.want_progress);
         assert_eq!(back.grad_lens, vec![16, 32]);
         assert_eq!(back.grads[0], vec![1.0, -2.5]);
         assert!(back.grads[1][0].is_nan());
@@ -1746,6 +1912,28 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!((t1, t2), (77, 99));
+
+        // Every IterRecord field gets a distinct value, so a field the
+        // codec skips shows up as an equality failure here.
+        let rec_in = IterRecord {
+            node: 1,
+            iter: 2,
+            ts_ns: 3,
+            span_ns: 4,
+            comp_ns: 5,
+            commu_ns: 6,
+            bytes_wire: 7,
+            messages: 8,
+            retransmits: 9,
+            faults: 10,
+            window: 11,
+        };
+        let Ctl::Progress { rec } =
+            Ctl::from_bytes(&Ctl::Progress { rec: rec_in }.to_bytes()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(rec, rec_in);
     }
 
     /// Every [`RuntimeReport`] field must survive the control-channel
@@ -1895,6 +2083,59 @@ mod tests {
                 "want a config error, got {err}"
             );
         }
+    }
+
+    /// With a telemetry hub attached, workers stream `Ctl::Progress`
+    /// frames over the control channel and the coordinator republishes
+    /// every one: the hub ends the run holding one record per rank per
+    /// iteration, restamped on the coordinator's clock.
+    #[test]
+    fn progress_frames_reach_the_coordinator_hub() {
+        let nodes = 2;
+        let grads = worker_grads(nodes, &[96]);
+        let hub = hipress_obs::Telemetry::new(
+            hipress_metrics::Registry::new(),
+            hipress_obs::WatchConfig::default(),
+        );
+        let iterations = 3u32;
+        run_threaded_workers(
+            Strategy::CaSyncPs,
+            Algorithm::OneBit,
+            2,
+            &grads,
+            5,
+            &RuntimeConfig::default(),
+            &PipelineConfig {
+                iterations,
+                window: 2,
+            },
+            &ProcessConfig::default(),
+            Instruments {
+                tracer: None,
+                metrics: None,
+                progress: Some(&hub),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            hub.records_published(),
+            u64::from(iterations) * nodes as u64
+        );
+        let (recs, _) = hub.read_events(0);
+        let mut last_ts = 0;
+        for r in &recs {
+            assert!(r.span_ns > 0);
+            assert!(r.ts_ns >= last_ts, "hub stamps arrivals monotonically");
+            last_ts = r.ts_ns;
+        }
+        for rank in 0..nodes as u32 {
+            assert_eq!(
+                recs.iter().filter(|r| r.node == rank).count(),
+                iterations as usize
+            );
+        }
+        // Dispatch seeded a heartbeat for every rank.
+        assert_eq!(hub.heartbeat_ages_ns().len(), nodes);
     }
 
     #[test]

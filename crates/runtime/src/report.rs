@@ -376,6 +376,136 @@ impl RuntimeReport {
         r
     }
 
+    /// Renders the full report as one JSON object — the payload the
+    /// live telemetry server's `/report.json` endpoint serves. The
+    /// exhaustive destructuring (no `..`) makes adding a report field
+    /// without extending this rendering a *compile* error, exactly
+    /// like the process backend's control-channel codec. Two derived
+    /// ratios (`compression_savings`, `pipeline_overlap`) ride along
+    /// so scrapers don't have to re-implement them.
+    pub fn to_json(&self) -> String {
+        let RuntimeReport {
+            nodes,
+            wall_ns,
+            source,
+            encode,
+            decode,
+            merge,
+            send,
+            recv,
+            update,
+            barrier,
+            local_agg_ns,
+            bytes_wire,
+            bytes_raw,
+            messages,
+            comp_batch_launches,
+            per_node_busy_ns,
+            faults,
+            fabric_frames,
+            fabric_bytes_framed,
+            fabric_bytes_payload,
+            fabric_retransmits,
+            iterations,
+            pipeline_window,
+            iter_span_ns_total,
+        } = self;
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str(&format!("\"nodes\":{nodes},\"wall_ns\":{wall_ns}"));
+        for ((p, name), s) in PRIMS
+            .iter()
+            .zip([source, encode, decode, merge, send, recv, update, barrier])
+        {
+            debug_assert_eq!(self.prim(*p), s, "PRIMS order drifted from fields");
+            out.push_str(&format!(
+                ",\"{name}\":{{\"count\":{},\"busy_ns\":{}}}",
+                s.count, s.busy_ns
+            ));
+        }
+        for (name, v) in [
+            ("local_agg_ns", local_agg_ns),
+            ("bytes_wire", bytes_wire),
+            ("bytes_raw", bytes_raw),
+            ("messages", messages),
+            ("comp_batch_launches", comp_batch_launches),
+        ] {
+            out.push_str(&format!(",\"{name}\":{v}"));
+        }
+        out.push_str(",\"per_node_busy_ns\":[");
+        for (i, b) in per_node_busy_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push(']');
+        let FaultReport {
+            injected_drops,
+            injected_dups,
+            injected_reorders,
+            injected_delays,
+            injected_corruptions,
+            injected_stalls,
+            retries,
+            nacks,
+            duplicates_ignored,
+            corruptions_detected,
+            degraded_chunks,
+            verdicts,
+        } = faults;
+        out.push_str(",\"faults\":{");
+        for (i, (name, v)) in [
+            ("injected_drops", injected_drops),
+            ("injected_dups", injected_dups),
+            ("injected_reorders", injected_reorders),
+            ("injected_delays", injected_delays),
+            ("injected_corruptions", injected_corruptions),
+            ("injected_stalls", injected_stalls),
+            ("retries", retries),
+            ("nacks", nacks),
+            ("duplicates_ignored", duplicates_ignored),
+            ("corruptions_detected", corruptions_detected),
+            ("degraded_chunks", degraded_chunks),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str(",\"verdicts\":[");
+        for (i, v) in verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"peer\":{},\"waited_ns\":{},\"action\":\"{}\"}}",
+                v.node, v.peer, v.waited_ns, v.action
+            ));
+        }
+        out.push_str("]}");
+        for (name, v) in [
+            ("fabric_frames", fabric_frames),
+            ("fabric_bytes_framed", fabric_bytes_framed),
+            ("fabric_bytes_payload", fabric_bytes_payload),
+            ("fabric_retransmits", fabric_retransmits),
+            ("iterations", iterations),
+            ("pipeline_window", pipeline_window),
+            ("iter_span_ns_total", iter_span_ns_total),
+        ] {
+            out.push_str(&format!(",\"{name}\":{v}"));
+        }
+        out.push_str(&format!(
+            ",\"compression_savings\":{:.6},\"pipeline_overlap\":{:.6}}}",
+            self.compression_savings(),
+            self.pipeline_overlap()
+        ));
+        out
+    }
+
     /// Wire-volume reduction factor: raw bytes divided by bytes
     /// actually moved (1.0 when nothing was compressed).
     pub fn compression_savings(&self) -> f64 {
@@ -722,6 +852,89 @@ mod tests {
         // local_agg is nested inside source and excluded from busy.
         assert_eq!(r.per_node_busy_ns, vec![150, 7]);
         assert!(r.faults.is_empty(), "no fault events, no fault report");
+    }
+
+    /// The `/report.json` rendering parses as JSON and carries every
+    /// field with its value intact — checked field by field against a
+    /// report where every field is distinct.
+    #[test]
+    fn to_json_round_trips_every_field() {
+        let mut rep = RuntimeReport {
+            nodes: 3,
+            wall_ns: 123_456,
+            local_agg_ns: 777,
+            bytes_wire: 2048,
+            bytes_raw: 8192,
+            messages: 55,
+            comp_batch_launches: 4,
+            per_node_busy_ns: vec![11, 22, 33],
+            fabric_frames: 60,
+            fabric_bytes_framed: 61,
+            fabric_bytes_payload: 62,
+            fabric_retransmits: 63,
+            iterations: 16,
+            pipeline_window: 5,
+            iter_span_ns_total: 424_242,
+            ..Default::default()
+        };
+        for (i, p) in [
+            Primitive::Source,
+            Primitive::Encode,
+            Primitive::Decode,
+            Primitive::Merge,
+            Primitive::Send,
+            Primitive::Recv,
+            Primitive::Update,
+            Primitive::Barrier,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let s = rep.prim_mut(p);
+            s.count = 10 + i as u64;
+            s.busy_ns = 1000 + i as u64;
+        }
+        rep.faults.retries = 7;
+        rep.faults.corruptions_detected = 10;
+        rep.faults.verdicts.push(StragglerVerdict {
+            node: 1,
+            peer: 2,
+            waited_ns: 999,
+            action: DegradeAction::Skipped,
+        });
+        let j = hipress_trace::json::parse(&rep.to_json()).expect("report json parses");
+        let num = |j: &hipress_trace::json::Json, k: &str| {
+            j.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+        };
+        assert_eq!(num(&j, "nodes"), 3.0);
+        assert_eq!(num(&j, "wall_ns"), 123_456.0);
+        for (i, name) in PRIMS.iter().map(|(_, n)| n).enumerate() {
+            let p = j.get(name).expect("primitive object");
+            assert_eq!(num(p, "count"), 10.0 + i as f64, "{name}");
+            assert_eq!(num(p, "busy_ns"), 1000.0 + i as f64, "{name}");
+        }
+        assert_eq!(num(&j, "local_agg_ns"), 777.0);
+        assert_eq!(num(&j, "bytes_wire"), 2048.0);
+        assert_eq!(num(&j, "bytes_raw"), 8192.0);
+        assert_eq!(num(&j, "messages"), 55.0);
+        assert_eq!(num(&j, "comp_batch_launches"), 4.0);
+        let busy = j.get("per_node_busy_ns").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(
+            busy.iter().map(|v| v.as_f64().unwrap()).collect::<Vec<_>>(),
+            vec![11.0, 22.0, 33.0]
+        );
+        let f = j.get("faults").expect("faults object");
+        assert_eq!(num(f, "retries"), 7.0);
+        assert_eq!(num(f, "corruptions_detected"), 10.0);
+        let v = &f.get("verdicts").and_then(|v| v.as_arr()).unwrap()[0];
+        assert_eq!(num(v, "waited_ns"), 999.0);
+        assert_eq!(v.get("action").and_then(|a| a.as_str()), Some("skipped"));
+        assert_eq!(num(&j, "fabric_retransmits"), 63.0);
+        assert_eq!(num(&j, "iterations"), 16.0);
+        assert_eq!(num(&j, "pipeline_window"), 5.0);
+        assert_eq!(num(&j, "iter_span_ns_total"), 424_242.0);
+        assert!((num(&j, "compression_savings") - 4.0).abs() < 1e-6);
+        assert!((num(&j, "pipeline_overlap") - rep.pipeline_overlap()).abs() < 1e-6);
     }
 
     #[test]

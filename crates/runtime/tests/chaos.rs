@@ -456,6 +456,7 @@ fn fault_events_round_trip_through_the_trace() {
         Instruments {
             tracer: Some(&tracer),
             metrics: None,
+            progress: None,
         },
     )
     .unwrap();

@@ -142,6 +142,7 @@ fn instrumented_matrix_metrics_match_report() {
                 Instruments {
                     tracer: Some(&tracer),
                     metrics: Some(&scope),
+                    progress: None,
                 },
             )
             .unwrap();
@@ -207,6 +208,7 @@ fn engine_metrics_carry_scope_and_node_labels() {
         Instruments {
             tracer: None,
             metrics: Some(&scope),
+            progress: None,
         },
     )
     .unwrap();

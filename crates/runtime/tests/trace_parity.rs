@@ -175,6 +175,7 @@ fn processes_merged_trace_report_parity() {
             Instruments {
                 tracer: Some(&tracer),
                 metrics: None,
+                progress: None,
             },
         )
         .unwrap_or_else(|e| panic!("{strat:?} seed {seed}: {e}"));

@@ -40,6 +40,21 @@ fn main() -> ExitCode {
         "node" => cmd_node(&flags),
         "chaos" => cmd_chaos(&flags),
         "bench" => cmd_bench(&flags),
+        "serve" => cmd_serve(
+            &flags,
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+        ),
+        "scrape" => cmd_scrape(
+            &flags,
+            args.get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+            args.get(2)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str),
+        ),
         "report" => cmd_report(
             &flags,
             args.get(1)
@@ -93,7 +108,7 @@ USAGE:
       List the Table 6 model zoo.
   hipress sim --model <name> [--nodes N] [--local] [--strategy S] [--algorithm A] [--baseline] [--trace out.json]
       Simulate one training configuration.
-  hipress run [--nodes N] [--backend threads|processes|sim] [--iters I] [--window W] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--cross-check] [--kill-node V] [--flight-dump FILE] [--trace out.json] [--json]
+  hipress run [--nodes N] [--backend threads|processes|sim] [--iters I] [--window W] [--strategy S] [--algorithm A] [--partitions K] [--elems E1,E2,...] [--seed S] [--cross-check] [--kill-node V] [--flight-dump FILE] [--trace out.json] [--json] [--listen ADDR] [--linger-ms MS]
       Synchronize synthetic gradients for real on CaSync-RT — one OS
       thread per node, or with --backend processes one OS *process*
       per node over a loopback TCP mesh — and print the measured
@@ -105,7 +120,20 @@ USAGE:
       every worker's timeline into one clock-aligned trace (validated
       for cross-rank causality), --json folds every worker's metrics
       into one snapshot, and --flight-dump names a file that receives
-      each rank's last protocol events if the run fails.
+      each rank's last protocol events if the run fails. --listen
+      binds the embedded telemetry server for the duration of the run
+      (plus --linger-ms): GET /metrics, /healthz, /report.json, and
+      the /events NDJSON stream of per-iteration progress records,
+      with the SLO watchdog counting anomalies into
+      alerts_total{{kind}}.
+  hipress serve <BENCH.json> [--listen ADDR]
+      Serve a previously written metrics snapshot file over the
+      embedded telemetry server (/metrics as Prometheus text
+      exposition, /healthz reporting done) until interrupted.
+  hipress scrape <addr> <path> [--lines N]
+      Fetch /metrics, /healthz, /report.json, or /events from a live
+      telemetry server with the built-in std-TCP client and print the
+      body; --lines stops the /events stream after N records.
   hipress postmortem <dump>
       Render a flight-recorder dump written by a failed process run:
       every rank's final protocol events interleaved on one
@@ -121,7 +149,7 @@ USAGE:
       one plan once: recoverable plans must come back bit-identical,
       unrecoverable ones (crash, blackhole) exit non-zero with a
       structured error naming the failed node.
-  hipress bench [--nodes N] [--dir D] [--snapshot cur.json] [--baseline base.json] [--tolerance PCT] [--require-overlap]
+  hipress bench [--nodes N] [--dir D] [--snapshot cur.json] [--baseline base.json] [--tolerance PCT] [--require-overlap] [--listen ADDR] [--linger-ms MS]
       Run the model x algorithm x strategy bench matrix on both the
       thread engine and the simulator; write schema-versioned
       BENCH_runtime.json and BENCH_sim.json snapshots to --dir
@@ -184,6 +212,13 @@ FLAGS:
   --kill-node  (`run`) kill this worker mid-protocol (processes only)
   --flight-dump (`run`) write every rank's flight-recorder ring here on
                failure (processes only); render with `hipress postmortem`
+  --listen     (`run`/`bench`/`serve`) bind the embedded telemetry server
+               here (e.g. 127.0.0.1:0 for an ephemeral port); the bound
+               address is printed as `telemetry: listening on ...`
+  --linger-ms  (`run`/`bench`) keep the telemetry server up this long
+               after the run retires so scrapers can collect the final
+               state (default 0)
+  --lines      (`scrape`) stop a streaming endpoint after N lines
   --plan       (`chaos`) none | recoverable | drop-storm | corrupt-storm |
                stall[:ms] | crash[:at-task] | blackhole
                (default: the three survivable storm plans)
@@ -546,8 +581,20 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     {
         return Err("--trace/--json need a real backend: threads or processes".into());
     }
+    let listen = flags.get("listen");
+    if backend == Backend::Simulator && listen.is_some() {
+        return Err("--listen needs a real backend: threads or processes".into());
+    }
+    let linger_ms: u64 = flags
+        .get("linger-ms")
+        .map(|v| v.parse().map_err(|_| format!("bad --linger-ms '{v}'")))
+        .transpose()?
+        .unwrap_or(0);
     let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
-    let registry = flags.contains_key("json").then(Registry::new);
+    let want_json = flags.contains_key("json");
+    // One registry feeds both the --json snapshot and the telemetry
+    // server's /metrics endpoint (where alerts_total{kind} also lands).
+    let registry = (want_json || listen.is_some()).then(Registry::new);
     let mut builder = base.backend(backend);
     if let Some(tr) = &tracer {
         builder = builder.trace(tr);
@@ -555,8 +602,22 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(reg) = &registry {
         builder = builder.metrics(&reg.root());
     }
+    let hub = if let (Some(addr), Some(reg)) = (listen, &registry) {
+        let hub = Telemetry::new(reg.clone(), WatchConfig::default());
+        let server = hipress::obs::Server::bind(addr, hub.clone()).map_err(|e| e.to_string())?;
+        println!("telemetry: listening on {}", server.addr());
+        builder = builder.telemetry(&hub);
+        Some(hub)
+    } else {
+        None
+    };
     let out = builder.sync(&grads).map_err(|e| e.to_string())?;
-    if let Some(reg) = &registry {
+    if let (Some(hub), Some(report)) = (&hub, &out.report) {
+        // `/report.json` flips from {"pending":true} to the real thing.
+        hub.set_report_json(report.to_json());
+    }
+    if want_json {
+        let reg = registry.as_ref().expect("--json implies a registry");
         let snap = reg
             .snapshot()
             .with_meta("kind", "runtime")
@@ -578,6 +639,29 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("replicas consistent: {}", out.replicas_consistent());
         if let Some(report) = &out.report {
             println!("{report}");
+        }
+    }
+    if let (Some(hub), Some(tr)) = (&hub, &tracer) {
+        // Watchdog verdicts become trace instants: the "alert"
+        // category is foreign to `RuntimeReport::from_trace`, so the
+        // trace/report parity check below still holds.
+        let alerts = hub.alerts();
+        if !alerts.is_empty() {
+            let track = tr.thread_track("watchdog");
+            for a in &alerts {
+                tr.instant(
+                    track,
+                    a.kind.as_label(),
+                    "alert",
+                    a.ts_ns,
+                    &[
+                        ("node", u64::from(a.node)),
+                        ("iter", u64::from(a.iter)),
+                        ("observed", a.observed),
+                        ("threshold", a.threshold),
+                    ],
+                );
+            }
         }
     }
     if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
@@ -609,6 +693,15 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
         export_trace(&trace, path)?;
+    }
+    if let Some(hub) = &hub {
+        // Done first, then linger: /events streams drain and
+        // terminate while late scrapers still see the final
+        // /metrics, /healthz, and /report.json.
+        hub.mark_done();
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
     }
     Ok(())
 }
@@ -974,11 +1067,16 @@ fn bench_elems(model: DnnModel) -> Vec<usize> {
 }
 
 /// Runs the full matrix on both engines and returns the two
-/// registries' snapshots `(runtime, sim)`.
-fn run_bench_matrix(nodes: usize, seed: u64) -> Result<(MetricsSnapshot, MetricsSnapshot), String> {
+/// registries' snapshots `(runtime, sim)`. The runtime-side registry
+/// is supplied by the caller so `bench --listen` can serve it live
+/// while the matrix is still filling it.
+fn run_bench_matrix(
+    nodes: usize,
+    seed: u64,
+    runtime: &Registry,
+) -> Result<(MetricsSnapshot, MetricsSnapshot), String> {
     use hipress::tensor::synth::{generate, GradientShape};
     use hipress::tensor::Tensor;
-    let runtime = Registry::new();
     let sim = Registry::new();
     for name in BENCH_MODELS {
         let model = DnnModel::by_name(name).expect("bench model exists");
@@ -1133,11 +1231,43 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let want_sim = baseline
         .as_ref()
         .is_some_and(|(_, b)| b.meta.get("kind").map(String::as_str) == Some("sim"));
+    let linger_ms: u64 = flags
+        .get("linger-ms")
+        .map(|v| v.parse().map_err(|_| format!("bad --linger-ms '{v}'")))
+        .transpose()?
+        .unwrap_or(0);
+    // `bench --listen` serves the runtime-side registry while the
+    // matrix fills it, so an operator can scrape /metrics mid-bench.
+    let matrix_reg = Registry::new();
+    let hub = if let Some(addr) = flags.get("listen") {
+        let hub = Telemetry::new(matrix_reg.clone(), WatchConfig::default());
+        let server = hipress::obs::Server::bind(addr, hub.clone()).map_err(|e| e.to_string())?;
+        println!("telemetry: listening on {}", server.addr());
+        Some(hub)
+    } else {
+        None
+    };
+    let finish = |r: Result<(), String>| {
+        if let Some(hub) = &hub {
+            hub.mark_done();
+            if linger_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+            }
+        }
+        r
+    };
     let current = match flags.get("snapshot") {
-        // Gate a previously written snapshot without re-running.
-        Some(path) => load_snapshot(path)?,
+        // Gate a previously written snapshot without re-running (fold
+        // it into the served registry so /metrics still shows it).
+        Some(path) => {
+            let snap = load_snapshot(path)?;
+            if hub.is_some() {
+                matrix_reg.root().absorb_snapshot(&snap);
+            }
+            snap
+        }
         None => {
-            let (rt_snap, sim_snap) = run_bench_matrix(nodes, 7)?;
+            let (rt_snap, sim_snap) = run_bench_matrix(nodes, 7, &matrix_reg)?;
             let rt_path = format!("{dir}/BENCH_runtime.json");
             let sim_path = format!("{dir}/BENCH_sim.json");
             for (path, snap) in [(&rt_path, &rt_snap), (&sim_path, &sim_snap)] {
@@ -1158,12 +1288,12 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     let Some((baseline_path, baseline)) = baseline else {
-        return Ok(());
+        return finish(Ok(()));
     };
     let current = apply_slowdown_knob(current)?;
     let diff = MetricsDiff::between(&baseline, &current);
     let regressions = diff.regressions(tolerance);
-    if regressions.is_empty() {
+    finish(if regressions.is_empty() {
         println!(
             "perf gate: {} shared metric(s) within {tolerance}% of {baseline_path}",
             diff.rows.len()
@@ -1177,7 +1307,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             "{} metric(s) regressed beyond {tolerance}% vs {baseline_path}",
             regressions.len()
         ))
-    }
+    })
 }
 
 /// The pipelining gate (`bench --require-overlap`): the same 128
@@ -1264,6 +1394,61 @@ fn overlap_gate(nodes: usize) -> Result<(), String> {
     } else {
         Err("pipelined run did not beat the serial run".into())
     }
+}
+
+/// Serves a previously written metrics snapshot over the embedded
+/// telemetry server: the file is folded into a live [`Registry`] and
+/// exposed at `/metrics` (with `/healthz` reporting `done`) until the
+/// process is interrupted.
+fn cmd_serve(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), String> {
+    let path = file.ok_or("usage: hipress serve <BENCH.json> [--listen ADDR]")?;
+    let snap = load_snapshot(path)?;
+    let registry = Registry::new();
+    registry.root().absorb_snapshot(&snap);
+    let hub = Telemetry::new(registry, WatchConfig::default());
+    // A snapshot is a finished run: /events terminates immediately and
+    // the heartbeat scanner stays quiet.
+    hub.mark_done();
+    let addr = flags
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:9464");
+    let server = hipress::obs::Server::bind(addr, hub).map_err(|e| e.to_string())?;
+    println!(
+        "telemetry: listening on {} ({} metric(s) from {path}; ctrl-c to stop)",
+        server.addr(),
+        snap.len()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Fetches one endpoint from a running telemetry server with the
+/// crate's own std-TCP client and prints the body (the CI smoke step
+/// uses this instead of assuming curl exists).
+fn cmd_scrape(
+    flags: &HashMap<String, String>,
+    addr: Option<&str>,
+    path: Option<&str>,
+) -> Result<(), String> {
+    let usage = "usage: hipress scrape <addr> </metrics|/healthz|/report.json|/events> [--lines N]";
+    let addr = addr.ok_or(usage)?;
+    let path = path.ok_or(usage)?;
+    let lines: Option<usize> = flags
+        .get("lines")
+        .map(|v| v.parse().map_err(|_| format!("bad --lines '{v}'")))
+        .transpose()?;
+    let (status, body) =
+        hipress::obs::serve::fetch(addr, path, lines).map_err(|e| e.to_string())?;
+    print!("{body}");
+    if !body.ends_with('\n') {
+        println!();
+    }
+    if status != 200 {
+        return Err(format!("{path}: HTTP {status}"));
+    }
+    Ok(())
 }
 
 /// Renders a snapshot file as a dashboard, canonical JSON, or

@@ -58,6 +58,7 @@ pub use hipress_fabric as fabric;
 pub use hipress_lint as lint;
 pub use hipress_metrics as metrics;
 pub use hipress_models as models;
+pub use hipress_obs as obs;
 pub use hipress_planner as planner;
 pub use hipress_runtime as runtime;
 pub use hipress_simevent as simevent;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use hipress_core::{ClusterConfig, ExecConfig, Executor, GradPlan, Strategy};
     pub use hipress_metrics::{MetricsDiff, MetricsSnapshot, Registry, Scope};
     pub use hipress_models::{DnnModel, GpuClass};
+    pub use hipress_obs::{Telemetry, WatchConfig};
     pub use hipress_planner::Planner;
     pub use hipress_runtime::{
         DegradePolicy, FaultTolerance, PipelineConfig, ProcessConfig, RuntimeConfig, RuntimeReport,

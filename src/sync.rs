@@ -16,6 +16,7 @@ use hipress_core::{
     ClusterConfig, CompressionSpec, GradPlan, IterationSpec, Strategy, SyncGradient,
 };
 use hipress_metrics::Scope;
+use hipress_obs::Telemetry;
 use hipress_runtime::{
     FaultTolerance, Instruments, PipelineConfig, ProcessConfig, RunOutcome, RuntimeConfig,
     RuntimeReport,
@@ -71,6 +72,7 @@ pub struct HiPress {
     batch_compression: bool,
     tracer: Option<Tracer>,
     metrics: Option<Scope>,
+    telemetry: Option<Telemetry>,
     chaos: Option<FaultPlan>,
     fault_tolerance: Option<FaultTolerance>,
     iterations: u32,
@@ -90,6 +92,7 @@ impl HiPress {
             batch_compression: true,
             tracer: None,
             metrics: None,
+            telemetry: None,
             chaos: None,
             fault_tolerance: None,
             iterations: 1,
@@ -170,6 +173,30 @@ impl HiPress {
     #[must_use]
     pub fn metrics(mut self, scope: &Scope) -> Self {
         self.metrics = Some(scope.clone());
+        self
+    }
+
+    /// Publishes live per-iteration telemetry into `hub` (a cheap
+    /// clone of the handle is stored). On the real backends every
+    /// retired pipelined iteration lands one
+    /// [`IterRecord`][hipress_obs::IterRecord] in the hub's ring,
+    /// beats the rank's heartbeat, and runs the SLO watchdog — the
+    /// embedded telemetry server (`hipress::obs::Server`) exposes all
+    /// of it over HTTP while the run is still in flight. On
+    /// [`Backend::Processes`] workers stream records back over the
+    /// control channel and the coordinator republishes them under its
+    /// own clock. The simulator and the single-iteration fast path
+    /// retire no pipelined iterations and publish nothing.
+    ///
+    /// The hub's `/metrics` endpoint serves the hub's own registry,
+    /// which this attachment feeds only watchdog counters
+    /// (`alerts_total{kind}`); to serve the engine's counters from
+    /// the same scrape, also attach
+    /// [`metrics`][Self::metrics]`(&hub.registry().root())` — the
+    /// CLI's `--listen` does exactly that.
+    #[must_use]
+    pub fn telemetry(mut self, hub: &Telemetry) -> Self {
+        self.telemetry = Some(hub.clone());
         self
     }
 
@@ -327,6 +354,7 @@ impl HiPress {
                 let instruments = Instruments {
                     tracer: self.tracer.as_ref(),
                     metrics: scope.as_ref(),
+                    progress: self.telemetry.as_ref(),
                 };
                 let RunOutcome { flows, report } = if pipelined {
                     if self.chaos.is_some() || self.fault_tolerance.is_some() {
@@ -399,6 +427,7 @@ impl HiPress {
                 let instruments = Instruments {
                     tracer: self.tracer.as_ref(),
                     metrics: scope.as_ref(),
+                    progress: self.telemetry.as_ref(),
                 };
                 let pcfg = PipelineConfig {
                     iterations: self.iterations,
