@@ -45,6 +45,20 @@ if ! grep -q "refute" "$VERIFY_ERR"; then
   rm -f "$VERIFY_ERR"
   exit 1
 fi
+# Same teeth for the elastic epoch-transition matrix: a seeded
+# stale-epoch acceptance defect must be refuted with a counterexample.
+if cargo run --release -q --bin hipress -- verify --mutant accept-stale-epoch \
+    >/dev/null 2>"$VERIFY_ERR"; then
+  echo "seeded elastic-protocol defect went undetected" >&2
+  rm -f "$VERIFY_ERR"
+  exit 1
+fi
+if ! grep -q "refute" "$VERIFY_ERR"; then
+  echo "elastic mutant run failed for the wrong reason:" >&2
+  cat "$VERIFY_ERR" >&2
+  rm -f "$VERIFY_ERR"
+  exit 1
+fi
 rm -f "$VERIFY_ERR"
 
 echo "== trace smoke (sim + runtime export, read back by the crate's own parser) =="
@@ -104,6 +118,29 @@ if ! grep -q "node 1" "$PROC_ERR"; then
   exit 1
 fi
 rm -f "$PROC_ERR"
+
+echo "== elastic smoke (survive rank loss, re-admit the restarted worker) =="
+# Four processes, rank 2 killed at iteration 2: the run must finish
+# every iteration on the survivors, bump the membership epoch, name
+# the evicted rank, and exit 0 — with the continuation bit-identical
+# to a fixed-membership run over the survivor set (the CLI enforces
+# the cross-check and exits non-zero otherwise).
+EL_OUT=$(mktemp)
+cargo run --release -q --bin hipress -- run --elastic --backend processes \
+  --nodes 4 --iters 6 --window 2 --kill-rank 2 --kill-iter 2 \
+  --cross-check >"$EL_OUT"
+grep -q "elastic: 4 worker(s), 2 epoch(s)" "$EL_OUT"
+grep -q "evicted rank 2" "$EL_OUT"
+grep -q "cross-check OK" "$EL_OUT"
+# With --rejoin-after, the victim is restarted (`node --join`) and
+# re-admitted at the next epoch boundary: final membership is back to
+# 4 workers and the flows match a run that never crashed at all.
+cargo run --release -q --bin hipress -- run --elastic --backend processes \
+  --nodes 4 --iters 6 --window 2 --kill-rank 2 --kill-iter 2 \
+  --rejoin-after 4 --cross-check >"$EL_OUT"
+grep -q "final membership 4 node(s)" "$EL_OUT"
+grep -q "cross-check OK" "$EL_OUT"
+rm -f "$EL_OUT"
 
 echo "== distributed trace smoke (per-rank traces stitch into one aligned timeline) =="
 # A traced 4-process run must merge every rank's shipped trace into a

@@ -356,6 +356,100 @@ impl FaultPlan {
     }
 }
 
+/// A scripted membership schedule for an *elastic* run: which ranks
+/// crash at which global iterations, and when crashed ranks come
+/// back. Unlike [`FaultPlan`]'s probabilistic link faults this is a
+/// pure script — elastic chaos is about surviving whole-rank loss,
+/// and the interesting schedules (lose one worker, lose it and get it
+/// back, lose it repeatedly) are enumerable by hand.
+///
+/// Crashes kill the rank *hard* right before it runs the named global
+/// iteration: no abort broadcast, no goodbye on any channel — peers
+/// must discover the loss through the transport, exactly as they
+/// would a real `kill -9`. Rejoins respawn the rank and admit it at
+/// the first epoch boundary at or after the named iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipPlan {
+    /// `(global rank, global iteration)`: the rank crashes right
+    /// before running that iteration.
+    pub crashes: Vec<(u32, u32)>,
+    /// `(global rank, global iteration)`: respawn the rank and admit
+    /// it at the first epoch boundary at or after that iteration.
+    pub rejoins: Vec<(u32, u32)>,
+}
+
+impl MembershipPlan {
+    /// A schedule that changes nothing — the run stays at epoch 0.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Lose `rank` for good: it crashes before global iteration
+    /// `at_iter` and never comes back. The survivors re-plan and
+    /// finish the run without it.
+    pub fn crash(rank: u32, at_iter: u32) -> Self {
+        MembershipPlan {
+            crashes: vec![(rank, at_iter)],
+            rejoins: Vec::new(),
+        }
+    }
+
+    /// Lose `rank` at `at_iter`, then get it back: a fresh process is
+    /// respawned and re-admitted at the first epoch boundary at or
+    /// after `rejoin_at`. The final membership equals the initial one.
+    pub fn crash_then_rejoin(rank: u32, at_iter: u32, rejoin_at: u32) -> Self {
+        MembershipPlan {
+            crashes: vec![(rank, at_iter)],
+            rejoins: vec![(rank, rejoin_at)],
+        }
+    }
+
+    /// A flapping worker: `rank` crashes at `first_crash`, rejoins
+    /// `period` iterations later, crashes again `period` iterations
+    /// after that, and so on for `times` crash/rejoin cycles. Ends
+    /// rejoined, so the final membership equals the initial one.
+    pub fn flap(rank: u32, first_crash: u32, period: u32, times: u32) -> Self {
+        let period = period.max(1);
+        let mut plan = MembershipPlan::default();
+        for cycle in 0..times {
+            let crash_at = first_crash + cycle * 2 * period;
+            plan.crashes.push((rank, crash_at));
+            plan.rejoins.push((rank, crash_at + period));
+        }
+        plan
+    }
+
+    /// True when the schedule changes nothing.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty() && self.rejoins.is_empty()
+    }
+
+    /// Rejects schedules the elastic runtime cannot honour: a crash
+    /// or rejoin naming a rank outside `0..nodes`, a crash at or past
+    /// the last iteration (there is no later boundary to re-plan at),
+    /// or a schedule that could take the membership below two ranks
+    /// at once (more simultaneous crashes than `nodes - 2`).
+    pub fn validate(&self, nodes: usize, iterations: u32) -> Result<(), String> {
+        for &(rank, iter) in self.crashes.iter().chain(&self.rejoins) {
+            if rank as usize >= nodes {
+                return Err(format!("membership plan names rank {rank} of {nodes}"));
+            }
+            if iter >= iterations {
+                return Err(format!(
+                    "membership plan event at iteration {iter} of {iterations}"
+                ));
+            }
+        }
+        if self.crashes.len() > nodes.saturating_sub(2) + self.rejoins.len() {
+            return Err(format!(
+                "{} crashes could leave fewer than 2 of {nodes} ranks",
+                self.crashes.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The fate of one message attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -815,5 +909,40 @@ mod tests {
         assert_eq!(plan.link_faults(1, 0).drop, 0.0);
         assert!(plan.node_faults(2).unwrap().stall.is_some());
         assert!(plan.node_faults(0).is_none());
+    }
+
+    #[test]
+    fn membership_constructors_script_the_expected_schedules() {
+        assert!(MembershipPlan::none().is_none());
+        let crash = MembershipPlan::crash(2, 5);
+        assert_eq!(crash.crashes, vec![(2, 5)]);
+        assert!(crash.rejoins.is_empty());
+
+        let ctr = MembershipPlan::crash_then_rejoin(1, 3, 7);
+        assert_eq!(ctr.crashes, vec![(1, 3)]);
+        assert_eq!(ctr.rejoins, vec![(1, 7)]);
+
+        // Two full flap cycles: crash, back, crash again, back again.
+        let flap = MembershipPlan::flap(0, 2, 3, 2);
+        assert_eq!(flap.crashes, vec![(0, 2), (0, 8)]);
+        assert_eq!(flap.rejoins, vec![(0, 5), (0, 11)]);
+        // A zero period still makes forward progress.
+        assert_eq!(MembershipPlan::flap(0, 1, 0, 1).rejoins, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn membership_plans_validate_rank_and_iteration_bounds() {
+        assert!(MembershipPlan::crash(1, 4).validate(4, 8).is_ok());
+        assert!(MembershipPlan::crash(4, 4).validate(4, 8).is_err());
+        assert!(MembershipPlan::crash(1, 8).validate(4, 8).is_err());
+        assert!(MembershipPlan::crash_then_rejoin(1, 2, 9)
+            .validate(4, 8)
+            .is_err());
+        // A 2-rank cluster cannot survive any permanent loss...
+        assert!(MembershipPlan::crash(0, 1).validate(2, 8).is_err());
+        // ...but a crash paired with a rejoin is allowed to flap.
+        assert!(MembershipPlan::crash_then_rejoin(0, 1, 3)
+            .validate(3, 8)
+            .is_ok());
     }
 }

@@ -45,6 +45,13 @@ pub struct MeshConfig {
     /// Flight recorder every protocol event is noted into (shared
     /// with the link's reader threads). `None` disables recording.
     pub recorder: Option<Arc<FlightRecorder>>,
+    /// Membership epoch this mesh belongs to, carried in every Hello
+    /// frame's sequence field. An elastic run rebuilds the mesh once
+    /// per epoch; a dial whose Hello names a different epoch is a
+    /// straggler from a membership that no longer exists (a zombie
+    /// segment's reconnect) and is rejected at accept. Fixed runs
+    /// leave this 0 on both sides and never reject.
+    pub epoch: u64,
 }
 
 impl Default for MeshConfig {
@@ -55,6 +62,7 @@ impl Default for MeshConfig {
             poll_floor: Duration::from_micros(200),
             poll_ceiling: Duration::from_millis(10),
             recorder: None,
+            epoch: 0,
         }
     }
 }
@@ -450,7 +458,7 @@ pub fn connect_mesh<M: WireMsg>(
     for (p, &addr) in peers.iter().enumerate().take(rank) {
         let stream = dial(addr, deadline, p)?;
         stream.set_nodelay(true).map_err(|e| io_err(p, e))?;
-        let hello = Frame::control(FrameKind::Hello, rank as u32, 0);
+        let hello = Frame::control(FrameKind::Hello, rank as u32, config.epoch);
         let mut s = stream.try_clone().map_err(|e| io_err(p, e))?;
         hello.write_to(&mut s).map_err(|e| io_err(p, e))?;
         note(&config.recorder, FlightKind::Hello, p, 0, 0);
@@ -473,6 +481,18 @@ pub fn connect_mesh<M: WireMsg>(
                     .ok_or_else(|| io_err(rank, "stream closed before Hello"))?;
                 if hello.kind != FrameKind::Hello {
                     return Err(io_err(rank, "first frame was not a Hello"));
+                }
+                if hello.seq != config.epoch {
+                    // A dialer from another membership epoch: a zombie
+                    // segment's late reconnect must never splice into
+                    // the rebuilt mesh.
+                    return Err(io_err(
+                        rank,
+                        format!(
+                            "stale Hello from rank {}: epoch {} != {}",
+                            hello.src, hello.seq, config.epoch
+                        ),
+                    ));
                 }
                 let p = hello.src as usize;
                 if p <= rank || p >= nodes {
@@ -696,5 +716,67 @@ mod tests {
         });
         vanisher.join().unwrap();
         survivor.join().unwrap();
+    }
+
+    #[test]
+    fn stale_epoch_dial_is_rejected_at_accept() {
+        let nodes = 2;
+        let (listeners, addrs): (Vec<_>, Vec<_>) = (0..nodes).map(|_| local_listener()).unzip();
+        let mut it = listeners.into_iter();
+        let l0 = it.next().unwrap();
+        let l1 = it.next().unwrap();
+        // Rank 0 accepts at epoch 1; rank 1 dials with a Hello still
+        // stamped epoch 0 — a zombie segment's late reconnect.
+        let addrs1 = addrs.clone();
+        let acceptor = std::thread::spawn(move || {
+            let config = MeshConfig {
+                epoch: 1,
+                ..MeshConfig::default()
+            };
+            let got: Result<TcpLink<Probe>, FabricError> =
+                connect_mesh(0, nodes, l0, &addrs, &config);
+            match got {
+                Err(FabricError::Io { detail, .. }) => {
+                    assert!(detail.contains("stale Hello"), "detail: {detail}");
+                    assert!(detail.contains("epoch 0 != 1"), "detail: {detail}");
+                }
+                Err(other) => panic!("expected a stale-Hello rejection, got {other:?}"),
+                Ok(_) => panic!("stale dial was accepted"),
+            }
+        });
+        let stale = std::thread::spawn(move || {
+            let config = MeshConfig::default(); // epoch 0
+            let _ = connect_mesh::<Probe>(1, nodes, l1, &addrs1, &config);
+        });
+        acceptor.join().unwrap();
+        stale.join().unwrap();
+    }
+
+    #[test]
+    fn matching_epochs_connect() {
+        let nodes = 2;
+        let (listeners, addrs): (Vec<_>, Vec<_>) = (0..nodes).map(|_| local_listener()).unzip();
+        let done = std::sync::Arc::new(std::sync::Barrier::new(nodes));
+        let mut joins = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let done = std::sync::Arc::clone(&done);
+            joins.push(std::thread::spawn(move || {
+                let config = MeshConfig {
+                    epoch: 7,
+                    ..MeshConfig::default()
+                };
+                let mut link: TcpLink<Probe> =
+                    connect_mesh(rank, nodes, listener, &addrs, &config).unwrap();
+                link.send(1 - rank, Probe(rank as u64, vec![0; 16]))
+                    .unwrap();
+                let got = link.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+                assert_eq!(got.0, (1 - rank) as u64);
+                done.wait();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
     }
 }

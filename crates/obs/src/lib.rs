@@ -35,7 +35,7 @@ pub use serve::Server;
 pub use watch::{Alert, AlertKind, WatchConfig, Watchdog};
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -50,6 +50,8 @@ struct Inner {
     beats: Mutex<BTreeMap<u32, u64>>,
     report_json: Mutex<Option<String>>,
     done: AtomicBool,
+    /// Current membership epoch of the observed run (0 unless elastic).
+    membership_epoch: AtomicU64,
 }
 
 /// The telemetry hub: everything the serving layer reads and the
@@ -85,6 +87,7 @@ impl Telemetry {
                 beats: Mutex::new(BTreeMap::new()),
                 report_json: Mutex::new(None),
                 done: AtomicBool::new(false),
+                membership_epoch: AtomicU64::new(0),
             }),
         }
     }
@@ -172,6 +175,29 @@ impl Telemetry {
     /// The installed report JSON, if the job has retired.
     pub fn report_json(&self) -> Option<String> {
         self.inner.report_json.lock().expect("report lock").clone()
+    }
+
+    /// The run's current membership epoch (0 on fixed-membership runs).
+    pub fn membership_epoch(&self) -> u64 {
+        self.inner.membership_epoch.load(Ordering::Acquire)
+    }
+
+    /// Record a membership change: advance the published epoch to
+    /// `epoch` and latch a [`AlertKind::MembershipChange`] alert naming
+    /// the rank whose loss (or return) caused the bump. `observed` is
+    /// the new epoch, `threshold` the old one, so the alert row reads
+    /// as the transition itself. Exactly one alert per bump — the
+    /// membership timeline in the report carries the details.
+    pub fn bump_epoch(&self, epoch: u64, rank: u32, from_iter: u32) {
+        let prev = self.inner.membership_epoch.swap(epoch, Ordering::AcqRel);
+        self.absorb_alerts(vec![Alert {
+            kind: AlertKind::MembershipChange,
+            node: rank,
+            iter: from_iter,
+            ts_ns: self.now_ns(),
+            observed: epoch,
+            threshold: prev,
+        }]);
     }
 
     /// Mark the job finished: `/events` streams terminate once drained,
@@ -265,6 +291,32 @@ mod tests {
         assert_eq!(ages[0].0, 0);
     }
 
+    /// An epoch bump advances the published membership epoch and
+    /// latches exactly one `membership_change` alert per bump, counted
+    /// into `alerts_total{kind="membership_change"}` like every other
+    /// alert kind.
+    #[test]
+    fn epoch_bump_latches_one_membership_alert() {
+        let t = hub();
+        assert_eq!(t.membership_epoch(), 0);
+        t.bump_epoch(1, 3, 7);
+        t.bump_epoch(2, 3, 12);
+        assert_eq!(t.membership_epoch(), 2);
+        let alerts = t.alerts();
+        assert_eq!(alerts.len(), 2);
+        for (a, (epoch, iter)) in alerts.iter().zip([(1, 7), (2, 12)]) {
+            assert_eq!(a.kind, AlertKind::MembershipChange);
+            assert_eq!(a.node, 3);
+            assert_eq!(a.iter, iter);
+            assert_eq!(a.observed, epoch);
+            assert_eq!(a.threshold, epoch - 1);
+        }
+        assert_eq!(
+            t.registry().snapshot().total_counter(names::ALERTS_TOTAL),
+            2
+        );
+    }
+
     #[test]
     fn end_to_end_over_real_sockets() {
         let t = hub();
@@ -278,7 +330,11 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"running\""), "{body}");
         assert!(body.contains("\"records\":4"), "{body}");
+        assert!(body.contains("\"epoch\":0"), "{body}");
         assert!(body.contains("\"rank\":1"), "{body}");
+        t.bump_epoch(1, 2, 8);
+        let (_, body) = serve::fetch(&addr, "/healthz", None).expect("healthz bumped");
+        assert!(body.contains("\"epoch\":1"), "{body}");
 
         t.registry().root().counter("bytes_wire", &[]).add(42);
         let (status, body) = serve::fetch(&addr, "/metrics", None).expect("metrics");

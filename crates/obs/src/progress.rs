@@ -54,6 +54,9 @@ pub struct IterRecord {
     pub faults: u64,
     /// Pipeline window the run was configured with.
     pub window: u32,
+    /// Membership epoch the iteration ran under (0 on fixed runs;
+    /// bumps when an elastic run evicts or re-admits a worker).
+    pub epoch: u64,
 }
 
 impl IterRecord {
@@ -62,7 +65,7 @@ impl IterRecord {
         format!(
             "{{\"node\":{},\"iter\":{},\"ts_ns\":{},\"span_ns\":{},\"comp_ns\":{},\
              \"commu_ns\":{},\"bytes_wire\":{},\"messages\":{},\"retransmits\":{},\
-             \"faults\":{},\"window\":{}}}",
+             \"faults\":{},\"window\":{},\"epoch\":{}}}",
             self.node,
             self.iter,
             self.ts_ns,
@@ -73,7 +76,8 @@ impl IterRecord {
             self.messages,
             self.retransmits,
             self.faults,
-            self.window
+            self.window,
+            self.epoch
         )
     }
 }
@@ -106,6 +110,7 @@ struct Slot {
     messages: AtomicU64,
     retransmits: AtomicU64,
     faults: AtomicU64,
+    epoch: AtomicU64,
 }
 
 /// Bounded multi-producer ring of [`IterRecord`]s with non-blocking,
@@ -170,6 +175,7 @@ impl ProgressRing {
         slot.messages.store(rec.messages, Ordering::Relaxed);
         slot.retransmits.store(rec.retransmits, Ordering::Relaxed);
         slot.faults.store(rec.faults, Ordering::Relaxed);
+        slot.epoch.store(rec.epoch, Ordering::Relaxed);
         slot.stamp.store(seq + 1, Ordering::Release);
     }
 
@@ -201,6 +207,7 @@ impl ProgressRing {
                 retransmits: slot.retransmits.load(Ordering::Relaxed),
                 faults: slot.faults.load(Ordering::Relaxed),
                 window: slot.window.load(Ordering::Relaxed) as u32,
+                epoch: slot.epoch.load(Ordering::Relaxed),
             };
             // Seqlock validation: if the stamp changed while we copied,
             // a writer lapped us and the copy may be torn — drop it.
@@ -231,6 +238,7 @@ mod tests {
             retransmits: 0,
             faults: 0,
             window: 2,
+            epoch: 1,
         }
     }
 
@@ -291,6 +299,7 @@ mod tests {
                             retransmits: u64::from(node),
                             faults: 0,
                             window: node + 1,
+                            epoch: u64::from(node) + u64::from(i) * 11,
                         };
                         ring.push(&r);
                     }
@@ -311,6 +320,7 @@ mod tests {
                         assert_eq!(r.messages, u64::from(r.iter) * 7);
                         assert_eq!(r.retransmits, u64::from(r.node));
                         assert_eq!(r.window, r.node + 1);
+                        assert_eq!(r.epoch, u64::from(r.node) + u64::from(r.iter) * 11);
                     }
                 }
             });

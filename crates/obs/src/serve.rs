@@ -142,11 +142,12 @@ fn healthz_json(t: &Telemetry) -> String {
         .map(|(rank, age)| format!("{{\"rank\":{rank},\"last_beat_age_ns\":{age}}}"))
         .collect();
     format!(
-        "{{\"status\":\"{}\",\"uptime_ns\":{},\"records\":{},\"alerts\":{},\"ranks\":[{}]}}",
+        "{{\"status\":\"{}\",\"uptime_ns\":{},\"records\":{},\"alerts\":{},\"epoch\":{},\"ranks\":[{}]}}",
         status,
         t.now_ns(),
         t.records_published(),
         t.alert_count(),
+        t.membership_epoch(),
         ranks.join(",")
     )
 }

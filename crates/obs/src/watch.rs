@@ -32,6 +32,11 @@
 //! * [`AlertKind::HeartbeatGap`] — a rank's last sign of life is older
 //!   than `heartbeat_gap_ns` ([`Watchdog::check_heartbeats`], driven by
 //!   the serving layer's clock while the job is live).
+//! * [`AlertKind::MembershipChange`] — an elastic run bumped its
+//!   membership epoch (a rank was evicted or re-admitted). Raised by
+//!   the hub's [`crate::Telemetry::bump_epoch`], not by this state
+//!   machine: membership is coordinator truth, not something inferred
+//!   from the record stream. Latched once per epoch bump.
 
 use std::collections::BTreeMap;
 
@@ -39,7 +44,7 @@ use hipress_trace::LatencyHistogram;
 
 use crate::progress::IterRecord;
 
-/// The five anomaly classes the watchdog can raise.
+/// The six anomaly classes the telemetry plane can raise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum AlertKind {
     /// Iteration latency broke away from its own EWMA baseline.
@@ -52,6 +57,8 @@ pub enum AlertKind {
     StragglerRank,
     /// A rank went silent.
     HeartbeatGap,
+    /// An elastic run changed membership (eviction or re-admission).
+    MembershipChange,
 }
 
 impl AlertKind {
@@ -64,6 +71,7 @@ impl AlertKind {
             AlertKind::OverlapCollapse => "overlap_collapse",
             AlertKind::StragglerRank => "straggler_rank",
             AlertKind::HeartbeatGap => "heartbeat_gap",
+            AlertKind::MembershipChange => "membership_change",
         }
     }
 }

@@ -85,6 +85,22 @@ impl CostModel {
         })
     }
 
+    /// Re-targets the profiled model at a new node count without
+    /// re-profiling. The encode/decode kernel curves are per-device
+    /// and the `T_send` fit is a point-to-point link measurement —
+    /// neither depends on how many nodes participate — so an elastic
+    /// re-plan after a membership change reuses them verbatim; only
+    /// the partition-count cap moves with the cluster size.
+    #[must_use]
+    pub fn retarget(&self, nodes: usize) -> CostModel {
+        CostModel {
+            strategy: self.strategy,
+            profile: self.profile,
+            send: self.send,
+            k_max: (nodes * 4).clamp(4, 64),
+        }
+    }
+
     /// `T_send(m)` in ns.
     pub fn t_send_ns(&self, bytes: f64) -> f64 {
         self.send.eval(bytes).max(0.0)

@@ -80,6 +80,32 @@ impl Planner {
         &self.model
     }
 
+    /// Derives a planner for a changed member set — the re-planning
+    /// step of an elastic epoch bump. The profiled cost curves carry
+    /// over unchanged (they are node-count-independent measurements;
+    /// see [`CostModel::retarget`]), so re-planning is instantaneous:
+    /// only the serial-step counts α and the partition cap follow the
+    /// new membership. The result is identical to freshly profiling a
+    /// cluster of `members` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `members < 2` — one node has nobody to
+    /// synchronize with, mirroring the runtime's refusal to continue
+    /// an elastic run below two survivors.
+    pub fn replan(&self, members: usize) -> Result<Planner> {
+        if members < 2 {
+            return Err(hipress_util::Error::plan(format!(
+                "cannot re-plan for {members} member(s): synchronization needs at least 2"
+            )));
+        }
+        Ok(Planner {
+            model: self.model.retarget(members),
+            nodes: members,
+            metrics: self.metrics.clone(),
+        })
+    }
+
     /// Plans one gradient of `bytes` bytes: whether to compress and
     /// into how many partitions to split.
     pub fn plan_gradient(&self, bytes: u64) -> GradPlan {
@@ -178,6 +204,42 @@ mod tests {
             slow.compression_threshold(),
             fast.compression_threshold()
         );
+    }
+
+    #[test]
+    fn replan_matches_fresh_profile_over_a_byte_ladder() {
+        // An elastic epoch bump re-plans with retargeted curves; the
+        // decisions must be indistinguishable from profiling the
+        // smaller (or re-grown) cluster from scratch.
+        for strategy in [Strategy::CaSyncPs, Strategy::CaSyncRing] {
+            let original = planner(16, strategy);
+            for members in [15usize, 8, 4, 2, 16] {
+                let replanned = original.replan(members).unwrap();
+                let fresh = planner(members, strategy);
+                for bytes in [4096u64, 64 << 10, 1 << 20, 16 << 20, 392 << 20] {
+                    let a = replanned.plan_gradient(bytes);
+                    let b = fresh.plan_gradient(bytes);
+                    assert_eq!(
+                        (a.compress, a.partitions),
+                        (b.compress, b.partitions),
+                        "{strategy:?}: {members} members, {bytes} bytes"
+                    );
+                }
+                assert_eq!(
+                    replanned.compression_threshold(),
+                    fresh.compression_threshold(),
+                    "{strategy:?}: {members} members"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replan_below_two_members_is_refused() {
+        let p = planner(4, Strategy::CaSyncPs);
+        assert!(p.replan(1).is_err());
+        assert!(p.replan(0).is_err());
+        assert!(p.replan(2).is_ok());
     }
 
     #[test]

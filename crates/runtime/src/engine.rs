@@ -218,6 +218,7 @@ pub(crate) fn record_run_span(
     nodes: usize,
     iterations: u64,
     pipeline_window: u64,
+    epochs: u64,
 ) {
     if let Some(tr) = tracer {
         let engine = tr.thread_track("engine");
@@ -228,6 +229,11 @@ pub(crate) fn record_run_span(
             // and trace-derived reports unchanged.
             args.push(("iterations", iterations));
             args.push(("window", pipeline_window));
+        }
+        if epochs > 0 {
+            // Elastic runs only; fixed-membership runs carry no epoch
+            // arg so their traces stay byte-identical to before.
+            args.push(("epochs", epochs));
         }
         tr.record_span(
             engine,
@@ -356,6 +362,43 @@ pub enum Msg {
     },
     /// A peer hit an error; unwind.
     Abort,
+    /// Rendezvous plane: a restarted (or brand-new) worker asks the
+    /// coordinator to admit it into a running job. `epoch` is the
+    /// last epoch the worker saw (0 for a fresh process); admission
+    /// happens at the next epoch boundary, never mid-segment.
+    Join {
+        /// The global rank the worker claims.
+        rank: u32,
+        /// The last membership epoch the worker participated in.
+        epoch: u64,
+    },
+    /// Rendezvous plane: the coordinator's answer to [`Msg::Join`] —
+    /// the joiner is admitted and will be dispatched work when epoch
+    /// `epoch` begins at iteration `from_iter` over `members`.
+    Welcome {
+        /// The epoch the joiner becomes a member of.
+        epoch: u64,
+        /// The first global iteration of that epoch.
+        from_iter: u32,
+        /// The member set of that epoch (global ranks, ascending).
+        members: Vec<u32>,
+    },
+    /// Rendezvous plane: membership changed. The coordinator bumps
+    /// every member to `epoch`, naming the evicted rank (if the bump
+    /// was a death rather than a join) and the member set the next
+    /// segment runs over. Frames carrying a stale epoch are ignored
+    /// by receivers — the stale-epoch safety rule the model checker
+    /// exhausts.
+    EpochBump {
+        /// The new membership epoch.
+        epoch: u64,
+        /// The rank evicted by this bump, if it was a death.
+        evicted: Option<u32>,
+        /// The first global iteration of the new epoch.
+        from_iter: u32,
+        /// The member set of the new epoch (global ranks, ascending).
+        members: Vec<u32>,
+    },
 }
 
 /// Per-chunk node state: the local accumulator and the installed
@@ -642,7 +685,7 @@ fn run_replicated_inner(
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
-    record_run_span(tracer, run_start_ns, wall_ns, nodes, 0, 0);
+    record_run_span(tracer, run_start_ns, wall_ns, nodes, 0, 0, 0);
 
     // Prefer a root-cause error over the "aborted" echoes it causes.
     let mut aborted = None;
@@ -1332,6 +1375,10 @@ impl NodeWorker<'_> {
     fn handle(&mut self, msg: Msg) -> Result<()> {
         match msg {
             Msg::Abort => Err(Error::sim("aborted")),
+            // Rendezvous-plane frames never belong on the data mesh;
+            // a straggling one from a stale epoch is dropped, which
+            // is exactly the stale-epoch safety rule.
+            Msg::Join { .. } | Msg::Welcome { .. } | Msg::EpochBump { .. } => Ok(()),
             Msg::Done { task, payload, .. } => {
                 let wire_bytes = payload.as_deref().map(Payload::wire_bytes);
                 if let Some(p) = payload {

@@ -300,7 +300,7 @@ pub fn run_chaos(
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
-    record_run_span(tracer, run_start_ns, wall_ns, nodes, 0, 0);
+    record_run_span(tracer, run_start_ns, wall_ns, nodes, 0, 0, 0);
 
     // Pick the root cause: any non-protocol error wins outright;
     // among protocol failures, detections outrank the crash that

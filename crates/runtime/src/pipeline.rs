@@ -59,6 +59,29 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Elastic-membership instrumentation threaded into the pipelined
+/// driver by the process runtime: deterministic crash injection at a
+/// retirement boundary, and a live retirement count the worker reads
+/// back after a failure (a returned `Err` loses the driver state, but
+/// the survivor still has to report how far it got so the coordinator
+/// can pick the drain boundary).
+#[derive(Debug, Default)]
+pub(crate) struct ElasticHooks {
+    /// Crash (hard process death, no abort broadcast) once this many
+    /// iterations have fully retired. `None` never crashes.
+    pub die_at_iter: Option<u32>,
+    /// Count of fully retired iterations, updated at every
+    /// retirement; readable mid-run and after an error.
+    pub retired: std::sync::atomic::AtomicU32,
+}
+
+impl ElasticHooks {
+    /// The number of fully retired iterations recorded so far.
+    pub(crate) fn completed(&self) -> u32 {
+        self.retired.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
 /// Converts a transport failure into the workspace error type,
 /// naming the dead peer as the failing node (that is the rank a CI
 /// smoke test greps for) and the observer as the peer.
@@ -209,6 +232,9 @@ struct PipeWorker<'a, L: Link<Msg = Msg>> {
     /// record carries this iteration's retransmission delta rather
     /// than a running total.
     last_counters: LinkCounters,
+    /// Elastic-membership hooks (crash injection + retirement
+    /// export); `None` for fixed-membership runs.
+    hooks: Option<&'a ElasticHooks>,
 }
 
 impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
@@ -279,6 +305,10 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
     fn handle(&mut self, msg: Msg) -> Result<()> {
         match msg {
             Msg::Abort => Err(Error::sim("aborted")),
+            // Rendezvous-plane frames never belong on the data mesh;
+            // a straggling one from a stale epoch is dropped, which
+            // is exactly the stale-epoch safety rule.
+            Msg::Join { .. } | Msg::Welcome { .. } | Msg::EpochBump { .. } => Ok(()),
             Msg::Done {
                 task,
                 payload,
@@ -470,6 +500,7 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
                         + r.faults.corruptions_detected
                         + r.faults.degraded_chunks,
                     window: self.pcfg.window,
+                    epoch: 0, // stamped by the elastic sink, if any
                 });
                 self.last_counters = c;
             }
@@ -478,6 +509,10 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
                 self.final_cells = Some(std::mem::take(&mut st.core.cells));
             }
             self.completed += 1;
+            if let Some(h) = self.hooks {
+                h.retired
+                    .store(self.completed, std::sync::atomic::Ordering::SeqCst);
+            }
             self.admit_ready();
         }
     }
@@ -485,6 +520,23 @@ impl<'a, L: Link<Msg = Msg>> PipeWorker<'a, L> {
     fn run(&mut self) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
         self.admit_ready();
         while self.completed < self.pcfg.iterations {
+            if let Some(h) = self.hooks {
+                if h.die_at_iter.is_some_and(|d| self.completed >= d) {
+                    // A hard injected death: no abort broadcast —
+                    // peers discover the loss the way they would a
+                    // real crash, through the transport (PeerLost).
+                    return Err(Error::sync(SyncFailure {
+                        kind: SyncFailureKind::InjectedCrash,
+                        node: self.me(),
+                        peer: None,
+                        task: None,
+                        detail: format!(
+                            "elastic crash injection after {} retired iterations",
+                            self.completed
+                        ),
+                    }));
+                }
+            }
             // Drain the inbox without blocking: completion events
             // promote tasks into the queues.
             while let Some(msg) = self.link.try_recv().map_err(|e| fabric_err(self.me(), e))? {
@@ -573,6 +625,7 @@ pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
     trace: Option<NodeTrace>,
     metrics: Option<NodeMetrics>,
     progress: Option<&'a dyn ProgressSink>,
+    hooks: Option<&'a ElasticHooks>,
 ) -> Result<(HashMap<(u32, u32), Cell>, RuntimeReport)> {
     let mut worker = PipeWorker {
         link,
@@ -594,6 +647,7 @@ pub(crate) fn drive_node<'a, L: Link<Msg = Msg>>(
         metrics,
         progress,
         last_counters: LinkCounters::default(),
+        hooks,
     };
     worker.run()
 }
@@ -670,7 +724,7 @@ pub fn run_pipelined(
             handles.push(scope.spawn(move || {
                 drive_node(
                     &mut link, graph, replicated, layout, plan, compressor, seed, config, pcfg,
-                    trace, metrics, progress,
+                    trace, metrics, progress, None,
                 )
             }));
         }
@@ -688,6 +742,7 @@ pub fn run_pipelined(
         nodes,
         u64::from(pcfg.iterations),
         u64::from(pcfg.window),
+        0,
     );
 
     // Prefer a root-cause error over the "aborted" echoes it causes.

@@ -47,7 +47,7 @@ use crate::observe::{
     get_trace, put_trace, record_clock_meta, replay_into, ClockSync, PostmortemDump, RankFlight,
     UNKNOWN_NODE,
 };
-use crate::pipeline::{drive_node, fabric_err, validate, PipelineConfig};
+use crate::pipeline::{drive_node, fabric_err, validate, ElasticHooks, PipelineConfig};
 use crate::report::{DegradeAction, FaultReport, PrimStat, RuntimeReport, StragglerVerdict};
 use hipress_compress::Algorithm;
 use hipress_core::{
@@ -75,6 +75,8 @@ use std::time::{Duration, Instant};
 /// again, the guard turns what would be a process fork-bomb into an
 /// immediate configuration error.
 const SPAWN_GUARD_ENV: &str = "HIPRESS_SPAWNED_WORKER";
+
+pub mod elastic;
 
 /// How the coordinator launches and supervises worker processes.
 #[derive(Debug, Clone, Default)]
@@ -145,6 +147,21 @@ struct Job {
     grads: Vec<Vec<f32>>,
     /// Every rank's mesh listener port, indexed by rank.
     mesh_ports: Vec<u16>,
+    /// This job is one segment of an elastic run: after it ends the
+    /// worker must hold its control link and wait for an
+    /// [`Msg::EpochBump`] (next segment) or `Shutdown` instead of
+    /// exiting, and `rank` is a per-segment *slot*, not the worker's
+    /// global rank.
+    elastic: bool,
+    /// Membership epoch this segment runs under (0 on fixed runs).
+    epoch: u64,
+    /// Global iteration number of this segment's first iteration —
+    /// workers stamp it onto progress records so the coordinator's
+    /// timeline is globally numbered across segments.
+    base_iter: u32,
+    /// Crash injection: exit hard (no abort broadcast) once this many
+    /// segment-local iterations have retired.
+    die_at_iter: Option<u32>,
 }
 
 /// The coordinator-worker control protocol.
@@ -186,6 +203,17 @@ enum Ctl {
     /// for progress; the coordinator restamps `ts_ns` on arrival so
     /// every rank's records share its one clock.
     Progress { rec: IterRecord },
+    /// Rendezvous-plane frame in either direction, reusing the
+    /// [`Msg`] wire codec: `Join` (joiner → coordinator),
+    /// `Welcome` (coordinator → joiner), `EpochBump` (coordinator →
+    /// surviving workers between segments).
+    Member(Msg),
+    /// Worker → coordinator: an elastic segment died under this
+    /// worker (a peer vanished, or this worker was the crash victim's
+    /// neighbour). `completed` is how many segment-local iterations
+    /// had fully retired here; `dead` is the *slot* this worker blames
+    /// (`u32::MAX` when it cannot tell).
+    Halted { completed: u32, dead: u32 },
 }
 
 const CTL_HELLO: u8 = 1;
@@ -196,6 +224,8 @@ const CTL_SHUTDOWN: u8 = 5;
 const CTL_CLOCK_PING: u8 = 6;
 const CTL_CLOCK_PONG: u8 = 7;
 const CTL_PROGRESS: u8 = 8;
+const CTL_MEMBER: u8 = 9;
+const CTL_HALT: u8 = 10;
 
 fn put_strategy(w: &mut Writer, s: Strategy) {
     w.put_u8(match s {
@@ -399,6 +429,8 @@ fn put_report(w: &mut Writer, rep: &RuntimeReport) {
         iterations,
         pipeline_window,
         iter_span_ns_total,
+        membership,
+        evicted,
     } = rep;
     w.put_u64(*nodes as u64);
     w.put_u64(*wall_ns);
@@ -429,6 +461,19 @@ fn put_report(w: &mut Writer, rep: &RuntimeReport) {
         iter_span_ns_total,
     ] {
         w.put_u64(*v);
+    }
+    w.put_u32(membership.len() as u32);
+    for m in membership {
+        w.put_u64(m.epoch);
+        w.put_u64(m.from_iter);
+        w.put_u32(m.members.len() as u32);
+        for &rk in &m.members {
+            w.put_u32(rk);
+        }
+    }
+    w.put_u32(evicted.len() as u32);
+    for &rk in evicted {
+        w.put_u32(rk);
     }
 }
 
@@ -466,6 +511,20 @@ fn get_report(r: &mut Reader<'_>) -> std::result::Result<RuntimeReport, DecodeEr
     rep.iterations = r.u64()?;
     rep.pipeline_window = r.u64()?;
     rep.iter_span_ns_total = r.u64()?;
+    for _ in 0..r.u32()? {
+        let mut m = crate::report::EpochRecord {
+            epoch: r.u64()?,
+            from_iter: r.u64()?,
+            ..Default::default()
+        };
+        for _ in 0..r.u32()? {
+            m.members.push(r.u32()?);
+        }
+        rep.membership.push(m);
+    }
+    for _ in 0..r.u32()? {
+        rep.evicted.push(r.u32()?);
+    }
     Ok(rep)
 }
 
@@ -484,6 +543,7 @@ fn put_iter_record(w: &mut Writer, rec: &IterRecord) {
         retransmits,
         faults,
         window,
+        epoch,
     } = rec;
     w.put_u32(*node);
     w.put_u32(*iter);
@@ -500,6 +560,7 @@ fn put_iter_record(w: &mut Writer, rec: &IterRecord) {
         w.put_u64(*v);
     }
     w.put_u32(*window);
+    w.put_u64(*epoch);
 }
 
 fn get_iter_record(r: &mut Reader<'_>) -> std::result::Result<IterRecord, DecodeError> {
@@ -521,6 +582,7 @@ fn get_iter_record(r: &mut Reader<'_>) -> std::result::Result<IterRecord, Decode
         *v = r.u64()?;
     }
     rec.window = r.u32()?;
+    rec.epoch = r.u64()?;
     Ok(rec)
 }
 
@@ -640,6 +702,16 @@ impl WireMsg for Ctl {
                 for &p in &j.mesh_ports {
                     w.put_u16(p);
                 }
+                w.put_u8(u8::from(j.elastic));
+                w.put_u64(j.epoch);
+                w.put_u32(j.base_iter);
+                match j.die_at_iter {
+                    Some(d) => {
+                        w.put_u8(1);
+                        w.put_u32(d);
+                    }
+                    None => w.put_u8(0),
+                }
             }
             Ctl::Outcome {
                 cells,
@@ -697,6 +769,15 @@ impl WireMsg for Ctl {
                 w.put_u8(CTL_PROGRESS);
                 put_iter_record(w, rec);
             }
+            Ctl::Member(m) => {
+                w.put_u8(CTL_MEMBER);
+                m.encode(w);
+            }
+            Ctl::Halted { completed, dead } => {
+                w.put_u8(CTL_HALT);
+                w.put_u32(*completed);
+                w.put_u32(*dead);
+            }
         }
     }
 
@@ -739,6 +820,19 @@ impl WireMsg for Ctl {
                 for _ in 0..r.u32()? {
                     mesh_ports.push(r.u16()?);
                 }
+                let elastic = r.u8()? != 0;
+                let epoch = r.u64()?;
+                let base_iter = r.u32()?;
+                let die_at_iter = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u32()?),
+                    t => {
+                        return Err(DecodeError::BadTag {
+                            what: "die_at_iter",
+                            tag: u64::from(t),
+                        })
+                    }
+                };
                 Ok(Ctl::Job(Box::new(Job {
                     strategy,
                     algorithm,
@@ -756,6 +850,10 @@ impl WireMsg for Ctl {
                     grad_lens,
                     grads,
                     mesh_ports,
+                    elastic,
+                    epoch,
+                    base_iter,
+                    die_at_iter,
                 })))
             }
             CTL_OUTCOME => {
@@ -802,6 +900,11 @@ impl WireMsg for Ctl {
             }),
             CTL_PROGRESS => Ok(Ctl::Progress {
                 rec: get_iter_record(r)?,
+            }),
+            CTL_MEMBER => Ok(Ctl::Member(Msg::decode(r)?)),
+            CTL_HALT => Ok(Ctl::Halted {
+                completed: r.u32()?,
+                dead: r.u32()?,
             }),
             t => Err(DecodeError::BadTag {
                 what: "ctl",
@@ -1149,6 +1252,10 @@ fn coordinate(
                 .map(|t| t.as_slice().to_vec())
                 .collect(),
             mesh_ports: mesh_ports.clone(),
+            elastic: false,
+            epoch: 0,
+            base_iter: 0,
+            die_at_iter: None,
         };
         write_ctl(stream, &Ctl::Job(Box::new(job)))?;
     }
@@ -1355,6 +1462,7 @@ fn coordinate(
         nodes,
         u64::from(pcfg.iterations),
         u64::from(pcfg.window),
+        0,
     );
     if let Some(scope) = instruments.metrics {
         record_run_metrics(scope, &report);
@@ -1424,20 +1532,54 @@ pub fn node_main(connect: &str, rank: usize, nodes: usize) -> Result<()> {
 /// against itself and satisfies the sink's `Sync` bound. Send errors
 /// are swallowed — a torn control stream surfaces on the outcome
 /// write, and losing live progress must never fail the job.
+///
+/// Records leave the pipeline stamped with the per-segment *slot* and
+/// segment-local iteration number; the sink rewrites both to the
+/// worker's stable global rank and the run-global iteration, and
+/// stamps the membership epoch, so the coordinator's timeline reads
+/// the same whether or not the run is elastic.
 #[derive(Debug)]
 struct CtlSink {
     stream: Mutex<TcpStream>,
+    /// This worker's global rank (equals the slot on fixed runs).
+    global_rank: u32,
+    /// Membership epoch of the segment being driven.
+    epoch: u64,
+    /// Global iteration number of the segment's iteration 0.
+    base_iter: u32,
 }
 
 impl ProgressSink for CtlSink {
-    fn publish(&self, rec: IterRecord) {
+    fn publish(&self, mut rec: IterRecord) {
+        rec.node = self.global_rank;
+        rec.iter += self.base_iter;
+        rec.epoch = self.epoch;
         let mut s = self.stream.lock().expect("ctl sink lock");
         let _ = write_ctl(&mut s, &Ctl::Progress { rec });
     }
 }
 
+/// How one job segment ended on the worker side.
+enum SegmentEnd {
+    /// `Outcome`, `Failed`, or `Halted` was written; the worker now
+    /// waits for the coordinator's verdict on the control channel.
+    Reported,
+    /// The injected kill or elastic crash fired; the process must
+    /// exit nonzero without another word to anyone.
+    Killed,
+}
+
 /// One worker's full protocol over an established control stream.
 /// Factored from [`node_main`] so tests can run workers as threads.
+///
+/// A fixed-membership run passes through the segment loop exactly
+/// once: Hello → Job → drive → Outcome → Shutdown. An elastic run
+/// loops: after each segment the coordinator answers with either
+/// [`Msg::EpochBump`] (membership changed — re-announce on a fresh
+/// mesh listener and take the next segment's Job) or `Shutdown`. The
+/// worker keeps one control stream and one clock epoch for its whole
+/// lifetime, so the rendezvous clock sync stays valid across every
+/// segment.
 fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     // One epoch anchors everything this worker timestamps: the
     // tracer, the flight recorder, and the clock-probe pongs. The
@@ -1446,38 +1588,82 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     let epoch = Instant::now();
     let recorder = Arc::new(FlightRecorder::new(epoch));
     ctl.set_nodelay(true).map_err(ctl_io)?;
-    let mesh_listener = TcpListener::bind("127.0.0.1:0").map_err(ctl_io)?;
-    let mesh_port = mesh_listener.local_addr().map_err(ctl_io)?.port();
-    write_ctl(
-        &mut ctl,
-        &Ctl::Hello {
-            rank: rank as u32,
-            mesh_port,
-        },
-    )?;
     ctl.set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(ctl_io)?;
-    // The coordinator interleaves clock probes between Hello and Job;
-    // answer each with our epoch-relative receive time.
-    let job = loop {
-        match read_ctl(&mut ctl)? {
-            Ctl::ClockPing { t1 } => write_ctl(
-                &mut ctl,
-                &Ctl::ClockPong {
-                    t1,
-                    t2: epoch.elapsed().as_nanos() as u64,
-                },
-            )?,
-            Ctl::Job(job) => break job,
-            _ => return Err(ctl_io(format!("node {rank}: expected a Job"))),
+    loop {
+        // A fresh mesh listener per segment: every epoch rebuilds the
+        // data mesh from scratch over the current member set.
+        let mesh_listener = TcpListener::bind("127.0.0.1:0").map_err(ctl_io)?;
+        let mesh_port = mesh_listener.local_addr().map_err(ctl_io)?.port();
+        write_ctl(
+            &mut ctl,
+            &Ctl::Hello {
+                rank: rank as u32,
+                mesh_port,
+            },
+        )?;
+        // The coordinator interleaves clock probes between Hello and
+        // Job; answer each with our epoch-relative receive time.
+        let job = loop {
+            match read_ctl(&mut ctl)? {
+                Ctl::ClockPing { t1 } => write_ctl(
+                    &mut ctl,
+                    &Ctl::ClockPong {
+                        t1,
+                        t2: epoch.elapsed().as_nanos() as u64,
+                    },
+                )?,
+                Ctl::Job(job) => break job,
+                _ => return Err(ctl_io(format!("node {rank}: expected a Job"))),
+            }
+        };
+        if !job.elastic && (job.rank as usize != rank || job.nodes as usize != nodes) {
+            return Err(ctl_io(format!(
+                "node {rank}: job addressed to rank {} of {}",
+                job.rank, job.nodes
+            )));
         }
-    };
-    if job.rank as usize != rank || job.nodes as usize != nodes {
-        return Err(ctl_io(format!(
-            "node {rank}: job addressed to rank {} of {}",
-            job.rank, job.nodes
-        )));
+        let elastic = job.elastic;
+        let (end, link) = run_job(&mut ctl, *job, rank, mesh_listener, epoch, &recorder)?;
+        if matches!(end, SegmentEnd::Killed) {
+            return Ok(NodeRun::Killed);
+        }
+        // Hold the mesh link until the coordinator has everyone's
+        // report: our reader threads keep acking peers that are still
+        // draining. EOF or timeout counts as permission to leave.
+        let next = read_ctl(&mut ctl);
+        drop(link);
+        if !elastic {
+            return Ok(NodeRun::Completed);
+        }
+        match next {
+            // Membership changed: loop around, re-announce, and take
+            // the next segment's job at the new epoch.
+            Ok(Ctl::Member(Msg::EpochBump { .. })) => continue,
+            // Shutdown, a torn control stream, or anything else: the
+            // run is over for this worker.
+            _ => return Ok(NodeRun::Completed),
+        }
     }
+}
+
+/// Drives a single job segment: build the graph, connect the mesh
+/// over the job's slot numbering, run the pipelined protocol, and
+/// report back. Returns the mesh link (if one survived) so the caller
+/// can hold it open through the post-segment control read.
+fn run_job(
+    ctl: &mut TcpStream,
+    job: Job,
+    global_rank: usize,
+    mesh_listener: TcpListener,
+    epoch: Instant,
+    recorder: &Arc<FlightRecorder>,
+) -> Result<(SegmentEnd, Option<hipress_fabric::tcp::TcpLink<Msg>>)> {
+    // In an elastic segment `job.rank` is this worker's *slot* in the
+    // segment's dense 0..nodes numbering; the global rank is only
+    // used for labels the coordinator sees.
+    let slot = job.rank as usize;
+    let nodes = job.nodes as usize;
 
     let compressor = job.algorithm.build();
     let graph = build_graph(
@@ -1498,7 +1684,7 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     for (g, &len) in job.grad_lens.iter().enumerate() {
         let per_node = (0..nodes)
             .map(|w| {
-                if w == rank {
+                if w == slot {
                     Tensor::from_vec(job.grads[g].clone())
                 } else {
                     Tensor::zeros(len as usize)
@@ -1516,12 +1702,12 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     // JSON snapshot. Both share `epoch` so clock alignment is uniform.
     let tracer = job
         .want_trace
-        .then(|| Tracer::at_epoch(&format!("casync-rt/node{rank}"), epoch));
-    let trace = tracer.as_ref().map(|t| single_node_trace(t, rank));
+        .then(|| Tracer::at_epoch(&format!("casync-rt/node{global_rank}"), epoch));
+    let trace = tracer.as_ref().map(|t| single_node_trace(t, global_rank));
     let registry = job.want_metrics.then(hipress_metrics::Registry::new);
     let metrics = registry
         .as_ref()
-        .map(|reg| NodeMetrics::new(&reg.root(), rank));
+        .map(|reg| NodeMetrics::new(&reg.root(), global_rank));
 
     let mesh = MeshConfig {
         tuning: LinkTuning {
@@ -1531,20 +1717,24 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
         connect_timeout: Duration::from_secs(10),
         poll_floor: job.config.ft_min_wait,
         poll_ceiling: job.config.ft_max_wait,
-        recorder: Some(Arc::clone(&recorder)),
+        recorder: Some(Arc::clone(recorder)),
+        // Each elastic segment's mesh is stamped with its epoch so a
+        // zombie segment's late dial can never splice into the
+        // rebuilt mesh.
+        epoch: job.epoch,
     };
     let peers: Vec<SocketAddr> = job
         .mesh_ports
         .iter()
         .map(|&p| SocketAddr::from(([127, 0, 0, 1], p)))
         .collect();
-    let mut link = connect_mesh::<Msg>(rank, nodes, mesh_listener, &peers, &mesh)
-        .map_err(|e| fabric_err(rank, e))?;
+    let mut link = connect_mesh::<Msg>(slot, nodes, mesh_listener, &peers, &mesh)
+        .map_err(|e| fabric_err(slot, e))?;
 
     if job.kill {
         // Dropping the link shuts the mesh sockets down; peers
         // diagnose the dead rank on their receive paths.
-        return Ok(NodeRun::Killed);
+        return Ok((SegmentEnd::Killed, None));
     }
 
     let pcfg = PipelineConfig {
@@ -1554,10 +1744,20 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
     let progress_sink = if job.want_progress {
         Some(CtlSink {
             stream: Mutex::new(ctl.try_clone().map_err(ctl_io)?),
+            global_rank: global_rank as u32,
+            epoch: job.epoch,
+            base_iter: job.base_iter,
         })
     } else {
         None
     };
+    // Elastic segments carry hooks even without a crash injection:
+    // survivors read the retirement counter out of them when a peer
+    // dies mid-segment.
+    let hooks = job.elastic.then(|| ElasticHooks {
+        die_at_iter: job.die_at_iter,
+        ..ElasticHooks::default()
+    });
     let outcome = drive_node(
         &mut link,
         &graph,
@@ -1571,6 +1771,7 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
         trace,
         metrics,
         progress_sink.as_ref().map(|s| s as &dyn ProgressSink),
+        hooks.as_ref(),
     );
     match outcome {
         Ok((cells, report)) => {
@@ -1579,7 +1780,7 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
                 .filter_map(|((f, p), c)| c.updated.map(|v| (f, p, v)))
                 .collect();
             write_ctl(
-                &mut ctl,
+                ctl,
                 &Ctl::Outcome {
                     cells,
                     report,
@@ -1590,8 +1791,40 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
             )?;
         }
         Err(e) => {
+            let f = e.as_sync();
+            if job.elastic {
+                // Our own injected crash: die hard, no goodbye on any
+                // channel — peers must discover the loss through the
+                // transport exactly as they would a real `kill -9`.
+                if f.is_some_and(|f| f.kind == SyncFailureKind::InjectedCrash && f.node == slot) {
+                    return Ok((SegmentEnd::Killed, None));
+                }
+                // A peer vanished under an elastic segment: report how
+                // far we got and whom we blame, then stand by for the
+                // epoch bump. Anything that is not a sync failure is a
+                // real error and still aborts the run below.
+                if let Some(f) = f {
+                    // Blame extraction: the fabric names a lost peer as
+                    // the failure's `node` (observer as `peer`); the FT
+                    // layer names itself as `node` and the unresponsive
+                    // peer as `peer`.
+                    let dead = if f.node != slot {
+                        f.node as u32
+                    } else {
+                        f.peer.map(|p| p as u32).unwrap_or(u32::MAX)
+                    };
+                    write_ctl(
+                        ctl,
+                        &Ctl::Halted {
+                            completed: hooks.as_ref().map(ElasticHooks::completed).unwrap_or(0),
+                            dead,
+                        },
+                    )?;
+                    return Ok((SegmentEnd::Reported, Some(link)));
+                }
+            }
             write_ctl(
-                &mut ctl,
+                ctl,
                 &Ctl::Failed {
                     error: e,
                     flight: recorder.dump(),
@@ -1599,12 +1832,7 @@ fn run_node(mut ctl: TcpStream, rank: usize, nodes: usize) -> Result<NodeRun> {
             )?;
         }
     }
-    // Hold the mesh link until the coordinator has everyone's
-    // outcome: our reader threads keep acking peers that are still
-    // draining. EOF or timeout counts as permission to leave.
-    let _ = read_ctl(&mut ctl);
-    drop(link);
-    Ok(NodeRun::Completed)
+    Ok((SegmentEnd::Reported, Some(link)))
 }
 
 /// Runs the full coordinator protocol with worker *threads* standing
@@ -1818,6 +2046,10 @@ mod tests {
             grad_lens: vec![16, 32],
             grads: vec![vec![1.0, -2.5], vec![f32::NAN]],
             mesh_ports: vec![4000, 4001, 4002, 4003],
+            elastic: true,
+            epoch: 6,
+            base_iter: 5,
+            die_at_iter: Some(7),
         };
         let bytes = Ctl::Job(Box::new(job)).to_bytes();
         let Ctl::Job(back) = Ctl::from_bytes(&bytes).unwrap() else {
@@ -1835,6 +2067,10 @@ mod tests {
         assert_eq!(back.grads[0], vec![1.0, -2.5]);
         assert!(back.grads[1][0].is_nan());
         assert_eq!(back.mesh_ports.len(), 4);
+        assert!(back.elastic);
+        assert_eq!(back.epoch, 6);
+        assert_eq!(back.base_iter, 5);
+        assert_eq!(back.die_at_iter, Some(7));
         assert_eq!(
             back.config.ft_heartbeat,
             RuntimeConfig::default().ft_heartbeat
@@ -1927,6 +2163,7 @@ mod tests {
             retransmits: 9,
             faults: 10,
             window: 11,
+            epoch: 12,
         };
         let Ctl::Progress { rec } =
             Ctl::from_bytes(&Ctl::Progress { rec: rec_in }.to_bytes()).unwrap()
@@ -1934,6 +2171,33 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!(rec, rec_in);
+
+        // The rendezvous-plane frames ride the control channel by
+        // delegating to the Msg wire codec.
+        let member = Ctl::Member(Msg::Welcome {
+            epoch: 2,
+            from_iter: 9,
+            members: vec![0, 2, 3],
+        });
+        let Ctl::Member(Msg::Welcome {
+            epoch,
+            from_iter,
+            members,
+        }) = Ctl::from_bytes(&member.to_bytes()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((epoch, from_iter), (2, 9));
+        assert_eq!(members, vec![0, 2, 3]);
+
+        let halted = Ctl::Halted {
+            completed: 4,
+            dead: 1,
+        };
+        let Ctl::Halted { completed, dead } = Ctl::from_bytes(&halted.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!((completed, dead), (4, 1));
     }
 
     /// Every [`RuntimeReport`] field must survive the control-channel
@@ -1993,6 +2257,19 @@ mod tests {
             iterations: 16,
             pipeline_window: 5,
             iter_span_ns_total: 424_242,
+            membership: vec![
+                crate::report::EpochRecord {
+                    epoch: 0,
+                    from_iter: 0,
+                    members: vec![0, 1, 2],
+                },
+                crate::report::EpochRecord {
+                    epoch: 1,
+                    from_iter: 9,
+                    members: vec![0, 2],
+                },
+            ],
+            evicted: vec![1],
         };
         let mut w = Writer::new();
         put_report(&mut w, &rep);

@@ -161,6 +161,21 @@ impl FaultReport {
     }
 }
 
+/// One entry in an elastic run's membership timeline: epoch `epoch`
+/// began at global iteration `from_iter` over exactly `members`.
+/// Epoch 0 (the initial membership) is always present on elastic
+/// runs; every later entry is a bump — an eviction or a re-admission.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// The membership epoch number (0 = initial).
+    pub epoch: u64,
+    /// The first global iteration executed under this epoch.
+    pub from_iter: u64,
+    /// The global ranks that were members during this epoch,
+    /// ascending.
+    pub members: Vec<u32>,
+}
+
 /// Measured wall-clock statistics for one runtime execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuntimeReport {
@@ -223,6 +238,15 @@ pub struct RuntimeReport {
     /// [`RuntimeReport::pipeline_overlap`]. Zero outside the
     /// pipelined path.
     pub iter_span_ns_total: u64,
+    /// Elastic membership timeline, one record per epoch (coordinator
+    /// owned, like `nodes` and `wall_ns`; `absorb` ignores it). Empty
+    /// on fixed-membership runs; `membership.len() - 1` is the number
+    /// of epoch bumps the run survived.
+    pub membership: Vec<EpochRecord>,
+    /// Global ranks evicted by an epoch bump, in eviction order
+    /// (coordinator owned). A rank that died, rejoined, and died
+    /// again appears twice.
+    pub evicted: Vec<u32>,
 }
 
 impl RuntimeReport {
@@ -343,6 +367,23 @@ impl RuntimeReport {
                 action,
             });
         }
+        for e in trace.events_of("membership") {
+            match e.name.as_str() {
+                "epoch" => {
+                    // Member sets travel as a rank bitmask (one u64
+                    // arg), which caps trace-carried membership at 64
+                    // ranks — far beyond the loopback mesh's scale.
+                    let mask = e.arg("members_mask").unwrap_or(0);
+                    r.membership.push(EpochRecord {
+                        epoch: e.arg("epoch").unwrap_or(0),
+                        from_iter: e.arg("from_iter").unwrap_or(0),
+                        members: (0..64u32).filter(|b| (mask >> b) & 1 == 1).collect(),
+                    });
+                }
+                "evict" => r.evicted.push(e.arg("rank").unwrap_or(0) as u32),
+                _ => {}
+            }
+        }
         if let Some(run) = trace.events_of("run").next() {
             r.wall_ns = run.dur_ns;
             r.nodes = run.arg("nodes").unwrap_or(0) as usize;
@@ -409,6 +450,8 @@ impl RuntimeReport {
             iterations,
             pipeline_window,
             iter_span_ns_total,
+            membership,
+            evicted,
         } = self;
         let mut out = String::with_capacity(1024);
         out.push('{');
@@ -498,6 +541,30 @@ impl RuntimeReport {
         ] {
             out.push_str(&format!(",\"{name}\":{v}"));
         }
+        out.push_str(",\"membership\":[");
+        for (i, m) in membership.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"epoch\":{},\"from_iter\":{},\"members\":[{}]}}",
+                m.epoch,
+                m.from_iter,
+                m.members
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        out.push_str("],\"evicted\":[");
+        for (i, rk) in evicted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&rk.to_string());
+        }
+        out.push(']');
         out.push_str(&format!(
             ",\"compression_savings\":{:.6},\"pipeline_overlap\":{:.6}}}",
             self.compression_savings(),
@@ -626,6 +693,43 @@ impl fmt::Display for RuntimeReport {
                 self.pipeline_window,
                 self.pipeline_overlap() * 100.0
             )?;
+        }
+        if !self.membership.is_empty() {
+            writeln!(
+                f,
+                "  membership: {} epoch(s), {} eviction(s){}",
+                self.membership.len(),
+                self.evicted.len(),
+                if self.evicted.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " (rank(s) {})",
+                        self.evicted
+                            .iter()
+                            .map(u32::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            )?;
+            let mut table = Table::new(&[
+                ("epoch", Align::Right),
+                ("from iter", Align::Right),
+                ("members", Align::Left),
+            ]);
+            for m in &self.membership {
+                table.row(vec![
+                    m.epoch.to_string(),
+                    m.from_iter.to_string(),
+                    m.members
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ]);
+            }
+            f.write_str(&table.render_indented("    "))?;
         }
         if !self.faults.is_empty() {
             let fr = &self.faults;
@@ -806,6 +910,22 @@ mod tests {
         );
         t.push_span(n0, "iter_span", "iter_span", 10, 4_000, &[("iter", 0)]);
         t.push_span(n0, "iter_span", "iter_span", 3_000, 2_500, &[("iter", 1)]);
+        let mem = t.thread_track("membership");
+        t.push_instant(
+            mem,
+            "epoch",
+            "membership",
+            5,
+            &[("epoch", 0), ("from_iter", 0), ("members_mask", 0b11)],
+        );
+        t.push_instant(mem, "evict", "membership", 4_500, &[("rank", 1)]);
+        t.push_instant(
+            mem,
+            "epoch",
+            "membership",
+            4_600,
+            &[("epoch", 1), ("from_iter", 2), ("members_mask", 0b01)],
+        );
         let r = RuntimeReport::from_trace(&t);
         assert_eq!(r.nodes, 2);
         assert_eq!(r.wall_ns, 10_000);
@@ -852,6 +972,66 @@ mod tests {
         // local_agg is nested inside source and excluded from busy.
         assert_eq!(r.per_node_busy_ns, vec![150, 7]);
         assert!(r.faults.is_empty(), "no fault events, no fault report");
+        assert_eq!(
+            r.membership,
+            vec![
+                EpochRecord {
+                    epoch: 0,
+                    from_iter: 0,
+                    members: vec![0, 1],
+                },
+                EpochRecord {
+                    epoch: 1,
+                    from_iter: 2,
+                    members: vec![0],
+                },
+            ]
+        );
+        assert_eq!(r.evicted, vec![1]);
+    }
+
+    /// Watchdog alerts are exported into the trace as instants on a
+    /// dedicated `watchdog` track under the `alert` category. That
+    /// category is deliberately foreign to `from_trace`: re-deriving a
+    /// report from an alert-bearing trace must yield the same report
+    /// as from the alert-free trace, or the CLI's trace→report parity
+    /// check would fail whenever a run latched an alert (including the
+    /// `membership_change` alert every epoch bump fires).
+    #[test]
+    fn alert_instants_stay_foreign_to_from_trace() {
+        let mut clean = Trace::new("casync-rt");
+        let engine = clean.thread_track("engine");
+        clean.push_span(
+            engine,
+            "run",
+            "run",
+            0,
+            5_000,
+            &[("nodes", 2), ("iterations", 4), ("window", 2)],
+        );
+        let mem = clean.thread_track("membership");
+        clean.push_instant(
+            mem,
+            "epoch",
+            "membership",
+            1,
+            &[("epoch", 0), ("from_iter", 0), ("members_mask", 0b11)],
+        );
+        let baseline = RuntimeReport::from_trace(&clean);
+
+        let wd = clean.thread_track("watchdog");
+        for label in ["membership_change", "iteration_stall", "fault_burst"] {
+            clean.push_instant(
+                wd,
+                label,
+                "alert",
+                2_000,
+                &[("node", 0), ("iter", 1), ("observed", 9), ("threshold", 3)],
+            );
+        }
+        let with_alerts = RuntimeReport::from_trace(&clean);
+        assert_eq!(with_alerts, baseline);
+        assert_eq!(with_alerts.to_json(), baseline.to_json());
     }
 
     /// The `/report.json` rendering parses as JSON and carries every
@@ -875,6 +1055,19 @@ mod tests {
             iterations: 16,
             pipeline_window: 5,
             iter_span_ns_total: 424_242,
+            membership: vec![
+                EpochRecord {
+                    epoch: 0,
+                    from_iter: 0,
+                    members: vec![0, 1, 2],
+                },
+                EpochRecord {
+                    epoch: 1,
+                    from_iter: 7,
+                    members: vec![0, 2],
+                },
+            ],
+            evicted: vec![1],
             ..Default::default()
         };
         for (i, p) in [
@@ -933,6 +1126,23 @@ mod tests {
         assert_eq!(num(&j, "iterations"), 16.0);
         assert_eq!(num(&j, "pipeline_window"), 5.0);
         assert_eq!(num(&j, "iter_span_ns_total"), 424_242.0);
+        let ms = j.get("membership").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(num(&ms[1], "epoch"), 1.0);
+        assert_eq!(num(&ms[1], "from_iter"), 7.0);
+        let members = ms[1].get("members").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(
+            members
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect::<Vec<_>>(),
+            vec![0.0, 2.0]
+        );
+        let ev = j.get("evicted").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(
+            ev.iter().map(|v| v.as_f64().unwrap()).collect::<Vec<_>>(),
+            vec![1.0]
+        );
         assert!((num(&j, "compression_savings") - 4.0).abs() < 1e-6);
         assert!((num(&j, "pipeline_overlap") - rep.pipeline_overlap()).abs() < 1e-6);
     }

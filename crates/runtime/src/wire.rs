@@ -5,12 +5,18 @@
 //! The encoding is a plain tagged union over the little-endian codec:
 //!
 //! ```text
-//! Msg::Done  = u8 1 | u32 task | u32 iter | payload
-//! Msg::Abort = u8 2
-//! payload    = u8 0                       (none)
-//!            | u8 1 | u32 n | n × f32     (raw)
-//!            | u8 2 | u32 n | n bytes     (compressed)
-//!            | u8 3                       (skipped)
+//! Msg::Done      = u8 1 | u32 task | u32 iter | payload
+//! Msg::Abort     = u8 2
+//! Msg::Join      = u8 3 | u32 rank | u64 epoch
+//! Msg::Welcome   = u8 4 | u64 epoch | u32 from_iter | members
+//! Msg::EpochBump = u8 5 | u64 epoch | evicted | u32 from_iter | members
+//! payload        = u8 0                       (none)
+//!                | u8 1 | u32 n | n × f32     (raw)
+//!                | u8 2 | u32 n | n bytes     (compressed)
+//!                | u8 3                       (skipped)
+//! members        = u32 n | n × u32
+//! evicted        = u8 0                       (none)
+//!                | u8 1 | u32 rank
 //! ```
 //!
 //! Floats travel as IEEE-754 bit patterns, so a decoded gradient is
@@ -26,11 +32,33 @@ use std::sync::Arc;
 
 const TAG_DONE: u8 = 1;
 const TAG_ABORT: u8 = 2;
+const TAG_JOIN: u8 = 3;
+const TAG_WELCOME: u8 = 4;
+const TAG_EPOCH_BUMP: u8 = 5;
 
 const PAYLOAD_NONE: u8 = 0;
 const PAYLOAD_RAW: u8 = 1;
 const PAYLOAD_COMPRESSED: u8 = 2;
 const PAYLOAD_SKIPPED: u8 = 3;
+
+fn encode_members(members: &[u32], w: &mut Writer) {
+    w.put_u32(members.len() as u32);
+    for &m in members {
+        w.put_u32(m);
+    }
+}
+
+/// Reads a `u32`-count-prefixed rank list, validating the declared
+/// count against the remaining input before allocating (a flipped
+/// count byte must not trigger a huge allocation).
+fn decode_members(r: &mut Reader<'_>) -> Result<Vec<u32>, DecodeError> {
+    let n = r.u32()? as usize;
+    let raw = r.take(n.saturating_mul(4))?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
 
 fn encode_payload(p: Option<&Payload>, w: &mut Writer) {
     match p {
@@ -76,6 +104,39 @@ impl WireMsg for Msg {
                 encode_payload(payload.as_deref(), w);
             }
             Msg::Abort => w.put_u8(TAG_ABORT),
+            Msg::Join { rank, epoch } => {
+                w.put_u8(TAG_JOIN);
+                w.put_u32(*rank);
+                w.put_u64(*epoch);
+            }
+            Msg::Welcome {
+                epoch,
+                from_iter,
+                members,
+            } => {
+                w.put_u8(TAG_WELCOME);
+                w.put_u64(*epoch);
+                w.put_u32(*from_iter);
+                encode_members(members, w);
+            }
+            Msg::EpochBump {
+                epoch,
+                evicted,
+                from_iter,
+                members,
+            } => {
+                w.put_u8(TAG_EPOCH_BUMP);
+                w.put_u64(*epoch);
+                match evicted {
+                    None => w.put_u8(0),
+                    Some(rank) => {
+                        w.put_u8(1);
+                        w.put_u32(*rank);
+                    }
+                }
+                w.put_u32(*from_iter);
+                encode_members(members, w);
+            }
         }
     }
 
@@ -92,6 +153,42 @@ impl WireMsg for Msg {
                 }
             }
             TAG_ABORT => Msg::Abort,
+            TAG_JOIN => {
+                let rank = r.u32()?;
+                let epoch = r.u64()?;
+                Msg::Join { rank, epoch }
+            }
+            TAG_WELCOME => {
+                let epoch = r.u64()?;
+                let from_iter = r.u32()?;
+                let members = decode_members(r)?;
+                Msg::Welcome {
+                    epoch,
+                    from_iter,
+                    members,
+                }
+            }
+            TAG_EPOCH_BUMP => {
+                let epoch = r.u64()?;
+                let evicted = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u32()?),
+                    tag => {
+                        return Err(DecodeError::BadTag {
+                            what: "evicted",
+                            tag: u64::from(tag),
+                        })
+                    }
+                };
+                let from_iter = r.u32()?;
+                let members = decode_members(r)?;
+                Msg::EpochBump {
+                    epoch,
+                    evicted,
+                    from_iter,
+                    members,
+                }
+            }
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "msg",
@@ -136,8 +233,49 @@ mod tests {
                         _ => false,
                     }
             }
+            (
+                Msg::Join {
+                    rank: ra,
+                    epoch: ea,
+                },
+                Msg::Join {
+                    rank: rb,
+                    epoch: eb,
+                },
+            ) => ra == rb && ea == eb,
+            (
+                Msg::Welcome {
+                    epoch: ea,
+                    from_iter: fa,
+                    members: ma,
+                },
+                Msg::Welcome {
+                    epoch: eb,
+                    from_iter: fb,
+                    members: mb,
+                },
+            ) => ea == eb && fa == fb && ma == mb,
+            (
+                Msg::EpochBump {
+                    epoch: ea,
+                    evicted: va,
+                    from_iter: fa,
+                    members: ma,
+                },
+                Msg::EpochBump {
+                    epoch: eb,
+                    evicted: vb,
+                    from_iter: fb,
+                    members: mb,
+                },
+            ) => ea == eb && va == vb && fa == fb && ma == mb,
             _ => false,
         }
+    }
+
+    fn arbitrary_members(rng: &mut SplitMix64) -> Vec<u32> {
+        let n = rng.index(9);
+        (0..n).map(|_| rng.next_u32() % 64).collect()
     }
 
     /// A seeded arbitrary message covering every variant and payload
@@ -145,6 +283,27 @@ mod tests {
     fn arbitrary(rng: &mut SplitMix64) -> Msg {
         if rng.bernoulli(0.1) {
             return Msg::Abort;
+        }
+        if rng.bernoulli(0.1) {
+            return Msg::Join {
+                rank: rng.next_u32(),
+                epoch: rng.next_u64(),
+            };
+        }
+        if rng.bernoulli(0.1) {
+            return Msg::Welcome {
+                epoch: rng.next_u64(),
+                from_iter: rng.next_u32(),
+                members: arbitrary_members(rng),
+            };
+        }
+        if rng.bernoulli(0.1) {
+            return Msg::EpochBump {
+                epoch: rng.next_u64(),
+                evicted: rng.bernoulli(0.5).then(|| rng.next_u32()),
+                from_iter: rng.next_u32(),
+                members: arbitrary_members(rng),
+            };
         }
         let payload = match rng.index(4) {
             0 => None,
@@ -258,6 +417,61 @@ mod tests {
                 what: "payload",
                 ..
             })
+        ));
+        // An EpochBump whose evicted marker is neither 0 nor 1.
+        let mut w = Writer::new();
+        w.put_u8(TAG_EPOCH_BUMP);
+        w.put_u64(1);
+        w.put_u8(7);
+        assert!(matches!(
+            Msg::from_bytes(&w.into_vec()),
+            Err(DecodeError::BadTag {
+                what: "evicted",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn membership_frames_round_trip_exactly() {
+        let frames = [
+            Msg::Join { rank: 3, epoch: 0 },
+            Msg::Welcome {
+                epoch: 2,
+                from_iter: 5,
+                members: vec![0, 1, 2, 3],
+            },
+            Msg::EpochBump {
+                epoch: 1,
+                evicted: Some(1),
+                from_iter: 3,
+                members: vec![0, 2, 3],
+            },
+            Msg::EpochBump {
+                epoch: 2,
+                evicted: None,
+                from_iter: 6,
+                members: vec![0, 1, 2, 3],
+            },
+        ];
+        for msg in &frames {
+            let back = Msg::from_bytes(&msg.to_bytes()).unwrap();
+            assert!(same(msg, &back), "round trip changed {msg:?}");
+        }
+    }
+
+    /// A hostile member-count prefix must surface as a structured
+    /// truncation error before any allocation happens.
+    #[test]
+    fn hostile_member_count_is_rejected_without_allocating() {
+        let mut w = Writer::new();
+        w.put_u8(TAG_WELCOME);
+        w.put_u64(4);
+        w.put_u32(0);
+        w.put_u32(u32::MAX); // claims ~4 billion members, sends none
+        assert!(matches!(
+            Msg::from_bytes(&w.into_vec()),
+            Err(DecodeError::Truncated { .. })
         ));
     }
 }

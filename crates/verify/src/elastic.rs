@@ -1,0 +1,799 @@
+//! Bounded model checking of the elastic-membership layer: the
+//! drain → evict → re-plan → resume epoch transition, plus mid-run
+//! joins.
+//!
+//! The model drives the *actual* transition rules the runtime uses —
+//! [`epoch_accepts`], [`drain_boundary`], [`member_slot`] from
+//! `hipress_runtime::protocol` — through every interleaving of a
+//! small-scope elastic run: workers advance with bounded pipeline
+//! skew, a scripted victim crashes, survivors notice at any later
+//! point (so every drain-time completion vector the skew allows is
+//! reached), the coordinator drains and bumps, zombie frames from
+//! the dead epoch chase the survivors, and a restarted worker asks
+//! to join claiming any epoch it likes.
+//!
+//! Properties, checked on every reachable state:
+//!
+//! - **No deadlock**: every non-terminal state has an enabled
+//!   transition — in particular, re-planned chunk ownership never
+//!   references an evicted rank, so the next segment can always run.
+//! - **No missed iteration**: the drain boundary never commits an
+//!   iteration some survivor has not executed.
+//! - **No double apply**: a global iteration is committed by exactly
+//!   one epoch segment.
+//! - **Stale-epoch rejection**: a data frame stamped with a dead
+//!   epoch is never applied.
+//! - **Join admission**: a joiner claiming an epoch the run has not
+//!   reached is never admitted.
+//!
+//! The mutation harness seeds one defect per rule — skip the drain
+//! minimum, accept stale frames, reuse the dead rank's chunk
+//! ownership, admit future-epoch joins — and the same matrix must
+//! refute each with a concrete counterexample trace.
+
+use hipress_runtime::protocol::{drain_boundary, epoch_accepts, member_slot};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One small-scope elastic configuration.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Worker count before any crash (2–4).
+    pub nodes: usize,
+    /// Total global iterations (2–4).
+    pub iters: u32,
+    /// Pipeline skew bound: how far one worker may run ahead of the
+    /// slowest.
+    pub window: u32,
+    /// Scripted whole-rank loss: `(victim, global_iter)`.
+    pub crash: Option<(usize, u32)>,
+    /// The victim restarts and asks to join at the bump boundary.
+    pub rejoin: bool,
+}
+
+/// One seeded elastic-protocol defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticMutation {
+    /// The drain uses the *maximum* survivor completion instead of
+    /// the minimum: slower survivors get iterations committed that
+    /// they never executed.
+    SkipDrain,
+    /// The epoch gate on data frames is deleted: a zombie frame from
+    /// the dead epoch is applied after the bump.
+    AcceptStaleEpoch,
+    /// Chunk ownership is not recomputed at the bump: the evicted
+    /// rank still owns its chunks, so the next segment cannot make
+    /// progress.
+    ReuseDeadOwner,
+    /// The coordinator admits a joiner claiming an epoch the run has
+    /// not reached.
+    AdmitFutureJoin,
+}
+
+impl ElasticMutation {
+    /// Every elastic defect class, in a stable order.
+    pub const ALL: [ElasticMutation; 4] = [
+        ElasticMutation::SkipDrain,
+        ElasticMutation::AcceptStaleEpoch,
+        ElasticMutation::ReuseDeadOwner,
+        ElasticMutation::AdmitFutureJoin,
+    ];
+
+    /// Stable CLI name (`hipress verify --mutant <name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ElasticMutation::SkipDrain => "skip-drain",
+            ElasticMutation::AcceptStaleEpoch => "accept-stale-epoch",
+            ElasticMutation::ReuseDeadOwner => "reuse-dead-owner",
+            ElasticMutation::AdmitFutureJoin => "admit-future-join",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<ElasticMutation> {
+        ElasticMutation::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name() == name)
+    }
+
+    /// Whether this defect can manifest under `cfg` at all. Every
+    /// elastic defect needs an epoch bump, hence a crash; a future
+    /// join additionally needs a joiner. On eligible configurations
+    /// detection must be 100%; elsewhere the checker must stay
+    /// silent.
+    pub fn eligible(&self, cfg: &ElasticConfig) -> bool {
+        match self {
+            ElasticMutation::AdmitFutureJoin => cfg.crash.is_some() && cfg.rejoin,
+            // SkipDrain needs a drain whose min and max can differ:
+            // at least two survivors and room for skew.
+            ElasticMutation::SkipDrain => cfg.crash.is_some() && cfg.nodes >= 3 && cfg.window >= 1,
+            _ => cfg.crash.is_some(),
+        }
+    }
+}
+
+/// A property violation found in the elastic model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElasticViolation {
+    /// A non-terminal state with no enabled transition.
+    Deadlock {
+        /// The membership epoch the run wedged in.
+        epoch: u8,
+    },
+    /// The drain committed an iteration a survivor never executed.
+    MissedIteration {
+        /// The survivor that was skipped past.
+        node: usize,
+        /// The global iteration committed on its behalf.
+        iter: u32,
+    },
+    /// A global iteration was committed by two epoch segments.
+    DoubleApply {
+        /// The twice-committed global iteration.
+        iter: u32,
+    },
+    /// A frame stamped with a dead epoch was applied after the bump.
+    StaleApply {
+        /// The survivor that applied it.
+        node: usize,
+        /// The dead epoch the frame was stamped with.
+        frame_epoch: u8,
+        /// The membership epoch at the time of the apply.
+        epoch: u8,
+    },
+    /// A joiner claiming an epoch the run has not reached was let in.
+    FutureJoinAdmitted {
+        /// The epoch the joiner claimed.
+        claimed: u8,
+        /// The coordinator's actual epoch.
+        epoch: u8,
+    },
+}
+
+impl fmt::Display for ElasticViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElasticViolation::Deadlock { epoch } => {
+                write!(f, "deadlock at epoch {epoch}: no transition enabled")
+            }
+            ElasticViolation::MissedIteration { node, iter } => write!(
+                f,
+                "iteration {iter} committed but node {node} never executed it"
+            ),
+            ElasticViolation::DoubleApply { iter } => {
+                write!(f, "iteration {iter} committed by two epoch segments")
+            }
+            ElasticViolation::StaleApply {
+                node,
+                frame_epoch,
+                epoch,
+            } => write!(
+                f,
+                "node {node} applied a frame from dead epoch {frame_epoch} at epoch {epoch}"
+            ),
+            ElasticViolation::FutureJoinAdmitted { claimed, epoch } => write!(
+                f,
+                "join claiming future epoch {claimed} admitted at epoch {epoch}"
+            ),
+        }
+    }
+}
+
+/// The result of exhausting (or refuting) one elastic scenario.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// Distinct states explored.
+    pub states: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// Terminal (completed-run) states reached.
+    pub terminals: usize,
+    /// The first violation with the transition trace reaching it.
+    pub violation: Option<(ElasticViolation, Vec<String>)>,
+}
+
+impl ElasticOutcome {
+    /// True when the scope was exhausted with no violation.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// One worker's condition within the current epoch segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    /// Participating: `completed` segment-local iterations retired.
+    Live { completed: u32 },
+    /// Survivor that noticed the death and froze at its count.
+    Halted { completed: u32 },
+    /// Crashed (or not yet joined).
+    Dead,
+}
+
+/// One explicit model state. Everything is small-scope, so the whole
+/// struct hashes cheaply for the visited set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    epoch: u8,
+    /// Global iteration number of the current segment's start.
+    base: u32,
+    nodes: Vec<Node>,
+    /// Whether the scripted crash has fired yet.
+    crashed: bool,
+    /// A death happened in the current epoch and has not been drained
+    /// yet — survivors may notice and halt only while this holds.
+    dead_pending: bool,
+    /// Which epoch segment committed each global iteration
+    /// (`None` = not yet committed). The double-apply ledger.
+    committed: Vec<Option<u8>>,
+    /// One zombie data frame per survivor may chase it across the
+    /// bump, stamped with the epoch it was sent in.
+    zombies: Vec<Option<u8>>,
+    /// Per-chunk owner rank for the current segment (one chunk per
+    /// original rank keeps the scope small but the rule visible).
+    owners: Vec<usize>,
+    done: bool,
+}
+
+struct Explorer<'a> {
+    cfg: &'a ElasticConfig,
+    mutation: Option<ElasticMutation>,
+    visited: HashSet<St>,
+    states: usize,
+    transitions: usize,
+    terminals: usize,
+    violation: Option<(ElasticViolation, Vec<String>)>,
+}
+
+/// The sorted live-member rank list (the runtime's `members` vector).
+fn live_ranks(nodes: &[Node]) -> Vec<u32> {
+    nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !matches!(n, Node::Dead))
+        .map(|(r, _)| r as u32)
+        .collect()
+}
+
+/// Recomputes chunk ownership for a member set exactly as the
+/// runtime's dispatch does: chunk `c` goes to slot `c mod n_live`,
+/// and [`member_slot`] inverts slot → rank over the sorted members.
+fn replan_owners(members: &[u32], chunks: usize) -> Vec<usize> {
+    (0..chunks)
+        .map(|c| {
+            let slot = (c % members.len()) as u32;
+            let rank = members
+                .iter()
+                .copied()
+                .find(|&r| member_slot(members, r) == Some(slot))
+                .expect("every slot has a member");
+            rank as usize
+        })
+        .collect()
+}
+
+impl Explorer<'_> {
+    fn fail(&mut self, v: ElasticViolation, trail: &[String]) {
+        let mut trace = trail.to_vec();
+        trace.push(format!("=> {v}"));
+        self.violation = Some((v, trace));
+    }
+
+    /// The segment length from `base` (elastic segments always run to
+    /// the configured end; boundaries are created by drains).
+    fn seg_len(&self, base: u32) -> u32 {
+        self.cfg.iters - base
+    }
+
+    /// Depth-first exhaustion. Returns false once a violation is
+    /// recorded so the unwind is immediate.
+    fn dfs(&mut self, st: &St, trail: &mut Vec<String>) -> bool {
+        if self.violation.is_some() {
+            return false;
+        }
+        if !self.visited.insert(st.clone()) {
+            return true;
+        }
+        self.states += 1;
+
+        if st.done {
+            self.terminals += 1;
+            return true;
+        }
+
+        let mut enabled = 0usize;
+
+        // ---- advance(r): one worker retires one iteration ---------
+        let live = live_ranks(&st.nodes);
+        let seg = self.seg_len(st.base);
+        let min_completed = st
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Live { completed } | Node::Halted { completed } => Some(*completed),
+                Node::Dead => None,
+            })
+            .min()
+            .unwrap_or(0);
+        for &r in &live {
+            let r = r as usize;
+            let Node::Live { completed } = st.nodes[r] else {
+                continue;
+            };
+            if completed >= seg || completed >= min_completed + self.cfg.window {
+                continue;
+            }
+            // An iteration only retires when every chunk's owner is
+            // alive to serve its share — the ownership re-plan rule.
+            if st.owners.iter().any(|&o| matches!(st.nodes[o], Node::Dead)) {
+                continue;
+            }
+            // The scripted victim cannot run past its crash point.
+            if let Some((victim, at)) = self.cfg.crash {
+                if r == victim && !st.crashed && st.base + completed >= at {
+                    continue;
+                }
+            }
+            enabled += 1;
+            let mut next = st.clone();
+            next.nodes[r] = Node::Live {
+                completed: completed + 1,
+            };
+            trail.push(format!("advance(n{r} -> {})", completed + 1));
+            let ok = self.dfs(&next, trail);
+            trail.pop();
+            if !ok {
+                return false;
+            }
+        }
+
+        // ---- crash: the scripted victim dies ----------------------
+        if let Some((victim, at)) = self.cfg.crash {
+            if !st.crashed {
+                if let Node::Live { completed } = st.nodes[victim] {
+                    if st.base + completed >= at {
+                        enabled += 1;
+                        let mut next = st.clone();
+                        next.nodes[victim] = Node::Dead;
+                        next.crashed = true;
+                        next.dead_pending = true;
+                        // Its last-breath frames are now zombies of
+                        // this epoch, one per survivor.
+                        for (r, z) in next.zombies.iter_mut().enumerate() {
+                            if r != victim && !matches!(st.nodes[r], Node::Dead) {
+                                *z = Some(st.epoch);
+                            }
+                        }
+                        trail.push(format!("crash(n{victim} at iter {})", st.base + completed));
+                        let ok = self.dfs(&next, trail);
+                        trail.pop();
+                        if !ok {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- notice(r): a survivor notices the death and halts ----
+        if st.dead_pending {
+            for &r in &live {
+                let r = r as usize;
+                let Node::Live { completed } = st.nodes[r] else {
+                    continue;
+                };
+                enabled += 1;
+                let mut next = st.clone();
+                next.nodes[r] = Node::Halted { completed };
+                trail.push(format!("halt(n{r} at {completed})"));
+                let ok = self.dfs(&next, trail);
+                trail.pop();
+                if !ok {
+                    return false;
+                }
+            }
+        }
+
+        // ---- zombie(r): a dead-epoch frame reaches a survivor -----
+        for (r, z) in st.zombies.iter().enumerate() {
+            let Some(frame_epoch) = *z else { continue };
+            if matches!(st.nodes[r], Node::Dead) {
+                continue;
+            }
+            enabled += 1;
+            let accepted = if self.mutation == Some(ElasticMutation::AcceptStaleEpoch) {
+                true
+            } else {
+                epoch_accepts(u64::from(st.epoch), u64::from(frame_epoch))
+            };
+            let mut next = st.clone();
+            next.zombies[r] = None;
+            trail.push(format!(
+                "deliver(zombie epoch {frame_epoch} -> n{r}, {})",
+                if accepted { "applied" } else { "rejected" }
+            ));
+            if accepted && frame_epoch != st.epoch {
+                self.fail(
+                    ElasticViolation::StaleApply {
+                        node: r,
+                        frame_epoch,
+                        epoch: st.epoch,
+                    },
+                    trail,
+                );
+                trail.pop();
+                return false;
+            }
+            let ok = self.dfs(&next, trail);
+            trail.pop();
+            if !ok {
+                return false;
+            }
+        }
+
+        // ---- drain: every survivor halted → evict, bump, resume ---
+        let survivors_all_halted = st.dead_pending
+            && st
+                .nodes
+                .iter()
+                .all(|n| matches!(n, Node::Halted { .. } | Node::Dead));
+        if survivors_all_halted {
+            enabled += 1;
+            let completions: Vec<u32> = st
+                .nodes
+                .iter()
+                .filter_map(|n| match n {
+                    Node::Halted { completed } => Some(*completed),
+                    _ => None,
+                })
+                .collect();
+            let local = if self.mutation == Some(ElasticMutation::SkipDrain) {
+                completions.iter().copied().max().unwrap_or(0)
+            } else {
+                drain_boundary(&completions)
+            };
+            let boundary = st.base + local;
+            // Commit [base, boundary) — each survivor must actually
+            // have executed everything committed on its behalf.
+            let mut next = st.clone();
+            trail.push(format!("drain(boundary {boundary})"));
+            for (r, n) in st.nodes.iter().enumerate() {
+                let Node::Halted { completed } = n else {
+                    continue;
+                };
+                if *completed < local {
+                    self.fail(
+                        ElasticViolation::MissedIteration {
+                            node: r,
+                            iter: st.base + completed,
+                        },
+                        trail,
+                    );
+                    trail.pop();
+                    return false;
+                }
+            }
+            for i in st.base..boundary {
+                if next.committed[i as usize].is_some() {
+                    self.fail(ElasticViolation::DoubleApply { iter: i }, trail);
+                    trail.pop();
+                    return false;
+                }
+                next.committed[i as usize] = Some(st.epoch);
+            }
+            // Evict, bump, re-plan ownership over the survivors.
+            next.epoch += 1;
+            next.base = boundary;
+            next.dead_pending = false;
+            let members = live_ranks(&next.nodes);
+            for n in next.nodes.iter_mut() {
+                if let Node::Halted { .. } = n {
+                    *n = Node::Live { completed: 0 };
+                }
+            }
+            if self.mutation != Some(ElasticMutation::ReuseDeadOwner) {
+                next.owners = replan_owners(&members, next.owners.len());
+            }
+            // A restarted victim dials in claiming some epoch; every
+            // claim the wire allows is explored.
+            if self.cfg.rejoin {
+                if let Some((victim, _)) = self.cfg.crash {
+                    for claimed in [0, next.epoch, next.epoch + 1] {
+                        let admit = if self.mutation == Some(ElasticMutation::AdmitFutureJoin) {
+                            true
+                        } else {
+                            claimed <= next.epoch
+                        };
+                        let mut joined = next.clone();
+                        trail.push(format!(
+                            "join(n{victim} claims epoch {claimed}, {})",
+                            if admit { "admitted" } else { "refused" }
+                        ));
+                        if admit {
+                            if claimed > next.epoch {
+                                self.fail(
+                                    ElasticViolation::FutureJoinAdmitted {
+                                        claimed,
+                                        epoch: next.epoch,
+                                    },
+                                    trail,
+                                );
+                                trail.pop();
+                                trail.pop();
+                                return false;
+                            }
+                            joined.nodes[victim] = Node::Live { completed: 0 };
+                            let members = live_ranks(&joined.nodes);
+                            if self.mutation != Some(ElasticMutation::ReuseDeadOwner) {
+                                joined.owners = replan_owners(&members, joined.owners.len());
+                            }
+                        }
+                        let ok = self.dfs(&joined, trail);
+                        trail.pop();
+                        if !ok {
+                            trail.pop();
+                            return false;
+                        }
+                    }
+                    trail.pop();
+                    // The join transitions covered this drain.
+                    self.transitions += 3;
+                    return self.check_stuck(st, enabled, trail);
+                }
+            }
+            let ok = self.dfs(&next, trail);
+            trail.pop();
+            if !ok {
+                return false;
+            }
+        }
+
+        // ---- finish: every member retired the whole segment -------
+        let all_finished = !live.is_empty()
+            && !st.dead_pending
+            && st.nodes.iter().all(|n| {
+                matches!(n, Node::Live { completed } if *completed >= seg)
+                    || matches!(n, Node::Dead)
+            });
+        if all_finished {
+            enabled += 1;
+            let mut next = st.clone();
+            trail.push(format!("finish(epoch {})", st.epoch));
+            for i in st.base..self.cfg.iters {
+                if next.committed[i as usize].is_some() {
+                    self.fail(ElasticViolation::DoubleApply { iter: i }, trail);
+                    trail.pop();
+                    return false;
+                }
+                next.committed[i as usize] = Some(st.epoch);
+            }
+            next.done = true;
+            let ok = self.dfs(&next, trail);
+            trail.pop();
+            if !ok {
+                return false;
+            }
+        }
+
+        self.transitions += enabled;
+        self.check_stuck(st, enabled, trail)
+    }
+
+    /// Deadlock property: a non-terminal state must enable something.
+    fn check_stuck(&mut self, st: &St, enabled: usize, trail: &[String]) -> bool {
+        if enabled == 0 && !st.done {
+            self.fail(ElasticViolation::Deadlock { epoch: st.epoch }, trail);
+            return false;
+        }
+        true
+    }
+}
+
+/// Exhausts one elastic scenario, optionally with a seeded defect.
+pub fn check_elastic(cfg: &ElasticConfig, mutation: Option<ElasticMutation>) -> ElasticOutcome {
+    let initial = St {
+        epoch: 0,
+        base: 0,
+        nodes: vec![Node::Live { completed: 0 }; cfg.nodes],
+        crashed: false,
+        dead_pending: false,
+        committed: vec![None; cfg.iters as usize],
+        zombies: vec![None; cfg.nodes],
+        owners: (0..cfg.nodes).collect(),
+        done: false,
+    };
+    let mut ex = Explorer {
+        cfg,
+        mutation,
+        visited: HashSet::new(),
+        states: 0,
+        transitions: 0,
+        terminals: 0,
+        violation: None,
+    };
+    let mut trail = Vec::new();
+    ex.dfs(&initial, &mut trail);
+    ElasticOutcome {
+        states: ex.states,
+        transitions: ex.transitions,
+        terminals: ex.terminals,
+        violation: ex.violation,
+    }
+}
+
+/// One named elastic scenario of the verification matrix.
+#[derive(Debug, Clone)]
+pub struct ElasticScenario {
+    /// Stable name (shown in the `hipress verify` table).
+    pub name: &'static str,
+    /// The configuration to exhaust.
+    pub cfg: ElasticConfig,
+}
+
+/// The elastic small-scope matrix `hipress verify` exhausts: a clean
+/// run (one segment, no bump), crashes at the first, middle, and
+/// last iteration, a crash with a rejoin, and a wider cluster where
+/// drain-time skew is largest.
+pub fn elastic_matrix() -> Vec<ElasticScenario> {
+    vec![
+        ElasticScenario {
+            name: "el-2n-clean",
+            cfg: ElasticConfig {
+                nodes: 2,
+                iters: 3,
+                window: 2,
+                crash: None,
+                rejoin: false,
+            },
+        },
+        ElasticScenario {
+            name: "el-3n-crash-early",
+            cfg: ElasticConfig {
+                nodes: 3,
+                iters: 3,
+                window: 1,
+                crash: Some((1, 0)),
+                rejoin: false,
+            },
+        },
+        ElasticScenario {
+            name: "el-3n-crash-mid-w2",
+            cfg: ElasticConfig {
+                nodes: 3,
+                iters: 3,
+                window: 2,
+                crash: Some((2, 1)),
+                rejoin: false,
+            },
+        },
+        ElasticScenario {
+            name: "el-3n-crash-last",
+            cfg: ElasticConfig {
+                nodes: 3,
+                iters: 3,
+                window: 1,
+                crash: Some((0, 2)),
+                rejoin: false,
+            },
+        },
+        ElasticScenario {
+            name: "el-3n-crash-rejoin",
+            cfg: ElasticConfig {
+                nodes: 3,
+                iters: 3,
+                window: 1,
+                crash: Some((1, 1)),
+                rejoin: true,
+            },
+        },
+        ElasticScenario {
+            name: "el-4n-crash-w2",
+            cfg: ElasticConfig {
+                nodes: 4,
+                iters: 3,
+                window: 2,
+                crash: Some((3, 1)),
+                rejoin: false,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_exhausted_clean() {
+        for s in elastic_matrix() {
+            let out = check_elastic(&s.cfg, None);
+            assert!(
+                out.clean(),
+                "{}: {:?}",
+                s.name,
+                out.violation.map(|(v, _)| v)
+            );
+            assert!(out.terminals > 0, "{}: no run ever completed", s.name);
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_refuted_where_eligible() {
+        for m in ElasticMutation::ALL {
+            let mut caught = 0usize;
+            for s in elastic_matrix() {
+                let out = check_elastic(&s.cfg, Some(m));
+                if m.eligible(&s.cfg) {
+                    assert!(
+                        !out.clean(),
+                        "{}: seeded {} went undetected",
+                        s.name,
+                        m.name()
+                    );
+                    let (_, trace) = out.violation.expect("violation");
+                    assert!(
+                        trace.len() > 1,
+                        "{}: counterexample for {} has no steps",
+                        s.name,
+                        m.name()
+                    );
+                    caught += 1;
+                } else {
+                    assert!(
+                        out.clean(),
+                        "{}: {} flagged where it cannot manifest (false positive)",
+                        s.name,
+                        m.name()
+                    );
+                }
+            }
+            assert!(caught > 0, "{} never eligible anywhere", m.name());
+        }
+    }
+
+    #[test]
+    fn skip_drain_names_the_missed_iteration() {
+        let cfg = ElasticConfig {
+            nodes: 3,
+            iters: 3,
+            window: 2,
+            crash: Some((2, 1)),
+            rejoin: false,
+        };
+        let out = check_elastic(&cfg, Some(ElasticMutation::SkipDrain));
+        let (v, _) = out.violation.expect("skip-drain must be refuted");
+        assert!(
+            matches!(v, ElasticViolation::MissedIteration { .. }),
+            "got {v}"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_mutant_applies_a_dead_frame() {
+        let cfg = ElasticConfig {
+            nodes: 3,
+            iters: 3,
+            window: 1,
+            crash: Some((1, 1)),
+            rejoin: false,
+        };
+        let out = check_elastic(&cfg, Some(ElasticMutation::AcceptStaleEpoch));
+        let (v, _) = out.violation.expect("accept-stale-epoch must be refuted");
+        assert!(matches!(v, ElasticViolation::StaleApply { .. }), "got {v}");
+    }
+
+    #[test]
+    fn dead_owner_wedges_the_next_segment() {
+        let cfg = ElasticConfig {
+            nodes: 3,
+            iters: 3,
+            window: 1,
+            crash: Some((1, 1)),
+            rejoin: false,
+        };
+        let out = check_elastic(&cfg, Some(ElasticMutation::ReuseDeadOwner));
+        let (v, _) = out.violation.expect("reuse-dead-owner must be refuted");
+        assert!(matches!(v, ElasticViolation::Deadlock { .. }), "got {v}");
+    }
+}

@@ -29,10 +29,15 @@
 //! zero false positives.
 
 pub mod check;
+pub mod elastic;
 pub mod model;
 pub mod mutate;
 
 pub use check::{explore, Limits, Outcome, Stats};
+pub use elastic::{
+    check_elastic, elastic_matrix, ElasticConfig, ElasticMutation, ElasticOutcome, ElasticScenario,
+    ElasticViolation,
+};
 pub use model::{Config, Faults, Model, Pattern, Policy, Violation};
 pub use mutate::Mutation;
 

@@ -126,6 +126,16 @@ USAGE:
       the /events NDJSON stream of per-iteration progress records,
       with the SLO watchdog counting anomalies into
       alerts_total{{kind}}.
+  hipress run --elastic [--kill-rank R --kill-iter I] [--rejoin-after J] [--cross-check] [--trace out.json] [run flags]
+      Membership-scripted run that *survives* losing a worker:
+      --kill-rank/--kill-iter crash rank R at iteration I; the
+      coordinator drains to the last fully-retired boundary, evicts
+      the dead rank, re-plans chunk ownership over the survivors, and
+      bumps the membership epoch — the run finishes every iteration.
+      --rejoin-after J restarts the victim (`node --join`) and
+      re-admits it at the next epoch boundary. --cross-check proves
+      the continuation bit-identical to a fixed-membership run over
+      the final member set. Backends: processes (default) or threads.
   hipress serve <BENCH.json> [--listen ADDR]
       Serve a previously written metrics snapshot file over the
       embedded telemetry server (/metrics as Prometheus text
@@ -138,9 +148,11 @@ USAGE:
       Render a flight-recorder dump written by a failed process run:
       every rank's final protocol events interleaved on one
       clock-aligned timeline, ending at the diagnosed root cause.
-  hipress node --connect <addr> --rank R --nodes N
+  hipress node --connect <addr> --rank R (--nodes N | --join)
       (internal) One worker of a `--backend processes` run; spawned by
-      the coordinator, never useful interactively.
+      the coordinator, never useful interactively. With --join,
+      re-attach to a running elastic job and wait for admission at the
+      next epoch boundary.
   hipress chaos [--nodes N] [--plan P] [--seeds K] [--policy wait|partial|abort] [--victim V] [--deadline-ms D] [--single] [--trace out.json]
       Synchronize on CaSync-RT over a fault-injecting fabric. By
       default, runs a survival matrix (plans x fault seeds) and checks
@@ -178,10 +190,12 @@ USAGE:
       program instead.
   hipress verify [--mutant M]
       Exhaust the small-scope model-checking matrix over the CaSync-RT
-      wire/FT protocol (the runtime's real state machines) and print
-      per-scenario exploration statistics. With --mutant, seed a
-      protocol defect; the checker must refute it with a
-      counterexample trace, and the command exits non-zero.
+      wire/FT protocol (the runtime's real state machines) plus the
+      elastic epoch-transition matrix (drain / evict / re-plan /
+      rejoin interleavings) and print per-scenario exploration
+      statistics. With --mutant, seed a protocol defect; the checker
+      must refute it with a counterexample trace, and the command
+      exits non-zero.
   hipress trace-diff <a.json> <b.json>
       Compare two exported traces (e.g. a simulated vs a measured run
       of one plan): per-category latency table plus side-by-side
@@ -227,9 +241,15 @@ FLAGS:
   --victim     (`chaos`) node the stall/crash/blackhole plans target (default 1)
   --deadline-ms (`chaos`) hard receive deadline per node (default 8000)
   --single     (`chaos`) run one plan once and propagate its outcome
+  --elastic    (`run`) membership-scripted elastic run (see above)
+  --kill-rank  (`run --elastic`) the rank to crash (with --kill-iter)
+  --kill-iter  (`run --elastic`) the global iteration the crash fires at
+  --rejoin-after (`run --elastic`) restart the victim and re-admit it at
+               the first epoch boundary at or after this iteration
   --mutant     (`verify`) seed a protocol defect: skip-dedup | dedup-before-verify |
                apply-before-verify | retry-without-bound | drop-heartbeat |
-               forget-rescale"
+               forget-rescale; elastic: skip-drain | accept-stale-epoch |
+               reuse-dead-owner | admit-future-join"
     );
 }
 
@@ -250,6 +270,8 @@ fn parse_flags(cmd: &str, args: &[String]) -> HashMap<String, String> {
                     | "single"
                     | "cross-check"
                     | "require-overlap"
+                    | "join"
+                    | "elastic"
             ) || (name == "baseline" && cmd != "bench");
             let takes_value = !boolean;
             if takes_value && i + 1 < args.len() {
@@ -494,6 +516,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad --window '{v}'")))
         .transpose()?
         .unwrap_or(1);
+    if flags.contains_key("elastic") {
+        return cmd_run_elastic(
+            flags, strategy, algorithm, partitions, seed, &grads, iters, window,
+        );
+    }
     let backend = match flags.get("backend").map(String::as_str) {
         None | Some("threads") => Backend::Threads(nodes),
         Some("processes") => Backend::Processes(nodes),
@@ -706,6 +733,183 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The `hipress run --elastic` driver: a membership-scripted run that
+/// survives a scripted rank loss (`--kill-rank R --kill-iter I`) by
+/// draining, evicting, re-planning over the survivors, and bumping
+/// the membership epoch; `--rejoin-after J` restarts the victim and
+/// re-admits it at the next epoch boundary. `--cross-check` compares
+/// the final flows bit for bit against a fixed-membership run over
+/// the expected final member set.
+#[allow(clippy::too_many_arguments)]
+fn cmd_run_elastic(
+    flags: &HashMap<String, String>,
+    strategy: Strategy,
+    algorithm: Algorithm,
+    partitions: usize,
+    seed: u64,
+    grads: &[Vec<hipress::tensor::Tensor>],
+    iters: u32,
+    window: u32,
+) -> Result<(), String> {
+    use hipress::chaos::MembershipPlan;
+    use hipress::runtime::{
+        run_elastic_processes, run_elastic_threaded, run_threaded_workers, Instruments,
+    };
+    let kill_rank: Option<u32> = flags
+        .get("kill-rank")
+        .map(|v| v.parse().map_err(|_| format!("bad --kill-rank '{v}'")))
+        .transpose()?;
+    let kill_iter: Option<u32> = flags
+        .get("kill-iter")
+        .map(|v| v.parse().map_err(|_| format!("bad --kill-iter '{v}'")))
+        .transpose()?;
+    let rejoin_after: Option<u32> = flags
+        .get("rejoin-after")
+        .map(|v| v.parse().map_err(|_| format!("bad --rejoin-after '{v}'")))
+        .transpose()?;
+    let plan = match (kill_rank, kill_iter) {
+        (Some(r), Some(i)) => match rejoin_after {
+            Some(j) => MembershipPlan::crash_then_rejoin(r, i, j),
+            None => MembershipPlan::crash(r, i),
+        },
+        (None, None) => {
+            if rejoin_after.is_some() {
+                return Err("--rejoin-after needs --kill-rank and --kill-iter".into());
+            }
+            MembershipPlan::none()
+        }
+        _ => return Err("--kill-rank and --kill-iter go together".into()),
+    };
+    let pcfg = PipelineConfig {
+        iterations: iters,
+        window,
+        ..Default::default()
+    };
+    let rconf = RuntimeConfig::default();
+    let tracer = flags.get("trace").map(|_| Tracer::new("casync-rt"));
+    let instruments = Instruments {
+        tracer: tracer.as_ref(),
+        ..Instruments::default()
+    };
+    let out = match flags.get("backend").map(String::as_str) {
+        None | Some("processes") => run_elastic_processes(
+            strategy,
+            algorithm,
+            partitions,
+            grads,
+            seed,
+            &rconf,
+            &pcfg,
+            &ProcessConfig::default(),
+            &plan,
+            instruments,
+        ),
+        Some("threads") => run_elastic_threaded(
+            strategy,
+            algorithm,
+            partitions,
+            grads,
+            seed,
+            &rconf,
+            &pcfg,
+            &plan,
+            instruments,
+        ),
+        Some(other) => {
+            return Err(format!(
+                "--elastic needs a real backend (threads or processes), not '{other}'"
+            ))
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let report = &out.report;
+    let final_members = report
+        .membership
+        .last()
+        .map(|m| m.members.clone())
+        .unwrap_or_default();
+    println!(
+        "elastic: {} worker(s), {} epoch(s), {} eviction(s){}, final membership {} node(s)",
+        grads.len(),
+        report.membership.len(),
+        report.evicted.len(),
+        if report.evicted.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " (evicted rank {})",
+                report
+                    .evicted
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", rank ")
+            )
+        },
+        final_members.len(),
+    );
+    println!("{report}");
+
+    if flags.contains_key("cross-check") {
+        // The fixed-membership reference: the full member set when the
+        // run ends at full strength (no kill, or kill + rejoin), the
+        // survivor set otherwise. Bit-identical flows or bust.
+        let reference: Vec<Vec<hipress::tensor::Tensor>> = if rejoin_after.is_some() {
+            grads.to_vec()
+        } else if let Some(victim) = kill_rank {
+            grads
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| *w as u32 != victim)
+                .map(|(_, g)| g.clone())
+                .collect()
+        } else {
+            grads.to_vec()
+        };
+        let fixed = run_threaded_workers(
+            strategy,
+            algorithm,
+            partitions,
+            &reference,
+            seed,
+            &rconf,
+            &pcfg,
+            &ProcessConfig::default(),
+            Instruments::default(),
+        )
+        .map_err(|e| format!("fixed-membership reference run: {e}"))?;
+        if out.flows.len() != fixed.flows.len() {
+            return Err("elastic run and fixed-membership reference disagree on flow count".into());
+        }
+        for (a, b) in out.flows.iter().zip(&fixed.flows) {
+            if a.flow != b.flow || a.per_node != b.per_node {
+                return Err(format!(
+                    "flow {} diverged between the elastic run and the fixed-membership reference",
+                    a.flow
+                ));
+            }
+        }
+        println!(
+            "cross-check OK: elastic continuation bit-identical to the fixed-membership run \
+             over {} node(s)",
+            reference.len()
+        );
+    }
+
+    if let (Some(path), Some(tr)) = (flags.get("trace"), tracer) {
+        let trace = tr.finish();
+        // The membership timeline is double-booked: once in the
+        // report, once as trace instants. They must agree.
+        let derived = RuntimeReport::from_trace(&trace);
+        if derived.membership != report.membership || derived.evicted != report.evicted {
+            return Err("trace-derived membership timeline diverged from the reported one".into());
+        }
+        export_trace(&trace, path)?;
+    }
+    Ok(())
+}
+
 /// Renders a flight-recorder dump written by a failed
 /// `--backend processes` run: every rank's last protocol events on
 /// one clock-aligned timeline, ending at the diagnosed root cause.
@@ -734,9 +938,15 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
         .ok_or("node: --rank is required")?
         .parse()
         .map_err(|_| "bad --rank".to_string())?;
+    if flags.contains_key("join") {
+        // A restarted worker re-attaching to a running elastic job:
+        // the coordinator's Welcome carries the membership, so
+        // `--nodes` is not needed (and would be stale anyway).
+        return hipress::runtime::join_main(connect, rank).map_err(|e| e.to_string());
+    }
     let nodes: usize = flags
         .get("nodes")
-        .ok_or("node: --nodes is required")?
+        .ok_or("node: --nodes is required (or --join to re-attach)")?
         .parse()
         .map_err(|_| "bad --nodes".to_string())?;
     hipress::runtime::node_main(connect, rank, nodes).map_err(|e| e.to_string())
@@ -1738,23 +1948,35 @@ fn cmd_lint(flags: &HashMap<String, String>, file: Option<&str>) -> Result<(), S
 }
 
 fn cmd_verify(flags: &HashMap<String, String>) -> Result<(), String> {
-    use hipress::verify::{check_config, matrix, Mutation};
+    use hipress::verify::{
+        check_config, check_elastic, elastic_matrix, matrix, ElasticMutation, Mutation,
+    };
 
-    let mutation = flags
-        .get("mutant")
-        .map(|name| {
-            Mutation::from_name(name).ok_or_else(|| {
-                format!(
-                    "unknown mutant '{name}' (known: {})",
+    // `--mutant` names one defect from either family: the wire/FT
+    // alphabet is seeded into the wire matrix, the elastic alphabet
+    // into the epoch-transition matrix; the other matrix runs clean.
+    let (mutation, elastic_mutation) = match flags.get("mutant") {
+        None => (None, None),
+        Some(name) => match (Mutation::from_name(name), ElasticMutation::from_name(name)) {
+            (Some(m), _) => (Some(m), None),
+            (None, Some(m)) => (None, Some(m)),
+            (None, None) => {
+                return Err(format!(
+                    "unknown mutant '{name}' (known: {}; elastic: {})",
                     Mutation::ALL
                         .iter()
                         .map(|m| m.name())
                         .collect::<Vec<_>>()
+                        .join(", "),
+                    ElasticMutation::ALL
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<_>>()
                         .join(", ")
-                )
-            })
-        })
-        .transpose()?;
+                ))
+            }
+        },
+    };
 
     let mut table = Table::new(&[
         ("scenario", Align::Left),
@@ -1793,6 +2015,31 @@ fn cmd_verify(flags: &HashMap<String, String>) -> Result<(), String> {
             verdict,
         ]);
     }
+    // The elastic epoch-transition matrix: drain/evict/re-plan/rejoin
+    // interleavings over the same `hipress_runtime::protocol` rules.
+    for s in elastic_matrix() {
+        let out = check_elastic(&s.cfg, elastic_mutation);
+        states += out.states;
+        transitions += out.transitions;
+        let verdict = match &out.violation {
+            None => "exhausted clean".to_string(),
+            Some((v, trace)) => {
+                violated += 1;
+                if first_trace.is_none() {
+                    first_trace = Some((s.name.to_string(), trace.clone()));
+                }
+                format!("VIOLATED: {v}")
+            }
+        };
+        table.row(vec![
+            s.name.to_string(),
+            out.states.to_string(),
+            out.transitions.to_string(),
+            "-".to_string(),
+            out.terminals.to_string(),
+            verdict,
+        ]);
+    }
     print!("{table}");
     println!(
         "explored {states} states / {transitions} transitions; sleep-set reduction pruned \
@@ -1800,27 +2047,26 @@ fn cmd_verify(flags: &HashMap<String, String>) -> Result<(), String> {
         100.0 * pruned as f64 / (transitions + pruned).max(1) as f64
     );
 
-    match (mutation, violated) {
+    let seeded = mutation
+        .map(|m| m.name())
+        .or(elastic_mutation.map(|m| m.name()));
+    match (seeded, violated) {
         (None, 0) => {
             println!("protocol verified: every scenario exhausted violation-free");
             Ok(())
         }
         (None, n) => Err(format!("{n} scenario(s) violated the protocol properties")),
-        (Some(m), 0) => Err(format!(
-            "seeded defect '{}' went undetected — the checker lost its teeth",
-            m.name()
+        (Some(name), 0) => Err(format!(
+            "seeded defect '{name}' went undetected — the checker lost its teeth"
         )),
-        (Some(m), n) => {
-            if let Some((name, trace)) = &first_trace {
-                println!("\ncounterexample ({name}):");
+        (Some(name), n) => {
+            if let Some((scenario, trace)) = &first_trace {
+                println!("\ncounterexample ({scenario}):");
                 for line in trace {
                     println!("  {line}");
                 }
             }
-            Err(format!(
-                "{n} scenario(s) refute seeded defect '{}'",
-                m.name()
-            ))
+            Err(format!("{n} scenario(s) refute seeded defect '{name}'"))
         }
     }
 }
